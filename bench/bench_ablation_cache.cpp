@@ -1,0 +1,77 @@
+// A2 — Ablation: the slot cache (paper §6: "Instead of unmmapping a slot
+// each time it is released, we keep a number of mmapped empty slots in a
+// process-wide cache.  This saves the mmapping time at the next slot
+// allocation.").
+//
+// Pure node-local experiment: slot-sized alloc/free churn against a slot
+// manager with the cache disabled vs enabled, reporting both the time and
+// the number of VM commit/decommit operations avoided.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "isomalloc/heap.hpp"
+
+using namespace pm2;
+using namespace pm2::iso;
+
+namespace {
+
+struct Result {
+  double avg_us;
+  uint64_t commits;
+  uint64_t decommits;
+  uint64_t cache_hits;
+};
+
+Result churn(size_t cache_capacity, int iters) {
+  AreaConfig ac;
+  ac.base = 0x6700'0000'0000ull;
+  ac.size = 256ull << 20;
+  Area area(ac);
+  SlotManagerConfig sc;
+  sc.node = 0;
+  sc.n_nodes = 1;
+  sc.cache_capacity = cache_capacity;
+  SlotManager mgr(area, sc);
+  void* slot_list = nullptr;
+  ThreadHeap heap(&slot_list, 1, mgr);
+
+  // Slot-churning workload: each block needs its own slot, each free
+  // empties and releases that slot.
+  const size_t size = 60 * 1024;
+  double t = bench::time_us([&] {
+    for (int i = 0; i < iters; ++i) {
+      void* p = heap.alloc(size);
+      static_cast<volatile char*>(p)[0] = 1;
+      heap.free(p);
+    }
+  });
+  return Result{t / iters, mgr.stats().commits, mgr.stats().decommits,
+                mgr.stats().cache_hits};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int iters = static_cast<int>(flags.i64("iters", 5000));
+
+  bench::print_header(
+      "A2: slot cache on/off — slot-sized alloc/free churn (60 KB blocks)",
+      {"cache_slots", "avg_us", "vm_commits", "vm_decommits", "cache_hits"});
+  for (size_t capacity : {size_t{0}, size_t{4}, size_t{64}}) {
+    Result r = churn(capacity, iters);
+    bench::print_cell(static_cast<uint64_t>(capacity));
+    bench::print_cell(r.avg_us);
+    bench::print_cell(r.commits);
+    bench::print_cell(r.decommits);
+    bench::print_cell(r.cache_hits);
+    bench::print_row_end();
+  }
+  std::printf(
+      "\nShape check: with the cache on, steady-state churn performs no VM\n"
+      "calls at all (one commit total, all reuse through the cache) and the\n"
+      "per-cycle time drops accordingly — the paper's §6 optimization.\n");
+  return 0;
+}

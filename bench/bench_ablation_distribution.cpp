@@ -1,0 +1,72 @@
+// A1 — Ablation: initial slot distribution (paper §4.1 "Slot distribution";
+// the design discussion: round-robin "behaves rather poorly for multi-slot
+// allocations"; block-cyclic and partitioned favour contiguity and should
+// avoid negotiations).
+#include <atomic>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "isomalloc/distribution.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+using namespace pm2;
+
+namespace {
+
+std::atomic<uint64_t> g_iters{0};
+double g_avg_us = 0;
+uint64_t g_negotiations = 0;
+uint64_t g_negotiated_slots = 0;
+
+void measure(Runtime& rt) {
+  const int iters = static_cast<int>(g_iters.load());
+  std::vector<void*> held;
+  uint64_t nego_before = rt.negotiations_initiated();
+  double t = bench::time_us([&] {
+    for (int i = 0; i < iters; ++i) held.push_back(pm2_isomalloc(100 * 1024));
+  });
+  for (void* p : held) pm2_isofree(p);
+  g_avg_us = t / iters;
+  g_negotiations = rt.negotiations_initiated() - nego_before;
+  g_negotiated_slots = rt.slots().stats().negotiated_slots;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int iters = static_cast<int>(flags.i64("iters", 30));
+  const auto nodes = static_cast<uint32_t>(flags.i64("nodes", 4));
+
+  bench::print_header(
+      "A1: slot distribution policy vs multi-slot allocation cost (4 nodes, "
+      "100 KB blocks = 2 slots each)",
+      {"distribution", "avg_alloc_us", "negotiations", "bought_slots"});
+
+  const iso::Distribution dists[] = {iso::Distribution::kRoundRobin,
+                                     iso::Distribution::kBlockCyclic,
+                                     iso::Distribution::kPartitioned};
+  for (auto dist : dists) {
+    g_iters = static_cast<uint64_t>(iters);
+    AppConfig cfg;
+    cfg.nodes = nodes;
+    cfg.rt.slots.distribution = dist;
+    cfg.rt.slots.block_cyclic_block = 16;
+    run_app(cfg, [&](Runtime& rt) {
+      if (rt.self() == 0) measure(rt);
+    });
+    bench::print_cell(iso::to_string(dist));
+    bench::print_cell(g_avg_us);
+    bench::print_cell(g_negotiations);
+    bench::print_cell(g_negotiated_slots);
+    bench::print_row_end();
+  }
+  std::printf(
+      "\nShape check: round-robin negotiates on every multi-slot request;\n"
+      "block-cyclic(16) and partitioned satisfy them locally (zero\n"
+      "negotiations) and allocate an order of magnitude faster.\n");
+  return 0;
+}

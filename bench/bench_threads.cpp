@@ -1,0 +1,143 @@
+// E5 — Marcel thread primitives (paper §2: "PM2 provides very efficient
+// primitives to handle these operations: creation, destruction and context
+// switching").
+//
+// google-benchmark micro-measurements of the user-level thread layer in
+// isolation (no networking): raw context switch, scheduler round-robin,
+// thread create/destroy, and the isomalloc fast path vs malloc.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "isomalloc/heap.hpp"
+#include "marcel/scheduler.hpp"
+
+namespace {
+
+using namespace pm2;
+using namespace pm2::marcel;
+
+constexpr size_t kRegion = 64 * 1024;
+
+// --- raw switch --------------------------------------------------------------
+
+void* g_bench_sp = nullptr;
+void* g_peer_sp = nullptr;
+
+void bounce_peer(void*) {
+  while (true) pm2_ctx_switch(&g_peer_sp, g_bench_sp);
+}
+
+/// One iteration = switch to a peer context and back (2 switches).
+void BM_RawContextSwitchRoundTrip(benchmark::State& state) {
+  void* stack = std::aligned_alloc(16, kRegion);
+  g_peer_sp = ctx_make(stack, static_cast<char*>(stack) + kRegion,
+                       &bounce_peer, nullptr);
+  for (auto _ : state) {
+    pm2_ctx_switch(&g_bench_sp, g_peer_sp);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  std::free(stack);
+}
+BENCHMARK(BM_RawContextSwitchRoundTrip);
+
+// --- scheduler round-robin ----------------------------------------------------
+
+struct RoundRobinCtx {
+  int yields;
+};
+
+void rr_worker(void* p) {
+  auto* c = static_cast<RoundRobinCtx*>(p);
+  Scheduler* sched = Scheduler::current_scheduler();
+  for (int i = 0; i < c->yields; ++i) sched->yield();
+  sched->exit_current([](Thread*) {});
+}
+
+/// Full scheduler path: N threads each yield 100 times; the per-switch cost
+/// is reported through items/sec.
+void BM_SchedulerRoundRobin(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int yields = 100;
+  std::vector<void*> regions;
+  for (int i = 0; i < threads; ++i)
+    regions.push_back(std::aligned_alloc(64, kRegion));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scheduler sched;
+    RoundRobinCtx ctx{yields};
+    for (int i = 0; i < threads; ++i) {
+      sched.create(regions[i], kRegion, &rr_worker, &ctx,
+                   static_cast<ThreadId>(i + 1), "w");
+    }
+    sched.stop();
+    state.ResumeTiming();
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * yields);
+  for (void* r : regions) std::free(r);
+}
+BENCHMARK(BM_SchedulerRoundRobin)->Arg(2)->Arg(16)->Arg(128)->Arg(1024);
+
+// --- create/destroy ------------------------------------------------------------
+
+void noop_worker(void*) {
+  Scheduler::current_scheduler()->exit_current([](Thread*) {});
+}
+
+/// One iteration = create a thread, run it to completion, reap it.
+void BM_ThreadCreateDestroy(benchmark::State& state) {
+  Scheduler sched;
+  void* region = std::aligned_alloc(64, kRegion);
+  ThreadId id = 1;
+  for (auto _ : state) {
+    sched.create(region, kRegion, &noop_worker, nullptr, id++, "t");
+    sched.stop();
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::free(region);
+}
+BENCHMARK(BM_ThreadCreateDestroy);
+
+// --- allocation fast path -------------------------------------------------------
+
+void BM_IsomallocFastPath(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  iso::AreaConfig ac;
+  ac.base = 0x6600'0000'0000ull;
+  ac.size = 256ull << 20;
+  iso::Area area(ac);
+  iso::SlotManagerConfig sc;
+  sc.node = 0;
+  sc.n_nodes = 1;
+  iso::SlotManager mgr(area, sc);
+  void* slot_list = nullptr;
+  iso::ThreadHeap heap(&slot_list, 1, mgr);
+  void* anchor = heap.alloc(16);  // keep the slot attached across iterations
+  for (auto _ : state) {
+    void* p = heap.alloc(size);
+    benchmark::DoNotOptimize(p);
+    heap.free(p);
+  }
+  heap.free(anchor);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IsomallocFastPath)->Arg(16)->Arg(256)->Arg(4096)->Arg(32768);
+
+void BM_MallocBaseline(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = std::malloc(size);
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MallocBaseline)->Arg(16)->Arg(256)->Arg(4096)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Shared helpers for the PM2 benchmark drivers.
+//
+// The distributed experiments (migration latency, allocation sweeps,
+// negotiation scaling) are end-to-end protocol measurements; they run a real
+// multi-node session and print the same rows/series the paper reports, so
+// the output of each binary regenerates the corresponding table/figure.
+// Micro-measurements (context switch, thread create) use google-benchmark.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace pm2::bench {
+
+/// Simple aligned table printer: print_header({"size", "malloc_us", ...}).
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "---------");
+  std::printf("\n");
+}
+
+inline void print_cell(double v) { std::printf("%16.2f", v); }
+inline void print_cell(uint64_t v) { std::printf("%16" PRIu64, v); }
+inline void print_cell(const char* v) { std::printf("%16s", v); }
+inline void print_row_end() { std::printf("\n"); }
+
+/// Measure the wall-clock of `fn` in microseconds.
+template <typename Fn>
+double time_us(Fn&& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.elapsed_us();
+}
+
+}  // namespace pm2::bench

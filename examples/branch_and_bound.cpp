@@ -1,0 +1,201 @@
+// Branch-and-bound TSP — the paper's target workload class in one program.
+//
+// PM2 was "especially designed to serve as a runtime support for highly
+// parallel irregular applications … threads may need to start or terminate
+// at arbitrary moments" (§2).  Branch-and-bound is the canonical such
+// application: subtree sizes are wildly unpredictable, so static placement
+// loses.  Here every search thread:
+//
+//   * keeps its whole search state (partial tour, visited set) in
+//     iso-memory — it can be moved at any instant;
+//   * spawns child threads for promising branches at shallow depths;
+//   * never thinks about placement: the LoadBalancer module preemptively
+//     redistributes READY threads between nodes.
+//
+// The global incumbent (best tour so far) is node-shared via std::atomic —
+// valid for in-process nodes, which is what this example runs (the search
+// logic itself is fully migration-clean).
+//
+//   ./branch_and_bound --cities 12 --nodes 4
+//   ./branch_and_bound --cities 12 --no-balance   # compare wall time
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/load_balancer.hpp"
+#include "pm2/runtime.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr int kMaxCities = 16;
+int g_cities = 12;
+int g_spawn_depth = 3;  // branches above this depth become threads
+int g_dist[kMaxCities][kMaxCities];
+
+std::atomic<int> g_best{INT32_MAX};       // incumbent tour length
+std::atomic<uint64_t> g_nodes_explored{0};
+std::atomic<uint64_t> g_threads_spawned{0};
+std::atomic<uint32_t> g_work_mask{0};     // nodes that did search work
+
+/// Search state: lives in iso-memory so the thread can be migrated with it.
+struct SearchState {
+  int depth;
+  int length;
+  uint16_t visited;  // bitmask over cities
+  int tour[kMaxCities];
+};
+
+int lower_bound(const SearchState& s) {
+  // Cheapest outgoing edge for every unvisited city (+ the current one).
+  int bound = s.length;
+  for (int c = 0; c < g_cities; ++c) {
+    if (c != s.tour[s.depth - 1] && (s.visited & (1u << c))) continue;
+    int cheapest = INT32_MAX;
+    for (int d = 0; d < g_cities; ++d)
+      if (d != c && g_dist[c][d] < cheapest) cheapest = g_dist[c][d];
+    bound += cheapest;
+  }
+  return bound;
+}
+
+void search(SearchState* s);
+void branch_worker(void* arg) { search(static_cast<SearchState*>(arg)); }
+
+void expand(SearchState* s, int next_city) {
+  SearchState child = *s;  // staged on our stack
+  child.length += g_dist[s->tour[s->depth - 1]][next_city];
+  child.tour[child.depth++] = next_city;
+  child.visited |= 1u << next_city;
+
+  if (s->depth <= g_spawn_depth) {
+    // Shallow branch: fork a thread.  pm2_thread_create_copy clones the
+    // state into the child's own iso-heap (blocks belong to exactly one
+    // thread and migrate with it — handing the child a pointer into OUR
+    // heap would be migration-unsafe).  The balancer decides placement.
+    ++g_threads_spawned;
+    pm2_thread_create_copy(&branch_worker, &child, sizeof(child), "bnb");
+  } else {
+    // Deep branch: recurse inline within our own heap.
+    auto* own = static_cast<SearchState*>(pm2_isomalloc(sizeof(SearchState)));
+    *own = child;
+    search(own);
+  }
+}
+
+void search(SearchState* s) {
+  ++g_nodes_explored;
+  g_work_mask |= 1u << pm2_self();
+
+  if (s->depth == g_cities) {
+    int total = s->length + g_dist[s->tour[g_cities - 1]][s->tour[0]];
+    int best = g_best.load();
+    while (total < best && !g_best.compare_exchange_weak(best, total)) {
+    }
+  } else if (lower_bound(*s) < g_best.load()) {
+    // Visit nearer cities first: tightens the incumbent sooner.
+    int order[kMaxCities];
+    int n = 0;
+    for (int c = 0; c < g_cities; ++c)
+      if (!(s->visited & (1u << c))) order[n++] = c;
+    int from = s->tour[s->depth - 1];
+    std::sort(order, order + n,
+              [from](int a, int b) { return g_dist[from][a] < g_dist[from][b]; });
+    for (int i = 0; i < n; ++i) {
+      if (lower_bound(*s) >= g_best.load()) break;  // prune the rest
+      expand(s, order[i]);
+    }
+  }
+  pm2_isofree(s);
+  pm2_signal(0);  // one completion token per search thread / root call
+}
+
+/// Serial reference solver (same pruning, no threads) for validation.
+int serial_best = INT32_MAX;
+void serial_search(SearchState& s) {
+  if (s.depth == g_cities) {
+    serial_best = std::min(
+        serial_best, s.length + g_dist[s.tour[g_cities - 1]][s.tour[0]]);
+    return;
+  }
+  if (s.length >= serial_best) return;
+  for (int c = 0; c < g_cities; ++c) {
+    if (s.visited & (1u << c)) continue;
+    SearchState child = s;
+    child.length += g_dist[s.tour[s.depth - 1]][c];
+    child.tour[child.depth++] = c;
+    child.visited |= 1u << c;
+    serial_search(child);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  g_cities = static_cast<int>(flags.i64("cities", 12));
+  g_spawn_depth = static_cast<int>(flags.i64("spawn-depth", 3));
+  bool balance = !flags.b("no-balance");
+  PM2_CHECK(g_cities >= 4 && g_cities <= kMaxCities);
+
+  // Deterministic random instance.
+  Rng rng(flags.i64("seed", 42));
+  for (int i = 0; i < g_cities; ++i)
+    for (int j = i + 1; j < g_cities; ++j)
+      g_dist[i][j] = g_dist[j][i] = static_cast<int>(rng.next_range(10, 99));
+
+  AppConfig cfg;
+  cfg.nodes = static_cast<uint32_t>(flags.i64("nodes", 2));
+
+  Stopwatch wall;
+  run_app(cfg, [&](Runtime& rt) {
+    if (balance) {
+      LoadBalancerConfig lb;
+      lb.period_us = 300;
+      lb.max_migrations_per_round = 4;
+      LoadBalancer::start(rt, lb);
+    }
+    if (rt.self() == 0) {
+      SearchState root{};
+      root.depth = 1;
+      root.length = 0;
+      root.visited = 1;  // start at city 0
+      root.tour[0] = 0;
+      ++g_threads_spawned;
+      pm2_thread_create_copy(&branch_worker, &root, sizeof(root), "bnb-root");
+      // Every search thread signals exactly once; spawning happens strictly
+      // before the parent's signal, so this drains the whole tree.
+      uint64_t collected = 0;
+      while (collected < g_threads_spawned.load()) {
+        pm2_wait_signals(1);
+        ++collected;
+      }
+      pm2_printf("parallel best tour = %d (%llu states, %llu threads)\n",
+                 g_best.load(),
+                 static_cast<unsigned long long>(g_nodes_explored.load()),
+                 static_cast<unsigned long long>(g_threads_spawned.load()));
+    }
+    rt.barrier();
+  });
+  double wall_ms = wall.elapsed_ms();
+
+  // Validate against the serial solver.
+  SearchState root{};
+  root.depth = 1;
+  root.visited = 1;
+  root.tour[0] = 0;
+  serial_search(root);
+  std::printf("serial best tour   = %d\n", serial_best);
+  std::printf("match: %s;  wall %.1f ms;  balancing %s;  worked on nodes "
+              "mask 0x%x\n",
+              serial_best == g_best.load() ? "YES" : "NO", wall_ms,
+              balance ? "ON" : "OFF", g_work_mask.load());
+  return serial_best == g_best.load() ? 0 : 1;
+}

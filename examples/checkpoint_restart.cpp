@@ -1,0 +1,118 @@
+// Checkpoint/restart — "migration in time" (extension; see
+// src/pm2/checkpoint.hpp).
+//
+// A worker computes a long reduction in chunks.  Halfway through it
+// checkpoints itself to a file and stops, as if the machine went down.  A
+// *separate process* of the same binary then restores the image: the
+// thread resumes mid-computation — same stack, same iso-heap, same
+// addresses — and finishes.  This works across processes because the
+// binary is non-PIE and the iso-area base is fixed: the exact conditions
+// iso-address migration already requires.
+//
+//   ./checkpoint_restart                 # both phases (re-execs itself)
+//   ./checkpoint_restart --phase run     # compute half, checkpoint, stop
+//   ./checkpoint_restart --phase resume  # restore and finish
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/checkpoint.hpp"
+#include "pm2/runtime.hpp"
+#include "sys/process.hpp"
+
+using namespace pm2;
+
+namespace {
+
+constexpr const char* kImagePath = "/tmp/pm2_checkpoint_restart.img";
+constexpr long kChunks = 1000;
+constexpr long kChunkSize = 100000;
+
+// Shared only within one phase (never across the checkpoint).
+std::vector<uint8_t>* g_image_out = nullptr;
+
+void reduction_worker(void*) {
+  // All computation state lives in iso-memory / on the stack: it is the
+  // checkpoint.
+  auto* state = static_cast<long*>(pm2_isomalloc(2 * sizeof(long)));
+  long& chunk = state[0];
+  long& sum = state[1];
+  chunk = 0;
+  sum = 0;
+
+  for (; chunk < kChunks; ++chunk) {
+    for (long i = 0; i < kChunkSize; ++i) sum += (chunk * kChunkSize + i) % 7;
+    if (chunk == kChunks / 2) {
+      pm2_printf("half done (chunk %ld, partial sum %ld) — checkpointing\n",
+                 chunk, sum);
+      bool restored = checkpoint_self(*Runtime::current(), *g_image_out);
+      if (!restored) {
+        // Original execution: persist and stop, as if preempted forever.
+        save_checkpoint(kImagePath, *g_image_out);
+        pm2_printf("checkpoint written to %s; stopping this incarnation\n",
+                   kImagePath);
+        pm2_isofree(state);
+        pm2_signal(0);
+        return;
+      }
+      pm2_printf("restored in pid %d — resuming at chunk %ld\n",
+                 static_cast<int>(::getpid()), chunk);
+    }
+  }
+  pm2_printf("final sum = %ld (expected %ld)\n", sum,
+             [] {
+               long s = 0;
+               for (long c = 0; c < kChunks; ++c)
+                 for (long i = 0; i < kChunkSize; ++i)
+                   s += (c * kChunkSize + i) % 7;
+               return s;
+             }());
+  pm2_isofree(state);
+  pm2_signal(0);
+}
+
+int phase_run() {
+  std::vector<uint8_t> image;
+  g_image_out = &image;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  return run_app(cfg, [](Runtime&) {
+    pm2_thread_create(&reduction_worker, nullptr, "reduction");
+    pm2_wait_signals(1);
+  });
+}
+
+int phase_resume() {
+  std::vector<uint8_t> image;  // the clone needs a destination object too
+  g_image_out = &image;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  return run_app(cfg, [](Runtime& rt) {
+    auto img = load_checkpoint(kImagePath);
+    restore_thread(rt, img);
+    pm2_wait_signals(1);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string phase = flags.str("phase", "both");
+
+  if (phase == "run") return phase_run();
+  if (phase == "resume") return phase_resume();
+
+  // Both: run phase in this process, resume in a fresh one to prove the
+  // image survives the address space.
+  int rc = phase_run();
+  if (rc != 0) return rc;
+  std::printf("--- re-executing %s --phase resume in a new process ---\n",
+              argv[0]);
+  std::fflush(stdout);
+  pid_t pid = sys::spawn(sys::self_exe(), {"--phase", "resume"}, {});
+  return sys::wait_child(pid);
+}

@@ -1,0 +1,131 @@
+// The paper's small listings as runnable programs.
+//
+//   ./paper_figures --fig 1    # Fig. 1: stack variable, no pointers
+//   ./paper_figures --fig 2    # Fig. 2's scenario — SAFE here thanks to
+//                              # iso-addressing (the paper's version faults)
+//   ./paper_figures --fig 3    # Fig. 3: the legacy registered-pointer
+//                              # scheme, single-process relocation demo
+//   ./paper_figures --fig 4    # Fig. 4's scenario with pm2_isomalloc —
+//                              # heap data migrates, no segfault
+//   ./paper_figures            # run all of them
+#include <cstdio>
+#include <cstring>
+
+#include "common/flags.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/legacy_migration.hpp"
+#include "pm2/runtime.hpp"
+
+using namespace pm2;
+
+namespace {
+
+// --- Fig. 1: migration without pointers --------------------------------------
+
+void p1(void*) {
+  int x;
+  x = 1;
+  pm2_printf("value = %d\n", x);
+  pm2_migrate(marcel_self(), 1);
+  pm2_printf("value = %d\n", x);
+  pm2_signal(0);
+}
+
+// --- Fig. 2: pointer to stack data.  The paper's non-iso PM2 printed one
+// line and then segfaulted; with iso-addressing the same code is safe. ------
+
+void p2(void*) {
+  int x;
+  int* ptr = &x;
+  x = 1;
+  pm2_printf("value = %d\n", *ptr);
+  pm2_migrate(marcel_self(), 1);
+  pm2_printf("value = %d   (the paper's Fig. 2 crashed here)\n", *ptr);
+  pm2_signal(0);
+}
+
+// --- Fig. 4 fixed: heap data via pm2_isomalloc -------------------------------
+
+void p3(void*) {
+  int* t = static_cast<int*>(pm2_isomalloc(100 * sizeof(int)));
+  t[10] = 1;
+  pm2_printf("value = %d\n", t[10]);
+  pm2_migrate(marcel_self(), 1);
+  pm2_printf("value = %d   (with malloc this was a segfault, Fig. 4/9)\n",
+             t[10]);
+  pm2_isofree(t);
+  pm2_signal(0);
+}
+
+int run_session(void (*fn)(void*), const char* name, const Flags& flags,
+                int argc, char** argv) {
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.multiprocess = flags.b("spawn");
+  capture_argv_for_children(cfg, argc, argv);
+  return run_app(cfg, [fn, name](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(fn, nullptr, name);
+      pm2_wait_signals(1);
+    }
+  });
+}
+
+// --- Fig. 3: the legacy scheme, shown as a single-process relocation ---------
+
+void fig3_body(legacy::LegacyThread& self, void*) {
+  int x;
+  int* ptr = &x;
+  uint32_t key = self.register_pointer(reinterpret_cast<void**>(&ptr));
+  x = 1;
+  std::printf("[legacy] value = %d\n", *ptr);
+  self.yield();  // "migration": the stack is relocated here
+  std::printf("[legacy] value = %d   (valid only because ptr was "
+              "registered)\n",
+              *ptr);
+  self.unregister_pointer(key);
+}
+
+void run_fig3() {
+  std::printf("--- Fig. 3: registered pointers under the legacy scheme ---\n");
+  legacy::LegacyThread t(64 * 1024, &fig3_body, nullptr);
+  t.resume();
+  ptrdiff_t delta = t.relocate();
+  std::printf("[legacy] stack relocated by %td bytes; patching frame chain "
+              "and 1 registered pointer\n",
+              delta);
+  t.resume();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  long fig = flags.i64("fig", 0);
+
+  if (is_spawned_child()) {
+    // A spawned node child re-enters main; route it to the session the
+    // parent is running (figures 1/2/4 all use the same session shape).
+    long f = flags.i64("fig", 1);
+    void (*fn)(void*) = f == 2 ? &p2 : (f == 4 ? &p3 : &p1);
+    return run_session(fn, "fig", flags, argc, argv);
+  }
+
+  if (fig == 0 || fig == 1) {
+    std::printf("--- Fig. 1: thread migration without pointers ---\n");
+    run_session(&p1, "p1", flags, argc, argv);
+  }
+  if (fig == 0 || fig == 2) {
+    std::printf("--- Fig. 2 scenario, now safe with iso-addresses ---\n");
+    run_session(&p2, "p2", flags, argc, argv);
+  }
+  if (fig == 0 || fig == 3) {
+    run_fig3();
+  }
+  if (fig == 0 || fig == 4) {
+    std::printf("--- Fig. 4 scenario with pm2_isomalloc (cf. Figs. 8/9) ---\n");
+    run_session(&p3, "p3", flags, argc, argv);
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "common/bitmap.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pm2 {
+
+Bitmap::Bitmap(size_t nbits)
+    : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+bool Bitmap::test(size_t i) const {
+  PM2_DCHECK(i < nbits_) << "bit " << i << " size " << nbits_;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitmap::set(size_t i) {
+  PM2_DCHECK(i < nbits_);
+  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+void Bitmap::clear(size_t i) {
+  PM2_DCHECK(i < nbits_);
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+void Bitmap::set_range(size_t first, size_t count) {
+  PM2_DCHECK(first + count <= nbits_);
+  for (size_t i = first; i < first + count; ++i) set(i);
+}
+
+void Bitmap::clear_range(size_t first, size_t count) {
+  PM2_DCHECK(first + count <= nbits_);
+  for (size_t i = first; i < first + count; ++i) clear(i);
+}
+
+bool Bitmap::all_set(size_t first, size_t count) const {
+  PM2_DCHECK(first + count <= nbits_);
+  for (size_t i = first; i < first + count; ++i)
+    if (!test(i)) return false;
+  return true;
+}
+
+bool Bitmap::none_set(size_t first, size_t count) const {
+  PM2_DCHECK(first + count <= nbits_);
+  for (size_t i = first; i < first + count; ++i)
+    if (test(i)) return false;
+  return true;
+}
+
+size_t Bitmap::count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::optional<size_t> Bitmap::find_first_set(size_t from) const {
+  if (from >= nbits_) return std::nullopt;
+  size_t wi = from / kWordBits;
+  uint64_t w = words_[wi] & (~uint64_t{0} << (from % kWordBits));
+  while (true) {
+    if (w != 0) {
+      size_t bit = wi * kWordBits + static_cast<size_t>(std::countr_zero(w));
+      if (bit >= nbits_) return std::nullopt;
+      return bit;
+    }
+    if (++wi >= words_.size()) return std::nullopt;
+    w = words_[wi];
+  }
+}
+
+std::optional<size_t> Bitmap::find_run(size_t run, size_t from) const {
+  PM2_CHECK(run > 0);
+  size_t pos = from;
+  while (true) {
+    auto start = find_first_set(pos);
+    if (!start) return std::nullopt;
+    // Extend the run from *start as far as needed.
+    size_t i = *start;
+    size_t end = *start + run;
+    if (end > nbits_) return std::nullopt;
+    while (i < end && test(i)) ++i;
+    if (i == end) return *start;
+    pos = i + 1;  // bit i is clear; restart after it
+  }
+}
+
+std::optional<size_t> Bitmap::find_best_run(size_t run) const {
+  PM2_CHECK(run > 0);
+  std::optional<size_t> best;
+  size_t best_len = SIZE_MAX;
+  size_t pos = 0;
+  while (true) {
+    auto start = find_first_set(pos);
+    if (!start) break;
+    size_t i = *start;
+    while (i < nbits_ && test(i)) ++i;
+    size_t len = i - *start;
+    if (len >= run && len < best_len) {
+      best = *start;
+      best_len = len;
+      if (len == run) break;  // cannot do better
+    }
+    pos = i + 1;
+  }
+  return best;
+}
+
+void Bitmap::or_with(const Bitmap& other) {
+  PM2_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::subtract(const Bitmap& other) {
+  PM2_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+bool Bitmap::intersects(const Bitmap& other) const {
+  PM2_CHECK(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+Bitmap Bitmap::from_words(size_t nbits, std::vector<uint64_t> words) {
+  Bitmap b;
+  b.nbits_ = nbits;
+  PM2_CHECK(words.size() == (nbits + kWordBits - 1) / kWordBits);
+  b.words_ = std::move(words);
+  return b;
+}
+
+}  // namespace pm2

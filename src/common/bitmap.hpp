@@ -1,0 +1,72 @@
+// Dynamic bitmap with contiguous-run search.
+//
+// This is the data structure behind the slot layer of isomalloc (paper
+// §4.2): each node keeps one bit per slot of the iso-address area, 1 meaning
+// "owned by this node and free".  The negotiation algorithm (paper §4.4)
+// needs bitwise OR across node bitmaps and first-fit search for a run of n
+// set bits; both are provided here on 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pm2 {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Create a bitmap of `nbits` bits, all cleared.
+  explicit Bitmap(size_t nbits);
+
+  size_t size() const { return nbits_; }
+
+  bool test(size_t i) const;
+  void set(size_t i);
+  void clear(size_t i);
+  /// Set/clear a contiguous range [first, first+count).
+  void set_range(size_t first, size_t count);
+  void clear_range(size_t first, size_t count);
+  /// True iff every bit in [first, first+count) is set.
+  bool all_set(size_t first, size_t count) const;
+  /// True iff every bit in [first, first+count) is clear.
+  bool none_set(size_t first, size_t count) const;
+
+  /// Number of set bits.
+  size_t count() const;
+
+  /// Index of the first set bit at or after `from`, or nullopt.
+  std::optional<size_t> find_first_set(size_t from = 0) const;
+
+  /// First-fit search: index of the first run of `run` consecutive set bits
+  /// starting at or after `from`, or nullopt.  This is the search used both
+  /// for local multi-slot allocation and inside the global negotiation.
+  std::optional<size_t> find_run(size_t run, size_t from = 0) const;
+
+  /// Best-fit search: the start of the *smallest* run of set bits that still
+  /// holds `run` bits (ties: lowest address).  Used by the best-fit ablation.
+  std::optional<size_t> find_best_run(size_t run) const;
+
+  /// this |= other.  Sizes must match.
+  void or_with(const Bitmap& other);
+  /// this &= ~other.  Sizes must match.
+  void subtract(const Bitmap& other);
+
+  /// True iff (this & other) has any set bit (ownership overlap detector).
+  bool intersects(const Bitmap& other) const;
+
+  /// Serialize to / from a flat little-endian word vector (for shipping
+  /// bitmaps during negotiation).
+  std::vector<uint64_t> words() const { return words_; }
+  static Bitmap from_words(size_t nbits, std::vector<uint64_t> words);
+
+  bool operator==(const Bitmap& other) const = default;
+
+ private:
+  static constexpr size_t kWordBits = 64;
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pm2

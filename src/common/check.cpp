@@ -1,0 +1,30 @@
+#include "common/check.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace pm2 {
+
+void panic(const char* file, int line, const std::string& msg) {
+  // Single write so concurrent node processes do not interleave mid-line.
+  char buf[4096];
+  int n = std::snprintf(buf, sizeof(buf), "PM2 PANIC %s:%d: %s\n", file, line,
+                        msg.c_str());
+  if (n > 0) {
+    [[maybe_unused]] ssize_t ignored = ::write(2, buf, static_cast<size_t>(n));
+  }
+  std::abort();
+}
+
+namespace detail {
+
+Panicker::Panicker(const char* file, int line, const char* expr)
+    : file_(file), line_(line) {
+  stream_ << "check failed: " << expr << " ";
+}
+
+Panicker::~Panicker() noexcept(false) { panic(file_, line_, stream_.str()); }
+
+}  // namespace detail
+}  // namespace pm2

@@ -1,0 +1,56 @@
+// Runtime checks and fatal-error handling.
+//
+// PM2 is a runtime system: internal invariant violations are programming
+// errors and abort the process with a diagnostic (there is no meaningful way
+// to "recover" a corrupted slot list).  User-facing errors (bad sizes,
+// exhausted iso-area, transport failures) are reported through exceptions or
+// status returns at the API layer instead.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pm2 {
+
+/// Print a fatal diagnostic (file:line + message) to stderr and abort().
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+namespace detail {
+
+/// Stream-collecting helper so PM2_CHECK(x) << "context" works.
+class Panicker {
+ public:
+  Panicker(const char* file, int line, const char* expr);
+  [[noreturn]] ~Panicker() noexcept(false);
+  template <typename T>
+  Panicker& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pm2
+
+/// Always-on invariant check.  On failure prints the expression, any
+/// streamed context, and aborts.
+#define PM2_CHECK(expr)                                         \
+  if (expr) {                                                   \
+  } else                                                        \
+    ::pm2::detail::Panicker(__FILE__, __LINE__, #expr)
+
+/// Debug-only check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define PM2_DCHECK(expr) PM2_CHECK(true || (expr))
+#else
+#define PM2_DCHECK(expr) PM2_CHECK(expr)
+#endif
+
+/// Unconditional failure.
+#define PM2_FATAL(msg) ::pm2::panic(__FILE__, __LINE__, (msg))

@@ -1,0 +1,50 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace pm2 {
+
+Flags::Flags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name); }
+
+std::string Flags::str(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::i64(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Flags::f64(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::b(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace pm2

@@ -1,0 +1,32 @@
+// Tiny command-line flag parser for the examples and benchmark drivers.
+// Supports --name=value, --name value, and bare --bool flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pm2 {
+
+class Flags {
+ public:
+  /// Parse argv; unrecognized positional arguments are kept in order.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string str(const std::string& name, const std::string& def = "") const;
+  int64_t i64(const std::string& name, int64_t def) const;
+  double f64(const std::string& name, double def) const;
+  bool b(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pm2

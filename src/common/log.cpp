@@ -1,0 +1,66 @@
+#include "common/log.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace pm2::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+thread_local int t_node = -1;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kError:
+      return "E";
+    case Level::kWarn:
+      return "W";
+    case Level::kInfo:
+      return "I";
+    case Level::kDebug:
+      return "D";
+    case Level::kTrace:
+      return "T";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void init_from_env() {
+  const char* env = std::getenv("PM2_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) set_level(Level::kError);
+  else if (std::strcmp(env, "warn") == 0) set_level(Level::kWarn);
+  else if (std::strcmp(env, "info") == 0) set_level(Level::kInfo);
+  else if (std::strcmp(env, "debug") == 0) set_level(Level::kDebug);
+  else if (std::strcmp(env, "trace") == 0) set_level(Level::kTrace);
+}
+
+void set_thread_node(int node) { t_node = node; }
+int thread_node() { return t_node; }
+
+void write_line(Level level, const std::string& msg) {
+  char buf[4096];
+  int n;
+  if (t_node >= 0) {
+    n = std::snprintf(buf, sizeof(buf), "[node%d] %s %s\n", t_node,
+                      level_name(level), msg.c_str());
+  } else {
+    n = std::snprintf(buf, sizeof(buf), "%s %s\n", level_name(level),
+                      msg.c_str());
+  }
+  if (n > 0) {
+    size_t len = static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n)
+                                                      : sizeof(buf) - 1;
+    [[maybe_unused]] ssize_t ignored = ::write(2, buf, len);
+  }
+}
+
+}  // namespace pm2::log

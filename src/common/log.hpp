@@ -1,0 +1,60 @@
+// Leveled, node-tagged logging.
+//
+// Every PM2 node (process or in-process logical node) tags its output with
+// "[nodeN]" exactly like the traces in the paper (Fig. 8).  The log level is
+// controlled by set_level() or the PM2_LOG environment variable
+// (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace pm2::log {
+
+enum class Level : int { kError = 0, kWarn, kInfo, kDebug, kTrace };
+
+/// Global minimum level; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Initialise from the PM2_LOG environment variable (no-op if unset).
+void init_from_env();
+
+/// Node id used in the "[nodeN]" prefix for this kernel thread, -1 = no tag.
+/// The PM2 runtime sets this per logical node.
+void set_thread_node(int node);
+int thread_node();
+
+/// Emit one formatted line (thread-safe, single write to stderr).
+void write_line(Level level, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write_line(level_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pm2::log
+
+#define PM2_LOG(lvl)                              \
+  if (::pm2::log::level() < (lvl)) {              \
+  } else                                          \
+    ::pm2::log::detail::LineBuilder(lvl)
+
+#define PM2_ERROR PM2_LOG(::pm2::log::Level::kError)
+#define PM2_WARN PM2_LOG(::pm2::log::Level::kWarn)
+#define PM2_INFO PM2_LOG(::pm2::log::Level::kInfo)
+#define PM2_DEBUG PM2_LOG(::pm2::log::Level::kDebug)
+#define PM2_TRACE PM2_LOG(::pm2::log::Level::kTrace)

@@ -1,0 +1,114 @@
+// Minimal byte-level serialization used by the madeleine pack/unpack layer,
+// the migration wire format and the negotiation protocol.
+//
+// All integers are little-endian (the cluster is homogeneous by assumption 1
+// of the paper §3.1, so this is a convention, not a conversion requirement).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pm2 {
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  void put_string(const std::string& s) {
+    put<uint32_t>(static_cast<uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<uint32_t>(static_cast<uint32_t>(v.size()));
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential byte source over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : ByteReader(v.data(), v.size()) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PM2_CHECK(pos_ + sizeof(T) <= len_) << "serialized buffer underrun";
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void get_bytes(void* out, size_t len) {
+    PM2_CHECK(pos_ + len <= len_) << "serialized buffer underrun";
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+
+  /// Borrow `len` bytes in place (no copy); caller must not outlive buffer.
+  const uint8_t* view_bytes(size_t len) {
+    PM2_CHECK(pos_ + len <= len_) << "serialized buffer underrun";
+    const uint8_t* p = data_ + pos_;
+    pos_ += len;
+    return p;
+  }
+
+  std::string get_string() {
+    auto n = get<uint32_t>();
+    std::string s(n, '\0');
+    get_bytes(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto n = get<uint32_t>();
+    std::vector<T> v(n);
+    get_bytes(v.data(), size_t{n} * sizeof(T));
+    return v;
+  }
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pm2

@@ -1,0 +1,78 @@
+#include "common/stats.hpp"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+namespace pm2 {
+
+LatencyHistogram::LatencyHistogram() { reset(); }
+
+void LatencyHistogram::reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+void LatencyHistogram::record(uint64_t ns) {
+  int b = ns == 0 ? 0 : 64 - std::countl_zero(ns) - 1;
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++buckets_[b];
+  ++count_;
+  sum_ += ns;
+  if (ns < min_) min_ = ns;
+  if (ns > max_) max_ = ns;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return uint64_t{1} << (i + 1);  // bucket upper bound
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean_ns() / 1e3 << "us"
+     << " min=" << static_cast<double>(min_ns()) / 1e3 << "us"
+     << " p50=" << static_cast<double>(percentile_ns(0.5)) / 1e3 << "us"
+     << " p99=" << static_cast<double>(percentile_ns(0.99)) / 1e3 << "us"
+     << " max=" << static_cast<double>(max_) / 1e3 << "us";
+  return os.str();
+}
+
+std::string SlotStats::summary() const {
+  std::ostringstream os;
+  os << "acquired=" << slots_acquired << " released=" << slots_released
+     << " multi=" << multi_slot_requests << " negotiations=" << negotiations
+     << " negotiated_slots=" << negotiated_slots << " cache_hit=" << cache_hits
+     << " cache_miss=" << cache_misses << " commits=" << commits
+     << " decommits=" << decommits;
+  return os.str();
+}
+
+std::string HeapStats::summary() const {
+  std::ostringstream os;
+  os << "allocs=" << allocs << " frees=" << frees << " live=" << bytes_allocated
+     << "B peak=" << peak_bytes << "B splits=" << block_splits
+     << " coalesces=" << block_coalesces << " slot_attach=" << slot_attach
+     << " slot_detach=" << slot_detach;
+  return os.str();
+}
+
+}  // namespace pm2

@@ -1,0 +1,75 @@
+// Lightweight counters and latency histograms.
+//
+// Used by the isomalloc slot layer (negotiation counts, cache hit rates) and
+// by the benchmark harnesses (E1–E4, A1–A4 in DESIGN.md) to report the same
+// quantities the paper discusses: allocation times, negotiation frequency,
+// migration latency percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pm2 {
+
+/// Fixed-boundary log-scale histogram of nanosecond samples.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(uint64_t ns);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min_ns() const { return count_ ? min_ : 0; }
+  uint64_t max_ns() const { return max_; }
+  double mean_ns() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+  /// Approximate percentile (bucket upper bound), q in [0,1].
+  uint64_t percentile_ns(double q) const;
+
+  /// "count=.. mean=..us p50=.. p99=.. max=.." one-liner.
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;  // bucket i covers [2^i, 2^(i+1)) ns
+  uint64_t buckets_[kBuckets];
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+/// Named monotonically-increasing counters, grouped per subsystem instance.
+/// Not global: each SlotManager / Runtime owns its own set so in-process
+/// multi-node tests see per-node numbers.
+struct SlotStats {
+  uint64_t slots_acquired = 0;       // node -> thread handovers
+  uint64_t slots_released = 0;       // thread -> node handovers
+  uint64_t multi_slot_requests = 0;  // requests needing > 1 contiguous slot
+  uint64_t negotiations = 0;         // global negotiation phases initiated
+  uint64_t negotiated_slots = 0;     // slots bought from remote nodes
+  uint64_t cache_hits = 0;           // commit avoided via slot cache
+  uint64_t cache_misses = 0;
+  uint64_t commits = 0;              // actual VM commit operations
+  uint64_t decommits = 0;
+
+  std::string summary() const;
+};
+
+struct HeapStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t bytes_allocated = 0;   // live bytes (payload)
+  uint64_t peak_bytes = 0;
+  uint64_t block_splits = 0;
+  uint64_t block_coalesces = 0;
+  uint64_t slot_attach = 0;       // slots added to a thread heap
+  uint64_t slot_detach = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace pm2

@@ -1,0 +1,32 @@
+// Monotonic time helpers for benches and the runtime.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace pm2 {
+
+/// Monotonic nanoseconds since an arbitrary origin.
+inline uint64_t now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+inline double now_us() { return static_cast<double>(now_ns()) / 1e3; }
+
+/// Simple interval timer.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace pm2

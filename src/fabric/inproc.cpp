@@ -1,0 +1,75 @@
+#include "fabric/inproc.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace pm2::fabric {
+
+InProcHub::InProcHub(NodeId n_nodes) {
+  PM2_CHECK(n_nodes >= 1);
+  boxes_.reserve(n_nodes);
+  for (NodeId i = 0; i < n_nodes; ++i)
+    boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+std::unique_ptr<Fabric> InProcHub::endpoint(NodeId node) {
+  PM2_CHECK(node < n_nodes());
+  return std::make_unique<InProcEndpoint>(shared_from_this(), node);
+}
+
+void InProcHub::deliver(Message msg) {
+  PM2_CHECK(msg.dst < n_nodes()) << "bad destination " << msg.dst;
+  if (latency_ns_ > 0) {
+    // Busy-wait: sleep granularity is far coarser than the latencies being
+    // modelled (sub-microsecond network stacks).
+    uint64_t until = now_ns() + latency_ns_;
+    while (now_ns() < until) {
+    }
+  }
+  Mailbox& box = *boxes_[msg.dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Message> InProcHub::take(NodeId node, int timeout_ms) {
+  Mailbox& box = *boxes_[node];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (timeout_ms == 0) {
+    if (box.queue.empty()) return std::nullopt;
+  } else if (timeout_ms < 0) {
+    box.cv.wait(lock, [&] { return !box.queue.empty(); });
+  } else {
+    if (!box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [&] { return !box.queue.empty(); })) {
+      return std::nullopt;
+    }
+  }
+  Message msg = std::move(box.queue.front());
+  box.queue.pop_front();
+  return msg;
+}
+
+InProcEndpoint::InProcEndpoint(std::shared_ptr<InProcHub> hub, NodeId id)
+    : hub_(std::move(hub)), id_(id) {}
+
+NodeId InProcEndpoint::n_nodes() const { return hub_->n_nodes(); }
+
+void InProcEndpoint::send(Message msg) {
+  msg.src = id_;
+  bytes_sent_ += msg.wire_size();
+  ++messages_sent_;
+  hub_->deliver(std::move(msg));
+}
+
+std::optional<Message> InProcEndpoint::try_recv() { return hub_->take(id_, 0); }
+
+std::optional<Message> InProcEndpoint::recv(int timeout_ms) {
+  return hub_->take(id_, timeout_ms);
+}
+
+}  // namespace pm2::fabric

@@ -1,0 +1,42 @@
+#include "fabric/message.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pm2::fabric {
+
+size_t Message::wire_size() const { return sizeof(WireHeader) + payload.size(); }
+
+void encode(const Message& msg, std::vector<uint8_t>& out) {
+  WireHeader h{};
+  h.magic = kWireMagic;
+  h.type = msg.type;
+  h.reserved = 0;
+  h.src = msg.src;
+  h.dst = msg.dst;
+  h.corr = msg.corr;
+  h.payload_len = msg.payload.size();
+  const auto* hp = reinterpret_cast<const uint8_t*>(&h);
+  out.insert(out.end(), hp, hp + sizeof(h));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+}
+
+std::optional<Message> try_decode(std::vector<uint8_t>& buf) {
+  if (buf.size() < sizeof(WireHeader)) return std::nullopt;
+  WireHeader h;
+  std::memcpy(&h, buf.data(), sizeof(h));
+  PM2_CHECK(h.magic == kWireMagic) << "corrupt frame on fabric stream";
+  size_t total = sizeof(WireHeader) + h.payload_len;
+  if (buf.size() < total) return std::nullopt;
+  Message msg;
+  msg.type = h.type;
+  msg.src = h.src;
+  msg.dst = h.dst;
+  msg.corr = h.corr;
+  msg.payload.assign(buf.begin() + sizeof(WireHeader), buf.begin() + total);
+  buf.erase(buf.begin(), buf.begin() + total);
+  return msg;
+}
+
+}  // namespace pm2::fabric

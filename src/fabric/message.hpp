@@ -1,0 +1,79 @@
+// Node-to-node message abstraction.
+//
+// The fabric plays the role of BIP/Myrinet in the paper's testbed: it moves
+// byte payloads between "nodes" (container processes, or logical in-process
+// nodes for deterministic tests).  Semantics of `type` belong to the layers
+// above (pm2 runtime, negotiation protocol); the fabric only routes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace pm2::fabric {
+
+using NodeId = uint32_t;
+
+struct Message {
+  uint16_t type = 0;     // protocol-defined discriminator
+  NodeId src = 0;        // filled by the fabric on send
+  NodeId dst = 0;        // destination node
+  uint64_t corr = 0;     // request/reply correlation id (0 = none)
+  std::vector<uint8_t> payload;
+
+  size_t wire_size() const;
+};
+
+/// Frame header as it travels on stream sockets.
+struct WireHeader {
+  uint32_t magic;
+  uint16_t type;
+  uint16_t reserved;
+  uint32_t src;
+  uint32_t dst;
+  uint64_t corr;
+  uint64_t payload_len;
+};
+static_assert(sizeof(WireHeader) == 32);
+
+inline constexpr uint32_t kWireMagic = 0x504D3247;  // "PM2G"
+
+/// Encode `msg` into `out` (header + payload appended).
+void encode(const Message& msg, std::vector<uint8_t>& out);
+
+/// Try to decode one frame from the front of `buf`.  On success removes the
+/// consumed bytes and returns the message; returns nullopt if `buf` does not
+/// yet hold a complete frame.  Panics on corrupt magic.
+std::optional<Message> try_decode(std::vector<uint8_t>& buf);
+
+/// Abstract point-to-point transport endpoint bound to one node.
+///
+/// Threading contract: all calls on a given Fabric instance are made from
+/// the kernel thread running that node (PM2 nodes are single-kernel-thread
+/// containers for many user-level threads).  Implementations may be called
+/// concurrently only through *different* endpoints.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual NodeId node_id() const = 0;
+  virtual NodeId n_nodes() const = 0;
+
+  /// Send to msg.dst.  Must not deadlock even if the peer is concurrently
+  /// sending a large message back (implementations drain incoming traffic
+  /// while blocked on a full pipe).
+  virtual void send(Message msg) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Message> try_recv() = 0;
+
+  /// Receive with timeout in milliseconds (-1 = wait forever).
+  virtual std::optional<Message> recv(int timeout_ms) = 0;
+
+  /// Bytes/messages moved (for benches).
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t messages_sent() const = 0;
+};
+
+}  // namespace pm2::fabric

@@ -1,0 +1,191 @@
+#include "fabric/socket_fabric.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "sys/socket.hpp"
+
+namespace pm2::fabric {
+
+namespace {
+
+class SocketFabric final : public Fabric {
+ public:
+  explicit SocketFabric(const SocketFabricConfig& config);
+
+  NodeId node_id() const override { return config_.node_id; }
+  NodeId n_nodes() const override { return config_.n_nodes; }
+  void send(Message msg) override;
+  std::optional<Message> try_recv() override;
+  std::optional<Message> recv(int timeout_ms) override;
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+
+ private:
+  struct Conn {
+    sys::Fd fd;
+    std::vector<uint8_t> rx;  // partial-frame accumulator
+  };
+
+  void connect_mesh();
+  /// Drain every readable peer into rx queues; parse complete frames.
+  void pump(int timeout_ms);
+  void drain_fd(size_t peer);
+
+  SocketFabricConfig config_;
+  std::vector<Conn> conns_;  // indexed by peer node id (self unused)
+  sys::Poller poller_;
+  std::deque<Message> inbox_;
+  // Heap-allocated receive buffer: fabric calls run on PM2 threads whose
+  // whole stack is one 64 KB slot, so large stack buffers are forbidden.
+  std::vector<char> rxbuf_ = std::vector<char>(64 * 1024);
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+SocketFabric::SocketFabric(const SocketFabricConfig& config) : config_(config) {
+  PM2_CHECK(config_.node_id < config_.n_nodes);
+  conns_.resize(config_.n_nodes);
+  connect_mesh();
+}
+
+std::string sock_path(const SocketFabricConfig& c, NodeId node) {
+  return c.dir + "/node" + std::to_string(node) + ".sock";
+}
+
+void SocketFabric::connect_mesh() {
+  const NodeId self = config_.node_id;
+  const NodeId n = config_.n_nodes;
+
+  // Listen first so lower-id peers can find us.
+  sys::Fd listener;
+  uint16_t port = static_cast<uint16_t>(config_.base_port + self);
+  if (n > 1) {
+    listener = config_.use_tcp ? sys::tcp_listen(port)
+                               : sys::uds_listen(sock_path(config_, self));
+  }
+
+  // Connect to all lower-numbered nodes, sending a hello with our id.
+  for (NodeId peer = 0; peer < self; ++peer) {
+    sys::Fd fd =
+        config_.use_tcp
+            ? sys::tcp_connect(static_cast<uint16_t>(config_.base_port + peer),
+                               config_.connect_timeout_ms)
+            : sys::uds_connect(sock_path(config_, peer),
+                               config_.connect_timeout_ms);
+    uint32_t hello = self;
+    sys::send_all(fd, &hello, sizeof(hello));
+    conns_[peer].fd = std::move(fd);
+  }
+
+  // Accept from all higher-numbered nodes.
+  for (NodeId k = self + 1; k < n; ++k) {
+    sys::Fd fd = sys::accept_one(listener);
+    if (config_.use_tcp) sys::set_nodelay(fd);
+    uint32_t hello = 0;
+    PM2_CHECK(sys::recv_all(fd, &hello, sizeof(hello)))
+        << "peer hung up during hello";
+    PM2_CHECK(hello > self && hello < n) << "bad hello id " << hello;
+    PM2_CHECK(!conns_[hello].fd.valid()) << "duplicate connection from " << hello;
+    conns_[hello].fd = std::move(fd);
+  }
+
+  // Switch all links to non-blocking and register for polling.  Grow the
+  // socket buffers: migration payloads are slot-sized (64 KB+).
+  for (NodeId peer = 0; peer < n; ++peer) {
+    if (peer == self) continue;
+    int sz = 1 << 20;
+    ::setsockopt(conns_[peer].fd.get(), SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+    ::setsockopt(conns_[peer].fd.get(), SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+    sys::set_nonblocking(conns_[peer].fd, true);
+    poller_.add(conns_[peer].fd.get(), peer);
+  }
+  PM2_DEBUG << "socket mesh up (" << n << " nodes)";
+}
+
+void SocketFabric::send(Message msg) {
+  PM2_CHECK(msg.dst < config_.n_nodes && msg.dst != config_.node_id)
+      << "bad destination " << msg.dst;
+  msg.src = config_.node_id;
+  std::vector<uint8_t> wire;
+  wire.reserve(msg.wire_size());
+  encode(msg, wire);
+  bytes_sent_ += wire.size();
+  ++messages_sent_;
+
+  const sys::Fd& fd = conns_[msg.dst].fd;
+  size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = ::send(fd.get(), wire.data() + off, wire.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The pipe to the peer is full.  The peer may itself be blocked
+      // sending to us; drain incoming traffic so both sides make progress
+      // (classic anti-deadlock for synchronous meshes).
+      pump(1);
+      continue;
+    }
+    PM2_CHECK(n >= 0 || errno == EINTR) << "send: " << std::strerror(errno);
+  }
+}
+
+void SocketFabric::drain_fd(size_t peer) {
+  Conn& c = conns_[peer];
+  char* buf = rxbuf_.data();
+  while (true) {
+    ssize_t n = ::recv(c.fd.get(), buf, rxbuf_.size(), 0);
+    if (n > 0) {
+      c.rx.insert(c.rx.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Peer exited; treated as fatal at this layer (PM2 nodes shut down
+      // through an explicit HALT message before closing sockets).
+      poller_.remove(c.fd.get());
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    PM2_CHECK(errno == EINTR) << "recv: " << std::strerror(errno);
+  }
+  while (auto msg = try_decode(c.rx)) inbox_.push_back(std::move(*msg));
+}
+
+void SocketFabric::pump(int timeout_ms) {
+  for (uint64_t tag : poller_.wait(timeout_ms)) drain_fd(tag);
+}
+
+std::optional<Message> SocketFabric::try_recv() {
+  if (inbox_.empty()) pump(0);
+  if (inbox_.empty()) return std::nullopt;
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  return msg;
+}
+
+std::optional<Message> SocketFabric::recv(int timeout_ms) {
+  if (auto msg = try_recv()) return msg;
+  pump(timeout_ms);
+  if (inbox_.empty()) return std::nullopt;
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  return msg;
+}
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_socket_fabric(const SocketFabricConfig& config) {
+  return std::make_unique<SocketFabric>(config);
+}
+
+}  // namespace pm2::fabric

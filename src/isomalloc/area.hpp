@@ -1,0 +1,72 @@
+// The iso-address area (paper §3.1, Fig. 5).
+//
+// A range of virtual addresses reserved at the *same fixed base* in every
+// node process of the application.  All iso-address allocations — thread
+// stacks and pm2_isomalloc'd data — live inside it, which is what makes
+// same-address re-instantiation on another node possible.
+//
+// The area is carved into fixed-size *slots* (64 KB by default, "16 pages…
+// chosen so as to fit a thread stack", §4.1).  The area object does only
+// address arithmetic and commit/decommit; ownership policy lives in
+// SlotManager.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sys/vm.hpp"
+
+namespace pm2::iso {
+
+struct AreaConfig {
+  /// Fixed virtual base.  0x5000'0000'0000 (80 TiB) sits far above the libc
+  /// heap and far below the stack/mmap zone on x86-64 Linux, mirroring the
+  /// paper's "between the process stack and the heap" placement.
+  uintptr_t base = 0x5000'0000'0000ull;
+  /// Total size of the area.  Virtual-only cost until committed.
+  size_t size = 4ull << 30;  // 4 GiB -> 65536 slots of 64 KiB
+  /// Slot granularity; must be a multiple of the page size.
+  size_t slot_size = 64 * 1024;
+  /// In-process multi-node sessions share one address space, so a node
+  /// decommitting a slot it no longer owns (cache reconcile after selling
+  /// it, migration-cache eviction) could yank pages the new owner already
+  /// committed at the same addresses.  Real per-process nodes are immune —
+  /// their mappings are private.  When true, decommit() keeps the pages
+  /// committed (ownership bookkeeping is unaffected); set by the in-process
+  /// app harness.
+  bool skip_decommit = false;
+};
+
+class Area {
+ public:
+  /// Reserve the area (PROT_NONE).  Throws if the range is taken.
+  explicit Area(const AreaConfig& config = {});
+
+  Area(const Area&) = delete;
+  Area& operator=(const Area&) = delete;
+
+  uintptr_t base() const { return config_.base; }
+  size_t size() const { return config_.size; }
+  size_t slot_size() const { return config_.slot_size; }
+  size_t n_slots() const { return config_.size / config_.slot_size; }
+
+  /// Address of slot `index`.
+  void* slot_addr(size_t index) const;
+  /// Slot index containing `addr` (must be inside the area).
+  size_t slot_of(const void* addr) const;
+  bool contains(const void* addr) const;
+
+  /// Make `count` slots starting at `first` read-writable.
+  void commit(size_t first, size_t count);
+  /// Release physical memory and access for the range.
+  void decommit(size_t first, size_t count);
+
+  /// For tests: is the first byte of the slot readable?
+  bool committed(size_t index) const;
+
+ private:
+  AreaConfig config_;
+  sys::VmReservation reservation_;
+};
+
+}  // namespace pm2::iso

@@ -1,0 +1,319 @@
+#include "isomalloc/block.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pm2::iso {
+
+namespace {
+
+size_t round_up(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+/// Physical successor of `b` within its slot run, or nullptr at the end.
+BlockHeader* next_phys(BlockHeader* b, size_t slot_size) {
+  char* end = slot_space_end(b->slot, slot_size);
+  char* next = reinterpret_cast<char*>(b) + b->size;
+  PM2_DCHECK(next <= end) << "block overruns its slot";
+  return next < end ? reinterpret_cast<BlockHeader*>(next) : nullptr;
+}
+
+void freelist_insert(SlotHeader* slot, BlockHeader* b) {
+  // Address-ordered insertion keeps first-fit deterministic (lowest
+  // address wins) and makes the policy comparison in the benches honest.
+  b->free = 1;
+  BlockHeader* after = nullptr;
+  for (BlockHeader* cur = slot->free_head; cur != nullptr && cur < b;
+       cur = cur->fnext)
+    after = cur;
+  if (after == nullptr) {
+    b->fprev = nullptr;
+    b->fnext = slot->free_head;
+    if (slot->free_head != nullptr) slot->free_head->fprev = b;
+    slot->free_head = b;
+  } else {
+    b->fprev = after;
+    b->fnext = after->fnext;
+    if (after->fnext != nullptr) after->fnext->fprev = b;
+    after->fnext = b;
+  }
+}
+
+void freelist_remove(SlotHeader* slot, BlockHeader* b) {
+  if (b->fprev != nullptr)
+    b->fprev->fnext = b->fnext;
+  else
+    slot->free_head = b->fnext;
+  if (b->fnext != nullptr) b->fnext->fprev = b->fprev;
+  b->fnext = nullptr;
+  b->fprev = nullptr;
+  b->free = 0;
+}
+
+}  // namespace
+
+SlotHeader* init_heap_slot(void* base, uint32_t nslots, size_t slot_size,
+                           uint64_t owner_thread) {
+  auto* slot = new (base) SlotHeader();
+  slot->nslots = nslots;
+  slot->kind = SlotKind::kHeap;
+  slot->owner_thread = owner_thread;
+
+  auto* block = reinterpret_cast<BlockHeader*>(slot_space_begin(slot));
+  *block = BlockHeader();
+  block->size = static_cast<uint64_t>(slot_space_end(slot, slot_size) -
+                                      reinterpret_cast<char*>(block));
+  block->slot = slot;
+  block->prev_phys = nullptr;
+  freelist_insert(slot, block);
+  return slot;
+}
+
+SlotHeader* init_stack_slot(void* base, uint32_t nslots, size_t slot_size,
+                            uint64_t owner_thread) {
+  (void)slot_size;
+  auto* slot = new (base) SlotHeader();
+  slot->nslots = nslots;
+  slot->kind = SlotKind::kStack;
+  slot->owner_thread = owner_thread;
+  return slot;
+}
+
+void* block_alloc(SlotHeader* slot, size_t payload_size, size_t slot_size,
+                  FitPolicy fit, uint64_t* splits) {
+  PM2_DCHECK(slot->valid() && slot->kind == SlotKind::kHeap);
+  size_t rounded = round_up(payload_size, kBlockAlign);
+  if (rounded < kMinPayload) rounded = kMinPayload;  // malloc(0) stays unique
+  size_t need = sizeof(BlockHeader) + rounded;
+
+  BlockHeader* chosen = nullptr;
+  if (fit == FitPolicy::kFirstFit) {
+    for (BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext) {
+      if (b->size >= need) {
+        chosen = b;
+        break;
+      }
+    }
+  } else {
+    for (BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext) {
+      if (b->size >= need && (chosen == nullptr || b->size < chosen->size))
+        chosen = b;
+    }
+  }
+  if (chosen == nullptr) return nullptr;
+
+  freelist_remove(slot, chosen);
+  // Split if the remainder can hold a viable free block.
+  size_t remainder = chosen->size - need;
+  if (remainder >= sizeof(BlockHeader) + kMinPayload) {
+    chosen->size = need;
+    auto* rest = reinterpret_cast<BlockHeader*>(
+        reinterpret_cast<char*>(chosen) + need);
+    *rest = BlockHeader();
+    rest->size = remainder;
+    rest->slot = slot;
+    rest->prev_phys = chosen;
+    // The block after the remainder (if any) must point back at `rest`.
+    BlockHeader* after = next_phys(rest, slot_size);
+    if (after != nullptr) after->prev_phys = rest;
+    freelist_insert(slot, rest);
+    if (splits != nullptr) ++*splits;
+  }
+  return chosen->payload();
+}
+
+void* block_alloc_aligned(SlotHeader* slot, size_t payload_size, size_t align,
+                          size_t slot_size, FitPolicy fit, uint64_t* splits) {
+  PM2_CHECK(align >= kBlockAlign && (align & (align - 1)) == 0)
+      << "alignment must be a power of two >= " << kBlockAlign;
+  if (align == kBlockAlign)
+    return block_alloc(slot, payload_size, slot_size, fit, splits);
+
+  size_t rounded = round_up(payload_size, kBlockAlign);
+  if (rounded < kMinPayload) rounded = kMinPayload;
+  const size_t need_tail = sizeof(BlockHeader) + rounded;
+  const size_t min_front = sizeof(BlockHeader) + kMinPayload;
+
+  // Scan free blocks for one where an aligned payload fits after carving a
+  // viable leading free block (or none, if already aligned).
+  BlockHeader* chosen = nullptr;
+  uintptr_t chosen_payload = 0;
+  for (BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext) {
+    auto start = reinterpret_cast<uintptr_t>(b);
+    uintptr_t payload0 = start + sizeof(BlockHeader);
+    uintptr_t aligned = (payload0 + align - 1) & ~(align - 1);
+    if (aligned != payload0) {
+      // Leading gap must host a whole free block.
+      while (aligned - start < min_front + sizeof(BlockHeader))
+        aligned += align;
+    }
+    uintptr_t end = start + b->size;
+    if (aligned + rounded > end) continue;
+    bool better = chosen == nullptr ||
+                  (fit == FitPolicy::kBestFit && b->size < chosen->size);
+    if (better) {
+      chosen = b;
+      chosen_payload = aligned;
+      if (fit == FitPolicy::kFirstFit) break;
+    }
+  }
+  if (chosen == nullptr) return nullptr;
+
+  freelist_remove(slot, chosen);
+  uintptr_t start = reinterpret_cast<uintptr_t>(chosen);
+  uintptr_t block_at = chosen_payload - sizeof(BlockHeader);
+
+  if (block_at != start) {
+    // Split the leading gap off as a free block.
+    size_t front_size = block_at - start;
+    auto* body = reinterpret_cast<BlockHeader*>(block_at);
+    *body = BlockHeader();
+    body->size = chosen->size - front_size;
+    body->slot = slot;
+    body->prev_phys = chosen;
+    chosen->size = front_size;
+    freelist_insert(slot, chosen);  // the gap stays free
+    BlockHeader* after = next_phys(body, slot_size);
+    if (after != nullptr) after->prev_phys = body;
+    if (splits != nullptr) ++*splits;
+    chosen = body;
+    chosen->free = 0;
+  }
+
+  // Split the tail remainder exactly like block_alloc does.
+  size_t remainder = chosen->size - need_tail;
+  if (remainder >= sizeof(BlockHeader) + kMinPayload) {
+    chosen->size = need_tail;
+    auto* rest = reinterpret_cast<BlockHeader*>(
+        reinterpret_cast<char*>(chosen) + need_tail);
+    *rest = BlockHeader();
+    rest->size = remainder;
+    rest->slot = slot;
+    rest->prev_phys = chosen;
+    BlockHeader* after = next_phys(rest, slot_size);
+    if (after != nullptr) after->prev_phys = rest;
+    freelist_insert(slot, rest);
+    if (splits != nullptr) ++*splits;
+  }
+  PM2_DCHECK(reinterpret_cast<uintptr_t>(chosen->payload()) % align == 0);
+  return chosen->payload();
+}
+
+SlotHeader* block_free(void* payload, size_t slot_size, bool* slot_now_empty,
+                       uint64_t* coalesces) {
+  BlockHeader* b = BlockHeader::of_payload(payload);
+  PM2_CHECK(b->valid()) << "pm2_isofree: not an isomalloc block";
+  PM2_CHECK(!b->free) << "pm2_isofree: double free";
+  SlotHeader* slot = b->slot;
+  PM2_CHECK(slot->valid()) << "pm2_isofree: corrupt slot header";
+
+  // Coalesce with the physical successor first (so its links are dropped
+  // while still reachable), then with the predecessor.
+  BlockHeader* next = next_phys(b, slot_size);
+  if (next != nullptr && next->free) {
+    freelist_remove(slot, next);
+    b->size += next->size;
+    next->magic = 0;
+    if (coalesces != nullptr) ++*coalesces;
+    next = next_phys(b, slot_size);
+  }
+  if (next != nullptr) next->prev_phys = b;
+
+  BlockHeader* prev = b->prev_phys;
+  if (prev != nullptr && prev->free) {
+    // prev stays in the free list; it just grows.
+    prev->size += b->size;
+    b->magic = 0;
+    if (next != nullptr) next->prev_phys = prev;
+    if (coalesces != nullptr) ++*coalesces;
+    b = prev;
+  } else {
+    freelist_insert(slot, b);
+  }
+
+  if (slot_now_empty != nullptr) *slot_now_empty = slot_empty(slot, slot_size);
+  return slot;
+}
+
+size_t block_payload_size(void* payload) {
+  BlockHeader* b = BlockHeader::of_payload(payload);
+  PM2_CHECK(b->valid() && !b->free);
+  return b->payload_size();
+}
+
+bool slot_empty(const SlotHeader* slot, size_t slot_size) {
+  const BlockHeader* b = slot->free_head;
+  if (b == nullptr || b->fnext != nullptr) return false;
+  auto* h = const_cast<SlotHeader*>(slot);
+  return reinterpret_cast<const char*>(b) == slot_space_begin(h) &&
+         reinterpret_cast<const char*>(b) + b->size ==
+             slot_space_end(h, slot_size);
+}
+
+size_t slot_free_bytes(const SlotHeader* slot) {
+  size_t total = 0;
+  for (const BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext)
+    total += b->size - sizeof(BlockHeader);
+  return total;
+}
+
+size_t slot_largest_free(const SlotHeader* slot) {
+  size_t best = 0;
+  for (const BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext)
+    if (b->size - sizeof(BlockHeader) > best) best = b->size - sizeof(BlockHeader);
+  return best;
+}
+
+void for_each_block(SlotHeader* slot, size_t slot_size,
+                    const std::function<void(BlockHeader*)>& fn) {
+  PM2_CHECK(slot->kind == SlotKind::kHeap);
+  auto* b = reinterpret_cast<BlockHeader*>(slot_space_begin(slot));
+  char* end = slot_space_end(slot, slot_size);
+  while (reinterpret_cast<char*>(b) < end) {
+    PM2_CHECK(b->valid()) << "corrupt block chain";
+    fn(b);
+    b = reinterpret_cast<BlockHeader*>(reinterpret_cast<char*>(b) + b->size);
+  }
+  PM2_CHECK(reinterpret_cast<char*>(b) == end) << "block chain misaligned";
+}
+
+void check_slot_invariants(SlotHeader* slot, size_t slot_size) {
+  PM2_CHECK(slot->valid());
+  if (slot->kind == SlotKind::kStack) return;
+
+  // 1. physical chain covers the usable space exactly, back-links agree.
+  BlockHeader* prev = nullptr;
+  size_t free_blocks = 0;
+  bool prev_free = false;
+  for_each_block(slot, slot_size, [&](BlockHeader* b) {
+    PM2_CHECK(b->slot == slot) << "block points at wrong slot";
+    PM2_CHECK(b->prev_phys == prev) << "phys back-link broken";
+    PM2_CHECK(b->size >= sizeof(BlockHeader) + kMinPayload)
+        << "undersized block";
+    if (b->free) {
+      PM2_CHECK(!prev_free) << "two adjacent free blocks (missed coalesce)";
+      ++free_blocks;
+    }
+    prev_free = b->free != 0;
+    prev = b;
+  });
+
+  // 2. free list matches the free flags.
+  size_t listed = 0;
+  BlockHeader* lp = nullptr;
+  for (BlockHeader* b = slot->free_head; b != nullptr; b = b->fnext) {
+    PM2_CHECK(b->free) << "busy block on free list";
+    PM2_CHECK(b->fprev == lp) << "free-list back-link broken";
+    lp = b;
+    ++listed;
+  }
+  PM2_CHECK(listed == free_blocks) << "free list / free flags disagree";
+}
+
+size_t slots_needed(size_t payload_size, size_t slot_size) {
+  size_t need = sizeof(SlotHeader) + sizeof(BlockHeader) +
+                round_up(payload_size, kBlockAlign);
+  return (need + slot_size - 1) / slot_size;
+}
+
+}  // namespace pm2::iso

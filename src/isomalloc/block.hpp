@@ -1,0 +1,78 @@
+// The block layer (paper §3.3, §4.3): malloc-compatible arbitrary-size
+// allocation *inside* slots.
+//
+// Each heap slot carries a doubly-linked list of free blocks; blocks have
+// headers storing their size and physical/free-list links.  Allocation is
+// first-fit (the paper's choice) with optional best-fit for the ablation;
+// freeing coalesces with both physical neighbours.
+//
+// All functions here are pure slot-local operations — they never touch the
+// bitmap or the network.  heap.hpp composes them with SlotManager into the
+// pm2_isomalloc call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "isomalloc/layout.hpp"
+
+namespace pm2::iso {
+
+enum class FitPolicy { kFirstFit, kBestFit };
+
+/// Initialise a freshly committed run of `nslots` slots at `base` as one
+/// heap slot containing a single free block spanning all usable space.
+SlotHeader* init_heap_slot(void* base, uint32_t nslots, size_t slot_size,
+                           uint64_t owner_thread);
+
+/// Initialise a stack slot (no blocks; descriptor+stack live in the body).
+SlotHeader* init_stack_slot(void* base, uint32_t nslots, size_t slot_size,
+                            uint64_t owner_thread);
+
+/// Try to carve `payload_size` bytes out of `slot`'s free list.
+/// Returns the payload pointer or nullptr if no free block fits.
+void* block_alloc(SlotHeader* slot, size_t payload_size, size_t slot_size,
+                  FitPolicy fit, uint64_t* splits = nullptr);
+
+/// Like block_alloc but the returned payload is aligned to `align` (a power
+/// of two ≥ 16).  Implemented by splitting a leading free remainder off the
+/// chosen block, so the result frees like any other block.
+void* block_alloc_aligned(SlotHeader* slot, size_t payload_size, size_t align,
+                          size_t slot_size, FitPolicy fit,
+                          uint64_t* splits = nullptr);
+
+/// Free a payload pointer previously returned by block_alloc on any slot.
+/// Coalesces with free physical neighbours.  Returns the owning slot, and
+/// sets *slot_now_empty if the slot is entirely free afterwards.
+SlotHeader* block_free(void* payload, size_t slot_size, bool* slot_now_empty,
+                       uint64_t* coalesces = nullptr);
+
+/// Payload size of an allocated block (for realloc).
+size_t block_payload_size(void* payload);
+
+/// True if `slot` consists of exactly one free block covering all usable
+/// space (i.e. it can be detached and returned to the node).
+bool slot_empty(const SlotHeader* slot, size_t slot_size);
+
+/// Total free payload bytes in the slot's free list.
+size_t slot_free_bytes(const SlotHeader* slot);
+
+/// Largest single free payload available in the slot.
+size_t slot_largest_free(const SlotHeader* slot);
+
+/// Walk all physical blocks of a heap slot in address order.
+void for_each_block(SlotHeader* slot, size_t slot_size,
+                    const std::function<void(BlockHeader*)>& fn);
+
+/// Heavyweight invariant checker for tests: physical chain covers the slot
+/// exactly, free list <-> free flags agree, no two adjacent free blocks
+/// (full coalescing), headers sane.  Aborts (PM2_CHECK) on violation.
+void check_slot_invariants(SlotHeader* slot, size_t slot_size);
+
+/// Given a payload size, the number of contiguous slots a fresh allocation
+/// would need (header overheads included).
+size_t slots_needed(size_t payload_size, size_t slot_size);
+
+}  // namespace pm2::iso

@@ -1,0 +1,73 @@
+#include "isomalloc/distribution.hpp"
+
+#include "common/check.hpp"
+
+namespace pm2::iso {
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kRoundRobin:
+      return "round-robin";
+    case Distribution::kBlockCyclic:
+      return "block-cyclic";
+    case Distribution::kPartitioned:
+      return "partitioned";
+  }
+  return "?";
+}
+
+Distribution distribution_from_string(const std::string& s) {
+  if (s == "round-robin" || s == "rr") return Distribution::kRoundRobin;
+  if (s == "block-cyclic" || s == "bc") return Distribution::kBlockCyclic;
+  if (s == "partitioned" || s == "part") return Distribution::kPartitioned;
+  PM2_FATAL("unknown distribution: " + s);
+}
+
+pm2::Bitmap initial_bitmap(Distribution dist, size_t n_slots, uint32_t node,
+                           uint32_t n_nodes, size_t block) {
+  PM2_CHECK(n_nodes >= 1 && node < n_nodes);
+  pm2::Bitmap bitmap(n_slots);
+  switch (dist) {
+    case Distribution::kRoundRobin:
+      for (size_t i = node; i < n_slots; i += n_nodes) bitmap.set(i);
+      break;
+    case Distribution::kBlockCyclic: {
+      PM2_CHECK(block >= 1);
+      for (size_t i = 0; i < n_slots; ++i) {
+        if ((i / block) % n_nodes == node) bitmap.set(i);
+      }
+      break;
+    }
+    case Distribution::kPartitioned: {
+      size_t per = n_slots / n_nodes;
+      size_t first = node * per;
+      size_t count = (node == n_nodes - 1) ? n_slots - first : per;
+      bitmap.set_range(first, count);
+      break;
+    }
+  }
+  return bitmap;
+}
+
+bool is_disjoint(const std::vector<pm2::Bitmap>& bitmaps) {
+  if (bitmaps.empty()) return false;
+  size_t n = bitmaps[0].size();
+  for (const auto& b : bitmaps) {
+    if (b.size() != n) return false;
+  }
+  for (size_t i = 0; i < bitmaps.size(); ++i) {
+    for (size_t j = i + 1; j < bitmaps.size(); ++j) {
+      if (bitmaps[i].intersects(bitmaps[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool is_partition(const std::vector<pm2::Bitmap>& bitmaps) {
+  if (!is_disjoint(bitmaps)) return false;
+  size_t total = 0;
+  for (const auto& b : bitmaps) total += b.count();
+  return total == bitmaps[0].size();
+}
+
+}  // namespace pm2::iso

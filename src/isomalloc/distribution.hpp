@@ -1,0 +1,45 @@
+// Initial slot distributions (paper §4.1, "Slot distribution").
+//
+// At initialisation every slot of the iso-address area is given to exactly
+// one node.  The distribution is a pure policy choice: it never affects
+// correctness (any slot is usable by any node after ownership transfers),
+// only the frequency of global negotiations for multi-slot requests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.hpp"
+
+namespace pm2::iso {
+
+enum class Distribution {
+  /// slot i -> node i mod p (the paper's default; "behaves rather poorly
+  /// for multi-slot allocations").
+  kRoundRobin,
+  /// Series of B contiguous slots per node, cyclically.
+  kBlockCyclic,
+  /// The area split into p contiguous sub-areas, one per node ("not
+  /// advisable if the heap of the container process needs to grow in
+  /// unpredictable ways" — kept for the ablation).
+  kPartitioned,
+};
+
+const char* to_string(Distribution d);
+Distribution distribution_from_string(const std::string& s);
+
+/// Build node `node`'s initial ownership bitmap.
+pm2::Bitmap initial_bitmap(Distribution dist, size_t n_slots, uint32_t node,
+                           uint32_t n_nodes, size_t block = 16);
+
+/// Property helper (used by tests): no slot appears in two nodes' bitmaps.
+/// This is the system-wide safety invariant; it must hold at any instant
+/// (slots owned by threads are simply absent from every bitmap).
+bool is_disjoint(const std::vector<pm2::Bitmap>& bitmaps);
+
+/// Stronger property that holds at initialisation: the bitmaps are disjoint
+/// *and* cover every slot (each slot owned by exactly one node).
+bool is_partition(const std::vector<pm2::Bitmap>& bitmaps);
+
+}  // namespace pm2::iso

@@ -1,0 +1,211 @@
+#include "isomalloc/heap.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pm2::iso {
+
+ThreadHeap::ThreadHeap(void** slot_list, uint64_t owner, SlotOps& ops,
+                       const HeapConfig& config, HeapStats* stats)
+    : slot_list_(slot_list),
+      owner_(owner),
+      ops_(ops),
+      config_(config),
+      stats_(stats) {}
+
+void* ThreadHeap::alloc(size_t size) {
+  needed_slots_ = 0;
+  const size_t slot_size = ops_.area().slot_size();
+
+  // 1. Try the thread's existing heap slots (first-fit across the list,
+  //    then inside each slot — paper §4.3: "its slots are searched for a
+  //    large enough free block").
+  for (SlotHeader* s = static_cast<SlotHeader*>(*slot_list_); s != nullptr;
+       s = s->next) {
+    if (s->kind != SlotKind::kHeap) continue;
+    uint64_t splits = 0;
+    void* p = block_alloc(s, size, slot_size, config_.fit, &splits);
+    if (p != nullptr) {
+      if (stats_ != nullptr) {
+        ++stats_->allocs;
+        stats_->block_splits += splits;
+        stats_->bytes_allocated += block_payload_size(p);
+        if (stats_->bytes_allocated > stats_->peak_bytes)
+          stats_->peak_bytes = stats_->bytes_allocated;
+      }
+      return p;
+    }
+  }
+
+  // 2. Acquire fresh slots from the local node.  Multi-slot requests build
+  //    one merged "large slot" (paper §3.3).
+  size_t n = slots_needed(size, slot_size);
+  auto first = ops_.acquire(n);
+  if (!first) {
+    needed_slots_ = n;  // caller must negotiate and retry
+    return nullptr;
+  }
+  auto* s = init_heap_slot(ops_.area().slot_addr(*first),
+                           static_cast<uint32_t>(n), slot_size, owner_);
+  attach(slot_list_, s);
+  if (stats_ != nullptr) ++stats_->slot_attach;
+
+  uint64_t splits = 0;
+  void* p = block_alloc(s, size, slot_size, config_.fit, &splits);
+  PM2_CHECK(p != nullptr) << "fresh slot run cannot satisfy its own request";
+  if (stats_ != nullptr) {
+    ++stats_->allocs;
+    stats_->block_splits += splits;
+    stats_->bytes_allocated += block_payload_size(p);
+    if (stats_->bytes_allocated > stats_->peak_bytes)
+      stats_->peak_bytes = stats_->bytes_allocated;
+  }
+  return p;
+}
+
+void* ThreadHeap::alloc_aligned(size_t size, size_t align) {
+  needed_slots_ = 0;
+  const size_t slot_size = ops_.area().slot_size();
+  if (align <= kBlockAlign) return alloc(size);
+
+  for (SlotHeader* s = static_cast<SlotHeader*>(*slot_list_); s != nullptr;
+       s = s->next) {
+    if (s->kind != SlotKind::kHeap) continue;
+    uint64_t splits = 0;
+    void* p = block_alloc_aligned(s, size, align, slot_size, config_.fit,
+                                  &splits);
+    if (p != nullptr) {
+      if (stats_ != nullptr) {
+        ++stats_->allocs;
+        stats_->block_splits += splits;
+        stats_->bytes_allocated += block_payload_size(p);
+        if (stats_->bytes_allocated > stats_->peak_bytes)
+          stats_->peak_bytes = stats_->bytes_allocated;
+      }
+      return p;
+    }
+  }
+
+  // Fresh slots: over-provision for the worst-case leading gap.
+  size_t worst = size + align + 2 * (sizeof(BlockHeader) + kMinPayload);
+  size_t n = slots_needed(worst, slot_size);
+  auto first = ops_.acquire(n);
+  if (!first) {
+    needed_slots_ = n;
+    return nullptr;
+  }
+  auto* s = init_heap_slot(ops_.area().slot_addr(*first),
+                           static_cast<uint32_t>(n), slot_size, owner_);
+  attach(slot_list_, s);
+  if (stats_ != nullptr) ++stats_->slot_attach;
+  uint64_t splits = 0;
+  void* p = block_alloc_aligned(s, size, align, slot_size, config_.fit,
+                                &splits);
+  PM2_CHECK(p != nullptr) << "fresh slot run cannot satisfy aligned request";
+  if (stats_ != nullptr) {
+    ++stats_->allocs;
+    stats_->block_splits += splits;
+    stats_->bytes_allocated += block_payload_size(p);
+    if (stats_->bytes_allocated > stats_->peak_bytes)
+      stats_->peak_bytes = stats_->bytes_allocated;
+  }
+  return p;
+}
+
+void* ThreadHeap::calloc(size_t n, size_t elem_size) {
+  if (n != 0 && elem_size > SIZE_MAX / n) return nullptr;  // overflow
+  size_t total = n * elem_size;
+  void* p = alloc(total);
+  if (p != nullptr) std::memset(p, 0, total);
+  return p;
+}
+
+void ThreadHeap::free(void* p) {
+  if (p == nullptr) return;
+  const size_t slot_size = ops_.area().slot_size();
+  if (stats_ != nullptr) {
+    ++stats_->frees;
+    stats_->bytes_allocated -= block_payload_size(p);
+  }
+  bool empty = false;
+  uint64_t coalesces = 0;
+  SlotHeader* slot = block_free(p, slot_size, &empty, &coalesces);
+  if (stats_ != nullptr) stats_->block_coalesces += coalesces;
+
+  if (empty && config_.release_empty_slots) {
+    detach(slot_list_, slot);
+    if (stats_ != nullptr) ++stats_->slot_detach;
+    size_t first = ops_.area().slot_of(slot);
+    ops_.release(first, slot->nslots);
+  }
+}
+
+void* ThreadHeap::realloc(void* p, size_t size) {
+  if (p == nullptr) return alloc(size);
+  if (size == 0) {
+    free(p);
+    return nullptr;
+  }
+  size_t old = block_payload_size(p);
+  if (old >= size) return p;  // shrink in place (no split for simplicity)
+  void* np = alloc(size);
+  if (np == nullptr) return nullptr;  // negotiation needed; old block intact
+  std::memcpy(np, p, old);
+  free(p);
+  return np;
+}
+
+void ThreadHeap::release_chain(SlotHeader* head, SlotOps& ops) {
+  // `next` is read before releasing the current run: release() may
+  // decommit the memory holding the header.  The chain head pointer in the
+  // thread descriptor is likewise inside a released slot, hence the
+  // by-value head.
+  SlotHeader* s = head;
+  while (s != nullptr) {
+    SlotHeader* next = s->next;
+    size_t first = ops.area().slot_of(s);
+    ops.release(first, s->nslots);
+    s = next;
+  }
+}
+
+void ThreadHeap::attach(void** slot_list, SlotHeader* slot) {
+  auto* head = static_cast<SlotHeader*>(*slot_list);
+  slot->prev = nullptr;
+  slot->next = head;
+  if (head != nullptr) head->prev = slot;
+  *slot_list = slot;
+}
+
+void ThreadHeap::detach(void** slot_list, SlotHeader* slot) {
+  if (slot->prev != nullptr)
+    slot->prev->next = slot->next;
+  else {
+    PM2_CHECK(*slot_list == slot) << "detaching slot not at list head";
+    *slot_list = slot->next;
+  }
+  if (slot->next != nullptr) slot->next->prev = slot->prev;
+  slot->prev = nullptr;
+  slot->next = nullptr;
+}
+
+void ThreadHeap::for_each_slot(void* slot_list,
+                               const std::function<void(SlotHeader*)>& fn) {
+  for (auto* s = static_cast<SlotHeader*>(slot_list); s != nullptr;
+       s = s->next)
+    fn(s);
+}
+
+void ThreadHeap::check_invariants(void* slot_list, size_t slot_size) {
+  SlotHeader* prev = nullptr;
+  for (auto* s = static_cast<SlotHeader*>(slot_list); s != nullptr;
+       s = s->next) {
+    PM2_CHECK(s->valid()) << "corrupt slot header in list";
+    PM2_CHECK(s->prev == prev) << "slot list back-link broken";
+    check_slot_invariants(s, slot_size);
+    prev = s;
+  }
+}
+
+}  // namespace pm2::iso

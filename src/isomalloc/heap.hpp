@@ -1,0 +1,85 @@
+// Per-thread iso-address heap: the composition of the slot layer and the
+// block layer behind pm2_isomalloc/pm2_isofree (paper §3.4).
+//
+// A ThreadHeap is a *handle*, not a container: all persistent state lives in
+// the slot/block headers inside iso-address memory, reached through the
+// thread's slot-list head pointer (Thread::slot_list in the descriptor).
+// The handle itself holds only node-local references (the SlotManager) and
+// is reconstructed from TLS on every API call — that is what keeps the heap
+// fully migratable: ship the slots, and the heap is whole again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "isomalloc/block.hpp"
+#include "isomalloc/slot_manager.hpp"
+
+namespace pm2::iso {
+
+struct HeapConfig {
+  FitPolicy fit = FitPolicy::kFirstFit;
+  /// Release a heap slot to the local node as soon as it becomes empty
+  /// ("At any point, a thread may release slots", §3.2).  Disable to keep
+  /// slots attached until thread death.
+  bool release_empty_slots = true;
+};
+
+class ThreadHeap {
+ public:
+  /// `slot_list` is the address of the owning thread's slot-list head (the
+  /// descriptor field).  `owner` is the thread id recorded in new slots.
+  ThreadHeap(void** slot_list, uint64_t owner, SlotOps& ops,
+             const HeapConfig& config = {}, HeapStats* stats = nullptr);
+
+  /// pm2_isomalloc.  Returns nullptr when the local node cannot provide the
+  /// needed contiguous slots; `needed_slots()` then says how many a global
+  /// negotiation must obtain for this node before retrying.
+  void* alloc(size_t size);
+
+  /// pm2_isomemalign: like alloc() with payload alignment `align` (power of
+  /// two ≥ 16).  Frees with the ordinary free().
+  void* alloc_aligned(size_t size, size_t align);
+
+  /// pm2_isocalloc: zero-initialised array allocation with overflow check.
+  void* calloc(size_t n, size_t elem_size);
+
+  /// pm2_isofree (nullptr is a no-op, as with free(3)).
+  void free(void* p);
+
+  /// pm2_isorealloc (extension; same contract as realloc(3)).
+  void* realloc(void* p, size_t size);
+
+  /// After a failed alloc: contiguous slot count the negotiation must win.
+  size_t needed_slots() const { return needed_slots_; }
+
+  /// Hand every slot run of the chain back to `ops` (thread death, paper
+  /// Fig. 6 step 4).  Takes the chain head by value: the head pointer
+  /// itself may live inside one of the released slots (the descriptor in
+  /// the stack slot), so the caller must not expect it to stay writable.
+  static void release_chain(SlotHeader* head, SlotOps& ops);
+
+  /// Attach an externally initialised slot (thread stack slot) at the list
+  /// head.
+  static void attach(void** slot_list, SlotHeader* slot);
+  static void detach(void** slot_list, SlotHeader* slot);
+
+  /// Walk the slot list.
+  static void for_each_slot(void* slot_list,
+                            const std::function<void(SlotHeader*)>& fn);
+
+  /// Full heap invariant check (tests): every slot's block invariants plus
+  /// list-link sanity.
+  static void check_invariants(void* slot_list, size_t slot_size);
+
+ private:
+  void** slot_list_;
+  uint64_t owner_;
+  SlotOps& ops_;
+  HeapConfig config_;
+  HeapStats* stats_;
+  size_t needed_slots_ = 0;
+};
+
+}  // namespace pm2::iso

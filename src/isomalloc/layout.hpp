@@ -1,0 +1,84 @@
+// On-memory layout of the iso-address heap: slot headers and block headers.
+//
+// Everything in this file lives *inside iso-address slots* and is linked
+// with absolute pointers.  That is deliberate and is the paper's key trick
+// (§4.2): "chaining is carried out by means of pointers stored in the slot
+// headers.  Given that the slot contents get copied at the same virtual
+// address in case of migration, these pointers remain valid" — an
+// iso-address copy is the entire migration fix-up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pm2::iso {
+
+struct BlockHeader;
+
+/// Kinds of slots attached to a thread.
+enum class SlotKind : uint32_t {
+  kHeap = 0,   // carries a block heap (pm2_isomalloc data)
+  kStack = 1,  // carries the thread descriptor + execution stack
+};
+
+/// Header at the base of every slot (or merged run of slots) owned by a
+/// thread.  Part of the thread's doubly-linked slot list (paper Fig. 10).
+struct SlotHeader {
+  static constexpr uint64_t kMagic = 0x504D32534C4F5421ull;  // "PM2SLOT!"
+
+  uint64_t magic = kMagic;
+  uint32_t nslots = 1;     // contiguous slots merged into this large slot
+  SlotKind kind = SlotKind::kHeap;
+  SlotHeader* prev = nullptr;  // thread slot list (iso pointers)
+  SlotHeader* next = nullptr;
+  BlockHeader* free_head = nullptr;  // this slot's free-block list
+  uint64_t owner_thread = 0;         // ThreadId, for diagnostics
+
+  bool valid() const { return magic == kMagic; }
+};
+static_assert(sizeof(SlotHeader) == 48);
+
+/// Header preceding every block (free or busy) in a heap slot.
+///
+/// Blocks are physically contiguous within their slot: the next physical
+/// block starts at (char*)header + header->size.  `size` includes the
+/// header itself.  Free blocks are additionally linked into the owning
+/// slot's free list through fnext/fprev.
+struct BlockHeader {
+  static constexpr uint32_t kMagic = 0x424C4B21;  // "BLK!"
+
+  uint32_t magic = kMagic;
+  uint32_t free = 0;
+  uint64_t size = 0;               // total bytes incl. this header
+  SlotHeader* slot = nullptr;      // owning slot header
+  BlockHeader* prev_phys = nullptr;  // previous physical block (coalescing)
+  BlockHeader* fnext = nullptr;    // free-list links (valid iff free)
+  BlockHeader* fprev = nullptr;
+
+  bool valid() const { return magic == kMagic; }
+  void* payload() { return this + 1; }
+  const void* payload() const { return this + 1; }
+  size_t payload_size() const { return size - sizeof(BlockHeader); }
+
+  static BlockHeader* of_payload(void* p) {
+    return static_cast<BlockHeader*>(p) - 1;
+  }
+};
+static_assert(sizeof(BlockHeader) == 48);
+static_assert(sizeof(BlockHeader) % 16 == 0,
+              "payloads must stay 16-byte aligned");
+
+/// Allocation granularity and minimum split remainder.
+inline constexpr size_t kBlockAlign = 16;
+inline constexpr size_t kMinPayload = 16;
+
+/// Usable byte range of a slot run beginning at `slot_base`:
+/// [base + sizeof(SlotHeader), base + nslots*slot_size).
+inline char* slot_space_begin(SlotHeader* h) {
+  return reinterpret_cast<char*>(h) + sizeof(SlotHeader);
+}
+inline char* slot_space_end(SlotHeader* h, size_t slot_size) {
+  return reinterpret_cast<char*>(h) + size_t{h->nslots} * slot_size;
+}
+
+}  // namespace pm2::iso

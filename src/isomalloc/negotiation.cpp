@@ -1,0 +1,98 @@
+#include "isomalloc/negotiation.hpp"
+
+#include "common/check.hpp"
+
+namespace pm2::iso {
+
+std::optional<NegotiationPlan> plan_negotiation(
+    const std::vector<pm2::Bitmap>& bitmaps, uint32_t requester, size_t run,
+    FitPolicy fit) {
+  PM2_CHECK(requester < bitmaps.size());
+  PM2_CHECK(run >= 1);
+
+  pm2::Bitmap global = bitmaps[0];
+  for (size_t i = 1; i < bitmaps.size(); ++i) global.or_with(bitmaps[i]);
+
+  std::optional<size_t> first = fit == FitPolicy::kFirstFit
+                                    ? global.find_run(run)
+                                    : global.find_best_run(run);
+  if (!first) return std::nullopt;
+
+  NegotiationPlan plan;
+  plan.first_slot = *first;
+  plan.run = run;
+
+  // Decompose [first, first+run) into maximal per-owner segments.
+  size_t i = *first;
+  while (i < *first + run) {
+    uint32_t owner = UINT32_MAX;
+    for (uint32_t node = 0; node < bitmaps.size(); ++node) {
+      if (bitmaps[node].test(i)) {
+        owner = node;
+        break;
+      }
+    }
+    PM2_CHECK(owner != UINT32_MAX)
+        << "slot " << i << " set in global OR but owned by no node";
+    size_t j = i + 1;
+    while (j < *first + run && bitmaps[owner].test(j)) ++j;
+    if (owner != requester) {
+      plan.purchases.push_back(Purchase{owner, static_cast<uint32_t>(i),
+                                        static_cast<uint32_t>(j - i)});
+    }
+    i = j;
+  }
+  return plan;
+}
+
+void apply_plan(std::vector<pm2::Bitmap>& bitmaps, uint32_t requester,
+                const NegotiationPlan& plan) {
+  PM2_CHECK(requester < bitmaps.size());
+  for (const Purchase& p : plan.purchases) {
+    PM2_CHECK(p.from_node < bitmaps.size() && p.from_node != requester);
+    PM2_CHECK(bitmaps[p.from_node].all_set(p.first, p.count))
+        << "purchase from node " << p.from_node << " of unowned slots";
+    bitmaps[p.from_node].clear_range(p.first, p.count);
+    bitmaps[requester].set_range(p.first, p.count);
+  }
+  PM2_CHECK(bitmaps[requester].all_set(plan.first_slot, plan.run))
+      << "plan application left holes in the negotiated run";
+}
+
+std::vector<pm2::Bitmap> plan_defragmentation(
+    const std::vector<pm2::Bitmap>& bitmaps) {
+  PM2_CHECK(!bitmaps.empty());
+  const size_t n_slots = bitmaps[0].size();
+  const size_t n_nodes = bitmaps.size();
+
+  // Quotas: every node keeps exactly the free-slot count it brought in.
+  std::vector<size_t> quota(n_nodes);
+  for (size_t node = 0; node < n_nodes; ++node)
+    quota[node] = bitmaps[node].count();
+
+  pm2::Bitmap global = bitmaps[0];
+  for (size_t i = 1; i < n_nodes; ++i) global.or_with(bitmaps[i]);
+
+  // Deal the free set out in address order, one node at a time, so each
+  // node's quota lands in as few contiguous stretches as the immovable
+  // thread-owned holes allow.
+  std::vector<pm2::Bitmap> result;
+  result.reserve(n_nodes);
+  for (size_t node = 0; node < n_nodes; ++node)
+    result.emplace_back(n_slots);
+  size_t node = 0;
+  size_t given = 0;
+  for (size_t i = 0; i < n_slots && node < n_nodes; ++i) {
+    if (!global.test(i)) continue;
+    while (node < n_nodes && given == quota[node]) {
+      ++node;
+      given = 0;
+    }
+    if (node == n_nodes) break;
+    result[node].set(i);
+    ++given;
+  }
+  return result;
+}
+
+}  // namespace pm2::iso

@@ -1,0 +1,118 @@
+#include "isomalloc/slot_manager.hpp"
+
+#include "common/check.hpp"
+
+namespace pm2::iso {
+
+SlotManager::SlotManager(Area& area, const SlotManagerConfig& config)
+    : area_(area),
+      config_(config),
+      bitmap_(initial_bitmap(config.distribution, area.n_slots(), config.node,
+                             config.n_nodes, config.block_cyclic_block)) {}
+
+std::optional<size_t> SlotManager::acquire(size_t count) {
+  PM2_CHECK(count >= 1);
+  if (count > 1) ++stats_.multi_slot_requests;
+
+  std::optional<size_t> first;
+  if (count == 1 && !cache_.empty()) {
+    // Prefer a cached (already committed) slot: no VM call at all.
+    size_t idx = *cache_.begin();
+    PM2_DCHECK(bitmap_.test(idx)) << "cached slot not owned";
+    cache_.erase(cache_.begin());
+    bitmap_.clear(idx);
+    ++stats_.cache_hits;
+    ++stats_.slots_acquired;
+    return idx;
+  }
+
+  first = bitmap_.find_run(count);
+  if (!first) return std::nullopt;
+  bitmap_.clear_range(*first, count);
+  commit_run(*first, count);
+  stats_.slots_acquired += count;
+  if (count == 1) ++stats_.cache_misses;
+  return first;
+}
+
+bool SlotManager::acquire_at(size_t first, size_t count) {
+  PM2_CHECK(count >= 1 && first + count <= area_.n_slots());
+  if (!bitmap_.all_set(first, count)) return false;
+  bitmap_.clear_range(first, count);
+  for (size_t i = first; i < first + count; ++i) cache_.erase(i);
+  stats_.slots_acquired += count;
+  return true;
+}
+
+void SlotManager::commit_run(size_t first, size_t count) {
+  // Slots inside the run that sit in the cache are already committed;
+  // commit the rest.  Commit ranges maximally to batch mprotect calls.
+  size_t i = first;
+  while (i < first + count) {
+    if (cache_.erase(i) > 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < first + count && cache_.count(j) == 0) ++j;
+    area_.commit(i, j - i);
+    ++stats_.commits;
+    i = j;
+  }
+}
+
+void SlotManager::release(size_t first, size_t count) {
+  PM2_CHECK(count >= 1 && first + count <= area_.n_slots());
+  PM2_CHECK(bitmap_.none_set(first, count))
+      << "releasing slots the node already owns (double release?)";
+  bitmap_.set_range(first, count);
+  stats_.slots_released += count;
+  if (count == 1 && cache_.size() < config_.cache_capacity) {
+    cache_.insert(first);  // stays committed for cheap reuse
+    return;
+  }
+  area_.decommit(first, count);
+  ++stats_.decommits;
+}
+
+void SlotManager::grant_slots(size_t first, size_t count) {
+  PM2_CHECK(bitmap_.none_set(first, count)) << "granted slots already owned";
+  bitmap_.set_range(first, count);
+  stats_.negotiated_slots += count;
+}
+
+void SlotManager::surrender_slots(size_t first, size_t count) {
+  PM2_CHECK(bitmap_.all_set(first, count)) << "surrendering slots not owned";
+  bitmap_.clear_range(first, count);
+  for (size_t i = first; i < first + count; ++i) {
+    if (cache_.erase(i) > 0) {
+      area_.decommit(i, 1);
+      ++stats_.decommits;
+    }
+  }
+}
+
+void SlotManager::set_bitmap(pm2::Bitmap bitmap) {
+  PM2_CHECK(bitmap.size() == area_.n_slots());
+  bitmap_ = std::move(bitmap);
+  // Drop cached commits for slots we no longer own.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!bitmap_.test(*it)) {
+      area_.decommit(*it, 1);
+      ++stats_.decommits;
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SlotManager::flush_cache() {
+  for (size_t idx : cache_) {
+    area_.decommit(idx, 1);
+    ++stats_.decommits;
+  }
+  cache_.clear();
+}
+
+}  // namespace pm2::iso

@@ -1,0 +1,112 @@
+// Per-node slot ownership (paper §4.2, "Managing slots").
+//
+// Each node tracks the slots it owns in a private bitmap: bit = 1 means
+// "owned by this node and free"; 0 means "owned by another node (free
+// there) or by some thread (anywhere)".  Acquire hands slots to threads and
+// clears bits; release takes slots back from threads and sets bits —
+// possibly on a *different* node than the one the slot was acquired from,
+// which is how nodes end up owning slots they did not start with.
+//
+// Pure node-local component: no networking.  When a contiguous run cannot
+// be satisfied locally, acquire() returns nullopt and the caller (the PM2
+// runtime) launches the global negotiation (negotiation.hpp), updates the
+// bitmap through apply_purchase()/grant_slots(), and retries.
+//
+// Includes the paper's §6 optimization: a process-wide cache of committed
+// empty slots, saving the commit/decommit (mmap) round-trip on slot churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/stats.hpp"
+#include "isomalloc/area.hpp"
+#include "isomalloc/distribution.hpp"
+
+namespace pm2::iso {
+
+/// Slot provisioning as seen by a thread heap.  SlotManager implements it
+/// directly (node-local policy only); the PM2 runtime interposes an adapter
+/// that adds global negotiation on acquire misses and defers releases while
+/// a negotiation freezes the bitmap.
+class SlotOps {
+ public:
+  virtual ~SlotOps() = default;
+  /// Contiguous run of `count` slots, committed, now thread-owned; nullopt
+  /// when unobtainable.
+  virtual std::optional<size_t> acquire(size_t count) = 0;
+  virtual void release(size_t first, size_t count) = 0;
+  virtual Area& area() = 0;
+};
+
+struct SlotManagerConfig {
+  uint32_t node = 0;
+  uint32_t n_nodes = 1;
+  Distribution distribution = Distribution::kRoundRobin;
+  size_t block_cyclic_block = 16;
+  /// Max committed-but-free slots kept mapped (0 disables the cache).
+  size_t cache_capacity = 64;
+};
+
+class SlotManager final : public SlotOps {
+ public:
+  SlotManager(Area& area, const SlotManagerConfig& config);
+
+  /// Take `count` contiguous owned slots (first-fit over the bitmap),
+  /// commit their memory, and hand them to the caller (the bits are
+  /// cleared: the slots now belong to a thread).  Returns the first slot
+  /// index, or nullopt when no owned run of that length exists — the
+  /// signal to negotiate.
+  std::optional<size_t> acquire(size_t count) override;
+
+  /// Claim a *specific* run the node currently owns (checkpoint restore
+  /// needs the exact slots recorded in the image).  Clears the bits and
+  /// drops any cached commits without decommitting (the caller re-commits
+  /// or reuses them).  Returns false if any slot is not owned-and-free.
+  bool acquire_at(size_t first, size_t count);
+
+  /// Give slots back to this node (thread released or died here).  Memory
+  /// is decommitted unless the run is a single slot absorbed by the cache.
+  void release(size_t first, size_t count) override;
+
+  /// Adopt slots bought for us during a negotiation: the bits become ours.
+  /// The slots are *not* committed (acquire() will do that when used).
+  void grant_slots(size_t first, size_t count);
+
+  /// Surrender slots sold to another node during a negotiation.  Any cached
+  /// commit is dropped.
+  void surrender_slots(size_t first, size_t count);
+
+  /// Replace the whole bitmap (scatter step of the negotiation, paper
+  /// §4.4 step e).  Reconciles the slot cache against lost ownership.
+  void set_bitmap(pm2::Bitmap bitmap);
+
+  const pm2::Bitmap& bitmap() const { return bitmap_; }
+  Area& area() override { return area_; }
+  const SlotManagerConfig& config() const { return config_; }
+
+  size_t owned_free_slots() const { return bitmap_.count(); }
+  size_t cached_slots() const { return cache_.size(); }
+
+  SlotStats& stats() { return stats_; }
+  const SlotStats& stats() const { return stats_; }
+
+  /// Drop every cached slot (decommit).  For tests/ablation.
+  void flush_cache();
+
+ private:
+  void commit_run(size_t first, size_t count);
+
+  Area& area_;
+  SlotManagerConfig config_;
+  pm2::Bitmap bitmap_;
+  /// Committed, owned, free single slots (paper §6 cache).  Kept as a set:
+  /// membership matters when a run overlaps a cached slot.
+  std::unordered_set<size_t> cache_;
+  SlotStats stats_;
+};
+
+}  // namespace pm2::iso

@@ -1,0 +1,53 @@
+#include "madeleine/buffers.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pm2::mad {
+
+void PackBuffer::pack_bytes(const void* data, size_t len, PackMode mode) {
+  if (len == 0) return;
+  Segment seg;
+  seg.len = len;
+  if (mode == PackMode::kBorrow) {
+    seg.borrow = static_cast<const uint8_t*>(data);
+  } else {
+    seg.offset = staged_.size();
+    const auto* p = static_cast<const uint8_t*>(data);
+    staged_.insert(staged_.end(), p, p + len);
+  }
+  segments_.push_back(seg);
+  total_ += len;
+}
+
+std::vector<uint8_t> PackBuffer::finalize() {
+  std::vector<uint8_t> out;
+  out.reserve(total_);
+  for (const Segment& seg : segments_) {
+    const uint8_t* src =
+        seg.borrow != nullptr ? seg.borrow : staged_.data() + seg.offset;
+    out.insert(out.end(), src, src + seg.len);
+  }
+  PM2_CHECK(out.size() == total_);
+  staged_.clear();
+  segments_.clear();
+  total_ = 0;
+  return out;
+}
+
+size_t UnpackBuffer::unpack_region(void* out, size_t capacity) {
+  auto len = reader_.get<uint64_t>();
+  PM2_CHECK(len <= capacity) << "unpack_region: destination too small ("
+                             << capacity << " < " << len << ")";
+  reader_.get_bytes(out, len);
+  return len;
+}
+
+const uint8_t* UnpackBuffer::unpack_region_view(size_t* len) {
+  auto n = reader_.get<uint64_t>();
+  *len = n;
+  return reader_.view_bytes(n);
+}
+
+}  // namespace pm2::mad

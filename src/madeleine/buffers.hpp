@@ -1,0 +1,106 @@
+// Madeleine-style pack/unpack buffers (paper ref [2]).
+//
+// PM2's migration and RPC layers describe outgoing data as a sequence of
+// *pack* operations; the buffer gathers them (by copy for small fields, by
+// reference for bulk regions like slot payloads) and flattens into one wire
+// payload at finalization.  Unpacking mirrors the sequence.  The gather
+// design is what kept Madeleine's migration path cheap: headers are staged,
+// slot contents are appended with a single copy.
+//
+// Two packing modes, mirroring madeleine's send modes:
+//  * kCopy   ("send_safer")  — bytes are copied immediately; the source may
+//    change or vanish afterwards.
+//  * kBorrow ("send_cheaper") — only the (pointer,len) is recorded; the
+//    source must stay intact until finalize().  Used for slot images.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace pm2::mad {
+
+enum class PackMode { kCopy, kBorrow };
+
+class PackBuffer {
+ public:
+  PackBuffer() = default;
+  explicit PackBuffer(size_t reserve_hint) { staged_.reserve(reserve_hint); }
+
+  /// Fixed-size trivially copyable value (always copied).
+  template <typename T>
+  void pack(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pack_bytes(&v, sizeof(T), PackMode::kCopy);
+  }
+
+  void pack_string(const std::string& s) {
+    pack<uint32_t>(static_cast<uint32_t>(s.size()));
+    pack_bytes(s.data(), s.size(), PackMode::kCopy);
+  }
+
+  /// Length-prefixed byte region.
+  void pack_region(const void* data, size_t len,
+                   PackMode mode = PackMode::kCopy) {
+    pack<uint64_t>(len);
+    pack_bytes(data, len, mode);
+  }
+
+  /// Raw bytes, no length prefix (caller controls framing).
+  void pack_bytes(const void* data, size_t len, PackMode mode);
+
+  /// Total payload size so far.
+  size_t size() const { return total_; }
+
+  /// Flatten into a single contiguous payload.  Borrowed regions are copied
+  /// now; the buffer is left empty.
+  std::vector<uint8_t> finalize();
+
+ private:
+  struct Segment {
+    const uint8_t* borrow = nullptr;  // non-null => borrowed region
+    size_t offset = 0;                // into staged_ when copied
+    size_t len = 0;
+  };
+  std::vector<uint8_t> staged_;  // copied bytes back-to-back
+  std::vector<Segment> segments_;
+  size_t total_ = 0;
+};
+
+/// Mirror of PackBuffer over a received payload.
+class UnpackBuffer {
+ public:
+  UnpackBuffer(const void* data, size_t len) : reader_(data, len) {}
+  explicit UnpackBuffer(const std::vector<uint8_t>& v)
+      : reader_(v.data(), v.size()) {}
+
+  template <typename T>
+  T unpack() {
+    return reader_.get<T>();
+  }
+
+  std::string unpack_string() { return reader_.get_string(); }
+
+  /// Length-prefixed region: copies into `out` (must hold the prefix len).
+  size_t unpack_region(void* out, size_t capacity);
+
+  /// Length-prefixed region: zero-copy view into the underlying payload.
+  const uint8_t* unpack_region_view(size_t* len);
+
+  void unpack_bytes(void* out, size_t len) { reader_.get_bytes(out, len); }
+
+  /// Advance past `len` bytes without copying them.
+  void skip(size_t len) { reader_.view_bytes(len); }
+
+  size_t remaining() const { return reader_.remaining(); }
+  bool exhausted() const { return reader_.exhausted(); }
+
+ private:
+  pm2::ByteReader reader_;
+};
+
+}  // namespace pm2::mad

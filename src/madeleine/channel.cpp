@@ -1,0 +1,60 @@
+#include "madeleine/channel.hpp"
+
+#include "common/check.hpp"
+
+namespace pm2::mad {
+
+ChannelMux::ChannelMux(fabric::Fabric& fabric, uint16_t type_base)
+    : fabric_(fabric), type_base_(type_base) {}
+
+Channel& ChannelMux::open(const std::string& name) {
+  PM2_CHECK(find(name) == nullptr) << "channel '" << name << "' already open";
+  auto id = static_cast<uint16_t>(channels_.size());
+  channels_.emplace_back(new Channel(*this, id, name));
+  return *channels_.back();
+}
+
+bool ChannelMux::owns(const fabric::Message& msg) const {
+  return msg.type >= type_base_ &&
+         msg.type < type_base_ + channels_.size();
+}
+
+void ChannelMux::feed(fabric::Message&& msg) {
+  PM2_CHECK(owns(msg)) << "message type " << msg.type << " not a channel";
+  auto idx = static_cast<size_t>(msg.type - type_base_);
+  channels_[idx]->deliver(msg.src, std::move(msg.payload));
+}
+
+Channel* ChannelMux::find(const std::string& name) {
+  for (auto& ch : channels_)
+    if (ch->name() == name) return ch.get();
+  return nullptr;
+}
+
+void Channel::send(fabric::NodeId node, PackBuffer&& buffer) {
+  fabric::Message msg;
+  msg.type = static_cast<uint16_t>(mux_.type_base_ + id_);
+  msg.dst = node;
+  msg.payload = buffer.finalize();
+  mux_.fabric_.send(std::move(msg));
+}
+
+void Channel::deliver(fabric::NodeId src, std::vector<uint8_t> payload) {
+  ++delivered_;
+  if (handler_) {
+    UnpackBuffer unpack(payload);
+    handler_(src, unpack);
+    return;
+  }
+  queue_.emplace_back(src, std::move(payload));
+}
+
+std::optional<std::pair<fabric::NodeId, std::vector<uint8_t>>>
+Channel::try_receive() {
+  if (queue_.empty()) return std::nullopt;
+  auto front = std::move(queue_.front());
+  queue_.pop_front();
+  return front;
+}
+
+}  // namespace pm2::mad

@@ -1,0 +1,100 @@
+// Madeleine channels: independent logical communication planes over one
+// fabric (ref [2]: Madeleine multiplexed several channels — one per
+// library/protocol — over one physical network, so PM2's control traffic,
+// migrations and application messages never interfered).
+//
+// A ChannelMux owns the demultiplexing: each Channel gets a dense id and a
+// receive queue; senders address (node, channel).  The mux does not poll
+// the network itself — the owner (the PM2 comm daemon, or a test loop)
+// feeds it every incoming kUser-range message, keeping the single-reader
+// discipline of the fabric intact.
+//
+// Channels deliberately mirror madeleine's two receive styles:
+//   * polling — try_receive() for latency-critical consumers;
+//   * handler — a callback fired by the feeder for event-style consumers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/message.hpp"
+#include "madeleine/buffers.hpp"
+
+namespace pm2::mad {
+
+class ChannelMux;
+
+/// One logical communication plane.
+class Channel {
+ public:
+  using Handler = std::function<void(fabric::NodeId src, UnpackBuffer&)>;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  uint16_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Send a packed buffer to `node` on this channel.
+  void send(fabric::NodeId node, PackBuffer&& buffer);
+
+  /// Non-blocking receive of the oldest queued message.
+  /// Returns (src, payload) or nullopt.
+  std::optional<std::pair<fabric::NodeId, std::vector<uint8_t>>> try_receive();
+
+  /// Install a handler: subsequent deliveries bypass the queue and invoke
+  /// it synchronously from the feeder.  Pass nullptr to revert to queueing.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  friend class ChannelMux;
+  Channel(ChannelMux& mux, uint16_t id, std::string name)
+      : mux_(mux), id_(id), name_(std::move(name)) {}
+  void deliver(fabric::NodeId src, std::vector<uint8_t> payload);
+
+  ChannelMux& mux_;
+  uint16_t id_;
+  std::string name_;
+  Handler handler_;
+  std::deque<std::pair<fabric::NodeId, std::vector<uint8_t>>> queue_;
+  uint64_t delivered_ = 0;
+};
+
+/// Channel registry + demultiplexer bound to one fabric endpoint.
+class ChannelMux {
+ public:
+  /// Message types at or above `type_base` belong to this mux; `type_base`
+  /// + channel id is the wire discriminator.  Keep the base above the PM2
+  /// control range (pm2::kUserBase).
+  explicit ChannelMux(fabric::Fabric& fabric, uint16_t type_base = 100);
+
+  /// Open a channel.  SPMD: all nodes must open channels in the same
+  /// order so ids line up (same rule as RPC services).
+  Channel& open(const std::string& name);
+
+  /// True if `msg` belongs to this mux (caller routes others elsewhere).
+  bool owns(const fabric::Message& msg) const;
+
+  /// Deliver one incoming message to its channel.  Call from the fabric's
+  /// single reader (comm daemon / test loop).
+  void feed(fabric::Message&& msg);
+
+  Channel* find(const std::string& name);
+  size_t channel_count() const { return channels_.size(); }
+
+ private:
+  friend class Channel;
+  fabric::Fabric& fabric_;
+  uint16_t type_base_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace pm2::mad

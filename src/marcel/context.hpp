@@ -1,0 +1,39 @@
+// Stack-switching primitives.
+//
+// The whole execution state of a frozen thread is (a) its stack contents and
+// (b) one word: the saved stack pointer.  pm2_ctx_switch pushes the
+// callee-saved register set onto the *current* stack and stores the
+// resulting rsp through save_sp, then reloads a previously saved sp and
+// pops.  Because the saved registers live on the thread's own stack — which
+// isomalloc places at an iso-address — a frozen thread can be byte-copied to
+// another node and resumed there with zero fix-ups (paper §3.1, property
+// "Portability": no compiler knowledge about the stack layout is required;
+// we never parse frames, we only move them).
+//
+// Two implementations:
+//  * ctx_x86_64.S — hand-rolled System V x86-64 switch (default, ~30 ns);
+//  * ctx_ucontext.cpp — portable fallback on swapcontext(); the save area is
+//    a ucontext_t local to the switch frame, i.e. also on the thread stack,
+//    so migration semantics are identical.
+#pragma once
+
+#include <cstddef>
+
+extern "C" {
+/// Save the current context, store its sp in *save_sp, switch to load_sp.
+/// Returns (to the caller!) when someone later switches back to *save_sp —
+/// possibly on a different node after migration.
+void pm2_ctx_switch(void** save_sp, void* load_sp);
+}
+
+namespace pm2::marcel {
+
+using EntryFn = void (*)(void*);
+
+/// Build an initial context on the stack [stack_base, stack_top) that enters
+/// entry(arg) when first switched to.  entry must never return (it must end
+/// in Scheduler::exit_current()); the trampoline traps if it does.
+/// Returns the initial saved-sp value.
+void* ctx_make(void* stack_base, void* stack_top, EntryFn entry, void* arg);
+
+}  // namespace pm2::marcel

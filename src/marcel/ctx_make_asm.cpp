@@ -1,0 +1,33 @@
+// Initial-frame construction for the hand-rolled x86-64 switch.
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "marcel/context.hpp"
+
+extern "C" void pm2_ctx_trampoline();
+
+namespace pm2::marcel {
+
+void* ctx_make(void* stack_base, void* stack_top, EntryFn entry, void* arg) {
+  (void)stack_base;  // the asm switch needs no explicit stack bounds
+  auto top = reinterpret_cast<uintptr_t>(stack_top);
+  PM2_CHECK(top % 16 == 0) << "stack top must be 16-byte aligned";
+  auto* sp = reinterpret_cast<uint64_t*>(top);
+
+  // Mirror of the save frame in ctx_x86_64.S (listed here top of stack
+  // first, i.e. highest address first).
+  *--sp = 0;  // fake return address: terminates debugger backtraces
+  *--sp = reinterpret_cast<uint64_t>(&pm2_ctx_trampoline);  // ret target
+  *--sp = 0;                                   // rbp
+  *--sp = 0;                                   // rbx
+  *--sp = reinterpret_cast<uint64_t>(entry);   // r12 -> trampoline calls it
+  *--sp = reinterpret_cast<uint64_t>(arg);     // r13 -> first argument
+  *--sp = 0;                                   // r14
+  *--sp = 0;                                   // r15
+  // FP control words: SSE default (all exceptions masked, round-nearest)
+  // and x87 default, matching what the C runtime sets up at process start.
+  *--sp = uint64_t{0x1F80} | (uint64_t{0x037F} << 32);
+  return sp;
+}
+
+}  // namespace pm2::marcel

@@ -1,0 +1,55 @@
+// Portable context-switch fallback on POSIX ucontext.
+//
+// The save area is a ucontext_t living in the frame of pm2_ctx_switch — on
+// the switched-out thread's own stack — so migration semantics match the
+// assembly implementation: copying the stack copies the context, and the
+// internal uc_mcontext.fpregs pointer (which points into the same
+// ucontext_t) stays valid because the copy lands at the same iso-address.
+#include <ucontext.h>
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "marcel/context.hpp"
+
+extern "C" void pm2_ctx_switch(void** save_sp, void* load_sp) {
+  ucontext_t self;
+  *save_sp = &self;
+  PM2_CHECK(::swapcontext(&self, static_cast<ucontext_t*>(load_sp)) == 0);
+}
+
+namespace pm2::marcel {
+
+namespace {
+// makecontext() only passes ints portably; split the two pointers.
+void trampoline(uint32_t entry_lo, uint32_t entry_hi, uint32_t arg_lo,
+                uint32_t arg_hi) {
+  auto entry = reinterpret_cast<EntryFn>(
+      (uint64_t{entry_hi} << 32) | entry_lo);
+  auto* arg = reinterpret_cast<void*>((uint64_t{arg_hi} << 32) | arg_lo);
+  entry(arg);
+  PM2_FATAL("thread entry returned; it must end in exit_current()");
+}
+}  // namespace
+
+void* ctx_make(void* stack_base, void* stack_top, EntryFn entry, void* arg) {
+  // Embed the initial ucontext_t just below the stack top; the usable stack
+  // is everything between stack_base and the embedded context.
+  auto top = reinterpret_cast<uintptr_t>(stack_top) & ~uintptr_t{63};
+  top -= sizeof(ucontext_t);
+  top &= ~uintptr_t{63};
+  auto* uc = reinterpret_cast<ucontext_t*>(top);
+  PM2_CHECK(::getcontext(uc) == 0);
+  uc->uc_link = nullptr;
+  uc->uc_stack.ss_sp = stack_base;
+  uc->uc_stack.ss_size = top - reinterpret_cast<uintptr_t>(stack_base);
+  PM2_CHECK(uc->uc_stack.ss_size >= 16 * 1024) << "stack too small";
+  auto ep = reinterpret_cast<uint64_t>(entry);
+  auto ap = reinterpret_cast<uint64_t>(arg);
+  ::makecontext(uc, reinterpret_cast<void (*)()>(trampoline), 4,
+                static_cast<uint32_t>(ep), static_cast<uint32_t>(ep >> 32),
+                static_cast<uint32_t>(ap), static_cast<uint32_t>(ap >> 32));
+  return uc;
+}
+
+}  // namespace pm2::marcel

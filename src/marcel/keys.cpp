@@ -1,0 +1,41 @@
+#include "marcel/keys.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "marcel/scheduler.hpp"
+
+namespace pm2::marcel {
+
+namespace {
+// Process-wide: in-process multi-node sessions share the key space, which
+// matches the SPMD requirement (same keys everywhere).
+std::atomic<uint32_t> g_next_key{0};
+}  // namespace
+
+Key key_create() {
+  uint32_t key = g_next_key.fetch_add(1);
+  PM2_CHECK(key < Thread::kMaxKeys)
+      << "out of thread-specific keys (max " << Thread::kMaxKeys << ")";
+  return key;
+}
+
+uint32_t keys_allocated() { return g_next_key.load(); }
+
+void thread_setspecific(Thread* t, Key key, void* value) {
+  PM2_CHECK(t != nullptr && key < Thread::kMaxKeys);
+  t->specific[key] = value;
+}
+
+void* thread_getspecific(Thread* t, Key key) {
+  PM2_CHECK(t != nullptr && key < Thread::kMaxKeys);
+  return t->specific[key];
+}
+
+void setspecific(Key key, void* value) {
+  thread_setspecific(Scheduler::self(), key, value);
+}
+
+void* getspecific(Key key) { return thread_getspecific(Scheduler::self(), key); }
+
+}  // namespace pm2::marcel

@@ -1,0 +1,33 @@
+// Thread-specific data keys (the classic marcel_key_* interface).
+//
+// Values are stored inline in the thread descriptor (Thread::specific), so
+// they travel with the thread on migration — in particular a pointer to
+// iso-memory stays valid on the destination node.  Key ids are allocated
+// from a process-wide counter; under SPMD they match across nodes when
+// every node allocates its keys in the same deterministic order during
+// startup (the same discipline the RPC service table requires).
+#pragma once
+
+#include <cstdint>
+
+#include "marcel/thread.hpp"
+
+namespace pm2::marcel {
+
+using Key = uint32_t;
+
+/// Allocate a fresh key (aborts after Thread::kMaxKeys keys).
+Key key_create();
+
+/// Set/get the calling thread's value for `key` (nullptr default).
+void setspecific(Key key, void* value);
+void* getspecific(Key key);
+
+/// Same, for an explicit (frozen/ready) thread — used by runtime services.
+void thread_setspecific(Thread* t, Key key, void* value);
+void* thread_getspecific(Thread* t, Key key);
+
+/// Number of keys allocated so far (diagnostics/tests).
+uint32_t keys_allocated();
+
+}  // namespace pm2::marcel

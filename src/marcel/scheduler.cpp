@@ -1,0 +1,308 @@
+#include "marcel/scheduler.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace pm2::marcel {
+
+namespace {
+thread_local Scheduler* t_scheduler = nullptr;
+}  // namespace
+
+const char* to_string(ThreadState s) {
+  switch (s) {
+    case ThreadState::kReady:
+      return "ready";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kFrozen:
+      return "frozen";
+    case ThreadState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+void Thread::arm_canary() {
+  *reinterpret_cast<uint64_t*>(stack_base) = kCanary;
+}
+
+bool Thread::canary_ok() const {
+  return *reinterpret_cast<const uint64_t*>(stack_base) == kCanary;
+}
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() {
+  PM2_CHECK(current_ == nullptr) << "scheduler destroyed while dispatching";
+}
+
+Scheduler* Scheduler::current_scheduler() { return t_scheduler; }
+
+Thread* Scheduler::self() {
+  return t_scheduler != nullptr ? t_scheduler->current_ : nullptr;
+}
+
+SchedulerBinding::SchedulerBinding(Scheduler* sched) : prev_(t_scheduler) {
+  t_scheduler = sched;
+}
+
+SchedulerBinding::~SchedulerBinding() { t_scheduler = prev_; }
+
+Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
+                          void* arg, ThreadId id, const char* name,
+                          uint32_t flags) {
+  PM2_CHECK(region != nullptr);
+  auto base = reinterpret_cast<uintptr_t>(region);
+  PM2_CHECK(base % alignof(Thread) == 0) << "misaligned thread region";
+  PM2_CHECK(region_size >= sizeof(Thread) + 16 * 1024)
+      << "thread region too small: " << region_size;
+
+  auto* t = new (region) Thread();
+  t->id = id;
+  t->flags = flags;
+  std::strncpy(t->name, name != nullptr ? name : "", Thread::kNameLen - 1);
+
+  uintptr_t stack_base = (base + sizeof(Thread) + 63) & ~uintptr_t{63};
+  uintptr_t stack_top = (base + region_size) & ~uintptr_t{15};
+  t->stack_base = reinterpret_cast<void*>(stack_base);
+  t->stack_top = reinterpret_cast<void*>(stack_top);
+  t->arm_canary();
+  t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
+
+  PM2_CHECK(registry_.emplace(id, t).second) << "duplicate thread id " << id;
+  if (!t->is_daemon()) ++live_;
+  push_ready(t);
+  return t;
+}
+
+void Scheduler::push_ready(Thread* t) {
+  t->state = ThreadState::kReady;
+  t->qnext = nullptr;
+  t->qprev = ready_tail_;
+  if (ready_tail_ != nullptr)
+    ready_tail_->qnext = t;
+  else
+    ready_head_ = t;
+  ready_tail_ = t;
+  ++ready_count_;
+}
+
+Thread* Scheduler::pop_ready() {
+  Thread* t = ready_head_;
+  if (t == nullptr) return nullptr;
+  ready_head_ = t->qnext;
+  if (ready_head_ != nullptr)
+    ready_head_->qprev = nullptr;
+  else
+    ready_tail_ = nullptr;
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+  --ready_count_;
+  return t;
+}
+
+void Scheduler::dispatch(Thread* t) {
+  PM2_DCHECK(t->state == ThreadState::kReady);
+  PM2_DCHECK(t->magic == Thread::kMagic) << "corrupt thread descriptor";
+  current_ = t;
+  t->state = ThreadState::kRunning;
+  ++switches_;
+  slice_start_ns_ = now_ns();
+  pm2_ctx_switch(&sched_sp_, t->sp);
+  // The thread switched back (yield/block/exit/freeze).  Its memory is
+  // still mapped even if it exited — the reaper continuation has not run
+  // yet — so the overflow canary can be verified on every switch.
+  PM2_CHECK(t->canary_ok())
+      << "stack overflow detected on thread " << t->id << " (" << t->name
+      << "): the stack ran into its descriptor";
+  current_ = nullptr;
+}
+
+void Scheduler::fire_expired_timers() {
+  if (timers_.empty()) return;
+  uint64_t now = now_ns();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    Thread* t = timers_.begin()->second;
+    timers_.erase(timers_.begin());
+    PM2_DCHECK(t->state == ThreadState::kBlocked);
+    push_ready(t);
+  }
+}
+
+void Scheduler::run() {
+  SchedulerBinding bind(this);
+  while (true) {
+    fire_expired_timers();
+    Thread* t = pop_ready();
+    if (t != nullptr) {
+      dispatch(t);
+      if (post_) {
+        // Run exit/freeze continuation on the scheduler stack, where the
+        // departing thread's stack is guaranteed quiescent.
+        Continuation cont = std::move(post_);
+        post_ = nullptr;
+        Thread* pt = post_thread_;
+        post_thread_ = nullptr;
+        cont(pt);
+      }
+      continue;
+    }
+    if (stop_requested_ && registry_.empty()) break;
+    if (idle_hook_) {
+      idle_hook_();
+      continue;
+    }
+    if (!timers_.empty()) continue;  // busy-wait for the nearest deadline
+    // No runnable thread, no timer, no event source: with a cooperative
+    // scheduler this state can never resolve itself.
+    PM2_CHECK(!registry_.empty())
+        << "scheduler idle with empty registry but no stop request";
+    PM2_FATAL("deadlock: all threads blocked/frozen and no idle hook");
+  }
+}
+
+void Scheduler::yield() {
+  Thread* t = current_;
+  PM2_CHECK(t != nullptr) << "yield() outside a thread";
+  push_ready(t);
+  pm2_ctx_switch(&t->sp, sched_sp_);
+  // NOTE: nothing after the switch may touch `this` — after a migration a
+  // resumed thread continues under a *different* scheduler instance.
+}
+
+void Scheduler::block() {
+  Thread* t = current_;
+  PM2_CHECK(t != nullptr) << "block() outside a thread";
+  t->state = ThreadState::kBlocked;
+  pm2_ctx_switch(&t->sp, sched_sp_);
+}
+
+void Scheduler::sleep_us(uint64_t us) {
+  Thread* t = current_;
+  PM2_CHECK(t != nullptr) << "sleep_us() outside a thread";
+  if (us == 0) {
+    yield();
+    return;
+  }
+  timers_.emplace(now_ns() + us * 1000, t);
+  t->state = ThreadState::kBlocked;
+  pm2_ctx_switch(&t->sp, sched_sp_);
+}
+
+void Scheduler::unblock(Thread* t) {
+  PM2_CHECK(t->state == ThreadState::kBlocked)
+      << "unblock on " << to_string(t->state) << " thread";
+  t->wait_queue = nullptr;
+  push_ready(t);
+}
+
+void Scheduler::exit_current(Continuation reaper) {
+  Thread* t = current_;
+  PM2_CHECK(t != nullptr) << "exit_current() outside a thread";
+  t->state = ThreadState::kDead;
+  t->done = true;
+  if (t->joiner != nullptr) {
+    unblock(t->joiner);
+    t->joiner = nullptr;
+  }
+  registry_.erase(t->id);
+  if (!t->is_daemon()) --live_;
+  post_ = std::move(reaper);
+  post_thread_ = t;
+  switch_out_forever(t);
+}
+
+void Scheduler::switch_out_forever(Thread* t) {
+  pm2_ctx_switch(&t->sp, sched_sp_);
+  PM2_FATAL("dead/shipped thread was resumed");
+}
+
+bool Scheduler::join(ThreadId id) {
+  Thread* self_t = current_;
+  PM2_CHECK(self_t != nullptr) << "join() outside a thread";
+  Thread* t = find(id);
+  if (t == nullptr || t->done) return false;
+  PM2_CHECK(t != self_t) << "thread joining itself";
+  PM2_CHECK(t->joiner == nullptr) << "thread " << id << " already has a joiner";
+  t->joiner = self_t;
+  block();
+  return true;
+}
+
+bool Scheduler::freeze(Thread* t) {
+  if (t == nullptr || t == current_) return false;
+  if (t->state != ThreadState::kReady) return false;
+  // Unlink from the ready FIFO.
+  if (t->qprev != nullptr)
+    t->qprev->qnext = t->qnext;
+  else
+    ready_head_ = t->qnext;
+  if (t->qnext != nullptr)
+    t->qnext->qprev = t->qprev;
+  else
+    ready_tail_ = t->qprev;
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+  --ready_count_;
+  t->state = ThreadState::kFrozen;
+  return true;
+}
+
+void Scheduler::unfreeze(Thread* t) {
+  PM2_CHECK(t->state == ThreadState::kFrozen)
+      << "unfreeze on " << to_string(t->state) << " thread";
+  push_ready(t);
+}
+
+void Scheduler::freeze_current_and(Continuation cont) {
+  Thread* t = current_;
+  PM2_CHECK(t != nullptr) << "freeze_current_and() outside a thread";
+  t->state = ThreadState::kFrozen;
+  post_ = std::move(cont);
+  post_thread_ = t;
+  pm2_ctx_switch(&t->sp, sched_sp_);
+  // Resumes here after adopt() — usually on another node.  Only TLS
+  // lookups are valid beyond this point (see header).
+}
+
+void Scheduler::adopt(Thread* t) {
+  PM2_CHECK(t->magic == Thread::kMagic) << "corrupt migrated descriptor";
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+  t->wait_queue = nullptr;
+  t->joiner = nullptr;
+  t->done = false;
+  PM2_CHECK(registry_.emplace(t->id, t).second)
+      << "adopt: duplicate thread id " << t->id;
+  if (!t->is_daemon()) ++live_;
+  push_ready(t);
+}
+
+void Scheduler::forget(Thread* t) {
+  size_t erased = registry_.erase(t->id);
+  PM2_CHECK(erased == 1) << "forget: unknown thread " << t->id;
+  if (!t->is_daemon()) --live_;
+}
+
+void Scheduler::maybe_preempt() {
+  if (quantum_ns_ == 0 || current_ == nullptr) return;
+  if (now_ns() - slice_start_ns_ >= quantum_ns_) yield();
+}
+
+Thread* Scheduler::find(ThreadId id) const {
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+void Scheduler::for_each(const std::function<void(Thread*)>& fn) const {
+  for (const auto& [id, t] : registry_) fn(t);
+}
+
+}  // namespace pm2::marcel

@@ -1,0 +1,177 @@
+// Cooperative user-level scheduler — one instance per PM2 node.
+//
+// One kernel thread per node runs Scheduler::run(); every PM2 thread of that
+// node executes on top of it via pm2_ctx_switch.  This mirrors PM2/Marcel's
+// design point: thread creation, destruction and context switching are pure
+// user-space operations ("very efficient primitives", paper §2), and a node
+// may host tens of thousands of threads.
+//
+// Migration hooks: freeze()/freeze_current_and() take a thread out of
+// scheduling with its complete context saved on its own stack, and adopt()
+// installs a thread whose slots were byte-copied from another node.  The
+// scheduler itself knows nothing about networks or slots — the PM2 runtime
+// composes those.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "marcel/context.hpp"
+#include "marcel/thread.hpp"
+
+namespace pm2::marcel {
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Scheduler bound to the calling kernel thread, or nullptr.
+  static Scheduler* current_scheduler();
+  /// Currently running PM2 thread on this kernel thread (nullptr while the
+  /// scheduler loop itself runs).
+  static Thread* self();
+
+  // --- thread lifecycle --------------------------------------------------
+
+  /// Continuation invoked on the scheduler stack right after a thread's
+  /// final switch-out (exit, or freeze for migration).  Receives the now
+  /// quiescent thread.
+  using Continuation = std::function<void(Thread*)>;
+
+  /// Create a thread inside caller-provided memory: the descriptor is
+  /// placed at the region base, the stack fills the rest (growing down from
+  /// the region end).  The region is typically one iso-address slot body.
+  /// `id` must be globally unique (the runtime derives it from the node id).
+  Thread* create(void* region, size_t region_size, EntryFn entry, void* arg,
+                 ThreadId id, const char* name, uint32_t flags = 0);
+
+  /// Cooperative yield: requeue caller, run someone else.
+  void yield();
+
+  /// Park the caller (state kBlocked).  The caller must already be linked
+  /// on some wait queue that will unblock() it later.
+  void block();
+
+  /// Park the caller for at least `us` microseconds (timer queue; actual
+  /// resolution is the scheduler loop cadence, ~the comm daemon's poll
+  /// interval under PM2).  Sleeping threads are kBlocked and therefore not
+  /// preemptively migratable, like any parked thread.
+  void sleep_us(uint64_t us);
+
+  /// Make a blocked thread runnable again.
+  void unblock(Thread* t);
+
+  /// Terminate the calling thread.  `reaper` runs on the scheduler stack
+  /// after the thread is off its stack — it releases the thread's memory
+  /// (slots) back to the allocator.  Never returns.
+  [[noreturn]] void exit_current(Continuation reaper);
+
+  /// Block the caller until thread `id` exits.  Returns false if no such
+  /// thread lives here (it may have migrated away or finished).
+  bool join(ThreadId id);
+
+  // --- migration support ---------------------------------------------------
+
+  /// Freeze a non-running thread: unlink it from the ready queue.  Its
+  /// context is already fully saved on its stack (that is the invariant of
+  /// every non-running thread).  Fails (returns false) if the thread is
+  /// blocked on a local wait queue — migrating it would leave a dangling
+  /// queue link — or is the caller itself.
+  bool freeze(Thread* t);
+
+  /// Re-enqueue a frozen thread locally (the freeze was provisional — e.g.
+  /// holding a newborn thread back while its argument is prepared).
+  void unfreeze(Thread* t);
+
+  /// Freeze the *calling* thread and run `cont` on the scheduler stack.
+  /// Used for self-migration: cont packs and ships the thread, after which
+  /// the local copy is dead.  If the thread is adopted elsewhere, this call
+  /// returns *there* — the code after freeze_current_and() must therefore
+  /// only rely on TLS re-lookups, never on pointers captured before the
+  /// call (they reference the source node's scheduler).
+  void freeze_current_and(Continuation cont);
+
+  /// Install a thread object (descriptor already at its iso-address, stack
+  /// and heap already committed and copied).  Resets node-local fields and
+  /// enqueues it ready.
+  void adopt(Thread* t);
+
+  /// Forget a thread that was shipped away (erase from registry, drop from
+  /// live count).  The memory is released by the migration engine.
+  void forget(Thread* t);
+
+  // --- main loop ---------------------------------------------------------
+
+  /// Run until stop() was requested and no live (non-daemon) threads
+  /// remain.  Must be called on the kernel thread owning this scheduler.
+  void run();
+
+  /// Ask run() to return once the node drains.  Daemon threads should
+  /// observe stopping() and exit.
+  void stop() { stop_requested_ = true; }
+  bool stopping() const { return stop_requested_; }
+
+  /// Called when the ready queue is empty: poll for external events.  The
+  /// hook may block briefly (e.g. fabric recv with a short timeout).
+  void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+  // --- preemption (deferred) ----------------------------------------------
+
+  /// Arm a time-slice: maybe_preempt() yields if the running thread has
+  /// exceeded `quantum_us`.  PM2 API entry points call maybe_preempt(), so
+  /// compute-heavy threads that use the API get descheduled transparently;
+  /// pure compute loops must call it (or yield) themselves.
+  void set_preemption(uint64_t quantum_us) { quantum_ns_ = quantum_us * 1000; }
+  void maybe_preempt();
+
+  // --- introspection -------------------------------------------------------
+
+  Thread* find(ThreadId id) const;
+  size_t ready_count() const { return ready_count_; }
+  size_t live_count() const { return live_; }
+  uint64_t context_switches() const { return switches_; }
+  /// Visit every thread registered on this node.
+  void for_each(const std::function<void(Thread*)>& fn) const;
+
+ private:
+  void dispatch(Thread* t);
+  void push_ready(Thread* t);
+  Thread* pop_ready();
+  [[noreturn]] void switch_out_forever(Thread* t);
+
+  void* sched_sp_ = nullptr;   // scheduler context while a thread runs
+  Thread* current_ = nullptr;
+  Thread* ready_head_ = nullptr;  // intrusive FIFO
+  Thread* ready_tail_ = nullptr;
+  size_t ready_count_ = 0;
+  size_t live_ = 0;  // non-daemon threads registered here
+  bool stop_requested_ = false;
+  std::function<void()> idle_hook_;
+  Continuation post_;          // continuation to run after next switch to sched
+  Thread* post_thread_ = nullptr;
+  std::unordered_map<ThreadId, Thread*> registry_;
+  std::multimap<uint64_t, Thread*> timers_;  // wake_ns -> sleeping thread
+  void fire_expired_timers();
+  std::uint64_t switches_ = 0;
+  uint64_t quantum_ns_ = 0;
+  uint64_t slice_start_ns_ = 0;
+};
+
+/// RAII binding of a scheduler to the current kernel thread (used by the
+/// runtime and by tests that drive the scheduler manually).
+class SchedulerBinding {
+ public:
+  explicit SchedulerBinding(Scheduler* sched);
+  ~SchedulerBinding();
+
+ private:
+  Scheduler* prev_;
+};
+
+}  // namespace pm2::marcel

@@ -1,0 +1,140 @@
+#include "marcel/sync.hpp"
+
+#include "common/check.hpp"
+
+namespace pm2::marcel {
+
+WaitQueue::~WaitQueue() {
+  PM2_CHECK(head_ == nullptr) << "wait queue destroyed with parked threads";
+}
+
+void WaitQueue::park_current() {
+  Scheduler* sched = Scheduler::current_scheduler();
+  PM2_CHECK(sched != nullptr);
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr) << "park outside a thread";
+  t->wait_queue = this;
+  t->qnext = nullptr;
+  t->qprev = tail_;
+  if (tail_ != nullptr)
+    tail_->qnext = t;
+  else
+    head_ = t;
+  tail_ = t;
+  ++size_;
+  sched->block();
+}
+
+Thread* WaitQueue::unpark_one() {
+  Thread* t = head_;
+  if (t == nullptr) return nullptr;
+  head_ = t->qnext;
+  if (head_ != nullptr)
+    head_->qprev = nullptr;
+  else
+    tail_ = nullptr;
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+  --size_;
+  Scheduler::current_scheduler()->unblock(t);
+  return t;
+}
+
+void WaitQueue::unpark_all() {
+  while (unpark_one() != nullptr) {
+  }
+}
+
+void Mutex::lock() {
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  while (owner_ != nullptr) {
+    PM2_CHECK(owner_ != t) << "recursive lock of non-recursive Mutex";
+    waiters_.park_current();
+    // Loop: another thread may have grabbed the mutex between our unpark
+    // and our dispatch (barging); retest rather than assume handoff.
+  }
+  owner_ = t;
+}
+
+bool Mutex::try_lock() {
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  if (owner_ != nullptr) return false;
+  owner_ = t;
+  return true;
+}
+
+void Mutex::unlock() {
+  PM2_CHECK(owner_ == Scheduler::self()) << "unlock by non-owner";
+  owner_ = nullptr;
+  waiters_.unpark_one();
+}
+
+void CondVar::wait(Mutex& mu) {
+  mu.unlock();
+  waiters_.park_current();
+  mu.lock();
+}
+
+void CondVar::signal() { waiters_.unpark_one(); }
+
+void CondVar::broadcast() { waiters_.unpark_all(); }
+
+void Semaphore::acquire() {
+  while (count_ <= 0) waiters_.park_current();
+  --count_;
+}
+
+void Semaphore::release() {
+  ++count_;
+  waiters_.unpark_one();
+}
+
+bool Barrier::arrive_and_wait() {
+  PM2_CHECK(parties_ > 0);
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    waiters_.unpark_all();
+    return true;
+  }
+  waiters_.park_current();
+  return false;
+}
+
+void Event::set() {
+  set_ = true;
+  waiters_.unpark_all();
+}
+
+void Event::wait() {
+  while (!set_) waiters_.park_current();
+}
+
+void RwLock::lock_shared() {
+  // Writer preference: park behind any active or queued writer.
+  while (writer_ != nullptr || !write_waiters_.empty())
+    read_waiters_.park_current();
+  ++readers_;
+}
+
+void RwLock::unlock_shared() {
+  PM2_CHECK(readers_ > 0) << "unlock_shared without reader";
+  if (--readers_ == 0) write_waiters_.unpark_one();
+}
+
+void RwLock::lock() {
+  Thread* self = Scheduler::self();
+  PM2_CHECK(self != nullptr);
+  while (writer_ != nullptr || readers_ > 0) write_waiters_.park_current();
+  writer_ = self;
+}
+
+void RwLock::unlock() {
+  PM2_CHECK(writer_ == Scheduler::self()) << "unlock by non-writing thread";
+  writer_ = nullptr;
+  // Writers first (preference), else release the reader herd.
+  if (write_waiters_.unpark_one() == nullptr) read_waiters_.unpark_all();
+}
+
+}  // namespace pm2::marcel

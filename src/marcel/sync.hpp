@@ -1,0 +1,124 @@
+// Synchronization primitives for PM2 threads (node-local).
+//
+// These park/unpark user-level threads through the cooperative scheduler —
+// no kernel futexes, no spinning.  They coordinate threads *within* one
+// node; the paper explicitly scopes data sharing between threads out (§1),
+// and a thread blocked on a wait queue is not migratable (Scheduler::freeze
+// refuses, because the queue holds a node-local link to it).
+#pragma once
+
+#include <cstddef>
+
+#include "marcel/scheduler.hpp"
+#include "marcel/thread.hpp"
+
+namespace pm2::marcel {
+
+/// Intrusive FIFO of parked threads (uses Thread::qnext/qprev).
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  ~WaitQueue();
+
+  /// Park the calling thread at the tail and deschedule it.
+  void park_current();
+  /// Unpark the head thread; returns it, or nullptr if empty.
+  Thread* unpark_one();
+  /// Unpark everything.
+  void unpark_all();
+
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+
+ private:
+  Thread* head_ = nullptr;
+  Thread* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Non-recursive mutual exclusion.
+class Mutex {
+ public:
+  void lock();
+  bool try_lock();
+  void unlock();
+  bool locked() const { return owner_ != nullptr; }
+
+ private:
+  Thread* owner_ = nullptr;
+  WaitQueue waiters_;
+};
+
+/// Condition variable paired with Mutex.
+class CondVar {
+ public:
+  /// Atomically release `mu`, park, re-acquire on wakeup.
+  void wait(Mutex& mu);
+  void signal();
+  void broadcast();
+
+ private:
+  WaitQueue waiters_;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  explicit Semaphore(long initial = 0) : count_(initial) {}
+  void acquire();  // P
+  void release();  // V
+  long value() const { return count_; }
+
+ private:
+  long count_;
+  WaitQueue waiters_;
+};
+
+/// Reusable rendezvous for `parties` threads.
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties) {}
+  /// Returns true for exactly one thread per generation (the releaser).
+  bool arrive_and_wait();
+
+ private:
+  size_t parties_;
+  size_t arrived_ = 0;
+  WaitQueue waiters_;
+};
+
+/// One-shot event: wait() blocks until set() (used for RPC replies and
+/// negotiation responses delivered by the comm daemon).
+class Event {
+ public:
+  void set();
+  void wait();
+  bool is_set() const { return set_; }
+
+ private:
+  bool set_ = false;
+  WaitQueue waiters_;
+};
+
+/// Readers-writer lock, writer-preferring: once a writer queues, new
+/// readers wait, so writers cannot starve under a steady reader stream.
+class RwLock {
+ public:
+  void lock_shared();
+  void unlock_shared();
+  void lock();
+  void unlock();
+
+  long readers() const { return readers_; }
+  bool has_writer() const { return writer_ != nullptr; }
+
+ private:
+  long readers_ = 0;            // active readers
+  Thread* writer_ = nullptr;    // active writer
+  WaitQueue read_waiters_;
+  WaitQueue write_waiters_;
+};
+
+}  // namespace pm2::marcel

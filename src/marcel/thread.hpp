@@ -1,0 +1,83 @@
+// Thread descriptor.
+//
+// A PM2 thread is "an execution flow managing a set of resources, i.e. its
+// state descriptor and its private execution stack" (paper §2).  The
+// descriptor is a trivially-copyable struct placed *inside the thread's
+// first iso-address slot*, immediately followed by the stack, so that a
+// byte copy of the thread's slots at the same virtual addresses moves the
+// complete thread.
+//
+// Fields are split into two classes:
+//   * migrating state — meaningful on any node (saved sp, stack bounds,
+//     iso-address heap pointers, id, name).  Absolute pointers here are safe
+//     precisely because of iso-addressing.
+//   * node-local state — scheduler queue links, join wait queue.  These are
+//     reset by Scheduler::adopt() when a migrated thread is installed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pm2::marcel {
+
+using ThreadId = uint64_t;
+
+enum class ThreadState : uint32_t {
+  kReady = 0,
+  kRunning,
+  kBlocked,   // parked on a wait queue (mutex/cond/join/...)
+  kFrozen,    // removed from scheduling for migration packing
+  kDead,
+};
+
+const char* to_string(ThreadState s);
+
+struct Thread {
+  static constexpr uint64_t kMagic = 0x504D325448524421ull;  // "PM2THRD!"
+  static constexpr size_t kNameLen = 32;
+
+  // --- migrating state -------------------------------------------------
+  uint64_t magic = kMagic;
+  ThreadId id = 0;
+  void* sp = nullptr;          // saved stack pointer while not running
+  void* stack_base = nullptr;  // lowest stack address (canary lives here)
+  void* stack_top = nullptr;   // one past highest address
+  void* slot_list = nullptr;   // opaque iso::SlotHeader* chain head
+  void* user_fn = nullptr;     // user entry (code is SPMD: same addr anywhere)
+  void* user_arg = nullptr;    // must not point into node-local memory if
+                               // the thread migrates
+  uint32_t home_node = 0;      // node that created the thread
+  uint32_t flags = 0;
+  char name[kNameLen] = {};
+  /// Thread-specific data (marcel_key_*): stored inline in the descriptor
+  /// so values — including pointers into iso-memory — migrate with the
+  /// thread.  Keys are allocated process-wide (SPMD: identical on all
+  /// nodes when allocated in deterministic order before run()).
+  static constexpr size_t kMaxKeys = 16;
+  void* specific[kMaxKeys] = {};
+
+  // --- node-local state (reset on adopt) --------------------------------
+  ThreadState state = ThreadState::kReady;
+  Thread* qnext = nullptr;  // intrusive link: ready queue or wait queue
+  Thread* qprev = nullptr;
+  void* wait_queue = nullptr;     // WaitQueue currently parked on (or null)
+  Thread* joiner = nullptr;       // thread blocked in join() on us
+  bool done = false;              // set just before the final switch-out
+
+  static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
+  static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration
+  static constexpr uint32_t kFlagRestored = 1u << 2;  // came from a checkpoint
+
+  bool is_daemon() const { return flags & kFlagDaemon; }
+  bool is_pinned() const { return flags & kFlagPinned; }
+
+  /// Stack canary helpers: a magic word at stack_base detects overflow (the
+  /// stack grows down toward the descriptor).
+  static constexpr uint64_t kCanary = 0xC0FFEE0CACA0FEEDull;
+  void arm_canary();
+  bool canary_ok() const;
+};
+
+static_assert(sizeof(Thread) <= 512, "descriptor should stay compact");
+
+}  // namespace pm2::marcel

@@ -1,0 +1,144 @@
+#include "pm2/app.hpp"
+
+#include <errno.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "fabric/inproc.hpp"
+#include "fabric/socket_fabric.hpp"
+#include "sys/process.hpp"
+
+namespace pm2 {
+
+namespace {
+
+void node_session(Runtime& rt, const std::function<void(Runtime&)>& node_main,
+                  const std::function<void(Runtime&)>& setup) {
+  if (setup) setup(rt);
+  rt.run([&rt, &node_main] {
+    node_main(rt);
+    // Session epilogue: wait for every node's main to finish, then node 0
+    // shuts the session down.  Applications with cross-node work still in
+    // flight must synchronize (pm2_wait_signals / pm2_join) before
+    // returning from node_main.
+    rt.barrier();
+    if (rt.self() == 0) rt.halt();
+  });
+}
+
+int run_inproc(const AppConfig& config,
+               const std::function<void(Runtime&)>& node_main,
+               const std::function<void(Runtime&)>& setup) {
+  iso::AreaConfig ac = config.area;
+  // Logical nodes share this address space: physical decommit by a node
+  // that just lost a slot's ownership would race the new owner's commit of
+  // the same pages (see AreaConfig::skip_decommit).
+  ac.skip_decommit = true;
+  iso::Area area(ac);
+  auto hub = std::make_shared<fabric::InProcHub>(config.nodes);
+  hub->set_latency_ns(config.inproc_latency_ns);
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.nodes);
+  for (uint32_t i = 0; i < config.nodes; ++i) {
+    threads.emplace_back([&, i] {
+      RuntimeConfig rc = config.rt;
+      rc.node = i;
+      rc.n_nodes = config.nodes;
+      Runtime rt(rc, area, hub->endpoint(i));
+      node_session(rt, node_main, setup);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return 0;
+}
+
+int run_as_child(const AppConfig& config,
+                 const std::function<void(Runtime&)>& node_main,
+                 const std::function<void(Runtime&)>& setup) {
+  uint32_t node = static_cast<uint32_t>(std::atoi(std::getenv("PM2_MP_NODE")));
+  uint32_t nodes =
+      static_cast<uint32_t>(std::atoi(std::getenv("PM2_MP_NODES")));
+  const char* dir = std::getenv("PM2_MP_DIR");
+  PM2_CHECK(dir != nullptr) << "PM2_MP_DIR missing in child environment";
+
+  iso::Area area(config.area);
+  fabric::SocketFabricConfig fc;
+  fc.node_id = node;
+  fc.n_nodes = nodes;
+  fc.dir = dir;
+  if (const char* port = std::getenv("PM2_MP_PORT")) {
+    fc.use_tcp = true;
+    fc.base_port = static_cast<uint16_t>(std::atoi(port));
+  }
+
+  RuntimeConfig rc = config.rt;
+  rc.node = node;
+  rc.n_nodes = nodes;
+  Runtime rt(rc, area, fabric::make_socket_fabric(fc));
+  node_session(rt, node_main, setup);
+  // Never give control back to a main() that might spawn again.
+  std::exit(0);
+}
+
+int spawn_children(const AppConfig& config) {
+  char dir[128];
+  std::snprintf(dir, sizeof(dir), "/tmp/pm2-%d-%u", ::getpid(),
+                static_cast<unsigned>(::time(nullptr) & 0xffff));
+  PM2_CHECK(::mkdir(dir, 0700) == 0 || errno == EEXIST)
+      << "cannot create socket dir " << dir;
+
+  std::string exe = sys::self_exe();
+  std::vector<pid_t> pids;
+  for (uint32_t i = 0; i < config.nodes; ++i) {
+    std::vector<std::string> env = {
+        "PM2_MP_NODE=" + std::to_string(i),
+        "PM2_MP_NODES=" + std::to_string(config.nodes),
+        std::string("PM2_MP_DIR=") + dir,
+    };
+    if (config.use_tcp) {
+      uint16_t port = config.base_port != 0
+                          ? config.base_port
+                          : static_cast<uint16_t>(20000 + (::getpid() % 20000));
+      env.push_back("PM2_MP_PORT=" + std::to_string(port));
+    }
+    pids.push_back(sys::spawn(exe, config.child_args, env));
+  }
+  int worst = 0;
+  for (pid_t pid : pids) {
+    int status = sys::wait_child(pid);
+    if (status > worst) worst = status;
+  }
+  for (uint32_t i = 0; i < config.nodes; ++i) {
+    std::string path = std::string(dir) + "/node" + std::to_string(i) + ".sock";
+    ::unlink(path.c_str());
+  }
+  ::rmdir(dir);
+  return worst;
+}
+
+}  // namespace
+
+void capture_argv_for_children(AppConfig& config, int argc, char** argv) {
+  config.child_args.assign(argv + 1, argv + argc);
+}
+
+bool is_spawned_child() { return std::getenv("PM2_MP_NODE") != nullptr; }
+
+int run_app(const AppConfig& config,
+            const std::function<void(Runtime&)>& node_main,
+            const std::function<void(Runtime&)>& setup) {
+  log::init_from_env();
+  if (is_spawned_child()) return run_as_child(config, node_main, setup);
+  if (config.multiprocess) return spawn_children(config);
+  return run_inproc(config, node_main, setup);
+}
+
+}  // namespace pm2

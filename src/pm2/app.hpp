@@ -1,0 +1,53 @@
+// SPMD application harness — the "pm2load" equivalent.
+//
+// run_app() executes `node_main` as the main PM2 thread of every node of
+// the session, either as logical nodes inside this process (one kernel
+// thread each, in-process fabric — the default for tests and benches) or as
+// real processes talking over UNIX-domain sockets (set
+// AppConfig::multiprocess, or run any example with --spawn).
+//
+// Multi-process bootstrap: the parent re-executes its own binary once per
+// node with PM2_MP_* environment variables; when run_app() detects them it
+// plays the designated node and exits the process when the node drains.
+// That makes any main() using run_app() multi-process capable for free.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isomalloc/area.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+
+struct AppConfig {
+  uint32_t nodes = 2;
+  bool multiprocess = false;
+  bool use_tcp = false;          // multiprocess only: TCP instead of UDS
+  uint16_t base_port = 0;        // 0 = derive from pid
+  iso::AreaConfig area;
+  RuntimeConfig rt;              // node/n_nodes overwritten per node
+  /// argv[1..] to forward to spawned node processes so their main() takes
+  /// the same path back into run_app (required when multiprocess).
+  std::vector<std::string> child_args;
+  /// Artificial per-message latency for the in-process fabric (benches).
+  uint64_t inproc_latency_ns = 0;
+};
+
+/// Convenience: capture argv for child re-execution.
+void capture_argv_for_children(AppConfig& config, int argc, char** argv);
+
+/// True when this process is a spawned node child (PM2_MP_NODE set).
+bool is_spawned_child();
+
+/// Run the session.  `setup` (optional) runs on each node after runtime
+/// construction and before the scheduler starts — register RPC services
+/// there.  `node_main` is the main-thread body; when it returns the node
+/// enters a session barrier and node 0 halts the session.
+/// Returns the worst child exit status (multiprocess) or 0.
+int run_app(const AppConfig& config,
+            const std::function<void(Runtime&)>& node_main,
+            const std::function<void(Runtime&)>& setup = {});
+
+}  // namespace pm2

@@ -1,0 +1,52 @@
+// Distributed invariant audit.
+//
+// The whole iso-address design rests on one global safety property (paper
+// §3.2): *at any instant, every slot has exactly one owner* — a node (bit
+// set in exactly one bitmap) or a thread (bit clear everywhere, the slot
+// appearing in exactly one thread's slot list, wherever that thread
+// currently lives).
+//
+// audit_session() proves the property for a live session: under the same
+// system-wide critical section the negotiation uses (so no ownership moves
+// mid-audit), it gathers every node's bitmap and every node's inventory of
+// thread-held slot runs, then checks:
+//
+//   1. node bitmaps are pairwise disjoint;
+//   2. thread-held runs do not overlap each other or any bitmap;
+//   3. every slot is covered (owned by someone) — no leaks;
+//   4. per-node slot accounting matches the gathered inventory.
+//
+// Used by stress tests as a final oracle and available to applications as
+// a debugging aid (expensive: O(nodes × slots), full lock).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pm2 {
+
+class Runtime;
+
+struct AuditReport {
+  bool ok = false;
+  uint64_t total_slots = 0;
+  uint64_t node_owned = 0;    // free slots across all bitmaps
+  uint64_t thread_owned = 0;  // slots in some thread's list
+  uint64_t threads_seen = 0;  // live threads across the session
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Run the audit from any PM2 thread.  Locks the system-wide critical
+/// section for the duration.
+///
+/// Caveat: the critical section freezes *ownership bookkeeping*, not
+/// migrations — a thread whose slots are mid-flight between two nodes at
+/// the moment of the audit belongs to neither inventory and reports as a
+/// coverage leak.  Audit at quiescent points (after a barrier with workers
+/// drained), which is how the stress tests use it.
+AuditReport audit_session(Runtime& rt);
+
+}  // namespace pm2

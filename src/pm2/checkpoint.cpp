@@ -1,0 +1,138 @@
+#include "pm2/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+#include "pm2/migration.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+
+uint64_t binary_stamp() {
+  // Address + leading code bytes of a reference function: both are fixed
+  // across runs of the same non-PIE binary and differ across binaries.
+  auto addr = reinterpret_cast<uint64_t>(&binary_stamp);
+  uint64_t code = 0;
+  std::memcpy(&code, reinterpret_cast<const void*>(&binary_stamp),
+              sizeof(code));
+  return addr ^ (code * 0x9E3779B97F4A7C15ull);
+}
+
+namespace {
+
+std::vector<uint8_t> wrap_image(Runtime& rt, std::vector<uint8_t> payload) {
+  CheckpointHeader h;
+  h.area_base = rt.area().base();
+  h.area_size = rt.area().size();
+  h.slot_size = rt.area().slot_size();
+  h.binary_stamp = binary_stamp();
+  h.payload_len = payload.size();
+  ByteWriter w(sizeof(h) + payload.size());
+  w.put(h);
+  w.put_bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+std::vector<uint8_t> unwrap_image(Runtime& rt,
+                                  const std::vector<uint8_t>& image) {
+  ByteReader r(image);
+  auto h = r.get<CheckpointHeader>();
+  PM2_CHECK(h.magic == CheckpointHeader::kMagic) << "not a PM2 checkpoint";
+  PM2_CHECK(h.binary_stamp == binary_stamp())
+      << "checkpoint was taken by a different binary";
+  PM2_CHECK(h.area_base == rt.area().base() &&
+            h.area_size == rt.area().size() &&
+            h.slot_size == rt.area().slot_size())
+      << "iso-area geometry mismatch";
+  PM2_CHECK(h.payload_len == r.remaining()) << "truncated checkpoint";
+  std::vector<uint8_t> payload(h.payload_len);
+  r.get_bytes(payload.data(), payload.size());
+  return payload;
+}
+
+}  // namespace
+
+std::vector<uint8_t> checkpoint_thread(Runtime& rt, marcel::ThreadId id) {
+  marcel::Thread* t = rt.sched().find(id);
+  PM2_CHECK(t != nullptr) << "checkpoint: no thread " << id << " here";
+  PM2_CHECK(!t->is_pinned()) << "checkpoint: pinned thread";
+  PM2_CHECK(rt.sched().freeze(t))
+      << "checkpoint: thread must be READY (not running/blocked)";
+  // Always pack whole-slot images: a restore may happen after the dead
+  // stack/free payloads were recycled, and a self-contained image is worth
+  // the bytes in a persistence format.
+  std::vector<uint8_t> payload = pack_thread(rt, t, /*blocks_only=*/false);
+  // Thaw: put the thread back exactly as it was.
+  rt.sched().forget(t);
+  rt.sched().adopt(t);
+  return wrap_image(rt, std::move(payload));
+}
+
+bool checkpoint_self(Runtime& rt, std::vector<uint8_t>& out) {
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "checkpoint_self outside a PM2 thread";
+  PM2_CHECK(!t->is_pinned()) << "checkpoint_self: pinned thread";
+  // Clear the restore marker *before* the image is taken: the image must
+  // contain the cleared flag so a restored clone (which gets the flag set
+  // by restore_thread after installation) is distinguishable.
+  t->flags &= ~marcel::Thread::kFlagRestored;
+  rt.sched().freeze_current_and([&rt, &out](marcel::Thread* frozen) {
+    // Runs on the scheduler stack while the thread is quiescent.  Pack
+    // first (the image captures `out` still untouched), then deliver.
+    std::vector<uint8_t> payload = pack_thread(rt, frozen, false);
+    out = wrap_image(rt, std::move(payload));
+    // Thaw: freeze_current_and left the thread registered, so re-enter it
+    // through forget+adopt (adopt also resets node-local links).
+    rt.sched().forget(frozen);
+    rt.sched().adopt(frozen);
+  });
+  // Both the original and a restored clone resume here.
+  return (marcel::Scheduler::self()->flags & marcel::Thread::kFlagRestored) !=
+         0;
+}
+
+marcel::ThreadId restore_thread(Runtime& rt,
+                                const std::vector<uint8_t>& image) {
+  std::vector<uint8_t> payload = unwrap_image(rt, image);
+
+  // The image's slot ranges must be re-claimed from this node before the
+  // install may commit them (they were released when the original thread
+  // died — or never claimed, after a process restart).
+  auto runs = payload_slot_runs(payload);
+  for (auto [first, count] : runs) {
+    PM2_CHECK(rt.slots().acquire_at(first, count))
+        << "restore: slot run [" << first << ", +" << count
+        << ") is not free on this node (original thread still alive, or the "
+           "slots belong to another node — restore on the owning node)";
+    rt.mig_cache_invalidate(first, count);
+  }
+
+  marcel::Thread* t = install_thread(rt, payload);
+  t->flags |= marcel::Thread::kFlagRestored;
+  return t->id;
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<uint8_t>& image) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  PM2_CHECK(f.good()) << "cannot write " << path;
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+  PM2_CHECK(f.good()) << "short write to " << path;
+}
+
+std::vector<uint8_t> load_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  PM2_CHECK(f.good()) << "cannot read " << path;
+  auto size = static_cast<size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<uint8_t> image(size);
+  f.read(reinterpret_cast<char*>(image.data()),
+         static_cast<std::streamsize>(size));
+  PM2_CHECK(f.good()) << "short read from " << path;
+  return image;
+}
+
+}  // namespace pm2

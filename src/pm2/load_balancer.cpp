@@ -1,0 +1,67 @@
+#include "pm2/load_balancer.hpp"
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "marcel/scheduler.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+
+namespace {
+
+void balancer_loop(Runtime& rt, LoadBalancerConfig cfg) {
+  marcel::Scheduler& sched = rt.sched();
+  while (!rt.halting()) {
+    sched.sleep_us(cfg.period_us);
+
+    rt.broadcast_load();
+    const auto& table = rt.load_table();
+    uint64_t my = table[rt.self()];
+
+    // Pick the least loaded node as the victim.
+    uint32_t victim = rt.self();
+    uint64_t victim_load = my;
+    for (uint32_t n = 0; n < rt.n_nodes(); ++n) {
+      if (table[n] < victim_load) {
+        victim = n;
+        victim_load = table[n];
+      }
+    }
+    if (victim == rt.self() || my < victim_load + cfg.imbalance_threshold)
+      continue;
+
+    // Collect migratable candidates: READY, not pinned, not the balancer.
+    std::vector<marcel::ThreadId> candidates;
+    sched.for_each([&](marcel::Thread* t) {
+      if (t->state == marcel::ThreadState::kReady && !t->is_pinned())
+        candidates.push_back(t->id);
+    });
+    uint32_t shipped = 0;
+    for (marcel::ThreadId id : candidates) {
+      if (shipped >= cfg.max_migrations_per_round) break;
+      if (rt.migrate(id, victim)) ++shipped;
+    }
+    if (shipped > 0) {
+      // Optimistically account for the transfer so the next round does not
+      // re-ship before fresh gossip arrives.
+      rt.broadcast_load();
+    }
+  }
+}
+
+}  // namespace
+
+void LoadBalancer::start(Runtime& rt, const LoadBalancerConfig& config) {
+  // Pinned thread: participates in scheduling but never migrates; exits by
+  // itself when the session halts.
+  Runtime* rtp = &rt;
+  LoadBalancerConfig cfg = config;
+  rt.spawn_local([rtp, cfg] { balancer_loop(*rtp, cfg); }, "load-balancer");
+}
+
+uint64_t LoadBalancer::migrations_triggered(Runtime& rt) {
+  return rt.migrations_out();
+}
+
+}  // namespace pm2

@@ -1,0 +1,193 @@
+#include "pm2/migration.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "isomalloc/block.hpp"
+#include "isomalloc/heap.hpp"
+#include "madeleine/buffers.hpp"
+#include "pm2/protocol.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+
+namespace {
+
+struct Extent {
+  uint64_t offset;  // from the slot-run base
+  uint64_t len;
+};
+
+/// Append an extent, merging with the previous one when contiguous.
+void push_extent(std::vector<Extent>& v, uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  if (!v.empty() && v.back().offset + v.back().len == offset) {
+    v.back().len += len;
+    return;
+  }
+  v.push_back(Extent{offset, len});
+}
+
+/// Live extents of one slot run.  `base` is the run's first byte.
+std::vector<Extent> live_extents(iso::SlotHeader* slot, size_t slot_size,
+                                 const marcel::Thread* t) {
+  std::vector<Extent> extents;
+  auto base = reinterpret_cast<uintptr_t>(slot);
+  if (slot->kind == iso::SlotKind::kStack) {
+    // Slot header + padding + descriptor + stack canary…
+    auto canary_end = reinterpret_cast<uintptr_t>(t->stack_base) + 8;
+    push_extent(extents, 0, canary_end - base);
+    // …then only the live part of the stack: [sp, stack_top).
+    auto sp = reinterpret_cast<uintptr_t>(t->sp);
+    auto top = reinterpret_cast<uintptr_t>(t->stack_top);
+    PM2_CHECK(sp >= canary_end && sp <= top) << "saved sp outside stack";
+    push_extent(extents, sp - base, top - sp);
+  } else {
+    push_extent(extents, 0, sizeof(iso::SlotHeader));
+    iso::for_each_block(slot, slot_size, [&](iso::BlockHeader* b) {
+      auto off = reinterpret_cast<uintptr_t>(b) - base;
+      // Headers always travel (they carry the free-list and physical
+      // chaining); payload bytes only for busy blocks.
+      uint64_t len = b->free ? sizeof(iso::BlockHeader) : b->size;
+      push_extent(extents, off, len);
+    });
+  }
+  return extents;
+}
+
+std::vector<Extent> full_extent(iso::SlotHeader* slot, size_t slot_size) {
+  return {Extent{0, uint64_t{slot->nslots} * slot_size}};
+}
+
+}  // namespace
+
+std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
+                                 bool blocks_only) {
+  PM2_CHECK(t->slot_list != nullptr) << "thread without slots";
+  const size_t slot_size = rt.area().slot_size();
+
+  // Count slot runs first.
+  uint32_t n_runs = 0;
+  iso::ThreadHeap::for_each_slot(t->slot_list,
+                                 [&](iso::SlotHeader*) { ++n_runs; });
+
+  mad::PackBuffer pack(1024);
+  pack.pack<uint64_t>(reinterpret_cast<uint64_t>(t));
+  pack.pack<uint8_t>(blocks_only ? 1 : 0);
+  pack.pack<uint32_t>(n_runs);
+
+  iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* slot) {
+    auto base = reinterpret_cast<const char*>(slot);
+    pack.pack<uint64_t>(rt.area().slot_of(slot));
+    pack.pack<uint32_t>(slot->nslots);
+    pack.pack<uint32_t>(static_cast<uint32_t>(slot->kind));
+    std::vector<Extent> extents = blocks_only
+                                      ? live_extents(slot, slot_size, t)
+                                      : full_extent(slot, slot_size);
+    pack.pack<uint32_t>(static_cast<uint32_t>(extents.size()));
+    for (const Extent& e : extents) {
+      pack.pack<uint64_t>(e.offset);
+      pack.pack<uint64_t>(e.len);
+      // Borrow: the slot memory stays mapped until finalize() below.
+      pack.pack_bytes(base + e.offset, e.len, mad::PackMode::kBorrow);
+    }
+  });
+  return pack.finalize();
+}
+
+size_t migration_payload_size(Runtime& rt, marcel::Thread* t,
+                              bool blocks_only) {
+  return pack_thread(rt, t, blocks_only).size();
+}
+
+void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
+  PM2_CHECK(dest != rt.self());
+  PM2_TRACE << "shipping thread " << t->id << " to node " << dest;
+
+  std::vector<uint8_t> payload =
+      pack_thread(rt, t, rt.config().migrate_blocks_only);
+
+  // Record the runs before the descriptor becomes unreachable.
+  std::vector<std::pair<size_t, size_t>> runs;
+  iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* slot) {
+    runs.emplace_back(rt.area().slot_of(slot), slot->nslots);
+  });
+
+  rt.sched().forget(t);
+  // "The memory area storing the resources is set free" (§2 step 1).  The
+  // slots stay owned by the thread — no bitmap traffic — so the same
+  // addresses are guaranteed free on every node, including this one if the
+  // thread ever migrates back.  mig_cache_put keeps the pages committed
+  // (bounded) so a returning thread skips the commit/page-fault cycle —
+  // the paper's §6 slot-cache idea on the migration path.
+  for (auto [first, count] : runs) rt.mig_cache_put(first, count);
+
+  fabric::Message msg;
+  msg.type = kMigrate;
+  msg.dst = dest;
+  msg.payload = std::move(payload);
+  rt.fabric().send(std::move(msg));
+  rt.trace_event(trace::Event::kMigrationOut, 0, dest);
+}
+
+std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
+    const std::vector<uint8_t>& payload) {
+  mad::UnpackBuffer unpack(payload);
+  unpack.unpack<uint64_t>();  // descriptor address
+  unpack.unpack<uint8_t>();   // mode
+  auto n_runs = unpack.unpack<uint32_t>();
+  std::vector<std::pair<size_t, uint32_t>> runs;
+  runs.reserve(n_runs);
+  for (uint32_t i = 0; i < n_runs; ++i) {
+    auto first = unpack.unpack<uint64_t>();
+    auto nslots = unpack.unpack<uint32_t>();
+    unpack.unpack<uint32_t>();  // kind
+    runs.emplace_back(first, nslots);
+    auto n_extents = unpack.unpack<uint32_t>();
+    for (uint32_t e = 0; e < n_extents; ++e) {
+      unpack.unpack<uint64_t>();  // offset
+      auto len = unpack.unpack<uint64_t>();
+      unpack.skip(len);  // extent body
+    }
+  }
+  return runs;
+}
+
+marcel::Thread* install_thread(Runtime& rt,
+                               const std::vector<uint8_t>& payload) {
+  mad::UnpackBuffer unpack(payload);
+  auto desc_addr = unpack.unpack<uint64_t>();
+  unpack.unpack<uint8_t>();  // mode: self-describing via extents
+  auto n_runs = unpack.unpack<uint32_t>();
+
+  for (uint32_t i = 0; i < n_runs; ++i) {
+    auto first = unpack.unpack<uint64_t>();
+    auto nslots = unpack.unpack<uint32_t>();
+    unpack.unpack<uint32_t>();  // kind (informational)
+    // Iso-address guarantee: these slot indices are free here (they are
+    // owned by the migrating thread system-wide).  If the run sits in the
+    // migration slot cache (the thread bounced through this node before),
+    // the pages are already committed; stale bytes in the extent gaps are
+    // dead data by construction (below-sp stack, free-block payloads).
+    if (!rt.mig_cache_take(first, nslots)) rt.area().commit(first, nslots);
+    auto base = reinterpret_cast<char*>(rt.area().slot_addr(first));
+    auto n_extents = unpack.unpack<uint32_t>();
+    for (uint32_t e = 0; e < n_extents; ++e) {
+      auto offset = unpack.unpack<uint64_t>();
+      auto len = unpack.unpack<uint64_t>();
+      unpack.unpack_bytes(base + offset, len);
+    }
+  }
+  PM2_CHECK(unpack.exhausted()) << "trailing bytes in migration payload";
+
+  auto* t = reinterpret_cast<marcel::Thread*>(desc_addr);
+  PM2_CHECK(t->magic == marcel::Thread::kMagic)
+      << "migration payload did not reconstruct a valid descriptor";
+  PM2_CHECK(t->canary_ok()) << "migrated stack arrived corrupt";
+  rt.sched().adopt(t);
+  PM2_TRACE << "installed thread " << t->id;
+  return t;
+}
+
+}  // namespace pm2

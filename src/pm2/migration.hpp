@@ -1,0 +1,50 @@
+// Iso-address thread migration (paper §2 steps 1–3, §3.1).
+//
+// A frozen thread is entirely described by its slot list: the first (stack)
+// slot holds the descriptor and the execution stack with the saved register
+// frame; further slots hold its pm2_isomalloc heap.  Migration is:
+//
+//   pack    — serialize every slot run (whole image, or just the live
+//             extents: slot/block headers, busy payloads, descriptor and
+//             live stack — the paper's §6 optimization);
+//   release — forget the thread locally and decommit its slots (the slots
+//             remain *thread-owned*: no bitmap changes anywhere, §4.2);
+//   send    — one kMigrate message;
+//   install — commit the same slot indices (guaranteed free: iso-address
+//             discipline), copy the extents back, adopt the thread.
+//
+// No pointer fix-ups of any kind happen anywhere in this file: that absence
+// is the paper's contribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "marcel/thread.hpp"
+
+namespace pm2 {
+
+class Runtime;
+
+/// Serialize a frozen thread into a migration payload (pack step only; the
+/// thread keeps living locally).  Exposed separately for tests and benches.
+std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
+                                 bool blocks_only);
+
+/// Pack + forget + decommit + send to `dest`.  `t` must be frozen (or be
+/// the post-switch continuation target of freeze_current_and).
+void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest);
+
+/// Commit + copy + adopt a thread from a migration payload.  Returns the
+/// (iso-address) descriptor.
+marcel::Thread* install_thread(Runtime& rt, const std::vector<uint8_t>& payload);
+
+/// Payload size a migration of `t` would ship (for the A4 ablation bench).
+size_t migration_payload_size(Runtime& rt, marcel::Thread* t, bool blocks_only);
+
+/// Slot runs (first, nslots) recorded in a migration payload, without
+/// installing it (checkpoint restore claims them before committing).
+std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
+    const std::vector<uint8_t>& payload);
+
+}  // namespace pm2

@@ -1,0 +1,240 @@
+// Distributed wrapper of the slot negotiation (paper §4.4 steps a–f).
+//
+// The pure search/purchase logic is in isomalloc/negotiation.*; this file
+// adds the protocol: the lock server hosted by node 0 (the system-wide
+// critical section), the bitmap gather, the update scatter, and the freeze
+// discipline that keeps every node's bitmap immutable while a negotiation
+// is in flight.
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "isomalloc/negotiation.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+
+void Runtime::lock_system() {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr);
+  PM2_CHECK(lock_wait_ == nullptr)
+      << "two concurrent negotiations on one node";
+  marcel::Event ev;
+  if (config_.node == 0) {
+    if (!lock_held_) {
+      lock_held_ = true;
+      lock_owner_ = 0;
+      return;
+    }
+    lock_wait_ = &ev;
+    lock_queue_.push_back(0);
+  } else {
+    lock_wait_ = &ev;
+    fabric::Message msg;
+    msg.type = kLockReq;
+    msg.dst = 0;
+    fabric_->send(std::move(msg));
+  }
+  ev.wait();
+  lock_wait_ = nullptr;
+  PM2_DEBUG << "system lock granted";
+}
+
+void Runtime::unlock_system() {
+  PM2_DEBUG << "releasing system lock";
+  if (config_.node == 0) {
+    handle_unlock(0);
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kUnlock;
+  msg.dst = 0;
+  fabric_->send(std::move(msg));
+}
+
+void Runtime::handle_lock_req(uint32_t from) {
+  PM2_CHECK(config_.node == 0) << "lock request at non-server node";
+  if (!lock_held_) {
+    lock_held_ = true;
+    lock_owner_ = from;
+    fabric::Message grant;
+    grant.type = kLockGrant;
+    grant.dst = from;
+    fabric_->send(std::move(grant));
+    return;
+  }
+  lock_queue_.push_back(from);
+}
+
+void Runtime::handle_unlock(uint32_t from) {
+  PM2_CHECK(config_.node == 0) << "unlock at non-server node";
+  PM2_CHECK(lock_held_ && lock_owner_ == from)
+      << "unlock by non-owner " << from;
+  if (lock_queue_.empty()) {
+    lock_held_ = false;
+    return;
+  }
+  uint32_t next = lock_queue_.front();
+  lock_queue_.erase(lock_queue_.begin());
+  lock_owner_ = next;
+  if (next == 0) {
+    PM2_CHECK(lock_wait_ != nullptr);
+    lock_wait_->set();
+  } else {
+    fabric::Message grant;
+    grant.type = kLockGrant;
+    grant.dst = next;
+    fabric_->send(std::move(grant));
+  }
+}
+
+void Runtime::handle_gather_req(fabric::Message& msg) {
+  PM2_DEBUG << "gather req from " << msg.src << " freeze=" << bitmap_freeze_;
+  // Step (a) seen from a peer: our bitmap becomes read-only until the
+  // initiator's kNegoUpdate arrives.  Threads that try to acquire slots
+  // meanwhile park; releases are deferred.
+  ++bitmap_freeze_;
+  fabric::Message resp;
+  resp.type = kGatherResp;
+  resp.dst = msg.src;
+  resp.corr = msg.corr;
+  ByteWriter w;
+  w.put_vector<uint64_t>(slot_mgr_.bitmap().words());
+  resp.payload = w.take();
+  fabric_->send(std::move(resp));
+}
+
+void Runtime::handle_nego_update(fabric::Message& msg) {
+  PM2_DEBUG << "nego update from " << msg.src << " freeze=" << bitmap_freeze_;
+  ByteReader r(msg.payload);
+  auto words = r.get_vector<uint64_t>();
+  slot_mgr_.set_bitmap(Bitmap::from_words(area_.n_slots(), std::move(words)));
+  PM2_CHECK(bitmap_freeze_ > 0) << "negotiation update without gather";
+  --bitmap_freeze_;
+  apply_deferred_releases();
+}
+
+void Runtime::apply_deferred_releases() {
+  if (bitmap_freeze_ > 0) return;
+  for (auto [first, count] : deferred_releases_)
+    slot_mgr_.release(first, count);
+  deferred_releases_.clear();
+  bitmap_wait_.unpark_all();
+}
+
+std::vector<Bitmap> Runtime::gather_all_bitmaps() {
+  PM2_DEBUG << "gathering bitmaps";
+  // Sequential per-peer gather: the paper's measured cost grows linearly,
+  // ~165 us per extra node.
+  std::vector<Bitmap> bitmaps(config_.n_nodes);
+  bitmaps[config_.node] = slot_mgr_.bitmap();
+  for (uint32_t node = 0; node < config_.n_nodes; ++node) {
+    if (node == config_.node) continue;
+    uint64_t corr = next_corr_++;
+    PendingCall pc;
+    pending_calls_[corr] = &pc;
+    fabric::Message req;
+    req.type = kGatherReq;
+    req.dst = node;
+    req.corr = corr;
+    fabric_->send(std::move(req));
+    pc.event.wait();
+    pending_calls_.erase(corr);
+    ByteReader r(pc.result);
+    bitmaps[node] =
+        Bitmap::from_words(area_.n_slots(), r.get_vector<uint64_t>());
+  }
+  return bitmaps;
+}
+
+void Runtime::scatter_bitmaps(std::vector<Bitmap> bitmaps) {
+  // Peers get their update even when nothing changed: the message also
+  // releases the freeze their gather reply installed.
+  for (uint32_t node = 0; node < config_.n_nodes; ++node) {
+    if (node == config_.node) continue;
+    fabric::Message upd;
+    upd.type = kNegoUpdate;
+    upd.dst = node;
+    ByteWriter w;
+    w.put_vector<uint64_t>(bitmaps[node].words());
+    upd.payload = w.take();
+    fabric_->send(std::move(upd));
+  }
+  slot_mgr_.set_bitmap(std::move(bitmaps[config_.node]));
+}
+
+std::optional<size_t> Runtime::negotiate(size_t run) {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr)
+      << "negotiation outside a PM2 thread";
+  ++negotiations_initiated_;
+  trace_event(trace::Event::kNegotiationStart, run);
+  PM2_DEBUG << "negotiating for " << run << " contiguous slots";
+
+  // One critical-section client per node at a time.
+  nego_mutex_.lock();
+  // Freeze our own bitmap against other local threads for the duration.
+  ++bitmap_freeze_;
+
+  // (a) enter the system-wide critical section.
+  lock_system();
+
+  // (b) gather the local bitmaps of all nodes.
+  std::vector<Bitmap> bitmaps = gather_all_bitmaps();
+
+  // (c)+(d) global OR, first-fit run, buy the non-local slots.  With
+  // pre-buying enabled, first try to win a longer run so the next
+  // multi-slot requests stay local (§4.4).
+  size_t want = run + config_.nego_prebuy_slots;
+  auto plan = iso::plan_negotiation(bitmaps, config_.node, want);
+  if (!plan && want != run)
+    plan = iso::plan_negotiation(bitmaps, config_.node, run);
+  std::optional<size_t> acquired;
+  ++slot_mgr_.stats().negotiations;
+  if (plan) {
+    iso::apply_plan(bitmaps, config_.node, *plan);
+    for (const iso::Purchase& p : plan->purchases)
+      slot_mgr_.stats().negotiated_slots += p.count;
+  }
+
+  // (e) send back the updated bitmaps.
+  scatter_bitmaps(std::move(bitmaps));
+
+  // Take the requested run (not the pre-buy surplus) for the calling
+  // thread *inside* the critical section, so no later negotiation can
+  // resell it between unlock and use.
+  if (plan) {
+    acquired = slot_mgr_.acquire(run);
+    PM2_CHECK(acquired.has_value() && *acquired == plan->first_slot)
+        << "negotiated run vanished before acquisition";
+  }
+
+  // (f) leave the critical section.
+  unlock_system();
+
+  --bitmap_freeze_;
+  apply_deferred_releases();
+  nego_mutex_.unlock();
+  PM2_DEBUG << "negotiation done: acquired="
+            << (acquired ? static_cast<long>(*acquired) : -1);
+  trace_event(trace::Event::kNegotiationEnd,
+              acquired ? *acquired : ~uint64_t{0});
+  return acquired;
+}
+
+void Runtime::defragment() {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr)
+      << "defragment outside a PM2 thread";
+  if (config_.n_nodes == 1) return;  // a single bitmap is trivially packed
+  PM2_DEBUG << "defragment: waiting for local nego mutex";
+  nego_mutex_.lock();
+  PM2_DEBUG << "defragment: entering critical section";
+  ++bitmap_freeze_;
+  lock_system();
+  std::vector<Bitmap> bitmaps = gather_all_bitmaps();
+  std::vector<Bitmap> packed = iso::plan_defragmentation(bitmaps);
+  scatter_bitmaps(std::move(packed));
+  unlock_system();
+  --bitmap_freeze_;
+  apply_deferred_releases();
+  nego_mutex_.unlock();
+  PM2_DEBUG << "defragment: done";
+}
+
+}  // namespace pm2

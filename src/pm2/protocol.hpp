@@ -1,0 +1,41 @@
+// PM2 control-plane message types carried by the fabric.
+#pragma once
+
+#include <cstdint>
+
+namespace pm2 {
+
+enum MsgType : uint16_t {
+  // Shutdown / collectives
+  kHalt = 1,
+  kBarrierArrive,   // node -> 0           {u32 seq}
+  kBarrierRelease,  // 0 -> all            {u32 seq}
+  kSignal,          // point-to-point completion token
+
+  // Remote thread creation (LRPC) and replies
+  kRpc,    // {u32 service; args...}  corr!=0 => reply expected
+  kReply,  // {result...}             corr = matching request
+
+  // Iso-address thread migration
+  kMigrate,  // serialized thread: descriptor address + slot images
+
+  // Global negotiation (paper §4.4): system-wide critical section on the
+  // slot bitmaps, hosted by node 0.
+  kLockReq,    // node -> 0
+  kLockGrant,  // 0 -> node
+  kUnlock,     // node -> 0
+  kGatherReq,  // initiator -> node    (freezes the peer's bitmap)
+  kGatherResp, // node -> initiator    {bitmap words}
+  kNegoUpdate, // initiator -> node    {bitmap words} (unfreezes the peer)
+
+  // Load balancer gossip
+  kLoadInfo,  // {u32 node; u64 load}
+
+  // Distributed invariant audit (pm2/audit.hpp)
+  kAuditReq,   // initiator -> node
+  kAuditResp,  // node -> initiator  {thread-held slot runs}
+
+  kUserBase = 100,
+};
+
+}  // namespace pm2

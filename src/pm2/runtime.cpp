@@ -1,0 +1,714 @@
+#include "pm2/runtime.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "isomalloc/block.hpp"
+#include "pm2/migration.hpp"
+
+namespace pm2 {
+
+namespace {
+thread_local Runtime* t_runtime = nullptr;
+
+class RuntimeBinding {
+ public:
+  explicit RuntimeBinding(Runtime* rt) : prev_(t_runtime) { t_runtime = rt; }
+  ~RuntimeBinding() { t_runtime = prev_; }
+
+ private:
+  Runtime* prev_;
+};
+}  // namespace
+
+Runtime* Runtime::current() { return t_runtime; }
+
+Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
+                 std::unique_ptr<fabric::Fabric> fabric)
+    : config_(config),
+      area_(area),
+      fabric_(std::move(fabric)),
+      slot_mgr_(area, [&] {
+        iso::SlotManagerConfig sc = config.slots;
+        sc.node = config.node;
+        sc.n_nodes = config.n_nodes;
+        return sc;
+      }()),
+      load_table_(config.n_nodes, 0) {
+  PM2_CHECK(fabric_ != nullptr);
+  PM2_CHECK(fabric_->node_id() == config_.node &&
+            fabric_->n_nodes() == config_.n_nodes)
+      << "fabric/runtime node configuration mismatch";
+}
+
+Runtime::~Runtime() = default;
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+marcel::ThreadId Runtime::next_thread_id() {
+  // Node id in the top bits keeps ids globally unique without coordination.
+  return (static_cast<uint64_t>(config_.node) << 40) | ++thread_counter_;
+}
+
+marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
+                                                const char* name,
+                                                uint32_t flags) {
+  std::optional<size_t> first;
+  if (marcel::Scheduler::self() != nullptr) {
+    first = acquire_slots_negotiating(config_.stack_slots);
+  } else {
+    // Bootstrap (comm daemon / main, created before the scheduler runs):
+    // negotiation needs a running node, so the stack run must be locally
+    // available.  stack_slots == 1 always is; multi-slot stacks require a
+    // contiguity-friendly initial distribution.
+    first = slot_mgr_.acquire(config_.stack_slots);
+    PM2_CHECK(first.has_value())
+        << "initial slot distribution cannot host a " << config_.stack_slots
+        << "-slot stack run locally; use block-cyclic/partitioned "
+           "distribution (or stack_slots=1) so bootstrap threads need no "
+           "negotiation";
+    mig_cache_invalidate(*first, config_.stack_slots);
+  }
+  PM2_CHECK(first.has_value()) << "out of iso-address slots for thread stack";
+
+  marcel::ThreadId id = next_thread_id();
+  void* slot_base = area_.slot_addr(*first);
+  iso::SlotHeader* sh = iso::init_stack_slot(
+      slot_base, static_cast<uint32_t>(config_.stack_slots),
+      area_.slot_size(), id);
+
+  // Descriptor right after the slot header, 64-byte aligned; the stack
+  // fills the rest of the run.
+  auto region = (reinterpret_cast<uintptr_t>(slot_base) +
+                 sizeof(iso::SlotHeader) + 63) &
+                ~uintptr_t{63};
+  size_t region_size = reinterpret_cast<uintptr_t>(slot_base) +
+                       config_.stack_slots * area_.slot_size() - region;
+
+  marcel::Thread* t =
+      sched_.create(reinterpret_cast<void*>(region), region_size,
+                    &Runtime::thread_trampoline,
+                    reinterpret_cast<void*>(region), id, name, flags);
+  t->user_fn = reinterpret_cast<void*>(fn);
+  t->user_arg = arg;
+  t->home_node = config_.node;
+  t->slot_list = sh;
+  trace_event(trace::Event::kThreadCreate, id);
+  return t;
+}
+
+void Runtime::thread_trampoline(void* descriptor) {
+  auto* t = static_cast<marcel::Thread*>(descriptor);
+  auto fn = reinterpret_cast<marcel::EntryFn>(t->user_fn);
+  fn(t->user_arg);
+  // The thread may have migrated inside fn(): resolve the runtime afresh.
+  Runtime::current()->thread_exit();
+}
+
+marcel::ThreadId Runtime::spawn(marcel::EntryFn fn, void* arg,
+                                const char* name) {
+  sched_.maybe_preempt();
+  return create_thread_in_slots(fn, arg, name, 0)->id;
+}
+
+struct Runtime::SpawnLocalCtx {
+  std::function<void()> fn;
+};
+
+void Runtime::local_trampoline(void* p) {
+  auto* ctx = static_cast<SpawnLocalCtx*>(p);
+  ctx->fn();
+  delete ctx;
+  Runtime::current()->thread_exit();
+}
+
+marcel::ThreadId Runtime::spawn_local(std::function<void()> fn,
+                                      const char* name) {
+  auto* ctx = new SpawnLocalCtx{std::move(fn)};
+  return create_thread_in_slots(&Runtime::local_trampoline, ctx, name,
+                                marcel::Thread::kFlagPinned)
+      ->id;
+}
+
+marcel::ThreadId Runtime::spawn_copy(marcel::EntryFn fn, const void* data,
+                                     size_t len, const char* name) {
+  sched_.maybe_preempt();
+  marcel::Thread* t = create_thread_in_slots(fn, nullptr, name, 0);
+  // Hold the newborn back: the argument allocation below may negotiate and
+  // park us, and the child must not run with its argument unset.
+  PM2_CHECK(sched_.freeze(t));
+  // Allocate the argument inside the new thread's heap: it now belongs to
+  // the child and will follow it on migration / be reaped at exit.
+  iso::ThreadHeap child_heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                             &heap_stats_);
+  void* arg = child_heap.alloc(len);
+  PM2_CHECK(arg != nullptr) << "spawn_copy: argument allocation failed";
+  std::memcpy(arg, data, len);
+  t->user_arg = arg;
+  sched_.unfreeze(t);
+  return t->id;
+}
+
+bool Runtime::join(marcel::ThreadId id) { return sched_.join(id); }
+
+void Runtime::reap_thread(marcel::Thread* t) {
+  trace_event(trace::Event::kThreadExit, t->id);
+  // Runs on the scheduler stack: the thread is off its stack for good.
+  // Release every slot run it owned to this node (paper Fig. 6 step 4 —
+  // "the thread dies and its slots are acquired by the destination node").
+  auto* head = static_cast<iso::SlotHeader*>(t->slot_list);
+  iso::ThreadHeap::release_chain(head, slot_ops_);
+  // `t` itself lived inside the chain's stack slot: gone now.
+}
+
+void Runtime::thread_exit() {
+  sched_.exit_current([this](marcel::Thread* t) { reap_thread(t); });
+}
+
+// ---------------------------------------------------------------------------
+// isomalloc API
+// ---------------------------------------------------------------------------
+
+void* Runtime::isomalloc(size_t size) {
+  sched_.maybe_preempt();
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_isomalloc outside a PM2 thread";
+  iso::ThreadHeap heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                       &heap_stats_);
+  void* p = heap.alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void Runtime::isofree(void* p) {
+  sched_.maybe_preempt();
+  if (p == nullptr) return;
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_isofree outside a PM2 thread";
+  // Blocks belong to exactly one thread (paper §1: data "belong to some
+  // unique thread and thus have to follow it on migration").  Freeing
+  // another thread's block would corrupt that thread's slot list — and the
+  // pointer would dangle anyway the moment the owner migrates.  Use
+  // spawn_copy() to hand data to a child thread instead.
+  iso::SlotHeader* slot = iso::BlockHeader::of_payload(p)->slot;
+  PM2_CHECK(slot->valid() && slot->owner_thread == t->id)
+      << "pm2_isofree: block belongs to thread " << slot->owner_thread
+      << ", not to the calling thread " << t->id;
+  iso::ThreadHeap heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                       &heap_stats_);
+  heap.free(p);
+}
+
+void* Runtime::isorealloc(void* p, size_t size) {
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_isorealloc outside a PM2 thread";
+  iso::ThreadHeap heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                       &heap_stats_);
+  return heap.realloc(p, size);
+}
+
+void* Runtime::isocalloc(size_t n, size_t elem_size) {
+  sched_.maybe_preempt();
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_isocalloc outside a PM2 thread";
+  iso::ThreadHeap heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                       &heap_stats_);
+  void* p = heap.calloc(n, elem_size);
+  if (p == nullptr && n != 0 && elem_size != 0) throw std::bad_alloc();
+  return p;
+}
+
+void* Runtime::isomemalign(size_t align, size_t size) {
+  sched_.maybe_preempt();
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_isomemalign outside a PM2 thread";
+  iso::ThreadHeap heap(&t->slot_list, t->id, slot_ops_, config_.heap,
+                       &heap_stats_);
+  void* p = heap.alloc_aligned(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+std::optional<size_t> Runtime::acquire_slots_negotiating(size_t count) {
+  marcel::Thread* t = marcel::Scheduler::self();
+  // Wait out any negotiation currently freezing the bitmap (only possible
+  // from a thread context; the comm daemon never acquires slots).
+  while (bitmap_freeze_ > 0) {
+    PM2_CHECK(t != nullptr) << "slot acquire on frozen bitmap outside thread";
+    bitmap_wait_.park_current();
+  }
+  std::optional<size_t> s = slot_mgr_.acquire(count);
+  if (!s && config_.n_nodes > 1) s = negotiate(count);
+  // Slots re-entering local ownership must leave the migration cache (the
+  // cached commit is now owned by the new user; never decommit it later).
+  if (s) mig_cache_invalidate(*s, count);
+  return s;
+}
+
+void Runtime::release_slots(size_t first, size_t count) {
+  if (bitmap_freeze_ > 0) {
+    // The bitmap is inside someone's system-wide critical section; the
+    // release mutates only *our* view, but the paper's rule is strict
+    // ("No other node is allowed to modify its slot bitmap within this
+    // section"), so defer it.  Thread-owned slots are invisible to the
+    // negotiation either way, hence no correctness impact.
+    deferred_releases_.emplace_back(first, count);
+    return;
+  }
+  slot_mgr_.release(first, count);
+}
+
+// ---------------------------------------------------------------------------
+// Migration entry points (heavy lifting in migration.cpp)
+// ---------------------------------------------------------------------------
+
+void Runtime::migrate_self(uint32_t dest) {
+  sched_.maybe_preempt();
+  PM2_CHECK(dest < config_.n_nodes) << "migrate to unknown node " << dest;
+  if (dest == config_.node) return;
+  marcel::Thread* t = marcel::Scheduler::self();
+  PM2_CHECK(t != nullptr) << "pm2_migrate outside a PM2 thread";
+  PM2_CHECK(!t->is_pinned()) << "pinned thread cannot migrate";
+  ++migrations_out_;
+  sched_.freeze_current_and(
+      [this, dest](marcel::Thread* frozen) { ship_thread(*this, frozen, dest); });
+  // Executing on `dest` now (different Runtime/Scheduler instance):
+  // deliberately no member access past this point.
+}
+
+bool Runtime::migrate(marcel::ThreadId id, uint32_t dest) {
+  PM2_CHECK(dest < config_.n_nodes);
+  marcel::Thread* t = sched_.find(id);
+  if (t == nullptr || t->is_pinned()) return false;
+  if (dest == config_.node) return true;  // already there
+  if (t == marcel::Scheduler::self()) {
+    migrate_self(dest);
+    return true;
+  }
+  if (!sched_.freeze(t)) return false;  // running or blocked
+  ++migrations_out_;
+  ship_thread(*this, t, dest);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RPC
+// ---------------------------------------------------------------------------
+
+uint32_t Runtime::register_service(const char* name, ServiceFn fn) {
+  PM2_CHECK(name != nullptr && fn != nullptr);
+  services_.emplace_back(name, fn);
+  return static_cast<uint32_t>(services_.size() - 1);
+}
+
+struct Runtime::RpcInvocation {
+  uint32_t service;
+  uint32_t src;
+  uint64_t corr;
+  std::vector<uint8_t> args;
+};
+
+void Runtime::rpc_trampoline(void* p) {
+  auto* inv = static_cast<RpcInvocation*>(p);
+  Runtime* rt = Runtime::current();
+  PM2_CHECK(inv->service < rt->services_.size())
+      << "rpc to unregistered service " << inv->service;
+  {
+    RpcContext ctx(*rt, inv->src, inv->corr, std::move(inv->args));
+    rt->services_[inv->service].second(ctx);
+  }
+  delete inv;
+  // The service may have migrated: re-resolve.
+  Runtime::current()->thread_exit();
+}
+
+void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
+  PM2_CHECK(node < config_.n_nodes);
+  PM2_CHECK(service < services_.size()) << "unregistered service";
+  if (node == config_.node) {
+    auto* inv = new RpcInvocation{service, config_.node, 0, args.finalize()};
+    create_thread_in_slots(&Runtime::rpc_trampoline, inv,
+                           services_[service].first.c_str(), 0);
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kRpc;
+  msg.dst = node;
+  ByteWriter w;
+  w.put<uint32_t>(service);
+  auto payload = args.finalize();
+  w.put_bytes(payload.data(), payload.size());
+  msg.payload = w.take();
+  fabric_->send(std::move(msg));
+}
+
+std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
+                                   mad::PackBuffer&& args) {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr) << "call outside a thread";
+  uint64_t corr = next_corr_++;
+  PendingCall pc;
+  pending_calls_[corr] = &pc;
+
+  if (node == config_.node) {
+    auto* inv = new RpcInvocation{service, config_.node, corr, args.finalize()};
+    create_thread_in_slots(&Runtime::rpc_trampoline, inv,
+                           services_[service].first.c_str(), 0);
+  } else {
+    fabric::Message msg;
+    msg.type = kRpc;
+    msg.dst = node;
+    msg.corr = corr;
+    ByteWriter w;
+    w.put<uint32_t>(service);
+    auto payload = args.finalize();
+    w.put_bytes(payload.data(), payload.size());
+    msg.payload = w.take();
+    fabric_->send(std::move(msg));
+  }
+  pc.event.wait();
+  pending_calls_.erase(corr);
+  return std::move(pc.result);
+}
+
+void RpcContext::reply(mad::PackBuffer&& result) {
+  PM2_CHECK(corr_ != 0) << "reply() but the caller used rpc(), not call()";
+  PM2_CHECK(!replied_) << "double reply";
+  replied_ = true;
+  auto payload = result.finalize();
+  if (src_ == rt_.self()) {
+    auto it = rt_.pending_calls_.find(corr_);
+    PM2_CHECK(it != rt_.pending_calls_.end()) << "reply with no caller";
+    it->second->result = std::move(payload);
+    it->second->event.set();
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kReply;
+  msg.dst = src_;
+  msg.corr = corr_;
+  msg.payload = std::move(payload);
+  rt_.fabric_->send(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Collectives / signals / shutdown
+// ---------------------------------------------------------------------------
+
+void Runtime::barrier() {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr) << "barrier outside thread";
+  trace_event(trace::Event::kBarrier);
+  PM2_CHECK(barrier_waiter_ == nullptr) << "concurrent barriers on one node";
+  marcel::Event ev;
+  barrier_waiter_ = &ev;
+  uint32_t seq = barrier_seq_;
+  if (config_.node == 0) {
+    // Local arrival at the coordinator.
+    if (++barrier_arrivals_ == config_.n_nodes) {
+      barrier_arrivals_ = 0;
+      ++barrier_seq_;
+      for (uint32_t n = 1; n < config_.n_nodes; ++n) {
+        fabric::Message msg;
+        msg.type = kBarrierRelease;
+        msg.dst = n;
+        ByteWriter w;
+        w.put<uint32_t>(seq);
+        msg.payload = w.take();
+        fabric_->send(std::move(msg));
+      }
+      ev.set();
+    }
+  } else {
+    fabric::Message msg;
+    msg.type = kBarrierArrive;
+    msg.dst = 0;
+    ByteWriter w;
+    w.put<uint32_t>(seq);
+    msg.payload = w.take();
+    fabric_->send(std::move(msg));
+  }
+  ev.wait();
+  barrier_waiter_ = nullptr;
+}
+
+void Runtime::send_signal(uint32_t node) {
+  PM2_CHECK(node < config_.n_nodes);
+  if (node == config_.node) {
+    ++signals_received_;
+    signal_sem_.release();
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kSignal;
+  msg.dst = node;
+  fabric_->send(std::move(msg));
+}
+
+void Runtime::wait_signals(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) signal_sem_.acquire();
+}
+
+void Runtime::halt() {
+  halting_ = true;
+  for (uint32_t n = 0; n < config_.n_nodes; ++n) {
+    if (n == config_.node) continue;
+    fabric::Message msg;
+    msg.type = kHalt;
+    msg.dst = n;
+    fabric_->send(std::move(msg));
+  }
+}
+
+uint64_t Runtime::load() const { return sched_.live_count(); }
+
+void Runtime::broadcast_load() {
+  load_table_[config_.node] = load();
+  for (uint32_t n = 0; n < config_.n_nodes; ++n) {
+    if (n == config_.node) continue;
+    fabric::Message msg;
+    msg.type = kLoadInfo;
+    msg.dst = n;
+    ByteWriter w;
+    w.put<uint32_t>(config_.node);
+    w.put<uint64_t>(load_table_[config_.node]);
+    msg.payload = w.take();
+    fabric_->send(std::move(msg));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm daemon & message dispatch
+// ---------------------------------------------------------------------------
+
+void Runtime::daemon_trampoline(void* runtime) {
+  static_cast<Runtime*>(runtime)->comm_daemon_body();
+}
+
+void Runtime::comm_daemon_body() {
+  while (true) {
+    bool worked = false;
+    while (auto msg = fabric_->try_recv()) {
+      handle_message(*msg);
+      worked = true;
+    }
+    if (halting_ && sched_.live_count() == 0) break;
+    if (worked || sched_.ready_count() > 0) {
+      sched_.yield();
+      continue;
+    }
+    // Idle node: busy-poll briefly (latency-critical paths like migration
+    // ping-pong land here), then block on the fabric instead of spinning.
+    if (config_.comm_busy_poll_us > 0) {
+      uint64_t deadline = now_ns() + config_.comm_busy_poll_us * 1000;
+      bool got = false;
+      while (now_ns() < deadline) {
+        if (auto msg = fabric_->try_recv()) {
+          handle_message(*msg);
+          got = true;
+          break;
+        }
+      }
+      if (got) continue;
+      if (halting_ && sched_.live_count() == 0) break;
+    }
+    if (auto msg = fabric_->recv(1)) handle_message(*msg);
+    // Bounce through the scheduler so its loop can fire expired sleep
+    // timers (they only run between dispatches, and this daemon is the
+    // only dispatchable thread while everyone else is parked).
+    sched_.yield();
+  }
+  sched_.stop();
+  thread_exit();
+}
+
+void Runtime::handle_message(fabric::Message& msg) {
+  switch (msg.type) {
+    case kHalt:
+      halting_ = true;
+      break;
+    case kBarrierArrive: {
+      PM2_CHECK(config_.node == 0) << "barrier arrival at non-coordinator";
+      if (++barrier_arrivals_ == config_.n_nodes) {
+        barrier_arrivals_ = 0;
+        uint32_t seq = barrier_seq_++;
+        for (uint32_t n = 1; n < config_.n_nodes; ++n) {
+          fabric::Message rel;
+          rel.type = kBarrierRelease;
+          rel.dst = n;
+          ByteWriter w;
+          w.put<uint32_t>(seq);
+          rel.payload = w.take();
+          fabric_->send(std::move(rel));
+        }
+        PM2_CHECK(barrier_waiter_ != nullptr)
+            << "all nodes arrived but coordinator never entered the barrier";
+        barrier_waiter_->set();
+      }
+      break;
+    }
+    case kBarrierRelease:
+      PM2_CHECK(barrier_waiter_ != nullptr) << "spurious barrier release";
+      barrier_waiter_->set();
+      break;
+    case kSignal:
+      ++signals_received_;
+      signal_sem_.release();
+      break;
+    case kRpc:
+      handle_rpc(msg);
+      break;
+    case kReply: {
+      auto it = pending_calls_.find(msg.corr);
+      PM2_CHECK(it != pending_calls_.end()) << "reply with no pending call";
+      it->second->result = std::move(msg.payload);
+      it->second->event.set();
+      break;
+    }
+    case kMigrate:
+      handle_migrate(msg);
+      break;
+    case kLockReq:
+      handle_lock_req(msg.src);
+      break;
+    case kLockGrant:
+      PM2_CHECK(lock_wait_ != nullptr) << "spurious lock grant";
+      lock_wait_->set();
+      break;
+    case kUnlock:
+      handle_unlock(msg.src);
+      break;
+    case kGatherReq:
+      handle_gather_req(msg);
+      break;
+    case kAuditReq:
+      handle_audit_req(msg);
+      break;
+    case kAuditResp: {
+      auto it = pending_calls_.find(msg.corr);
+      PM2_CHECK(it != pending_calls_.end()) << "audit resp with no waiter";
+      it->second->result = std::move(msg.payload);
+      it->second->event.set();
+      break;
+    }
+    case kGatherResp: {
+      auto it = pending_calls_.find(msg.corr);
+      PM2_CHECK(it != pending_calls_.end()) << "gather resp with no waiter";
+      it->second->result = std::move(msg.payload);
+      it->second->event.set();
+      break;
+    }
+    case kNegoUpdate:
+      handle_nego_update(msg);
+      break;
+    case kLoadInfo: {
+      ByteReader r(msg.payload);
+      auto node = r.get<uint32_t>();
+      auto ld = r.get<uint64_t>();
+      PM2_CHECK(node < config_.n_nodes);
+      load_table_[node] = ld;
+      break;
+    }
+    default:
+      if (channels_.owns(msg)) {
+        channels_.feed(std::move(msg));
+        break;
+      }
+      PM2_FATAL("unhandled message type " + std::to_string(msg.type));
+  }
+}
+
+void Runtime::handle_rpc(fabric::Message& msg) {
+  ByteReader r(msg.payload);
+  auto service = r.get<uint32_t>();
+  trace_event(trace::Event::kRpcIn, service, msg.src);
+  std::vector<uint8_t> args(msg.payload.begin() + r.position(),
+                            msg.payload.end());
+  auto* inv = new RpcInvocation{service, msg.src, msg.corr, std::move(args)};
+  PM2_CHECK(service < services_.size())
+      << "rpc to unregistered service " << service;
+  create_thread_in_slots(&Runtime::rpc_trampoline, inv,
+                         services_[service].first.c_str(), 0);
+}
+
+void Runtime::handle_migrate(fabric::Message& msg) {
+  marcel::Thread* t = install_thread(*this, msg.payload);
+  ++migrations_in_;
+  trace_event(trace::Event::kMigrationIn, t->id, msg.src);
+}
+
+void Runtime::run(std::function<void()> node_main) {
+  log::set_thread_node(static_cast<int>(config_.node));
+  RuntimeBinding rt_bind(this);
+  marcel::SchedulerBinding sched_bind(&sched_);
+  if (config_.preemption_quantum_us > 0)
+    sched_.set_preemption(config_.preemption_quantum_us);
+
+  create_thread_in_slots(&Runtime::daemon_trampoline, this, "comm-daemon",
+                         marcel::Thread::kFlagDaemon |
+                             marcel::Thread::kFlagPinned);
+  if (node_main) spawn_local(std::move(node_main), "main");
+  sched_.run();
+}
+
+// ---------------------------------------------------------------------------
+// Migration slot cache
+// ---------------------------------------------------------------------------
+
+void Runtime::mig_cache_put(size_t first, size_t count) {
+  if (config_.migration_slot_cache == 0) {
+    area_.decommit(first, count);
+    return;
+  }
+  // Idempotence: the run may already be cached if this thread bounced
+  // through before.
+  for (const MigCacheEntry& e : mig_cache_) {
+    if (e.first == first && e.count == count) return;
+  }
+  mig_cache_.push_back(MigCacheEntry{first, count});
+  while (mig_cache_.size() > config_.migration_slot_cache) {
+    MigCacheEntry old = mig_cache_.front();
+    mig_cache_.pop_front();
+    area_.decommit(old.first, old.count);
+  }
+}
+
+bool Runtime::mig_cache_take(size_t first, size_t count) {
+  for (auto it = mig_cache_.begin(); it != mig_cache_.end(); ++it) {
+    if (it->first == first && it->count == count) {
+      mig_cache_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::mig_cache_invalidate(size_t first, size_t count) {
+  for (auto it = mig_cache_.begin(); it != mig_cache_.end();) {
+    bool overlap = it->first < first + count && first < it->first + it->count;
+    it = overlap ? mig_cache_.erase(it) : ++it;
+  }
+}
+
+void Runtime::printf(const char* fmt, ...) {
+  char body[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+  char line[2112];
+  int n = std::snprintf(line, sizeof(line), "[node%u] %s", config_.node, body);
+  if (n > 0) {
+    size_t len = static_cast<size_t>(n) < sizeof(line) ? static_cast<size_t>(n)
+                                                       : sizeof(line) - 1;
+    [[maybe_unused]] ssize_t ignored = ::write(1, line, len);
+  }
+}
+
+}  // namespace pm2

@@ -1,0 +1,393 @@
+// The PM2 node runtime: one instance per node (container process, or
+// logical in-process node).  Composes the substrates:
+//
+//   marcel     — user-level threads on this node's kernel thread
+//   isomalloc  — slot manager over the shared iso-address area
+//   fabric     — messaging to the other nodes
+//
+// and implements the distributed pieces of the paper: remote thread
+// creation (LRPC), iso-address thread migration, the global slot
+// negotiation, barriers and shutdown.
+//
+// Threading model: everything of a node — its PM2 threads, its comm daemon,
+// its message handlers — runs on the node's single kernel thread under the
+// cooperative marcel scheduler, so node state needs no locks.  The comm
+// daemon is itself a PM2 daemon thread that polls the fabric and dispatches
+// control messages inline.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "fabric/message.hpp"
+#include "isomalloc/area.hpp"
+#include "isomalloc/heap.hpp"
+#include "isomalloc/slot_manager.hpp"
+#include "madeleine/buffers.hpp"
+#include "madeleine/channel.hpp"
+#include "marcel/scheduler.hpp"
+#include "marcel/sync.hpp"
+#include "pm2/protocol.hpp"
+#include "trace/trace.hpp"
+
+namespace pm2 {
+
+class Runtime;
+struct AuditReport;
+AuditReport audit_session(Runtime& rt);
+
+/// Context handed to an RPC service running in its own fresh thread.
+class RpcContext {
+ public:
+  RpcContext(Runtime& rt, uint32_t src, uint64_t corr,
+             std::vector<uint8_t> args)
+      : rt_(rt), src_(src), corr_(corr), args_(std::move(args)),
+        unpacker_(args_.data(), args_.size()) {}
+
+  uint32_t source_node() const { return src_; }
+  mad::UnpackBuffer& args() { return unpacker_; }
+  /// Send the reply (allowed once; only if the caller used call()).
+  void reply(mad::PackBuffer&& result);
+
+ private:
+  Runtime& rt_;
+  uint32_t src_;
+  uint64_t corr_;
+  std::vector<uint8_t> args_;
+  mad::UnpackBuffer unpacker_;
+  bool replied_ = false;
+};
+
+using ServiceFn = void (*)(RpcContext&);
+
+struct RuntimeConfig {
+  uint32_t node = 0;
+  uint32_t n_nodes = 1;
+  iso::SlotManagerConfig slots;  // node/n_nodes are overwritten
+  iso::HeapConfig heap;
+  /// Contiguous slots per thread stack (1 = the paper's design point:
+  /// "the slot size was chosen so as to fit a thread stack").
+  size_t stack_slots = 1;
+  /// Deferred-preemption quantum for the scheduler (0 = cooperative only).
+  uint64_t preemption_quantum_us = 0;
+  /// Migration payload: ship only slot headers + live blocks/stack instead
+  /// of whole slots (paper §6 optimization).  Ablation A4 toggles this.
+  bool migrate_blocks_only = true;
+  /// When a node goes idle, the comm daemon busy-polls the fabric for this
+  /// long before blocking.  The paper's BIP/Myrinet layer was polling-mode;
+  /// blocking wake-ups cost ~100 us of futex latency, which would swamp the
+  /// migration path.  0 disables (always block when idle).
+  uint64_t comm_busy_poll_us = 200;
+  /// Migration slot cache (the paper's §6 mmapped-slot cache applied to the
+  /// migration path): slots of shipped threads stay committed, and a thread
+  /// migrating back into cached slots skips the commit + page-fault cycle.
+  /// Value = max cached slot runs per node; 0 disables.
+  size_t migration_slot_cache = 64;
+  /// Pre-buy (paper §4.4: "possible for the local node to take advantage
+  /// of a negotiation phase to pre-buy slots in prevision of foreseeable
+  /// large allocation requests"): each negotiation first tries to win this
+  /// many extra contiguous slots beyond the request, so the next multi-slot
+  /// allocations are satisfied locally.  0 disables.
+  size_t nego_prebuy_slots = 0;
+};
+
+class Runtime {
+ public:
+  /// `area` must be the same reservation in every node of the session (the
+  /// same object for in-process nodes; same AreaConfig across processes).
+  Runtime(const RuntimeConfig& config, iso::Area& area,
+          std::unique_ptr<fabric::Fabric> fabric);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runtime of the calling kernel thread (valid inside run()).
+  static Runtime* current();
+
+  uint32_t self() const { return config_.node; }
+  uint32_t n_nodes() const { return config_.n_nodes; }
+
+  marcel::Scheduler& sched() { return sched_; }
+  iso::SlotManager& slots() { return slot_mgr_; }
+  /// Negotiation-aware slot provisioning (what thread heaps should use).
+  iso::SlotOps& slot_ops() { return slot_ops_; }
+  iso::Area& area() { return area_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // --- main loop -----------------------------------------------------------
+
+  /// Start the comm daemon, run `node_main` as the first PM2 thread, then
+  /// schedule until halt.  SPMD: every node calls run() with its own main.
+  void run(std::function<void()> node_main);
+
+  /// Broadcast shutdown; every node's run() returns once drained.
+  void halt();
+  /// True once halt was initiated or received (daemons poll this).
+  bool halting() const { return halting_; }
+
+  // --- threads -------------------------------------------------------------
+
+  /// Create a migratable PM2 thread.  `fn` must be a plain function (code
+  /// is SPMD-replicated so the pointer is valid on every node); `arg` must
+  /// be either a value smuggled in the pointer or a pointer into
+  /// iso-address memory — never into the libc heap, which is node-local.
+  marcel::ThreadId spawn(marcel::EntryFn fn, void* arg,
+                         const char* name = "thread");
+
+  /// Convenience thread for node-local work (closures may capture
+  /// anything).  Pinned: refuses to migrate.
+  marcel::ThreadId spawn_local(std::function<void()> fn,
+                               const char* name = "local");
+
+  /// spawn() with argument hand-off: copies [data, data+len) into the NEW
+  /// thread's own iso-heap and passes that pointer as arg.  This is the
+  /// migration-safe way to give a child thread its inputs — blocks always
+  /// belong to exactly one thread and move with it, so passing a pointer
+  /// into the *parent's* heap would dangle as soon as either thread
+  /// migrates (and the child must never isofree the parent's block).  The
+  /// child owns the copy and should pm2_isofree it when done.
+  marcel::ThreadId spawn_copy(marcel::EntryFn fn, const void* data,
+                              size_t len, const char* name = "thread");
+
+  /// Block until thread `id` (living on this node) exits.
+  bool join(marcel::ThreadId id);
+
+  /// Terminate the calling thread, releasing all its slots here.
+  [[noreturn]] void thread_exit();
+
+  // --- iso-address allocation (pm2_isomalloc / pm2_isofree) ----------------
+
+  /// Allocate migratable memory for the calling thread.  Runs the global
+  /// negotiation transparently when the local node lacks contiguous slots.
+  /// Throws std::bad_alloc if the whole system is out of contiguous slots.
+  void* isomalloc(size_t size);
+  void isofree(void* p);
+  void* isorealloc(void* p, size_t size);
+  /// Extensions with malloc-family semantics.
+  void* isocalloc(size_t n, size_t elem_size);
+  void* isomemalign(size_t align, size_t size);
+
+  // --- migration -----------------------------------------------------------
+
+  /// Migrate the calling thread to `dest`; returns executing on `dest`.
+  void migrate_self(uint32_t dest);
+
+  /// Preemptively migrate thread `id` (must be READY on this node and not
+  /// pinned).  "The threads are unaware of their being migrated" (§2).
+  bool migrate(marcel::ThreadId id, uint32_t dest);
+
+  // --- RPC (LRPC: remote thread creation) -----------------------------------
+
+  /// Register a service; SPMD requires every node to register the same
+  /// services in the same order before run().  Returns the service id.
+  uint32_t register_service(const char* name, ServiceFn fn);
+
+  /// Fire-and-forget: create a thread running `service` on `node`.
+  void rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args);
+
+  /// Request/response: like rpc() but blocks the calling thread until the
+  /// service calls ctx.reply().
+  std::vector<uint8_t> call(uint32_t node, uint32_t service,
+                            mad::PackBuffer&& args);
+
+  /// Madeleine channels multiplexed over this node's fabric (message types
+  /// kUserBase and up).  Open channels in the same order on every node
+  /// (SPMD), before traffic starts; incoming channel messages are fed by
+  /// the comm daemon.
+  mad::ChannelMux& channels() { return channels_; }
+
+  // --- collectives & signals -------------------------------------------------
+
+  /// All-node barrier (each node's threads may call it, one at a time).
+  void barrier();
+
+  /// Completion tokens: wait_signals(n) blocks until n kSignal messages
+  /// arrived (from any node, including self).
+  void send_signal(uint32_t node);
+  void wait_signals(uint64_t count);
+
+  // --- slot access with negotiation freeze (internal + tests) ---------------
+
+  /// Acquire slots for a thread, negotiating if needed.  Returns nullopt
+  /// only if the whole system lacks a contiguous run.
+  std::optional<size_t> acquire_slots_negotiating(size_t count);
+
+  /// Release slots, deferring while a negotiation freezes the bitmap.
+  void release_slots(size_t first, size_t count);
+
+  /// Global defragmentation (paper §4.1): under the system-wide critical
+  /// section, regroup every node's free slots into contiguous stretches
+  /// (ownership counts preserved; thread-owned slots do not move).  Any
+  /// thread of any node may call it.
+  void defragment();
+
+  /// Paper-trace printf: prefixes "[node<i>] " (Fig. 8).
+  void printf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  // --- migration slot cache (see RuntimeConfig::migration_slot_cache) -------
+
+  /// Record a shipped thread's slot run as still-committed (instead of
+  /// decommitting).  Evicts (and decommits) the oldest run on overflow.
+  void mig_cache_put(size_t first, size_t count);
+  /// If the exact run is cached, consume the entry and return true (the
+  /// caller may skip the commit; stale bytes in extent gaps are dead data
+  /// by construction).
+  bool mig_cache_take(size_t first, size_t count);
+  /// Drop any cached run overlapping [first, first+count) without
+  /// decommitting — used when the slots re-enter local ownership.
+  void mig_cache_invalidate(size_t first, size_t count);
+  size_t mig_cache_size() const { return mig_cache_.size(); }
+
+  // --- tracing ----------------------------------------------------------------
+
+  /// Attach an event tracer (not owned; nullptr disables).  Runtime events
+  /// (thread lifecycle, migrations, negotiations, RPC, barriers) are
+  /// recorded with zero cost when detached.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() { return tracer_; }
+  void trace_event(trace::Event e, uint64_t a = 0, uint64_t b = 0) {
+    if (tracer_ != nullptr) tracer_->record(e, a, b);
+  }
+
+  // --- stats -----------------------------------------------------------------
+
+  HeapStats& heap_stats() { return heap_stats_; }
+  uint64_t negotiations_initiated() const { return negotiations_initiated_; }
+  uint64_t migrations_in() const { return migrations_in_; }
+  uint64_t migrations_out() const { return migrations_out_; }
+  /// Load metric used by the balancer: runnable, non-daemon threads.
+  uint64_t load() const;
+
+  /// Observed load table (filled by kLoadInfo gossip).
+  const std::vector<uint64_t>& load_table() const { return load_table_; }
+  void broadcast_load();
+
+ private:
+  friend class RpcContext;
+  friend class MigrationEngine;
+  friend AuditReport audit_session(Runtime& rt);
+
+  struct SpawnLocalCtx;
+  struct RpcInvocation;
+
+  void comm_daemon_body();
+  void handle_message(fabric::Message& msg);
+  void handle_rpc(fabric::Message& msg);
+  void handle_migrate(fabric::Message& msg);
+  void handle_lock_req(uint32_t from);
+  void handle_unlock(uint32_t from);
+  void handle_gather_req(fabric::Message& msg);
+  void handle_audit_req(fabric::Message& msg);
+  void handle_nego_update(fabric::Message& msg);
+
+  /// Run one global negotiation for `run` contiguous slots (paper §4.4
+  /// steps a–f) and, still inside the system-wide critical section, acquire
+  /// the run for the calling thread.  Returns the first slot, or nullopt if
+  /// no run of that length exists anywhere.
+  std::optional<size_t> negotiate(size_t run);
+  /// Enter/leave the system-wide critical section (lock server: node 0).
+  void lock_system();
+  void unlock_system();
+  void apply_deferred_releases();
+  /// Step (b): collect every node's bitmap (must hold the system lock).
+  std::vector<Bitmap> gather_all_bitmaps();
+  /// Step (e): push updated bitmaps to the other nodes and adopt our own.
+  void scatter_bitmaps(std::vector<Bitmap> bitmaps);
+
+  marcel::ThreadId next_thread_id();
+  marcel::Thread* create_thread_in_slots(marcel::EntryFn fn, void* arg,
+                                         const char* name, uint32_t flags);
+  void reap_thread(marcel::Thread* t);
+
+  static void thread_trampoline(void* descriptor);
+  static void local_trampoline(void* ctx);
+  static void rpc_trampoline(void* ctx);
+  static void daemon_trampoline(void* runtime);
+
+  /// ThreadHeap's view of the slot layer: acquire falls back to the global
+  /// negotiation; release defers while a negotiation froze the bitmap.
+  class NegotiatingSlotOps final : public iso::SlotOps {
+   public:
+    explicit NegotiatingSlotOps(Runtime& rt) : rt_(rt) {}
+    std::optional<size_t> acquire(size_t count) override {
+      return rt_.acquire_slots_negotiating(count);
+    }
+    void release(size_t first, size_t count) override {
+      rt_.release_slots(first, count);
+    }
+    iso::Area& area() override { return rt_.area_; }
+
+   private:
+    Runtime& rt_;
+  };
+
+  RuntimeConfig config_;
+  iso::Area& area_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  marcel::Scheduler sched_;
+  iso::SlotManager slot_mgr_;
+  NegotiatingSlotOps slot_ops_{*this};
+  HeapStats heap_stats_;
+
+  uint64_t thread_counter_ = 0;
+  bool halting_ = false;
+
+  // Services
+  std::vector<std::pair<std::string, ServiceFn>> services_;
+
+  // call() correlation
+  uint64_t next_corr_ = 1;
+  struct PendingCall {
+    marcel::Event event;
+    std::vector<uint8_t> result;
+  };
+  std::map<uint64_t, PendingCall*> pending_calls_;
+
+  // Barrier (centralized at node 0)
+  uint32_t barrier_seq_ = 0;
+  uint32_t barrier_arrivals_ = 0;  // node 0 only
+  marcel::Event* barrier_waiter_ = nullptr;
+
+  // Signals
+  uint64_t signals_received_ = 0;
+  marcel::Semaphore signal_sem_{0};
+
+  // Negotiation: lock server state (node 0 only)
+  bool lock_held_ = false;
+  uint32_t lock_owner_ = 0;
+  std::vector<uint32_t> lock_queue_;
+  // Negotiation: client state.  nego_mutex_ serializes this node's threads
+  // entering the system-wide critical section (the lock server tracks one
+  // outstanding request per node).
+  marcel::Mutex nego_mutex_;
+  marcel::Event* lock_wait_ = nullptr;
+  // Bitmap freeze depth: >0 between GatherReq and NegoUpdate (remote
+  // negotiation) and while this node runs its own negotiation.
+  int bitmap_freeze_ = 0;
+  marcel::WaitQueue bitmap_wait_;
+  std::vector<std::pair<size_t, size_t>> deferred_releases_;
+  uint64_t negotiations_initiated_ = 0;
+  uint64_t migrations_in_ = 0;
+  uint64_t migrations_out_ = 0;
+
+  std::vector<uint64_t> load_table_;
+  trace::Tracer* tracer_ = nullptr;
+  mad::ChannelMux channels_{*fabric_, kUserBase};
+
+  struct MigCacheEntry {
+    size_t first;
+    size_t count;
+  };
+  std::deque<MigCacheEntry> mig_cache_;  // front = oldest
+};
+
+}  // namespace pm2

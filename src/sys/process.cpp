@@ -1,0 +1,57 @@
+#include "sys/process.hpp"
+
+#include <errno.h>
+#include <limits.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+extern char** environ;
+
+namespace pm2::sys {
+
+pid_t spawn(const std::string& exe, const std::vector<std::string>& args,
+            const std::vector<std::string>& extra_env) {
+  // Build argv / envp before forking (no allocation after fork).
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) envp.push_back(*e);
+  for (const auto& e : extra_env) envp.push_back(const_cast<char*>(e.c_str()));
+  envp.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  PM2_CHECK(pid >= 0) << "fork: " << std::strerror(errno);
+  if (pid == 0) {
+    ::execve(exe.c_str(), argv.data(), envp.data());
+    // Only reached on failure.
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    PM2_CHECK(errno == EINTR) << "waitpid: " << std::strerror(errno);
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+std::string self_exe() {
+  char buf[PATH_MAX];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  PM2_CHECK(n > 0) << "readlink(/proc/self/exe) failed";
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace pm2::sys

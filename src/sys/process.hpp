@@ -1,0 +1,25 @@
+// Child-process management for the multi-process launcher ("pm2load"
+// equivalent) and the multi-process test harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace pm2::sys {
+
+/// Spawn a child process running `exe` with `args` (argv[0] is set to exe)
+/// and extra environment entries "KEY=VALUE" appended to the current env.
+/// Returns the pid.
+pid_t spawn(const std::string& exe, const std::vector<std::string>& args,
+            const std::vector<std::string>& extra_env);
+
+/// Wait for a child; returns its exit status (0 = clean), or 128+signal if
+/// killed.
+int wait_child(pid_t pid);
+
+/// Path of the current executable (/proc/self/exe).
+std::string self_exe();
+
+}  // namespace pm2::sys

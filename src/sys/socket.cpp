@@ -1,0 +1,183 @@
+#include "sys/socket.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace pm2::sys {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd uds_listen(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  PM2_CHECK(fd.valid()) << "socket: " << std::strerror(errno);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PM2_CHECK(path.size() < sizeof(addr.sun_path)) << "uds path too long: " << path;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  PM2_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0)
+      << "bind(" << path << "): " << std::strerror(errno);
+  PM2_CHECK(::listen(fd.get(), 64) == 0) << "listen: " << std::strerror(errno);
+  return fd;
+}
+
+Fd uds_connect(const std::string& path, int timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PM2_CHECK(path.size() < sizeof(addr.sun_path));
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  Stopwatch sw;
+  while (true) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    PM2_CHECK(fd.valid());
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    PM2_CHECK(sw.elapsed_ms() < timeout_ms)
+        << "uds_connect(" << path << ") timed out: " << std::strerror(errno);
+    ::usleep(1000);
+  }
+}
+
+Fd tcp_listen(uint16_t& port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  PM2_CHECK(fd.valid());
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  PM2_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0)
+      << "tcp bind: " << std::strerror(errno);
+  socklen_t len = sizeof(addr);
+  PM2_CHECK(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) ==
+            0);
+  port = ntohs(addr.sin_port);
+  PM2_CHECK(::listen(fd.get(), 64) == 0);
+  return fd;
+}
+
+Fd tcp_connect(uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  Stopwatch sw;
+  while (true) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    PM2_CHECK(fd.valid());
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    PM2_CHECK(sw.elapsed_ms() < timeout_ms)
+        << "tcp_connect(" << port << ") timed out";
+    ::usleep(1000);
+  }
+}
+
+Fd accept_one(const Fd& listener) {
+  int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  PM2_CHECK(fd >= 0) << "accept: " << std::strerror(errno);
+  return Fd(fd);
+}
+
+void send_all(const Fd& fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd.get(), p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      PM2_CHECK(errno == EINTR || errno == EAGAIN)
+          << "send: " << std::strerror(errno);
+      continue;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+bool recv_all(const Fd& fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::recv(fd.get(), p, len, 0);
+    if (n == 0) return false;  // orderly shutdown
+    if (n < 0) {
+      PM2_CHECK(errno == EINTR) << "recv: " << std::strerror(errno);
+      continue;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void set_nonblocking(const Fd& fd, bool nonblocking) {
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  PM2_CHECK(flags >= 0);
+  if (nonblocking)
+    flags |= O_NONBLOCK;
+  else
+    flags &= ~O_NONBLOCK;
+  PM2_CHECK(::fcntl(fd.get(), F_SETFL, flags) == 0);
+}
+
+void set_nodelay(const Fd& fd) {
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Poller::Poller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  PM2_CHECK(epfd_ >= 0);
+}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Poller::add(int fd, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = tag;
+  PM2_CHECK(::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(ADD): " << std::strerror(errno);
+}
+
+void Poller::remove(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::vector<uint64_t> Poller::wait(int timeout_ms) {
+  epoll_event evs[16];
+  int n = ::epoll_wait(epfd_, evs, 16, timeout_ms);
+  if (n < 0) {
+    PM2_CHECK(errno == EINTR) << "epoll_wait: " << std::strerror(errno);
+    return {};
+  }
+  std::vector<uint64_t> tags;
+  tags.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) tags.push_back(evs[i].data.u64);
+  return tags;
+}
+
+}  // namespace pm2::sys

@@ -1,0 +1,88 @@
+// RAII sockets and an epoll-based poller.
+//
+// These back the socket fabric (stand-in for the paper's BIP/Myrinet): full
+// mesh of stream connections between node processes on one host, via UNIX
+// domain sockets (default) or TCP loopback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pm2::sys {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int f = fd_;
+    fd_ = -1;
+    return f;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on a UNIX domain socket path (unlinks stale path first).
+Fd uds_listen(const std::string& path);
+/// Connect to a UNIX socket, retrying until `timeout_ms` (the peer process
+/// may not have bound yet during startup).
+Fd uds_connect(const std::string& path, int timeout_ms);
+
+/// Listen on 127.0.0.1:port (port 0 = ephemeral; returns chosen port).
+Fd tcp_listen(uint16_t& port);
+Fd tcp_connect(uint16_t port, int timeout_ms);
+
+/// Accept one connection (blocking).
+Fd accept_one(const Fd& listener);
+
+/// Blocking full-buffer send/recv.  Returns false on EOF (recv only);
+/// aborts on hard errors.
+void send_all(const Fd& fd, const void* data, size_t len);
+bool recv_all(const Fd& fd, void* data, size_t len);
+
+/// Toggle O_NONBLOCK.
+void set_nonblocking(const Fd& fd, bool nonblocking);
+/// Disable Nagle on TCP sockets (no-op for UDS).
+void set_nodelay(const Fd& fd);
+
+/// Thin epoll wrapper used by the socket fabric's receive path.
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, uint64_t tag);
+  void remove(int fd);
+  /// Wait up to timeout_ms (-1 = forever, 0 = poll); returns tags of ready
+  /// (EPOLLIN) fds.
+  std::vector<uint64_t> wait(int timeout_ms);
+
+ private:
+  int epfd_ = -1;
+};
+
+}  // namespace pm2::sys

@@ -1,0 +1,69 @@
+// Virtual-memory control for the iso-address area.
+//
+// The paper (§4.1) allocates each slot with mmap() at a specified virtual
+// address inside an "iso-address area" located identically in every node's
+// address space.  The modern, race-free equivalent used here is:
+//
+//   1. reserve the whole iso-address area once per process with
+//      mmap(base, size, PROT_NONE, MAP_FIXED_NOREPLACE|MAP_NORESERVE) —
+//      this pins the range so neither libc malloc nor the loader can take
+//      addresses inside it, and fails loudly if anything already lives
+//      there (instead of silently clobbering, as plain MAP_FIXED would);
+//   2. "allocating a slot" = mprotect(PROT_READ|PROT_WRITE) on its range
+//      (commit);
+//   3. "unmapping a slot" = madvise(MADV_DONTNEED) + mprotect(PROT_NONE)
+//      (decommit: frees the physical pages, keeps the reservation).
+//
+// Because the same binary runs on every node (SPMD, paper assumption 1) the
+// fixed base is free in every process, so a slot committed on one node can
+// be re-committed at the same address on another: iso-addressing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pm2::sys {
+
+/// System page size (cached).
+size_t page_size();
+
+/// RAII reservation of a fixed virtual address range.
+///
+/// Non-copyable, movable.  The destructor unmaps the whole range.
+class VmReservation {
+ public:
+  VmReservation() = default;
+  /// Reserve [base, base+size) with PROT_NONE.  `base` and `size` must be
+  /// page aligned.  Throws std::runtime_error if the range is unavailable.
+  VmReservation(uintptr_t base, size_t size);
+  ~VmReservation();
+
+  VmReservation(const VmReservation&) = delete;
+  VmReservation& operator=(const VmReservation&) = delete;
+  VmReservation(VmReservation&& other) noexcept;
+  VmReservation& operator=(VmReservation&& other) noexcept;
+
+  bool valid() const { return base_ != 0; }
+  uintptr_t base() const { return base_; }
+  size_t size() const { return size_; }
+
+  /// Make [addr, addr+len) readable/writable.  Page aligned, inside the
+  /// reservation.
+  void commit(uintptr_t addr, size_t len);
+
+  /// Return [addr, addr+len) to PROT_NONE and release its physical pages.
+  void decommit(uintptr_t addr, size_t len);
+
+  /// Release the reservation early (idempotent).
+  void release();
+
+ private:
+  uintptr_t base_ = 0;
+  size_t size_ = 0;
+};
+
+/// True if [addr, addr+len) is currently readable (committed) — used by
+/// tests to assert commit/decommit behaviour without faulting.
+bool probe_readable(uintptr_t addr, size_t len);
+
+}  // namespace pm2::sys

@@ -1,0 +1,91 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace pm2::trace {
+
+const char* to_string(Event e) {
+  switch (e) {
+    case Event::kThreadCreate:
+      return "thread_create";
+    case Event::kThreadExit:
+      return "thread_exit";
+    case Event::kMigrationOut:
+      return "migration_out";
+    case Event::kMigrationIn:
+      return "migration_in";
+    case Event::kNegotiationStart:
+      return "negotiation_start";
+    case Event::kNegotiationEnd:
+      return "negotiation_end";
+    case Event::kSlotAcquire:
+      return "slot_acquire";
+    case Event::kSlotRelease:
+      return "slot_release";
+    case Event::kRpcOut:
+      return "rpc_out";
+    case Event::kRpcIn:
+      return "rpc_in";
+    case Event::kBarrier:
+      return "barrier";
+    case Event::kCheckpoint:
+      return "checkpoint";
+    case Event::kRestore:
+      return "restore";
+    case Event::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+Tracer::Tracer(uint16_t node, size_t capacity) : node_(node) {
+  PM2_CHECK(capacity >= 16);
+  ring_.resize(capacity);
+}
+
+void Tracer::record(Event event, uint64_t a, uint64_t b) {
+  Record& r = ring_[head_];
+  r.t_ns = now_ns();
+  r.event = event;
+  r.node = node_;
+  r.a = a;
+  r.b = b;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<Record> Tracer::snapshot() const {
+  std::vector<Record> out;
+  size_t n = total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+  out.reserve(n);
+  size_t start = total_ < ring_.size() ? 0 : head_;
+  for (size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+size_t Tracer::count(Event event) const {
+  size_t n = 0;
+  for (const Record& r : snapshot())
+    if (r.event == event) ++n;
+  return n;
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os << "t_us,node,event,a,b\n";
+  for (const Record& r : snapshot()) {
+    os << static_cast<double>(r.t_ns) / 1e3 << ',' << r.node << ','
+       << to_string(r.event) << ',' << r.a << ',' << r.b << '\n';
+  }
+  return os.str();
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace pm2::trace

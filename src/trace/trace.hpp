@@ -1,0 +1,71 @@
+// Lightweight event tracing for PM2 nodes.
+//
+// A bounded per-node ring of timestamped events (migrations, negotiations,
+// slot traffic, RPCs…).  Recording is a few nanoseconds (no allocation, no
+// locking — each node is single-kernel-threaded); the ring can be dumped as
+// CSV for offline inspection or asserted on in tests.
+//
+// The runtime records through an optional Tracer pointer, so tracing costs
+// nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pm2::trace {
+
+enum class Event : uint16_t {
+  kThreadCreate = 0,
+  kThreadExit,
+  kMigrationOut,   // a = thread id, b = destination node
+  kMigrationIn,    // a = thread id, b = source node
+  kNegotiationStart,  // a = run length
+  kNegotiationEnd,    // a = first slot or UINT64_MAX on failure
+  kSlotAcquire,    // a = first, b = count
+  kSlotRelease,    // a = first, b = count
+  kRpcOut,         // a = service, b = destination
+  kRpcIn,          // a = service, b = source
+  kBarrier,
+  kCheckpoint,     // a = thread id
+  kRestore,        // a = thread id
+  kUser,           // free-form application marker
+};
+
+const char* to_string(Event e);
+
+struct Record {
+  uint64_t t_ns;  // monotonic timestamp
+  Event event;
+  uint16_t node;
+  uint64_t a;
+  uint64_t b;
+};
+
+class Tracer {
+ public:
+  /// `capacity` = ring size in records (power of two recommended).
+  explicit Tracer(uint16_t node, size_t capacity = 64 * 1024);
+
+  void record(Event event, uint64_t a = 0, uint64_t b = 0);
+
+  /// Records in chronological order (oldest survivor first).
+  std::vector<Record> snapshot() const;
+
+  /// Number of events recorded since construction (including overwritten).
+  uint64_t total() const { return total_; }
+  /// Events of one kind currently in the ring.
+  size_t count(Event event) const;
+
+  /// Dump the ring as CSV: t_us,node,event,a,b
+  std::string to_csv() const;
+  void clear();
+
+ private:
+  uint16_t node_;
+  std::vector<Record> ring_;
+  size_t head_ = 0;  // next write position
+  uint64_t total_ = 0;
+};
+
+}  // namespace pm2::trace

@@ -1,0 +1,174 @@
+// Unit and property tests for the slot-layer bitmap.
+#include "common/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.find_first_set().has_value());
+}
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap b(200);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitmap, RangeOps) {
+  Bitmap b(300);
+  b.set_range(60, 70);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all_set(60, 70));
+  EXPECT_FALSE(b.all_set(59, 70));
+  EXPECT_TRUE(b.none_set(0, 60));
+  EXPECT_TRUE(b.none_set(130, 170));
+  b.clear_range(80, 10);
+  EXPECT_EQ(b.count(), 60u);
+  EXPECT_FALSE(b.all_set(60, 70));
+}
+
+TEST(Bitmap, FindFirstSetFromOffset) {
+  Bitmap b(256);
+  b.set(5);
+  b.set(100);
+  b.set(255);
+  EXPECT_EQ(b.find_first_set(0).value(), 5u);
+  EXPECT_EQ(b.find_first_set(5).value(), 5u);
+  EXPECT_EQ(b.find_first_set(6).value(), 100u);
+  EXPECT_EQ(b.find_first_set(101).value(), 255u);
+  EXPECT_FALSE(b.find_first_set(256).has_value());
+}
+
+TEST(Bitmap, FindRunBasics) {
+  Bitmap b(128);
+  b.set_range(10, 3);
+  b.set_range(20, 5);
+  EXPECT_EQ(b.find_run(1).value(), 10u);
+  EXPECT_EQ(b.find_run(3).value(), 10u);
+  EXPECT_EQ(b.find_run(4).value(), 20u);
+  EXPECT_EQ(b.find_run(5).value(), 20u);
+  EXPECT_FALSE(b.find_run(6).has_value());
+}
+
+TEST(Bitmap, FindRunAcrossWordBoundary) {
+  Bitmap b(256);
+  b.set_range(60, 10);  // spans the 64-bit word boundary
+  EXPECT_EQ(b.find_run(10).value(), 60u);
+  EXPECT_FALSE(b.find_run(11).has_value());
+}
+
+TEST(Bitmap, FindRunAtEnd) {
+  Bitmap b(100);
+  b.set_range(95, 5);
+  EXPECT_EQ(b.find_run(5).value(), 95u);
+  EXPECT_FALSE(b.find_run(6).has_value());
+}
+
+TEST(Bitmap, FindRunFromOffset) {
+  Bitmap b(128);
+  b.set_range(0, 4);
+  b.set_range(50, 4);
+  EXPECT_EQ(b.find_run(4, 1).value(), 50u);  // run at 0 no longer complete
+}
+
+TEST(Bitmap, FindBestRunPrefersTightestHole) {
+  Bitmap b(256);
+  b.set_range(0, 50);    // big run
+  b.set_range(100, 5);   // exact-ish run
+  b.set_range(200, 10);  // medium run
+  EXPECT_EQ(b.find_best_run(5).value(), 100u);
+  EXPECT_EQ(b.find_best_run(6).value(), 200u);
+  EXPECT_EQ(b.find_best_run(11).value(), 0u);
+  EXPECT_FALSE(b.find_best_run(51).has_value());
+}
+
+TEST(Bitmap, OrWithAndSubtract) {
+  Bitmap a(128), b(128);
+  a.set_range(0, 10);
+  b.set_range(5, 10);
+  Bitmap c = a;
+  c.or_with(b);
+  EXPECT_EQ(c.count(), 15u);
+  c.subtract(a);
+  EXPECT_EQ(c.count(), 5u);
+  EXPECT_TRUE(c.all_set(10, 5));
+}
+
+TEST(Bitmap, Intersects) {
+  Bitmap a(128), b(128);
+  a.set(3);
+  b.set(4);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(3);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Bitmap, WordsRoundTrip) {
+  Bitmap a(130);
+  a.set(0);
+  a.set(64);
+  a.set(129);
+  Bitmap b = Bitmap::from_words(130, a.words());
+  EXPECT_EQ(a, b);
+}
+
+// Property: find_run agrees with a naive scan on random bitmaps.
+class BitmapRunProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::optional<size_t> naive_find_run(const Bitmap& b, size_t run) {
+  size_t streak = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    streak = b.test(i) ? streak + 1 : 0;
+    if (streak == run) return i + 1 - run;
+  }
+  return std::nullopt;
+}
+
+TEST_P(BitmapRunProperty, MatchesNaiveScan) {
+  Rng rng(GetParam());
+  Bitmap b(512);
+  for (size_t i = 0; i < 512; ++i)
+    if (rng.next_bool(0.6)) b.set(i);
+  for (size_t run = 1; run <= 20; ++run) {
+    EXPECT_EQ(b.find_run(run), naive_find_run(b, run)) << "run=" << run;
+  }
+}
+
+TEST_P(BitmapRunProperty, BestRunIsValidAndTight) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  Bitmap b(512);
+  for (size_t i = 0; i < 512; ++i)
+    if (rng.next_bool(0.5)) b.set(i);
+  for (size_t run = 1; run <= 10; ++run) {
+    auto best = b.find_best_run(run);
+    auto first = b.find_run(run);
+    ASSERT_EQ(best.has_value(), first.has_value());
+    if (best) {
+      EXPECT_TRUE(b.all_set(*best, run));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapRunProperty,
+                         ::testing::Values(1, 2, 3, 7, 42, 1337, 99991));
+
+}  // namespace
+}  // namespace pm2

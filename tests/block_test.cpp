@@ -1,0 +1,197 @@
+// Block layer: first/best fit, split, coalesce, invariants.
+#include "isomalloc/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace pm2::iso {
+namespace {
+
+constexpr size_t kSlotSize = 64 * 1024;
+
+/// Block tests need no iso-addresses: any aligned region works.
+class BlockTest : public ::testing::Test {
+ protected:
+  BlockTest() {
+    region_ = std::aligned_alloc(4096, 4 * kSlotSize);
+    std::memset(region_, 0, 4 * kSlotSize);
+  }
+  ~BlockTest() override { std::free(region_); }
+
+  SlotHeader* heap_slot(uint32_t nslots = 1) {
+    return init_heap_slot(region_, nslots, kSlotSize, /*owner=*/7);
+  }
+
+  void* region_;
+};
+
+TEST_F(BlockTest, FreshSlotIsOneFreeBlock) {
+  SlotHeader* slot = heap_slot();
+  EXPECT_TRUE(slot->valid());
+  EXPECT_TRUE(slot_empty(slot, kSlotSize));
+  EXPECT_EQ(slot_free_bytes(slot),
+            kSlotSize - sizeof(SlotHeader) - sizeof(BlockHeader));
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, AllocReturnsAlignedPayload) {
+  SlotHeader* slot = heap_slot();
+  void* p = block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  EXPECT_GE(block_payload_size(p), 100u);
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, AllocZeroBytesIsUnique) {
+  SlotHeader* slot = heap_slot();
+  void* a = block_alloc(slot, 0, kSlotSize, FitPolicy::kFirstFit);
+  void* b = block_alloc(slot, 0, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, WriteFullPayloadDoesNotCorrupt) {
+  SlotHeader* slot = heap_slot();
+  void* a = block_alloc(slot, 1000, kSlotSize, FitPolicy::kFirstFit);
+  void* b = block_alloc(slot, 2000, kSlotSize, FitPolicy::kFirstFit);
+  std::memset(a, 0xAA, block_payload_size(a));
+  std::memset(b, 0xBB, block_payload_size(b));
+  check_slot_invariants(slot, kSlotSize);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[999], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[1999], 0xBB);
+}
+
+TEST_F(BlockTest, ExhaustionReturnsNull) {
+  SlotHeader* slot = heap_slot();
+  size_t usable = kSlotSize - sizeof(SlotHeader) - sizeof(BlockHeader);
+  void* p = block_alloc(slot, usable, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(block_alloc(slot, 1, kSlotSize, FitPolicy::kFirstFit), nullptr);
+}
+
+TEST_F(BlockTest, FreeThenReuseSameSpace) {
+  SlotHeader* slot = heap_slot();
+  void* a = block_alloc(slot, 5000, kSlotSize, FitPolicy::kFirstFit);
+  bool empty = false;
+  block_free(a, kSlotSize, &empty);
+  EXPECT_TRUE(empty);  // only block: coalesced back to a pristine slot
+  void* b = block_alloc(slot, 5000, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_EQ(a, b);
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, CoalesceWithNext) {
+  SlotHeader* slot = heap_slot();
+  void* a = block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  void* b = block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  [[maybe_unused]] void* guard =
+      block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  // Free b (middle) first, then a: a must absorb b.
+  uint64_t coalesces = 0;
+  block_free(b, kSlotSize, nullptr, &coalesces);
+  block_free(a, kSlotSize, nullptr, &coalesces);
+  EXPECT_GE(coalesces, 1u);
+  check_slot_invariants(slot, kSlotSize);
+  // The merged hole must now fit something bigger than either block.
+  void* big = block_alloc(slot, 200, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_EQ(big, a);
+}
+
+TEST_F(BlockTest, CoalesceWithPrev) {
+  SlotHeader* slot = heap_slot();
+  void* a = block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  void* b = block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  [[maybe_unused]] void* guard =
+      block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  uint64_t coalesces = 0;
+  block_free(a, kSlotSize, nullptr, &coalesces);
+  block_free(b, kSlotSize, nullptr, &coalesces);  // merges into a's hole
+  EXPECT_GE(coalesces, 1u);
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, FullCycleRestoresEmptySlot) {
+  SlotHeader* slot = heap_slot();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 20; ++i)
+    ptrs.push_back(block_alloc(slot, 512, kSlotSize, FitPolicy::kFirstFit));
+  for (void* p : ptrs) block_free(p, kSlotSize, nullptr);
+  EXPECT_TRUE(slot_empty(slot, kSlotSize));
+  EXPECT_EQ(slot_largest_free(slot),
+            kSlotSize - sizeof(SlotHeader) - sizeof(BlockHeader));
+}
+
+TEST_F(BlockTest, BestFitPicksTightestHole) {
+  SlotHeader* slot = heap_slot();
+  // Carve: [A:2000][B:100][C:600][D:100][E:rest]; free A and C.
+  void* a = block_alloc(slot, 2000, kSlotSize, FitPolicy::kFirstFit);
+  block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  void* c = block_alloc(slot, 600, kSlotSize, FitPolicy::kFirstFit);
+  block_alloc(slot, 100, kSlotSize, FitPolicy::kFirstFit);
+  block_free(a, kSlotSize, nullptr);
+  block_free(c, kSlotSize, nullptr);
+  // Request 500: first-fit would take A's 2000-hole (lower address).
+  void* ff = block_alloc(slot, 500, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_EQ(ff, a);
+  block_free(ff, kSlotSize, nullptr);
+  // Best-fit must take C's 600-hole instead.
+  void* bf = block_alloc(slot, 500, kSlotSize, FitPolicy::kBestFit);
+  EXPECT_EQ(bf, c);
+  check_slot_invariants(slot, kSlotSize);
+}
+
+TEST_F(BlockTest, MultiSlotRunActsAsOneBigSlot) {
+  SlotHeader* slot = heap_slot(4);
+  size_t usable = 4 * kSlotSize - sizeof(SlotHeader) - sizeof(BlockHeader);
+  EXPECT_EQ(slot_largest_free(slot), usable);
+  void* p = block_alloc(slot, 3 * kSlotSize, kSlotSize, FitPolicy::kFirstFit);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xCD, 3 * kSlotSize);
+  check_slot_invariants(slot, kSlotSize);
+  bool empty = false;
+  block_free(p, kSlotSize, &empty);
+  EXPECT_TRUE(empty);
+}
+
+TEST_F(BlockTest, ForEachBlockVisitsAllInOrder) {
+  SlotHeader* slot = heap_slot();
+  block_alloc(slot, 64, kSlotSize, FitPolicy::kFirstFit);
+  block_alloc(slot, 64, kSlotSize, FitPolicy::kFirstFit);
+  std::vector<BlockHeader*> seen;
+  for_each_block(slot, kSlotSize, [&](BlockHeader* b) { seen.push_back(b); });
+  ASSERT_EQ(seen.size(), 3u);  // two busy + trailing free
+  EXPECT_LT(seen[0], seen[1]);
+  EXPECT_LT(seen[1], seen[2]);
+  EXPECT_FALSE(seen[0]->free);
+  EXPECT_TRUE(seen[2]->free);
+}
+
+TEST_F(BlockTest, SlotsNeededComputation) {
+  EXPECT_EQ(slots_needed(1, kSlotSize), 1u);
+  EXPECT_EQ(slots_needed(kSlotSize / 2, kSlotSize), 1u);
+  // A full slot of payload cannot fit beside the headers.
+  EXPECT_EQ(slots_needed(kSlotSize, kSlotSize), 2u);
+  EXPECT_EQ(slots_needed(10 * kSlotSize, kSlotSize), 11u);
+}
+
+TEST_F(BlockTest, DoubleFreeDies) {
+  SlotHeader* slot = heap_slot();
+  void* p = block_alloc(slot, 64, kSlotSize, FitPolicy::kFirstFit);
+  block_free(p, kSlotSize, nullptr);
+  EXPECT_DEATH(block_free(p, kSlotSize, nullptr), "double free");
+}
+
+TEST_F(BlockTest, FreeingGarbageDies) {
+  SlotHeader* slot = heap_slot();
+  void* p = block_alloc(slot, 64, kSlotSize, FitPolicy::kFirstFit);
+  EXPECT_DEATH(block_free(static_cast<char*>(p) + 8, kSlotSize, nullptr),
+               "not an isomalloc block");
+}
+
+}  // namespace
+}  // namespace pm2::iso

@@ -1,0 +1,112 @@
+// Madeleine pack/unpack buffer tests.
+#include "madeleine/buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pm2::mad {
+namespace {
+
+TEST(PackBuffer, ScalarsRoundTrip) {
+  PackBuffer pack;
+  pack.pack<uint32_t>(7);
+  pack.pack<uint64_t>(0xAABBCCDDEEFF0011ull);
+  pack.pack_string("madeleine");
+  auto wire = pack.finalize();
+
+  UnpackBuffer unpack(wire);
+  EXPECT_EQ(unpack.unpack<uint32_t>(), 7u);
+  EXPECT_EQ(unpack.unpack<uint64_t>(), 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(unpack.unpack_string(), "madeleine");
+  EXPECT_TRUE(unpack.exhausted());
+}
+
+TEST(PackBuffer, CopyModeDetachesFromSource) {
+  char src[16] = "original";
+  PackBuffer pack;
+  pack.pack_region(src, sizeof(src), PackMode::kCopy);
+  std::memcpy(src, "clobbered", 10);  // mutate after packing
+  auto wire = pack.finalize();
+
+  UnpackBuffer unpack(wire);
+  char out[16];
+  EXPECT_EQ(unpack.unpack_region(out, sizeof(out)), sizeof(src));
+  EXPECT_STREQ(out, "original");
+}
+
+TEST(PackBuffer, BorrowModeReadsAtFinalize) {
+  char src[16] = "original";
+  PackBuffer pack;
+  pack.pack_region(src, sizeof(src), PackMode::kBorrow);
+  std::memcpy(src, "mutated!", 9);  // borrowed: finalize sees the new bytes
+  auto wire = pack.finalize();
+
+  UnpackBuffer unpack(wire);
+  char out[16];
+  unpack.unpack_region(out, sizeof(out));
+  EXPECT_STREQ(out, "mutated!");
+}
+
+TEST(PackBuffer, MixedSegmentsPreserveOrder) {
+  std::vector<uint8_t> big(1000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  PackBuffer pack;
+  pack.pack<uint32_t>(1);
+  pack.pack_bytes(big.data(), big.size(), PackMode::kBorrow);
+  pack.pack<uint32_t>(2);
+  EXPECT_EQ(pack.size(), 4 + 1000 + 4);
+  auto wire = pack.finalize();
+
+  UnpackBuffer unpack(wire);
+  EXPECT_EQ(unpack.unpack<uint32_t>(), 1u);
+  std::vector<uint8_t> out(1000);
+  unpack.unpack_bytes(out.data(), out.size());
+  EXPECT_EQ(out, big);
+  EXPECT_EQ(unpack.unpack<uint32_t>(), 2u);
+}
+
+TEST(PackBuffer, FinalizeResets) {
+  PackBuffer pack;
+  pack.pack<uint32_t>(1);
+  pack.finalize();
+  EXPECT_EQ(pack.size(), 0u);
+  pack.pack<uint32_t>(2);
+  auto wire = pack.finalize();
+  UnpackBuffer unpack(wire);
+  EXPECT_EQ(unpack.unpack<uint32_t>(), 2u);
+}
+
+TEST(UnpackBuffer, RegionView) {
+  PackBuffer pack;
+  pack.pack_region("zerocopy", 8);
+  auto wire = pack.finalize();
+  UnpackBuffer unpack(wire);
+  size_t len = 0;
+  const uint8_t* p = unpack.unpack_region_view(&len);
+  EXPECT_EQ(len, 8u);
+  EXPECT_EQ(std::memcmp(p, "zerocopy", 8), 0);
+}
+
+TEST(UnpackBufferDeath, RegionOverflowAborts) {
+  PackBuffer pack;
+  pack.pack_region("0123456789", 10);
+  auto wire = pack.finalize();
+  UnpackBuffer unpack(wire);
+  char small[4];
+  EXPECT_DEATH(unpack.unpack_region(small, sizeof(small)), "too small");
+}
+
+TEST(PackBuffer, EmptyRegion) {
+  PackBuffer pack;
+  pack.pack_region(nullptr, 0);
+  auto wire = pack.finalize();
+  UnpackBuffer unpack(wire);
+  size_t len = 7;
+  unpack.unpack_region_view(&len);
+  EXPECT_EQ(len, 0u);
+  EXPECT_TRUE(unpack.exhausted());
+}
+
+}  // namespace
+}  // namespace pm2::mad

@@ -1,0 +1,173 @@
+// Madeleine channels: mux unit tests over the in-process fabric, plus
+// integration with the runtime's comm daemon.
+#include "madeleine/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "fabric/inproc.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2::mad {
+namespace {
+
+// --- mux-level tests (no runtime) --------------------------------------------
+
+struct MuxPair {
+  std::shared_ptr<fabric::InProcHub> hub;
+  std::unique_ptr<fabric::Fabric> f0, f1;
+  std::unique_ptr<ChannelMux> m0, m1;
+
+  MuxPair() {
+    hub = std::make_shared<fabric::InProcHub>(2);
+    f0 = hub->endpoint(0);
+    f1 = hub->endpoint(1);
+    m0 = std::make_unique<ChannelMux>(*f0, 100);
+    m1 = std::make_unique<ChannelMux>(*f1, 100);
+  }
+
+  /// Drain node 1's fabric into its mux.
+  void pump1() {
+    while (auto msg = f1->try_recv()) m1->feed(std::move(*msg));
+  }
+};
+
+TEST(ChannelMux, OpenAssignsDenseIds) {
+  MuxPair mp;
+  Channel& a = mp.m0->open("alpha");
+  Channel& b = mp.m0->open("beta");
+  EXPECT_EQ(a.id(), 0);
+  EXPECT_EQ(b.id(), 1);
+  EXPECT_EQ(mp.m0->find("alpha"), &a);
+  EXPECT_EQ(mp.m0->find("gamma"), nullptr);
+  EXPECT_EQ(mp.m0->channel_count(), 2u);
+}
+
+TEST(ChannelMux, SendReceivePolling) {
+  MuxPair mp;
+  Channel& tx = mp.m0->open("data");
+  Channel& rx = mp.m1->open("data");
+
+  PackBuffer pb;
+  pb.pack<uint32_t>(77);
+  pb.pack_string("hello");
+  tx.send(1, std::move(pb));
+  mp.pump1();
+
+  auto got = rx.try_receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->first, 0u);
+  UnpackBuffer ub(got->second);
+  EXPECT_EQ(ub.unpack<uint32_t>(), 77u);
+  EXPECT_EQ(ub.unpack_string(), "hello");
+  EXPECT_FALSE(rx.try_receive().has_value());
+}
+
+TEST(ChannelMux, ChannelsAreIsolated) {
+  MuxPair mp;
+  Channel& tx_a = mp.m0->open("a");
+  Channel& tx_b = mp.m0->open("b");
+  Channel& rx_a = mp.m1->open("a");
+  Channel& rx_b = mp.m1->open("b");
+
+  PackBuffer p1, p2;
+  p1.pack<uint32_t>(1);
+  p2.pack<uint32_t>(2);
+  tx_a.send(1, std::move(p1));
+  tx_b.send(1, std::move(p2));
+  mp.pump1();
+
+  EXPECT_EQ(rx_a.pending(), 1u);
+  EXPECT_EQ(rx_b.pending(), 1u);
+  EXPECT_EQ(UnpackBuffer(rx_a.try_receive()->second).unpack<uint32_t>(), 1u);
+  EXPECT_EQ(UnpackBuffer(rx_b.try_receive()->second).unpack<uint32_t>(), 2u);
+}
+
+TEST(ChannelMux, HandlerBypassesQueue) {
+  MuxPair mp;
+  Channel& tx = mp.m0->open("evt");
+  Channel& rx = mp.m1->open("evt");
+  uint64_t seen = 0;
+  rx.set_handler([&](fabric::NodeId src, UnpackBuffer& ub) {
+    EXPECT_EQ(src, 0u);
+    seen = ub.unpack<uint64_t>();
+  });
+  PackBuffer pb;
+  pb.pack<uint64_t>(0xFEED);
+  tx.send(1, std::move(pb));
+  mp.pump1();
+  EXPECT_EQ(seen, 0xFEEDu);
+  EXPECT_EQ(rx.pending(), 0u);
+  EXPECT_EQ(rx.delivered(), 1u);
+}
+
+TEST(ChannelMux, OwnsRespectsRange) {
+  MuxPair mp;
+  mp.m0->open("only");
+  fabric::Message in_range;
+  in_range.type = 100;
+  fabric::Message below;
+  below.type = 99;
+  fabric::Message above;
+  above.type = 101;  // only one channel open
+  EXPECT_TRUE(mp.m0->owns(in_range));
+  EXPECT_FALSE(mp.m0->owns(below));
+  EXPECT_FALSE(mp.m0->owns(above));
+}
+
+TEST(ChannelMux, FifoWithinChannel) {
+  MuxPair mp;
+  Channel& tx = mp.m0->open("fifo");
+  Channel& rx = mp.m1->open("fifo");
+  for (uint32_t i = 0; i < 50; ++i) {
+    PackBuffer pb;
+    pb.pack<uint32_t>(i);
+    tx.send(1, std::move(pb));
+  }
+  mp.pump1();
+  for (uint32_t i = 0; i < 50; ++i) {
+    auto got = rx.try_receive();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(UnpackBuffer(got->second).unpack<uint32_t>(), i);
+  }
+}
+
+// --- runtime integration: daemon-fed channels ---------------------------------
+
+std::atomic<uint64_t> g_channel_sum{0};
+
+TEST(ChannelRuntime, DaemonFeedsChannels) {
+  g_channel_sum = 0;
+  AppConfig cfg;
+  cfg.nodes = 3;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() != 0) {
+          // Workers post on the "results" channel to node 0.
+          PackBuffer pb;
+          pb.pack<uint64_t>(rt.self() * 100);
+          rt.channels().find("results")->send(0, std::move(pb));
+        } else {
+          // Node 0 collects two messages through the handler path.
+          rt.wait_signals(2);
+        }
+        rt.barrier();
+      },
+      [&](Runtime& rt) {
+        Channel& ch = rt.channels().open("results");
+        if (rt.self() == 0) {
+          ch.set_handler([](fabric::NodeId, UnpackBuffer& ub) {
+            g_channel_sum += ub.unpack<uint64_t>();
+            pm2_signal(0);
+          });
+        }
+      });
+  EXPECT_EQ(g_channel_sum.load(), 300u);  // 100 + 200
+}
+
+}  // namespace
+}  // namespace pm2::mad

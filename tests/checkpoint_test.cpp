@@ -1,0 +1,194 @@
+// Checkpoint/restore ("migration in time") tests.
+#include "pm2/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<int> g_progress{0};
+std::atomic<int> g_sum{0};
+std::atomic<bool> g_ok{true};
+
+AppConfig single_node() {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  return cfg;
+}
+
+// Worker that builds iso-state, parks READY (yield loop) at a known point,
+// and validates its state when resumed.
+void counting_worker(void*) {
+  auto* data = static_cast<int*>(pm2_isomalloc(256 * sizeof(int)));
+  for (int i = 0; i < 256; ++i) data[i] = i * 3;
+  int local = 777;
+  int* p = &local;
+  g_progress = 1;
+  // Park until the controller advances the phase.
+  while (g_progress.load() < 2) pm2_yield();
+  // Validate everything after the restore.
+  if (*p != 777) g_ok = false;
+  for (int i = 0; i < 256; ++i)
+    if (data[i] != i * 3) g_ok = false;
+  g_sum += *p;
+  pm2_isofree(data);
+  pm2_signal(0);
+}
+
+TEST(Checkpoint, RestoreAfterDeathResumesExactly) {
+  g_progress = 0;
+  g_sum = 0;
+  g_ok = true;
+  run_app(single_node(), [&](Runtime& rt) {
+    auto id = pm2_thread_create(&counting_worker, nullptr, "ck");
+    while (g_progress.load() < 1) pm2_yield();
+    // Freeze the moment: the worker sits in its yield loop.
+    std::vector<uint8_t> image = checkpoint_thread(rt, id);
+    EXPECT_GT(image.size(), sizeof(CheckpointHeader));
+
+    // Let the original finish and die (its slots return to the node).
+    g_progress = 2;
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_sum.load(), 777);
+
+    // Resurrect: the clone resumes inside the yield loop, re-validates the
+    // same stack local and iso-heap, finishes again.
+    auto id2 = restore_thread(rt, image);
+    EXPECT_EQ(id2, id);  // identity travels with the descriptor
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_sum.load(), 2 * 777);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+void self_ck_worker(void* out_ptr) {
+  auto* image = static_cast<std::vector<uint8_t>*>(out_ptr);
+  int x = 5;
+  bool restored = checkpoint_self(*Runtime::current(), *image);
+  // Original: restored == false; clone: true.  Both see x == 5.
+  if (x != 5) g_ok = false;
+  if (restored) {
+    g_sum += 100;
+  } else {
+    g_sum += 1;
+  }
+  pm2_signal(0);
+}
+
+TEST(Checkpoint, SelfCheckpointSetjmpContract) {
+  g_sum = 0;
+  g_ok = true;
+  // The image vector must live outside the checkpointed thread's stack.
+  static std::vector<uint8_t> image;
+  image.clear();
+  run_app(single_node(), [&](Runtime& rt) {
+    pm2_thread_create(&self_ck_worker, &image, "selfck");
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_sum.load(), 1);  // original path
+    ASSERT_FALSE(image.empty());
+    restore_thread(rt, image);
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_sum.load(), 101);  // clone took the restored branch
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+TEST(Checkpoint, SaveLoadFileRoundTrip) {
+  g_progress = 0;
+  g_sum = 0;
+  g_ok = true;
+  const char* path = "/tmp/pm2_ckpt_test.bin";
+  run_app(single_node(), [&](Runtime& rt) {
+    auto id = pm2_thread_create(&counting_worker, nullptr, "ckfile");
+    while (g_progress.load() < 1) pm2_yield();
+    save_checkpoint(path, checkpoint_thread(rt, id));
+    g_progress = 2;
+    pm2_wait_signals(1);
+
+    auto image = load_checkpoint(path);
+    restore_thread(rt, image);
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_sum.load(), 2 * 777);
+  });
+  EXPECT_TRUE(g_ok.load());
+  std::remove(path);
+}
+
+TEST(Checkpoint, RestoredFlagVisible) {
+  g_progress = 0;
+  g_sum = 0;
+  run_app(single_node(), [&](Runtime& rt) {
+    auto id = pm2_thread_create(&counting_worker, nullptr, "flag");
+    while (g_progress.load() < 1) pm2_yield();
+    auto image = checkpoint_thread(rt, id);
+    g_progress = 2;
+    pm2_wait_signals(1);
+
+    auto id2 = restore_thread(rt, image);
+    marcel::Thread* t = rt.sched().find(id2);
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(t->flags & marcel::Thread::kFlagRestored);
+    pm2_wait_signals(1);
+  });
+}
+
+TEST(CheckpointDeath, RestoreWhileOriginalAliveRefuses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        g_progress = 0;
+        run_app(single_node(), [&](Runtime& rt) {
+          auto id = pm2_thread_create(&counting_worker, nullptr, "alive");
+          while (g_progress.load() < 1) pm2_yield();
+          auto image = checkpoint_thread(rt, id);
+          // Original still parked: its slots are thread-owned, so the
+          // restore cannot claim them.
+          restore_thread(rt, image);
+        });
+      },
+      "not free on this node|duplicate thread id");
+}
+
+TEST(CheckpointDeath, CorruptImageRefused) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        run_app(single_node(), [&](Runtime& rt) {
+          std::vector<uint8_t> junk(128, 0xAB);
+          restore_thread(rt, junk);
+        });
+      },
+      "not a PM2 checkpoint");
+}
+
+TEST(Checkpoint, GeometryMismatchRefused) {
+  // Tamper with the header: wrong slot size must be rejected (in a child,
+  // via death test).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        g_progress = 0;
+        run_app(single_node(), [&](Runtime& rt) {
+          auto id = pm2_thread_create(&counting_worker, nullptr, "geom");
+          while (g_progress.load() < 1) pm2_yield();
+          auto image = checkpoint_thread(rt, id);
+          auto* h = reinterpret_cast<CheckpointHeader*>(image.data());
+          h->slot_size *= 2;
+          g_progress = 2;
+          pm2_wait_signals(1);
+          restore_thread(rt, image);
+        });
+      },
+      "geometry mismatch");
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,126 @@
+// Configuration sweeps: the runtime must behave identically across slot
+// sizes, multi-slot stacks, distributions and node counts.  These
+// parameterized integration tests run the same migration+allocation
+// workload under each configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<bool> g_ok{true};
+
+#define CFG_EXPECT(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      g_ok = false;                                               \
+      pm2_printf("config sweep failure: %s line %d\n", #cond,     \
+                 __LINE__);                                       \
+    }                                                             \
+  } while (0)
+
+struct SweepParams {
+  size_t slot_size;
+  size_t stack_slots;
+  uint32_t nodes;
+  iso::Distribution dist;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepParams> {};
+
+void sweep_worker2(void*) {
+  // Allocate a mix, migrate across all nodes, verify, free.
+  auto* small = static_cast<unsigned char*>(pm2_isomalloc(100));
+  auto* big = static_cast<unsigned char*>(pm2_isomalloc(150 * 1024));
+  std::memset(small, 0x21, 100);
+  std::memset(big, 0x43, 150 * 1024);
+  uint32_t n = pm2_nodes();
+  for (uint32_t hop = 1; hop <= n; ++hop)
+    pm2_migrate(marcel_self(), hop % n);
+  CFG_EXPECT(pm2_self() == 0);
+  for (int i = 0; i < 100; ++i) CFG_EXPECT(small[i] == 0x21);
+  for (int i = 0; i < 150 * 1024; i += 1024) CFG_EXPECT(big[i] == 0x43);
+  pm2_isofree(small);
+  pm2_isofree(big);
+  pm2_signal(0);
+}
+
+TEST_P(ConfigSweep, MigrationWorkloadRunsClean) {
+  const SweepParams p = GetParam();
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = p.nodes;
+  cfg.area.slot_size = p.slot_size;
+  cfg.rt.stack_slots = p.stack_slots;
+  cfg.rt.slots.distribution = p.dist;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&sweep_worker2, nullptr, "sweep");
+      pm2_wait_signals(1);
+    }
+    rt.barrier();
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConfigSweep,
+    ::testing::Values(
+        // The paper's configuration: 64 KB slots, 1 slot per stack.
+        SweepParams{64 * 1024, 1, 2, iso::Distribution::kRoundRobin},
+        // Small slots: stacks need multiple contiguous slots.
+        SweepParams{16 * 1024, 4, 2, iso::Distribution::kBlockCyclic},
+        // Large slots.
+        SweepParams{256 * 1024, 1, 2, iso::Distribution::kRoundRobin},
+        // Multi-slot stacks even with 64 KB slots.
+        SweepParams{64 * 1024, 2, 3, iso::Distribution::kPartitioned},
+        // More nodes.
+        SweepParams{64 * 1024, 1, 4, iso::Distribution::kBlockCyclic},
+        // Multi-slot stacks need local contiguity for the bootstrap
+        // threads (round-robin would offer none).
+        SweepParams{128 * 1024, 2, 4, iso::Distribution::kBlockCyclic}));
+
+// Deep stacks in multi-slot stack configurations: recursion that would
+// overflow a single 16 KB slot must be fine with stack_slots = 4.
+long deep_recurse(int depth) {
+  volatile char pad[1024];
+  pad[0] = 1;
+  if (depth == 0) return pad[0];
+  return deep_recurse(depth - 1) + pad[0];
+}
+
+void deep_stack_worker(void*) {
+  CFG_EXPECT(deep_recurse(30) == 31);
+  pm2_migrate(marcel_self(), 1);
+  CFG_EXPECT(deep_recurse(30) == 31);  // still works after migration
+  pm2_signal(0);
+}
+
+TEST(ConfigSweepDeep, MultiSlotStackSurvivesDeepRecursionAndMigration) {
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.area.slot_size = 16 * 1024;
+  cfg.rt.stack_slots = 8;  // 128 KB stacks from 16 KB slots
+  // Multi-slot stacks need local contiguity for the bootstrap threads
+  // (round-robin would leave no 8-runs anywhere).
+  cfg.rt.slots.distribution = iso::Distribution::kBlockCyclic;
+  cfg.rt.slots.block_cyclic_block = 32;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&deep_stack_worker, nullptr, "deep");
+      pm2_wait_signals(1);
+    }
+    rt.barrier();
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,157 @@
+// Defragmentation (paper §4.1) and pre-buy (§4.4) extension tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "isomalloc/negotiation.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+// --- pure plan_defragmentation ----------------------------------------------
+
+TEST(DefragPlan, PacksScatteredOwnershipContiguously) {
+  // Round-robin over 2 nodes: maximally fragmented.
+  std::vector<Bitmap> maps;
+  maps.emplace_back(64);
+  maps.emplace_back(64);
+  for (size_t i = 0; i < 64; ++i) maps[i % 2].set(i);
+
+  auto packed = iso::plan_defragmentation(maps);
+  ASSERT_EQ(packed.size(), 2u);
+  EXPECT_EQ(packed[0].count(), 32u);
+  EXPECT_EQ(packed[1].count(), 32u);
+  EXPECT_TRUE(iso::is_partition(packed));
+  // Both nodes now own one maximal run.
+  EXPECT_EQ(packed[0].find_run(32).value(), 0u);
+  EXPECT_EQ(packed[1].find_run(32).value(), 32u);
+}
+
+TEST(DefragPlan, ThreadOwnedHolesStayPut) {
+  std::vector<Bitmap> maps;
+  maps.emplace_back(16);
+  maps.emplace_back(16);
+  // Slots 4..7 thread-owned (absent everywhere); rest alternates.
+  for (size_t i = 0; i < 16; ++i) {
+    if (i >= 4 && i < 8) continue;
+    maps[i % 2].set(i);
+  }
+  auto packed = iso::plan_defragmentation(maps);
+  // The hole must remain unowned.
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_FALSE(packed[0].test(i));
+    EXPECT_FALSE(packed[1].test(i));
+  }
+  EXPECT_EQ(packed[0].count() + packed[1].count(), 12u);
+  EXPECT_TRUE(iso::is_disjoint(packed));
+}
+
+TEST(DefragPlan, CountsPreservedPerNode) {
+  std::vector<Bitmap> maps;
+  for (int n = 0; n < 3; ++n) maps.emplace_back(128);
+  // Unequal holdings.
+  maps[0].set_range(0, 10);
+  maps[1].set_range(40, 30);
+  maps[2].set_range(100, 5);
+  auto packed = iso::plan_defragmentation(maps);
+  EXPECT_EQ(packed[0].count(), 10u);
+  EXPECT_EQ(packed[1].count(), 30u);
+  EXPECT_EQ(packed[2].count(), 5u);
+  EXPECT_TRUE(iso::is_disjoint(packed));
+}
+
+// --- runtime defragment() ------------------------------------------------------
+
+TEST(DefragRuntime, EnablesLocalMultiSlotAllocs) {
+  std::atomic<uint64_t> nego_before{0}, nego_after{0};
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      // Under round-robin, no node owns 2 contiguous slots: this alloc
+      // must negotiate.
+      void* a = rt.isomalloc(100 * 1024);
+      rt.isofree(a);
+      nego_before = rt.negotiations_initiated();
+
+      // After defragmentation every node's holdings are contiguous, so the
+      // same allocations are satisfied locally.
+      rt.defragment();
+      for (int i = 0; i < 5; ++i) {
+        void* p = rt.isomalloc(100 * 1024);
+        rt.isofree(p);
+      }
+      nego_after = rt.negotiations_initiated();
+    }
+    rt.barrier();
+  });
+  EXPECT_EQ(nego_before.load(), 1u);
+  EXPECT_EQ(nego_after.load(), nego_before.load());  // zero new negotiations
+}
+
+TEST(DefragRuntime, SingleNodeIsNoop) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    rt.defragment();
+    void* p = rt.isomalloc(1024);
+    rt.isofree(p);
+  });
+}
+
+TEST(DefragRuntime, SafeUnderConcurrentTraffic) {
+  std::atomic<bool> stop{false};
+  AppConfig cfg;
+  cfg.nodes = 3;
+  cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
+  // The churn loop never yields explicitly: the deferred-preemption quantum
+  // must deschedule it at the isomalloc safe points, or the comm daemon
+  // would starve and gather requests would never be answered.
+  cfg.rt.preemption_quantum_us = 100;
+  run_app(cfg, [&](Runtime& rt) {
+    // Every node churns allocations while node 1 defragments repeatedly.
+    auto worker = rt.spawn_local([&] {
+      while (!stop.load()) {
+        void* p = pm2_isomalloc(100 * 1024);
+        pm2_isofree(p);
+      }
+    });
+    if (rt.self() == 1) {
+      for (int i = 0; i < 10; ++i) rt.defragment();
+    }
+    rt.barrier();
+    stop = true;
+    rt.join(worker);
+  });
+}
+
+// --- pre-buy -----------------------------------------------------------------
+
+TEST(Prebuy, ReducesSubsequentNegotiations) {
+  std::atomic<uint64_t> with{0}, without{0};
+  for (bool prebuy : {false, true}) {
+    AppConfig cfg;
+    cfg.nodes = 2;
+    cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
+    cfg.rt.nego_prebuy_slots = prebuy ? 32 : 0;
+    run_app(cfg, [&](Runtime& rt) {
+      if (rt.self() == 0) {
+        // 10 multi-slot allocations, kept alive (so each needs new slots).
+        std::vector<void*> hold;
+        for (int i = 0; i < 10; ++i) hold.push_back(rt.isomalloc(100 * 1024));
+        for (void* p : hold) rt.isofree(p);
+        (prebuy ? with : without) = rt.negotiations_initiated();
+      }
+      rt.barrier();
+    });
+  }
+  EXPECT_EQ(without.load(), 10u);  // one negotiation per allocation
+  EXPECT_LE(with.load(), 2u);      // the pre-bought stretch covers the rest
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,107 @@
+// Initial slot distribution policies (paper §4.1).
+#include "isomalloc/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2::iso {
+namespace {
+
+std::vector<pm2::Bitmap> all_bitmaps(Distribution d, size_t slots,
+                                     uint32_t nodes, size_t block = 16) {
+  std::vector<pm2::Bitmap> v;
+  for (uint32_t n = 0; n < nodes; ++n)
+    v.push_back(initial_bitmap(d, slots, n, nodes, block));
+  return v;
+}
+
+TEST(Distribution, RoundRobinPattern) {
+  auto b = initial_bitmap(Distribution::kRoundRobin, 16, 1, 4);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(b.test(i), i % 4 == 1) << i;
+}
+
+TEST(Distribution, BlockCyclicPattern) {
+  auto b = initial_bitmap(Distribution::kBlockCyclic, 32, 0, 2, 4);
+  for (size_t i = 0; i < 32; ++i)
+    EXPECT_EQ(b.test(i), (i / 4) % 2 == 0) << i;
+}
+
+TEST(Distribution, PartitionedPattern) {
+  auto b0 = initial_bitmap(Distribution::kPartitioned, 100, 0, 3);
+  auto b2 = initial_bitmap(Distribution::kPartitioned, 100, 2, 3);
+  EXPECT_TRUE(b0.all_set(0, 33));
+  EXPECT_TRUE(b0.none_set(33, 67));
+  // Last node absorbs the remainder.
+  EXPECT_TRUE(b2.all_set(66, 34));
+  EXPECT_EQ(b2.count(), 34u);
+}
+
+class DistributionPartition
+    : public ::testing::TestWithParam<std::tuple<Distribution, uint32_t>> {};
+
+TEST_P(DistributionPartition, EverySlotOwnedExactlyOnce) {
+  auto [dist, nodes] = GetParam();
+  auto bitmaps = all_bitmaps(dist, 1024, nodes);
+  EXPECT_TRUE(is_partition(bitmaps));
+  EXPECT_TRUE(is_disjoint(bitmaps));
+}
+
+TEST_P(DistributionPartition, FairShare) {
+  auto [dist, nodes] = GetParam();
+  auto bitmaps = all_bitmaps(dist, 1024, nodes);
+  for (const auto& b : bitmaps) {
+    EXPECT_NEAR(static_cast<double>(b.count()), 1024.0 / nodes,
+                16.0 + 1024.0 / nodes * 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, DistributionPartition,
+    ::testing::Combine(::testing::Values(Distribution::kRoundRobin,
+                                         Distribution::kBlockCyclic,
+                                         Distribution::kPartitioned),
+                       ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u)));
+
+TEST(Distribution, RoundRobinHasNoLongRunsMultiNode) {
+  // The paper: round-robin "behaves rather poorly for multi-slot
+  // allocations" — no node owns 2 contiguous slots.
+  auto b = initial_bitmap(Distribution::kRoundRobin, 256, 0, 2);
+  EXPECT_FALSE(b.find_run(2).has_value());
+}
+
+TEST(Distribution, PartitionedHasMaximalRuns) {
+  auto b = initial_bitmap(Distribution::kPartitioned, 256, 0, 2);
+  EXPECT_TRUE(b.find_run(128).has_value());
+}
+
+TEST(Distribution, StringRoundTrip) {
+  EXPECT_EQ(distribution_from_string("round-robin"), Distribution::kRoundRobin);
+  EXPECT_EQ(distribution_from_string("rr"), Distribution::kRoundRobin);
+  EXPECT_EQ(distribution_from_string("block-cyclic"),
+            Distribution::kBlockCyclic);
+  EXPECT_EQ(distribution_from_string("partitioned"),
+            Distribution::kPartitioned);
+  EXPECT_STREQ(to_string(Distribution::kRoundRobin), "round-robin");
+}
+
+TEST(Distribution, IsPartitionDetectsOverlap) {
+  std::vector<pm2::Bitmap> v;
+  v.emplace_back(10);
+  v.emplace_back(10);
+  v[0].set_range(0, 6);
+  v[1].set_range(5, 5);  // slot 5 owned twice
+  EXPECT_FALSE(is_disjoint(v));
+  EXPECT_FALSE(is_partition(v));
+}
+
+TEST(Distribution, IsPartitionDetectsHole) {
+  std::vector<pm2::Bitmap> v;
+  v.emplace_back(10);
+  v.emplace_back(10);
+  v[0].set_range(0, 5);
+  v[1].set_range(5, 4);  // slot 9 unowned
+  EXPECT_TRUE(is_disjoint(v));
+  EXPECT_FALSE(is_partition(v));
+}
+
+}  // namespace
+}  // namespace pm2::iso

@@ -1,0 +1,152 @@
+// Message framing + in-process and socket fabrics.
+#include "fabric/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fabric/inproc.hpp"
+
+namespace pm2::fabric {
+namespace {
+
+TEST(MessageCodec, RoundTrip) {
+  Message in;
+  in.type = 7;
+  in.src = 1;
+  in.dst = 2;
+  in.corr = 0xDEADBEEF;
+  in.payload = {1, 2, 3, 4, 5};
+
+  std::vector<uint8_t> wire;
+  encode(in, wire);
+  EXPECT_EQ(wire.size(), in.wire_size());
+
+  auto out = try_decode(wire);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, 7);
+  EXPECT_EQ(out->src, 1u);
+  EXPECT_EQ(out->dst, 2u);
+  EXPECT_EQ(out->corr, 0xDEADBEEFu);
+  EXPECT_EQ(out->payload, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(wire.empty());
+}
+
+TEST(MessageCodec, PartialFrameReturnsNothing) {
+  Message in;
+  in.type = 1;
+  in.payload.assign(100, 9);
+  std::vector<uint8_t> wire;
+  encode(in, wire);
+
+  std::vector<uint8_t> partial(wire.begin(), wire.begin() + 50);
+  EXPECT_FALSE(try_decode(partial).has_value());
+  EXPECT_EQ(partial.size(), 50u);  // untouched
+}
+
+TEST(MessageCodec, TwoFramesBackToBack) {
+  std::vector<uint8_t> wire;
+  Message a, b;
+  a.type = 1;
+  a.payload = {1};
+  b.type = 2;
+  b.payload = {2, 2};
+  encode(a, wire);
+  encode(b, wire);
+  auto first = try_decode(wire);
+  auto second = try_decode(wire);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->type, 1);
+  EXPECT_EQ(second->type, 2);
+  EXPECT_FALSE(try_decode(wire).has_value());
+}
+
+TEST(InProc, SendReceive) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  auto b = hub->endpoint(1);
+
+  Message msg;
+  msg.type = 42;
+  msg.dst = 1;
+  msg.payload = {9, 8, 7};
+  a->send(std::move(msg));
+
+  auto got = b->recv(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, 42);
+  EXPECT_EQ(got->src, 0u);
+  EXPECT_EQ(got->payload, (std::vector<uint8_t>{9, 8, 7}));
+}
+
+TEST(InProc, TryRecvEmpty) {
+  auto hub = std::make_shared<InProcHub>(1);
+  auto a = hub->endpoint(0);
+  EXPECT_FALSE(a->try_recv().has_value());
+}
+
+TEST(InProc, RecvTimeout) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  EXPECT_FALSE(a->recv(10).has_value());
+}
+
+TEST(InProc, FifoPerDestination) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  auto b = hub->endpoint(1);
+  for (uint16_t i = 0; i < 100; ++i) {
+    Message m;
+    m.type = i;
+    m.dst = 1;
+    a->send(std::move(m));
+  }
+  for (uint16_t i = 0; i < 100; ++i) {
+    auto got = b->try_recv();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, i);
+  }
+}
+
+TEST(InProc, CrossThreadWakeup) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  auto b = hub->endpoint(1);
+
+  std::thread sender([&] {
+    Message m;
+    m.type = 5;
+    m.dst = 1;
+    a->send(std::move(m));
+  });
+  auto got = b->recv(-1);
+  sender.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, 5);
+}
+
+TEST(InProc, SelfSend) {
+  auto hub = std::make_shared<InProcHub>(1);
+  auto a = hub->endpoint(0);
+  Message m;
+  m.type = 3;
+  m.dst = 0;
+  a->send(std::move(m));
+  auto got = a->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, 3);
+}
+
+TEST(InProc, CountsBytes) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  Message m;
+  m.dst = 1;
+  m.payload.assign(100, 1);
+  a->send(std::move(m));
+  EXPECT_EQ(a->messages_sent(), 1u);
+  EXPECT_EQ(a->bytes_sent(), sizeof(WireHeader) + 100);
+}
+
+}  // namespace
+}  // namespace pm2::fabric

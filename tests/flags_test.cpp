@@ -1,0 +1,57 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2 {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make({"--nodes=4", "--dist=round-robin"});
+  EXPECT_EQ(f.i64("nodes", 0), 4);
+  EXPECT_EQ(f.str("dist"), "round-robin");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make({"--nodes", "8"});
+  EXPECT_EQ(f.i64("nodes", 0), 8);
+}
+
+TEST(Flags, BareBool) {
+  Flags f = make({"--spawn", "--verbose"});
+  EXPECT_TRUE(f.b("spawn"));
+  EXPECT_TRUE(f.b("verbose"));
+  EXPECT_FALSE(f.b("absent"));
+}
+
+TEST(Flags, ExplicitFalse) {
+  Flags f = make({"--cache=false"});
+  EXPECT_FALSE(f.b("cache", true));
+}
+
+TEST(Flags, Defaults) {
+  Flags f = make({});
+  EXPECT_EQ(f.i64("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.f64("x", 2.5), 2.5);
+  EXPECT_EQ(f.str("s", "d"), "d");
+}
+
+TEST(Flags, Positional) {
+  Flags f = make({"--a=1", "pos1", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(Flags, HexValues) {
+  Flags f = make({"--base=0x5000"});
+  EXPECT_EQ(f.i64("base", 0), 0x5000);
+}
+
+}  // namespace
+}  // namespace pm2

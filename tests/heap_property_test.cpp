@@ -1,0 +1,165 @@
+// Property-based tests: random alloc/free/realloc traces must preserve all
+// heap invariants, never overlap live blocks, and conserve slots.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "isomalloc/heap.hpp"
+
+namespace pm2::iso {
+namespace {
+
+AreaConfig prop_area_config() {
+  AreaConfig cfg;
+  cfg.base = 0x6500'0000'0000ull;
+  cfg.size = 128ull << 20;  // 2048 slots
+  cfg.slot_size = 64 * 1024;
+  return cfg;
+}
+
+struct TraceParams {
+  uint64_t seed;
+  FitPolicy fit;
+  bool release_empty;
+  size_t max_size;  // allocation size cap
+};
+
+class HeapTraceProperty : public ::testing::TestWithParam<TraceParams> {};
+
+TEST_P(HeapTraceProperty, RandomTracePreservesInvariants) {
+  const TraceParams param = GetParam();
+  Area area(prop_area_config());
+  SlotManagerConfig mc;
+  mc.node = 0;
+  mc.n_nodes = 1;
+  mc.distribution = Distribution::kPartitioned;
+  SlotManager mgr(area, mc);
+
+  void* slot_list = nullptr;
+  HeapStats stats;
+  HeapConfig hc;
+  hc.fit = param.fit;
+  hc.release_empty_slots = param.release_empty;
+  ThreadHeap heap(&slot_list, 1, mgr, hc, &stats);
+
+  Rng rng(param.seed);
+  // live: payload pointer -> (size, fill byte)
+  std::map<char*, std::pair<size_t, unsigned char>> live;
+  const size_t total_slots = mgr.owned_free_slots();
+
+  for (int step = 0; step < 2000; ++step) {
+    double dice = rng.next_double();
+    if (dice < 0.55 || live.empty()) {
+      size_t size = rng.next_range(1, param.max_size);
+      auto* p = static_cast<char*>(heap.alloc(size));
+      if (p == nullptr) continue;  // single node: genuine exhaustion only
+      auto fill = static_cast<unsigned char>(rng.next() & 0xFF);
+      std::memset(p, fill, size);
+      // No overlap with any live block.
+      for (const auto& [q, meta] : live) {
+        bool disjoint = p + size <= q || q + meta.first <= p;
+        ASSERT_TRUE(disjoint) << "allocator returned overlapping block";
+      }
+      live[p] = {size, fill};
+    } else if (dice < 0.9) {
+      // Free a pseudo-random live block.
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      auto [p, meta] = *it;
+      // Contents must be intact before the free.
+      for (size_t i = 0; i < meta.first; i += 251)
+        ASSERT_EQ(static_cast<unsigned char>(p[i]), meta.second);
+      heap.free(p);
+      live.erase(it);
+    } else {
+      // Realloc a live block to a new size.
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      auto [p, meta] = *it;
+      size_t new_size = rng.next_range(1, param.max_size);
+      auto* q = static_cast<char*>(heap.realloc(p, new_size));
+      ASSERT_NE(q, nullptr);
+      size_t preserved = std::min(meta.first, new_size);
+      for (size_t i = 0; i < preserved; i += 97)
+        ASSERT_EQ(static_cast<unsigned char>(q[i]), meta.second);
+      live.erase(it);
+      std::memset(q, meta.second, new_size);
+      live[q] = {new_size, meta.second};
+    }
+
+    if (step % 100 == 0) {
+      ThreadHeap::check_invariants(slot_list, area.slot_size());
+      // Slot conservation: owned + thread-attached == total.
+      size_t attached = 0;
+      ThreadHeap::for_each_slot(
+          slot_list, [&](SlotHeader* s) { attached += s->nslots; });
+      ASSERT_EQ(mgr.owned_free_slots() + attached, total_slots);
+    }
+  }
+
+  // Drain and verify the world returns to pristine.
+  while (!live.empty()) {
+    auto it = live.begin();
+    heap.free(it->first);
+    live.erase(it);
+  }
+  ThreadHeap::check_invariants(slot_list, area.slot_size());
+  if (param.release_empty) {
+    EXPECT_EQ(slot_list, nullptr);
+    EXPECT_EQ(mgr.owned_free_slots(), total_slots);
+  }
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, HeapTraceProperty,
+    ::testing::Values(
+        // Small blocks, both fit policies, both release policies.
+        TraceParams{1, FitPolicy::kFirstFit, true, 4096},
+        TraceParams{2, FitPolicy::kBestFit, true, 4096},
+        TraceParams{3, FitPolicy::kFirstFit, false, 4096},
+        TraceParams{4, FitPolicy::kBestFit, false, 4096},
+        // Mixed sizes crossing the slot boundary (multi-slot runs).
+        TraceParams{5, FitPolicy::kFirstFit, true, 200 * 1024},
+        TraceParams{6, FitPolicy::kBestFit, true, 200 * 1024},
+        TraceParams{7, FitPolicy::kFirstFit, false, 200 * 1024},
+        // Different seeds for coverage.
+        TraceParams{99, FitPolicy::kFirstFit, true, 32 * 1024},
+        TraceParams{1337, FitPolicy::kBestFit, true, 32 * 1024}));
+
+// Fragmentation property: first-fit on an adversarial trace still reuses
+// freed space (no unbounded growth).
+TEST(HeapFragmentation, AlternatingFreePatternBounded) {
+  Area area(prop_area_config());
+  SlotManagerConfig mc;
+  mc.node = 0;
+  mc.n_nodes = 1;
+  mc.distribution = Distribution::kPartitioned;
+  SlotManager mgr(area, mc);
+  void* slot_list = nullptr;
+  ThreadHeap heap(&slot_list, 1, mgr);
+
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) ptrs.push_back(heap.alloc(500));
+  // Free every other block, then allocate same-size blocks: they must fit
+  // into the holes without growing the slot set.
+  size_t attached_before = 0;
+  ThreadHeap::for_each_slot(slot_list,
+                            [&](SlotHeader* s) { attached_before += s->nslots; });
+  for (size_t i = 0; i < ptrs.size(); i += 2) heap.free(ptrs[i]);
+  for (size_t i = 0; i < ptrs.size(); i += 2) {
+    ptrs[i] = heap.alloc(400);
+    ASSERT_NE(ptrs[i], nullptr);
+  }
+  size_t attached_after = 0;
+  ThreadHeap::for_each_slot(slot_list,
+                            [&](SlotHeader* s) { attached_after += s->nslots; });
+  EXPECT_EQ(attached_after, attached_before);
+  for (void* p : ptrs) heap.free(p);
+}
+
+}  // namespace
+}  // namespace pm2::iso

@@ -1,0 +1,159 @@
+// Thread-specific keys (marcel_key_*) and the readers-writer lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "marcel/keys.hpp"
+#include "marcel/sync.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+// Key ids are process-global; allocate the test's keys once.
+marcel::Key g_key_a = marcel::key_create();
+marcel::Key g_key_b = marcel::key_create();
+
+std::atomic<bool> g_ok{true};
+
+TEST(Keys, DefaultsToNull) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime&) {
+    EXPECT_EQ(marcel::getspecific(g_key_a), nullptr);
+  });
+}
+
+TEST(Keys, PerThreadIsolation) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    auto t1 = rt.spawn_local([&] {
+      marcel::setspecific(g_key_a, reinterpret_cast<void*>(0x11));
+      pm2_yield();
+      EXPECT_EQ(marcel::getspecific(g_key_a), reinterpret_cast<void*>(0x11));
+    });
+    auto t2 = rt.spawn_local([&] {
+      marcel::setspecific(g_key_a, reinterpret_cast<void*>(0x22));
+      pm2_yield();
+      EXPECT_EQ(marcel::getspecific(g_key_a), reinterpret_cast<void*>(0x22));
+    });
+    rt.join(t1);
+    rt.join(t2);
+    EXPECT_EQ(marcel::getspecific(g_key_a), nullptr);  // main untouched
+  });
+}
+
+void key_migrating_worker(void*) {
+  // A key value pointing into iso-memory must survive migration.
+  auto* data = static_cast<int*>(pm2_isomalloc(sizeof(int)));
+  *data = 4242;
+  marcel::setspecific(g_key_b, data);
+  pm2_migrate(marcel_self(), 1);
+  auto* back = static_cast<int*>(marcel::getspecific(g_key_b));
+  if (back != data || *back != 4242) g_ok = false;
+  pm2_isofree(back);
+  pm2_signal(0);
+}
+
+TEST(Keys, ValuesMigrateWithThread) {
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&key_migrating_worker, nullptr, "keys");
+      pm2_wait_signals(1);
+    }
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+TEST(RwLock, ManyConcurrentReaders) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    marcel::RwLock rw;
+    std::atomic<int> concurrent{0}, peak{0};
+    std::vector<marcel::ThreadId> ids;
+    for (int i = 0; i < 5; ++i) {
+      ids.push_back(rt.spawn_local([&] {
+        rw.lock_shared();
+        int now = ++concurrent;
+        peak = std::max(peak.load(), now);
+        pm2_yield();
+        --concurrent;
+        rw.unlock_shared();
+      }));
+    }
+    for (auto id : ids) rt.join(id);
+    EXPECT_EQ(peak.load(), 5);  // readers overlapped
+  });
+}
+
+TEST(RwLock, WriterExcludesEveryone) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    marcel::RwLock rw;
+    int shared_value = 0;
+    bool reader_saw_partial = false;
+    auto writer = rt.spawn_local([&] {
+      rw.lock();
+      shared_value = 1;
+      pm2_yield();  // readers must NOT slip in here
+      shared_value = 2;
+      rw.unlock();
+    });
+    auto reader = rt.spawn_local([&] {
+      rw.lock_shared();
+      if (shared_value == 1) reader_saw_partial = true;
+      rw.unlock_shared();
+    });
+    rt.join(writer);
+    rt.join(reader);
+    EXPECT_FALSE(reader_saw_partial);
+    EXPECT_EQ(shared_value, 2);
+  });
+}
+
+TEST(RwLock, WriterPreferenceBlocksNewReaders) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    marcel::RwLock rw;
+    std::vector<int> order;
+    // Reader 1 holds the lock; a writer queues; reader 2 arrives later and
+    // must wait behind the writer.
+    auto r1 = rt.spawn_local([&] {
+      rw.lock_shared();
+      for (int i = 0; i < 4; ++i) pm2_yield();
+      rw.unlock_shared();
+      order.push_back(1);
+    });
+    pm2_yield();  // let r1 take the lock
+    auto w = rt.spawn_local([&] {
+      rw.lock();
+      order.push_back(2);
+      rw.unlock();
+    });
+    pm2_yield();
+    auto r2 = rt.spawn_local([&] {
+      rw.lock_shared();
+      order.push_back(3);
+      rw.unlock_shared();
+    });
+    rt.join(r1);
+    rt.join(w);
+    rt.join(r2);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);  // writer before the late reader
+    EXPECT_EQ(order[2], 3);
+  });
+}
+
+}  // namespace
+}  // namespace pm2

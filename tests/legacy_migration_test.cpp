@@ -1,0 +1,169 @@
+// Baseline (registered-pointer) migration tests — paper §2, Fig. 3.
+#include "pm2/legacy_migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pm2::legacy {
+namespace {
+
+#ifndef PM2_ASM_CONTEXT
+// Relocation needs the assembly context layout.
+#define SKIP_WITHOUT_ASM() GTEST_SKIP() << "asm context switch disabled"
+#else
+#define SKIP_WITHOUT_ASM()
+#endif
+
+void simple_body(LegacyThread& self, void* arg) {
+  auto* out = static_cast<int*>(arg);
+  *out = 1;
+  self.yield();
+  *out = 2;
+}
+
+TEST(LegacyThread, RunYieldFinish) {
+  int out = 0;
+  LegacyThread t(64 * 1024, &simple_body, &out);
+  EXPECT_FALSE(t.finished());
+  t.resume();
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(t.finished());
+  EXPECT_GT(t.used_stack(), 0u);
+  t.resume();
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(t.finished());
+}
+
+// The core demonstration: an UNREGISTERED pointer to stack data keeps its
+// old value after relocation (Fig. 2's failure mode), while a REGISTERED
+// one is patched (Fig. 3).
+struct PtrProbe {
+  void* registered_before = nullptr;
+  void* registered_after = nullptr;
+  void* unregistered_before = nullptr;
+  void* unregistered_after = nullptr;
+  int value_via_registered = 0;
+};
+
+void pointer_body(LegacyThread& self, void* arg) {
+  auto* probe = static_cast<PtrProbe*>(arg);
+  volatile int x = 41;                        // stack local
+  int* reg_ptr = const_cast<int*>(&x);        // will be registered
+  // Unregistered pointer *held in stack memory* (volatile defeats the
+  // callee-saved-register heuristic): nothing can know it needs patching.
+  int* volatile raw_ptr = const_cast<int*>(&x);
+  uint32_t key = self.register_pointer(reinterpret_cast<void**>(&reg_ptr));
+
+  probe->registered_before = reg_ptr;
+  probe->unregistered_before = raw_ptr;
+  self.yield();  // relocation happens here
+
+  probe->registered_after = reg_ptr;
+  probe->unregistered_after = raw_ptr;
+  x = 42;
+  probe->value_via_registered = *reg_ptr;  // must see 42 through new address
+  self.unregister_pointer(key);
+}
+
+TEST(LegacyThread, RegisteredPointerPatchedUnregisteredStale) {
+  SKIP_WITHOUT_ASM();
+  PtrProbe probe;
+  LegacyThread t(64 * 1024, &pointer_body, &probe);
+  t.resume();
+  ptrdiff_t delta = t.relocate();
+  ASSERT_NE(delta, 0);
+  t.resume();
+  EXPECT_TRUE(t.finished());
+  // Registered pointer moved by exactly the relocation distance.
+  EXPECT_EQ(static_cast<char*>(probe.registered_after),
+            static_cast<char*>(probe.registered_before) + delta);
+  EXPECT_EQ(probe.value_via_registered, 42);
+  // Unregistered pointer silently kept the stale address — the paper's
+  // Fig. 2 segfault in embryo.
+  EXPECT_EQ(probe.unregistered_after, probe.unregistered_before);
+}
+
+// Deep call chains: the saved-rbp frame chain must be patched link by link.
+int deep_recursion(LegacyThread& self, int depth) {
+  // Force a real frame: local consumed after the recursive call.
+  volatile int local = depth;
+  if (depth > 0) {
+    int below = deep_recursion(self, depth - 1);
+    return below + local;
+  }
+  self.yield();  // relocate at maximum depth
+  return local;
+}
+
+void deep_body(LegacyThread& self, void* arg) {
+  *static_cast<int*>(arg) = deep_recursion(self, 30);
+}
+
+TEST(LegacyThread, DeepFrameChainSurvivesRelocation) {
+  SKIP_WITHOUT_ASM();
+  int result = -1;
+  LegacyThread t(256 * 1024, &deep_body, &result);
+  t.resume();
+  EXPECT_GT(t.used_stack(), 0u);  // (the optimizer may flatten some frames)
+  t.relocate();
+  t.resume();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(result, 30 * 31 / 2);  // sum 0..30
+}
+
+// Many registered pointers: the cost model of bench E6.
+void many_pointers_body(LegacyThread& self, void* arg) {
+  auto* ok = static_cast<bool*>(arg);
+  constexpr int kN = 64;
+  int values[kN];
+  int* ptrs[kN];
+  uint32_t keys[kN];
+  for (int i = 0; i < kN; ++i) {
+    values[i] = i * 3;
+    ptrs[i] = &values[i];
+    keys[i] = self.register_pointer(reinterpret_cast<void**>(&ptrs[i]));
+  }
+  self.yield();
+  *ok = true;
+  for (int i = 0; i < kN; ++i) {
+    if (*ptrs[i] != i * 3) *ok = false;
+    self.unregister_pointer(keys[i]);
+  }
+}
+
+TEST(LegacyThread, SixtyFourRegisteredPointers) {
+  SKIP_WITHOUT_ASM();
+  bool ok = false;
+  LegacyThread t(128 * 1024, &many_pointers_body, &ok);
+  t.resume();
+  EXPECT_EQ(t.registered_count(), 64u);
+  t.relocate();
+  t.resume();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(t.registered_count(), 0u);
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(LegacyThread, RepeatedRelocations) {
+  SKIP_WITHOUT_ASM();
+  PtrProbe probe;
+  LegacyThread t(64 * 1024, &pointer_body, &probe);
+  t.resume();
+  // Two relocations back to back before resuming: the registry must track
+  // the moving locations.
+  t.relocate();
+  t.relocate();
+  t.resume();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(probe.value_via_registered, 42);
+}
+
+TEST(LegacyThreadDeath, UnregisterUnknownKeyDies) {
+  int out = 0;
+  LegacyThread t(64 * 1024, &simple_body, &out);
+  EXPECT_DEATH(t.unregister_pointer(999), "unknown pointer key");
+}
+
+}  // namespace
+}  // namespace pm2::legacy

@@ -1,0 +1,167 @@
+// Property/stress tests for migration: randomized traces of allocation,
+// mutation, verification and hops across many threads and nodes — the
+// system-level analogue of the heap trace property test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/random.hpp"
+#include "isomalloc/heap.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<bool> g_ok{true};
+std::atomic<uint64_t> g_hops{0};
+
+#define ST_EXPECT(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      g_ok = false;                                                    \
+      pm2_printf("stress failure: %s line %d (node %u)\n", #cond,      \
+                 __LINE__, pm2_self());                                \
+    }                                                                  \
+  } while (0)
+
+// Each worker keeps a private table of (pointer, size, fill) in iso-memory
+// and randomly allocates / frees / rewrites / verifies / migrates.
+struct StressState {
+  static constexpr int kMaxLive = 24;
+  void* ptr[kMaxLive];
+  uint32_t size[kMaxLive];
+  uint8_t fill[kMaxLive];
+  int live;
+  uint64_t seed;
+  int steps;
+};
+
+void stress_worker(void* arg) {
+  auto seed = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(arg));
+  // The state table itself must migrate too: put it in iso-memory.
+  auto* st = static_cast<StressState*>(pm2_isomalloc(sizeof(StressState)));
+  std::memset(st, 0, sizeof(*st));
+  st->seed = seed;
+  st->steps = 300;
+
+  Rng rng(seed);
+  uint32_t nodes = pm2_nodes();
+  for (int step = 0; step < st->steps; ++step) {
+    double dice = rng.next_double();
+    if (dice < 0.30 && st->live < StressState::kMaxLive) {
+      int i = st->live++;
+      st->size[i] = static_cast<uint32_t>(rng.next_range(1, 20000));
+      st->fill[i] = static_cast<uint8_t>(rng.next() | 1);
+      st->ptr[i] = pm2_isomalloc(st->size[i]);
+      std::memset(st->ptr[i], st->fill[i], st->size[i]);
+    } else if (dice < 0.45 && st->live > 0) {
+      int i = static_cast<int>(rng.next_below(st->live));
+      pm2_isofree(st->ptr[i]);
+      st->ptr[i] = st->ptr[st->live - 1];
+      st->size[i] = st->size[st->live - 1];
+      st->fill[i] = st->fill[st->live - 1];
+      --st->live;
+    } else if (dice < 0.65 && st->live > 0) {
+      // Verify a random block end-to-end.
+      int i = static_cast<int>(rng.next_below(st->live));
+      auto* p = static_cast<uint8_t*>(st->ptr[i]);
+      for (uint32_t k = 0; k < st->size[i]; k += 97)
+        ST_EXPECT(p[k] == st->fill[i]);
+    } else if (dice < 0.80 && st->live > 0) {
+      // Rewrite with a new fill byte.
+      int i = static_cast<int>(rng.next_below(st->live));
+      st->fill[i] = static_cast<uint8_t>(rng.next() | 1);
+      std::memset(st->ptr[i], st->fill[i], st->size[i]);
+    } else if (nodes > 1) {
+      auto dest = static_cast<uint32_t>(rng.next_below(nodes));
+      pm2_migrate(marcel_self(), dest);
+      ++g_hops;
+    } else {
+      pm2_yield();
+    }
+  }
+  // Final verification + drain on whatever node we ended at.
+  for (int i = 0; i < st->live; ++i) {
+    auto* p = static_cast<uint8_t*>(st->ptr[i]);
+    for (uint32_t k = 0; k < st->size[i]; k += 61) {
+      ST_EXPECT(p[k] == st->fill[i]);
+    }
+    pm2_isofree(st->ptr[i]);
+  }
+  iso::ThreadHeap::check_invariants(marcel_self()->slot_list,
+                                    Runtime::current()->area().slot_size());
+  pm2_isofree(st);
+  pm2_signal(0);
+}
+
+class MigrationStress
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int, uint64_t>> {};
+
+TEST_P(MigrationStress, RandomTraceKeepsDataIntact) {
+  auto [nodes, workers, seed] = GetParam();
+  g_ok = true;
+  g_hops = 0;
+  AppConfig cfg;
+  cfg.nodes = nodes;
+  run_app(cfg, [&, workers = workers, seed = seed](Runtime& rt) {
+    if (rt.self() == 0) {
+      for (int w = 0; w < workers; ++w) {
+        pm2_thread_create(
+            &stress_worker,
+            reinterpret_cast<void*>(static_cast<uintptr_t>(seed + w * 1299721)),
+            "stress");
+      }
+      pm2_wait_signals(static_cast<uint64_t>(workers));
+    }
+    rt.barrier();
+  });
+  EXPECT_TRUE(g_ok.load());
+  if (nodes > 1) {
+    EXPECT_GT(g_hops.load(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MigrationStress,
+    ::testing::Values(std::make_tuple(1u, 4, 11ull),
+                      std::make_tuple(2u, 4, 22ull),
+                      std::make_tuple(2u, 8, 33ull),
+                      std::make_tuple(3u, 6, 44ull),
+                      std::make_tuple(4u, 8, 55ull),
+                      std::make_tuple(4u, 8, 56ull)));
+
+// Slot conservation across a whole stressed session: after everything
+// drains, every slot is owned by exactly one node again.
+TEST(MigrationStressInvariant, SlotConservationAfterChurn) {
+  g_ok = true;
+  static std::atomic<uint64_t> owned_total{0};
+  owned_total = 0;
+  AppConfig cfg;
+  cfg.nodes = 3;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      for (int w = 0; w < 6; ++w) {
+        pm2_thread_create(
+            &stress_worker,
+            reinterpret_cast<void*>(static_cast<uintptr_t>(777 + w)),
+            "stress");
+      }
+      pm2_wait_signals(6);
+    }
+    rt.barrier();
+    // All worker threads are gone; only main (1 stack slot per node) and
+    // the daemon (1 stack slot) still hold slots.
+    owned_total += rt.slots().bitmap().count();
+  });
+  EXPECT_TRUE(g_ok.load());
+  // 3 nodes x (main + daemon) = 6 thread-held slots; everything else owned.
+  AppConfig ref;
+  iso::Area probe_area_unused(ref.area);  // same geometry as the session
+  EXPECT_EQ(owned_total.load(), probe_area_unused.n_slots() - 6);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,138 @@
+#include "common/check.hpp"
+// Real multi-process sessions over UNIX-domain sockets: validates the
+// fixed-address iso-area reservation across distinct address spaces — the
+// configuration the paper actually ran (one heavy process per node).
+//
+// Mechanism: the test body calls run_app with multiprocess=true; the parent
+// re-executes this test binary once per node with PM2_MP_* set and a gtest
+// filter pinning execution to the same test, so the child takes the
+// node path inside run_app and exits there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+AppConfig mp_config(uint32_t nodes) {
+  AppConfig cfg;
+  cfg.nodes = nodes;
+  cfg.multiprocess = true;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  cfg.child_args = {std::string("--gtest_filter=") + info->test_suite_name() +
+                    "." + info->name()};
+  return cfg;
+}
+
+// Children communicate results to the parent only via exit status: any
+// PM2_CHECK/abort in a child surfaces as a non-zero run_app return.
+#define CHILD_REQUIRE(cond) PM2_CHECK(cond) << "multiprocess child assertion"
+
+TEST(MultiProcess, SessionBootsAndHalts) {
+  int rc = run_app(mp_config(2), [](Runtime& rt) {
+    CHILD_REQUIRE(rt.n_nodes() == 2);
+    rt.barrier();
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+void mp_list_worker(void*) {
+  // The Fig. 7 scenario across real processes.
+  struct Item {
+    int value;
+    Item* next;
+  };
+  Item* head = nullptr;
+  for (int j = 0; j < 500; ++j) {
+    auto* it = static_cast<Item*>(pm2_isomalloc(sizeof(Item)));
+    it->value = j;
+    it->next = head;
+    head = it;
+  }
+  pm2_migrate(marcel_self(), 1);
+  CHILD_REQUIRE(pm2_self() == 1);
+  long sum = 0;
+  for (Item* p = head; p != nullptr; p = p->next) sum += p->value;
+  CHILD_REQUIRE(sum == 499L * 500 / 2);
+  pm2_signal(0);
+}
+
+TEST(MultiProcess, MigrationAcrossAddressSpaces) {
+  int rc = run_app(mp_config(2), [](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&mp_list_worker, nullptr, "mplist");
+      pm2_wait_signals(1);
+    }
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+void mp_pingpong_worker(void*) {
+  int counter = 0;
+  int* p = &counter;
+  for (int i = 0; i < 10; ++i) {
+    pm2_migrate(marcel_self(), 1 - pm2_self());
+    ++*p;
+  }
+  CHILD_REQUIRE(counter == 10);
+  pm2_signal(0);
+}
+
+TEST(MultiProcess, PingPong) {
+  int rc = run_app(mp_config(2), [](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&mp_pingpong_worker, nullptr, "mp-pp");
+      pm2_wait_signals(1);
+    }
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(MultiProcess, NegotiationOverSockets) {
+  AppConfig cfg = mp_config(3);
+  cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
+  int rc = run_app(cfg, [](Runtime& rt) {
+    if (rt.self() == 1) {
+      auto* p = static_cast<unsigned char*>(pm2_isomalloc(300 * 1024));
+      CHILD_REQUIRE(p != nullptr);
+      std::memset(p, 0x5C, 300 * 1024);
+      CHILD_REQUIRE(p[300 * 1024 - 1] == 0x5C);
+      pm2_isofree(p);
+      CHILD_REQUIRE(rt.negotiations_initiated() >= 1);
+    }
+    rt.barrier();
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(MultiProcess, FourNodeTour) {
+  struct Worker {
+    static void tour(void*) {
+      uint32_t n = pm2_nodes();
+      auto* log = static_cast<uint32_t*>(pm2_isomalloc(n * sizeof(uint32_t)));
+      for (uint32_t hop = 0; hop < n; ++hop) {
+        log[hop] = pm2_self();
+        pm2_migrate(marcel_self(), (pm2_self() + 1) % n);
+      }
+      for (uint32_t hop = 0; hop < n; ++hop) CHILD_REQUIRE(log[hop] == hop);
+      pm2_isofree(log);
+      pm2_signal(0);
+    }
+  };
+  int rc = run_app(mp_config(4), [](Runtime& rt) {
+    if (rt.self() == 0) {
+      pm2_thread_create(&Worker::tour, nullptr, "mp-tour");
+      pm2_wait_signals(1);
+    }
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace
+}  // namespace pm2

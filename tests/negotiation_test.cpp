@@ -1,0 +1,148 @@
+// Pure negotiation engine tests (paper §4.4 steps c+d) — no networking.
+#include "isomalloc/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "isomalloc/distribution.hpp"
+
+namespace pm2::iso {
+namespace {
+
+std::vector<pm2::Bitmap> rr_bitmaps(size_t slots, uint32_t nodes) {
+  std::vector<pm2::Bitmap> v;
+  for (uint32_t n = 0; n < nodes; ++n)
+    v.push_back(initial_bitmap(Distribution::kRoundRobin, slots, n, nodes));
+  return v;
+}
+
+TEST(Negotiation, RoundRobinPairNeedsPurchases) {
+  auto bitmaps = rr_bitmaps(64, 2);
+  // Node 0 owns even slots; a run of 4 needs the odd ones from node 1.
+  auto plan = plan_negotiation(bitmaps, 0, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->first_slot, 0u);
+  EXPECT_EQ(plan->run, 4u);
+  // Purchases: slots 1 and 3 from node 1 (two single-slot segments).
+  ASSERT_EQ(plan->purchases.size(), 2u);
+  EXPECT_EQ(plan->purchases[0].from_node, 1u);
+  EXPECT_EQ(plan->purchases[0].first, 1u);
+  EXPECT_EQ(plan->purchases[0].count, 1u);
+  EXPECT_EQ(plan->purchases[1].first, 3u);
+}
+
+TEST(Negotiation, ApplyPlanTransfersOwnership) {
+  auto bitmaps = rr_bitmaps(64, 2);
+  auto plan = plan_negotiation(bitmaps, 0, 4);
+  ASSERT_TRUE(plan.has_value());
+  apply_plan(bitmaps, 0, *plan);
+  EXPECT_TRUE(bitmaps[0].all_set(0, 4));
+  EXPECT_FALSE(bitmaps[1].test(1));
+  EXPECT_FALSE(bitmaps[1].test(3));
+  EXPECT_TRUE(is_disjoint(bitmaps));
+}
+
+TEST(Negotiation, RequesterOwnedSlotsNotPurchased) {
+  std::vector<pm2::Bitmap> bitmaps;
+  bitmaps.emplace_back(32);
+  bitmaps.emplace_back(32);
+  bitmaps[0].set_range(0, 2);  // requester already owns [0,2)
+  bitmaps[1].set_range(2, 2);  // needs [2,4) from node 1
+  auto plan = plan_negotiation(bitmaps, 0, 4);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->purchases.size(), 1u);
+  EXPECT_EQ(plan->purchases[0].from_node, 1u);
+  EXPECT_EQ(plan->purchases[0].first, 2u);
+  EXPECT_EQ(plan->purchases[0].count, 2u);
+}
+
+TEST(Negotiation, FailsWhenNoGlobalRun) {
+  std::vector<pm2::Bitmap> bitmaps;
+  bitmaps.emplace_back(32);
+  bitmaps.emplace_back(32);
+  bitmaps[0].set(0);
+  bitmaps[1].set(2);  // gap at 1 (thread-owned): no run of 2 anywhere
+  EXPECT_FALSE(plan_negotiation(bitmaps, 0, 2).has_value());
+}
+
+TEST(Negotiation, SkipsThreadOwnedGaps) {
+  std::vector<pm2::Bitmap> bitmaps;
+  bitmaps.emplace_back(32);
+  bitmaps.emplace_back(32);
+  // Slots 0-1 free at node 1, slot 2 thread-owned, 4-7 free at node 1.
+  bitmaps[1].set_range(0, 2);
+  bitmaps[1].set_range(4, 4);
+  auto plan = plan_negotiation(bitmaps, 0, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->first_slot, 4u);
+}
+
+TEST(Negotiation, MultiOwnerRun) {
+  std::vector<pm2::Bitmap> bitmaps;
+  for (int i = 0; i < 3; ++i) bitmaps.emplace_back(32);
+  bitmaps[0].set(10);
+  bitmaps[1].set(11);
+  bitmaps[2].set_range(12, 2);
+  auto plan = plan_negotiation(bitmaps, 0, 4);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->first_slot, 10u);
+  ASSERT_EQ(plan->purchases.size(), 2u);
+  EXPECT_EQ(plan->purchases[0].from_node, 1u);
+  EXPECT_EQ(plan->purchases[1].from_node, 2u);
+  EXPECT_EQ(plan->purchases[1].count, 2u);
+  apply_plan(bitmaps, 0, *plan);
+  EXPECT_TRUE(bitmaps[0].all_set(10, 4));
+}
+
+TEST(Negotiation, BestFitVariant) {
+  std::vector<pm2::Bitmap> bitmaps;
+  bitmaps.emplace_back(64);
+  bitmaps.emplace_back(64);
+  bitmaps[1].set_range(0, 10);   // loose hole
+  bitmaps[1].set_range(20, 3);   // tight hole
+  auto ff = plan_negotiation(bitmaps, 0, 3, FitPolicy::kFirstFit);
+  auto bf = plan_negotiation(bitmaps, 0, 3, FitPolicy::kBestFit);
+  ASSERT_TRUE(ff && bf);
+  EXPECT_EQ(ff->first_slot, 0u);
+  EXPECT_EQ(bf->first_slot, 20u);
+}
+
+// Property: random ownership states stay disjoint and conserve the total
+// number of owned slots across arbitrary negotiation sequences.
+class NegotiationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NegotiationProperty, DisjointnessAndConservation) {
+  pm2::Rng rng(GetParam());
+  const size_t slots = 256;
+  const uint32_t nodes = 4;
+  auto bitmaps = rr_bitmaps(slots, nodes);
+
+  // Randomly knock out some slots to "thread-owned" (cleared everywhere).
+  for (size_t i = 0; i < slots; ++i) {
+    if (rng.next_bool(0.2)) {
+      for (auto& b : bitmaps)
+        if (b.test(i)) b.clear(i);
+    }
+  }
+  size_t total_owned = 0;
+  for (auto& b : bitmaps) total_owned += b.count();
+
+  for (int round = 0; round < 50; ++round) {
+    auto requester = static_cast<uint32_t>(rng.next_below(nodes));
+    size_t run = rng.next_range(1, 12);
+    auto plan = plan_negotiation(bitmaps, requester, run);
+    if (!plan) continue;
+    apply_plan(bitmaps, requester, *plan);
+    ASSERT_TRUE(is_disjoint(bitmaps)) << "round " << round;
+    size_t owned_now = 0;
+    for (auto& b : bitmaps) owned_now += b.count();
+    ASSERT_EQ(owned_now, total_owned) << "slots created or destroyed";
+    ASSERT_TRUE(bitmaps[requester].all_set(plan->first_slot, run));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegotiationProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace pm2::iso

@@ -1,0 +1,123 @@
+// Deferred preemption: compute-bound threads get descheduled at PM2 API
+// safe points once their quantum expires (Scheduler::maybe_preempt).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/time.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<int> g_interleave{0};
+std::atomic<bool> g_saw_other{false};
+std::atomic<bool> g_stop{false};
+
+// Busy worker that calls an API safe point but never yields explicitly.
+void greedy_worker(void*) {
+  uint64_t deadline = now_ns() + 300ull * 1000 * 1000;  // hard cap 300 ms
+  while (!g_stop.load() && now_ns() < deadline) {
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+    // API calls are safe points; with a quantum set, this deschedules us.
+    void* p = pm2_isomalloc(64);
+    pm2_isofree(p);
+  }
+  pm2_signal(0);
+}
+
+void observer_worker(void*) {
+  // If preemption works, this runs interleaved with the greedy worker.
+  for (int i = 0; i < 20; ++i) {
+    ++g_interleave;
+    pm2_yield();
+  }
+  g_saw_other = true;
+  g_stop = true;
+  pm2_signal(0);
+}
+
+TEST(Preemption, QuantumInterleavesGreedyThreads) {
+  g_interleave = 0;
+  g_saw_other = false;
+  g_stop = false;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.preemption_quantum_us = 200;
+  run_app(cfg, [&](Runtime&) {
+    // Spawn greedy first: without preemption it would monopolize the node
+    // until its 300 ms cap, and the observer could not finish first.
+    pm2_thread_create(&greedy_worker, nullptr, "greedy");
+    pm2_thread_create(&observer_worker, nullptr, "observer");
+    pm2_wait_signals(2);
+  });
+  EXPECT_TRUE(g_saw_other.load());
+  EXPECT_GE(g_interleave.load(), 20);
+}
+
+TEST(Preemption, DisabledQuantumRunsToCompletion) {
+  // Sanity for the cooperative default: a yielding pair still interleaves,
+  // quantum or not.
+  std::atomic<int> ticks{0};
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    auto a = rt.spawn_local([&] {
+      for (int i = 0; i < 10; ++i) {
+        ++ticks;
+        pm2_yield();
+      }
+    });
+    auto b = rt.spawn_local([&] {
+      for (int i = 0; i < 10; ++i) {
+        ++ticks;
+        pm2_yield();
+      }
+    });
+    rt.join(a);
+    rt.join(b);
+  });
+  EXPECT_EQ(ticks.load(), 20);
+}
+
+// Preemptive migration composes with the preemption quantum: a greedy
+// thread that never asks to migrate is first descheduled (quantum), then
+// shipped (balancer-style migrate), and keeps computing remotely.
+void greedy_migratable(void*) {
+  uint64_t deadline = now_ns() + 300ull * 1000 * 1000;
+  while (pm2_self() == 0 && now_ns() < deadline) {
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 5000; ++i) sink = sink + i;
+    void* p = pm2_isomalloc(32);  // safe point
+    pm2_isofree(p);
+  }
+  g_saw_other = pm2_self() == 1;
+  pm2_signal(0);
+}
+
+TEST(Preemption, QuantumEnablesPreemptiveMigrationOfGreedyThread) {
+  g_saw_other = false;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.preemption_quantum_us = 100;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      auto id = pm2_thread_create(&greedy_migratable, nullptr, "greedy");
+      bool moved = false;
+      for (int tries = 0; tries < 2000 && !moved; ++tries) {
+        moved = rt.migrate(id, 1);  // succeeds once the quantum parks it
+        if (!moved) pm2_yield();
+      }
+      EXPECT_TRUE(moved);
+      pm2_wait_signals(1);
+    }
+    rt.barrier();
+  });
+  EXPECT_TRUE(g_saw_other.load());
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,175 @@
+// RPC depth and volume: chained calls across nodes, large payloads, many
+// concurrent service threads, services that spawn threads and migrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<uint32_t> g_chain_service{0};
+std::atomic<uint32_t> g_echo_service{0};
+std::atomic<int> g_fanout_done{0};
+
+// Chain: node k forwards (value+1) to node k+1; the last node replies back
+// down the chain.  Exercises call() reentrancy: a service thread itself
+// blocks in call().
+void chain_service(RpcContext& ctx) {
+  auto value = ctx.args().unpack<uint64_t>();
+  auto ttl = ctx.args().unpack<uint32_t>();
+  Runtime& rt = *Runtime::current();
+  uint64_t result;
+  if (ttl == 0) {
+    result = value;
+  } else {
+    mad::PackBuffer fwd;
+    fwd.pack<uint64_t>(value + 1);
+    fwd.pack<uint32_t>(ttl - 1);
+    auto resp = rt.call((rt.self() + 1) % rt.n_nodes(),
+                        g_chain_service.load(), std::move(fwd));
+    result = mad::UnpackBuffer(resp).unpack<uint64_t>();
+  }
+  mad::PackBuffer reply;
+  reply.pack<uint64_t>(result);
+  ctx.reply(std::move(reply));
+}
+
+TEST(RpcStress, TwelveHopChainAcrossFourNodes) {
+  std::atomic<uint64_t> result{0};
+  AppConfig cfg;
+  cfg.nodes = 4;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          mad::PackBuffer args;
+          args.pack<uint64_t>(100);
+          args.pack<uint32_t>(12);  // 12 forwarding hops
+          auto resp = rt.call(1, g_chain_service.load(), std::move(args));
+          result = mad::UnpackBuffer(resp).unpack<uint64_t>();
+        }
+      },
+      [&](Runtime& rt) {
+        g_chain_service = rt.register_service("chain", &chain_service);
+      });
+  EXPECT_EQ(result.load(), 112u);
+}
+
+void big_echo_service(RpcContext& ctx) {
+  size_t len = 0;
+  const uint8_t* data = ctx.args().unpack_region_view(&len);
+  // Verify the pattern, then echo it back.
+  for (size_t i = 0; i < len; i += 997)
+    PM2_CHECK(data[i] == static_cast<uint8_t>(i * 31));
+  mad::PackBuffer reply;
+  reply.pack_region(data, len);
+  ctx.reply(std::move(reply));
+}
+
+TEST(RpcStress, MegabytePayloadRoundTrip) {
+  std::atomic<bool> ok{false};
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          std::vector<uint8_t> blob(2 * 1024 * 1024);
+          for (size_t i = 0; i < blob.size(); ++i)
+            blob[i] = static_cast<uint8_t>(i * 31);
+          mad::PackBuffer args;
+          args.pack_region(blob.data(), blob.size());
+          auto resp = rt.call(1, g_echo_service.load(), std::move(args));
+          mad::UnpackBuffer r(resp);
+          size_t len = 0;
+          const uint8_t* back = r.unpack_region_view(&len);
+          ok = len == blob.size() &&
+               std::memcmp(back, blob.data(), len) == 0;
+        }
+      },
+      [&](Runtime& rt) {
+        g_echo_service = rt.register_service("big-echo", &big_echo_service);
+      });
+  EXPECT_TRUE(ok.load());
+}
+
+void fanout_service(RpcContext& ctx) {
+  auto token = ctx.args().unpack<uint32_t>();
+  (void)token;
+  ++g_fanout_done;
+  pm2_signal(ctx.source_node());
+}
+
+TEST(RpcStress, HundredConcurrentServiceThreads) {
+  g_fanout_done = 0;
+  std::atomic<uint32_t> svc{0};
+  AppConfig cfg;
+  cfg.nodes = 3;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          for (uint32_t i = 0; i < 100; ++i) {
+            mad::PackBuffer args;
+            args.pack<uint32_t>(i);
+            rt.rpc(1 + i % 2, svc.load(), std::move(args));
+          }
+          rt.wait_signals(100);
+        }
+      },
+      [&](Runtime& rt) {
+        svc = rt.register_service("fanout", &fanout_service);
+      });
+  EXPECT_EQ(g_fanout_done.load(), 100);
+}
+
+// A service that migrates mid-execution: the paper's LRPC + migration
+// composition.  It must consume its (node-local) args before moving.
+void migrating_service(RpcContext& ctx) {
+  auto target = ctx.args().unpack<uint32_t>();  // consume BEFORE migrating
+  auto* stamp = static_cast<uint32_t*>(pm2_isomalloc(sizeof(uint32_t)));
+  *stamp = pm2_self();
+  pm2_migrate(marcel_self(), target);
+  PM2_CHECK(pm2_self() == target);
+  PM2_CHECK(*stamp != target) << "service did not actually move";
+  pm2_isofree(stamp);
+  pm2_signal(0);
+}
+
+TEST(RpcStress, ServiceThreadItselfMigrates) {
+  std::atomic<uint32_t> svc{0};
+  AppConfig cfg;
+  cfg.nodes = 3;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          mad::PackBuffer args;
+          args.pack<uint32_t>(2);  // service starts on 1, must end on 2
+          rt.rpc(1, svc.load(), std::move(args));
+          rt.wait_signals(1);
+        }
+      },
+      [&](Runtime& rt) {
+        svc = rt.register_service("migrating", &migrating_service);
+      });
+}
+
+TEST(RpcStress, BarrierStormManyRounds) {
+  std::atomic<int> rounds_done{0};
+  AppConfig cfg;
+  cfg.nodes = 4;
+  run_app(cfg, [&](Runtime& rt) {
+    for (int round = 0; round < 50; ++round) rt.barrier();
+    ++rounds_done;
+  });
+  EXPECT_EQ(rounds_done.load(), 4);
+}
+
+}  // namespace
+}  // namespace pm2

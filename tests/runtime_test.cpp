@@ -1,0 +1,238 @@
+// PM2 runtime integration tests: node lifecycle, threads, RPC, collectives.
+// All run with real multi-node sessions on the in-process fabric (each
+// logical node on its own kernel thread, full protocol stack).
+#include "pm2/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+
+namespace pm2 {
+namespace {
+
+AppConfig test_config(uint32_t nodes) {
+  AppConfig cfg;
+  cfg.nodes = nodes;
+  return cfg;
+}
+
+TEST(Runtime, SingleNodeStartsAndHalts) {
+  std::atomic<int> ran{0};
+  int rc = run_app(test_config(1), [&](Runtime& rt) {
+    EXPECT_EQ(rt.self(), 0u);
+    EXPECT_EQ(rt.n_nodes(), 1u);
+    ++ran;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Runtime, EveryNodeRunsMain) {
+  std::atomic<uint32_t> mask{0};
+  run_app(test_config(4), [&](Runtime& rt) { mask |= 1u << rt.self(); });
+  EXPECT_EQ(mask.load(), 0b1111u);
+}
+
+TEST(Runtime, SpawnLocalThreadsRunToCompletion) {
+  std::atomic<int> count{0};
+  run_app(test_config(2), [&](Runtime& rt) {
+    for (int i = 0; i < 10; ++i) {
+      rt.spawn_local([&count] { ++count; });
+    }
+    // Main returns; the session barrier keeps the node alive until the
+    // spawned threads (live count) finish... they must finish before halt:
+    // joining is implicit because run() drains live threads before exiting.
+  });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Runtime, JoinWaitsForChild) {
+  std::atomic<int> order{0};
+  std::atomic<int> child_done_at{-1};
+  std::atomic<int> join_done_at{-1};
+  run_app(test_config(1), [&](Runtime& rt) {
+    auto id = rt.spawn_local([&] { child_done_at = order++; });
+    rt.join(id);
+    join_done_at = order++;
+  });
+  EXPECT_LT(child_done_at.load(), join_done_at.load());
+}
+
+TEST(Runtime, IsomallocRoundTrip) {
+  run_app(test_config(1), [&](Runtime& rt) {
+    auto* p = static_cast<int*>(rt.isomalloc(100 * sizeof(int)));
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(rt.area().contains(p));
+    for (int i = 0; i < 100; ++i) p[i] = i;
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(p[i], i);
+    rt.isofree(p);
+  });
+}
+
+TEST(Runtime, IsomallocApiWrappers) {
+  run_app(test_config(1), [&](Runtime&) {
+    EXPECT_EQ(pm2_self(), 0u);
+    EXPECT_EQ(pm2_nodes(), 1u);
+    EXPECT_NE(marcel_self(), nullptr);
+    void* p = pm2_isomalloc(64);
+    ASSERT_NE(p, nullptr);
+    p = pm2_isorealloc(p, 128);
+    ASSERT_NE(p, nullptr);
+    pm2_isofree(p);
+    pm2_isofree(nullptr);  // no-op
+  });
+}
+
+// RPC: fire-and-forget creates a thread remotely.
+std::atomic<int> g_rpc_sum{0};
+std::atomic<uint32_t> g_rpc_node{999};
+
+void add_service(RpcContext& ctx) {
+  auto a = ctx.args().unpack<int32_t>();
+  auto b = ctx.args().unpack<int32_t>();
+  g_rpc_sum += a + b;
+  g_rpc_node = pm2_self();
+  pm2_signal(ctx.source_node());
+}
+
+TEST(Runtime, RpcSpawnsRemoteThread) {
+  g_rpc_sum = 0;
+  g_rpc_node = 999;
+  std::atomic<uint32_t> service_id{0};
+  run_app(
+      test_config(2),
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          mad::PackBuffer args;
+          args.pack<int32_t>(20);
+          args.pack<int32_t>(22);
+          rt.rpc(1, service_id.load(), std::move(args));
+          rt.wait_signals(1);
+        }
+      },
+      [&](Runtime& rt) { service_id = rt.register_service("add", &add_service); });
+  EXPECT_EQ(g_rpc_sum.load(), 42);
+  EXPECT_EQ(g_rpc_node.load(), 1u);
+}
+
+void echo_service(RpcContext& ctx) {
+  auto v = ctx.args().unpack<uint64_t>();
+  mad::PackBuffer reply;
+  reply.pack<uint64_t>(v * 2);
+  reply.pack<uint32_t>(pm2_self());
+  ctx.reply(std::move(reply));
+}
+
+TEST(Runtime, CallGetsReply) {
+  std::atomic<uint32_t> echo_id{0};
+  std::atomic<uint64_t> result{0};
+  std::atomic<uint32_t> responder{99};
+  run_app(
+      test_config(3),
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          mad::PackBuffer args;
+          args.pack<uint64_t>(21);
+          auto resp = rt.call(2, echo_id.load(), std::move(args));
+          mad::UnpackBuffer r(resp);
+          result = r.unpack<uint64_t>();
+          responder = r.unpack<uint32_t>();
+        }
+      },
+      [&](Runtime& rt) { echo_id = rt.register_service("echo", &echo_service); });
+  EXPECT_EQ(result.load(), 42u);
+  EXPECT_EQ(responder.load(), 2u);
+}
+
+TEST(Runtime, CallToSelf) {
+  std::atomic<uint32_t> echo_id{0};
+  std::atomic<uint64_t> result{0};
+  run_app(
+      test_config(1),
+      [&](Runtime& rt) {
+        mad::PackBuffer args;
+        args.pack<uint64_t>(5);
+        auto resp = rt.call(0, echo_id.load(), std::move(args));
+        result = mad::UnpackBuffer(resp).unpack<uint64_t>();
+      },
+      [&](Runtime& rt) { echo_id = rt.register_service("echo", &echo_service); });
+  EXPECT_EQ(result.load(), 10u);
+}
+
+TEST(Runtime, BarrierSynchronizesNodes) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  run_app(test_config(4), [&](Runtime& rt) {
+    ++phase1;
+    rt.barrier();
+    if (phase1.load() != 4) violation = true;
+    rt.barrier();
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Runtime, SignalsCrossNodes) {
+  run_app(test_config(3), [&](Runtime& rt) {
+    if (rt.self() != 0) {
+      pm2_signal(0);
+      pm2_signal(0);
+    } else {
+      pm2_wait_signals(4);  // 2 from each of nodes 1, 2
+    }
+  });
+}
+
+TEST(Runtime, LoadGossip) {
+  std::atomic<uint64_t> observed{0};
+  run_app(test_config(2), [&](Runtime& rt) {
+    if (rt.self() == 1) {
+      // Spawn some load, gossip, give node 0 time to observe it.
+      for (int i = 0; i < 5; ++i)
+        rt.spawn_local([&rt] {
+          for (int k = 0; k < 50; ++k) rt.sched().yield();
+        });
+      rt.broadcast_load();
+    }
+    rt.barrier();
+    if (rt.self() == 0) {
+      observed = rt.load_table()[1];
+    }
+  });
+  EXPECT_GE(observed.load(), 1u);
+}
+
+TEST(Runtime, ManyThreadsManyNodes) {
+  std::atomic<int> done{0};
+  run_app(test_config(4), [&](Runtime& rt) {
+    for (int i = 0; i < 50; ++i) {
+      rt.spawn_local([&done, &rt] {
+        for (int k = 0; k < 10; ++k) rt.sched().yield();
+        ++done;
+      });
+    }
+  });
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(Runtime, HeapStatsAccumulate) {
+  run_app(test_config(1), [&](Runtime& rt) {
+    void* p = rt.isomalloc(1000);
+    rt.isofree(p);
+    EXPECT_EQ(rt.heap_stats().allocs, 1u);
+    EXPECT_EQ(rt.heap_stats().frees, 1u);
+  });
+}
+
+TEST(Runtime, ThreadStacksLiveInIsoArea) {
+  run_app(test_config(1), [&](Runtime& rt) {
+    int on_stack = 0;
+    EXPECT_TRUE(rt.area().contains(&on_stack));
+    EXPECT_TRUE(rt.area().contains(marcel_self()));
+  });
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,87 @@
+// Byte writer/reader round-trip tests.
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pm2 {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put<uint8_t>(0x12);
+  w.put<uint16_t>(0x3456);
+  w.put<uint32_t>(0x789ABCDE);
+  w.put<uint64_t>(0x0123456789ABCDEFull);
+  w.put<double>(3.25);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<uint8_t>(), 0x12);
+  EXPECT_EQ(r.get<uint16_t>(), 0x3456);
+  EXPECT_EQ(r.get<uint32_t>(), 0x789ABCDEu);
+  EXPECT_EQ(r.get<uint64_t>(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_string("hello pm2");
+  std::string big(10000, 'x');
+  w.put_string(big);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello pm2");
+  EXPECT_EQ(r.get_string(), big);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  ByteWriter w;
+  std::vector<uint64_t> v = {1, 2, 3, 0xFFFFFFFFFFFFFFFFull};
+  w.put_vector(v);
+  std::vector<uint64_t> empty;
+  w.put_vector(empty);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_vector<uint64_t>(), v);
+  EXPECT_EQ(r.get_vector<uint64_t>(), empty);
+}
+
+TEST(Serialize, ViewBytesIsZeroCopy) {
+  ByteWriter w;
+  w.put_bytes("abcdef", 6);
+  ByteReader r(w.bytes());
+  const uint8_t* p = r.view_bytes(6);
+  EXPECT_EQ(p, w.bytes().data());
+  EXPECT_EQ(std::memcmp(p, "abcdef", 6), 0);
+}
+
+TEST(Serialize, StructRoundTrip) {
+  struct Pod {
+    uint32_t a;
+    uint64_t b;
+    char c[8];
+  };
+  Pod in{7, 9, "pm2"};
+  ByteWriter w;
+  w.put(in);
+  ByteReader r(w.bytes());
+  Pod out = r.get<Pod>();
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_EQ(out.b, 9u);
+  EXPECT_STREQ(out.c, "pm2");
+}
+
+TEST(SerializeDeath, UnderrunAborts) {
+  ByteWriter w;
+  w.put<uint32_t>(1);
+  ByteReader r(w.bytes());
+  r.get<uint32_t>();
+  EXPECT_DEATH(r.get<uint8_t>(), "underrun");
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,143 @@
+// Timer queue: sleep_us under pure marcel and under the PM2 runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+
+#include "common/time.hpp"
+#include "marcel/scheduler.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+using marcel::Scheduler;
+using marcel::Thread;
+
+constexpr size_t kRegion = 64 * 1024;
+
+struct SleepFixture : ::testing::Test {
+  marcel::ThreadId spawn(std::function<void()> body) {
+    bodies_.push_back(std::move(body));
+    void* region = std::aligned_alloc(64, kRegion);
+    regions_.push_back(region);
+    marcel::ThreadId id = next_id_++;
+    sched_.create(region, kRegion, &SleepFixture::entry, &bodies_.back(), id,
+                  "t");
+    return id;
+  }
+  static void entry(void* arg) {
+    (*static_cast<std::function<void()>*>(arg))();
+    Scheduler::current_scheduler()->exit_current([](Thread*) {});
+  }
+  ~SleepFixture() override {
+    for (void* r : regions_) std::free(r);
+  }
+  Scheduler sched_;
+  std::vector<void*> regions_;
+  std::deque<std::function<void()>> bodies_;
+  marcel::ThreadId next_id_ = 1;
+};
+
+TEST_F(SleepFixture, SleepActuallyWaits) {
+  uint64_t slept_ns = 0;
+  spawn([&] {
+    Stopwatch sw;
+    Scheduler::current_scheduler()->sleep_us(5000);
+    slept_ns = sw.elapsed_ns();
+  });
+  sched_.stop();
+  sched_.run();
+  EXPECT_GE(slept_ns, 5000u * 1000);
+  EXPECT_LT(slept_ns, 500u * 1000 * 1000);  // sanity upper bound
+}
+
+TEST_F(SleepFixture, SleepersWakeInDeadlineOrder) {
+  std::vector<int> order;
+  spawn([&] {
+    Scheduler::current_scheduler()->sleep_us(9000);
+    order.push_back(3);
+  });
+  spawn([&] {
+    Scheduler::current_scheduler()->sleep_us(1000);
+    order.push_back(1);
+  });
+  spawn([&] {
+    Scheduler::current_scheduler()->sleep_us(5000);
+    order.push_back(2);
+  });
+  sched_.stop();
+  sched_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SleepFixture, RunnableThreadsKeepExecutingDuringSleep) {
+  int ticks = 0;
+  bool sleeper_done = false;
+  spawn([&] {
+    Scheduler::current_scheduler()->sleep_us(3000);
+    sleeper_done = true;
+  });
+  spawn([&] {
+    while (!sleeper_done) {
+      ++ticks;
+      Scheduler::current_scheduler()->yield();
+    }
+  });
+  sched_.stop();
+  sched_.run();
+  EXPECT_TRUE(sleeper_done);
+  EXPECT_GT(ticks, 10);  // the busy thread was not starved by the sleeper
+}
+
+TEST_F(SleepFixture, ZeroSleepIsAYield) {
+  std::vector<int> order;
+  spawn([&] {
+    order.push_back(1);
+    Scheduler::current_scheduler()->sleep_us(0);
+    order.push_back(3);
+  });
+  spawn([&] { order.push_back(2); });
+  sched_.stop();
+  sched_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SleepRuntime, Pm2SleepUnderCommDaemon) {
+  std::atomic<uint64_t> elapsed_us{0};
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(cfg, [&](Runtime&) {
+    if (pm2_self() == 0) {
+      Stopwatch sw;
+      pm2_sleep_us(10000);
+      elapsed_us = static_cast<uint64_t>(sw.elapsed_us());
+    }
+  });
+  EXPECT_GE(elapsed_us.load(), 10000u);
+  EXPECT_LT(elapsed_us.load(), 2000000u);
+}
+
+TEST(SleepRuntime, SleepingThreadRefusesPreemptiveMigration) {
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() == 0) {
+      auto sleeper = [](void*) {
+        pm2_sleep_us(20000);
+        pm2_signal(0);
+      };
+      auto id = pm2_thread_create(sleeper, nullptr, "sleeper");
+      pm2_yield();  // let it park on the timer
+      EXPECT_FALSE(rt.migrate(id, 1));  // kBlocked: not migratable
+      pm2_wait_signals(1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pm2

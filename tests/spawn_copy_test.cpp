@@ -1,0 +1,112 @@
+// spawn_copy (migration-safe argument hand-off) and the block ownership
+// discipline it exists to uphold.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<long> g_sum{0};
+std::atomic<bool> g_ok{true};
+
+struct WorkArgs {
+  long base;
+  int count;
+  char tag[16];
+};
+
+void copy_worker(void* arg) {
+  auto* a = static_cast<WorkArgs*>(arg);
+  if (std::strcmp(a->tag, "hello") != 0) g_ok = false;
+  long local = 0;
+  for (int i = 0; i < a->count; ++i) local += a->base + i;
+  g_sum += local;
+  pm2_isofree(a);  // the copy belongs to THIS thread
+  pm2_signal(0);
+}
+
+TEST(SpawnCopy, ChildOwnsAndFreesItsCopy) {
+  g_sum = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime&) {
+    WorkArgs args{100, 5, "hello"};  // stack-local: dies after the call
+    pm2_thread_create_copy(&copy_worker, &args, sizeof(args), "cw");
+    std::memset(&args, 0, sizeof(args));  // prove the child has a copy
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+  EXPECT_EQ(g_sum.load(), 100 + 101 + 102 + 103 + 104);
+}
+
+void migrating_copy_worker(void* arg) {
+  auto* a = static_cast<WorkArgs*>(arg);
+  pm2_migrate(marcel_self(), 1);
+  // The argument block belongs to us, so it came along.
+  if (a->base != 7 || std::strcmp(a->tag, "roam") != 0) g_ok = false;
+  pm2_isofree(a);
+  pm2_signal(0);
+}
+
+TEST(SpawnCopy, ArgumentMigratesWithChild) {
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(cfg, [&](Runtime&) {
+    if (pm2_self() == 0) {
+      WorkArgs args{7, 0, "roam"};
+      pm2_thread_create_copy(&migrating_copy_worker, &args, sizeof(args),
+                             "roamer");
+      pm2_wait_signals(1);
+    }
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+TEST(SpawnCopy, ManyChildrenManyNodes) {
+  g_sum = 0;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(cfg, [&](Runtime&) {
+    if (pm2_self() == 0) {
+      for (long i = 0; i < 50; ++i) {
+        WorkArgs args{i, 1, "hello"};
+        pm2_thread_create_copy(&copy_worker, &args, sizeof(args), "batch");
+      }
+      pm2_wait_signals(50);
+    }
+  });
+  EXPECT_EQ(g_sum.load(), 49 * 50 / 2);
+}
+
+// The ownership rule itself: freeing another thread's block is a caught
+// programming error, not silent corruption.
+void foreign_free_worker(void* arg) {
+  pm2_isofree(arg);  // arg belongs to main — must abort cleanly
+  pm2_signal(0);
+}
+
+TEST(SpawnCopyDeath, ForeignFreeIsCaught) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        AppConfig cfg;
+        cfg.nodes = 1;
+        run_app(cfg, [&](Runtime&) {
+          void* mine = pm2_isomalloc(64);
+          pm2_thread_create(&foreign_free_worker, mine, "evil");
+          pm2_wait_signals(1);
+        });
+      },
+      "belongs to thread");
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pm2 {
+namespace {
+
+TEST(LatencyHistogram, BasicStats) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.record(1000);
+  h.record(2000);
+  h.record(3000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_ns(), 1000u);
+  EXPECT_EQ(h.max_ns(), 3000u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 2000.0);
+}
+
+TEST(LatencyHistogram, PercentileMonotone) {
+  LatencyHistogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.record(i * 100);
+  EXPECT_LE(h.percentile_ns(0.5), h.percentile_ns(0.9));
+  EXPECT_LE(h.percentile_ns(0.9), h.percentile_ns(0.99));
+  // p50 bucket upper bound should be within 2x of the true median.
+  uint64_t p50 = h.percentile_ns(0.5);
+  EXPECT_GE(p50, 50000u / 2);
+  EXPECT_LE(p50, 50000u * 2 + 1);
+}
+
+TEST(LatencyHistogram, MergeAccumulates) {
+  LatencyHistogram a, b;
+  a.record(100);
+  b.record(100000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min_ns(), 100u);
+  EXPECT_EQ(a.max_ns(), 100000u);
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.record(5000);
+  EXPECT_NE(h.summary().find("count=1"), std::string::npos);
+}
+
+TEST(SlotStats, SummaryFormat) {
+  SlotStats s;
+  s.negotiations = 3;
+  EXPECT_NE(s.summary().find("negotiations=3"), std::string::npos);
+}
+
+TEST(HeapStats, SummaryFormat) {
+  HeapStats s;
+  s.allocs = 11;
+  EXPECT_NE(s.summary().find("allocs=11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,254 @@
+// Synchronization primitive tests (run under the cooperative scheduler).
+#include "marcel/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace pm2::marcel {
+namespace {
+
+constexpr size_t kRegion = 64 * 1024;
+
+/// Harness: run a set of std::function bodies as PM2 threads to completion.
+class SyncFixture : public ::testing::Test {
+ protected:
+  void spawn(std::function<void()> body) {
+    bodies_.push_back(std::move(body));
+    void* region = std::aligned_alloc(64, kRegion);
+    regions_.push_back(region);
+    sched_.create(region, kRegion, &SyncFixture::entry,
+                  &bodies_.back(), next_id_++, "t");
+  }
+
+  void run_all() {
+    sched_.stop();
+    sched_.run();
+  }
+
+  ~SyncFixture() override {
+    for (void* r : regions_) std::free(r);
+  }
+
+  static void entry(void* arg) {
+    (*static_cast<std::function<void()>*>(arg))();
+    Scheduler::current_scheduler()->exit_current([](Thread*) {});
+  }
+
+  Scheduler sched_;
+  std::vector<void*> regions_;
+  std::deque<std::function<void()>> bodies_;
+  ThreadId next_id_ = 1;
+};
+
+TEST_F(SyncFixture, MutexMutualExclusion) {
+  Mutex mu;
+  int in_section = 0;
+  int max_in_section = 0;
+  for (int i = 0; i < 5; ++i) {
+    spawn([&] {
+      for (int k = 0; k < 10; ++k) {
+        mu.lock();
+        ++in_section;
+        max_in_section = std::max(max_in_section, in_section);
+        Scheduler::current_scheduler()->yield();  // try to break exclusion
+        --in_section;
+        mu.unlock();
+      }
+    });
+  }
+  run_all();
+  EXPECT_EQ(max_in_section, 1);
+}
+
+TEST_F(SyncFixture, MutexTryLock) {
+  Mutex mu;
+  std::vector<int> trace;
+  spawn([&] {
+    EXPECT_TRUE(mu.try_lock());
+    EXPECT_FALSE(mu.try_lock() && false);  // non-recursive: stays locked
+    Scheduler::current_scheduler()->yield();
+    mu.unlock();
+  });
+  spawn([&] {
+    EXPECT_FALSE(mu.try_lock());  // first thread holds it
+    Scheduler::current_scheduler()->yield();
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+  });
+  run_all();
+}
+
+TEST_F(SyncFixture, CondVarSignalWakesOne) {
+  Mutex mu;
+  CondVar cv;
+  bool flag = false;
+  std::vector<int> trace;
+  spawn([&] {
+    mu.lock();
+    while (!flag) cv.wait(mu);
+    trace.push_back(2);
+    mu.unlock();
+  });
+  spawn([&] {
+    mu.lock();
+    flag = true;
+    trace.push_back(1);
+    cv.signal();
+    mu.unlock();
+  });
+  run_all();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SyncFixture, CondVarBroadcastWakesAll) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  for (int i = 0; i < 4; ++i) {
+    spawn([&] {
+      mu.lock();
+      while (!go) cv.wait(mu);
+      ++woke;
+      mu.unlock();
+    });
+  }
+  spawn([&] {
+    mu.lock();
+    go = true;
+    cv.broadcast();
+    mu.unlock();
+  });
+  run_all();
+  EXPECT_EQ(woke, 4);
+}
+
+TEST_F(SyncFixture, SemaphoreCountsPermits) {
+  Semaphore sem(2);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 6; ++i) {
+    spawn([&] {
+      sem.acquire();
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      Scheduler::current_scheduler()->yield();
+      --concurrent;
+      sem.release();
+    });
+  }
+  run_all();
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.value(), 2);
+}
+
+TEST_F(SyncFixture, SemaphoreProducerConsumer) {
+  Semaphore items(0);
+  std::vector<int> consumed;
+  spawn([&] {
+    for (int i = 0; i < 5; ++i) items.acquire(), consumed.push_back(i);
+  });
+  spawn([&] {
+    for (int i = 0; i < 5; ++i) {
+      items.release();
+      Scheduler::current_scheduler()->yield();
+    }
+  });
+  run_all();
+  EXPECT_EQ(consumed.size(), 5u);
+}
+
+TEST_F(SyncFixture, BarrierReleasesTogether) {
+  Barrier bar(3);
+  int before = 0, after = 0;
+  int releasers = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([&] {
+      ++before;
+      if (bar.arrive_and_wait()) ++releasers;
+      // By the time anyone passes, all three must have arrived.
+      EXPECT_EQ(before, 3);
+      ++after;
+    });
+  }
+  run_all();
+  EXPECT_EQ(after, 3);
+  EXPECT_EQ(releasers, 1);
+}
+
+TEST_F(SyncFixture, BarrierIsReusable) {
+  Barrier bar(2);
+  std::vector<int> trace;
+  for (int i = 0; i < 2; ++i) {
+    spawn([&, i] {
+      for (int round = 0; round < 3; ++round) {
+        trace.push_back(round * 10 + i);
+        bar.arrive_and_wait();
+      }
+    });
+  }
+  run_all();
+  // Rounds must not interleave: sort within pairs.
+  ASSERT_EQ(trace.size(), 6u);
+  for (int round = 0; round < 3; ++round) {
+    int a = trace[round * 2] / 10;
+    int b = trace[round * 2 + 1] / 10;
+    EXPECT_EQ(a, round);
+    EXPECT_EQ(b, round);
+  }
+}
+
+TEST_F(SyncFixture, EventWaitAfterSetDoesNotBlock) {
+  Event ev;
+  std::vector<int> trace;
+  spawn([&] {
+    ev.set();
+    trace.push_back(1);
+  });
+  spawn([&] {
+    ev.wait();
+    trace.push_back(2);
+  });
+  run_all();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SyncFixture, EventWakesAllWaiters) {
+  Event ev;
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([&] {
+      ev.wait();
+      ++woke;
+    });
+  }
+  spawn([&] { ev.set(); });
+  run_all();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST_F(SyncFixture, WaitQueueFifoOrder) {
+  WaitQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([&, i] {
+      q.park_current();
+      order.push_back(i);
+    });
+  }
+  spawn([&] {
+    EXPECT_EQ(q.size(), 3u);
+    while (q.unpark_one() != nullptr) {
+    }
+  });
+  run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace pm2::marcel

@@ -1,0 +1,106 @@
+// Event tracer unit tests + integration with the runtime's trace points.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+using trace::Event;
+using trace::Tracer;
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer t(3, 1024);
+  t.record(Event::kThreadCreate, 1);
+  t.record(Event::kMigrationOut, 1, 2);
+  t.record(Event::kThreadExit, 1);
+  auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].event, Event::kThreadCreate);
+  EXPECT_EQ(snap[1].event, Event::kMigrationOut);
+  EXPECT_EQ(snap[1].b, 2u);
+  EXPECT_EQ(snap[2].event, Event::kThreadExit);
+  EXPECT_LE(snap[0].t_ns, snap[2].t_ns);
+  EXPECT_EQ(snap[0].node, 3);
+}
+
+TEST(Tracer, RingOverwritesOldest) {
+  Tracer t(0, 16);
+  for (uint64_t i = 0; i < 40; ++i) t.record(Event::kUser, i);
+  EXPECT_EQ(t.total(), 40u);
+  auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  EXPECT_EQ(snap.front().a, 24u);  // oldest survivor
+  EXPECT_EQ(snap.back().a, 39u);
+}
+
+TEST(Tracer, CountByEvent) {
+  Tracer t(0);
+  t.record(Event::kMigrationOut);
+  t.record(Event::kMigrationOut);
+  t.record(Event::kBarrier);
+  EXPECT_EQ(t.count(Event::kMigrationOut), 2u);
+  EXPECT_EQ(t.count(Event::kBarrier), 1u);
+  EXPECT_EQ(t.count(Event::kRpcIn), 0u);
+}
+
+TEST(Tracer, CsvHasHeaderAndRows) {
+  Tracer t(1);
+  t.record(Event::kNegotiationStart, 4);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("t_us,node,event,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("negotiation_start,4,0"), std::string::npos);
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer t(0);
+  t.record(Event::kUser);
+  t.clear();
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+// --- runtime integration -----------------------------------------------------
+
+void traced_worker(void*) {
+  void* p = pm2_isomalloc(200 * 1024);  // forces a negotiation under RR
+  pm2_migrate(marcel_self(), 1);
+  pm2_isofree(p);
+  pm2_signal(0);
+}
+
+TEST(TracerRuntime, RuntimeEmitsLifecycleEvents) {
+  static Tracer tracer0(0), tracer1(1);
+  tracer0.clear();
+  tracer1.clear();
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
+  run_app(cfg, [&](Runtime& rt) {
+    rt.set_tracer(rt.self() == 0 ? &tracer0 : &tracer1);
+    if (rt.self() == 0) {
+      pm2_thread_create(&traced_worker, nullptr, "traced");
+      pm2_wait_signals(1);
+    }
+    rt.barrier();
+  });
+  // Node 0 saw: thread create, a negotiation (start+end), migration out.
+  EXPECT_GE(tracer0.count(Event::kThreadCreate), 1u);
+  EXPECT_GE(tracer0.count(Event::kNegotiationStart), 1u);
+  EXPECT_EQ(tracer0.count(Event::kNegotiationStart),
+            tracer0.count(Event::kNegotiationEnd));
+  EXPECT_EQ(tracer0.count(Event::kMigrationOut), 1u);
+  // Node 1 saw the arrival and the exit.
+  EXPECT_EQ(tracer1.count(Event::kMigrationIn), 1u);
+  EXPECT_GE(tracer1.count(Event::kThreadExit), 1u);
+  EXPECT_GE(tracer0.count(Event::kBarrier), 1u);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,87 @@
+// Virtual-memory reservation semantics: the substitution DESIGN.md documents
+// (PROT_NONE reservation + mprotect commit) must behave like per-slot mmap.
+#include "sys/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pm2::sys {
+namespace {
+
+// A test base well away from the default iso-area base so tests never
+// collide with runtime tests in the same process.
+constexpr uintptr_t kTestBase = 0x6100'0000'0000ull;
+
+TEST(Vm, ReserveAndRelease) {
+  {
+    VmReservation r(kTestBase, 1 << 20);
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.base(), kTestBase);
+  }
+  // Released: the same range must be reservable again.
+  VmReservation r2(kTestBase, 1 << 20);
+  EXPECT_TRUE(r2.valid());
+}
+
+TEST(Vm, DoubleReservationFails) {
+  VmReservation r(kTestBase, 1 << 20);
+  EXPECT_THROW(VmReservation(kTestBase, 1 << 20), std::runtime_error);
+}
+
+TEST(Vm, ReservedIsNotReadable) {
+  VmReservation r(kTestBase, 1 << 20);
+  EXPECT_FALSE(probe_readable(kTestBase, 1));
+}
+
+TEST(Vm, CommitMakesWritable) {
+  VmReservation r(kTestBase, 1 << 20);
+  size_t ps = page_size();
+  r.commit(kTestBase, ps);
+  EXPECT_TRUE(probe_readable(kTestBase, ps));
+  auto* p = reinterpret_cast<char*>(kTestBase);
+  std::memset(p, 0xAB, ps);
+  EXPECT_EQ(p[0], static_cast<char>(0xAB));
+  EXPECT_FALSE(probe_readable(kTestBase + ps, 1));  // next page untouched
+}
+
+TEST(Vm, DecommitRemovesAccessAndZeroes) {
+  VmReservation r(kTestBase, 1 << 20);
+  size_t ps = page_size();
+  r.commit(kTestBase, ps);
+  auto* p = reinterpret_cast<char*>(kTestBase);
+  p[0] = 42;
+  r.decommit(kTestBase, ps);
+  EXPECT_FALSE(probe_readable(kTestBase, 1));
+  // Re-commit must observe zeroed memory (fresh pages for migration).
+  r.commit(kTestBase, ps);
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(Vm, CommitInMiddleOfReservation) {
+  VmReservation r(kTestBase, 1 << 20);
+  size_t ps = page_size();
+  uintptr_t mid = kTestBase + 16 * ps;
+  r.commit(mid, 4 * ps);
+  EXPECT_TRUE(probe_readable(mid, 4 * ps));
+  EXPECT_FALSE(probe_readable(kTestBase, 1));
+  EXPECT_FALSE(probe_readable(mid + 4 * ps, 1));
+}
+
+TEST(Vm, MoveTransfersOwnership) {
+  VmReservation a(kTestBase, 1 << 20);
+  VmReservation b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.commit(kTestBase, page_size());
+  EXPECT_TRUE(probe_readable(kTestBase, 1));
+}
+
+TEST(VmDeath, CommitOutsideReservationAborts) {
+  VmReservation r(kTestBase, 1 << 20);
+  EXPECT_DEATH(r.commit(kTestBase + (1 << 20), page_size()),
+               "outside reservation");
+}
+
+}  // namespace
+}  // namespace pm2::sys
