@@ -26,6 +26,7 @@ namespace {
 
 std::atomic<uint64_t> g_total_ns{0};
 std::atomic<uint64_t> g_wire_bytes{0};
+std::atomic<uint64_t> g_copy_bytes{0};
 std::atomic<uint64_t> g_rounds{0};
 std::atomic<uint64_t> g_payload{0};
 // In --spawn mode the measurement happens in a child process, so the worker
@@ -52,8 +53,11 @@ void ping_worker(void*) {
   }
   g_total_ns = sw.elapsed_ns();
   if (g_print_from_worker.load()) {
-    pm2_printf("payload=%zu one_way_us=%.2f (over %d rounds)\n", payload,
+    pm2_printf("payload=%zu one_way_us=%.2f copy_MB=%.2f (over %d rounds)\n",
+               payload,
                static_cast<double>(g_total_ns.load()) / 1e3 / (2.0 * rounds),
+               static_cast<double>(
+                   Runtime::current()->fabric().payload_copy_bytes()) / 1e6,
                rounds);
   }
 
@@ -80,6 +84,10 @@ double run_pingpong(uint32_t rounds, size_t payload, bool blocks_only,
       pm2_thread_create(&ping_worker, nullptr, "pingpong");
       pm2_wait_signals(1);
       g_wire_bytes = rt.fabric().bytes_sent();
+      // Transport-side payload copies (flatten/seal) per session: 0 on the
+      // socket fabric (writev gathers straight from slot memory); the
+      // in-process hub pays one ownership copy per borrowed payload.
+      g_copy_bytes = rt.fabric().payload_copy_bytes();
     }
   });
   return static_cast<double>(g_total_ns.load()) / 1e3 /
@@ -105,7 +113,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "E1: thread migration ping-pong (one-way latency, paper: <75us on "
       "BIP/Myrinet; Active Threads baseline: 150us)",
-      {"payload_B", "mode", "rounds", "one_way_us", "wire_MB"});
+      {"payload_B", "mode", "rounds", "one_way_us", "wire_MB", "copy_MB"});
 
   const size_t payloads[] = {0,       4 * 1024,   16 * 1024,
                              64 * 1024, 256 * 1024, 1024 * 1024};
@@ -121,12 +129,16 @@ int main(int argc, char** argv) {
       bench::print_cell(static_cast<uint64_t>(rounds));
       bench::print_cell(us);
       bench::print_cell(static_cast<double>(g_wire_bytes.load()) / 1e6);
+      bench::print_cell(static_cast<double>(g_copy_bytes.load()) / 1e6);
       bench::print_row_end();
     }
   }
   std::printf(
       "\nShape check vs paper: null-payload migration should sit in the\n"
       "tens-of-microseconds range and scale linearly with payload; the\n"
-      "blocks-only mode should beat full-slots once the heap is sparse.\n");
+      "blocks-only mode should beat full-slots once the heap is sparse.\n"
+      "copy_MB counts transport-side payload copies (flatten/seal): with\n"
+      "--spawn (socket fabric) it is 0 — slot extents gather straight to\n"
+      "writev — while the in-process hub pays one ownership copy.\n");
   return 0;
 }

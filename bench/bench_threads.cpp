@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "isomalloc/heap.hpp"
+#include "madeleine/buffers.hpp"
 #include "marcel/scheduler.hpp"
 
 namespace {
@@ -137,6 +138,42 @@ void BM_MallocBaseline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MallocBaseline)->Arg(16)->Arg(256)->Arg(4096)->Arg(32768);
+
+// --- payload pipeline ---------------------------------------------------------
+// The migration pack shape: a little staged metadata plus one slot-sized
+// bulk region.  Flatten copies the bulk per message; the chain borrows it.
+
+void BM_PackFlattenPayload(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> slot_image(size, 0x3C);
+  for (auto _ : state) {
+    mad::PackBuffer pack;
+    pack.pack<uint64_t>(0xDEADBEEF);
+    pack.pack<uint32_t>(1);
+    pack.pack_bytes(slot_image.data(), slot_image.size(),
+                    mad::PackMode::kBorrow);
+    auto flat = pack.finalize();  // old wire path: borrowed bytes copied here
+    benchmark::DoNotOptimize(flat.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_PackFlattenPayload)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_PackChainPayload(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> slot_image(size, 0x3C);
+  for (auto _ : state) {
+    mad::PackBuffer pack;
+    pack.pack<uint64_t>(0xDEADBEEF);
+    pack.pack<uint32_t>(1);
+    pack.pack_bytes(slot_image.data(), slot_image.size(),
+                    mad::PackMode::kBorrow);
+    auto chain = pack.take_chain();  // new wire path: segments go to writev
+    benchmark::DoNotOptimize(chain.segments().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_PackChainPayload)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 }  // namespace
 

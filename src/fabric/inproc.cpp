@@ -63,6 +63,12 @@ void InProcEndpoint::send(Message msg) {
   msg.src = id_;
   bytes_sent_ += msg.wire_size();
   ++messages_sent_;
+  // Chained payloads move through the hub as-is — owned chunks change
+  // hands with zero copies.  Borrowed segments would dangle once the
+  // sender reuses its memory (e.g. migration decommits the slots), so
+  // take ownership of those bytes now; this is the in-process equivalent
+  // of the socket fabric's synchronous gather-to-wire.
+  payload_copy_bytes_ += msg.chain.seal();
   hub_->deliver(std::move(msg));
 }
 

@@ -33,12 +33,14 @@ class InProcEndpoint final : public Fabric {
   std::optional<Message> recv(int timeout_ms) override;
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
 
  private:
   std::shared_ptr<InProcHub> hub_;
   NodeId id_;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  uint64_t payload_copy_bytes_ = 0;
 };
 
 /// Shared mailbox array.  Create once, then endpoint(i) for each node.

@@ -6,9 +6,17 @@
 
 namespace pm2::fabric {
 
-size_t Message::wire_size() const { return sizeof(WireHeader) + payload.size(); }
+size_t Message::wire_size() const { return sizeof(WireHeader) + payload_size(); }
 
-void encode(const Message& msg, std::vector<uint8_t>& out) {
+std::vector<uint8_t>& Message::flat() {
+  if (!chain.empty()) {
+    PM2_CHECK(payload.empty()) << "message with both flat and chained payload";
+    payload = chain.take_flat();
+  }
+  return payload;
+}
+
+WireHeader wire_header(const Message& msg) {
   WireHeader h{};
   h.magic = kWireMagic;
   h.type = msg.type;
@@ -16,10 +24,23 @@ void encode(const Message& msg, std::vector<uint8_t>& out) {
   h.src = msg.src;
   h.dst = msg.dst;
   h.corr = msg.corr;
-  h.payload_len = msg.payload.size();
+  h.payload_len = msg.payload_size();
+  return h;
+}
+
+void encode(const Message& msg, std::vector<uint8_t>& out) {
+  WireHeader h = wire_header(msg);
   const auto* hp = reinterpret_cast<const uint8_t*>(&h);
   out.insert(out.end(), hp, hp + sizeof(h));
-  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  if (!msg.chain.empty()) {
+    PM2_CHECK(msg.payload.empty())
+        << "message with both flat and chained payload";
+    size_t off = out.size();
+    out.resize(off + msg.chain.size());
+    msg.chain.gather(out.data() + off);
+  } else {
+    out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  }
 }
 
 std::optional<Message> try_decode(std::vector<uint8_t>& buf) {

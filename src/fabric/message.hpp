@@ -4,12 +4,22 @@
 // byte payloads between "nodes" (container processes, or logical in-process
 // nodes for deterministic tests).  Semantics of `type` belong to the layers
 // above (pm2 runtime, negotiation protocol); the fabric only routes.
+//
+// A message carries its payload in exactly one of two forms:
+//  * `payload` — a flat byte vector (legacy senders; every decoded frame);
+//  * `chain`   — a mad::BufferChain of scatter-gather segments, possibly
+//    borrowing the sender's memory (slot images, large pack regions).
+// Transports gather the chain straight to the wire; receivers that need
+// contiguous bytes call flat(), which flattens lazily (and moves rather
+// than copies when the chain is a single owned chunk).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
+
+#include "madeleine/buffers.hpp"
 
 namespace pm2::fabric {
 
@@ -20,9 +30,17 @@ struct Message {
   NodeId src = 0;        // filled by the fabric on send
   NodeId dst = 0;        // destination node
   uint64_t corr = 0;     // request/reply correlation id (0 = none)
-  std::vector<uint8_t> payload;
+  std::vector<uint8_t> payload;  // flat form (mutually exclusive with chain)
+  mad::BufferChain chain;        // scatter-gather form
 
+  size_t payload_size() const {
+    return chain.empty() ? payload.size() : chain.size();
+  }
   size_t wire_size() const;
+
+  /// Contiguous view of the payload; flattens `chain` into `payload` on
+  /// first use (single-owned-chunk chains are moved, not copied).
+  std::vector<uint8_t>& flat();
 };
 
 /// Frame header as it travels on stream sockets.
@@ -39,7 +57,11 @@ static_assert(sizeof(WireHeader) == 32);
 
 inline constexpr uint32_t kWireMagic = 0x504D3247;  // "PM2G"
 
-/// Encode `msg` into `out` (header + payload appended).
+/// Header for `msg` as it would travel on the wire.
+WireHeader wire_header(const Message& msg);
+
+/// Encode `msg` into `out` (header + payload appended; chained payloads are
+/// gathered in place).
 void encode(const Message& msg, std::vector<uint8_t>& out);
 
 /// Try to decode one frame from the front of `buf`.  On success removes the
@@ -63,6 +85,10 @@ class Fabric {
   /// Send to msg.dst.  Must not deadlock even if the peer is concurrently
   /// sending a large message back (implementations drain incoming traffic
   /// while blocked on a full pipe).
+  ///
+  /// Borrowed chain segments only need to stay valid until send() returns:
+  /// implementations either gather them to the wire synchronously (socket
+  /// fabric) or take ownership of the bytes (in-process hub).
   virtual void send(Message msg) = 0;
 
   /// Non-blocking receive.
@@ -71,9 +97,16 @@ class Fabric {
   /// Receive with timeout in milliseconds (-1 = wait forever).
   virtual std::optional<Message> recv(int timeout_ms) = 0;
 
-  /// Bytes/messages moved (for benches).
+  /// Bytes/messages moved (for benches).  Both fabrics count
+  /// Message::wire_size() at the top of send(), before delivery.
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t messages_sent() const = 0;
+
+  /// Payload bytes this endpoint memcpy'd on the send path before the wire
+  /// (flatten/seal).  The zero-copy pipeline's scorecard: 0 on the socket
+  /// fabric, where chained payloads gather straight from the sender's
+  /// memory (slot images included) into writev.
+  virtual uint64_t payload_copy_bytes() const = 0;
 };
 
 }  // namespace pm2::fabric

@@ -2,8 +2,10 @@
 
 #include <errno.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <vector>
@@ -16,6 +18,16 @@ namespace pm2::fabric {
 
 namespace {
 
+// Payloads at least this large are scatter-read directly into the final
+// Message buffer instead of bouncing through the per-connection
+// accumulator (which costs two extra copies per byte).  Small frames keep
+// the bulk-read path: one recv() can pick up dozens of them.
+constexpr size_t kDirectRecvMin = 8 * 1024;
+
+// sendmsg() rejects iov counts above IOV_MAX (1024 on Linux); long chains
+// (one segment per live heap extent) are gathered in slices.
+constexpr size_t kMaxIov = 1024;
+
 class SocketFabric final : public Fabric {
  public:
   explicit SocketFabric(const SocketFabricConfig& config);
@@ -27,27 +39,41 @@ class SocketFabric final : public Fabric {
   std::optional<Message> recv(int timeout_ms) override;
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
 
  private:
   struct Conn {
     sys::Fd fd;
-    std::vector<uint8_t> rx;  // partial-frame accumulator
+    std::vector<uint8_t> rx;  // partial-frame accumulator (bulk path)
+    // Direct-read state: while in_body, payload bytes land straight in
+    // `body` (the future Message::payload) with no staging copy.
+    WireHeader hdr{};
+    std::vector<uint8_t> body;
+    size_t body_fill = 0;
+    bool in_body = false;
   };
 
   void connect_mesh();
-  /// Drain every readable peer into rx queues; parse complete frames.
+  /// Drain every readable peer; parse complete frames into the inbox.
   void pump(int timeout_ms);
   void drain_fd(size_t peer);
+  /// Decode complete frames from the accumulator; switch large partial
+  /// frames to the direct-read path.
+  void parse_frames(Conn& c);
+  void finish_direct(Conn& c);
 
   SocketFabricConfig config_;
   std::vector<Conn> conns_;  // indexed by peer node id (self unused)
   sys::Poller poller_;
   std::deque<Message> inbox_;
-  // Heap-allocated receive buffer: fabric calls run on PM2 threads whose
-  // whole stack is one 64 KB slot, so large stack buffers are forbidden.
-  std::vector<char> rxbuf_ = std::vector<char>(64 * 1024);
+  // Pooled receive staging shared by all connections, heap-allocated:
+  // fabric calls run on PM2 threads whose whole stack is one 64 KB slot,
+  // so large stack buffers are forbidden.
+  std::vector<uint8_t> rxbuf_ = std::vector<uint8_t>(64 * 1024);
+  std::vector<struct iovec> iov_;  // scratch gather list for send()
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
+  uint64_t payload_copy_bytes_ = 0;
 };
 
 SocketFabric::SocketFabric(const SocketFabricConfig& config) : config_(config) {
@@ -114,19 +140,42 @@ void SocketFabric::send(Message msg) {
   PM2_CHECK(msg.dst < config_.n_nodes && msg.dst != config_.node_id)
       << "bad destination " << msg.dst;
   msg.src = config_.node_id;
-  std::vector<uint8_t> wire;
-  wire.reserve(msg.wire_size());
-  encode(msg, wire);
-  bytes_sent_ += wire.size();
+  WireHeader h = wire_header(msg);
+  bytes_sent_ += msg.wire_size();
   ++messages_sent_;
 
+  // Gather list: header + payload segments, straight from the sender's
+  // memory (slot images included) — no flatten, no staging copy.
+  iov_.clear();
+  iov_.push_back({&h, sizeof(h)});
+  if (!msg.chain.empty()) {
+    PM2_CHECK(msg.payload.empty())
+        << "message with both flat and chained payload";
+    for (const mad::BufferChain::Segment& seg : msg.chain.segments())
+      iov_.push_back({const_cast<uint8_t*>(seg.data), seg.len});
+  } else if (!msg.payload.empty()) {
+    iov_.push_back({msg.payload.data(), msg.payload.size()});
+  }
+
   const sys::Fd& fd = conns_[msg.dst].fd;
-  size_t off = 0;
-  while (off < wire.size()) {
-    ssize_t n = ::send(fd.get(), wire.data() + off, wire.size() - off,
-                       MSG_NOSIGNAL);
+  size_t idx = 0;
+  while (idx < iov_.size()) {
+    struct msghdr mh {};
+    mh.msg_iov = iov_.data() + idx;
+    mh.msg_iovlen = std::min(iov_.size() - idx, kMaxIov);
+    ssize_t n = ::sendmsg(fd.get(), &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      off += static_cast<size_t>(n);
+      auto left = static_cast<size_t>(n);
+      while (left > 0) {
+        if (left >= iov_[idx].iov_len) {
+          left -= iov_[idx].iov_len;
+          ++idx;
+        } else {
+          iov_[idx].iov_base = static_cast<char*>(iov_[idx].iov_base) + left;
+          iov_[idx].iov_len -= left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -136,29 +185,85 @@ void SocketFabric::send(Message msg) {
       pump(1);
       continue;
     }
-    PM2_CHECK(n >= 0 || errno == EINTR) << "send: " << std::strerror(errno);
+    PM2_CHECK(n >= 0 || errno == EINTR) << "sendmsg: " << std::strerror(errno);
+  }
+}
+
+void SocketFabric::finish_direct(Conn& c) {
+  Message msg;
+  msg.type = c.hdr.type;
+  msg.src = c.hdr.src;
+  msg.dst = c.hdr.dst;
+  msg.corr = c.hdr.corr;
+  msg.payload = std::move(c.body);
+  c.body = std::vector<uint8_t>();
+  c.body_fill = 0;
+  c.in_body = false;
+  inbox_.push_back(std::move(msg));
+}
+
+void SocketFabric::parse_frames(Conn& c) {
+  while (!c.in_body) {
+    if (c.rx.size() < sizeof(WireHeader)) return;
+    WireHeader h;
+    std::memcpy(&h, c.rx.data(), sizeof(h));
+    PM2_CHECK(h.magic == kWireMagic) << "corrupt frame on fabric stream";
+    size_t total = sizeof(WireHeader) + h.payload_len;
+    if (c.rx.size() >= total) {
+      auto msg = try_decode(c.rx);
+      inbox_.push_back(std::move(*msg));
+      continue;
+    }
+    if (h.payload_len >= kDirectRecvMin) {
+      // Large frame, partially here: seed the direct-read buffer with the
+      // bytes that already arrived and scatter the rest straight into it.
+      // The resize() pays one value-init pass over the payload (vector has
+      // no uninitialized grow until C++23); still one write per byte
+      // against the old path's three (rxbuf -> accumulator -> payload).
+      c.hdr = h;
+      c.body.resize(h.payload_len);
+      size_t have = c.rx.size() - sizeof(WireHeader);
+      std::memcpy(c.body.data(), c.rx.data() + sizeof(WireHeader), have);
+      c.body_fill = have;
+      c.rx.clear();
+      c.in_body = true;
+    }
+    return;
   }
 }
 
 void SocketFabric::drain_fd(size_t peer) {
   Conn& c = conns_[peer];
-  char* buf = rxbuf_.data();
   while (true) {
-    ssize_t n = ::recv(c.fd.get(), buf, rxbuf_.size(), 0);
-    if (n > 0) {
-      c.rx.insert(c.rx.end(), buf, buf + n);
-      continue;
+    ssize_t n;
+    if (c.in_body) {
+      n = ::recv(c.fd.get(), c.body.data() + c.body_fill,
+                 c.body.size() - c.body_fill, 0);
+      if (n > 0) {
+        c.body_fill += static_cast<size_t>(n);
+        if (c.body_fill == c.body.size()) finish_direct(c);
+        continue;
+      }
+    } else {
+      n = ::recv(c.fd.get(), rxbuf_.data(), rxbuf_.size(), 0);
+      if (n > 0) {
+        c.rx.insert(c.rx.end(), rxbuf_.data(), rxbuf_.data() + n);
+        // Parse immediately: frames must reach the inbox even if the very
+        // next read reports the peer's EOF.
+        parse_frames(c);
+        continue;
+      }
     }
     if (n == 0) {
-      // Peer exited; treated as fatal at this layer (PM2 nodes shut down
-      // through an explicit HALT message before closing sockets).
+      // Peer exited.  Complete frames were already parsed above; a partial
+      // frame means the peer died mid-send, which PM2's explicit-HALT
+      // shutdown protocol rules out.
       poller_.remove(c.fd.get());
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     PM2_CHECK(errno == EINTR) << "recv: " << std::strerror(errno);
   }
-  while (auto msg = try_decode(c.rx)) inbox_.push_back(std::move(*msg));
 }
 
 void SocketFabric::pump(int timeout_ms) {

@@ -1,38 +1,129 @@
 #include "madeleine/buffers.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace pm2::mad {
 
-void PackBuffer::pack_bytes(const void* data, size_t len, PackMode mode) {
-  if (len == 0) return;
-  Segment seg;
-  seg.len = len;
-  if (mode == PackMode::kBorrow) {
-    seg.borrow = static_cast<const uint8_t*>(data);
-  } else {
-    seg.offset = staged_.size();
-    const auto* p = static_cast<const uint8_t*>(data);
-    staged_.insert(staged_.end(), p, p + len);
+uint8_t* BufferChain::grow(size_t len) {
+  if (chunks_.empty() ||
+      chunks_.back().capacity() - chunks_.back().size() < len) {
+    size_t cap = kMinChunk;
+    if (reserve_hint_ > cap) cap = reserve_hint_;
+    if (len > cap) cap = len;
+    chunks_.emplace_back();
+    chunks_.back().reserve(cap);
   }
-  segments_.push_back(seg);
+  std::vector<uint8_t>& chunk = chunks_.back();
+  size_t at = chunk.size();
+  chunk.resize(at + len);  // within capacity: no reallocation, stable ptrs
+  return chunk.data() + at;
+}
+
+void BufferChain::append_copy(const void* data, size_t len) {
+  if (len == 0) return;
+  uint8_t* dst = grow(len);
+  std::memcpy(dst, data, len);
+  // Adjacent copies into the same chunk merge into one segment.
+  if (!segments_.empty() &&
+      segments_.back().data + segments_.back().len == dst) {
+    segments_.back().len += len;
+  } else {
+    segments_.push_back(Segment{dst, len});
+  }
   total_ += len;
+  copied_ += len;
+}
+
+void BufferChain::append_borrow(const void* data, size_t len) {
+  if (len == 0) return;
+  const auto* p = static_cast<const uint8_t*>(data);
+  if (!segments_.empty() && segments_.back().data + segments_.back().len == p) {
+    segments_.back().len += len;
+  } else {
+    segments_.push_back(Segment{p, len});
+  }
+  total_ += len;
+  borrowed_ += len;
+}
+
+void BufferChain::append_chain(BufferChain&& other) {
+  for (std::vector<uint8_t>& chunk : other.chunks_)
+    chunks_.push_back(std::move(chunk));  // data pointers survive the move
+  segments_.insert(segments_.end(), other.segments_.begin(),
+                   other.segments_.end());
+  total_ += other.total_;
+  copied_ += other.copied_;
+  borrowed_ += other.borrowed_;
+  other.clear();
+}
+
+void BufferChain::gather(uint8_t* dst) const {
+  for (const Segment& seg : segments_) {
+    std::memcpy(dst, seg.data, seg.len);
+    dst += seg.len;
+  }
+}
+
+std::vector<uint8_t> BufferChain::flatten() const {
+  std::vector<uint8_t> out(total_);
+  gather(out.data());
+  return out;
+}
+
+std::vector<uint8_t> BufferChain::take_flat() {
+  std::vector<uint8_t> out;
+  if (single_owned_chunk()) {
+    out = std::move(chunks_[0]);
+  } else {
+    out.resize(total_);
+    gather(out.data());
+  }
+  clear();
+  return out;
+}
+
+size_t BufferChain::seal() {
+  if (borrowed_ == 0) return 0;
+  // Gathering everything into one fresh chunk (rather than patching only
+  // the borrowed segments) costs a few extra header bytes but leaves the
+  // chain in single-owned-chunk form, so the receiver's take_flat() is a
+  // move instead of another copy.
+  std::vector<uint8_t> flat(total_);
+  gather(flat.data());
+  size_t copied = total_;
+  size_t n = flat.size();
+  clear();
+  chunks_.push_back(std::move(flat));
+  segments_.push_back(Segment{chunks_[0].data(), n});
+  total_ = n;
+  copied_ = n;
+  return copied;
+}
+
+void BufferChain::clear() {
+  chunks_.clear();
+  segments_.clear();
+  total_ = copied_ = borrowed_ = 0;
+}
+
+void PackBuffer::pack_bytes(const void* data, size_t len, PackMode mode) {
+  if (mode == PackMode::kBorrow) {
+    chain_.append_borrow(data, len);
+  } else {
+    chain_.append_copy(data, len);
+  }
+}
+
+BufferChain PackBuffer::take_chain() {
+  return std::exchange(chain_, BufferChain());
 }
 
 std::vector<uint8_t> PackBuffer::finalize() {
-  std::vector<uint8_t> out;
-  out.reserve(total_);
-  for (const Segment& seg : segments_) {
-    const uint8_t* src =
-        seg.borrow != nullptr ? seg.borrow : staged_.data() + seg.offset;
-    out.insert(out.end(), src, src + seg.len);
-  }
-  PM2_CHECK(out.size() == total_);
-  staged_.clear();
-  segments_.clear();
-  total_ = 0;
+  std::vector<uint8_t> out = chain_.take_flat();
+  PM2_CHECK(chain_.empty());
   return out;
 }
 

@@ -1,17 +1,21 @@
 // Madeleine-style pack/unpack buffers (paper ref [2]).
 //
 // PM2's migration and RPC layers describe outgoing data as a sequence of
-// *pack* operations; the buffer gathers them (by copy for small fields, by
-// reference for bulk regions like slot payloads) and flattens into one wire
-// payload at finalization.  Unpacking mirrors the sequence.  The gather
-// design is what kept Madeleine's migration path cheap: headers are staged,
-// slot contents are appended with a single copy.
+// *pack* operations; the buffer gathers them into a scatter-gather
+// BufferChain — small fields are staged (copied once) into chunk storage,
+// bulk regions like slot payloads are *borrowed* as {ptr,len} segments.
+// The chain travels as-is down to the fabric, which gathers it straight to
+// the wire (writev); nothing is flattened unless a legacy consumer asks.
+// This is what kept Madeleine's migration path cheap: headers are staged,
+// slot contents go from their iso-addresses to the network with no
+// intermediate copy.
 //
 // Two packing modes, mirroring madeleine's send modes:
 //  * kCopy   ("send_safer")  — bytes are copied immediately; the source may
 //    change or vanish afterwards.
 //  * kBorrow ("send_cheaper") — only the (pointer,len) is recorded; the
-//    source must stay intact until finalize().  Used for slot images.
+//    source must stay intact until the chain is consumed (sent through a
+//    fabric, flattened, or sealed).  Used for slot images.
 #pragma once
 
 #include <cstddef>
@@ -26,10 +30,77 @@ namespace pm2::mad {
 
 enum class PackMode { kCopy, kBorrow };
 
+/// Ordered scatter-gather list of {ptr,len} byte segments.  Each segment is
+/// either *owned* (bytes live in internal chunk storage, stable addresses)
+/// or *borrowed* (points into caller memory).  Move-only; the segment view
+/// is iovec-shaped so transports can gather without flattening.
+class BufferChain {
+ public:
+  struct Segment {
+    const uint8_t* data;
+    size_t len;
+  };
+
+  BufferChain() = default;
+  explicit BufferChain(size_t reserve_hint) : reserve_hint_(reserve_hint) {}
+  BufferChain(BufferChain&&) noexcept = default;
+  BufferChain& operator=(BufferChain&&) noexcept = default;
+  BufferChain(const BufferChain&) = delete;
+  BufferChain& operator=(const BufferChain&) = delete;
+
+  /// Copy `len` bytes into owned storage now.
+  void append_copy(const void* data, size_t len);
+  /// Record {data,len}; the memory must outlive the chain's consumption.
+  void append_borrow(const void* data, size_t len);
+  /// Splice another chain onto the end (chunks change hands; no copies).
+  void append_chain(BufferChain&& other);
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Bytes that were memcpy'd into owned storage (append_copy / seal).
+  size_t copied_bytes() const { return copied_; }
+  /// Bytes still referenced in caller memory.
+  size_t borrowed_bytes() const { return borrowed_; }
+
+  /// Gather all segments into `dst` (must hold size() bytes).
+  void gather(uint8_t* dst) const;
+  /// Gather into a fresh flat vector; the chain is unchanged.
+  std::vector<uint8_t> flatten() const;
+  /// Destructive flatten.  A chain whose bytes already sit contiguously in
+  /// one owned chunk is *moved* out with no copy; anything else gathers.
+  /// Leaves the chain empty.
+  std::vector<uint8_t> take_flat();
+  /// Detach from caller memory: if any segment is borrowed, gather the
+  /// whole chain into a single owned chunk (so a later take_flat() is a
+  /// move).  Returns the number of bytes copied (0 if already owned).
+  size_t seal();
+
+  void clear();
+
+ private:
+  uint8_t* grow(size_t len);
+  bool single_owned_chunk() const {
+    return chunks_.size() == 1 && borrowed_ == 0 &&
+           chunks_[0].size() == total_;
+  }
+
+  static constexpr size_t kMinChunk = 1024;
+  // Chunks are reserved once and only ever filled within capacity, so
+  // pointers into them stay stable (segments reference them directly).
+  std::vector<std::vector<uint8_t>> chunks_;
+  std::vector<Segment> segments_;
+  size_t total_ = 0;
+  size_t copied_ = 0;
+  size_t borrowed_ = 0;
+  size_t reserve_hint_ = 0;
+};
+
 class PackBuffer {
  public:
   PackBuffer() = default;
-  explicit PackBuffer(size_t reserve_hint) { staged_.reserve(reserve_hint); }
+  explicit PackBuffer(size_t reserve_hint) : chain_(reserve_hint) {}
 
   /// Fixed-size trivially copyable value (always copied).
   template <typename T>
@@ -54,21 +125,18 @@ class PackBuffer {
   void pack_bytes(const void* data, size_t len, PackMode mode);
 
   /// Total payload size so far.
-  size_t size() const { return total_; }
+  size_t size() const { return chain_.size(); }
 
-  /// Flatten into a single contiguous payload.  Borrowed regions are copied
-  /// now; the buffer is left empty.
+  /// Move the staged chain out (borrowed regions stay borrowed — zero
+  /// copies).  The buffer is left empty, ready for reuse.
+  BufferChain take_chain();
+
+  /// Legacy: flatten into a single contiguous payload.  Borrowed regions
+  /// are copied now; the buffer is left empty.
   std::vector<uint8_t> finalize();
 
  private:
-  struct Segment {
-    const uint8_t* borrow = nullptr;  // non-null => borrowed region
-    size_t offset = 0;                // into staged_ when copied
-    size_t len = 0;
-  };
-  std::vector<uint8_t> staged_;  // copied bytes back-to-back
-  std::vector<Segment> segments_;
-  size_t total_ = 0;
+  BufferChain chain_;
 };
 
 /// Mirror of PackBuffer over a received payload.

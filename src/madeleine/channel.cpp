@@ -22,7 +22,7 @@ bool ChannelMux::owns(const fabric::Message& msg) const {
 void ChannelMux::feed(fabric::Message&& msg) {
   PM2_CHECK(owns(msg)) << "message type " << msg.type << " not a channel";
   auto idx = static_cast<size_t>(msg.type - type_base_);
-  channels_[idx]->deliver(msg.src, std::move(msg.payload));
+  channels_[idx]->deliver(msg.src, std::move(msg.flat()));
 }
 
 Channel* ChannelMux::find(const std::string& name) {
@@ -35,7 +35,9 @@ void Channel::send(fabric::NodeId node, PackBuffer&& buffer) {
   fabric::Message msg;
   msg.type = static_cast<uint16_t>(mux_.type_base_ + id_);
   msg.dst = node;
-  msg.payload = buffer.finalize();
+  // The packed chain goes to the fabric as-is: staged fields move, borrowed
+  // regions (PackMode::kBorrow) gather straight from the caller's memory.
+  msg.chain = buffer.take_chain();
   mux_.fabric_.send(std::move(msg));
 }
 

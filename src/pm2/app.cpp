@@ -42,8 +42,19 @@ int run_inproc(const AppConfig& config,
   // the same pages (see AreaConfig::skip_decommit).
   ac.skip_decommit = true;
   iso::Area area(ac);
-  auto hub = std::make_shared<fabric::InProcHub>(config.nodes);
-  hub->set_latency_ns(config.inproc_latency_ns);
+  std::shared_ptr<fabric::InProcHub> hub;
+  std::string sock_dir;
+  if (config.socket_fabric) {
+    char dir[128];
+    std::snprintf(dir, sizeof(dir), "/tmp/pm2-sf-%d-%u", ::getpid(),
+                  static_cast<unsigned>(::time(nullptr) & 0xffff));
+    PM2_CHECK(::mkdir(dir, 0700) == 0 || errno == EEXIST)
+        << "cannot create socket dir " << dir;
+    sock_dir = dir;
+  } else {
+    hub = std::make_shared<fabric::InProcHub>(config.nodes);
+    hub->set_latency_ns(config.inproc_latency_ns);
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(config.nodes);
@@ -52,11 +63,28 @@ int run_inproc(const AppConfig& config,
       RuntimeConfig rc = config.rt;
       rc.node = i;
       rc.n_nodes = config.nodes;
-      Runtime rt(rc, area, hub->endpoint(i));
+      std::unique_ptr<fabric::Fabric> fab;
+      if (config.socket_fabric) {
+        fabric::SocketFabricConfig fc;
+        fc.node_id = i;
+        fc.n_nodes = config.nodes;
+        fc.dir = sock_dir;
+        fab = fabric::make_socket_fabric(fc);  // blocks until the mesh is up
+      } else {
+        fab = hub->endpoint(i);
+      }
+      Runtime rt(rc, area, std::move(fab));
       node_session(rt, node_main, setup);
     });
   }
   for (auto& t : threads) t.join();
+  if (!sock_dir.empty()) {
+    for (uint32_t i = 0; i < config.nodes; ++i) {
+      std::string path = sock_dir + "/node" + std::to_string(i) + ".sock";
+      ::unlink(path.c_str());
+    }
+    ::rmdir(sock_dir.c_str());
+  }
   return 0;
 }
 

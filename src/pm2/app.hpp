@@ -24,6 +24,11 @@ namespace pm2 {
 struct AppConfig {
   uint32_t nodes = 2;
   bool multiprocess = false;
+  /// In-process logical nodes talking over the *socket* fabric (real UNIX
+  /// domain sockets) instead of the in-process hub: the full wire path —
+  /// writev gather, frame parsing, scatter reads — inside one observable
+  /// process.  Tests use it to assert the zero-copy send path end to end.
+  bool socket_fabric = false;
   bool use_tcp = false;          // multiprocess only: TCP instead of UDS
   uint16_t base_port = 0;        // 0 = derive from pid
   iso::AreaConfig area;

@@ -22,21 +22,26 @@ uint64_t binary_stamp() {
 
 namespace {
 
-std::vector<uint8_t> wrap_image(Runtime& rt, std::vector<uint8_t> payload) {
+/// Image = CheckpointHeader + migration payload.  The payload chain is
+/// gathered once, straight from the thread's slot memory into the image
+/// (no intermediate flat payload).
+std::vector<uint8_t> wrap_image(Runtime& rt, mad::BufferChain chain) {
   CheckpointHeader h;
   h.area_base = rt.area().base();
   h.area_size = rt.area().size();
   h.slot_size = rt.area().slot_size();
   h.binary_stamp = binary_stamp();
-  h.payload_len = payload.size();
-  ByteWriter w(sizeof(h) + payload.size());
-  w.put(h);
-  w.put_bytes(payload.data(), payload.size());
-  return w.take();
+  h.payload_len = chain.size();
+  std::vector<uint8_t> image(sizeof(h) + chain.size());
+  std::memcpy(image.data(), &h, sizeof(h));
+  chain.gather(image.data() + sizeof(h));
+  return image;
 }
 
-std::vector<uint8_t> unwrap_image(Runtime& rt,
-                                  const std::vector<uint8_t>& image) {
+/// Zero-copy view of the migration payload inside `image` (valid while the
+/// image lives).
+std::pair<const uint8_t*, size_t> unwrap_image(
+    Runtime& rt, const std::vector<uint8_t>& image) {
   ByteReader r(image);
   auto h = r.get<CheckpointHeader>();
   PM2_CHECK(h.magic == CheckpointHeader::kMagic) << "not a PM2 checkpoint";
@@ -47,9 +52,7 @@ std::vector<uint8_t> unwrap_image(Runtime& rt,
             h.slot_size == rt.area().slot_size())
       << "iso-area geometry mismatch";
   PM2_CHECK(h.payload_len == r.remaining()) << "truncated checkpoint";
-  std::vector<uint8_t> payload(h.payload_len);
-  r.get_bytes(payload.data(), payload.size());
-  return payload;
+  return {r.view_bytes(h.payload_len), h.payload_len};
 }
 
 }  // namespace
@@ -63,11 +66,12 @@ std::vector<uint8_t> checkpoint_thread(Runtime& rt, marcel::ThreadId id) {
   // Always pack whole-slot images: a restore may happen after the dead
   // stack/free payloads were recycled, and a self-contained image is worth
   // the bytes in a persistence format.
-  std::vector<uint8_t> payload = pack_thread(rt, t, /*blocks_only=*/false);
+  mad::BufferChain chain = pack_thread_chain(rt, t, /*blocks_only=*/false);
+  std::vector<uint8_t> image = wrap_image(rt, std::move(chain));
   // Thaw: put the thread back exactly as it was.
   rt.sched().forget(t);
   rt.sched().adopt(t);
-  return wrap_image(rt, std::move(payload));
+  return image;
 }
 
 bool checkpoint_self(Runtime& rt, std::vector<uint8_t>& out) {
@@ -81,8 +85,8 @@ bool checkpoint_self(Runtime& rt, std::vector<uint8_t>& out) {
   rt.sched().freeze_current_and([&rt, &out](marcel::Thread* frozen) {
     // Runs on the scheduler stack while the thread is quiescent.  Pack
     // first (the image captures `out` still untouched), then deliver.
-    std::vector<uint8_t> payload = pack_thread(rt, frozen, false);
-    out = wrap_image(rt, std::move(payload));
+    mad::BufferChain chain = pack_thread_chain(rt, frozen, false);
+    out = wrap_image(rt, std::move(chain));
     // Thaw: freeze_current_and left the thread registered, so re-enter it
     // through forget+adopt (adopt also resets node-local links).
     rt.sched().forget(frozen);
@@ -95,12 +99,12 @@ bool checkpoint_self(Runtime& rt, std::vector<uint8_t>& out) {
 
 marcel::ThreadId restore_thread(Runtime& rt,
                                 const std::vector<uint8_t>& image) {
-  std::vector<uint8_t> payload = unwrap_image(rt, image);
+  auto [payload, payload_len] = unwrap_image(rt, image);
 
   // The image's slot ranges must be re-claimed from this node before the
   // install may commit them (they were released when the original thread
   // died — or never claimed, after a process restart).
-  auto runs = payload_slot_runs(payload);
+  auto runs = payload_slot_runs(payload, payload_len);
   for (auto [first, count] : runs) {
     PM2_CHECK(rt.slots().acquire_at(first, count))
         << "restore: slot run [" << first << ", +" << count
@@ -109,7 +113,8 @@ marcel::ThreadId restore_thread(Runtime& rt,
     rt.mig_cache_invalidate(first, count);
   }
 
-  marcel::Thread* t = install_thread(rt, payload);
+  // Scatter straight from the image into the re-claimed slots.
+  marcel::Thread* t = install_thread(rt, payload, payload_len);
   t->flags |= marcel::Thread::kFlagRestored;
   return t->id;
 }

@@ -60,10 +60,38 @@ std::vector<Extent> full_extent(iso::SlotHeader* slot, size_t slot_size) {
   return {Extent{0, uint64_t{slot->nslots} * slot_size}};
 }
 
+/// Shared payload walker: the wire format parsed in exactly one place.
+/// `on_run` may return a scatter base (the committed run's first byte) to
+/// have extents copied in, or nullptr to skip the bytes (metadata scans).
+template <typename OnRun>
+void walk_payload(mad::UnpackBuffer& unpack, uint64_t* desc_addr,
+                  const OnRun& on_run) {
+  auto desc = unpack.unpack<uint64_t>();
+  if (desc_addr != nullptr) *desc_addr = desc;
+  unpack.unpack<uint8_t>();  // mode: self-describing via extents
+  auto n_runs = unpack.unpack<uint32_t>();
+  for (uint32_t i = 0; i < n_runs; ++i) {
+    auto first = unpack.unpack<uint64_t>();
+    auto nslots = unpack.unpack<uint32_t>();
+    unpack.unpack<uint32_t>();  // kind (informational)
+    char* base = on_run(static_cast<size_t>(first), nslots);
+    auto n_extents = unpack.unpack<uint32_t>();
+    for (uint32_t e = 0; e < n_extents; ++e) {
+      auto offset = unpack.unpack<uint64_t>();
+      auto len = unpack.unpack<uint64_t>();
+      if (base != nullptr) {
+        unpack.unpack_bytes(base + offset, len);
+      } else {
+        unpack.skip(len);
+      }
+    }
+  }
+}
+
 }  // namespace
 
-std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
-                                 bool blocks_only) {
+mad::BufferChain pack_thread_chain(Runtime& rt, marcel::Thread* t,
+                                   bool blocks_only) {
   PM2_CHECK(t->slot_list != nullptr) << "thread without slots";
   const size_t slot_size = rt.area().slot_size();
 
@@ -89,24 +117,31 @@ std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
     for (const Extent& e : extents) {
       pack.pack<uint64_t>(e.offset);
       pack.pack<uint64_t>(e.len);
-      // Borrow: the slot memory stays mapped until finalize() below.
+      // Borrow: the extent segment points straight into iso-address slot
+      // memory; the fabric gathers it from there to the wire.  The slots
+      // stay committed until ship_thread's send() returns.
       pack.pack_bytes(base + e.offset, e.len, mad::PackMode::kBorrow);
     }
   });
-  return pack.finalize();
+  return pack.take_chain();
+}
+
+std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
+                                 bool blocks_only) {
+  return pack_thread_chain(rt, t, blocks_only).take_flat();
 }
 
 size_t migration_payload_size(Runtime& rt, marcel::Thread* t,
                               bool blocks_only) {
-  return pack_thread(rt, t, blocks_only).size();
+  return pack_thread_chain(rt, t, blocks_only).size();
 }
 
 void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
   PM2_CHECK(dest != rt.self());
   PM2_TRACE << "shipping thread " << t->id << " to node " << dest;
 
-  std::vector<uint8_t> payload =
-      pack_thread(rt, t, rt.config().migrate_blocks_only);
+  mad::BufferChain chain =
+      pack_thread_chain(rt, t, rt.config().migrate_blocks_only);
 
   // Record the runs before the descriptor becomes unreachable.
   std::vector<std::pair<size_t, size_t>> runs;
@@ -115,6 +150,16 @@ void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
   });
 
   rt.sched().forget(t);
+
+  // Gather straight from the (still committed) slots to the wire.  By the
+  // time send() returns the borrowed extents have been written out (socket
+  // fabric) or taken over (in-process hub), so the pages may go away.
+  fabric::Message msg;
+  msg.type = kMigrate;
+  msg.dst = dest;
+  msg.chain = std::move(chain);
+  rt.fabric().send(std::move(msg));
+
   // "The memory area storing the resources is set free" (§2 step 1).  The
   // slots stay owned by the thread — no bitmap traffic — so the same
   // addresses are guaranteed free on every node, including this one if the
@@ -122,63 +167,42 @@ void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
   // (bounded) so a returning thread skips the commit/page-fault cycle —
   // the paper's §6 slot-cache idea on the migration path.
   for (auto [first, count] : runs) rt.mig_cache_put(first, count);
-
-  fabric::Message msg;
-  msg.type = kMigrate;
-  msg.dst = dest;
-  msg.payload = std::move(payload);
-  rt.fabric().send(std::move(msg));
   rt.trace_event(trace::Event::kMigrationOut, 0, dest);
 }
 
 std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
-    const std::vector<uint8_t>& payload) {
-  mad::UnpackBuffer unpack(payload);
-  unpack.unpack<uint64_t>();  // descriptor address
-  unpack.unpack<uint8_t>();   // mode
-  auto n_runs = unpack.unpack<uint32_t>();
+    const uint8_t* payload, size_t len) {
+  mad::UnpackBuffer unpack(payload, len);
   std::vector<std::pair<size_t, uint32_t>> runs;
-  runs.reserve(n_runs);
-  for (uint32_t i = 0; i < n_runs; ++i) {
-    auto first = unpack.unpack<uint64_t>();
-    auto nslots = unpack.unpack<uint32_t>();
-    unpack.unpack<uint32_t>();  // kind
+  walk_payload(unpack, nullptr, [&](size_t first, uint32_t nslots) -> char* {
     runs.emplace_back(first, nslots);
-    auto n_extents = unpack.unpack<uint32_t>();
-    for (uint32_t e = 0; e < n_extents; ++e) {
-      unpack.unpack<uint64_t>();  // offset
-      auto len = unpack.unpack<uint64_t>();
-      unpack.skip(len);  // extent body
-    }
-  }
+    return nullptr;
+  });
   return runs;
 }
 
-marcel::Thread* install_thread(Runtime& rt,
-                               const std::vector<uint8_t>& payload) {
-  mad::UnpackBuffer unpack(payload);
-  auto desc_addr = unpack.unpack<uint64_t>();
-  unpack.unpack<uint8_t>();  // mode: self-describing via extents
-  auto n_runs = unpack.unpack<uint32_t>();
+std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
+    const std::vector<uint8_t>& payload) {
+  return payload_slot_runs(payload.data(), payload.size());
+}
 
-  for (uint32_t i = 0; i < n_runs; ++i) {
-    auto first = unpack.unpack<uint64_t>();
-    auto nslots = unpack.unpack<uint32_t>();
-    unpack.unpack<uint32_t>();  // kind (informational)
+marcel::Thread* install_thread(Runtime& rt, const uint8_t* payload,
+                               size_t len) {
+  mad::UnpackBuffer unpack(payload, len);
+  uint64_t desc_addr = 0;
+  walk_payload(unpack, &desc_addr,
+               [&](size_t first, uint32_t nslots) -> char* {
     // Iso-address guarantee: these slot indices are free here (they are
     // owned by the migrating thread system-wide).  If the run sits in the
     // migration slot cache (the thread bounced through this node before),
     // the pages are already committed; stale bytes in the extent gaps are
     // dead data by construction (below-sp stack, free-block payloads).
     if (!rt.mig_cache_take(first, nslots)) rt.area().commit(first, nslots);
-    auto base = reinterpret_cast<char*>(rt.area().slot_addr(first));
-    auto n_extents = unpack.unpack<uint32_t>();
-    for (uint32_t e = 0; e < n_extents; ++e) {
-      auto offset = unpack.unpack<uint64_t>();
-      auto len = unpack.unpack<uint64_t>();
-      unpack.unpack_bytes(base + offset, len);
-    }
-  }
+    // The walker scatters each extent straight into the freshly committed
+    // slots — the receive buffer is the only staging between wire and
+    // iso-address memory.
+    return reinterpret_cast<char*>(rt.area().slot_addr(first));
+  });
   PM2_CHECK(unpack.exhausted()) << "trailing bytes in migration payload";
 
   auto* t = reinterpret_cast<marcel::Thread*>(desc_addr);
@@ -188,6 +212,11 @@ marcel::Thread* install_thread(Runtime& rt,
   rt.sched().adopt(t);
   PM2_TRACE << "installed thread " << t->id;
   return t;
+}
+
+marcel::Thread* install_thread(Runtime& rt,
+                               const std::vector<uint8_t>& payload) {
+  return install_thread(rt, payload.data(), payload.size());
 }
 
 }  // namespace pm2

@@ -4,14 +4,18 @@
 // slot holds the descriptor and the execution stack with the saved register
 // frame; further slots hold its pm2_isomalloc heap.  Migration is:
 //
-//   pack    — serialize every slot run (whole image, or just the live
+//   pack    — describe every slot run (whole image, or just the live
 //             extents: slot/block headers, busy payloads, descriptor and
-//             live stack — the paper's §6 optimization);
-//   release — forget the thread locally and decommit its slots (the slots
+//             live stack — the paper's §6 optimization) as a BufferChain
+//             whose extent segments *borrow* the slot memory in place;
+//   release — forget the thread locally;
+//   send    — one kMigrate message; the fabric gathers the borrowed
+//             extents straight from slot memory to the wire (writev on the
+//             socket fabric: zero intermediate flatten copies);
+//   decommit— only after send() returns are the slots decommitted (they
 //             remain *thread-owned*: no bitmap changes anywhere, §4.2);
-//   send    — one kMigrate message;
 //   install — commit the same slot indices (guaranteed free: iso-address
-//             discipline), copy the extents back, adopt the thread.
+//             discipline), scatter the extents straight into them, adopt.
 //
 // No pointer fix-ups of any kind happen anywhere in this file: that absence
 // is the paper's contribution.
@@ -20,30 +24,41 @@
 #include <cstdint>
 #include <vector>
 
+#include "madeleine/buffers.hpp"
 #include "marcel/thread.hpp"
 
 namespace pm2 {
 
 class Runtime;
 
-/// Serialize a frozen thread into a migration payload (pack step only; the
-/// thread keeps living locally).  Exposed separately for tests and benches.
+/// Serialize a frozen thread into a migration chain: staged metadata plus
+/// extent segments borrowing the thread's slot memory in place.  The chain
+/// must be consumed (sent / flattened) while the slots are still committed.
+mad::BufferChain pack_thread_chain(Runtime& rt, marcel::Thread* t,
+                                   bool blocks_only);
+
+/// Legacy flat form of pack_thread_chain (checkpointing, tests).
 std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
                                  bool blocks_only);
 
-/// Pack + forget + decommit + send to `dest`.  `t` must be frozen (or be
+/// Pack + forget + send to `dest` + decommit.  `t` must be frozen (or be
 /// the post-switch continuation target of freeze_current_and).
 void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest);
 
-/// Commit + copy + adopt a thread from a migration payload.  Returns the
-/// (iso-address) descriptor.
+/// Commit + scatter + adopt a thread from a migration payload.  Returns
+/// the (iso-address) descriptor.
+marcel::Thread* install_thread(Runtime& rt, const uint8_t* payload,
+                               size_t len);
 marcel::Thread* install_thread(Runtime& rt, const std::vector<uint8_t>& payload);
 
 /// Payload size a migration of `t` would ship (for the A4 ablation bench).
+/// Costs only the pack walk — nothing is flattened or copied.
 size_t migration_payload_size(Runtime& rt, marcel::Thread* t, bool blocks_only);
 
 /// Slot runs (first, nslots) recorded in a migration payload, without
 /// installing it (checkpoint restore claims them before committing).
+std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
+    const uint8_t* payload, size_t len);
 std::vector<std::pair<size_t, uint32_t>> payload_slot_runs(
     const std::vector<uint8_t>& payload);
 

@@ -103,7 +103,7 @@ void Runtime::handle_gather_req(fabric::Message& msg) {
 
 void Runtime::handle_nego_update(fabric::Message& msg) {
   PM2_DEBUG << "nego update from " << msg.src << " freeze=" << bitmap_freeze_;
-  ByteReader r(msg.payload);
+  ByteReader r(msg.flat());
   auto words = r.get_vector<uint64_t>();
   slot_mgr_.set_bitmap(Bitmap::from_words(area_.n_slots(), std::move(words)));
   PM2_CHECK(bitmap_freeze_ > 0) << "negotiation update without gather";

@@ -314,6 +314,7 @@ struct Runtime::RpcInvocation {
   uint32_t src;
   uint64_t corr;
   std::vector<uint8_t> args;
+  size_t args_offset;
 };
 
 void Runtime::rpc_trampoline(void* p) {
@@ -322,7 +323,8 @@ void Runtime::rpc_trampoline(void* p) {
   PM2_CHECK(inv->service < rt->services_.size())
       << "rpc to unregistered service " << inv->service;
   {
-    RpcContext ctx(*rt, inv->src, inv->corr, std::move(inv->args));
+    RpcContext ctx(*rt, inv->src, inv->corr, std::move(inv->args),
+                   inv->args_offset);
     rt->services_[inv->service].second(ctx);
   }
   delete inv;
@@ -330,11 +332,24 @@ void Runtime::rpc_trampoline(void* p) {
   Runtime::current()->thread_exit();
 }
 
+namespace {
+/// kRpc wire payload: a staged service id spliced ahead of the caller's
+/// argument chain — borrowed pack regions go to the wire from the caller's
+/// memory, never flattened here.
+mad::BufferChain rpc_chain(uint32_t service, mad::PackBuffer&& args) {
+  mad::PackBuffer head;
+  head.pack<uint32_t>(service);
+  mad::BufferChain chain = head.take_chain();
+  chain.append_chain(args.take_chain());
+  return chain;
+}
+}  // namespace
+
 void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   PM2_CHECK(node < config_.n_nodes);
   PM2_CHECK(service < services_.size()) << "unregistered service";
   if (node == config_.node) {
-    auto* inv = new RpcInvocation{service, config_.node, 0, args.finalize()};
+    auto* inv = new RpcInvocation{service, config_.node, 0, args.finalize(), 0};
     create_thread_in_slots(&Runtime::rpc_trampoline, inv,
                            services_[service].first.c_str(), 0);
     return;
@@ -342,11 +357,7 @@ void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   fabric::Message msg;
   msg.type = kRpc;
   msg.dst = node;
-  ByteWriter w;
-  w.put<uint32_t>(service);
-  auto payload = args.finalize();
-  w.put_bytes(payload.data(), payload.size());
-  msg.payload = w.take();
+  msg.chain = rpc_chain(service, std::move(args));
   fabric_->send(std::move(msg));
 }
 
@@ -358,7 +369,8 @@ std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
   pending_calls_[corr] = &pc;
 
   if (node == config_.node) {
-    auto* inv = new RpcInvocation{service, config_.node, corr, args.finalize()};
+    auto* inv =
+        new RpcInvocation{service, config_.node, corr, args.finalize(), 0};
     create_thread_in_slots(&Runtime::rpc_trampoline, inv,
                            services_[service].first.c_str(), 0);
   } else {
@@ -366,11 +378,7 @@ std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
     msg.type = kRpc;
     msg.dst = node;
     msg.corr = corr;
-    ByteWriter w;
-    w.put<uint32_t>(service);
-    auto payload = args.finalize();
-    w.put_bytes(payload.data(), payload.size());
-    msg.payload = w.take();
+    msg.chain = rpc_chain(service, std::move(args));
     fabric_->send(std::move(msg));
   }
   pc.event.wait();
@@ -382,11 +390,10 @@ void RpcContext::reply(mad::PackBuffer&& result) {
   PM2_CHECK(corr_ != 0) << "reply() but the caller used rpc(), not call()";
   PM2_CHECK(!replied_) << "double reply";
   replied_ = true;
-  auto payload = result.finalize();
   if (src_ == rt_.self()) {
     auto it = rt_.pending_calls_.find(corr_);
     PM2_CHECK(it != rt_.pending_calls_.end()) << "reply with no caller";
-    it->second->result = std::move(payload);
+    it->second->result = result.finalize();
     it->second->event.set();
     return;
   }
@@ -394,7 +401,7 @@ void RpcContext::reply(mad::PackBuffer&& result) {
   msg.type = kReply;
   msg.dst = src_;
   msg.corr = corr_;
-  msg.payload = std::move(payload);
+  msg.chain = result.take_chain();
   rt_.fabric_->send(std::move(msg));
 }
 
@@ -567,7 +574,7 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kReply: {
       auto it = pending_calls_.find(msg.corr);
       PM2_CHECK(it != pending_calls_.end()) << "reply with no pending call";
-      it->second->result = std::move(msg.payload);
+      it->second->result = std::move(msg.flat());
       it->second->event.set();
       break;
     }
@@ -593,14 +600,14 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kAuditResp: {
       auto it = pending_calls_.find(msg.corr);
       PM2_CHECK(it != pending_calls_.end()) << "audit resp with no waiter";
-      it->second->result = std::move(msg.payload);
+      it->second->result = std::move(msg.flat());
       it->second->event.set();
       break;
     }
     case kGatherResp: {
       auto it = pending_calls_.find(msg.corr);
       PM2_CHECK(it != pending_calls_.end()) << "gather resp with no waiter";
-      it->second->result = std::move(msg.payload);
+      it->second->result = std::move(msg.flat());
       it->second->event.set();
       break;
     }
@@ -608,7 +615,7 @@ void Runtime::handle_message(fabric::Message& msg) {
       handle_nego_update(msg);
       break;
     case kLoadInfo: {
-      ByteReader r(msg.payload);
+      ByteReader r(msg.flat());
       auto node = r.get<uint32_t>();
       auto ld = r.get<uint64_t>();
       PM2_CHECK(node < config_.n_nodes);
@@ -625,12 +632,15 @@ void Runtime::handle_message(fabric::Message& msg) {
 }
 
 void Runtime::handle_rpc(fabric::Message& msg) {
-  ByteReader r(msg.payload);
+  std::vector<uint8_t>& payload = msg.flat();
+  ByteReader r(payload);
   auto service = r.get<uint32_t>();
   trace_event(trace::Event::kRpcIn, service, msg.src);
-  std::vector<uint8_t> args(msg.payload.begin() + r.position(),
-                            msg.payload.end());
-  auto* inv = new RpcInvocation{service, msg.src, msg.corr, std::move(args)};
+  // The whole payload moves into the invocation; the service-id framing is
+  // skipped by offset instead of trimmed by copy.
+  size_t offset = r.position();
+  auto* inv =
+      new RpcInvocation{service, msg.src, msg.corr, std::move(payload), offset};
   PM2_CHECK(service < services_.size())
       << "rpc to unregistered service " << service;
   create_thread_in_slots(&Runtime::rpc_trampoline, inv,
@@ -638,7 +648,8 @@ void Runtime::handle_rpc(fabric::Message& msg) {
 }
 
 void Runtime::handle_migrate(fabric::Message& msg) {
-  marcel::Thread* t = install_thread(*this, msg.payload);
+  // Scatter straight from the received frame into freshly committed slots.
+  marcel::Thread* t = install_thread(*this, msg.flat());
   ++migrations_in_;
   trace_event(trace::Event::kMigrationIn, t->id, msg.src);
 }

@@ -47,10 +47,13 @@ AuditReport audit_session(Runtime& rt);
 /// Context handed to an RPC service running in its own fresh thread.
 class RpcContext {
  public:
+  /// `args_offset` skips transport framing at the front of `args` (the
+  /// service id of a remote invocation), letting the whole received
+  /// payload move in without a trim copy.
   RpcContext(Runtime& rt, uint32_t src, uint64_t corr,
-             std::vector<uint8_t> args)
+             std::vector<uint8_t> args, size_t args_offset = 0)
       : rt_(rt), src_(src), corr_(corr), args_(std::move(args)),
-        unpacker_(args_.data(), args_.size()) {}
+        unpacker_(args_.data() + args_offset, args_.size() - args_offset) {}
 
   uint32_t source_node() const { return src_; }
   mad::UnpackBuffer& args() { return unpacker_; }

@@ -1,9 +1,10 @@
-// Madeleine pack/unpack buffer tests.
+// Madeleine pack/unpack buffer and BufferChain tests.
 #include "madeleine/buffers.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 
 namespace pm2::mad {
 namespace {
@@ -106,6 +107,148 @@ TEST(PackBuffer, EmptyRegion) {
   unpack.unpack_region_view(&len);
   EXPECT_EQ(len, 0u);
   EXPECT_TRUE(unpack.exhausted());
+}
+
+// --- BufferChain -------------------------------------------------------------
+
+TEST(BufferChain, SegmentsGatherInOrder) {
+  BufferChain chain;
+  char ext[8] = "borrow!";
+  chain.append_copy("abc", 3);
+  chain.append_borrow(ext, 7);
+  chain.append_copy("xyz", 3);
+  EXPECT_EQ(chain.size(), 13u);
+  EXPECT_EQ(chain.copied_bytes(), 6u);
+  EXPECT_EQ(chain.borrowed_bytes(), 7u);
+
+  auto flat = chain.flatten();
+  EXPECT_EQ(std::string(flat.begin(), flat.end()), "abcborrow!xyz");
+}
+
+TEST(BufferChain, AdjacentCopiesMergeIntoOneSegment) {
+  BufferChain chain;
+  chain.append_copy("ab", 2);
+  chain.append_copy("cd", 2);
+  EXPECT_EQ(chain.segments().size(), 1u);
+  EXPECT_EQ(chain.segments()[0].len, 4u);
+}
+
+TEST(BufferChain, SealDetachesBorrowedMemory) {
+  char src[16] = "volatile bytes!";
+  BufferChain chain;
+  chain.append_copy("hdr:", 4);
+  chain.append_borrow(src, 15);
+  size_t copied = chain.seal();
+  EXPECT_EQ(copied, chain.size());  // seal gathers into one owned chunk
+  EXPECT_EQ(chain.borrowed_bytes(), 0u);
+  std::memset(src, 'X', sizeof(src));  // sealed: source may now die
+  auto flat = chain.take_flat();
+  EXPECT_EQ(std::string(flat.begin(), flat.end()), "hdr:volatile bytes!");
+  EXPECT_EQ(chain.seal(), 0u);  // owned-only chains seal for free
+}
+
+TEST(BufferChain, TakeFlatMovesSingleOwnedChunk) {
+  BufferChain chain;
+  std::vector<uint8_t> big(100000, 0x5A);
+  chain.append_copy(big.data(), big.size());
+  const uint8_t* before = chain.segments()[0].data;
+  auto flat = chain.take_flat();
+  // Single owned chunk: the storage moved, no gather copy happened.
+  EXPECT_EQ(flat.data(), before);
+  EXPECT_EQ(flat.size(), 100000u);
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(BufferChain, AppendChainSplicesWithoutCopying) {
+  char ext[6] = "tail!";
+  BufferChain a, b;
+  a.append_copy("head:", 5);
+  b.append_borrow(ext, 5);
+  const uint8_t* borrowed_ptr = b.segments()[0].data;
+  a.append_chain(std::move(b));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a.borrowed_bytes(), 5u);
+  // The spliced borrow still points at the caller's memory.
+  EXPECT_EQ(a.segments().back().data, borrowed_ptr);
+  auto flat = a.flatten();
+  EXPECT_EQ(std::string(flat.begin(), flat.end()), "head:tail!");
+}
+
+// Property test: across randomized pack sequences, the chain's
+// gather-serialization is byte-identical to the flat finalize() of an
+// identically packed buffer, and the segment walk covers exactly size()
+// bytes.  This is the invariant the whole zero-copy pipeline rests on.
+TEST(BufferChain, GatherMatchesFlatFinalizeOnRandomSequences) {
+  std::mt19937_64 rng(0xC0FFEE);
+  // Stable pool for borrowed regions (must outlive the chains).
+  std::vector<std::vector<uint8_t>> pool;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint8_t> v(1 + rng() % 5000);
+    for (auto& byte : v) byte = static_cast<uint8_t>(rng());
+    pool.push_back(std::move(v));
+  }
+
+  for (int round = 0; round < 100; ++round) {
+    PackBuffer flat_pack;
+    PackBuffer chain_pack;
+    auto both = [&](auto&& op) {
+      op(flat_pack);
+      op(chain_pack);
+    };
+    int ops = 1 + static_cast<int>(rng() % 24);
+    for (int i = 0; i < ops; ++i) {
+      switch (rng() % 5) {
+        case 0:
+          both([&, v = rng()](PackBuffer& p) { p.pack<uint64_t>(v); });
+          break;
+        case 1:
+          both([&, v = static_cast<uint32_t>(rng())](PackBuffer& p) {
+            p.pack<uint32_t>(v);
+          });
+          break;
+        case 2: {
+          const auto& r = pool[rng() % pool.size()];
+          both([&](PackBuffer& p) {
+            p.pack_region(r.data(), r.size(), PackMode::kCopy);
+          });
+          break;
+        }
+        case 3: {
+          const auto& r = pool[rng() % pool.size()];
+          both([&](PackBuffer& p) {
+            p.pack_region(r.data(), r.size(), PackMode::kBorrow);
+          });
+          break;
+        }
+        case 4:
+          both([&, s = std::string(rng() % 40, 'q')](PackBuffer& p) {
+            p.pack_string(s);
+          });
+          break;
+      }
+    }
+    ASSERT_EQ(flat_pack.size(), chain_pack.size());
+
+    std::vector<uint8_t> flat = flat_pack.finalize();
+    BufferChain chain = chain_pack.take_chain();
+    ASSERT_EQ(chain.size(), flat.size());
+    ASSERT_EQ(chain.copied_bytes() + chain.borrowed_bytes(), chain.size());
+
+    // Segment walk covers the payload exactly and in order.
+    size_t seg_total = 0;
+    std::vector<uint8_t> gathered;
+    gathered.reserve(chain.size());
+    for (const auto& seg : chain.segments()) {
+      seg_total += seg.len;
+      gathered.insert(gathered.end(), seg.data, seg.data + seg.len);
+    }
+    ASSERT_EQ(seg_total, chain.size());
+    ASSERT_EQ(gathered, flat) << "round " << round;
+    // And the built-in gather agrees.
+    ASSERT_EQ(chain.flatten(), flat);
+    ASSERT_EQ(chain.take_flat(), flat);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <thread>
 
 #include "fabric/inproc.hpp"
@@ -135,6 +137,119 @@ TEST(InProc, SelfSend) {
   auto got = a->try_recv();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->type, 3);
+}
+
+TEST(MessageCodec, ChainedEncodeMatchesFlatEncode) {
+  std::vector<uint8_t> bulk(4096);
+  for (size_t i = 0; i < bulk.size(); ++i) bulk[i] = static_cast<uint8_t>(i);
+
+  Message chained;
+  chained.type = 9;
+  chained.dst = 1;
+  chained.corr = 42;
+  chained.chain.append_copy("meta", 4);
+  chained.chain.append_borrow(bulk.data(), bulk.size());
+  chained.chain.append_copy("tail", 4);
+
+  Message flat;
+  flat.type = 9;
+  flat.dst = 1;
+  flat.corr = 42;
+  flat.payload.insert(flat.payload.end(), {'m', 'e', 't', 'a'});
+  flat.payload.insert(flat.payload.end(), bulk.begin(), bulk.end());
+  flat.payload.insert(flat.payload.end(), {'t', 'a', 'i', 'l'});
+
+  EXPECT_EQ(chained.wire_size(), flat.wire_size());
+  std::vector<uint8_t> wire_chained, wire_flat;
+  encode(chained, wire_chained);
+  encode(flat, wire_flat);
+  EXPECT_EQ(wire_chained, wire_flat);
+}
+
+// Chained messages must survive framing even when the stream arrives in
+// arbitrary fragments (partial headers, split payloads) — the situation the
+// socket fabric's scatter-read path deals with.
+TEST(MessageCodec, ChainedRoundTripOverSplitReads) {
+  std::mt19937_64 rng(1234);
+  std::vector<uint8_t> bulk(100000);
+  for (auto& b : bulk) b = static_cast<uint8_t>(rng());
+
+  for (int round = 0; round < 20; ++round) {
+    // A run of chained messages of varying shapes, encoded back to back.
+    std::vector<uint8_t> stream;
+    std::vector<std::vector<uint8_t>> expected;
+    for (uint16_t i = 0; i < 8; ++i) {
+      Message m;
+      m.type = static_cast<uint16_t>(100 + i);
+      m.dst = 1;
+      size_t off = rng() % (bulk.size() / 2);
+      size_t len = rng() % (bulk.size() - off);
+      m.chain.append_copy(&i, sizeof(i));
+      m.chain.append_borrow(bulk.data() + off, len);
+      expected.push_back(m.chain.flatten());
+      encode(m, stream);
+    }
+
+    // Feed the stream in random-sized slices.
+    std::vector<uint8_t> rx;
+    size_t fed = 0;
+    size_t decoded = 0;
+    while (decoded < expected.size()) {
+      ASSERT_TRUE(fed < stream.size() || !rx.empty());
+      size_t n = std::min<size_t>(1 + rng() % 40000, stream.size() - fed);
+      rx.insert(rx.end(), stream.begin() + fed, stream.begin() + fed + n);
+      fed += n;
+      while (auto msg = try_decode(rx)) {
+        ASSERT_LT(decoded, expected.size());
+        EXPECT_EQ(msg->type, 100 + decoded);
+        EXPECT_EQ(msg->payload, expected[decoded]);
+        ++decoded;
+      }
+    }
+    EXPECT_EQ(fed, stream.size());
+    EXPECT_TRUE(rx.empty());
+  }
+}
+
+TEST(InProc, ChainedSendSealsBorrowedMemory) {
+  auto hub = std::make_shared<InProcHub>(2);
+  auto a = hub->endpoint(0);
+  auto b = hub->endpoint(1);
+
+  std::vector<uint8_t> bulk(5000, 0xAB);
+  Message m;
+  m.type = 1;
+  m.dst = 1;
+  m.chain.append_copy("hdr", 3);
+  m.chain.append_borrow(bulk.data(), bulk.size());
+  size_t total = m.chain.size();
+  a->send(std::move(m));
+  // The hub took ownership: mutating the source must not affect delivery.
+  std::fill(bulk.begin(), bulk.end(), uint8_t{0});
+  // Only the transport's unavoidable ownership copy was paid.
+  EXPECT_EQ(a->payload_copy_bytes(), total);
+
+  auto got = b->recv(1000);
+  ASSERT_TRUE(got.has_value());
+  auto& flat = got->flat();
+  EXPECT_EQ(flat.size(), total);
+  EXPECT_EQ(std::memcmp(flat.data(), "hdr", 3), 0);
+  EXPECT_TRUE(std::all_of(flat.begin() + 3, flat.end(),
+                          [](uint8_t v) { return v == 0xAB; }));
+}
+
+TEST(InProc, OwnedChainMovesWithZeroCopies) {
+  auto hub = std::make_shared<InProcHub>(1);
+  auto a = hub->endpoint(0);
+  Message m;
+  m.dst = 0;
+  m.chain.append_copy("fully owned payload", 19);
+  a->send(std::move(m));
+  // No borrowed segments: nothing to seal, nothing copied in transit.
+  EXPECT_EQ(a->payload_copy_bytes(), 0u);
+  auto got = a->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flat().size(), 19u);
 }
 
 TEST(InProc, CountsBytes) {

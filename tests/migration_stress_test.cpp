@@ -10,6 +10,7 @@
 #include "isomalloc/heap.hpp"
 #include "pm2/api.hpp"
 #include "pm2/app.hpp"
+#include "pm2/migration.hpp"
 #include "pm2/runtime.hpp"
 
 namespace pm2 {
@@ -132,6 +133,90 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3u, 6, 44ull),
                       std::make_tuple(4u, 8, 55ull),
                       std::make_tuple(4u, 8, 56ull)));
+
+// The same randomized stress, but across the *socket* fabric (in-process
+// logical nodes over real UNIX sockets), with the zero-copy acceptance
+// assertion: ship_thread's payload segments go slot memory -> writev with
+// no intermediate flatten, so every node's send-path payload copy counter
+// must stay exactly 0 for the whole churn.
+TEST(MigrationZeroCopy, SocketShipPerformsNoFlattenCopies) {
+  g_ok = true;
+  g_hops = 0;
+  static std::atomic<uint64_t> copy_bytes{0};
+  static std::atomic<uint64_t> wire_bytes{0};
+  copy_bytes = 0;
+  wire_bytes = 0;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.socket_fabric = true;
+  run_app(cfg, [](Runtime& rt) {
+    if (rt.self() == 0) {
+      for (int w = 0; w < 4; ++w) {
+        pm2_thread_create(
+            &stress_worker,
+            reinterpret_cast<void*>(static_cast<uintptr_t>(99 + w * 7919)),
+            "stress");
+      }
+      pm2_wait_signals(4);
+    }
+    rt.barrier();
+    copy_bytes += rt.fabric().payload_copy_bytes();
+    wire_bytes += rt.fabric().bytes_sent();
+  });
+  EXPECT_TRUE(g_ok.load());
+  EXPECT_GT(g_hops.load(), 0u);
+  EXPECT_GT(wire_bytes.load(), 0u);
+  EXPECT_EQ(copy_bytes.load(), 0u)
+      << "migration payloads were flattened on the socket send path";
+}
+
+// The pack side of the zero-copy contract: a migration chain stages only
+// the per-run metadata and *borrows* every extent straight from iso-address
+// slot memory.
+std::atomic<bool> g_pack_stop{false};
+
+void pack_probe_worker(void* arg) {
+  auto* heap_bytes = static_cast<uint8_t*>(pm2_isomalloc(200 * 1024));
+  std::memset(heap_bytes, 0x7E, 200 * 1024);
+  *static_cast<void**>(arg) = heap_bytes;
+  while (!g_pack_stop.load()) pm2_yield();
+  pm2_isofree(heap_bytes);
+  pm2_signal(0);
+}
+
+TEST(MigrationZeroCopy, PackChainBorrowsSlotMemory) {
+  g_pack_stop = false;
+  static void* probe_data = nullptr;
+  probe_data = nullptr;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [](Runtime& rt) {
+    marcel::ThreadId id =
+        pm2_thread_create(&pack_probe_worker, &probe_data, "probe");
+    while (probe_data == nullptr) pm2_yield();
+
+    marcel::Thread* t = rt.sched().find(id);
+    ASSERT_NE(t, nullptr);
+    ASSERT_TRUE(rt.sched().freeze(t));
+
+    for (bool blocks_only : {true, false}) {
+      mad::BufferChain chain = pack_thread_chain(rt, t, blocks_only);
+      EXPECT_EQ(chain.size(), migration_payload_size(rt, t, blocks_only));
+      // The 200 KB of thread heap (plus stack/slot images) is carried by
+      // borrowed segments pointing into the slots; staged copies are only
+      // the run/extent metadata.
+      EXPECT_GE(chain.borrowed_bytes(), 200u * 1024);
+      EXPECT_LT(chain.copied_bytes(), 4096u);
+      // Byte-identical to the legacy flat pack.
+      EXPECT_EQ(chain.take_flat(), pack_thread(rt, t, blocks_only));
+    }
+
+    rt.sched().unfreeze(t);
+    g_pack_stop = true;
+    pm2_wait_signals(1);
+    rt.join(id);
+  });
+}
 
 // Slot conservation across a whole stressed session: after everything
 // drains, every slot is owned by exactly one node again.

@@ -8,6 +8,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <thread>
 
 namespace pm2::fabric {
@@ -138,6 +139,43 @@ TEST(SocketFabric, ManySmallMessagesInOrder) {
     while (!got) got = f1->recv(100);
     EXPECT_EQ(got->type, i);
   }
+}
+
+TEST(SocketFabric, ChainedSendGathersWithZeroCopies) {
+  std::string dir = fresh_dir();
+  std::unique_ptr<Fabric> f0, f1;
+  std::thread t1([&] { f1 = make_socket_fabric(config_for(1, 2, dir)); });
+  f0 = make_socket_fabric(config_for(0, 2, dir));
+  t1.join();
+
+  // A many-segment chain of borrowed extents (the migration payload shape),
+  // big enough to exercise partial sendmsg and the direct scatter-read path.
+  std::vector<uint8_t> slab(3 * 1024 * 1024);
+  for (size_t i = 0; i < slab.size(); ++i)
+    slab[i] = static_cast<uint8_t>(i * 2654435761u >> 16);
+
+  Message m;
+  m.type = 5;
+  m.dst = 1;
+  m.chain.append_copy("extent-table", 12);
+  size_t off = 0;
+  while (off < slab.size()) {
+    size_t len = std::min<size_t>(37 * 1024 + off % 4096, slab.size() - off);
+    m.chain.append_borrow(slab.data() + off, len);
+    off += len;
+  }
+  std::vector<uint8_t> expect = m.chain.flatten();
+
+  std::thread sender([&] { f0->send(std::move(m)); });
+  std::optional<Message> got;
+  while (!got) got = f1->recv(100);
+  sender.join();
+
+  EXPECT_EQ(got->flat(), expect);
+  // The tentpole claim: payload segments went borrowed memory -> writev
+  // with no intermediate flatten on the send path.
+  EXPECT_EQ(f0->payload_copy_bytes(), 0u);
+  EXPECT_EQ(f0->bytes_sent(), sizeof(WireHeader) + expect.size());
 }
 
 TEST(SocketFabric, TcpVariant) {

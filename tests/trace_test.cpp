@@ -82,14 +82,21 @@ TEST(TracerRuntime, RuntimeEmitsLifecycleEvents) {
   AppConfig cfg;
   cfg.nodes = 2;
   cfg.rt.slots.distribution = iso::Distribution::kRoundRobin;
-  run_app(cfg, [&](Runtime& rt) {
-    rt.set_tracer(rt.self() == 0 ? &tracer0 : &tracer1);
-    if (rt.self() == 0) {
-      pm2_thread_create(&traced_worker, nullptr, "traced");
-      pm2_wait_signals(1);
-    }
-    rt.barrier();
-  });
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          pm2_thread_create(&traced_worker, nullptr, "traced");
+          pm2_wait_signals(1);
+        }
+        rt.barrier();
+      },
+      // Attach tracers in the pre-run setup hook: the comm daemon may
+      // install the incoming migration before node 1's *main thread* ever
+      // runs, so attaching from node_main races the arrival.
+      [&](Runtime& rt) {
+        rt.set_tracer(rt.self() == 0 ? &tracer0 : &tracer1);
+      });
   // Node 0 saw: thread create, a negotiation (start+end), migration out.
   EXPECT_GE(tracer0.count(Event::kThreadCreate), 1u);
   EXPECT_GE(tracer0.count(Event::kNegotiationStart), 1u);
