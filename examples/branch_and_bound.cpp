@@ -1,23 +1,27 @@
-// Branch-and-bound TSP — the paper's target workload class in one program.
+// Branch-and-bound TSP on the v2 typed asynchronous RPC API.
 //
 // PM2 was "especially designed to serve as a runtime support for highly
 // parallel irregular applications … threads may need to start or terminate
 // at arbitrary moments" (§2).  Branch-and-bound is the canonical such
 // application: subtree sizes are wildly unpredictable, so static placement
-// loses.  Here every search thread:
+// loses.  This version expresses the search as *pipelined remote calls*
+// (living documentation for pm2::service / pm2::call_async — quickstart.cpp
+// stays on the paper-faithful free functions):
 //
-//   * keeps its whole search state (partial tour, visited set) in
-//     iso-memory — it can be moved at any instant;
-//   * spawns child threads for promising branches at shallow depths;
-//   * never thinks about placement: the LoadBalancer module preemptively
-//     redistributes READY threads between nodes.
+//   * every shallow branch becomes `call_async<int32_t>(node, "search", s)`
+//     on a round-robin node — the LRPC layer turns each into a fresh
+//     service thread there;
+//   * the parent keeps ALL child futures in flight at once and combines
+//     them with wait_all — the pipelining the blocking call() could never
+//     do (one blocked thread per outstanding request);
+//   * services recurse: a "search" service issues its own child calls and
+//     blocks on their futures (reentrant LRPC, §3.4).
 //
 // The global incumbent (best tour so far) is node-shared via std::atomic —
-// valid for in-process nodes, which is what this example runs (the search
-// logic itself is fully migration-clean).
+// valid for in-process nodes, which is what this example runs.
 //
 //   ./branch_and_bound --cities 12 --nodes 4
-//   ./branch_and_bound --cities 12 --no-balance   # compare wall time
+//   ./branch_and_bound --cities 12 --spawn-depth 3   # more, smaller calls
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -28,7 +32,6 @@
 #include "common/time.hpp"
 #include "pm2/api.hpp"
 #include "pm2/app.hpp"
-#include "pm2/load_balancer.hpp"
 #include "pm2/runtime.hpp"
 
 using namespace pm2;
@@ -37,15 +40,17 @@ namespace {
 
 constexpr int kMaxCities = 16;
 int g_cities = 12;
-int g_spawn_depth = 3;  // branches above this depth become threads
+int g_spawn_depth = 2;  // branches above this depth become remote calls
 int g_dist[kMaxCities][kMaxCities];
 
 std::atomic<int> g_best{INT32_MAX};       // incumbent tour length
 std::atomic<uint64_t> g_nodes_explored{0};
-std::atomic<uint64_t> g_threads_spawned{0};
+std::atomic<uint64_t> g_calls_issued{0};
+std::atomic<uint64_t> g_next_node{0};     // round-robin placement counter
 std::atomic<uint32_t> g_work_mask{0};     // nodes that did search work
 
-/// Search state: lives in iso-memory so the thread can be migrated with it.
+/// Search state: trivially copyable, so the typed RPC layer ships it as a
+/// plain scalar argument — no manual packing anywhere in this file.
 struct SearchState {
   int depth;
   int length;
@@ -66,55 +71,62 @@ int lower_bound(const SearchState& s) {
   return bound;
 }
 
-void search(SearchState* s);
-void branch_worker(void* arg) { search(static_cast<SearchState*>(arg)); }
-
-void expand(SearchState* s, int next_city) {
-  SearchState child = *s;  // staged on our stack
-  child.length += g_dist[s->tour[s->depth - 1]][next_city];
+SearchState child_of(const SearchState& s, int next_city) {
+  SearchState child = s;
+  child.length += g_dist[s.tour[s.depth - 1]][next_city];
   child.tour[child.depth++] = next_city;
   child.visited |= 1u << next_city;
-
-  if (s->depth <= g_spawn_depth) {
-    // Shallow branch: fork a thread.  pm2_thread_create_copy clones the
-    // state into the child's own iso-heap (blocks belong to exactly one
-    // thread and migrate with it — handing the child a pointer into OUR
-    // heap would be migration-unsafe).  The balancer decides placement.
-    ++g_threads_spawned;
-    pm2_thread_create_copy(&branch_worker, &child, sizeof(child), "bnb");
-  } else {
-    // Deep branch: recurse inline within our own heap.
-    auto* own = static_cast<SearchState*>(pm2_isomalloc(sizeof(SearchState)));
-    *own = child;
-    search(own);
-  }
+  return child;
 }
 
-void search(SearchState* s) {
+/// Best tour length reachable from `s` (also tightens the incumbent).
+int subtree_search(const SearchState& s) {
   ++g_nodes_explored;
   g_work_mask |= 1u << pm2_self();
 
-  if (s->depth == g_cities) {
-    int total = s->length + g_dist[s->tour[g_cities - 1]][s->tour[0]];
+  if (s.depth == g_cities) {
+    int total = s.length + g_dist[s.tour[g_cities - 1]][s.tour[0]];
     int best = g_best.load();
     while (total < best && !g_best.compare_exchange_weak(best, total)) {
     }
-  } else if (lower_bound(*s) < g_best.load()) {
-    // Visit nearer cities first: tightens the incumbent sooner.
-    int order[kMaxCities];
-    int n = 0;
-    for (int c = 0; c < g_cities; ++c)
-      if (!(s->visited & (1u << c))) order[n++] = c;
-    int from = s->tour[s->depth - 1];
-    std::sort(order, order + n,
-              [from](int a, int b) { return g_dist[from][a] < g_dist[from][b]; });
+    return total;
+  }
+  if (lower_bound(s) >= g_best.load()) return INT32_MAX;  // pruned
+
+  // Visit nearer cities first: tightens the incumbent sooner.
+  int order[kMaxCities];
+  int n = 0;
+  for (int c = 0; c < g_cities; ++c)
+    if (!(s.visited & (1u << c))) order[n++] = c;
+  int from = s.tour[s.depth - 1];
+  std::sort(order, order + n,
+            [from](int a, int b) { return g_dist[from][a] < g_dist[from][b]; });
+
+  int best_here = INT32_MAX;
+  if (s.depth <= g_spawn_depth) {
+    // Shallow branch: fan every child out as an asynchronous typed call and
+    // keep all of them in flight — remote nodes create the service threads
+    // while we are still issuing.
+    std::vector<RpcFuture<int32_t>> futs;
+    futs.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-      if (lower_bound(*s) >= g_best.load()) break;  // prune the rest
-      expand(s, order[i]);
+      if (lower_bound(s) >= g_best.load()) break;  // incumbent tightened
+      uint32_t target =
+          static_cast<uint32_t>(g_next_node++ % static_cast<uint64_t>(pm2_nodes()));
+      ++g_calls_issued;
+      futs.push_back(call_async<int32_t>(target, "search",
+                                         child_of(s, order[i])));
+    }
+    wait_all(futs);
+    for (auto& f : futs) best_here = std::min(best_here, f.take());
+  } else {
+    // Deep branch: recurse inline inside this service thread.
+    for (int i = 0; i < n; ++i) {
+      if (lower_bound(s) >= g_best.load()) break;  // prune the rest
+      best_here = std::min(best_here, subtree_search(child_of(s, order[i])));
     }
   }
-  pm2_isofree(s);
-  pm2_signal(0);  // one completion token per search thread / root call
+  return best_here;
 }
 
 /// Serial reference solver (same pruning, no threads) for validation.
@@ -141,8 +153,7 @@ void serial_search(SearchState& s) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   g_cities = static_cast<int>(flags.i64("cities", 12));
-  g_spawn_depth = static_cast<int>(flags.i64("spawn-depth", 3));
-  bool balance = !flags.b("no-balance");
+  g_spawn_depth = static_cast<int>(flags.i64("spawn-depth", 2));
   PM2_CHECK(g_cities >= 4 && g_cities <= kMaxCities);
 
   // Deterministic random instance.
@@ -155,35 +166,31 @@ int main(int argc, char** argv) {
   cfg.nodes = static_cast<uint32_t>(flags.i64("nodes", 2));
 
   Stopwatch wall;
-  run_app(cfg, [&](Runtime& rt) {
-    if (balance) {
-      LoadBalancerConfig lb;
-      lb.period_us = 300;
-      lb.max_migrations_per_round = 4;
-      LoadBalancer::start(rt, lb);
-    }
-    if (rt.self() == 0) {
-      SearchState root{};
-      root.depth = 1;
-      root.length = 0;
-      root.visited = 1;  // start at city 0
-      root.tour[0] = 0;
-      ++g_threads_spawned;
-      pm2_thread_create_copy(&branch_worker, &root, sizeof(root), "bnb-root");
-      // Every search thread signals exactly once; spawning happens strictly
-      // before the parent's signal, so this drains the whole tree.
-      uint64_t collected = 0;
-      while (collected < g_threads_spawned.load()) {
-        pm2_wait_signals(1);
-        ++collected;
-      }
-      pm2_printf("parallel best tour = %d (%llu states, %llu threads)\n",
-                 g_best.load(),
-                 static_cast<unsigned long long>(g_nodes_explored.load()),
-                 static_cast<unsigned long long>(g_threads_spawned.load()));
-    }
-    rt.barrier();
-  });
+  run_app(
+      cfg,
+      [&](Runtime&) {
+        if (pm2_self() != 0) return;
+        SearchState root{};
+        root.depth = 1;
+        root.length = 0;
+        root.visited = 1;  // start at city 0
+        root.tour[0] = 0;
+        // The whole search is one future tree rooted here: subtree_search
+        // returns only when every remote subtree's future resolved, so no
+        // signal counting or drain protocol is needed.
+        int best = subtree_search(root);
+        pm2_printf("parallel best tour = %d (%llu states, %llu remote calls)\n",
+                   best,
+                   static_cast<unsigned long long>(g_nodes_explored.load()),
+                   static_cast<unsigned long long>(g_calls_issued.load()));
+      },
+      [](Runtime& rt) {
+        // Name-keyed: any node could register any subset of services; here
+        // every node is a search peer.
+        rt.service("search", [](RpcContext&, SearchState s) -> int32_t {
+          return subtree_search(s);
+        });
+      });
   double wall_ms = wall.elapsed_ms();
 
   // Validate against the serial solver.
@@ -193,9 +200,8 @@ int main(int argc, char** argv) {
   root.tour[0] = 0;
   serial_search(root);
   std::printf("serial best tour   = %d\n", serial_best);
-  std::printf("match: %s;  wall %.1f ms;  balancing %s;  worked on nodes "
-              "mask 0x%x\n",
+  std::printf("match: %s;  wall %.1f ms;  worked on nodes mask 0x%x\n",
               serial_best == g_best.load() ? "YES" : "NO", wall_ms,
-              balance ? "ON" : "OFF", g_work_mask.load());
+              g_work_mask.load());
   return serial_best == g_best.load() ? 0 : 1;
 }

@@ -7,8 +7,22 @@
 // with a random amount of compute.  The LoadBalancer module gossips load
 // and preemptively migrates READY threads; workers are completely unaware.
 //
+// Living documentation for the v2 typed API around the migrating workers:
+//
+//   * completion is a name-keyed fire-and-forget service — each worker
+//     reports `pm2::rpc(0, "done", ordinal, chunks, node)` from whatever
+//     node it ended up on (the free functions re-resolve the runtime, so
+//     they are safe right after a migration);
+//   * the final per-node tally is gathered with pipelined typed calls:
+//     node 0 keeps a `call_async<uint64_t>(n, "chunks-here")` future per
+//     node in flight and wait_all's them — correct even with --spawn,
+//     where the nodes share no memory;
+//   * pm2::on_migration hooks count departures/arrivals per node, the
+//     pm2_set_pre/post_migration_func observer pair of the original PM2.
+//
 //   ./load_balancing --workers 32 --nodes 4
 //   ./load_balancing --no-balance        # same workload without the module
+//   ./load_balancing --spawn             # real processes over UNIX sockets
 #include <atomic>
 #include <cstdio>
 
@@ -24,8 +38,9 @@ using namespace pm2;
 
 namespace {
 
-std::atomic<int> g_done{0};
-std::atomic<uint64_t> g_work_done_on[16];  // per final node
+std::atomic<uint64_t> g_work_done_on[16];   // per final node (this process)
+std::atomic<uint64_t> g_migrated_out[16];   // pre-migration hook census
+std::atomic<uint64_t> g_migrated_in[16];    // post-migration hook census
 int g_workers = 32;
 
 void irregular_worker(void* arg) {
@@ -45,8 +60,9 @@ void irregular_worker(void* arg) {
   }
   g_work_done_on[pm2_self()] += static_cast<uint64_t>(chunks);
   pm2_isofree(acc);
-  ++g_done;
-  pm2_signal(0);
+  // Typed completion report to the coordinator, from wherever we live now.
+  pm2::rpc(0, "done", ordinal, static_cast<uint64_t>(chunks),
+           static_cast<uint32_t>(pm2_self()));
 }
 
 }  // namespace
@@ -58,38 +74,74 @@ int main(int argc, char** argv) {
 
   AppConfig cfg;
   cfg.nodes = static_cast<uint32_t>(flags.i64("nodes", 2));
+  PM2_CHECK(cfg.nodes >= 1 && cfg.nodes <= 16)
+      << "--nodes must be 1..16 (per-node counters are fixed arrays)";
   cfg.multiprocess = flags.b("spawn");
   capture_argv_for_children(cfg, argc, argv);
 
   Stopwatch total;
-  int rc = run_app(cfg, [&](Runtime& rt) {
-    if (balance) {
-      LoadBalancerConfig lb;
-      lb.period_us = 500;
-      lb.imbalance_threshold = 2;
-      lb.max_migrations_per_round = 2;
-      LoadBalancer::start(rt, lb);
-    }
-    if (rt.self() == 0) {
-      Stopwatch sw;
-      for (int i = 0; i < g_workers; ++i) {
-        pm2_thread_create(&irregular_worker,
-                          reinterpret_cast<void*>(static_cast<uintptr_t>(i)),
-                          "worker");
-      }
-      pm2_wait_signals(static_cast<uint64_t>(g_workers));
-      pm2_printf("all %d workers done in %.1f ms (migrations out of node 0: "
-                 "%llu)\n",
-                 g_workers, sw.elapsed_ms(),
-                 static_cast<unsigned long long>(rt.migrations_out()));
-    }
-    rt.barrier();
-    uint64_t chunks = g_work_done_on[rt.self()].load();
-    if (!cfg.multiprocess || chunks > 0) {
-      rt.printf("work chunks completed here: %llu\n",
-                static_cast<unsigned long long>(chunks));
-    }
-  });
+  int rc = run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (balance) {
+          LoadBalancerConfig lb;
+          lb.period_us = 500;
+          lb.imbalance_threshold = 2;
+          lb.max_migrations_per_round = 2;
+          LoadBalancer::start(rt, lb);
+        }
+        if (rt.self() == 0) {
+          Stopwatch sw;
+          for (int i = 0; i < g_workers; ++i) {
+            pm2_thread_create(&irregular_worker,
+                              reinterpret_cast<void*>(static_cast<uintptr_t>(i)),
+                              "worker");
+          }
+          // One "done" rpc per worker releases one signal (see setup).
+          pm2_wait_signals(static_cast<uint64_t>(g_workers));
+          pm2_printf("all %d workers done in %.1f ms (migrations out of node "
+                     "0: %llu)\n",
+                     g_workers, sw.elapsed_ms(),
+                     static_cast<unsigned long long>(rt.migrations_out()));
+        }
+        rt.barrier();
+        if (rt.self() == 0) {
+          // Pipelined stats gather: one typed future per node, all in
+          // flight at once.  Works with --spawn too — "chunks-here" reads
+          // the per-process counter of the node that answers.
+          std::vector<RpcFuture<uint64_t>> tallies;
+          for (uint32_t n = 0; n < rt.n_nodes(); ++n)
+            tallies.push_back(rt.call_async<uint64_t>(n, "chunks-here"));
+          wait_all(tallies);
+          for (uint32_t n = 0; n < rt.n_nodes(); ++n)
+            rt.printf("node %u completed %llu work chunks\n", n,
+                      static_cast<unsigned long long>(tallies[n].take()));
+        }
+        rt.barrier();
+        uint64_t out = g_migrated_out[rt.self()].load();
+        uint64_t in = g_migrated_in[rt.self()].load();
+        if (out > 0 || in > 0) {
+          rt.printf("migration hooks: %llu departures, %llu arrivals\n",
+                    static_cast<unsigned long long>(out),
+                    static_cast<unsigned long long>(in));
+        }
+      },
+      [&](Runtime& rt) {
+        // Name-keyed services; registered before the node runs.
+        // service_local: these handlers read node-local state and must not
+        // be picked up by the balancer (which would also be unsound across
+        // --spawn process boundaries).
+        rt.service_local("done", [](RpcContext&, uint64_t /*ordinal*/,
+                                    uint64_t /*chunks*/, uint32_t /*node*/) {
+          pm2_signal(0);  // runs on node 0: release the coordinator
+        });
+        rt.service_local("chunks-here", [](RpcContext&) -> uint64_t {
+          return g_work_done_on[pm2_self()].load();
+        });
+        rt.on_migration(
+            [](marcel::Thread*) { ++g_migrated_out[pm2_self()]; },
+            [](marcel::Thread*) { ++g_migrated_in[pm2_self()]; });
+      });
   std::printf("total wall time: %.1f ms (balancing %s)\n", total.elapsed_ms(),
               balance ? "ON" : "OFF");
   return rc;

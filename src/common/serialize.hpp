@@ -29,6 +29,7 @@ class ByteWriter {
   }
 
   void put_bytes(const void* data, size_t len) {
+    if (len == 0) return;  // empty vectors hand out data() == nullptr
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + len);
   }
@@ -73,6 +74,7 @@ class ByteReader {
 
   void get_bytes(void* out, size_t len) {
     PM2_CHECK(pos_ + len <= len_) << "serialized buffer underrun";
+    if (len == 0) return;  // `out` may be an empty vector's nullptr
     std::memcpy(out, data_ + pos_, len);
     pos_ += len;
   }
@@ -87,6 +89,9 @@ class ByteReader {
 
   std::string get_string() {
     auto n = get<uint32_t>();
+    // Validate the length prefix before allocating: corrupt input should
+    // die with the underrun diagnostic, not a multi-GB allocation.
+    PM2_CHECK(n <= remaining()) << "serialized buffer underrun";
     std::string s(n, '\0');
     get_bytes(s.data(), n);
     return s;
@@ -96,6 +101,8 @@ class ByteReader {
   std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     auto n = get<uint32_t>();
+    PM2_CHECK(size_t{n} * sizeof(T) <= remaining())
+        << "serialized buffer underrun";
     std::vector<T> v(n);
     get_bytes(v.data(), size_t{n} * sizeof(T));
     return v;

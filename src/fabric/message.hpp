@@ -91,6 +91,12 @@ class Fabric {
   /// fabric) or take ownership of the bytes (in-process hub).
   virtual void send(Message msg) = 0;
 
+  /// Session teardown notice (the runtime calls this when halt is
+  /// initiated or received): peers may now exit at any moment, so a send
+  /// hitting a closed connection is a droppable late message — gossip or
+  /// a reply racing the halt drain — not a fatal transport error.
+  virtual void set_teardown(bool) {}
+
   /// Non-blocking receive.
   virtual std::optional<Message> try_recv() = 0;
 

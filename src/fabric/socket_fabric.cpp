@@ -40,6 +40,7 @@ class SocketFabric final : public Fabric {
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t messages_sent() const override { return messages_sent_; }
   uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
+  void set_teardown(bool teardown) override { teardown_ = teardown; }
 
  private:
   struct Conn {
@@ -71,6 +72,7 @@ class SocketFabric final : public Fabric {
   // so large stack buffers are forbidden.
   std::vector<uint8_t> rxbuf_ = std::vector<uint8_t>(64 * 1024);
   std::vector<struct iovec> iov_;  // scratch gather list for send()
+  bool teardown_ = false;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t payload_copy_bytes_ = 0;
@@ -184,6 +186,18 @@ void SocketFabric::send(Message msg) {
       // (classic anti-deadlock for synchronous meshes).
       pump(1);
       continue;
+    }
+    if (teardown_ && n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      // Session teardown: the peer legitimately exited, and this is a late
+      // message (load gossip, a reply racing the halt drain) losing the
+      // race — drop it rather than kill a node that is itself about to
+      // exit.  Outside teardown a dead peer is still fatal: dropping would
+      // turn a peer crash into a silent hang of every pending caller.
+      // Undo the top-of-send accounting: this frame never went out.
+      bytes_sent_ -= msg.wire_size();
+      --messages_sent_;
+      PM2_DEBUG << "dropping frame to exited node " << msg.dst;
+      return;
     }
     PM2_CHECK(n >= 0 || errno == EINTR) << "sendmsg: " << std::strerror(errno);
   }

@@ -8,7 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/check.hpp"
 #include "marcel/scheduler.hpp"
 #include "marcel/thread.hpp"
 
@@ -101,6 +107,123 @@ class Event {
   bool set_ = false;
   WaitQueue waiters_;
 };
+
+// ---------------------------------------------------------------------------
+// Completion futures
+// ---------------------------------------------------------------------------
+//
+// Future<T>/Promise<T> are the completion half of the v2 asynchronous RPC
+// and migration API: the runtime hands out a Future and completes the
+// matching Promise from the comm daemon when the reply / ack arrives.
+// Deliberately `then`-free — consumers wait() (parking through the
+// cooperative scheduler, like every primitive above), poll ready(), or
+// take() the value.  Single consumer: take() moves the value out once.
+//
+// Futures are node-local objects (the shared state lives in node-local
+// memory).  A thread parked in wait() cannot be migrated — like any parked
+// thread — but a thread *polling* ready()/wait_any() is READY and therefore
+// preemptively migratable; do not poll futures while a load balancer is
+// allowed to move you.
+
+namespace detail {
+template <typename T>
+struct FutureState {
+  Event event;                // set once value or error lands
+  std::optional<T> value;
+  std::string error;          // non-empty <=> completed with an error
+  bool failed = false;
+  bool taken = false;
+};
+}  // namespace detail
+
+template <typename T>
+class Promise;
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;  // invalid until obtained from a Promise
+
+  bool valid() const { return state_ != nullptr; }
+  /// Completed (with a value or an error)?  Never blocks.
+  bool ready() const { return state_ != nullptr && state_->event.is_set(); }
+  /// Park the calling thread until completion.
+  void wait() {
+    PM2_CHECK(state_ != nullptr) << "wait on invalid future";
+    state_->event.wait();
+  }
+  /// After completion: did the producer fail it (e.g. session shutdown,
+  /// unknown service)?
+  bool failed() const {
+    return state_ != nullptr && state_->event.is_set() && state_->failed;
+  }
+  const std::string& error() const {
+    static const std::string empty;
+    return state_ != nullptr ? state_->error : empty;
+  }
+  /// wait() + move the value out.  CHECK-fails on an errored future (test
+  /// failed() first when errors are expected) and on a second take().
+  T take() {
+    wait();
+    PM2_CHECK(!state_->failed) << "take() on failed future: " << state_->error;
+    PM2_CHECK(!state_->taken) << "future value taken twice";
+    state_->taken = true;
+    return std::move(*state_->value);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  /// The (single) consumer handle.
+  Future<T> future() const { return Future<T>(state_); }
+
+  void set_value(T v) {
+    PM2_CHECK(!state_->event.is_set()) << "promise completed twice";
+    state_->value.emplace(std::move(v));
+    state_->event.set();
+  }
+  void set_error(std::string why) {
+    PM2_CHECK(!state_->event.is_set()) << "promise completed twice";
+    state_->failed = true;
+    state_->error = std::move(why);
+    state_->event.set();
+  }
+  bool completed() const { return state_->event.is_set(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Park until every future in `futures` has completed (value or error).
+/// Works on anything future-shaped (Future<T>, pm2::RpcFuture<R>).
+template <typename F>
+void wait_all(std::vector<F>& futures) {
+  for (F& f : futures) f.wait();
+}
+
+/// Index of a completed future, parking-free: polls ready() and yields
+/// between scans (the comm daemon keeps running and completes futures).
+/// The caller stays READY while polling — see the migratability note above.
+template <typename F>
+size_t wait_any(std::vector<F>& futures) {
+  PM2_CHECK(!futures.empty()) << "wait_any on empty set";
+  Scheduler* sched = Scheduler::current_scheduler();
+  PM2_CHECK(sched != nullptr) << "wait_any outside a scheduler";
+  while (true) {
+    for (size_t i = 0; i < futures.size(); ++i)
+      if (futures[i].ready()) return i;
+    sched->yield();
+  }
+}
 
 /// Readers-writer lock, writer-preferring: once a writer queues, new
 /// readers wait, so writers cannot starve under a steady reader stream.

@@ -8,12 +8,14 @@
 
 namespace pm2 {
 
-namespace {
-Runtime& rt() {
+Runtime& current_runtime() {
   Runtime* r = Runtime::current();
   PM2_CHECK(r != nullptr) << "PM2 API used outside a running node";
   return *r;
 }
+
+namespace {
+Runtime& rt() { return current_runtime(); }
 }  // namespace
 
 uint32_t pm2_self() { return rt().self(); }
@@ -83,5 +85,13 @@ void pm2_halt() { rt().halt(); }
 
 void pm2_signal(uint32_t node) { rt().send_signal(node); }
 void pm2_wait_signals(uint64_t count) { rt().wait_signals(count); }
+
+Future<MigrateResult> migrate_async(marcel::ThreadId id, uint32_t dest) {
+  return rt().migrate_async(id, dest);
+}
+
+void on_migration(MigrationHook pre, MigrationHook post) {
+  rt().on_migration(std::move(pre), std::move(post));
+}
 
 }  // namespace pm2

@@ -13,12 +13,19 @@
 //
 // All functions require a Runtime to be active on the calling kernel thread
 // (inside Runtime::run, i.e. within any PM2 thread).
+//
+// The v2 typed asynchronous surface (futures, name-keyed services) lives
+// at the bottom of this header: pm2::service / pm2::rpc / pm2::call<R> /
+// pm2::call_async<R> / pm2::migrate_async / pm2::on_migration, with
+// pm2::Future, pm2::wait_all and pm2::wait_any re-exported from marcel.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "marcel/context.hpp"
 #include "marcel/thread.hpp"
+#include "pm2/runtime.hpp"
 
 namespace pm2 {
 
@@ -76,5 +83,63 @@ void pm2_halt();
 /// Completion tokens for cross-node termination detection.
 void pm2_signal(uint32_t node);
 void pm2_wait_signals(uint64_t count);
+
+// ---------------------------------------------------------------------------
+// v2 surface: typed asynchronous RPC & migration
+// ---------------------------------------------------------------------------
+
+/// The Runtime bound to the calling kernel thread (CHECKs that one is).
+Runtime& current_runtime();
+
+/// Completion futures (marcel::Future re-exported; RpcFuture<R> is the
+/// typed RPC flavour, declared in pm2/runtime.hpp).
+template <typename T>
+using Future = marcel::Future<T>;
+template <typename T>
+using Promise = marcel::Promise<T>;
+using marcel::wait_all;
+using marcel::wait_any;
+
+/// Register a typed service on this node: `handler` is any callable
+/// `R(RpcContext&, Args...)`.  Name-keyed: peers invoke it by name, in any
+/// registration order, from any binary.  Returns service_id(name).
+template <typename F>
+uint32_t service(const char* name, F&& handler) {
+  return current_runtime().service(name, std::forward<F>(handler));
+}
+
+/// service() whose threads are pinned (see Runtime::service_local).
+template <typename F>
+uint32_t service_local(const char* name, F&& handler) {
+  return current_runtime().service_local(name, std::forward<F>(handler));
+}
+
+/// Fire-and-forget remote thread creation with typed arguments.
+template <typename... Args>
+void rpc(uint32_t node, const char* name, const Args&... args) {
+  current_runtime().rpc(node, name, args...);
+}
+
+/// Typed blocking request/response: call<R>(node, "name", args...) -> R.
+/// Throws RpcError on session shutdown or unknown service.
+template <typename R, typename... Args>
+R call(uint32_t node, const char* name, const Args&... args) {
+  return current_runtime().call<R>(node, name, args...);
+}
+
+/// Typed pipelined request: returns immediately; take() yields R.  Any
+/// number of requests may be outstanding per thread.
+template <typename R, typename... Args>
+RpcFuture<R> call_async(uint32_t node, const char* name,
+                        const Args&... args) {
+  return current_runtime().call_async<R>(node, name, args...);
+}
+
+/// Preemptive migration with a completion future (acked by the
+/// destination once the thread is installed there).
+Future<MigrateResult> migrate_async(marcel::ThreadId id, uint32_t dest);
+
+/// Per-node migration observers (pm2_set_pre/post_migration_func).
+void on_migration(MigrationHook pre, MigrationHook post);
 
 }  // namespace pm2

@@ -95,16 +95,16 @@ AuditReport audit_session(Runtime& rt) {
   for (uint32_t node = 0; node < rt.n_nodes(); ++node) {
     if (node == rt.self()) continue;
     uint64_t corr = rt.next_corr_++;
-    Runtime::PendingCall pc;
-    rt.pending_calls_[corr] = &pc;
+    marcel::Future<std::vector<uint8_t>> fut = rt.register_pending(corr);
     fabric::Message req;
     req.type = kAuditReq;
     req.dst = node;
     req.corr = corr;
     rt.fabric_->send(std::move(req));
-    pc.event.wait();
-    rt.pending_calls_.erase(corr);
-    ByteReader r(pc.result);
+    fut.wait();
+    PM2_CHECK(!fut.failed()) << "audit aborted: " << fut.error();
+    std::vector<uint8_t> resp = fut.take();
+    ByteReader r(resp);
     for (HeldRun& run : unpack_inventory(r)) held.push_back(run);
   }
 

@@ -14,6 +14,9 @@ void balancer_loop(Runtime& rt, LoadBalancerConfig cfg) {
   marcel::Scheduler& sched = rt.sched();
   while (!rt.halting()) {
     sched.sleep_us(cfg.period_us);
+    // Halt may have arrived during the sleep: do not gossip to nodes that
+    // are already draining (their processes may exit at any moment).
+    if (rt.halting()) break;
 
     rt.broadcast_load();
     const auto& table = rt.load_table();

@@ -136,9 +136,14 @@ size_t migration_payload_size(Runtime& rt, marcel::Thread* t,
   return pack_thread_chain(rt, t, blocks_only).size();
 }
 
-void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
+void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest,
+                 uint64_t ack_corr) {
   PM2_CHECK(dest != rt.self());
   PM2_TRACE << "shipping thread " << t->id << " to node " << dest;
+
+  // Observer hook (pm2_set_pre_migration_func): the thread is frozen but
+  // still entirely resident — the hook may inspect it, not unfreeze it.
+  if (rt.pre_migration_hook()) rt.pre_migration_hook()(t);
 
   mad::BufferChain chain =
       pack_thread_chain(rt, t, rt.config().migrate_blocks_only);
@@ -157,6 +162,7 @@ void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest) {
   fabric::Message msg;
   msg.type = kMigrate;
   msg.dst = dest;
+  msg.corr = ack_corr;  // != 0: destination acks after install
   msg.chain = std::move(chain);
   rt.fabric().send(std::move(msg));
 

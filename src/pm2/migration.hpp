@@ -42,8 +42,12 @@ std::vector<uint8_t> pack_thread(Runtime& rt, marcel::Thread* t,
                                  bool blocks_only);
 
 /// Pack + forget + send to `dest` + decommit.  `t` must be frozen (or be
-/// the post-switch continuation target of freeze_current_and).
-void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest);
+/// the post-switch continuation target of freeze_current_and).  The node's
+/// pre-migration hook (Runtime::on_migration) runs first.  `ack_corr != 0`
+/// asks the destination for a kMigrateAck carrying that correlation once
+/// the thread is installed (migrate_async).
+void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest,
+                 uint64_t ack_corr = 0);
 
 /// Commit + scatter + adopt a thread from a migration payload.  Returns
 /// the (iso-address) descriptor.

@@ -128,16 +128,16 @@ std::vector<Bitmap> Runtime::gather_all_bitmaps() {
   for (uint32_t node = 0; node < config_.n_nodes; ++node) {
     if (node == config_.node) continue;
     uint64_t corr = next_corr_++;
-    PendingCall pc;
-    pending_calls_[corr] = &pc;
+    marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
     fabric::Message req;
     req.type = kGatherReq;
     req.dst = node;
     req.corr = corr;
     fabric_->send(std::move(req));
-    pc.event.wait();
-    pending_calls_.erase(corr);
-    ByteReader r(pc.result);
+    fut.wait();
+    PM2_CHECK(!fut.failed()) << "negotiation gather aborted: " << fut.error();
+    std::vector<uint8_t> resp = fut.take();
+    ByteReader r(resp);
     bitmaps[node] =
         Bitmap::from_words(area_.n_slots(), r.get_vector<uint64_t>());
   }

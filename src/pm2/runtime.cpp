@@ -299,14 +299,62 @@ bool Runtime::migrate(marcel::ThreadId id, uint32_t dest) {
   return true;
 }
 
+marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
+                                                     uint32_t dest) {
+  marcel::Promise<MigrateResult> promise;
+  marcel::Future<MigrateResult> fut = promise.future();
+  PM2_CHECK(dest < config_.n_nodes) << "migrate to unknown node " << dest;
+  if (halting_) {
+    promise.set_error("session halting");
+    return fut;
+  }
+  marcel::Thread* t = sched_.find(id);
+  if (t == nullptr) {
+    promise.set_error("no such thread on this node");
+    return fut;
+  }
+  if (dest == config_.node) {
+    promise.set_value(MigrateResult{id, dest});  // already there
+    return fut;
+  }
+  if (t == marcel::Scheduler::self()) {
+    promise.set_error("migrate_async cannot move the caller; use migrate_self");
+    return fut;
+  }
+  if (t->is_pinned() || !sched_.freeze(t)) {
+    promise.set_error("thread not migratable (pinned, running, or blocked)");
+    return fut;
+  }
+  uint64_t corr = next_corr_++;
+  pending_migrations_.emplace(corr, std::move(promise));
+  ++migrations_out_;
+  ship_thread(*this, t, dest, corr);
+  return fut;
+}
+
 // ---------------------------------------------------------------------------
 // RPC
 // ---------------------------------------------------------------------------
 
 uint32_t Runtime::register_service(const char* name, ServiceFn fn) {
   PM2_CHECK(name != nullptr && fn != nullptr);
-  services_.emplace_back(name, fn);
-  return static_cast<uint32_t>(services_.size() - 1);
+  return register_service_handler(name, ServiceHandler(fn));
+}
+
+uint32_t Runtime::register_service_handler(const char* name, ServiceHandler fn,
+                                           uint32_t thread_flags) {
+  PM2_CHECK(name != nullptr && fn != nullptr);
+  uint32_t id = service_id(name);
+  auto [it, inserted] =
+      services_.try_emplace(id, ServiceEntry{name, std::move(fn), thread_flags});
+  if (!inserted) {
+    PM2_CHECK(it->second.name == name)
+        << "FNV-1a service-name collision: \"" << it->second.name
+        << "\" and \"" << name << "\" both hash to " << id
+        << " — rename one of them";
+    PM2_FATAL("service \"" + std::string(name) + "\" registered twice");
+  }
+  return id;
 }
 
 struct Runtime::RpcInvocation {
@@ -320,12 +368,21 @@ struct Runtime::RpcInvocation {
 void Runtime::rpc_trampoline(void* p) {
   auto* inv = static_cast<RpcInvocation*>(p);
   Runtime* rt = Runtime::current();
-  PM2_CHECK(inv->service < rt->services_.size())
-      << "rpc to unregistered service " << inv->service;
+  auto it = rt->services_.find(inv->service);
+  PM2_CHECK(it != rt->services_.end())
+      << "rpc to unregistered service hash " << inv->service;
   {
     RpcContext ctx(*rt, inv->src, inv->corr, std::move(inv->args),
                    inv->args_offset);
-    rt->services_[inv->service].second(ctx);
+    try {
+      it->second.fn(ctx);
+    } catch (const std::exception& e) {
+      // A handler must never unwind off the top of its context (that is
+      // std::terminate).  Typical case: a nested blocking call<R>() threw
+      // RpcError because the session halted or the target service is
+      // unknown — propagate the failure to our own caller instead.
+      ctx.fail(e.what());
+    }
   }
   delete inv;
   // The service may have migrated: re-resolve.
@@ -333,7 +390,7 @@ void Runtime::rpc_trampoline(void* p) {
 }
 
 namespace {
-/// kRpc wire payload: a staged service id spliced ahead of the caller's
+/// kRpc wire payload: a staged service hash spliced ahead of the caller's
 /// argument chain — borrowed pack regions go to the wire from the caller's
 /// memory, never flattened here.
 mad::BufferChain rpc_chain(uint32_t service, mad::PackBuffer&& args) {
@@ -345,13 +402,50 @@ mad::BufferChain rpc_chain(uint32_t service, mad::PackBuffer&& args) {
 }
 }  // namespace
 
+void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
+                           std::vector<uint8_t>&& args, size_t args_offset) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    // Name-keyed sessions are heterogeneous: the caller cannot know what a
+    // peer registered, so a request expecting a reply gets an error back
+    // (failing the caller's future) instead of killing this node.
+    if (corr != 0) {
+      std::string why = "unknown service hash " + std::to_string(service) +
+                        " on node " + std::to_string(config_.node);
+      if (src == config_.node) {
+        fail_pending(corr, std::move(why), "local unknown-service");
+      } else {
+        fabric::Message msg;
+        msg.type = kReplyError;
+        msg.dst = src;
+        msg.corr = corr;
+        ByteWriter w;
+        w.put_string(why);
+        msg.payload = w.take();
+        fabric_->send(std::move(msg));
+      }
+      return;
+    }
+    // Fire-and-forget: a *local* miss is this node's own bug — fail fast.
+    // A remote miss must not kill an innocent node on peer input (nodes
+    // legitimately register different service subsets): drop and log.
+    PM2_CHECK(src != config_.node)
+        << "fire-and-forget rpc to unknown local service hash " << service;
+    PM2_WARN << "dropping rpc from node " << src
+             << " to unknown service hash " << service;
+    return;
+  }
+  trace_event(trace::Event::kRpcIn, service, src);
+  auto* inv = new RpcInvocation{service, src, corr, std::move(args),
+                                args_offset};
+  create_thread_in_slots(&Runtime::rpc_trampoline, inv,
+                         it->second.name.c_str(), it->second.thread_flags);
+}
+
 void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   PM2_CHECK(node < config_.n_nodes);
-  PM2_CHECK(service < services_.size()) << "unregistered service";
   if (node == config_.node) {
-    auto* inv = new RpcInvocation{service, config_.node, 0, args.finalize(), 0};
-    create_thread_in_slots(&Runtime::rpc_trampoline, inv,
-                           services_[service].first.c_str(), 0);
+    dispatch_rpc(service, config_.node, 0, args.finalize(), 0);
     return;
   }
   fabric::Message msg;
@@ -361,18 +455,18 @@ void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   fabric_->send(std::move(msg));
 }
 
-std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
-                                   mad::PackBuffer&& args) {
-  PM2_CHECK(marcel::Scheduler::self() != nullptr) << "call outside a thread";
+marcel::Future<std::vector<uint8_t>> Runtime::call_async(
+    uint32_t node, uint32_t service, mad::PackBuffer&& args) {
+  PM2_CHECK(node < config_.n_nodes);
+  if (halting_) {
+    marcel::Promise<std::vector<uint8_t>> p;
+    p.set_error("session halting");
+    return p.future();
+  }
   uint64_t corr = next_corr_++;
-  PendingCall pc;
-  pending_calls_[corr] = &pc;
-
+  marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
   if (node == config_.node) {
-    auto* inv =
-        new RpcInvocation{service, config_.node, corr, args.finalize(), 0};
-    create_thread_in_slots(&Runtime::rpc_trampoline, inv,
-                           services_[service].first.c_str(), 0);
+    dispatch_rpc(service, config_.node, corr, args.finalize(), 0);
   } else {
     fabric::Message msg;
     msg.type = kRpc;
@@ -381,9 +475,66 @@ std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
     msg.chain = rpc_chain(service, std::move(args));
     fabric_->send(std::move(msg));
   }
-  pc.event.wait();
-  pending_calls_.erase(corr);
-  return std::move(pc.result);
+  return fut;
+}
+
+std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
+                                   mad::PackBuffer&& args) {
+  PM2_CHECK(marcel::Scheduler::self() != nullptr) << "call outside a thread";
+  marcel::Future<std::vector<uint8_t>> fut =
+      call_async(node, service, std::move(args));
+  fut.wait();
+  if (fut.failed()) throw RpcError(fut.error());
+  return fut.take();
+}
+
+marcel::Future<std::vector<uint8_t>> Runtime::register_pending(uint64_t corr) {
+  marcel::Promise<std::vector<uint8_t>> promise;
+  marcel::Future<std::vector<uint8_t>> fut = promise.future();
+  pending_calls_.emplace(corr, std::move(promise));
+  return fut;
+}
+
+void Runtime::complete_pending(uint64_t corr, std::vector<uint8_t>&& result,
+                               const char* what) {
+  if (auto p = take_pending(pending_calls_, corr, what))
+    p->set_value(std::move(result));
+}
+
+void Runtime::fail_pending(uint64_t corr, std::string why, const char* what) {
+  if (auto p = take_pending(pending_calls_, corr, what))
+    p->set_error(std::move(why));
+}
+
+void Runtime::drain_pending(const std::string& why) {
+  // Swap the maps out first: set_error unparks waiters, and a woken thread
+  // must not find its corr still registered.
+  auto calls = std::move(pending_calls_);
+  pending_calls_.clear();
+  auto migs = std::move(pending_migrations_);
+  pending_migrations_.clear();
+  for (auto& [corr, promise] : calls) promise.set_error(why);
+  for (auto& [corr, promise] : migs) promise.set_error(why);
+}
+
+void RpcContext::fail(const std::string& why) {
+  if (corr_ == 0 || replied_) return;
+  replied_ = true;
+  // Route through the *current* runtime, not rt_: the service may have
+  // migrated, and the reply must leave through the node it now runs on.
+  Runtime& rt = *Runtime::current();
+  if (src_ == rt.self()) {
+    rt.fail_pending(corr_, "service failed: " + why, "service failure");
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kReplyError;
+  msg.dst = src_;
+  msg.corr = corr_;
+  ByteWriter w;
+  w.put_string("service failed: " + why);
+  msg.payload = w.take();
+  rt.fabric_->send(std::move(msg));
 }
 
 void RpcContext::reply(mad::PackBuffer&& result) {
@@ -391,10 +542,7 @@ void RpcContext::reply(mad::PackBuffer&& result) {
   PM2_CHECK(!replied_) << "double reply";
   replied_ = true;
   if (src_ == rt_.self()) {
-    auto it = rt_.pending_calls_.find(corr_);
-    PM2_CHECK(it != rt_.pending_calls_.end()) << "reply with no caller";
-    it->second->result = result.finalize();
-    it->second->event.set();
+    rt_.complete_pending(corr_, result.finalize(), "local reply");
     return;
   }
   fabric::Message msg;
@@ -464,6 +612,12 @@ void Runtime::wait_signals(uint64_t count) {
 
 void Runtime::halt() {
   halting_ = true;
+  fabric_->set_teardown(true);  // peers may exit under late messages now
+  // Wake every thread parked on an outstanding call or migration ack with
+  // an error: the peers are shutting down and the replies may never come.
+  // A reply that does arrive after the drain is dropped (complete_pending
+  // tolerates unknown correlations while halting).
+  drain_pending("session shutdown");
   for (uint32_t n = 0; n < config_.n_nodes; ++n) {
     if (n == config_.node) continue;
     fabric::Message msg;
@@ -539,6 +693,8 @@ void Runtime::handle_message(fabric::Message& msg) {
   switch (msg.type) {
     case kHalt:
       halting_ = true;
+      fabric_->set_teardown(true);
+      drain_pending("session shutdown");
       break;
     case kBarrierArrive: {
       PM2_CHECK(config_.node == 0) << "barrier arrival at non-coordinator";
@@ -571,16 +727,24 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kRpc:
       handle_rpc(msg);
       break;
-    case kReply: {
-      auto it = pending_calls_.find(msg.corr);
-      PM2_CHECK(it != pending_calls_.end()) << "reply with no pending call";
-      it->second->result = std::move(msg.flat());
-      it->second->event.set();
+    case kReply:
+      complete_pending(msg.corr, std::move(msg.flat()), "reply");
+      break;
+    case kReplyError: {
+      ByteReader r(msg.flat());
+      fail_pending(msg.corr, r.get_string(), "error reply");
       break;
     }
     case kMigrate:
       handle_migrate(msg);
       break;
+    case kMigrateAck: {
+      if (auto p = take_pending(pending_migrations_, msg.corr, "migrate ack")) {
+        ByteReader r(msg.flat());
+        p->set_value(MigrateResult{r.get<uint64_t>(), msg.src});
+      }
+      break;
+    }
     case kLockReq:
       handle_lock_req(msg.src);
       break;
@@ -597,20 +761,12 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kAuditReq:
       handle_audit_req(msg);
       break;
-    case kAuditResp: {
-      auto it = pending_calls_.find(msg.corr);
-      PM2_CHECK(it != pending_calls_.end()) << "audit resp with no waiter";
-      it->second->result = std::move(msg.flat());
-      it->second->event.set();
+    case kAuditResp:
+      complete_pending(msg.corr, std::move(msg.flat()), "audit resp");
       break;
-    }
-    case kGatherResp: {
-      auto it = pending_calls_.find(msg.corr);
-      PM2_CHECK(it != pending_calls_.end()) << "gather resp with no waiter";
-      it->second->result = std::move(msg.flat());
-      it->second->event.set();
+    case kGatherResp:
+      complete_pending(msg.corr, std::move(msg.flat()), "gather resp");
       break;
-    }
     case kNegoUpdate:
       handle_nego_update(msg);
       break;
@@ -635,16 +791,10 @@ void Runtime::handle_rpc(fabric::Message& msg) {
   std::vector<uint8_t>& payload = msg.flat();
   ByteReader r(payload);
   auto service = r.get<uint32_t>();
-  trace_event(trace::Event::kRpcIn, service, msg.src);
-  // The whole payload moves into the invocation; the service-id framing is
-  // skipped by offset instead of trimmed by copy.
+  // The whole payload moves into the invocation; the service-hash framing
+  // is skipped by offset instead of trimmed by copy.
   size_t offset = r.position();
-  auto* inv =
-      new RpcInvocation{service, msg.src, msg.corr, std::move(payload), offset};
-  PM2_CHECK(service < services_.size())
-      << "rpc to unregistered service " << service;
-  create_thread_in_slots(&Runtime::rpc_trampoline, inv,
-                         services_[service].first.c_str(), 0);
+  dispatch_rpc(service, msg.src, msg.corr, std::move(payload), offset);
 }
 
 void Runtime::handle_migrate(fabric::Message& msg) {
@@ -652,6 +802,20 @@ void Runtime::handle_migrate(fabric::Message& msg) {
   marcel::Thread* t = install_thread(*this, msg.flat());
   ++migrations_in_;
   trace_event(trace::Event::kMigrationIn, t->id, msg.src);
+  if (post_migration_) post_migration_(t);
+  // migrate_async ack — sent only after migrations_in() counts the arrival
+  // and the post-migration hook ran, so the source-side future completing
+  // implies the thread is fully installed here.
+  if (msg.corr != 0) {
+    fabric::Message ack;
+    ack.type = kMigrateAck;
+    ack.dst = msg.src;
+    ack.corr = msg.corr;
+    ByteWriter w;
+    w.put<uint64_t>(t->id);
+    ack.payload = w.take();
+    fabric_->send(std::move(ack));
+  }
 }
 
 void Runtime::run(std::function<void()> node_main) {

@@ -23,7 +23,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -33,6 +37,7 @@
 #include "isomalloc/slot_manager.hpp"
 #include "madeleine/buffers.hpp"
 #include "madeleine/channel.hpp"
+#include "madeleine/typed.hpp"
 #include "marcel/scheduler.hpp"
 #include "marcel/sync.hpp"
 #include "pm2/protocol.hpp"
@@ -43,6 +48,29 @@ namespace pm2 {
 class Runtime;
 struct AuditReport;
 AuditReport audit_session(Runtime& rt);
+
+/// Thrown by the blocking request paths (call / typed call<R> /
+/// RpcFuture::take) when the request cannot complete: the session halted
+/// while the reply was pending, or the destination had no such service.
+/// Asynchronous callers observe the same conditions non-throwing via
+/// Future::failed()/error().
+struct RpcError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Completion value of migrate_async: the ack sent by the installing node
+/// once the thread is adopted there.
+struct MigrateResult {
+  marcel::ThreadId thread = 0;
+  uint32_t dest = 0;
+};
+
+/// Per-node migration observer (pm2_set_pre/post_migration_func).  The pre
+/// hook runs on the source node right before the thread is packed; the
+/// post hook runs on the destination right after it is adopted.  Both run
+/// on the node's service context (scheduler stack or comm daemon), never
+/// on the migrating thread itself.
+using MigrationHook = std::function<void(marcel::Thread*)>;
 
 /// Context handed to an RPC service running in its own fresh thread.
 class RpcContext {
@@ -57,8 +85,17 @@ class RpcContext {
 
   uint32_t source_node() const { return src_; }
   mad::UnpackBuffer& args() { return unpacker_; }
+  /// True when the caller used call()/call_async() and waits for reply().
+  bool reply_expected() const { return corr_ != 0; }
   /// Send the reply (allowed once; only if the caller used call()).
   void reply(mad::PackBuffer&& result);
+  /// Fail the caller's future with `why` instead of replying (no-op if no
+  /// reply is expected or one was already sent).  The RPC trampoline calls
+  /// this when a service handler throws, so errors propagate up recursive
+  /// call chains instead of terminating the node or hanging the caller.
+  /// Routes through Runtime::current(), so it is safe even after the
+  /// service migrated.
+  void fail(const std::string& why);
 
  private:
   Runtime& rt_;
@@ -70,6 +107,80 @@ class RpcContext {
 };
 
 using ServiceFn = void (*)(RpcContext&);
+using ServiceHandler = std::function<void(RpcContext&)>;
+
+/// Typed view over a raw reply future: take() unpacks the service's return
+/// value (throwing RpcError if the call failed).  Same then-free surface
+/// as marcel::Future, so wait_all/wait_any work on either.
+template <typename R>
+class RpcFuture {
+ public:
+  RpcFuture() = default;
+  explicit RpcFuture(marcel::Future<std::vector<uint8_t>> raw)
+      : raw_(std::move(raw)) {}
+
+  bool valid() const { return raw_.valid(); }
+  bool ready() const { return raw_.ready(); }
+  void wait() { raw_.wait(); }
+  bool failed() const { return raw_.failed(); }
+  const std::string& error() const { return raw_.error(); }
+
+  R take() {
+    wait();
+    if (raw_.failed()) throw RpcError(raw_.error());
+    std::vector<uint8_t> bytes = raw_.take();
+    if constexpr (!std::is_void_v<R>) {
+      mad::UnpackBuffer u(bytes.data(), bytes.size());
+      return mad::unpack_value<R>(u);
+    }
+  }
+
+ private:
+  marcel::Future<std::vector<uint8_t>> raw_;
+};
+
+namespace detail {
+
+/// Deduce a typed service handler's signature `R(RpcContext&, Args...)`
+/// and bridge it to the untyped ServiceHandler: unpack the arguments left
+/// to right, invoke, and auto-reply the packed result when the caller
+/// expects one.  A void service auto-acks with an empty reply, so
+/// call<void> has completion-barrier semantics; fire-and-forget
+/// invocations send nothing.  (Only untyped register_service handlers
+/// control reply() manually.)
+template <typename R, typename... Args>
+struct RpcInvoker {
+  template <typename F>
+  static void run(F& fn, RpcContext& ctx) {
+    // Braced init: unpack order is the parameter order.
+    std::tuple<std::decay_t<Args>...> args{
+        mad::unpack_value<std::decay_t<Args>>(ctx.args())...};
+    if constexpr (std::is_void_v<R>) {
+      std::apply([&](auto&... a) { fn(ctx, a...); }, args);
+      if (ctx.reply_expected()) ctx.reply(mad::PackBuffer());
+    } else {
+      R result = std::apply([&](auto&... a) { return fn(ctx, a...); }, args);
+      if (ctx.reply_expected()) {
+        mad::PackBuffer out;
+        mad::pack_value(out, result);
+        ctx.reply(std::move(out));
+      }
+    }
+  }
+};
+
+template <typename T>
+struct RpcHandlerTraits : RpcHandlerTraits<decltype(&T::operator())> {};
+template <typename R, typename... Args>
+struct RpcHandlerTraits<R (*)(RpcContext&, Args...)> : RpcInvoker<R, Args...> {};
+template <typename C, typename R, typename... Args>
+struct RpcHandlerTraits<R (C::*)(RpcContext&, Args...)>
+    : RpcInvoker<R, Args...> {};
+template <typename C, typename R, typename... Args>
+struct RpcHandlerTraits<R (C::*)(RpcContext&, Args...) const>
+    : RpcInvoker<R, Args...> {};
+
+}  // namespace detail
 
 struct RuntimeConfig {
   uint32_t node = 0;
@@ -188,19 +299,121 @@ class Runtime {
   /// pinned).  "The threads are unaware of their being migrated" (§2).
   bool migrate(marcel::ThreadId id, uint32_t dest);
 
-  // --- RPC (LRPC: remote thread creation) -----------------------------------
+  /// Preemptive migration with a completion future: the destination node
+  /// sends a kMigrateAck once the thread is installed there, completing
+  /// the future *after* the destination's migrations_in() already counts
+  /// the arrival.  Fails the future (never CHECKs) when the thread is
+  /// unknown, pinned, running, blocked, or the session is halting.
+  marcel::Future<MigrateResult> migrate_async(marcel::ThreadId id,
+                                              uint32_t dest);
 
-  /// Register a service; SPMD requires every node to register the same
-  /// services in the same order before run().  Returns the service id.
+  /// Install per-node migration observers (PM2's
+  /// pm2_set_pre/post_migration_func).  Either hook may be null.
+  void on_migration(MigrationHook pre, MigrationHook post) {
+    pre_migration_ = std::move(pre);
+    post_migration_ = std::move(post);
+  }
+  const MigrationHook& pre_migration_hook() const { return pre_migration_; }
+  const MigrationHook& post_migration_hook() const { return post_migration_; }
+
+  // --- RPC (LRPC: remote thread creation) -----------------------------------
+  //
+  // Services are keyed by the FNV-1a hash of their *name* (protocol.hpp's
+  // service_id); the wire carries the hash.  Nodes may register any subset
+  // of services in any order — the old registration-order contract is
+  // gone.  A name collision between two registered services CHECK-fails at
+  // registration; an rpc() to an unknown service CHECK-fails on the
+  // destination; a call()/call_async() to an unknown service fails the
+  // caller's future with an error instead.
+
+  /// Register an untyped service under `name`; returns service_id(name).
+  /// Deprecated shim (the returned id is now just the name hash): prefer
+  /// the typed service() below, or pass names straight to call()/rpc().
   uint32_t register_service(const char* name, ServiceFn fn);
 
+  /// Typed service registration: `handler` is any callable
+  /// `R(RpcContext&, Args...)`.  Arguments are unpacked left to right with
+  /// mad::unpack_value; a non-void R is auto-packed and replied when the
+  /// caller expects a reply.  Returns service_id(name).
+  ///
+  /// Service threads are ordinary migratable threads (the paper's LRPC +
+  /// migration composition) — but their invocation state (args buffer,
+  /// reply route) is node-local, so migrating one is only sound between
+  /// in-process logical nodes.  Multiprocess sessions running a load
+  /// balancer must register with service_local() instead.
+  template <typename F>
+  uint32_t service(const char* name, F&& handler) {
+    return service_with_flags(name, std::forward<F>(handler), 0);
+  }
+
+  /// service() whose threads are pinned (refuse to migrate), like
+  /// spawn_local vs spawn: for handlers touching node-local state, and for
+  /// any service of a multiprocess session with preemptive migration on.
+  template <typename F>
+  uint32_t service_local(const char* name, F&& handler) {
+    return service_with_flags(name, std::forward<F>(handler),
+                              marcel::Thread::kFlagPinned);
+  }
+
   /// Fire-and-forget: create a thread running `service` on `node`.
+  /// Deprecated shim: prefer the name-keyed overloads.
   void rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args);
 
+  /// Fire-and-forget by name, pre-packed args.
+  void rpc(uint32_t node, const char* service_name, mad::PackBuffer&& args) {
+    rpc(node, service_id(service_name), std::move(args));
+  }
+
+  /// Fire-and-forget by name, typed args.
+  template <typename... Args>
+  void rpc(uint32_t node, const char* service_name, const Args&... args) {
+    mad::PackBuffer pb;
+    mad::pack_values(pb, args...);
+    rpc(node, service_id(service_name), std::move(pb));
+  }
+
   /// Request/response: like rpc() but blocks the calling thread until the
-  /// service calls ctx.reply().
+  /// service calls ctx.reply().  Throws RpcError if the session halts
+  /// while waiting or the destination has no such service.
+  /// Deprecated shim: prefer call_async / the typed call<R>.
   std::vector<uint8_t> call(uint32_t node, uint32_t service,
                             mad::PackBuffer&& args);
+
+  /// Blocking call by name, pre-packed args.
+  std::vector<uint8_t> call(uint32_t node, const char* service_name,
+                            mad::PackBuffer&& args) {
+    return call(node, service_id(service_name), std::move(args));
+  }
+
+  /// Asynchronous request: returns immediately with a completion future
+  /// for the raw reply bytes.  Unlimited outstanding requests per thread —
+  /// this is the pipelined-RPC primitive.  The future fails (instead of
+  /// hanging) on session shutdown or unknown destination service.
+  marcel::Future<std::vector<uint8_t>> call_async(uint32_t node,
+                                                  uint32_t service,
+                                                  mad::PackBuffer&& args);
+  marcel::Future<std::vector<uint8_t>> call_async(uint32_t node,
+                                                  const char* service_name,
+                                                  mad::PackBuffer&& args) {
+    return call_async(node, service_id(service_name), std::move(args));
+  }
+
+  /// Typed asynchronous call: packs `args` with mad::pack_values, returns
+  /// a future whose take() unpacks the service's R.
+  template <typename R, typename... Args>
+  RpcFuture<R> call_async(uint32_t node, const char* service_name,
+                          const Args&... args) {
+    mad::PackBuffer pb;
+    mad::pack_values(pb, args...);
+    return RpcFuture<R>(call_async(node, service_id(service_name),
+                                   std::move(pb)));
+  }
+
+  /// Typed blocking call: call<R>(node, "name", args...) -> R.
+  template <typename R, typename... Args>
+  R call(uint32_t node, const char* service_name, const Args&... args) {
+    return call_async<R>(node, service_name, args...).take();
+  }
 
   /// Madeleine channels multiplexed over this node's fabric (message types
   /// kUserBase and up).  Open channels in the same order on every node
@@ -286,6 +499,54 @@ class Runtime {
   void handle_message(fabric::Message& msg);
   void handle_rpc(fabric::Message& msg);
   void handle_migrate(fabric::Message& msg);
+
+  /// Shared service dispatch (local invocations and received kRpc frames):
+  /// looks the hash up and spawns the service thread.  Unknown service:
+  /// fails the caller's future when a reply is expected (corr != 0),
+  /// CHECK-fails a fire-and-forget.
+  void dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
+                    std::vector<uint8_t>&& args, size_t args_offset);
+  uint32_t register_service_handler(const char* name, ServiceHandler fn,
+                                    uint32_t thread_flags = 0);
+
+  template <typename F>
+  uint32_t service_with_flags(const char* name, F&& handler, uint32_t flags) {
+    using Traits = detail::RpcHandlerTraits<std::decay_t<F>>;
+    return register_service_handler(
+        name,
+        [fn = std::forward<F>(handler)](RpcContext& ctx) mutable {
+          Traits::run(fn, ctx);
+        },
+        flags);
+  }
+
+  /// Correlation bookkeeping shared by RPC replies, negotiation gathers
+  /// and audits: register_pending hands out the future completed by
+  /// complete_pending / fail_pending when the matching corr arrives.
+  marcel::Future<std::vector<uint8_t>> register_pending(uint64_t corr);
+  void complete_pending(uint64_t corr, std::vector<uint8_t>&& result,
+                        const char* what);
+  void fail_pending(uint64_t corr, std::string why, const char* what);
+
+  /// Remove and return the promise for `corr`, or nullopt for an unknown
+  /// correlation — tolerated only while halting (a reply may race the
+  /// shutdown drain); otherwise a protocol bug.
+  template <typename T>
+  std::optional<marcel::Promise<T>> take_pending(
+      std::map<uint64_t, marcel::Promise<T>>& pending, uint64_t corr,
+      const char* what) {
+    auto it = pending.find(corr);
+    if (it == pending.end()) {
+      PM2_CHECK(halting_) << what << " with no pending waiter";
+      return std::nullopt;
+    }
+    marcel::Promise<T> p = std::move(it->second);
+    pending.erase(it);
+    return p;
+  }
+  /// halt(): wake every thread blocked on a pending call or migration ack
+  /// with an error instead of leaving it parked forever.
+  void drain_pending(const std::string& why);
   void handle_lock_req(uint32_t from);
   void handle_unlock(uint32_t from);
   void handle_gather_req(fabric::Message& msg);
@@ -344,16 +605,24 @@ class Runtime {
   uint64_t thread_counter_ = 0;
   bool halting_ = false;
 
-  // Services
-  std::vector<std::pair<std::string, ServiceFn>> services_;
-
-  // call() correlation
-  uint64_t next_corr_ = 1;
-  struct PendingCall {
-    marcel::Event event;
-    std::vector<uint8_t> result;
+  // Services: name-hash keyed dispatch table (the wire carries the hash).
+  struct ServiceEntry {
+    std::string name;
+    ServiceHandler fn;
+    uint32_t thread_flags = 0;  // kFlagPinned for service_local
   };
-  std::map<uint64_t, PendingCall*> pending_calls_;
+  std::map<uint32_t, ServiceEntry> services_;
+
+  // Outstanding correlations: calls awaiting a reply and migrations
+  // awaiting their install ack.  Unbounded — this is what lets one thread
+  // pipeline arbitrarily many call_async requests.
+  uint64_t next_corr_ = 1;
+  std::map<uint64_t, marcel::Promise<std::vector<uint8_t>>> pending_calls_;
+  std::map<uint64_t, marcel::Promise<MigrateResult>> pending_migrations_;
+
+  // Migration observers (on_migration).
+  MigrationHook pre_migration_;
+  MigrationHook post_migration_;
 
   // Barrier (centralized at node 0)
   uint32_t barrier_seq_ = 0;

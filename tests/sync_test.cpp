@@ -232,6 +232,72 @@ TEST_F(SyncFixture, EventWakesAllWaiters) {
   EXPECT_EQ(woke, 3);
 }
 
+TEST_F(SyncFixture, FutureCompletedBeforeWait) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set_value(42);
+  EXPECT_TRUE(f.ready());
+  EXPECT_FALSE(f.failed());
+  int got = 0;
+  spawn([&] { got = f.take(); });  // take() after completion: no parking
+  run_all();
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(SyncFixture, FutureWaitParksUntilSet) {
+  Promise<std::vector<int>> p;
+  Future<std::vector<int>> f = p.future();
+  std::vector<int> got;
+  bool producer_ran = false;
+  spawn([&] {
+    got = f.take();  // parks: the producer has not run yet
+    EXPECT_TRUE(producer_ran);
+  });
+  spawn([&] {
+    producer_ran = true;
+    p.set_value({1, 2, 3});
+  });
+  run_all();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SyncFixture, FutureError) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  bool observed = false;
+  spawn([&] {
+    f.wait();
+    observed = f.failed() && f.error() == "boom";
+  });
+  spawn([&] { p.set_error("boom"); });
+  run_all();
+  EXPECT_TRUE(observed);
+}
+
+TEST_F(SyncFixture, WaitAllAndWaitAny) {
+  std::vector<Promise<int>> promises(3);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) futures.push_back(p.future());
+  size_t first = 99;
+  int sum = 0;
+  spawn([&] {
+    first = wait_any(futures);  // polls + yields until one completes
+    wait_all(futures);
+    for (auto& f : futures) sum += f.take();
+  });
+  spawn([&] {
+    promises[1].set_value(20);  // completes first
+    Scheduler::current_scheduler()->yield();
+    promises[0].set_value(10);
+    promises[2].set_value(30);
+  });
+  run_all();
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(sum, 60);
+}
+
 TEST_F(SyncFixture, WaitQueueFifoOrder) {
   WaitQueue q;
   std::vector<int> order;
