@@ -6,11 +6,18 @@
 // number of correlations in flight from a single thread.  This bench
 // measures both on the in-process hub and on the socket fabric (real UNIX
 // domain sockets inside one process), sweeping the number of outstanding
-// requests 1 → N, and reports µs/call, calls/s and the transport copy
-// columns alongside (same accounting as bench_migration).
+// requests 1 → N, and reports µs/call with p50/p99 per-request latency,
+// calls/s and the transport copy columns alongside (same accounting as
+// bench_migration).  The p50/p99 columns exist to keep the event-driven
+// reply wake-up path honest: a return of the poll-bounce bug (blind
+// busy-poll windows + fixed recv timeouts) shows up as a p50 in the
+// hundreds of µs long before throughput moves.
 //
 //   ./bench_rpc                 # default: 2000 calls, up to 64 outstanding
 //   ./bench_rpc --calls 10000 --payload 256
+//   ./bench_rpc --smoke         # 1 call per mode, both fabrics (CI: the
+//                               # binary must build and a session must run)
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -27,13 +34,21 @@ namespace {
 std::atomic<uint64_t> g_total_ns{0};
 std::atomic<uint64_t> g_wire_bytes{0};
 std::atomic<uint64_t> g_copy_bytes{0};
+std::atomic<uint64_t> g_p50_ns{0};
+std::atomic<uint64_t> g_p99_ns{0};
 
 uint64_t g_calls = 2000;
 size_t g_payload = 64;
 
+uint64_t percentile(std::vector<uint64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  size_t idx = sorted.size() * static_cast<size_t>(pct) / 100;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 /// One measured session: node 0 issues `g_calls` echo requests to node 1
 /// keeping `outstanding` in flight (outstanding == 0 → the legacy blocking
-/// call() path).
+/// call() path).  Per-request latency is sampled issue → completion.
 void run_session(bool socket_fabric, size_t outstanding) {
   g_total_ns = 0;
   AppConfig cfg;
@@ -47,30 +62,41 @@ void run_session(bool socket_fabric, size_t outstanding) {
         // Warm-up: fault the path end to end.
         rt.call<uint64_t>(1, "echo-len", blob);
 
+        std::vector<uint64_t> samples;
+        samples.reserve(g_calls);
         Stopwatch sw;
         if (outstanding == 0) {
           for (uint64_t i = 0; i < g_calls; ++i) {
+            Stopwatch call_sw;
             uint64_t len = rt.call<uint64_t>(1, "echo-len", blob);
+            samples.push_back(call_sw.elapsed_ns());
             PM2_CHECK(len == blob.size());
           }
         } else {
           // Sliding window: top the window up, then reap-and-refill with
           // wait_any so the wire never drains.
           std::vector<RpcFuture<uint64_t>> window;
+          std::vector<uint64_t> issued_at;
           uint64_t issued = 0;
           uint64_t done = 0;
           while (done < g_calls) {
             while (window.size() < outstanding && issued < g_calls) {
+              issued_at.push_back(now_ns());
               window.push_back(rt.call_async<uint64_t>(1, "echo-len", blob));
               ++issued;
             }
             size_t idx = wait_any(window);
+            samples.push_back(now_ns() - issued_at[idx]);
             PM2_CHECK(window[idx].take() == blob.size());
             window.erase(window.begin() + static_cast<long>(idx));
+            issued_at.erase(issued_at.begin() + static_cast<long>(idx));
             ++done;
           }
         }
         g_total_ns = sw.elapsed_ns();
+        std::sort(samples.begin(), samples.end());
+        g_p50_ns = percentile(samples, 50);
+        g_p99_ns = percentile(samples, 99);
         g_wire_bytes = rt.fabric().bytes_sent();
         g_copy_bytes = rt.fabric().payload_copy_bytes();
       },
@@ -101,6 +127,8 @@ void bench_fabric(const char* fabric_name, bool socket_fabric,
     bench::print_cell(static_cast<uint64_t>(outstanding == 0 ? 1 : outstanding));
     bench::print_cell(static_cast<uint64_t>(g_calls));
     bench::print_cell(us_per_call);
+    bench::print_cell(static_cast<double>(g_p50_ns.load()) / 1e3);
+    bench::print_cell(static_cast<double>(g_p99_ns.load()) / 1e3);
     bench::print_cell(calls_per_s);
     bench::print_cell(static_cast<double>(g_wire_bytes.load()) / 1e6);
     bench::print_cell(static_cast<double>(g_copy_bytes.load()) / 1e6);
@@ -112,16 +140,21 @@ void bench_fabric(const char* fabric_name, bool socket_fabric,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  g_calls = static_cast<uint64_t>(flags.i64("calls", 2000));
+  bool smoke = flags.has("smoke");
+  g_calls = static_cast<uint64_t>(flags.i64("calls", smoke ? 1 : 2000));
   g_payload = static_cast<size_t>(flags.i64("payload", 64));
 
   bench::print_header(
       "RPC: blocking call() vs pipelined call_async() (echo round trips)",
-      {"fabric", "mode", "outstanding", "calls", "us_per_call", "calls_per_s",
-       "wire_MB", "copy_MB"});
+      {"fabric", "mode", "outstanding", "calls", "us_per_call", "p50_us",
+       "p99_us", "calls_per_s", "wire_MB", "copy_MB"});
 
-  // outstanding == 0 encodes the blocking-call baseline.
-  const std::vector<size_t> windows = {0, 1, 2, 4, 8, 16, 32, 64};
+  // outstanding == 0 encodes the blocking-call baseline.  Smoke mode runs
+  // one iteration of each mode on both fabrics: CI keeps the binary and
+  // the session bring-up from rotting without paying for a measurement.
+  const std::vector<size_t> windows =
+      smoke ? std::vector<size_t>{0, 1}
+            : std::vector<size_t>{0, 1, 2, 4, 8, 16, 32, 64};
 
   double sync_us_inproc = 0;
   double best_async_us_inproc = 1e18;
@@ -132,13 +165,16 @@ int main(int argc, char** argv) {
   bench_fabric("socket", true, windows, &sync_us_socket,
                &best_async_us_socket);
 
-  std::printf(
-      "\nPipelining speedup (sync us/call over best async us/call):\n"
-      "  inproc  %.2fx   socket  %.2fx\n"
-      "A single outstanding async call pays the same round trip as sync;\n"
-      "the win comes from keeping the window full — the target creates and\n"
-      "runs service threads back to back while replies stream home.\n",
-      sync_us_inproc / best_async_us_inproc,
-      sync_us_socket / best_async_us_socket);
+  if (!smoke) {
+    std::printf(
+        "\nPipelining speedup (sync us/call over best async us/call):\n"
+        "  inproc  %.2fx   socket  %.2fx\n"
+        "With the event-driven reply path the blocking round trip is\n"
+        "single-digit microseconds, so pipelining pays off only when the\n"
+        "serial work per call (service thread create + echo) exceeds the\n"
+        "round trip — widen --payload or add service work to see it.\n",
+        sync_us_inproc / best_async_us_inproc,
+        sync_us_socket / best_async_us_socket);
+  }
   return 0;
 }

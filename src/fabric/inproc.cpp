@@ -36,22 +36,39 @@ void InProcHub::deliver(Message msg) {
   box.cv.notify_one();
 }
 
-std::optional<Message> InProcHub::take(NodeId node, int timeout_ms) {
+std::optional<Message> InProcHub::take_until(NodeId node, uint64_t deadline_ns) {
   Mailbox& box = *boxes_[node];
   std::unique_lock<std::mutex> lock(box.mu);
-  if (timeout_ms == 0) {
-    if (box.queue.empty()) return std::nullopt;
-  } else if (timeout_ms < 0) {
-    box.cv.wait(lock, [&] { return !box.queue.empty(); });
-  } else {
-    if (!box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                         [&] { return !box.queue.empty(); })) {
-      return std::nullopt;
+  auto ready = [&] { return !box.queue.empty() || box.wake_pending; };
+  if (deadline_ns > 0) {
+    if (!ready()) {
+      uint64_t now = now_ns();
+      if (deadline_ns == UINT64_MAX) {
+        box.cv.wait(lock, ready);
+      } else if (deadline_ns > now) {
+        box.cv.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now),
+                        ready);
+      }
     }
+    // Only a blocking-capable receive consumes the wake latch: a wake()
+    // landing during a non-blocking try_recv (deadline 0) must survive to
+    // interrupt the *next* recv_until, matching the socket fabric's
+    // eventfd semantics.
+    box.wake_pending = false;
   }
+  if (box.queue.empty()) return std::nullopt;
   Message msg = std::move(box.queue.front());
   box.queue.pop_front();
   return msg;
+}
+
+void InProcHub::wake(NodeId node) {
+  Mailbox& box = *boxes_[node];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.wake_pending = true;
+  }
+  box.cv.notify_one();
 }
 
 InProcEndpoint::InProcEndpoint(std::shared_ptr<InProcHub> hub, NodeId id)
@@ -72,10 +89,14 @@ void InProcEndpoint::send(Message msg) {
   hub_->deliver(std::move(msg));
 }
 
-std::optional<Message> InProcEndpoint::try_recv() { return hub_->take(id_, 0); }
-
-std::optional<Message> InProcEndpoint::recv(int timeout_ms) {
-  return hub_->take(id_, timeout_ms);
+std::optional<Message> InProcEndpoint::try_recv() {
+  return hub_->take_until(id_, 0);
 }
+
+std::optional<Message> InProcEndpoint::recv_until(uint64_t deadline_ns) {
+  return hub_->take_until(id_, deadline_ns);
+}
+
+void InProcEndpoint::wake() { hub_->wake(id_); }
 
 }  // namespace pm2::fabric

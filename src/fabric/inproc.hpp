@@ -30,7 +30,8 @@ class InProcEndpoint final : public Fabric {
   NodeId n_nodes() const override;
   void send(Message msg) override;
   std::optional<Message> try_recv() override;
-  std::optional<Message> recv(int timeout_ms) override;
+  std::optional<Message> recv_until(uint64_t deadline_ns) override;
+  void wake() override;
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t messages_sent() const override { return messages_sent_; }
   uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
@@ -61,9 +62,11 @@ class InProcHub : public std::enable_shared_from_this<InProcHub> {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    bool wake_pending = false;  // Fabric::wake() latch (consumed by take)
   };
   void deliver(Message msg);
-  std::optional<Message> take(NodeId node, int timeout_ms);
+  std::optional<Message> take_until(NodeId node, uint64_t deadline_ns);
+  void wake(NodeId node);
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   uint64_t latency_ns_ = 0;

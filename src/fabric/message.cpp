@@ -4,9 +4,17 @@
 
 #include "common/check.hpp"
 
+#include "common/time.hpp"
+
 namespace pm2::fabric {
 
 size_t Message::wire_size() const { return sizeof(WireHeader) + payload_size(); }
+
+std::optional<Message> Fabric::recv(int timeout_ms) {
+  if (timeout_ms < 0) return recv_until(UINT64_MAX);
+  if (timeout_ms == 0) return try_recv();
+  return recv_until(now_ns() + static_cast<uint64_t>(timeout_ms) * 1'000'000);
+}
 
 std::vector<uint8_t>& Message::flat() {
   if (!chain.empty()) {

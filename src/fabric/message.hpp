@@ -100,8 +100,27 @@ class Fabric {
   /// Non-blocking receive.
   virtual std::optional<Message> try_recv() = 0;
 
-  /// Receive with timeout in milliseconds (-1 = wait forever).
-  virtual std::optional<Message> recv(int timeout_ms) = 0;
+  /// Event-driven receive: park the calling kernel thread until a frame
+  /// arrives, wake() is called, or now_ns() reaches `deadline_ns`
+  /// (UINT64_MAX = wait until a frame or wake).  This is the waitable
+  /// readiness handle of the transport — the in-process hub waits on the
+  /// destination mailbox's condition variable, the socket fabric on
+  /// epoll over the peer links plus its wake eventfd — so an idle comm
+  /// daemon consumes no CPU and resumes within the transport's wake
+  /// latency of the event, not at the end of a poll interval.
+  /// Returns nullopt on deadline expiry or wake-up without a frame.
+  virtual std::optional<Message> recv_until(uint64_t deadline_ns) = 0;
+
+  /// Interrupt a concurrent or subsequent recv_until from any kernel
+  /// thread (the one cross-thread-safe entry point): the blocked receiver
+  /// returns early (possibly nullopt).  Socket fabric: a write to its
+  /// eventfd registered in the epoll set; in-process hub: a flagged
+  /// notify on the mailbox condvar.
+  virtual void wake() = 0;
+
+  /// Receive with timeout in milliseconds (-1 = wait forever), layered on
+  /// recv_until for callers that think in intervals (tests, tools).
+  std::optional<Message> recv(int timeout_ms);
 
   /// Bytes/messages moved (for benches).  Both fabrics count
   /// Message::wire_size() at the top of send(), before delivery.

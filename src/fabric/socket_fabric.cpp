@@ -1,6 +1,7 @@
 #include "fabric/socket_fabric.hpp"
 
 #include <errno.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -12,6 +13,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/time.hpp"
 #include "sys/socket.hpp"
 
 namespace pm2::fabric {
@@ -28,6 +30,9 @@ constexpr size_t kDirectRecvMin = 8 * 1024;
 // (one segment per live heap extent) are gathered in slices.
 constexpr size_t kMaxIov = 1024;
 
+// Poller tag of the wake eventfd (peer links are tagged by NodeId).
+constexpr uint64_t kWakeTag = UINT64_MAX;
+
 class SocketFabric final : public Fabric {
  public:
   explicit SocketFabric(const SocketFabricConfig& config);
@@ -36,7 +41,8 @@ class SocketFabric final : public Fabric {
   NodeId n_nodes() const override { return config_.n_nodes; }
   void send(Message msg) override;
   std::optional<Message> try_recv() override;
-  std::optional<Message> recv(int timeout_ms) override;
+  std::optional<Message> recv_until(uint64_t deadline_ns) override;
+  void wake() override;
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t messages_sent() const override { return messages_sent_; }
   uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
@@ -57,7 +63,9 @@ class SocketFabric final : public Fabric {
   void connect_mesh();
   /// Drain every readable peer; parse complete frames into the inbox.
   void pump(int timeout_ms);
+  void pump_ns(uint64_t timeout_ns);
   void drain_fd(size_t peer);
+  void dispatch_tags(const std::vector<uint64_t>& tags);
   /// Decode complete frames from the accumulator; switch large partial
   /// frames to the direct-read path.
   void parse_frames(Conn& c);
@@ -66,6 +74,10 @@ class SocketFabric final : public Fabric {
   SocketFabricConfig config_;
   std::vector<Conn> conns_;  // indexed by peer node id (self unused)
   sys::Poller poller_;
+  // Waitable readiness handle: wake() (from any thread) makes a blocked
+  // recv_until return early by tripping this eventfd in the epoll set.
+  sys::Fd wake_fd_;
+  bool wake_pending_ = false;
   std::deque<Message> inbox_;
   // Pooled receive staging shared by all connections, heap-allocated:
   // fabric calls run on PM2 threads whose whole stack is one 64 KB slot,
@@ -81,6 +93,9 @@ class SocketFabric final : public Fabric {
 SocketFabric::SocketFabric(const SocketFabricConfig& config) : config_(config) {
   PM2_CHECK(config_.node_id < config_.n_nodes);
   conns_.resize(config_.n_nodes);
+  wake_fd_ = sys::Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  PM2_CHECK(wake_fd_.valid()) << "eventfd: " << std::strerror(errno);
+  poller_.add(wake_fd_.get(), kWakeTag);
   connect_mesh();
 }
 
@@ -280,8 +295,25 @@ void SocketFabric::drain_fd(size_t peer) {
   }
 }
 
+void SocketFabric::dispatch_tags(const std::vector<uint64_t>& tags) {
+  for (uint64_t tag : tags) {
+    if (tag == kWakeTag) {
+      uint64_t counter;
+      while (::read(wake_fd_.get(), &counter, sizeof(counter)) > 0) {
+      }
+      wake_pending_ = true;
+      continue;
+    }
+    drain_fd(tag);
+  }
+}
+
 void SocketFabric::pump(int timeout_ms) {
-  for (uint64_t tag : poller_.wait(timeout_ms)) drain_fd(tag);
+  dispatch_tags(poller_.wait(timeout_ms));
+}
+
+void SocketFabric::pump_ns(uint64_t timeout_ns) {
+  dispatch_tags(poller_.wait_ns(timeout_ns));
 }
 
 std::optional<Message> SocketFabric::try_recv() {
@@ -292,13 +324,23 @@ std::optional<Message> SocketFabric::try_recv() {
   return msg;
 }
 
-std::optional<Message> SocketFabric::recv(int timeout_ms) {
-  if (auto msg = try_recv()) return msg;
-  pump(timeout_ms);
-  if (inbox_.empty()) return std::nullopt;
-  Message msg = std::move(inbox_.front());
-  inbox_.pop_front();
-  return msg;
+std::optional<Message> SocketFabric::recv_until(uint64_t deadline_ns) {
+  while (true) {
+    if (auto msg = try_recv()) return msg;
+    if (wake_pending_) {  // interrupted by wake(): report "no frame"
+      wake_pending_ = false;
+      return std::nullopt;
+    }
+    uint64_t now = now_ns();
+    if (now >= deadline_ns) return std::nullopt;
+    pump_ns(deadline_ns == UINT64_MAX ? UINT64_MAX : deadline_ns - now);
+  }
+}
+
+void SocketFabric::wake() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t ignored =
+      ::write(wake_fd_.get(), &one, sizeof(one));
 }
 
 }  // namespace

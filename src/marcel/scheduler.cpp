@@ -94,6 +94,18 @@ void Scheduler::push_ready(Thread* t) {
   ++ready_count_;
 }
 
+void Scheduler::push_ready_front(Thread* t) {
+  t->state = ThreadState::kReady;
+  t->qprev = nullptr;
+  t->qnext = ready_head_;
+  if (ready_head_ != nullptr)
+    ready_head_->qprev = t;
+  else
+    ready_tail_ = t;
+  ready_head_ = t;
+  ++ready_count_;
+}
+
 Thread* Scheduler::pop_ready() {
   Thread* t = ready_head_;
   if (t == nullptr) return nullptr;
@@ -136,6 +148,13 @@ void Scheduler::fire_expired_timers() {
   }
 }
 
+uint64_t Scheduler::ns_until_next_timer() const {
+  if (timers_.empty()) return UINT64_MAX;
+  uint64_t deadline = timers_.begin()->first;
+  uint64_t now = now_ns();
+  return deadline > now ? deadline - now : 0;
+}
+
 void Scheduler::run() {
   SchedulerBinding bind(this);
   while (true) {
@@ -155,16 +174,23 @@ void Scheduler::run() {
       continue;
     }
     if (stop_requested_ && registry_.empty()) break;
-    if (idle_hook_) {
-      idle_hook_();
+    if (!timers_.empty()) {
+      // Park the kernel thread until the nearest deadline instead of
+      // busy-waiting: a sleeping thread is the only local wake source
+      // (cross-node events are owned by the comm daemon, which is a
+      // thread and therefore never leaves the scheduler idle).
+      timespec until;
+      uint64_t deadline = timers_.begin()->first;
+      until.tv_sec = static_cast<time_t>(deadline / 1'000'000'000ull);
+      until.tv_nsec = static_cast<long>(deadline % 1'000'000'000ull);
+      ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &until, nullptr);
       continue;
     }
-    if (!timers_.empty()) continue;  // busy-wait for the nearest deadline
     // No runnable thread, no timer, no event source: with a cooperative
     // scheduler this state can never resolve itself.
     PM2_CHECK(!registry_.empty())
         << "scheduler idle with empty registry but no stop request";
-    PM2_FATAL("deadlock: all threads blocked/frozen and no idle hook");
+    PM2_FATAL("deadlock: all threads blocked/frozen");
   }
 }
 
@@ -196,11 +222,14 @@ void Scheduler::sleep_us(uint64_t us) {
   pm2_ctx_switch(&t->sp, sched_sp_);
 }
 
-void Scheduler::unblock(Thread* t) {
+void Scheduler::unblock(Thread* t, bool front) {
   PM2_CHECK(t->state == ThreadState::kBlocked)
       << "unblock on " << to_string(t->state) << " thread";
   t->wait_queue = nullptr;
-  push_ready(t);
+  if (front)
+    push_ready_front(t);
+  else
+    push_ready(t);
 }
 
 void Scheduler::exit_current(Continuation reaper) {

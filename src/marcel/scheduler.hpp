@@ -58,14 +58,20 @@ class Scheduler {
   /// on some wait queue that will unblock() it later.
   void block();
 
-  /// Park the caller for at least `us` microseconds (timer queue; actual
-  /// resolution is the scheduler loop cadence, ~the comm daemon's poll
-  /// interval under PM2).  Sleeping threads are kBlocked and therefore not
+  /// Park the caller for at least `us` microseconds.  Expired timers fire
+  /// whenever control returns to the scheduler loop; under PM2 the comm
+  /// daemon bounds its fabric waits by ns_until_next_timer(), so wake-ups
+  /// land within the fabric's wake latency of the deadline even on an
+  /// otherwise idle node.  Sleeping threads are kBlocked and therefore not
   /// preemptively migratable, like any parked thread.
   void sleep_us(uint64_t us);
 
-  /// Make a blocked thread runnable again.
-  void unblock(Thread* t);
+  /// Make a blocked thread runnable again.  With `front` set the thread
+  /// jumps the ready FIFO (direct handoff): it is dispatched next, before
+  /// any round-robin peer — used when the comm daemon completes a reply
+  /// the thread is parked on, so a blocking caller resumes immediately
+  /// instead of after a full round-robin lap.
+  void unblock(Thread* t, bool front = false);
 
   /// Terminate the calling thread.  `reaper` runs on the scheduler stack
   /// after the thread is off its stack — it releases the thread's memory
@@ -117,9 +123,11 @@ class Scheduler {
   void stop() { stop_requested_ = true; }
   bool stopping() const { return stop_requested_; }
 
-  /// Called when the ready queue is empty: poll for external events.  The
-  /// hook may block briefly (e.g. fabric recv with a short timeout).
-  void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+  /// Nanoseconds until the earliest sleep timer expires: 0 if one is
+  /// already due, UINT64_MAX if no thread is sleeping.  External event
+  /// loops that park the kernel thread (the PM2 comm daemon blocking on
+  /// the fabric) bound their waits with this so timers fire on time.
+  uint64_t ns_until_next_timer() const;
 
   // --- preemption (deferred) ----------------------------------------------
 
@@ -142,6 +150,7 @@ class Scheduler {
  private:
   void dispatch(Thread* t);
   void push_ready(Thread* t);
+  void push_ready_front(Thread* t);
   Thread* pop_ready();
   [[noreturn]] void switch_out_forever(Thread* t);
 
@@ -152,7 +161,6 @@ class Scheduler {
   size_t ready_count_ = 0;
   size_t live_ = 0;  // non-daemon threads registered here
   bool stop_requested_ = false;
-  std::function<void()> idle_hook_;
   Continuation post_;          // continuation to run after next switch to sched
   Thread* post_thread_ = nullptr;
   std::unordered_map<ThreadId, Thread*> registry_;

@@ -25,7 +25,7 @@ void WaitQueue::park_current() {
   sched->block();
 }
 
-Thread* WaitQueue::unpark_one() {
+Thread* WaitQueue::unpark_one(bool front) {
   Thread* t = head_;
   if (t == nullptr) return nullptr;
   head_ = t->qnext;
@@ -36,12 +36,12 @@ Thread* WaitQueue::unpark_one() {
   t->qnext = nullptr;
   t->qprev = nullptr;
   --size_;
-  Scheduler::current_scheduler()->unblock(t);
+  Scheduler::current_scheduler()->unblock(t, front);
   return t;
 }
 
-void WaitQueue::unpark_all() {
-  while (unpark_one() != nullptr) {
+void WaitQueue::unpark_all(bool front) {
+  while (unpark_one(front) != nullptr) {
   }
 }
 
@@ -102,9 +102,9 @@ bool Barrier::arrive_and_wait() {
   return false;
 }
 
-void Event::set() {
+void Event::set(bool direct_handoff) {
   set_ = true;
-  waiters_.unpark_all();
+  waiters_.unpark_all(direct_handoff);
 }
 
 void Event::wait() {

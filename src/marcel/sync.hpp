@@ -30,10 +30,12 @@ class WaitQueue {
 
   /// Park the calling thread at the tail and deschedule it.
   void park_current();
-  /// Unpark the head thread; returns it, or nullptr if empty.
-  Thread* unpark_one();
+  /// Unpark the head thread; returns it, or nullptr if empty.  With
+  /// `front` set the woken thread jumps to the head of the ready queue
+  /// (direct handoff — it runs next; see Scheduler::unblock).
+  Thread* unpark_one(bool front = false);
   /// Unpark everything.
-  void unpark_all();
+  void unpark_all(bool front = false);
 
   bool empty() const { return head_ == nullptr; }
   size_t size() const { return size_; }
@@ -99,7 +101,11 @@ class Barrier {
 /// negotiation responses delivered by the comm daemon).
 class Event {
  public:
-  void set();
+  /// With `direct_handoff` the waiters are woken to the *front* of the
+  /// ready queue: the completion path (the comm daemon finishing a reply)
+  /// hands control straight to the waiting thread instead of making it
+  /// ride out a full round-robin lap.  Plain set() keeps FIFO fairness.
+  void set(bool direct_handoff = false);
   void wait();
   bool is_set() const { return set_; }
 
@@ -186,16 +192,20 @@ class Promise {
   /// The (single) consumer handle.
   Future<T> future() const { return Future<T>(state_); }
 
+  // Completions use direct handoff: the producer is the comm daemon (or a
+  // local service) finishing a reply the consumer may be parked on — wake
+  // it to the front of the ready queue so a blocking caller resumes as
+  // soon as the daemon yields, not after a round-robin lap.
   void set_value(T v) {
     PM2_CHECK(!state_->event.is_set()) << "promise completed twice";
     state_->value.emplace(std::move(v));
-    state_->event.set();
+    state_->event.set(/*direct_handoff=*/true);
   }
   void set_error(std::string why) {
     PM2_CHECK(!state_->event.is_set()) << "promise completed twice";
     state_->failed = true;
     state_->error = std::move(why);
-    state_->event.set();
+    state_->event.set(/*direct_handoff=*/true);
   }
   bool completed() const { return state_->event.is_set(); }
 

@@ -52,7 +52,7 @@ enum MsgType : uint16_t {
 /// Name-keyed dispatch replaces the old registration-order ids: nodes no
 /// longer need to register the same services in the same order (or at
 /// all).  Collisions between *registered* names are CHECK-failed at
-/// registration time; see Runtime::register_service.
+/// registration time; see Runtime::service / Runtime::service_raw.
 constexpr uint32_t service_id(std::string_view name) {
   uint32_t h = 2166136261u;
   for (char c : name) {

@@ -1,7 +1,9 @@
 #include "pm2/runtime.hpp"
 
+#include <sched.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <new>
@@ -336,9 +338,9 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
 // RPC
 // ---------------------------------------------------------------------------
 
-uint32_t Runtime::register_service(const char* name, ServiceFn fn) {
+uint32_t Runtime::service_raw(const char* name, ServiceHandler fn) {
   PM2_CHECK(name != nullptr && fn != nullptr);
-  return register_service_handler(name, ServiceHandler(fn));
+  return register_service_handler(name, std::move(fn));
 }
 
 uint32_t Runtime::register_service_handler(const char* name, ServiceHandler fn,
@@ -442,7 +444,8 @@ void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
                          it->second.name.c_str(), it->second.thread_flags);
 }
 
-void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
+void Runtime::rpc_hash(uint32_t node, uint32_t service,
+                       mad::PackBuffer&& args) {
   PM2_CHECK(node < config_.n_nodes);
   if (node == config_.node) {
     dispatch_rpc(service, config_.node, 0, args.finalize(), 0);
@@ -455,7 +458,7 @@ void Runtime::rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   fabric_->send(std::move(msg));
 }
 
-marcel::Future<std::vector<uint8_t>> Runtime::call_async(
+marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
     uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   PM2_CHECK(node < config_.n_nodes);
   if (halting_) {
@@ -478,11 +481,11 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async(
   return fut;
 }
 
-std::vector<uint8_t> Runtime::call(uint32_t node, uint32_t service,
+std::vector<uint8_t> Runtime::call(uint32_t node, const char* service_name,
                                    mad::PackBuffer&& args) {
   PM2_CHECK(marcel::Scheduler::self() != nullptr) << "call outside a thread";
   marcel::Future<std::vector<uint8_t>> fut =
-      call_async(node, service, std::move(args));
+      call_async_hash(node, service_id(service_name), std::move(args));
   fut.wait();
   if (fut.failed()) throw RpcError(fut.error());
   return fut.take();
@@ -652,7 +655,18 @@ void Runtime::daemon_trampoline(void* runtime) {
   static_cast<Runtime*>(runtime)->comm_daemon_body();
 }
 
+bool Runtime::reply_is_imminent() const {
+  // A non-empty correlation table means some local thread issued a request
+  // whose reply is the next thing this node is waiting for — the only
+  // situation where burning the idle window on a poll loop buys latency.
+  return !pending_calls_.empty() || !pending_migrations_.empty();
+}
+
 void Runtime::comm_daemon_body() {
+  // Heartbeat cap on the event-driven block: bounds the damage of any
+  // missed-wakeup bug to one lap instead of a hang, at zero latency cost
+  // (every frame still wakes the fabric handle immediately).
+  constexpr uint64_t kIdleBlockNs = 500'000'000;
   while (true) {
     bool worked = false;
     while (auto msg = fabric_->try_recv()) {
@@ -664,25 +678,42 @@ void Runtime::comm_daemon_body() {
       sched_.yield();
       continue;
     }
-    // Idle node: busy-poll briefly (latency-critical paths like migration
-    // ping-pong land here), then block on the fabric instead of spinning.
-    if (config_.comm_busy_poll_us > 0) {
-      uint64_t deadline = now_ns() + config_.comm_busy_poll_us * 1000;
+    // Idle node: every local thread is parked (on a reply, a timer, a
+    // join).  Block on the fabric's readiness handle until a frame
+    // arrives — but never past the next sleep deadline, so marcel timers
+    // fire on time — with an adaptive busy-poll window in front only
+    // while a reply is imminent (paper-faithful polling-mode latency for
+    // RPC/migration ping-pong without spinning on truly idle nodes).
+    uint64_t now = now_ns();
+    uint64_t timer_ns = sched_.ns_until_next_timer();
+    uint64_t deadline =
+        now + std::min<uint64_t>(timer_ns, kIdleBlockNs);
+    if (config_.comm_busy_poll_us > 0 && reply_is_imminent()) {
+      uint64_t spin_end =
+          std::min(deadline, now + config_.comm_busy_poll_us * 1000);
       bool got = false;
-      while (now_ns() < deadline) {
+      while (now_ns() < spin_end) {
         if (auto msg = fabric_->try_recv()) {
           handle_message(*msg);
           got = true;
           break;
         }
+        // Single-core friendliness: the reply we are spinning for needs
+        // CPU on the peer to be produced; on an idle multicore box this
+        // is a few hundred ns and keeps the spin's latency edge.
+        ::sched_yield();
       }
-      if (got) continue;
+      if (got) continue;  // drain the rest (and re-check halt) at the top
       if (halting_ && sched_.live_count() == 0) break;
     }
-    if (auto msg = fabric_->recv(1)) handle_message(*msg);
-    // Bounce through the scheduler so its loop can fire expired sleep
-    // timers (they only run between dispatches, and this daemon is the
-    // only dispatchable thread while everyone else is parked).
+    if (auto msg = fabric_->recv_until(deadline)) {
+      handle_message(*msg);
+      // Re-check immediately: if that frame was the halt (or the last
+      // drain), exit now instead of taking another blocking lap.
+      if (halting_ && sched_.live_count() == 0) break;
+    }
+    // Bounce through the scheduler so its loop fires expired sleep timers
+    // and dispatches any thread the handled frame unparked.
     sched_.yield();
   }
   sched_.stop();
@@ -712,13 +743,13 @@ void Runtime::handle_message(fabric::Message& msg) {
         }
         PM2_CHECK(barrier_waiter_ != nullptr)
             << "all nodes arrived but coordinator never entered the barrier";
-        barrier_waiter_->set();
+        barrier_waiter_->set(/*direct_handoff=*/true);
       }
       break;
     }
     case kBarrierRelease:
       PM2_CHECK(barrier_waiter_ != nullptr) << "spurious barrier release";
-      barrier_waiter_->set();
+      barrier_waiter_->set(/*direct_handoff=*/true);
       break;
     case kSignal:
       ++signals_received_;
@@ -750,7 +781,7 @@ void Runtime::handle_message(fabric::Message& msg) {
       break;
     case kLockGrant:
       PM2_CHECK(lock_wait_ != nullptr) << "spurious lock grant";
-      lock_wait_->set();
+      lock_wait_->set(/*direct_handoff=*/true);
       break;
     case kUnlock:
       handle_unlock(msg.src);

@@ -106,7 +106,6 @@ class RpcContext {
   bool replied_ = false;
 };
 
-using ServiceFn = void (*)(RpcContext&);
 using ServiceHandler = std::function<void(RpcContext&)>;
 
 /// Typed view over a raw reply future: take() unpacks the service's return
@@ -146,8 +145,8 @@ namespace detail {
 /// to right, invoke, and auto-reply the packed result when the caller
 /// expects one.  A void service auto-acks with an empty reply, so
 /// call<void> has completion-barrier semantics; fire-and-forget
-/// invocations send nothing.  (Only untyped register_service handlers
-/// control reply() manually.)
+/// invocations send nothing.  (Only untyped service_raw handlers control
+/// reply() manually.)
 template <typename R, typename... Args>
 struct RpcInvoker {
   template <typename F>
@@ -195,10 +194,13 @@ struct RuntimeConfig {
   /// Migration payload: ship only slot headers + live blocks/stack instead
   /// of whole slots (paper §6 optimization).  Ablation A4 toggles this.
   bool migrate_blocks_only = true;
-  /// When a node goes idle, the comm daemon busy-polls the fabric for this
-  /// long before blocking.  The paper's BIP/Myrinet layer was polling-mode;
-  /// blocking wake-ups cost ~100 us of futex latency, which would swamp the
-  /// migration path.  0 disables (always block when idle).
+  /// Adaptive busy-poll window: when the node goes idle *while a reply or
+  /// migration ack is outstanding*, the comm daemon polls the fabric for
+  /// this long (yielding the core between probes) before parking on the
+  /// fabric's readiness handle.  The paper's BIP/Myrinet layer was
+  /// polling-mode — a poll catches the reply without paying the blocking
+  /// wake-up — but a node with nothing in flight always blocks, so idle
+  /// nodes burn no CPU.  0 disables the window (always block when idle).
   uint64_t comm_busy_poll_us = 200;
   /// Migration slot cache (the paper's §6 mmapped-slot cache applied to the
   /// migration path): slots of shipped threads stay committed, and a thread
@@ -319,17 +321,19 @@ class Runtime {
   // --- RPC (LRPC: remote thread creation) -----------------------------------
   //
   // Services are keyed by the FNV-1a hash of their *name* (protocol.hpp's
-  // service_id); the wire carries the hash.  Nodes may register any subset
-  // of services in any order — the old registration-order contract is
-  // gone.  A name collision between two registered services CHECK-fails at
-  // registration; an rpc() to an unknown service CHECK-fails on the
-  // destination; a call()/call_async() to an unknown service fails the
+  // service_id); the wire carries the hash, and every entry point below
+  // takes the name — the PR-2-deprecated numeric-id overloads are gone.
+  // Nodes may register any subset of services in any order.  A name
+  // collision between two registered services CHECK-fails at registration;
+  // a fire-and-forget rpc() to an unknown remote service is dropped with a
+  // warning; a call()/call_async() to an unknown service fails the
   // caller's future with an error instead.
 
-  /// Register an untyped service under `name`; returns service_id(name).
-  /// Deprecated shim (the returned id is now just the name hash): prefer
-  /// the typed service() below, or pass names straight to call()/rpc().
-  uint32_t register_service(const char* name, ServiceFn fn);
+  /// Register an untyped service under `name`: the handler drives
+  /// ctx.args()/ctx.reply() manually (no typed unpacking, no auto-reply —
+  /// for region-view payloads and protocol tests).  Returns
+  /// service_id(name).
+  uint32_t service_raw(const char* name, ServiceHandler fn);
 
   /// Typed service registration: `handler` is any callable
   /// `R(RpcContext&, Args...)`.  Arguments are unpacked left to right with
@@ -355,13 +359,10 @@ class Runtime {
                               marcel::Thread::kFlagPinned);
   }
 
-  /// Fire-and-forget: create a thread running `service` on `node`.
-  /// Deprecated shim: prefer the name-keyed overloads.
-  void rpc(uint32_t node, uint32_t service, mad::PackBuffer&& args);
-
-  /// Fire-and-forget by name, pre-packed args.
+  /// Fire-and-forget by name, pre-packed args: create a thread running the
+  /// service on `node`.
   void rpc(uint32_t node, const char* service_name, mad::PackBuffer&& args) {
-    rpc(node, service_id(service_name), std::move(args));
+    rpc_hash(node, service_id(service_name), std::move(args));
   }
 
   /// Fire-and-forget by name, typed args.
@@ -369,33 +370,25 @@ class Runtime {
   void rpc(uint32_t node, const char* service_name, const Args&... args) {
     mad::PackBuffer pb;
     mad::pack_values(pb, args...);
-    rpc(node, service_id(service_name), std::move(pb));
+    rpc_hash(node, service_id(service_name), std::move(pb));
   }
 
-  /// Request/response: like rpc() but blocks the calling thread until the
-  /// service calls ctx.reply().  Throws RpcError if the session halts
-  /// while waiting or the destination has no such service.
-  /// Deprecated shim: prefer call_async / the typed call<R>.
-  std::vector<uint8_t> call(uint32_t node, uint32_t service,
+  /// Blocking request/response by name, pre-packed args: like rpc() but
+  /// parks the calling thread until the service calls ctx.reply().
+  /// Throws RpcError if the session halts while waiting or the
+  /// destination has no such service.
+  std::vector<uint8_t> call(uint32_t node, const char* service_name,
                             mad::PackBuffer&& args);
 
-  /// Blocking call by name, pre-packed args.
-  std::vector<uint8_t> call(uint32_t node, const char* service_name,
-                            mad::PackBuffer&& args) {
-    return call(node, service_id(service_name), std::move(args));
-  }
-
-  /// Asynchronous request: returns immediately with a completion future
-  /// for the raw reply bytes.  Unlimited outstanding requests per thread —
-  /// this is the pipelined-RPC primitive.  The future fails (instead of
-  /// hanging) on session shutdown or unknown destination service.
-  marcel::Future<std::vector<uint8_t>> call_async(uint32_t node,
-                                                  uint32_t service,
-                                                  mad::PackBuffer&& args);
+  /// Asynchronous request by name: returns immediately with a completion
+  /// future for the raw reply bytes.  Unlimited outstanding requests per
+  /// thread — this is the pipelined-RPC primitive.  The future fails
+  /// (instead of hanging) on session shutdown or unknown destination
+  /// service.
   marcel::Future<std::vector<uint8_t>> call_async(uint32_t node,
                                                   const char* service_name,
                                                   mad::PackBuffer&& args) {
-    return call_async(node, service_id(service_name), std::move(args));
+    return call_async_hash(node, service_id(service_name), std::move(args));
   }
 
   /// Typed asynchronous call: packs `args` with mad::pack_values, returns
@@ -405,8 +398,8 @@ class Runtime {
                           const Args&... args) {
     mad::PackBuffer pb;
     mad::pack_values(pb, args...);
-    return RpcFuture<R>(call_async(node, service_id(service_name),
-                                   std::move(pb)));
+    return RpcFuture<R>(call_async_hash(node, service_id(service_name),
+                                        std::move(pb)));
   }
 
   /// Typed blocking call: call<R>(node, "name", args...) -> R.
@@ -508,6 +501,17 @@ class Runtime {
                     std::vector<uint8_t>&& args, size_t args_offset);
   uint32_t register_service_handler(const char* name, ServiceHandler fn,
                                     uint32_t thread_flags = 0);
+
+  /// Wire-level RPC entry points keyed by the service-name hash — what
+  /// the public name-keyed overloads compile down to.
+  void rpc_hash(uint32_t node, uint32_t service, mad::PackBuffer&& args);
+  marcel::Future<std::vector<uint8_t>> call_async_hash(uint32_t node,
+                                                       uint32_t service,
+                                                       mad::PackBuffer&& args);
+
+  /// Comm-daemon spin gate: true while some local thread awaits a reply
+  /// or migration ack (see comm_daemon_body's adaptive busy-poll).
+  bool reply_is_imminent() const;
 
   template <typename F>
   uint32_t service_with_flags(const char* name, F&& handler, uint32_t flags) {

@@ -2,19 +2,42 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
 
 namespace pm2::sys {
+
+namespace {
+
+/// connect() failures worth retrying during session startup: the peer has
+/// not bound/listened yet, or its backlog is momentarily full.  Anything
+/// else (EACCES, EADDRNOTAVAIL, ENETUNREACH, ...) is a configuration or
+/// environment error that no amount of retrying fixes — fail immediately
+/// with the errno instead of burning the whole connect timeout on it.
+bool connect_errno_is_transient(int err) {
+  return err == ENOENT || err == ECONNREFUSED || err == ECONNRESET ||
+         err == EAGAIN || err == EINTR || err == ETIMEDOUT;
+}
+
+/// Exponential backoff between connect attempts: start short (the common
+/// case is a peer that binds microseconds later), cap well below the
+/// overall timeout so the last attempts still happen.
+constexpr int kConnectBackoffStartUs = 200;
+constexpr int kConnectBackoffCapUs = 20'000;
+
+}  // namespace
 
 void Fd::reset() {
   if (fd_ >= 0) {
@@ -44,6 +67,8 @@ Fd uds_connect(const std::string& path, int timeout_ms) {
   PM2_CHECK(path.size() < sizeof(addr.sun_path));
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   Stopwatch sw;
+  int backoff_us = kConnectBackoffStartUs;
+  int attempts = 0;
   while (true) {
     Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
     PM2_CHECK(fd.valid());
@@ -51,9 +76,15 @@ Fd uds_connect(const std::string& path, int timeout_ms) {
                   sizeof(addr)) == 0) {
       return fd;
     }
+    int err = errno;
+    ++attempts;
+    PM2_CHECK(connect_errno_is_transient(err))
+        << "uds_connect(" << path << "): " << std::strerror(err);
     PM2_CHECK(sw.elapsed_ms() < timeout_ms)
-        << "uds_connect(" << path << ") timed out: " << std::strerror(errno);
-    ::usleep(1000);
+        << "uds_connect(" << path << ") timed out after " << attempts
+        << " attempts: " << std::strerror(err);
+    ::usleep(static_cast<useconds_t>(backoff_us));
+    backoff_us = std::min(backoff_us * 2, kConnectBackoffCapUs);
   }
 }
 
@@ -83,6 +114,8 @@ Fd tcp_connect(uint16_t port, int timeout_ms) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   Stopwatch sw;
+  int backoff_us = kConnectBackoffStartUs;
+  int attempts = 0;
   while (true) {
     Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     PM2_CHECK(fd.valid());
@@ -91,9 +124,15 @@ Fd tcp_connect(uint16_t port, int timeout_ms) {
       set_nodelay(fd);
       return fd;
     }
+    int err = errno;
+    ++attempts;
+    PM2_CHECK(connect_errno_is_transient(err))
+        << "tcp_connect(" << port << "): " << std::strerror(err);
     PM2_CHECK(sw.elapsed_ms() < timeout_ms)
-        << "tcp_connect(" << port << ") timed out";
-    ::usleep(1000);
+        << "tcp_connect(" << port << ") timed out after " << attempts
+        << " attempts: " << std::strerror(err);
+    ::usleep(static_cast<useconds_t>(backoff_us));
+    backoff_us = std::min(backoff_us * 2, kConnectBackoffCapUs);
   }
 }
 
@@ -178,6 +217,41 @@ std::vector<uint64_t> Poller::wait(int timeout_ms) {
   tags.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) tags.push_back(evs[i].data.u64);
   return tags;
+}
+
+std::vector<uint64_t> Poller::wait_ns(uint64_t timeout_ns) {
+#ifdef SYS_epoll_pwait2
+  // Probe once: on a pre-5.11 kernel the syscall is a guaranteed ENOSYS,
+  // and this sits on the comm daemon's every-wait hot path.
+  static const bool have_pwait2 = [] {
+    long r = ::syscall(SYS_epoll_pwait2, -1, nullptr, 0, nullptr, nullptr, 0);
+    return !(r < 0 && errno == ENOSYS);
+  }();
+  if (have_pwait2) {
+    epoll_event evs[16];
+    timespec ts;
+    timespec* tsp = nullptr;
+    if (timeout_ns != UINT64_MAX) {
+      ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000ull);
+      ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000ull);
+      tsp = &ts;
+    }
+    // Raw syscall: works on any glibc once the kernel has it.
+    long n = ::syscall(SYS_epoll_pwait2, epfd_, evs, 16, tsp, nullptr, 0);
+    if (n >= 0) {
+      std::vector<uint64_t> tags;
+      tags.reserve(static_cast<size_t>(n));
+      for (long i = 0; i < n; ++i) tags.push_back(evs[i].data.u64);
+      return tags;
+    }
+    PM2_CHECK(errno == EINTR) << "epoll_pwait2: " << std::strerror(errno);
+    return {};
+  }
+#endif
+  if (timeout_ns == UINT64_MAX) return wait(-1);
+  int ms = static_cast<int>(
+      std::min<uint64_t>((timeout_ns + 999'999) / 1'000'000, INT_MAX));
+  return wait(ms);
 }
 
 }  // namespace pm2::sys

@@ -80,6 +80,11 @@ class Poller {
   /// Wait up to timeout_ms (-1 = forever, 0 = poll); returns tags of ready
   /// (EPOLLIN) fds.
   std::vector<uint64_t> wait(int timeout_ms);
+  /// Nanosecond-resolution wait (UINT64_MAX = forever): epoll_pwait2 where
+  /// the kernel provides it, millisecond epoll_wait (rounded up) otherwise.
+  /// Sub-ms precision keeps the comm daemon's timer-bounded fabric waits
+  /// from oversleeping marcel timers by a full millisecond.
+  std::vector<uint64_t> wait_ns(uint64_t timeout_ns);
 
  private:
   int epfd_ = -1;

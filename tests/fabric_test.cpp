@@ -7,6 +7,7 @@
 #include <random>
 #include <thread>
 
+#include "common/time.hpp"
 #include "fabric/inproc.hpp"
 
 namespace pm2::fabric {
@@ -125,6 +126,29 @@ TEST(InProc, CrossThreadWakeup) {
   sender.join();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->type, 5);
+}
+
+TEST(InProc, WakeInterruptsBlockedRecv) {
+  // The waitable-readiness contract: wake() from another thread makes an
+  // indefinitely blocked recv_until return promptly without a frame.
+  auto hub = std::make_shared<InProcHub>(1);
+  auto a = hub->endpoint(0);
+  std::thread waker([&] { a->wake(); });
+  Stopwatch sw;
+  auto got = a->recv_until(now_ns() + 5'000'000'000ull);
+  waker.join();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_LT(sw.elapsed_ms(), 1000.0) << "wake() did not interrupt recv_until";
+  // The wake latch is consumed: the next bounded recv times out normally.
+  EXPECT_FALSE(a->recv(1).has_value());
+}
+
+TEST(InProc, RecvUntilDeadlineExpires) {
+  auto hub = std::make_shared<InProcHub>(1);
+  auto a = hub->endpoint(0);
+  Stopwatch sw;
+  EXPECT_FALSE(a->recv_until(now_ns() + 20'000'000).has_value());
+  EXPECT_GE(sw.elapsed_ms(), 15.0);
 }
 
 TEST(InProc, SelfSend) {

@@ -1,0 +1,102 @@
+// Regression guards for the event-driven comm path (PR 3).
+//
+// The blocking-RPC latency bug: the reply wake-up used to bounce through a
+// blind busy-poll window (starving the peer node of the core), a fixed 1 ms
+// recv timeout and a round-robin lap before the caller ran — ~400 µs per
+// blocking call on the in-process hub, and marcel sleeps overslept by the
+// poll interval on idle nodes.  These tests fail loudly if that shape of
+// bug returns; the bounds are generous multiples of the event-driven
+// path's cost so they stay green on slow shared CI runners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/time.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+// A blocking call on the in-process hub completes in single-digit µs when
+// the comm daemons park on the fabric's readiness handle and the reply
+// hands off directly to the caller.  The old poll-bounce path cost ~400 µs
+// per call; the ceiling sits far above the fixed path and far below the
+// broken one.
+TEST(Latency, InprocBlockingCallStaysMicroseconds) {
+  constexpr int kCalls = 300;
+  constexpr double kCeilingUsPerCall = 150.0;
+  std::atomic<uint64_t> total_ns{0};
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() != 0) return;
+        rt.call<uint64_t>(1, "echo", uint64_t{0});  // warm the path
+        Stopwatch sw;
+        for (int i = 0; i < kCalls; ++i) {
+          uint64_t r = rt.call<uint64_t>(1, "echo", static_cast<uint64_t>(i));
+          ASSERT_EQ(r, static_cast<uint64_t>(i) + 1);
+        }
+        total_ns = sw.elapsed_ns();
+      },
+      [](Runtime& rt) {
+        rt.service("echo",
+                   [](RpcContext&, uint64_t v) -> uint64_t { return v + 1; });
+      });
+  double us_per_call = static_cast<double>(total_ns.load()) / 1e3 / kCalls;
+  EXPECT_LT(us_per_call, kCeilingUsPerCall)
+      << "blocking-call latency regressed: " << us_per_call
+      << " us/call — the reply wake-up path is bouncing through poll "
+         "windows again";
+}
+
+// Sub-millisecond sleeps on an otherwise idle node must wake near their
+// deadline: the comm daemon bounds its fabric wait by the scheduler's next
+// timer.  The old path only fired timers between 1 ms recv timeouts, so
+// twenty 500 µs sleeps took >25 ms; event-driven they take ~10-12 ms.
+TEST(Latency, SleepAccurateOnIdleNode) {
+  constexpr int kSleeps = 20;
+  constexpr uint64_t kSleepUs = 500;
+  std::atomic<uint64_t> total_ns{0};
+  AppConfig cfg;
+  cfg.nodes = 2;  // node 1 idles: both daemons must park, not poll
+  run_app(cfg, [&](Runtime& rt) {
+    if (rt.self() != 0) return;
+    Stopwatch sw;
+    for (int i = 0; i < kSleeps; ++i) pm2_sleep_us(kSleepUs);
+    total_ns = sw.elapsed_ns();
+  });
+  uint64_t floor_ns = uint64_t{kSleeps} * kSleepUs * 1000;
+  EXPECT_GE(total_ns.load(), floor_ns) << "sleeps returned early";
+  EXPECT_LT(total_ns.load(), 2 * floor_ns)
+      << "idle-node sleeps overslept: " << total_ns.load() / 1000
+      << " us for " << kSleeps << " x " << kSleepUs
+      << " us — expired timers are waiting on a fixed recv timeout again";
+}
+
+// Under load the deadline still holds: a second thread keeps the node busy
+// while the sleeper's timer must fire between dispatches.
+TEST(Latency, SleepUnderLoadStillBounded) {
+  std::atomic<uint64_t> elapsed_us{0};
+  std::atomic<bool> stop{false};
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(cfg, [&](Runtime& rt) {
+    rt.spawn_local([&] {
+      while (!stop.load()) pm2_yield();
+    });
+    Stopwatch sw;
+    pm2_sleep_us(5000);
+    elapsed_us = static_cast<uint64_t>(sw.elapsed_us());
+    stop = true;
+  });
+  EXPECT_GE(elapsed_us.load(), 5000u);
+  EXPECT_LT(elapsed_us.load(), 100000u);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -226,7 +226,7 @@ TEST(RpcAsyncDeath, DoubleReplyChecks) {
                 rt.call(1, "twice", mad::PackBuffer());
             },
             [](Runtime& rt) {
-              rt.register_service("twice", [](RpcContext& ctx) {
+              rt.service_raw("twice", [](RpcContext& ctx) {
                 mad::PackBuffer a;
                 a.pack<uint32_t>(1);
                 ctx.reply(std::move(a));
@@ -370,7 +370,7 @@ TEST(RpcAsync, ShutdownDrainsPendingCalls) {
       [](Runtime& rt) {
         // Untyped registration: manual reply control — and this service
         // never replies (a typed void service would auto-ack).
-        rt.register_service("blackhole", [](RpcContext&) {});
+        rt.service_raw("blackhole", [](RpcContext&) {});
       });
   EXPECT_TRUE(sync_drained.load());
   EXPECT_TRUE(async_drained.load());

@@ -12,31 +12,16 @@
 namespace pm2 {
 namespace {
 
-std::atomic<uint32_t> g_chain_service{0};
-std::atomic<uint32_t> g_echo_service{0};
 std::atomic<int> g_fanout_done{0};
 
 // Chain: node k forwards (value+1) to node k+1; the last node replies back
-// down the chain.  Exercises call() reentrancy: a service thread itself
-// blocks in call().
-void chain_service(RpcContext& ctx) {
-  auto value = ctx.args().unpack<uint64_t>();
-  auto ttl = ctx.args().unpack<uint32_t>();
+// down the chain.  Exercises call<R>() reentrancy: a service thread itself
+// blocks in a nested typed call.
+uint64_t chain_service(RpcContext&, uint64_t value, uint32_t ttl) {
+  if (ttl == 0) return value;
   Runtime& rt = *Runtime::current();
-  uint64_t result;
-  if (ttl == 0) {
-    result = value;
-  } else {
-    mad::PackBuffer fwd;
-    fwd.pack<uint64_t>(value + 1);
-    fwd.pack<uint32_t>(ttl - 1);
-    auto resp = rt.call((rt.self() + 1) % rt.n_nodes(),
-                        g_chain_service.load(), std::move(fwd));
-    result = mad::UnpackBuffer(resp).unpack<uint64_t>();
-  }
-  mad::PackBuffer reply;
-  reply.pack<uint64_t>(result);
-  ctx.reply(std::move(reply));
+  return rt.call<uint64_t>((rt.self() + 1) % rt.n_nodes(), "chain", value + 1,
+                           ttl - 1);
 }
 
 TEST(RpcStress, TwelveHopChainAcrossFourNodes) {
@@ -47,16 +32,11 @@ TEST(RpcStress, TwelveHopChainAcrossFourNodes) {
       cfg,
       [&](Runtime& rt) {
         if (rt.self() == 0) {
-          mad::PackBuffer args;
-          args.pack<uint64_t>(100);
-          args.pack<uint32_t>(12);  // 12 forwarding hops
-          auto resp = rt.call(1, g_chain_service.load(), std::move(args));
-          result = mad::UnpackBuffer(resp).unpack<uint64_t>();
+          // 12 forwarding hops
+          result = rt.call<uint64_t>(1, "chain", uint64_t{100}, uint32_t{12});
         }
       },
-      [&](Runtime& rt) {
-        g_chain_service = rt.register_service("chain", &chain_service);
-      });
+      [&](Runtime& rt) { rt.service("chain", &chain_service); });
   EXPECT_EQ(result.load(), 112u);
 }
 
@@ -84,7 +64,7 @@ TEST(RpcStress, MegabytePayloadRoundTrip) {
             blob[i] = static_cast<uint8_t>(i * 31);
           mad::PackBuffer args;
           args.pack_region(blob.data(), blob.size());
-          auto resp = rt.call(1, g_echo_service.load(), std::move(args));
+          auto resp = rt.call(1, "big-echo", std::move(args));
           mad::UnpackBuffer r(resp);
           size_t len = 0;
           const uint8_t* back = r.unpack_region_view(&len);
@@ -93,13 +73,14 @@ TEST(RpcStress, MegabytePayloadRoundTrip) {
         }
       },
       [&](Runtime& rt) {
-        g_echo_service = rt.register_service("big-echo", &big_echo_service);
+        // Raw registration: region views need manual args()/reply()
+        // control (the typed layer would copy the payload into a vector).
+        rt.service_raw("big-echo", &big_echo_service);
       });
   EXPECT_TRUE(ok.load());
 }
 
-void fanout_service(RpcContext& ctx) {
-  auto token = ctx.args().unpack<uint32_t>();
+void fanout_service(RpcContext& ctx, uint32_t token) {
   (void)token;
   ++g_fanout_done;
   pm2_signal(ctx.source_node());
@@ -107,31 +88,24 @@ void fanout_service(RpcContext& ctx) {
 
 TEST(RpcStress, HundredConcurrentServiceThreads) {
   g_fanout_done = 0;
-  std::atomic<uint32_t> svc{0};
   AppConfig cfg;
   cfg.nodes = 3;
   run_app(
       cfg,
       [&](Runtime& rt) {
         if (rt.self() == 0) {
-          for (uint32_t i = 0; i < 100; ++i) {
-            mad::PackBuffer args;
-            args.pack<uint32_t>(i);
-            rt.rpc(1 + i % 2, svc.load(), std::move(args));
-          }
+          for (uint32_t i = 0; i < 100; ++i) rt.rpc(1 + i % 2, "fanout", i);
           rt.wait_signals(100);
         }
       },
-      [&](Runtime& rt) {
-        svc = rt.register_service("fanout", &fanout_service);
-      });
+      [&](Runtime& rt) { rt.service("fanout", &fanout_service); });
   EXPECT_EQ(g_fanout_done.load(), 100);
 }
 
 // A service that migrates mid-execution: the paper's LRPC + migration
-// composition.  It must consume its (node-local) args before moving.
-void migrating_service(RpcContext& ctx) {
-  auto target = ctx.args().unpack<uint32_t>();  // consume BEFORE migrating
+// composition.  The typed layer unpacks the (node-local) args into
+// parameters before the handler runs, so they are safe across the move.
+void migrating_service(RpcContext&, uint32_t target) {
   auto* stamp = static_cast<uint32_t*>(pm2_isomalloc(sizeof(uint32_t)));
   *stamp = pm2_self();
   pm2_migrate(marcel_self(), target);
@@ -142,22 +116,18 @@ void migrating_service(RpcContext& ctx) {
 }
 
 TEST(RpcStress, ServiceThreadItselfMigrates) {
-  std::atomic<uint32_t> svc{0};
   AppConfig cfg;
   cfg.nodes = 3;
   run_app(
       cfg,
       [&](Runtime& rt) {
         if (rt.self() == 0) {
-          mad::PackBuffer args;
-          args.pack<uint32_t>(2);  // service starts on 1, must end on 2
-          rt.rpc(1, svc.load(), std::move(args));
+          // service starts on 1, must end on 2
+          rt.rpc(1, "migrating", uint32_t{2});
           rt.wait_signals(1);
         }
       },
-      [&](Runtime& rt) {
-        svc = rt.register_service("migrating", &migrating_service);
-      });
+      [&](Runtime& rt) { rt.service("migrating", &migrating_service); });
 }
 
 TEST(RpcStress, BarrierStormManyRounds) {

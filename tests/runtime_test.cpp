@@ -86,79 +86,70 @@ TEST(Runtime, IsomallocApiWrappers) {
   });
 }
 
-// RPC: fire-and-forget creates a thread remotely.
+// RPC: fire-and-forget creates a thread remotely (typed, name-keyed).
 std::atomic<int> g_rpc_sum{0};
 std::atomic<uint32_t> g_rpc_node{999};
-
-void add_service(RpcContext& ctx) {
-  auto a = ctx.args().unpack<int32_t>();
-  auto b = ctx.args().unpack<int32_t>();
-  g_rpc_sum += a + b;
-  g_rpc_node = pm2_self();
-  pm2_signal(ctx.source_node());
-}
 
 TEST(Runtime, RpcSpawnsRemoteThread) {
   g_rpc_sum = 0;
   g_rpc_node = 999;
-  std::atomic<uint32_t> service_id{0};
   run_app(
       test_config(2),
       [&](Runtime& rt) {
         if (rt.self() == 0) {
-          mad::PackBuffer args;
-          args.pack<int32_t>(20);
-          args.pack<int32_t>(22);
-          rt.rpc(1, service_id.load(), std::move(args));
+          rt.rpc(1, "add", int32_t{20}, int32_t{22});
           rt.wait_signals(1);
         }
       },
-      [&](Runtime& rt) { service_id = rt.register_service("add", &add_service); });
+      [&](Runtime& rt) {
+        rt.service("add", [](RpcContext& ctx, int32_t a, int32_t b) {
+          g_rpc_sum += a + b;
+          g_rpc_node = pm2_self();
+          pm2_signal(ctx.source_node());
+        });
+      });
   EXPECT_EQ(g_rpc_sum.load(), 42);
   EXPECT_EQ(g_rpc_node.load(), 1u);
 }
 
-void echo_service(RpcContext& ctx) {
-  auto v = ctx.args().unpack<uint64_t>();
-  mad::PackBuffer reply;
-  reply.pack<uint64_t>(v * 2);
-  reply.pack<uint32_t>(pm2_self());
-  ctx.reply(std::move(reply));
+/// Typed reply carrying both the echoed value and the responding node —
+/// trivially copyable structs marshal as fixed-size scalars.
+struct EchoReply {
+  uint64_t doubled;
+  uint32_t node;
+};
+
+void register_echo(Runtime& rt) {
+  rt.service("echo", [](RpcContext&, uint64_t v) {
+    return EchoReply{v * 2, pm2_self()};
+  });
 }
 
 TEST(Runtime, CallGetsReply) {
-  std::atomic<uint32_t> echo_id{0};
   std::atomic<uint64_t> result{0};
   std::atomic<uint32_t> responder{99};
   run_app(
       test_config(3),
       [&](Runtime& rt) {
         if (rt.self() == 0) {
-          mad::PackBuffer args;
-          args.pack<uint64_t>(21);
-          auto resp = rt.call(2, echo_id.load(), std::move(args));
-          mad::UnpackBuffer r(resp);
-          result = r.unpack<uint64_t>();
-          responder = r.unpack<uint32_t>();
+          EchoReply r = rt.call<EchoReply>(2, "echo", uint64_t{21});
+          result = r.doubled;
+          responder = r.node;
         }
       },
-      [&](Runtime& rt) { echo_id = rt.register_service("echo", &echo_service); });
+      [&](Runtime& rt) { register_echo(rt); });
   EXPECT_EQ(result.load(), 42u);
   EXPECT_EQ(responder.load(), 2u);
 }
 
 TEST(Runtime, CallToSelf) {
-  std::atomic<uint32_t> echo_id{0};
   std::atomic<uint64_t> result{0};
   run_app(
       test_config(1),
       [&](Runtime& rt) {
-        mad::PackBuffer args;
-        args.pack<uint64_t>(5);
-        auto resp = rt.call(0, echo_id.load(), std::move(args));
-        result = mad::UnpackBuffer(resp).unpack<uint64_t>();
+        result = rt.call<EchoReply>(0, "echo", uint64_t{5}).doubled;
       },
-      [&](Runtime& rt) { echo_id = rt.register_service("echo", &echo_service); });
+      [&](Runtime& rt) { register_echo(rt); });
   EXPECT_EQ(result.load(), 10u);
 }
 

@@ -1,5 +1,6 @@
 // Timer queue: sleep_us under pure marcel and under the PM2 runtime.
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 
 #include <atomic>
 #include <cstdlib>
@@ -105,6 +106,27 @@ TEST_F(SleepFixture, ZeroSleepIsAYield) {
   sched_.stop();
   sched_.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SleepFixture, IdleSchedulerSleepsInsteadOfSpinning) {
+  // The scheduler's idle path must park the kernel thread until the
+  // nearest timer deadline (clock_nanosleep), not busy-wait on it: a
+  // 50 ms pure-marcel sleep should cost almost no CPU time.
+  spawn([] { Scheduler::current_scheduler()->sleep_us(50'000); });
+  rusage before{};
+  ASSERT_EQ(getrusage(RUSAGE_THREAD, &before), 0);
+  sched_.stop();
+  sched_.run();
+  rusage after{};
+  ASSERT_EQ(getrusage(RUSAGE_THREAD, &after), 0);
+  auto cpu_us = [](const rusage& r) {
+    return static_cast<uint64_t>(r.ru_utime.tv_sec + r.ru_stime.tv_sec) *
+               1'000'000 +
+           static_cast<uint64_t>(r.ru_utime.tv_usec + r.ru_stime.tv_usec);
+  };
+  EXPECT_LT(cpu_us(after) - cpu_us(before), 25'000u)
+      << "idle scheduler burned CPU across a 50 ms sleep (busy-wait "
+         "regression)";
 }
 
 TEST(SleepRuntime, Pm2SleepUnderCommDaemon) {

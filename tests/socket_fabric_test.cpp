@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/time.hpp"
+
 namespace pm2::fabric {
 namespace {
 
@@ -99,6 +101,35 @@ TEST(SocketFabric, SimultaneousLargeSendsDoNotDeadlock) {
   std::thread b([&] { pump(*f1, 0); });
   a.join();
   b.join();
+}
+
+TEST(SocketFabric, WakeEventfdInterruptsBlockedRecv) {
+  // The readiness handle's cross-thread wake: a write to the fabric's
+  // eventfd (registered in its epoll set) pops an indefinitely blocked
+  // recv_until without a frame.
+  std::string dir = fresh_dir();
+  std::unique_ptr<Fabric> f0, f1;
+  std::thread t1([&] { f1 = make_socket_fabric(config_for(1, 2, dir)); });
+  f0 = make_socket_fabric(config_for(0, 2, dir));
+  t1.join();
+
+  std::thread waker([&] {
+    ::usleep(10'000);  // land the wake inside the epoll wait
+    f0->wake();
+  });
+  Stopwatch sw;
+  auto got = f0->recv_until(now_ns() + 5'000'000'000ull);
+  waker.join();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_LT(sw.elapsed_ms(), 1000.0) << "wake() did not interrupt recv_until";
+  // The wake is consumed; frames still flow afterwards.
+  Message m;
+  m.type = 11;
+  m.dst = 0;
+  f1->send(std::move(m));
+  auto after = f0->recv(2000);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->type, 11);
 }
 
 TEST(SocketFabric, ThreeNodeMeshRoutes) {
