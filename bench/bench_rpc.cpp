@@ -7,18 +7,24 @@
 // measures both on the in-process hub and on the socket fabric (real UNIX
 // domain sockets inside one process), sweeping the number of outstanding
 // requests 1 → N, and reports µs/call with p50/p99 per-request latency,
-// calls/s and the transport copy columns alongside (same accounting as
-// bench_migration).  The p50/p99 columns exist to keep the event-driven
+// calls/s, the transport copy columns and the server's invocation-pool
+// counters alongside.  The p50/p99 columns exist to keep the event-driven
 // reply wake-up path honest: a return of the poll-bounce bug (blind
 // busy-poll windows + fixed recv timeouts) shows up as a p50 in the
-// hundreds of µs long before throughput moves.
+// hundreds of µs long before throughput moves.  The pool columns keep the
+// pooled-invocation hot path honest the same way: pool_hits collapsing to
+// zero means every call is paying the thread-build cold path again.
 //
 //   ./bench_rpc                 # default: 2000 calls, up to 64 outstanding
 //   ./bench_rpc --calls 10000 --payload 256
+//   ./bench_rpc --json out.json # machine-readable rows alongside the table
 //   ./bench_rpc --smoke         # 1 call per mode, both fabrics (CI: the
-//                               # binary must build and a session must run)
+//                               # binary must run AND the second call of a
+//                               # session must be pool-served)
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -36,9 +42,29 @@ std::atomic<uint64_t> g_wire_bytes{0};
 std::atomic<uint64_t> g_copy_bytes{0};
 std::atomic<uint64_t> g_p50_ns{0};
 std::atomic<uint64_t> g_p99_ns{0};
+std::atomic<uint64_t> g_pool_hits{0};
+std::atomic<uint64_t> g_pool_misses{0};
+std::atomic<uint64_t> g_pool_evictions{0};
 
 uint64_t g_calls = 2000;
 size_t g_payload = 64;
+
+struct Row {
+  std::string fabric;
+  std::string mode;
+  size_t outstanding;
+  uint64_t calls;
+  double us_per_call;
+  double p50_us;
+  double p99_us;
+  double calls_per_s;
+  double wire_mb;
+  double copy_mb;
+  uint64_t pool_hits;
+  uint64_t pool_misses;
+  uint64_t pool_evictions;
+};
+std::vector<Row> g_rows;
 
 uint64_t percentile(std::vector<uint64_t>& sorted, int pct) {
   if (sorted.empty()) return 0;
@@ -99,16 +125,28 @@ void run_session(bool socket_fabric, size_t outstanding) {
         g_p99_ns = percentile(samples, 99);
         g_wire_bytes = rt.fabric().bytes_sent();
         g_copy_bytes = rt.fabric().payload_copy_bytes();
+        // The service threads (and therefore the invocation pool) live on
+        // the callee node: fetch its counters over the same RPC plane.
+        auto pool = rt.call<std::vector<uint64_t>>(1, "pool-stats");
+        PM2_CHECK(pool.size() == 3);
+        g_pool_hits = pool[0];
+        g_pool_misses = pool[1];
+        g_pool_evictions = pool[2];
       },
       [](Runtime& rt) {
         rt.service("echo-len",
                    [](RpcContext&, std::vector<uint8_t> v) -> uint64_t {
                      return v.size();
                    });
+        rt.service("pool-stats", [](RpcContext&) -> std::vector<uint64_t> {
+          Runtime& self = *Runtime::current();
+          return {self.pool_hits(), self.pool_misses(),
+                  self.pool_evictions()};
+        });
       });
 }
 
-void bench_fabric(const char* fabric_name, bool socket_fabric,
+void bench_fabric(const char* fabric_name, bool socket_fabric, bool smoke,
                   const std::vector<size_t>& windows, double* sync_us,
                   double* best_async_us) {
   for (size_t outstanding : windows) {
@@ -122,18 +160,71 @@ void bench_fabric(const char* fabric_name, bool socket_fabric,
       *sync_us = us_per_call;
     else if (us_per_call < *best_async_us)
       *best_async_us = us_per_call;
+    Row row;
+    row.fabric = fabric_name;
+    row.mode = outstanding == 0 ? "sync" : "async";
+    row.outstanding = outstanding == 0 ? 1 : outstanding;
+    row.calls = g_calls;
+    row.us_per_call = us_per_call;
+    row.p50_us = static_cast<double>(g_p50_ns.load()) / 1e3;
+    row.p99_us = static_cast<double>(g_p99_ns.load()) / 1e3;
+    row.calls_per_s = calls_per_s;
+    row.wire_mb = static_cast<double>(g_wire_bytes.load()) / 1e6;
+    row.copy_mb = static_cast<double>(g_copy_bytes.load()) / 1e6;
+    row.pool_hits = g_pool_hits.load();
+    row.pool_misses = g_pool_misses.load();
+    row.pool_evictions = g_pool_evictions.load();
+    g_rows.push_back(row);
+    // CI smoke assertion: even a 1-call session makes warm-up + measured
+    // call + counter fetch — the second invocation onwards must be served
+    // by the pool, or the recycling hot path has silently rotted.
+    if (smoke) {
+      PM2_CHECK(row.pool_hits > 0)
+          << fabric_name << " smoke run had pool_hits == 0 — the "
+          << "invocation pool is not serving the RPC hot path";
+    }
     bench::print_cell(fabric_name);
-    bench::print_cell(outstanding == 0 ? "sync" : "async");
-    bench::print_cell(static_cast<uint64_t>(outstanding == 0 ? 1 : outstanding));
-    bench::print_cell(static_cast<uint64_t>(g_calls));
-    bench::print_cell(us_per_call);
-    bench::print_cell(static_cast<double>(g_p50_ns.load()) / 1e3);
-    bench::print_cell(static_cast<double>(g_p99_ns.load()) / 1e3);
-    bench::print_cell(calls_per_s);
-    bench::print_cell(static_cast<double>(g_wire_bytes.load()) / 1e6);
-    bench::print_cell(static_cast<double>(g_copy_bytes.load()) / 1e6);
+    bench::print_cell(row.mode.c_str());
+    bench::print_cell(static_cast<uint64_t>(row.outstanding));
+    bench::print_cell(row.calls);
+    bench::print_cell(row.us_per_call);
+    bench::print_cell(row.p50_us);
+    bench::print_cell(row.p99_us);
+    bench::print_cell(row.calls_per_s);
+    bench::print_cell(row.wire_mb);
+    bench::print_cell(row.copy_mb);
+    bench::print_cell(row.pool_hits);
+    bench::print_cell(row.pool_misses);
     bench::print_row_end();
   }
+}
+
+void write_json(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  PM2_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_rpc\",\n  \"calls\": %llu,\n"
+               "  \"payload\": %zu,\n  \"rows\": [\n",
+               static_cast<unsigned long long>(g_calls), g_payload);
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(
+        f,
+        "    {\"fabric\": \"%s\", \"mode\": \"%s\", \"outstanding\": %zu, "
+        "\"calls\": %llu, \"us_per_call\": %.3f, \"p50_us\": %.3f, "
+        "\"p99_us\": %.3f, \"calls_per_s\": %.1f, \"wire_mb\": %.3f, "
+        "\"copy_mb\": %.3f, \"pool_hits\": %llu, \"pool_misses\": %llu, "
+        "\"pool_evictions\": %llu}%s\n",
+        r.fabric.c_str(), r.mode.c_str(), r.outstanding,
+        static_cast<unsigned long long>(r.calls), r.us_per_call, r.p50_us,
+        r.p99_us, r.calls_per_s, r.wire_mb, r.copy_mb,
+        static_cast<unsigned long long>(r.pool_hits),
+        static_cast<unsigned long long>(r.pool_misses),
+        static_cast<unsigned long long>(r.pool_evictions),
+        i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -143,11 +234,13 @@ int main(int argc, char** argv) {
   bool smoke = flags.has("smoke");
   g_calls = static_cast<uint64_t>(flags.i64("calls", smoke ? 1 : 2000));
   g_payload = static_cast<size_t>(flags.i64("payload", 64));
+  std::string json_path = flags.str("json", "");
 
   bench::print_header(
       "RPC: blocking call() vs pipelined call_async() (echo round trips)",
       {"fabric", "mode", "outstanding", "calls", "us_per_call", "p50_us",
-       "p99_us", "calls_per_s", "wire_MB", "copy_MB"});
+       "p99_us", "calls_per_s", "wire_MB", "copy_MB", "pool_hits",
+       "pool_miss"});
 
   // outstanding == 0 encodes the blocking-call baseline.  Smoke mode runs
   // one iteration of each mode on both fabrics: CI keeps the binary and
@@ -158,21 +251,23 @@ int main(int argc, char** argv) {
 
   double sync_us_inproc = 0;
   double best_async_us_inproc = 1e18;
-  bench_fabric("inproc", false, windows, &sync_us_inproc,
+  bench_fabric("inproc", false, smoke, windows, &sync_us_inproc,
                &best_async_us_inproc);
   double sync_us_socket = 0;
   double best_async_us_socket = 1e18;
-  bench_fabric("socket", true, windows, &sync_us_socket,
+  bench_fabric("socket", true, smoke, windows, &sync_us_socket,
                &best_async_us_socket);
+
+  if (!json_path.empty()) write_json(json_path);
 
   if (!smoke) {
     std::printf(
         "\nPipelining speedup (sync us/call over best async us/call):\n"
         "  inproc  %.2fx   socket  %.2fx\n"
-        "With the event-driven reply path the blocking round trip is\n"
-        "single-digit microseconds, so pipelining pays off only when the\n"
-        "serial work per call (service thread create + echo) exceeds the\n"
-        "round trip — widen --payload or add service work to see it.\n",
+        "With pooled invocations the serial cost per call is a context\n"
+        "reset + dispatch, so the blocking round trip is near the kernel\n"
+        "handoff floor; pipelining pays off once per-call service work\n"
+        "exceeds the round trip — widen --payload or add work to see it.\n",
         sync_us_inproc / best_async_us_inproc,
         sync_us_socket / best_async_us_socket);
   }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "isomalloc/heap.hpp"
@@ -177,4 +178,30 @@ BENCHMARK(BM_PackChainPayload)->Arg(64 * 1024)->Arg(1024 * 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the repo-wide
+// `--json <path>` convention (bench_rpc speaks it too) by translating it
+// into google-benchmark's JSON reporter flags, so CI collects one
+// machine-readable artifact format from every bench binary.
+int main(int argc, char** argv) {
+  std::vector<std::string> store;
+  store.reserve(static_cast<size_t>(argc) + 1);
+  store.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      store.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
+      store.emplace_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      store.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(store.size());
+  for (std::string& s : store) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

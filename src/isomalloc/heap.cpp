@@ -170,6 +170,26 @@ void ThreadHeap::release_chain(SlotHeader* head, SlotOps& ops) {
   }
 }
 
+SlotHeader* ThreadHeap::release_heap_runs(SlotHeader* head, SlotOps& ops) {
+  SlotHeader* stack = nullptr;
+  SlotHeader* s = head;
+  while (s != nullptr) {
+    SlotHeader* next = s->next;
+    if (s->kind == SlotKind::kStack) {
+      PM2_CHECK(stack == nullptr) << "thread with two stack runs";
+      stack = s;
+    } else {
+      size_t first = ops.area().slot_of(s);
+      ops.release(first, s->nslots);
+    }
+    s = next;
+  }
+  PM2_CHECK(stack != nullptr) << "thread chain without a stack run";
+  stack->prev = nullptr;
+  stack->next = nullptr;
+  return stack;
+}
+
 void ThreadHeap::attach(void** slot_list, SlotHeader* slot) {
   auto* head = static_cast<SlotHeader*>(*slot_list);
   slot->prev = nullptr;

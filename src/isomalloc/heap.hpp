@@ -60,6 +60,12 @@ class ThreadHeap {
   /// the stack slot), so the caller must not expect it to stay writable.
   static void release_chain(SlotHeader* head, SlotOps& ops);
 
+  /// release_chain minus the stack run: hand every *heap* run back to
+  /// `ops`, keep the (unique) kStack run, and return its header relinked
+  /// as a single-element chain.  Used by the invocation pool to park an
+  /// exited service thread with its descriptor + initialized stack intact.
+  static SlotHeader* release_heap_runs(SlotHeader* head, SlotOps& ops);
+
   /// Attach an externally initialised slot (thread stack slot) at the list
   /// head.
   static void attach(void** slot_list, SlotHeader* slot);

@@ -1,5 +1,8 @@
 #include "isomalloc/slot_manager.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace pm2::iso {
@@ -24,6 +27,18 @@ std::optional<size_t> SlotManager::acquire(size_t count) {
     ++stats_.cache_hits;
     ++stats_.slots_acquired;
     return idx;
+  }
+  if (count > 1) {
+    // Multi-slot fast path: a fully cached contiguous stretch (a released
+    // stack/heap run still committed) beats first-fit — no VM call at all.
+    if (auto run = find_cached_run(count)) {
+      PM2_DCHECK(bitmap_.all_set(*run, count)) << "cached run not owned";
+      bitmap_.clear_range(*run, count);
+      for (size_t i = *run; i < *run + count; ++i) cache_.erase(i);
+      ++stats_.cache_hits;
+      stats_.slots_acquired += count;
+      return run;
+    }
   }
 
   first = bitmap_.find_run(count);
@@ -67,12 +82,30 @@ void SlotManager::release(size_t first, size_t count) {
       << "releasing slots the node already owns (double release?)";
   bitmap_.set_range(first, count);
   stats_.slots_released += count;
-  if (count == 1 && cache_.size() < config_.cache_capacity) {
-    cache_.insert(first);  // stays committed for cheap reuse
+  if (cache_.size() + count <= config_.cache_capacity) {
+    // Absorb the whole run (stays committed for cheap reuse): multi-slot
+    // runs enter per slot, so a later acquire of any width over them pays
+    // no mmap either (commit_run skips cached stretches).
+    for (size_t i = first; i < first + count; ++i) cache_.insert(i);
     return;
   }
   area_.decommit(first, count);
   ++stats_.decommits;
+}
+
+std::optional<size_t> SlotManager::find_cached_run(size_t count) const {
+  // Only reached for count > 1 (single-slot acquires pick straight from
+  // the set).  The cache is small (capacity defaults to 64), so sorting a
+  // snapshot per multi-slot acquire is cheaper than keeping run structure.
+  if (count < 2 || cache_.size() < count) return std::nullopt;
+  std::vector<size_t> sorted(cache_.begin(), cache_.end());
+  std::sort(sorted.begin(), sorted.end());
+  size_t len = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    len = sorted[i] == sorted[i - 1] + 1 ? len + 1 : 1;
+    if (len == count) return sorted[i] - count + 1;
+  }
+  return std::nullopt;
 }
 
 void SlotManager::grant_slots(size_t first, size_t count) {

@@ -69,7 +69,9 @@ class SlotManager final : public SlotOps {
   bool acquire_at(size_t first, size_t count);
 
   /// Give slots back to this node (thread released or died here).  Memory
-  /// is decommitted unless the run is a single slot absorbed by the cache.
+  /// is decommitted unless the whole run fits in the committed-slot cache
+  /// (any width — multi-slot stack/heap runs are absorbed per slot, so
+  /// run churn pays no commit/decommit mmap round trip either).
   void release(size_t first, size_t count) override;
 
   /// Adopt slots bought for us during a negotiation: the bits become ours.
@@ -99,12 +101,15 @@ class SlotManager final : public SlotOps {
 
  private:
   void commit_run(size_t first, size_t count);
+  /// Contiguous stretch of `count` cached slots, or nullopt.
+  std::optional<size_t> find_cached_run(size_t count) const;
 
   Area& area_;
   SlotManagerConfig config_;
   pm2::Bitmap bitmap_;
-  /// Committed, owned, free single slots (paper §6 cache).  Kept as a set:
-  /// membership matters when a run overlaps a cached slot.
+  /// Committed, owned, free slots (paper §6 cache, extended to multi-slot
+  /// runs — absorbed per slot).  Kept as a set: membership matters when an
+  /// acquired run partially overlaps cached slots.
   std::unordered_set<size_t> cache_;
   SlotStats stats_;
 };

@@ -161,6 +161,10 @@ class UnpackBuffer {
 
   void unpack_bytes(void* out, size_t len) { reader_.get_bytes(out, len); }
 
+  /// Zero-copy view of the next `len` bytes (advances the cursor).  The
+  /// pointer is valid as long as the underlying payload lives.
+  const uint8_t* view_bytes(size_t len) { return reader_.view_bytes(len); }
+
   /// Advance past `len` bytes without copying them.
   void skip(size_t len) { reader_.view_bytes(len); }
 

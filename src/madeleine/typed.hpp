@@ -81,9 +81,19 @@ T unpack_value(UnpackBuffer& ub) {
     // corrupt frame dies with the underrun diagnostic, not an OOM.
     PM2_CHECK(size_t{n} * sizeof(E) <= ub.remaining())
         << "serialized buffer underrun (vector length prefix)";
-    T v(n);
-    ub.unpack_bytes(v.data(), size_t{n} * sizeof(E));
-    return v;
+    if constexpr (sizeof(E) == 1) {
+      // Byte payloads (the dominant RPC argument) construct straight from
+      // a view of the wire: one copy, no zero-fill of the vector first.
+      const uint8_t* src = ub.view_bytes(n);
+      return T(reinterpret_cast<const E*>(src),
+               reinterpret_cast<const E*>(src) + n);
+    } else {
+      // Wider elements may be unaligned on the wire: memcpy via
+      // unpack_bytes keeps this well-defined.
+      T v(n);
+      ub.unpack_bytes(v.data(), size_t{n} * sizeof(E));
+      return v;
+    }
   } else {
     return ub.unpack<T>();
   }

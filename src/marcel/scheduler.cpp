@@ -82,6 +82,33 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
   return t;
 }
 
+Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
+                         const char* name, uint32_t flags) {
+  PM2_CHECK(t != nullptr && t->magic == Thread::kMagic)
+      << "rearm on corrupt descriptor";
+  PM2_CHECK(t->state == ThreadState::kDead)
+      << "rearm on " << to_string(t->state) << " thread";
+  t->id = id;
+  t->flags = flags;
+  std::strncpy(t->name, name != nullptr ? name : "", Thread::kNameLen - 1);
+  t->name[Thread::kNameLen - 1] = '\0';
+  t->user_fn = nullptr;
+  t->user_arg = nullptr;
+  std::memset(t->specific, 0, sizeof(t->specific));
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+  t->wait_queue = nullptr;
+  t->joiner = nullptr;
+  t->done = false;
+  // Stack bounds are unchanged; only the context restarts from scratch.
+  t->arm_canary();
+  t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
+  PM2_CHECK(registry_.emplace(id, t).second) << "duplicate thread id " << id;
+  if (!t->is_daemon()) ++live_;
+  push_ready(t);
+  return t;
+}
+
 void Scheduler::push_ready(Thread* t) {
   t->state = ThreadState::kReady;
   t->qnext = nullptr;

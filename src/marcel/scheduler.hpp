@@ -51,6 +51,15 @@ class Scheduler {
   Thread* create(void* region, size_t region_size, EntryFn entry, void* arg,
                  ThreadId id, const char* name, uint32_t flags = 0);
 
+  /// Recycle a dead thread in place (invocation pooling): reset the
+  /// descriptor's node-local state, thread-specific data and context to a
+  /// fresh entry at `entry(arg)` — without touching the stack slot layout,
+  /// so the caller skips init_stack_slot and the slot acquire entirely.
+  /// The thread must have exited (its reaper parked it instead of
+  /// releasing its memory); it re-enters scheduling ready, under a new id.
+  Thread* rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
+                const char* name, uint32_t flags = 0);
+
   /// Cooperative yield: requeue caller, run someone else.
   void yield();
 

@@ -67,6 +67,10 @@ struct Thread {
   static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
   static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration
   static constexpr uint32_t kFlagRestored = 1u << 2;  // came from a checkpoint
+  /// Spawned for an RPC service invocation on this node: eligible for the
+  /// runtime's invocation pool at exit.  Cleared when the thread migrates
+  /// (install side never pools foreign slot runs).
+  static constexpr uint32_t kFlagService = 1u << 3;
 
   bool is_daemon() const { return flags & kFlagDaemon; }
   bool is_pinned() const { return flags & kFlagPinned; }

@@ -18,14 +18,18 @@ struct HeldRun {
   uint32_t count;
 };
 
-/// Inventory of slot runs held by the threads registered on one node.
+/// Inventory of slot runs held by the threads registered on one node —
+/// plus the invocation pool's parked service threads, which sit off the
+/// scheduler registry but still own their stack run.
 std::vector<HeldRun> local_inventory(Runtime& rt) {
   std::vector<HeldRun> runs;
-  rt.sched().for_each([&](marcel::Thread* t) {
+  auto add = [&](marcel::Thread* t) {
     iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* s) {
       runs.push_back(HeldRun{t->id, rt.area().slot_of(s), s->nslots});
     });
-  });
+  };
+  rt.sched().for_each(add);
+  rt.for_each_parked(add);
   return runs;
 }
 

@@ -215,6 +215,10 @@ marcel::Thread* install_thread(Runtime& rt, const uint8_t* payload,
   PM2_CHECK(t->magic == marcel::Thread::kMagic)
       << "migration payload did not reconstruct a valid descriptor";
   PM2_CHECK(t->canary_ok()) << "migrated stack arrived corrupt";
+  // Lazy invocation-pool eviction: a service thread that migrated here is
+  // a foreign slot run — it exits through the ordinary release path, the
+  // install side never parks it in the pool.
+  t->flags &= ~marcel::Thread::kFlagService;
   rt.sched().adopt(t);
   PM2_TRACE << "installed thread " << t->id;
   return t;

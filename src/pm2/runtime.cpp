@@ -49,7 +49,7 @@ Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
       << "fabric/runtime node configuration mismatch";
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() { drop_invocation_freelist(); }
 
 // ---------------------------------------------------------------------------
 // Thread lifecycle
@@ -152,7 +152,15 @@ marcel::ThreadId Runtime::spawn_copy(marcel::EntryFn fn, const void* data,
   iso::ThreadHeap child_heap(&t->slot_list, t->id, slot_ops_, config_.heap,
                              &heap_stats_);
   void* arg = child_heap.alloc(len);
-  PM2_CHECK(arg != nullptr) << "spawn_copy: argument allocation failed";
+  if (arg == nullptr) {
+    // Unwind the half-created thread instead of CHECK-failing with it
+    // leaked: the frozen newborn never ran, so forget it and hand its
+    // slots back, then report the failure the way isomalloc does.
+    sched_.forget(t);
+    iso::ThreadHeap::release_chain(
+        static_cast<iso::SlotHeader*>(t->slot_list), slot_ops_);
+    throw std::bad_alloc();
+  }
   std::memcpy(arg, data, len);
   t->user_arg = arg;
   sched_.unfreeze(t);
@@ -164,15 +172,77 @@ bool Runtime::join(marcel::ThreadId id) { return sched_.join(id); }
 void Runtime::reap_thread(marcel::Thread* t) {
   trace_event(trace::Event::kThreadExit, t->id);
   // Runs on the scheduler stack: the thread is off its stack for good.
+  auto* head = static_cast<iso::SlotHeader*>(t->slot_list);
+  if (!halting_ && (t->flags & marcel::Thread::kFlagService) != 0 &&
+      pool_.size() < config_.invocation_pool) {
+    // Invocation pool: park the service thread — heap chain trimmed back
+    // to the stack run — instead of releasing it.  The next dispatch
+    // re-arms it without the slot acquire / init_stack_slot round trip.
+    // The flag is cleared on migration install, so a foreign run never
+    // lands here; the width check guards heterogeneous stack_slots.
+    iso::SlotHeader* stack = iso::ThreadHeap::release_heap_runs(head, slot_ops_);
+    if (stack->nslots == config_.stack_slots) {
+      t->slot_list = stack;
+      pool_.push_back(PoolEntry{t, now_ns()});
+      return;
+    }
+    iso::ThreadHeap::release_chain(stack, slot_ops_);
+    return;
+  }
   // Release every slot run it owned to this node (paper Fig. 6 step 4 —
   // "the thread dies and its slots are acquired by the destination node").
-  auto* head = static_cast<iso::SlotHeader*>(t->slot_list);
   iso::ThreadHeap::release_chain(head, slot_ops_);
   // `t` itself lived inside the chain's stack slot: gone now.
 }
 
 void Runtime::thread_exit() {
   sched_.exit_current([this](marcel::Thread* t) { reap_thread(t); });
+}
+
+marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
+                                              const char* name,
+                                              uint32_t flags) {
+  flags |= marcel::Thread::kFlagService;
+  if (!pool_.empty()) {
+    marcel::Thread* t = pool_.back().thread;
+    pool_.pop_back();
+    ++pool_hits_;
+    marcel::ThreadId id = next_thread_id();
+    // The slot header's owner id is diagnostics; keep it in step with the
+    // recycled identity.
+    static_cast<iso::SlotHeader*>(t->slot_list)->owner_thread = id;
+    sched_.rearm(t, &Runtime::thread_trampoline, t, id, name, flags);
+    t->user_fn = reinterpret_cast<void*>(fn);
+    t->user_arg = arg;
+    t->home_node = config_.node;
+    trace_event(trace::Event::kThreadCreate, id);
+    return t;
+  }
+  ++pool_misses_;
+  return create_thread_in_slots(fn, arg, name, flags);
+}
+
+void Runtime::pool_release_entry(marcel::Thread* t) {
+  ++pool_evictions_;
+  iso::ThreadHeap::release_chain(static_cast<iso::SlotHeader*>(t->slot_list),
+                                 slot_ops_);
+}
+
+void Runtime::pool_decay(uint64_t now) {
+  if (config_.invocation_pool_decay_us == 0 || pool_.empty()) return;
+  uint64_t horizon = config_.invocation_pool_decay_us * 1000;
+  // LIFO vector: park times are monotone, the oldest entries sit at the
+  // front (reuse pops from the back).
+  size_t n = 0;
+  while (n < pool_.size() && now - pool_[n].parked_ns > horizon) ++n;
+  for (size_t i = 0; i < n; ++i) pool_release_entry(pool_[i].thread);
+  pool_.erase(pool_.begin(),
+              pool_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void Runtime::pool_drain() {
+  for (const PoolEntry& e : pool_) pool_release_entry(e.thread);
+  pool_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -360,24 +430,35 @@ uint32_t Runtime::register_service_handler(const char* name, ServiceHandler fn,
 }
 
 struct Runtime::RpcInvocation {
-  uint32_t service;
+  const ServiceEntry* entry;  // resolved once at dispatch
   uint32_t src;
   uint64_t corr;
   std::vector<uint8_t> args;
   size_t args_offset;
 };
 
+void Runtime::drop_invocation_freelist() {
+  for (RpcInvocation* inv : inv_free_) delete inv;
+  inv_free_.clear();
+}
+
+void Runtime::recycle_invocation(RpcInvocation* inv) {
+  constexpr size_t kFreeListCap = 64;
+  if (inv_free_.size() < kFreeListCap) {
+    inv->args.clear();
+    inv_free_.push_back(inv);
+    return;
+  }
+  delete inv;
+}
+
 void Runtime::rpc_trampoline(void* p) {
   auto* inv = static_cast<RpcInvocation*>(p);
-  Runtime* rt = Runtime::current();
-  auto it = rt->services_.find(inv->service);
-  PM2_CHECK(it != rt->services_.end())
-      << "rpc to unregistered service hash " << inv->service;
   {
-    RpcContext ctx(*rt, inv->src, inv->corr, std::move(inv->args),
-                   inv->args_offset);
+    RpcContext ctx(*Runtime::current(), inv->src, inv->corr,
+                   std::move(inv->args), inv->args_offset);
     try {
-      it->second.fn(ctx);
+      inv->entry->fn(ctx);
     } catch (const std::exception& e) {
       // A handler must never unwind off the top of its context (that is
       // std::terminate).  Typical case: a nested blocking call<R>() threw
@@ -386,9 +467,11 @@ void Runtime::rpc_trampoline(void* p) {
       ctx.fail(e.what());
     }
   }
-  delete inv;
-  // The service may have migrated: re-resolve.
-  Runtime::current()->thread_exit();
+  // The service may have migrated: re-resolve (in-process nodes share the
+  // libc heap, so the box recycles safely into the current node's list).
+  Runtime* rt = Runtime::current();
+  rt->recycle_invocation(inv);
+  rt->thread_exit();
 }
 
 namespace {
@@ -438,10 +521,20 @@ void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
     return;
   }
   trace_event(trace::Event::kRpcIn, service, src);
-  auto* inv = new RpcInvocation{service, src, corr, std::move(args),
-                                args_offset};
-  create_thread_in_slots(&Runtime::rpc_trampoline, inv,
-                         it->second.name.c_str(), it->second.thread_flags);
+  RpcInvocation* inv;
+  if (!inv_free_.empty()) {
+    inv = inv_free_.back();
+    inv_free_.pop_back();
+  } else {
+    inv = new RpcInvocation{};
+  }
+  inv->entry = &it->second;
+  inv->src = src;
+  inv->corr = corr;
+  inv->args = std::move(args);
+  inv->args_offset = args_offset;
+  spawn_service_thread(&Runtime::rpc_trampoline, inv,
+                       it->second.name.c_str(), it->second.thread_flags);
 }
 
 void Runtime::rpc_hash(uint32_t node, uint32_t service,
@@ -455,6 +548,22 @@ void Runtime::rpc_hash(uint32_t node, uint32_t service,
   msg.type = kRpc;
   msg.dst = node;
   msg.chain = rpc_chain(service, std::move(args));
+  fabric_->send(std::move(msg));
+}
+
+void Runtime::rpc_framed(uint32_t node, uint32_t service,
+                         mad::PackBuffer&& framed) {
+  PM2_CHECK(node < config_.n_nodes);
+  if (node == config_.node) {
+    // The buffer starts with the u32 service hash: skip it by offset.
+    dispatch_rpc(service, config_.node, 0, framed.finalize(),
+                 sizeof(uint32_t));
+    return;
+  }
+  fabric::Message msg;
+  msg.type = kRpc;
+  msg.dst = node;
+  msg.chain = framed.take_chain();
   fabric_->send(std::move(msg));
 }
 
@@ -476,6 +585,30 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
     msg.dst = node;
     msg.corr = corr;
     msg.chain = rpc_chain(service, std::move(args));
+    fabric_->send(std::move(msg));
+  }
+  return fut;
+}
+
+marcel::Future<std::vector<uint8_t>> Runtime::call_async_framed(
+    uint32_t node, uint32_t service, mad::PackBuffer&& framed) {
+  PM2_CHECK(node < config_.n_nodes);
+  if (halting_) {
+    marcel::Promise<std::vector<uint8_t>> p;
+    p.set_error("session halting");
+    return p.future();
+  }
+  uint64_t corr = next_corr_++;
+  marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+  if (node == config_.node) {
+    dispatch_rpc(service, config_.node, corr, framed.finalize(),
+                 sizeof(uint32_t));
+  } else {
+    fabric::Message msg;
+    msg.type = kRpc;
+    msg.dst = node;
+    msg.corr = corr;
+    msg.chain = framed.take_chain();
     fabric_->send(std::move(msg));
   }
   return fut;
@@ -685,6 +818,9 @@ void Runtime::comm_daemon_body() {
     // while a reply is imminent (paper-faithful polling-mode latency for
     // RPC/migration ping-pong without spinning on truly idle nodes).
     uint64_t now = now_ns();
+    // Idle lap: evict invocation-pool threads past the decay horizon so
+    // their stack slots rejoin the node's distribution.
+    pool_decay(now);
     uint64_t timer_ns = sched_.ns_until_next_timer();
     uint64_t deadline =
         now + std::min<uint64_t>(timer_ns, kIdleBlockNs);
@@ -716,6 +852,8 @@ void Runtime::comm_daemon_body() {
     // and dispatches any thread the handled frame unparked.
     sched_.yield();
   }
+  // Session over: parked service threads must not leak their stack runs.
+  pool_drain();
   sched_.stop();
   thread_exit();
 }

@@ -20,13 +20,13 @@
 #include <cstdint>
 #include <functional>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <tuple>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -213,6 +213,19 @@ struct RuntimeConfig {
   /// many extra contiguous slots beyond the request, so the next multi-slot
   /// allocations are satisfied locally.  0 disables.
   size_t nego_prebuy_slots = 0;
+  /// Invocation pool: exited service threads park (descriptor +
+  /// initialized stack + owned slot run, heap chain trimmed) instead of
+  /// releasing, and the next service dispatch re-arms a parked thread —
+  /// the RPC hot path becomes a context reset + ready push, no slot
+  /// acquire / init_stack_slot / descriptor build.  Value = max parked
+  /// threads per node; 0 disables (every invocation builds a thread).
+  /// Sized to absorb a deep pipelining window (bench_rpc sweeps to 64
+  /// outstanding) — idle decay returns the slots afterwards.
+  size_t invocation_pool = 64;
+  /// Parked service threads idle longer than this are evicted by the comm
+  /// daemon (their slot run returns to the node's distribution), so a
+  /// burst does not pin stack slots forever.  0 = decay only at halt.
+  uint64_t invocation_pool_decay_us = 200'000;
 };
 
 class Runtime {
@@ -365,12 +378,16 @@ class Runtime {
     rpc_hash(node, service_id(service_name), std::move(args));
   }
 
-  /// Fire-and-forget by name, typed args.
+  /// Fire-and-forget by name, typed args.  Typed entry points frame the
+  /// service hash into the same pack buffer as the arguments (one staged
+  /// chunk, no head splice on the hot path).
   template <typename... Args>
   void rpc(uint32_t node, const char* service_name, const Args&... args) {
+    uint32_t sid = service_id(service_name);
     mad::PackBuffer pb;
+    pb.pack<uint32_t>(sid);
     mad::pack_values(pb, args...);
-    rpc_hash(node, service_id(service_name), std::move(pb));
+    rpc_framed(node, sid, std::move(pb));
   }
 
   /// Blocking request/response by name, pre-packed args: like rpc() but
@@ -396,10 +413,11 @@ class Runtime {
   template <typename R, typename... Args>
   RpcFuture<R> call_async(uint32_t node, const char* service_name,
                           const Args&... args) {
+    uint32_t sid = service_id(service_name);
     mad::PackBuffer pb;
+    pb.pack<uint32_t>(sid);
     mad::pack_values(pb, args...);
-    return RpcFuture<R>(call_async_hash(node, service_id(service_name),
-                                        std::move(pb)));
+    return RpcFuture<R>(call_async_framed(node, sid, std::move(pb)));
   }
 
   /// Typed blocking call: call<R>(node, "name", args...) -> R.
@@ -473,6 +491,25 @@ class Runtime {
   uint64_t negotiations_initiated() const { return negotiations_initiated_; }
   uint64_t migrations_in() const { return migrations_in_; }
   uint64_t migrations_out() const { return migrations_out_; }
+
+  // --- invocation pool -------------------------------------------------------
+
+  /// Service dispatches served by re-arming a parked thread.
+  uint64_t pool_hits() const { return pool_hits_; }
+  /// Service dispatches that had to build a thread (cold path).
+  uint64_t pool_misses() const { return pool_misses_; }
+  /// Parked threads released without reuse (idle decay + halt drain).
+  uint64_t pool_evictions() const { return pool_evictions_; }
+  /// Currently parked service threads.
+  size_t pool_size() const { return pool_.size(); }
+  /// Visit every parked thread (audit: parked threads still own their
+  /// stack run while off the scheduler registry).
+  void for_each_parked(const std::function<void(marcel::Thread*)>& fn) const {
+    for (const PoolEntry& e : pool_) fn(e.thread);
+  }
+  /// Evict parked threads idle past the decay horizon (comm daemon calls
+  /// this on idle laps; exposed for tests).
+  void pool_decay(uint64_t now);
   /// Load metric used by the balancer: runnable, non-daemon threads.
   uint64_t load() const;
 
@@ -503,11 +540,17 @@ class Runtime {
                                     uint32_t thread_flags = 0);
 
   /// Wire-level RPC entry points keyed by the service-name hash — what
-  /// the public name-keyed overloads compile down to.
+  /// the public name-keyed overloads compile down to.  The `_hash`
+  /// variants splice the hash ahead of a caller-packed argument buffer;
+  /// the `_framed` variants take a buffer that already starts with the
+  /// u32 hash (the typed wrappers pack it in place).
   void rpc_hash(uint32_t node, uint32_t service, mad::PackBuffer&& args);
+  void rpc_framed(uint32_t node, uint32_t service, mad::PackBuffer&& framed);
   marcel::Future<std::vector<uint8_t>> call_async_hash(uint32_t node,
                                                        uint32_t service,
                                                        mad::PackBuffer&& args);
+  marcel::Future<std::vector<uint8_t>> call_async_framed(
+      uint32_t node, uint32_t service, mad::PackBuffer&& framed);
 
   /// Comm-daemon spin gate: true while some local thread awaits a reply
   /// or migration ack (see comm_daemon_body's adaptive busy-poll).
@@ -537,7 +580,7 @@ class Runtime {
   /// shutdown drain); otherwise a protocol bug.
   template <typename T>
   std::optional<marcel::Promise<T>> take_pending(
-      std::map<uint64_t, marcel::Promise<T>>& pending, uint64_t corr,
+      std::unordered_map<uint64_t, marcel::Promise<T>>& pending, uint64_t corr,
       const char* what) {
     auto it = pending.find(corr);
     if (it == pending.end()) {
@@ -576,6 +619,15 @@ class Runtime {
                                          const char* name, uint32_t flags);
   void reap_thread(marcel::Thread* t);
 
+  /// Service-thread factory: pop + re-arm a parked pool thread (hot path:
+  /// no slot acquire, no init_stack_slot) or fall back to a full build.
+  marcel::Thread* spawn_service_thread(marcel::EntryFn fn, void* arg,
+                                       const char* name, uint32_t flags);
+  /// Release a parked thread's slot run back to the node.
+  void pool_release_entry(marcel::Thread* t);
+  /// Drain the whole pool (daemon exit at halt: no leak, slots released).
+  void pool_drain();
+
   static void thread_trampoline(void* descriptor);
   static void local_trampoline(void* ctx);
   static void rpc_trampoline(void* ctx);
@@ -610,19 +662,24 @@ class Runtime {
   bool halting_ = false;
 
   // Services: name-hash keyed dispatch table (the wire carries the hash).
+  // Hash table: the lookup sits on the per-invocation hot path; node
+  // (and thus ServiceEntry) addresses are stable, so invocations carry
+  // the entry pointer.
   struct ServiceEntry {
     std::string name;
     ServiceHandler fn;
     uint32_t thread_flags = 0;  // kFlagPinned for service_local
   };
-  std::map<uint32_t, ServiceEntry> services_;
+  std::unordered_map<uint32_t, ServiceEntry> services_;
 
   // Outstanding correlations: calls awaiting a reply and migrations
   // awaiting their install ack.  Unbounded — this is what lets one thread
   // pipeline arbitrarily many call_async requests.
   uint64_t next_corr_ = 1;
-  std::map<uint64_t, marcel::Promise<std::vector<uint8_t>>> pending_calls_;
-  std::map<uint64_t, marcel::Promise<MigrateResult>> pending_migrations_;
+  std::unordered_map<uint64_t, marcel::Promise<std::vector<uint8_t>>>
+      pending_calls_;
+  std::unordered_map<uint64_t, marcel::Promise<MigrateResult>>
+      pending_migrations_;
 
   // Migration observers (on_migration).
   MigrationHook pre_migration_;
@@ -664,6 +721,24 @@ class Runtime {
     size_t count;
   };
   std::deque<MigCacheEntry> mig_cache_;  // front = oldest
+
+  // Invocation pool: parked service threads, LIFO (the most recently
+  // parked stack is the cache-warmest).  Entries are off the scheduler
+  // registry but still own their stack slot run (see for_each_parked).
+  struct PoolEntry {
+    marcel::Thread* thread;
+    uint64_t parked_ns;
+  };
+  std::vector<PoolEntry> pool_;
+  uint64_t pool_hits_ = 0;
+  uint64_t pool_misses_ = 0;
+  uint64_t pool_evictions_ = 0;
+
+  // Recycled RpcInvocation boxes (one per in-flight dispatch): the hot
+  // path swaps a pointer instead of paying a heap round trip per call.
+  std::vector<RpcInvocation*> inv_free_;
+  void recycle_invocation(RpcInvocation* inv);
+  void drop_invocation_freelist();
 };
 
 }  // namespace pm2

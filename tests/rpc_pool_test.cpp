@@ -1,0 +1,257 @@
+// Invocation-pool semantics: service threads (descriptor + initialized
+// stack + owned slot run) are recycled across RPC dispatches instead of
+// being torn down per call.  These tests pin the contract:
+//   * sequential and pipelined calls reuse parked threads (hits/misses);
+//   * a burst beyond the pool bound falls back to the cold build path and
+//     the pool stays bounded;
+//   * parked threads release their slot runs at halt (no leak) and on
+//     idle decay;
+//   * a pool-spawned thread that migrates is lazily evicted — the install
+//     side never parks a foreign run, and nothing double-releases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "fabric/inproc.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/audit.hpp"
+#include "pm2/runtime.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+std::atomic<uint64_t> g_evictions{0};
+std::atomic<uint64_t> g_pool_size{0};
+std::atomic<bool> g_ok{true};
+
+void register_pool_stats(Runtime& rt) {
+  rt.service("pool-stats", [](RpcContext&) -> std::vector<uint64_t> {
+    Runtime& self = *Runtime::current();
+    return {self.pool_hits(), self.pool_misses(), self.pool_evictions(),
+            self.pool_size()};
+  });
+}
+
+// Sequential blocking calls to a local service: the first dispatch builds
+// the thread (miss), every later one re-arms the same parked thread.
+TEST(InvocationPool, SequentialCallsReuseOneThread) {
+  g_hits = 0;
+  g_misses = 0;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        for (int i = 0; i < 10; ++i)
+          ASSERT_EQ(rt.call<int>(0, "inc", i), i + 1);
+        g_hits = rt.pool_hits();
+        g_misses = rt.pool_misses();
+        g_pool_size = rt.pool_size();
+      },
+      [](Runtime& rt) {
+        rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+      });
+  EXPECT_EQ(g_misses.load(), 1u);
+  EXPECT_EQ(g_hits.load(), 9u);
+  EXPECT_EQ(g_pool_size.load(), 1u);
+}
+
+// Pipelined burst wider than the pool bound: every concurrent invocation
+// beyond the parked supply takes the cold build path, all complete, and
+// at most `invocation_pool` threads park afterwards — the rest release
+// their slot runs immediately.
+TEST(InvocationPool, BurstBeyondPoolSizeFallsBackAndStaysBounded) {
+  g_hits = 0;
+  g_misses = 0;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.invocation_pool = 2;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        std::vector<RpcFuture<int>> futs;
+        futs.reserve(8);
+        for (int i = 0; i < 8; ++i)
+          futs.push_back(rt.call_async<int>(0, "inc", i));
+        for (int i = 0; i < 8; ++i) EXPECT_EQ(futs[i].take(), i + 1);
+        EXPECT_EQ(rt.pool_misses(), 8u);  // burst dispatched before any ran
+        EXPECT_LE(rt.pool_size(), 2u);
+        // Sequential follow-ups are pool-served.
+        uint64_t hits_before = rt.pool_hits();
+        EXPECT_EQ(rt.call<int>(0, "inc", 41), 42);
+        EXPECT_EQ(rt.call<int>(0, "inc", 42), 43);
+        g_hits = rt.pool_hits() - hits_before;
+        g_pool_size = rt.pool_size();
+      },
+      [](Runtime& rt) {
+        rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+      });
+  EXPECT_EQ(g_hits.load(), 2u);
+  EXPECT_LE(g_pool_size.load(), 2u);
+}
+
+// Disabling the pool turns every dispatch into a cold build.
+TEST(InvocationPool, DisabledPoolNeverParks) {
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.invocation_pool = 0;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        for (int i = 0; i < 5; ++i) ASSERT_EQ(rt.call<int>(0, "inc", i), i + 1);
+        g_hits = rt.pool_hits();
+        g_misses = rt.pool_misses();
+        g_pool_size = rt.pool_size();
+      },
+      [](Runtime& rt) {
+        rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+      });
+  EXPECT_EQ(g_hits.load(), 0u);
+  EXPECT_EQ(g_misses.load(), 5u);
+  EXPECT_EQ(g_pool_size.load(), 0u);
+}
+
+// halt() with parked threads: the comm daemon drains the pool on exit, so
+// every slot run returns to the node — observable after run() because the
+// session is built by hand instead of through run_app.
+TEST(InvocationPool, HaltReleasesParkedThreadSlots) {
+  iso::AreaConfig ac;
+  ac.base = 0x7400'0000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  auto hub = std::make_shared<fabric::InProcHub>(1);
+  RuntimeConfig rc;
+  rc.node = 0;
+  rc.n_nodes = 1;
+  Runtime rt(rc, area, hub->endpoint(0));
+  rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+  std::atomic<size_t> parked{0};
+  rt.run([&] {
+    Runtime& self = *Runtime::current();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(self.call<int>(0, "inc", i), i + 1);
+    parked = self.pool_size();
+    self.halt();
+  });
+  EXPECT_GT(parked.load(), 0u);
+  EXPECT_EQ(rt.pool_size(), 0u);
+  EXPECT_GE(rt.pool_evictions(), parked.load());
+  // Main, daemon and every service stack released: the node owns the
+  // whole area again.
+  EXPECT_EQ(rt.slots().owned_free_slots(), area.n_slots());
+}
+
+// Idle decay: parked threads past the horizon are evicted by the comm
+// daemon's idle laps and their slots rejoin the node's distribution.
+TEST(InvocationPool, IdleDecayEvictsParkedThreads) {
+  g_evictions = 0;
+  g_pool_size = 0;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.invocation_pool_decay_us = 1000;  // 1 ms horizon
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        ASSERT_EQ(rt.call<int>(0, "inc", 1), 2);
+        EXPECT_EQ(rt.pool_size(), 1u);
+        // Two sleeps: the daemon re-enters its idle path between them and
+        // finds the parked thread aged past the horizon.
+        pm2_sleep_us(20'000);
+        pm2_sleep_us(20'000);
+        g_evictions = rt.pool_evictions();
+        g_pool_size = rt.pool_size();
+      },
+      [](Runtime& rt) {
+        rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+      });
+  EXPECT_EQ(g_evictions.load(), 1u);
+  EXPECT_EQ(g_pool_size.load(), 0u);
+}
+
+// A pool-spawned service thread that migrates: the source parks nothing
+// (the thread left), the destination strips pool eligibility at install
+// and releases the slots through the ordinary exit path — the audit
+// proves nothing leaked or double-released.
+TEST(InvocationPool, MigratedServiceThreadIsEvictedNotPooled) {
+#if defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "cross-node migration byte-copies stacks without their "
+                  "ASan shadow (tracked in ROADMAP)";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  GTEST_SKIP() << "cross-node migration byte-copies stacks without their "
+                  "ASan shadow (tracked in ROADMAP)";
+#endif
+#endif
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() != 0) return;
+        // Fire-and-forget: the handler hops to node 0 and signals from
+        // there, so no reply routing is involved.
+        for (int i = 0; i < 3; ++i) {
+          rt.rpc(1, "roam", uint32_t{7});
+          pm2_wait_signals(1);
+        }
+        // Node 1 dispatched 3 roam invocations; none of those threads
+        // came back to its pool (they exited on node 0).
+        auto stats = rt.call<std::vector<uint64_t>>(1, "pool-stats");
+        ASSERT_EQ(stats.size(), 4u);
+        EXPECT_EQ(stats[0], 0u);  // hits: nothing ever parked before this
+        EXPECT_EQ(stats[1], 4u);  // misses: 3 roam + this pool-stats call
+        // Node 0 received the migrants but must not have parked them.
+        EXPECT_EQ(rt.pool_size(), 0u);
+        EXPECT_EQ(rt.pool_hits() + rt.pool_misses(), 0u);
+        // Global exactly-one-owner invariant: nothing leaked, nothing
+        // double-released (covers the parked pool-stats thread too).
+        AuditReport report = audit_session(rt);
+        if (!report.ok) {
+          pm2_printf("%s\n", report.summary().c_str());
+          g_ok = false;
+        }
+      },
+      [](Runtime& rt) {
+        rt.service("roam", [](RpcContext&, uint32_t) {
+          Runtime::current()->migrate_self(0);
+          pm2_signal(0);
+        });
+        register_pool_stats(rt);
+      });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// Cross-node pipelined reuse: the remote pool serves a steady stream.
+TEST(InvocationPool, RemotePipelinedCallsHitPool) {
+  g_hits = 0;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() != 0) return;
+        for (int round = 0; round < 4; ++round) {
+          std::vector<RpcFuture<int>> futs;
+          for (int i = 0; i < 8; ++i)
+            futs.push_back(rt.call_async<int>(1, "inc", i));
+          for (int i = 0; i < 8; ++i) EXPECT_EQ(futs[i].take(), i + 1);
+        }
+        auto stats = rt.call<std::vector<uint64_t>>(1, "pool-stats");
+        ASSERT_EQ(stats.size(), 4u);
+        g_hits = stats[0];
+      },
+      [](Runtime& rt) {
+        rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+        register_pool_stats(rt);
+      });
+  // 32 invocations; only the first burst can miss.  Later rounds re-arm
+  // parked threads (the exact split depends on arrival overlap).
+  EXPECT_GE(g_hits.load(), 16u);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -97,6 +97,56 @@ TEST_F(SlotManagerTest, CacheCapacityBounded) {
   EXPECT_FALSE(area_.committed(s2));
 }
 
+TEST_F(SlotManagerTest, CacheAbsorbsMultiSlotRuns) {
+  auto mgr = make(0, 1);
+  auto s = mgr.acquire(3);
+  ASSERT_TRUE(s.has_value());
+  uint64_t decommits_before = mgr.stats().decommits;
+  mgr.release(*s, 3);  // whole run absorbed, stays committed
+  EXPECT_EQ(mgr.cached_slots(), 3u);
+  EXPECT_EQ(mgr.stats().decommits, decommits_before);
+  for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(area_.committed(*s + i));
+  // Re-acquiring the same width is a cache hit: no commit (mmap) at all.
+  uint64_t commits_before = mgr.stats().commits;
+  uint64_t hits_before = mgr.stats().cache_hits;
+  auto s2 = mgr.acquire(3);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s2, *s);
+  EXPECT_EQ(mgr.stats().commits, commits_before);
+  EXPECT_EQ(mgr.stats().cache_hits, hits_before + 1);
+  EXPECT_EQ(mgr.cached_slots(), 0u);
+}
+
+TEST_F(SlotManagerTest, CachedRunServesNarrowerAndWiderRequests) {
+  auto mgr = make(0, 1);
+  auto s = mgr.acquire(4);
+  mgr.release(*s, 4);  // 4 cached committed slots
+  // Narrower request carves out of the cached stretch (single path uses
+  // the cache directly; the bitmap stays consistent).
+  auto one = mgr.acquire(1);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(mgr.cached_slots(), 3u);
+  // A wider request than any cached stretch falls back to first-fit and
+  // commits only the uncached part (commit_run skips cached slots).
+  mgr.release(*one, 1);
+  auto six = mgr.acquire(6);
+  ASSERT_TRUE(six.has_value());
+  EXPECT_EQ(mgr.cached_slots(), 0u);
+  for (size_t i = 0; i < 6; ++i) EXPECT_TRUE(area_.committed(*six + i));
+}
+
+TEST_F(SlotManagerTest, MultiRunOverCapacityStillDecommits) {
+  auto mgr = make(0, 1, Distribution::kPartitioned, 4);
+  auto a = mgr.acquire(3);
+  auto b = mgr.acquire(3);
+  mgr.release(*a, 3);  // 3 of 4 capacity used
+  uint64_t decommits_before = mgr.stats().decommits;
+  mgr.release(*b, 3);  // would overflow the cache: decommitted whole
+  EXPECT_EQ(mgr.cached_slots(), 3u);
+  EXPECT_EQ(mgr.stats().decommits, decommits_before + 1);
+  EXPECT_FALSE(area_.committed(*b));
+}
+
 TEST_F(SlotManagerTest, FlushCacheDecommits) {
   auto mgr = make(0, 1);
   size_t s = *mgr.acquire(1);

@@ -86,6 +86,36 @@ TEST(SpawnCopy, ManyChildrenManyNodes) {
   EXPECT_EQ(g_sum.load(), 49 * 50 / 2);
 }
 
+// Regression: when the argument allocation fails (system-wide out of
+// contiguous slots), spawn_copy must unwind the already-created thread —
+// forget it, release its slots, throw bad_alloc — instead of CHECK-failing
+// with the newborn leaked.  The node stays fully usable afterwards.
+TEST(SpawnCopy, FailedArgumentAllocationUnwindsCleanly) {
+  g_sum = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.area.size = 2ull << 20;  // 32 slots of 64 KiB: a tiny session
+  run_app(cfg, [&](Runtime& rt) {
+    uint64_t live_before = rt.load();
+    size_t free_before = rt.slots().owned_free_slots();
+    // Far more than the whole area can hold contiguously.
+    std::vector<uint8_t> huge(40 * 64 * 1024, 0x5A);
+    EXPECT_THROW(
+        pm2_thread_create_copy(&copy_worker, huge.data(), huge.size(), "big"),
+        std::bad_alloc);
+    // The half-created thread is gone and its stack slot came back.
+    EXPECT_EQ(rt.load(), live_before);
+    EXPECT_EQ(rt.slots().owned_free_slots(), free_before);
+    // The node still spawns normally after the unwind.
+    WorkArgs args{1, 3, "hello"};
+    pm2_thread_create_copy(&copy_worker, &args, sizeof(args), "ok");
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+  EXPECT_EQ(g_sum.load(), 1 + 2 + 3);
+}
+
 // The ownership rule itself: freeing another thread's block is a caught
 // programming error, not silent corruption.
 void foreign_free_worker(void* arg) {
