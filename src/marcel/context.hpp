@@ -15,6 +15,13 @@
 //  * ctx_ucontext.cpp — portable fallback on swapcontext(); the save area is
 //    a ucontext_t local to the switch frame, i.e. also on the thread stack,
 //    so migration semantics are identical.
+//
+// Sanitizer contract: under ASan every pm2_ctx_switch must be bracketed
+// with sys::san_start_switch (before, announcing the target stack) and
+// sys::san_finish_switch (after, on the new stack) — the scheduler and
+// LegacyThread do this at every site, and first entry into a fresh context
+// is finished by the trampoline's boot shim with a null handle.  Raw users
+// (tests) must speak the same protocol; see sys/sanitizer.hpp.
 #pragma once
 
 #include <cstddef>

@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "marcel/context.hpp"
+#include "sys/sanitizer.hpp"
 
 extern "C" void pm2_ctx_switch(void** save_sp, void* load_sp) {
   ucontext_t self;
@@ -24,6 +25,9 @@ namespace {
 // makecontext() only passes ints portably; split the two pointers.
 void trampoline(uint32_t entry_lo, uint32_t entry_hi, uint32_t arg_lo,
                 uint32_t arg_hi) {
+  // First entry: close the fiber-switch protocol on the fresh stack (null
+  // handle — there are no frames to restore; see ctx_make_asm.cpp's boot).
+  sys::san_finish_switch(nullptr);
   auto entry = reinterpret_cast<EntryFn>(
       (uint64_t{entry_hi} << 32) | entry_lo);
   auto* arg = reinterpret_cast<void*>((uint64_t{arg_hi} << 32) | arg_lo);

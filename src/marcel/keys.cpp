@@ -9,15 +9,32 @@ namespace pm2::marcel {
 
 namespace {
 // Process-wide: in-process multi-node sessions share the key space, which
-// matches the SPMD requirement (same keys everywhere).
+// matches the SPMD requirement (same keys everywhere).  Destructors are
+// registered once per key; the table is append-only (keys are never
+// recycled), so lock-free readers in run_key_destructors only need the
+// published counter.
 std::atomic<uint32_t> g_next_key{0};
+KeyDtor g_dtors[Thread::kMaxKeys] = {};
 }  // namespace
 
-Key key_create() {
+Key key_create(KeyDtor dtor) {
   uint32_t key = g_next_key.fetch_add(1);
   PM2_CHECK(key < Thread::kMaxKeys)
       << "out of thread-specific keys (max " << Thread::kMaxKeys << ")";
+  g_dtors[key] = dtor;
   return key;
+}
+
+void run_key_destructors(Thread* t) {
+  PM2_CHECK(t != nullptr);
+  uint32_t n = g_next_key.load();
+  if (n > Thread::kMaxKeys) n = Thread::kMaxKeys;
+  for (uint32_t key = 0; key < n; ++key) {
+    void* value = t->specific[key];
+    if (value == nullptr || g_dtors[key] == nullptr) continue;
+    t->specific[key] = nullptr;  // pthread semantics: clear before calling
+    g_dtors[key](value);
+  }
 }
 
 uint32_t keys_allocated() { return g_next_key.load(); }

@@ -15,9 +15,18 @@
 namespace pm2::marcel {
 
 using Key = uint32_t;
+/// Per-key value destructor (pthread_key_create semantics): runs at thread
+/// exit for every key whose value is non-null, on the exiting thread's own
+/// context, with the value already cleared from the slot.  SPMD caveat: the
+/// destructor runs on the node the thread *exits* on, so it must only touch
+/// the value itself (iso-memory travels; node-local captures do not).
+using KeyDtor = void (*)(void*);
 
-/// Allocate a fresh key (aborts after Thread::kMaxKeys keys).
-Key key_create();
+/// Allocate a fresh key (aborts after Thread::kMaxKeys keys).  `dtor`, if
+/// non-null, is invoked by the scheduler when a thread exits with a
+/// non-null value for this key — the hook that keeps pooled service
+/// threads from leaking per-invocation state across re-arms.
+Key key_create(KeyDtor dtor = nullptr);
 
 /// Set/get the calling thread's value for `key` (nullptr default).
 void setspecific(Key key, void* value);
@@ -26,6 +35,12 @@ void* getspecific(Key key);
 /// Same, for an explicit (frozen/ready) thread — used by runtime services.
 void thread_setspecific(Thread* t, Key key, void* value);
 void* thread_getspecific(Thread* t, Key key);
+
+/// Run the allocated keys' destructors over `t`'s non-null values, nulling
+/// each slot first (a destructor that re-sets its key is tolerated but the
+/// new value is not revisited — single pass).  Called by the scheduler on
+/// the exiting thread's context; idempotent once all values are null.
+void run_key_destructors(Thread* t);
 
 /// Number of keys allocated so far (diagnostics/tests).
 uint32_t keys_allocated();

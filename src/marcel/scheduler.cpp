@@ -6,6 +6,8 @@
 
 #include "common/check.hpp"
 #include "common/time.hpp"
+#include "marcel/keys.hpp"
+#include "sys/sanitizer.hpp"
 
 namespace pm2::marcel {
 
@@ -73,6 +75,10 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
   uintptr_t stack_top = (base + region_size) & ~uintptr_t{15};
   t->stack_base = reinterpret_cast<void*>(stack_base);
   t->stack_top = reinterpret_cast<void*>(stack_top);
+  // The region may be a recycled slot whose previous tenant left redzone
+  // poison behind (frames never unwind on exit/migration): this is a fresh
+  // logical stack, scrub its shadow.
+  sys::san_unpoison(t->stack_base, stack_top - stack_base);
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
 
@@ -100,7 +106,11 @@ Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
   t->wait_queue = nullptr;
   t->joiner = nullptr;
   t->done = false;
+  t->san_fake_stack = nullptr;
   // Stack bounds are unchanged; only the context restarts from scratch.
+  // The invocation pool poisoned the parked stack — lift that before the
+  // canary and the fresh initial frame are written.
+  sys::san_unpoison(t->stack_base, t->stack_size());
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
   PM2_CHECK(registry_.emplace(id, t).second) << "duplicate thread id " << id;
@@ -154,7 +164,9 @@ void Scheduler::dispatch(Thread* t) {
   t->state = ThreadState::kRunning;
   ++switches_;
   slice_start_ns_ = now_ns();
+  sys::san_start_switch(&san_sched_fake_, t->stack_base, t->stack_size());
   pm2_ctx_switch(&sched_sp_, t->sp);
+  sys::san_finish_switch(san_sched_fake_);
   // The thread switched back (yield/block/exit/freeze).  Its memory is
   // still mapped even if it exited — the reaper continuation has not run
   // yet — so the overflow canary can be verified on every switch.
@@ -182,8 +194,24 @@ uint64_t Scheduler::ns_until_next_timer() const {
   return deadline > now ? deadline - now : 0;
 }
 
+void Scheduler::switch_to_scheduler(Thread* t) {
+  sys::san_start_switch(&t->san_fake_stack, san_stack_bottom_,
+                        san_stack_size_);
+  pm2_ctx_switch(&t->sp, sched_sp_);
+  // The thread may have been resumed under a *different* scheduler after a
+  // migration: `this` must not be touched, but `t` is iso-addressed and
+  // therefore valid on any node.  The parked fake-stack handle is only
+  // meaningful on the kernel thread that parked it — install_thread nulls
+  // it for migrated-in stacks, so this hands ASan null exactly when the
+  // frames were built elsewhere.
+  void* fake = t->san_fake_stack;
+  t->san_fake_stack = nullptr;
+  sys::san_finish_switch(fake);
+}
+
 void Scheduler::run() {
   SchedulerBinding bind(this);
+  sys::san_current_stack(&san_stack_bottom_, &san_stack_size_);
   while (true) {
     fire_expired_timers();
     Thread* t = pop_ready();
@@ -225,7 +253,7 @@ void Scheduler::yield() {
   Thread* t = current_;
   PM2_CHECK(t != nullptr) << "yield() outside a thread";
   push_ready(t);
-  pm2_ctx_switch(&t->sp, sched_sp_);
+  switch_to_scheduler(t);
   // NOTE: nothing after the switch may touch `this` — after a migration a
   // resumed thread continues under a *different* scheduler instance.
 }
@@ -234,7 +262,7 @@ void Scheduler::block() {
   Thread* t = current_;
   PM2_CHECK(t != nullptr) << "block() outside a thread";
   t->state = ThreadState::kBlocked;
-  pm2_ctx_switch(&t->sp, sched_sp_);
+  switch_to_scheduler(t);
 }
 
 void Scheduler::sleep_us(uint64_t us) {
@@ -246,7 +274,7 @@ void Scheduler::sleep_us(uint64_t us) {
   }
   timers_.emplace(now_ns() + us * 1000, t);
   t->state = ThreadState::kBlocked;
-  pm2_ctx_switch(&t->sp, sched_sp_);
+  switch_to_scheduler(t);
 }
 
 void Scheduler::unblock(Thread* t, bool front) {
@@ -262,6 +290,11 @@ void Scheduler::unblock(Thread* t, bool front) {
 void Scheduler::exit_current(Continuation reaper) {
   Thread* t = current_;
   PM2_CHECK(t != nullptr) << "exit_current() outside a thread";
+  // TSD destructors run on the exiting thread's own context, while its
+  // stack and iso-heap are still intact — a destructor may isofree the
+  // value it owns.  After this, every destructor-bearing key is null, so
+  // no per-invocation state survives into a pooled re-arm.
+  run_key_destructors(t);
   t->state = ThreadState::kDead;
   t->done = true;
   if (t->joiner != nullptr) {
@@ -276,6 +309,9 @@ void Scheduler::exit_current(Continuation reaper) {
 }
 
 void Scheduler::switch_out_forever(Thread* t) {
+  // Null save slot: the context never runs again, so ASan may release its
+  // fake-stack frames instead of keeping them alive forever.
+  sys::san_start_switch(nullptr, san_stack_bottom_, san_stack_size_);
   pm2_ctx_switch(&t->sp, sched_sp_);
   PM2_FATAL("dead/shipped thread was resumed");
 }
@@ -323,7 +359,7 @@ void Scheduler::freeze_current_and(Continuation cont) {
   t->state = ThreadState::kFrozen;
   post_ = std::move(cont);
   post_thread_ = t;
-  pm2_ctx_switch(&t->sp, sched_sp_);
+  switch_to_scheduler(t);
   // Resumes here after adopt() — usually on another node.  Only TLS
   // lookups are valid beyond this point (see header).
 }

@@ -162,8 +162,16 @@ class Scheduler {
   void push_ready_front(Thread* t);
   Thread* pop_ready();
   [[noreturn]] void switch_out_forever(Thread* t);
+  /// Thread-side half of every switch back to the scheduler loop, with the
+  /// sanitizer fiber annotations bracketing it.  After the switch returns
+  /// the thread may be running under a different scheduler (migration), so
+  /// the epilogue touches only `t` (iso-addressed), never `this`.
+  void switch_to_scheduler(Thread* t);
 
   void* sched_sp_ = nullptr;   // scheduler context while a thread runs
+  void* san_sched_fake_ = nullptr;        // ASan fake stack while dispatched
+  const void* san_stack_bottom_ = nullptr;  // this kernel thread's stack…
+  size_t san_stack_size_ = 0;               // …as announced on switch-back
   Thread* current_ = nullptr;
   Thread* ready_head_ = nullptr;  // intrusive FIFO
   Thread* ready_tail_ = nullptr;

@@ -63,6 +63,11 @@ struct Thread {
   void* wait_queue = nullptr;     // WaitQueue currently parked on (or null)
   Thread* joiner = nullptr;       // thread blocked in join() on us
   bool done = false;              // set just before the final switch-out
+  /// ASan fake-stack handle parked by san_start_switch while the thread is
+  /// off-CPU (null in non-ASan builds).  It references the *source* kernel
+  /// thread's fake-stack allocator, so install_thread nulls it: the first
+  /// switch onto a migrated stack must hand ASan a null handle.
+  void* san_fake_stack = nullptr;
 
   static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
   static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration
@@ -74,6 +79,13 @@ struct Thread {
 
   bool is_daemon() const { return flags & kFlagDaemon; }
   bool is_pinned() const { return flags & kFlagPinned; }
+
+  /// Byte extent of the logical stack [stack_base, stack_top) — the range
+  /// the sanitizer shim poisons, scrubs, and announces on switches.
+  size_t stack_size() const {
+    return static_cast<size_t>(reinterpret_cast<uintptr_t>(stack_top) -
+                               reinterpret_cast<uintptr_t>(stack_base));
+  }
 
   /// Stack canary helpers: a magic word at stack_base detects overflow (the
   /// stack grows down toward the descriptor).

@@ -9,6 +9,7 @@
 #include "madeleine/buffers.hpp"
 #include "pm2/protocol.hpp"
 #include "pm2/runtime.hpp"
+#include "sys/sanitizer.hpp"
 
 namespace pm2 {
 
@@ -117,6 +118,12 @@ mad::BufferChain pack_thread_chain(Runtime& rt, marcel::Thread* t,
     for (const Extent& e : extents) {
       pack.pack<uint64_t>(e.offset);
       pack.pack<uint64_t>(e.len);
+      // A live stack extent carries redzone poison from the frozen
+      // thread's frames; scrub it so the fabric may read the borrowed
+      // bytes.  Shadow is node-local and never ships — the install side
+      // starts the copy with clean shadow too, which is the only safe
+      // reconstruction (new frames re-poison as they are pushed).
+      sys::san_unpoison(base + e.offset, e.len);
       // Borrow: the extent segment points straight into iso-address slot
       // memory; the fabric gathers it from there to the wire.  The slots
       // stay committed until ship_thread's send() returns.
@@ -204,10 +211,16 @@ marcel::Thread* install_thread(Runtime& rt, const uint8_t* payload,
     // the pages are already committed; stale bytes in the extent gaps are
     // dead data by construction (below-sp stack, free-block payloads).
     if (!rt.mig_cache_take(first, nslots)) rt.area().commit(first, nslots);
+    // Whatever poison this address range carried locally (a previous
+    // tenant's frames, a cached run of this very thread's earlier visit)
+    // is stale: the installed extent must be fully addressable before the
+    // first resume.
+    char* run_base = reinterpret_cast<char*>(rt.area().slot_addr(first));
+    sys::san_unpoison(run_base, size_t{nslots} * rt.area().slot_size());
     // The walker scatters each extent straight into the freshly committed
     // slots — the receive buffer is the only staging between wire and
     // iso-address memory.
-    return reinterpret_cast<char*>(rt.area().slot_addr(first));
+    return run_base;
   });
   PM2_CHECK(unpack.exhausted()) << "trailing bytes in migration payload";
 
@@ -219,6 +232,10 @@ marcel::Thread* install_thread(Runtime& rt, const uint8_t* payload,
   // a foreign slot run — it exits through the ordinary release path, the
   // install side never parks it in the pool.
   t->flags &= ~marcel::Thread::kFlagService;
+  // The descriptor's parked fake-stack handle references the *source*
+  // kernel thread's ASan allocator: the first switch onto this foreign
+  // stack must hand ASan a null handle instead.
+  t->san_fake_stack = nullptr;
   rt.sched().adopt(t);
   PM2_TRACE << "installed thread " << t->id;
   return t;

@@ -13,6 +13,7 @@
 #include "common/time.hpp"
 #include "isomalloc/block.hpp"
 #include "pm2/migration.hpp"
+#include "sys/sanitizer.hpp"
 
 namespace pm2 {
 
@@ -172,6 +173,10 @@ bool Runtime::join(marcel::ThreadId id) { return sched_.join(id); }
 void Runtime::reap_thread(marcel::Thread* t) {
   trace_event(trace::Event::kThreadExit, t->id);
   // Runs on the scheduler stack: the thread is off its stack for good.
+  // Its frames never unwound, so their redzone poison is still in shadow;
+  // scrub it before the slots are recycled (the slot cache hands released
+  // runs back without another commit).
+  sys::san_unpoison(t->stack_base, t->stack_size());
   auto* head = static_cast<iso::SlotHeader*>(t->slot_list);
   if (!halting_ && (t->flags & marcel::Thread::kFlagService) != 0 &&
       pool_.size() < config_.invocation_pool) {
@@ -183,6 +188,15 @@ void Runtime::reap_thread(marcel::Thread* t) {
     iso::SlotHeader* stack = iso::ThreadHeap::release_heap_runs(head, slot_ops_);
     if (stack->nslots == config_.stack_slots) {
       t->slot_list = stack;
+      // TSD hygiene: a recycled invocation must observe pristine keys, and
+      // the window starts at park, not at the next re-arm — audits and
+      // debuggers walking the pool see no stale cross-call values either.
+      std::memset(t->specific, 0, sizeof(t->specific));
+      // Poison the parked stack whole: any write through a pointer that
+      // outlived its invocation (classic use-after-return onto a recycled
+      // service stack) is now a hard ASan report instead of silent
+      // corruption of the next invocation.  rearm() lifts the poison.
+      sys::san_poison(t->stack_base, t->stack_size());
       pool_.push_back(PoolEntry{t, now_ns()});
       return;
     }
@@ -224,6 +238,9 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
 
 void Runtime::pool_release_entry(marcel::Thread* t) {
   ++pool_evictions_;
+  // Lift the park poison: the slot run re-enters general circulation (heap
+  // slots, fresh stacks) and must be addressable for its next tenant.
+  sys::san_unpoison(t->stack_base, t->stack_size());
   iso::ThreadHeap::release_chain(static_cast<iso::SlotHeader*>(t->slot_list),
                                  slot_ops_);
 }

@@ -1,0 +1,154 @@
+// Sanitizer shim: fiber-switch annotations and shadow-memory control.
+//
+// Iso-address migration is invisible to AddressSanitizer by default: a
+// thread's stack is byte-copied to a peer node (or recycled in place by the
+// invocation pool), but ASan's *shadow* memory — the per-byte poison map and
+// the per-kernel-thread notion of "the current stack" — does not travel with
+// it.  Unannotated, every context switch leaves ASan believing execution is
+// still on the previous stack, and every migration resurrects stale redzone
+// poison at the destination address.  This header wraps the two mechanisms
+// that make the runtime sanitizer-clean:
+//
+//   * san_start_switch/san_finish_switch — the __sanitizer_*_switch_fiber
+//     protocol.  Every pm2_ctx_switch call site brackets the switch: start
+//     announces the target stack's extent (and parks the current context's
+//     fake-stack handle), finish (executed on the new stack) restores that
+//     context's handle.  First entry into a fresh context and first resume
+//     of a *migrated* stack pass a null handle — there is nothing to
+//     restore, the frames were built on another kernel thread's fake stack.
+//
+//   * san_poison/san_unpoison — explicit shadow edits.  Committing or
+//     installing a slot run scrubs whatever poison a previous tenant left
+//     at those addresses; packing a live stack unpoisons the borrowed
+//     extents so the fabric may read them; the invocation pool poisons a
+//     parked service stack (writes through stale pointers into a recycled
+//     stack become hard ASan reports) and unpoisons on re-arm.
+//
+// Everything compiles to nothing unless the build is ASan-instrumented, so
+// call sites need no #ifdefs and the hot path pays zero cost in production
+// builds.
+//
+// Limitation: ASan's fake-stack mode (detect_stack_use_after_return=1,
+// default-on under clang 15+) is incompatible with iso-address migration
+// by construction — in that mode instrumented frames keep their locals on
+// a per-kernel-thread fake stack *outside* the stack bytes, so a
+// byte-copied stack resumes frames pointing into another context's fake
+// stack.  Run sanitized suites with detect_stack_use_after_return=0 (the
+// GCC default; CI pins it).  The invocation pool's park poison covers the
+// same bug class — use-after-return onto a recycled stack — natively.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PM2_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PM2_ASAN_ENABLED 1
+#else
+#define PM2_ASAN_ENABLED 0
+#endif
+#else
+#define PM2_ASAN_ENABLED 0
+#endif
+
+#if PM2_ASAN_ENABLED
+#include <pthread.h>
+
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+void __asan_poison_memory_region(const void* addr, size_t size);
+void __asan_unpoison_memory_region(const void* addr, size_t size);
+}
+#endif
+
+/// Opt a function out of ASan instrumentation.  Used by the legacy
+/// (registered-pointer) migration baseline: ASan spills extra
+/// stack-address-holding frame bases that no heuristic patcher can know
+/// about — precisely the compiler-dependence the paper's iso-address
+/// scheme exists to eliminate — so legacy thread *bodies* run
+/// uninstrumented while the relocation machinery itself stays checked.
+#if PM2_ASAN_ENABLED
+#define PM2_NO_SANITIZE_ADDRESS __attribute__((no_sanitize_address))
+#else
+#define PM2_NO_SANITIZE_ADDRESS
+#endif
+
+namespace pm2::sys {
+
+/// True in ASan-instrumented builds (runtime gates: timing assertions,
+/// death tests that rely on poison reports).
+inline constexpr bool kAsan = PM2_ASAN_ENABLED != 0;
+
+/// Announce an imminent switch to the stack [bottom, bottom+size).  The
+/// current context's fake-stack handle is parked in *fake_save; pass
+/// fake_save == nullptr when the current context will never run again
+/// (thread exit) so ASan releases its fake frames.
+inline void san_start_switch([[maybe_unused]] void** fake_save,
+                             [[maybe_unused]] const void* bottom,
+                             [[maybe_unused]] size_t size) {
+#if PM2_ASAN_ENABLED
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+#endif
+}
+
+/// Complete a switch (must run on the new stack): restore this context's
+/// fake-stack handle as parked by the matching san_start_switch.  Pass
+/// nullptr on first entry into a fresh context and on first resume of a
+/// stack that migrated in from another kernel thread.
+inline void san_finish_switch([[maybe_unused]] void* fake) {
+#if PM2_ASAN_ENABLED
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+/// Mark [p, p+n) unaddressable: any instrumented access becomes an ASan
+/// "use-after-poison" report.
+inline void san_poison([[maybe_unused]] const void* p,
+                       [[maybe_unused]] size_t n) {
+#if PM2_ASAN_ENABLED
+  __asan_poison_memory_region(p, n);
+#endif
+}
+
+/// Scrub all poison from [p, p+n).  Required wherever memory changes
+/// logical owner without unwinding the code that poisoned it: slot commit,
+/// migration install, stack re-arm, extent packing.
+inline void san_unpoison([[maybe_unused]] const void* p,
+                         [[maybe_unused]] size_t n) {
+#if PM2_ASAN_ENABLED
+  __asan_unpoison_memory_region(p, n);
+#endif
+}
+
+/// Bounds of the calling kernel thread's own stack (the scheduler context
+/// every PM2 thread switches back to).  Cached per kernel thread: glibc's
+/// pthread_getattr_np re-parses /proc/self/maps for the main thread, and
+/// LegacyThread::resume() asks on every switch.  No-op without ASan.
+inline void san_current_stack([[maybe_unused]] const void** bottom,
+                              [[maybe_unused]] size_t* size) {
+#if PM2_ASAN_ENABLED
+  thread_local const void* cached_bottom = nullptr;
+  thread_local size_t cached_size = 0;
+  if (cached_bottom == nullptr) {
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+    void* addr = nullptr;
+    size_t len = 0;
+    if (pthread_attr_getstack(&attr, &addr, &len) == 0) {
+      cached_bottom = addr;
+      cached_size = len;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  if (cached_bottom != nullptr) {
+    *bottom = cached_bottom;
+    *size = cached_size;
+  }
+#endif
+}
+
+}  // namespace pm2::sys

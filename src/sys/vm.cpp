@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "sys/sanitizer.hpp"
 
 #ifndef MAP_FIXED_NOREPLACE
 #define MAP_FIXED_NOREPLACE 0x100000
@@ -81,6 +82,10 @@ void VmReservation::commit(uintptr_t addr, size_t len) {
   int rc = ::mprotect(reinterpret_cast<void*>(addr), len,
                       PROT_READ | PROT_WRITE);
   PM2_CHECK(rc == 0) << "mprotect(commit) failed: " << std::strerror(errno);
+  // A re-committed range may still carry a previous tenant's shadow poison
+  // (ASan never observes our mprotect games): committed slots start fully
+  // addressable, exactly like the zero pages the kernel hands back.
+  san_unpoison(reinterpret_cast<void*>(addr), len);
 }
 
 void VmReservation::decommit(uintptr_t addr, size_t len) {

@@ -1,4 +1,10 @@
 // Raw context-switch primitive tests (the foundation of thread migration).
+//
+// These drive pm2_ctx_switch directly, without the scheduler — so they also
+// carry the sanitizer fiber annotations directly, the same protocol every
+// scheduler call site speaks (see sys/sanitizer.hpp): announce the target
+// stack before each switch, finish on the new stack, null handle for first
+// entries and final exits.
 #include "marcel/context.hpp"
 
 #include <gtest/gtest.h>
@@ -6,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <vector>
+
+#include "sys/sanitizer.hpp"
 
 namespace pm2::marcel {
 namespace {
@@ -15,34 +23,66 @@ struct Bounce {
   void* thread_sp = nullptr;
   std::vector<int> trace;
   int rounds = 0;
+
+  // Annotation bookkeeping: both stacks' extents and the parked fake-stack
+  // handle of whichever side is currently switched out.
+  void* fiber_lo = nullptr;
+  size_t fiber_sz = 0;
+  const void* main_lo = nullptr;
+  size_t main_sz = 0;
+  void* main_fake = nullptr;
+  void* fiber_fake = nullptr;
+
+  Bounce(void* stack, size_t stack_size) : fiber_lo(stack), fiber_sz(stack_size) {
+    sys::san_current_stack(&main_lo, &main_sz);
+  }
 };
+
+/// Main side: run the fiber until it switches back.
+void enter_fiber(Bounce& b, void* sp) {
+  sys::san_start_switch(&b.main_fake, b.fiber_lo, b.fiber_sz);
+  pm2_ctx_switch(&b.main_sp, sp);
+  sys::san_finish_switch(b.main_fake);
+}
+
+/// Fiber side: hand control back, resumable.
+void fiber_yield(Bounce& b) {
+  sys::san_start_switch(&b.fiber_fake, b.main_lo, b.main_sz);
+  pm2_ctx_switch(&b.thread_sp, b.main_sp);
+  sys::san_finish_switch(b.fiber_fake);
+}
+
+/// Fiber side: final switch away, never resumed.
+void fiber_exit(Bounce& b) {
+  sys::san_start_switch(nullptr, b.main_lo, b.main_sz);
+  pm2_ctx_switch(&b.thread_sp, b.main_sp);
+  abort();
+}
 
 void bounce_entry(void* arg) {
   auto* b = static_cast<Bounce*>(arg);
   for (int i = 0; i < b->rounds; ++i) {
     b->trace.push_back(100 + i);
-    pm2_ctx_switch(&b->thread_sp, b->main_sp);
+    fiber_yield(*b);
   }
   b->trace.push_back(999);
-  // Final switch away; never resumed.
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
-  abort();
+  fiber_exit(*b);
 }
 
 TEST(Context, PingPongInterleaves) {
   constexpr size_t kStack = 64 * 1024;
   void* stack = std::aligned_alloc(16, kStack);
-  Bounce b;
+  Bounce b(stack, kStack);
   b.rounds = 3;
   void* sp = ctx_make(stack, static_cast<char*>(stack) + kStack,
                       &bounce_entry, &b);
 
   for (int i = 0; i < 3; ++i) {
     b.trace.push_back(i);
-    pm2_ctx_switch(&b.main_sp, sp);
+    enter_fiber(b, sp);
     sp = b.thread_sp;
   }
-  pm2_ctx_switch(&b.main_sp, sp);  // lets the entry run to its 999 mark
+  enter_fiber(b, sp);  // lets the entry run to its 999 mark
   EXPECT_EQ(b.trace, (std::vector<int>{0, 100, 1, 101, 2, 102, 999}));
   std::free(stack);
 }
@@ -52,23 +92,22 @@ void locals_entry(void* arg) {
   auto* b = static_cast<Bounce*>(arg);
   int local = 7;
   int* ptr = &local;  // self-referential stack pointer
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
+  fiber_yield(*b);
   *ptr += 1;
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
+  fiber_yield(*b);
   b->trace.push_back(local);
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
-  abort();
+  fiber_exit(*b);
 }
 
 TEST(Context, StackLocalsSurviveSwitches) {
   constexpr size_t kStack = 64 * 1024;
   void* stack = std::aligned_alloc(16, kStack);
-  Bounce b;
+  Bounce b(stack, kStack);
   void* sp = ctx_make(stack, static_cast<char*>(stack) + kStack,
                       &locals_entry, &b);
-  pm2_ctx_switch(&b.main_sp, sp);
-  pm2_ctx_switch(&b.main_sp, b.thread_sp);
-  pm2_ctx_switch(&b.main_sp, b.thread_sp);
+  enter_fiber(b, sp);
+  enter_fiber(b, b.thread_sp);
+  enter_fiber(b, b.thread_sp);
   EXPECT_EQ(b.trace, std::vector<int>{8});
   std::free(stack);
 }
@@ -77,23 +116,22 @@ TEST(Context, StackLocalsSurviveSwitches) {
 void fp_entry(void* arg) {
   auto* b = static_cast<Bounce*>(arg);
   double x = 1.5;
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
+  fiber_yield(*b);
   x *= 2.0;
   b->trace.push_back(static_cast<int>(x * 10));
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
-  abort();
+  fiber_exit(*b);
 }
 
 TEST(Context, FloatingPointSurvives) {
   constexpr size_t kStack = 64 * 1024;
   void* stack = std::aligned_alloc(16, kStack);
-  Bounce b;
+  Bounce b(stack, kStack);
   void* sp = ctx_make(stack, static_cast<char*>(stack) + kStack, &fp_entry,
                       &b);
-  pm2_ctx_switch(&b.main_sp, sp);
+  enter_fiber(b, sp);
   double main_side = 0.25 * 8;  // disturb FP state on the main context
   EXPECT_DOUBLE_EQ(main_side, 2.0);
-  pm2_ctx_switch(&b.main_sp, b.thread_sp);
+  enter_fiber(b, b.thread_sp);
   EXPECT_EQ(b.trace, std::vector<int>{30});
   std::free(stack);
 }
@@ -104,28 +142,31 @@ TEST(Context, FloatingPointSurvives) {
 void relocate_entry(void* arg) {
   auto* b = static_cast<Bounce*>(arg);
   int magic = 4242;
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
+  fiber_yield(*b);
   b->trace.push_back(magic);
-  pm2_ctx_switch(&b->thread_sp, b->main_sp);
-  abort();
+  fiber_exit(*b);
 }
 
 TEST(Context, YieldedContextIsFullyContainedInStackBytes) {
   constexpr size_t kStack = 64 * 1024;
   void* stack = std::aligned_alloc(16, kStack);
-  Bounce b;
+  Bounce b(stack, kStack);
   void* sp = ctx_make(stack, static_cast<char*>(stack) + kStack,
                       &relocate_entry, &b);
-  pm2_ctx_switch(&b.main_sp, sp);  // run to first yield
+  enter_fiber(b, sp);  // run to first yield
 
   // Snapshot the stack, poison the original, restore the snapshot: if any
   // context state lived outside the stack bytes, resumption would fail.
+  // The yielded frames left redzone poison in shadow — scrub it so the
+  // snapshot may read every byte, exactly like pack_thread_chain does
+  // before the fabric reads a migrating stack.
+  sys::san_unpoison(stack, kStack);
   std::vector<char> image(static_cast<char*>(stack),
                           static_cast<char*>(stack) + kStack);
   std::memset(stack, 0x5A, kStack);
   std::memcpy(stack, image.data(), kStack);
 
-  pm2_ctx_switch(&b.main_sp, b.thread_sp);
+  enter_fiber(b, b.thread_sp);
   EXPECT_EQ(b.trace, std::vector<int>{4242});
   std::free(stack);
 }

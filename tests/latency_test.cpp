@@ -16,9 +16,18 @@
 #include "pm2/api.hpp"
 #include "pm2/app.hpp"
 #include "pm2/runtime.hpp"
+#include "sys/sanitizer.hpp"
 
 namespace pm2 {
 namespace {
+
+// Wall-clock ceilings are meaningless under ASan/UBSan: instrumentation
+// multiplies every path by a hardware-dependent factor, and a flaky
+// sanitized job would push the suite back onto an exclusion list.  The
+// sanitized run still executes every call and sleep — asserting behaviour
+// (results, ordering, lower bounds) — and only the timing ceilings are
+// waived.
+constexpr bool kCheckCeilings = !sys::kAsan;
 
 // A blocking call on the in-process hub completes in single-digit µs when
 // the comm daemons park on the fabric's readiness handle, the reply hands
@@ -50,10 +59,12 @@ TEST(Latency, InprocBlockingCallStaysMicroseconds) {
                    [](RpcContext&, uint64_t v) -> uint64_t { return v + 1; });
       });
   double us_per_call = static_cast<double>(total_ns.load()) / 1e3 / kCalls;
-  EXPECT_LT(us_per_call, kCeilingUsPerCall)
-      << "blocking-call latency regressed: " << us_per_call
-      << " us/call — the reply wake-up path is bouncing through poll "
-         "windows again";
+  if (kCheckCeilings) {
+    EXPECT_LT(us_per_call, kCeilingUsPerCall)
+        << "blocking-call latency regressed: " << us_per_call
+        << " us/call — the reply wake-up path is bouncing through poll "
+           "windows again";
+  }
 }
 
 // Sub-millisecond sleeps on an otherwise idle node must wake near their
@@ -74,10 +85,12 @@ TEST(Latency, SleepAccurateOnIdleNode) {
   });
   uint64_t floor_ns = uint64_t{kSleeps} * kSleepUs * 1000;
   EXPECT_GE(total_ns.load(), floor_ns) << "sleeps returned early";
-  EXPECT_LT(total_ns.load(), 2 * floor_ns)
-      << "idle-node sleeps overslept: " << total_ns.load() / 1000
-      << " us for " << kSleeps << " x " << kSleepUs
-      << " us — expired timers are waiting on a fixed recv timeout again";
+  if (kCheckCeilings) {
+    EXPECT_LT(total_ns.load(), 2 * floor_ns)
+        << "idle-node sleeps overslept: " << total_ns.load() / 1000
+        << " us for " << kSleeps << " x " << kSleepUs
+        << " us — expired timers are waiting on a fixed recv timeout again";
+  }
 }
 
 // Under load the deadline still holds: a second thread keeps the node busy
@@ -97,7 +110,9 @@ TEST(Latency, SleepUnderLoadStillBounded) {
     stop = true;
   });
   EXPECT_GE(elapsed_us.load(), 5000u);
-  EXPECT_LT(elapsed_us.load(), 100000u);
+  if (kCheckCeilings) {
+    EXPECT_LT(elapsed_us.load(), 100000u);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "sys/sanitizer.hpp"
+
 namespace pm2::legacy {
 namespace {
 
@@ -14,6 +16,13 @@ namespace {
 #else
 #define SKIP_WITHOUT_ASM()
 #endif
+
+// Thread bodies that survive relocate() run UNINSTRUMENTED under ASan
+// (PM2_NO_SANITIZE_ADDRESS): instrumentation materializes extra
+// stack-address-holding frame bases that the legacy scheme's heuristic
+// patcher cannot see — the paper's compiler-dependence criticism made
+// literal.  The relocation machinery, the driver, and every assertion
+// stay fully instrumented.
 
 void simple_body(LegacyThread& self, void* arg) {
   auto* out = static_cast<int*>(arg);
@@ -46,7 +55,7 @@ struct PtrProbe {
   int value_via_registered = 0;
 };
 
-void pointer_body(LegacyThread& self, void* arg) {
+PM2_NO_SANITIZE_ADDRESS void pointer_body(LegacyThread& self, void* arg) {
   auto* probe = static_cast<PtrProbe*>(arg);
   volatile int x = 41;                        // stack local
   int* reg_ptr = const_cast<int*>(&x);        // will be registered
@@ -85,7 +94,7 @@ TEST(LegacyThread, RegisteredPointerPatchedUnregisteredStale) {
 }
 
 // Deep call chains: the saved-rbp frame chain must be patched link by link.
-int deep_recursion(LegacyThread& self, int depth) {
+PM2_NO_SANITIZE_ADDRESS int deep_recursion(LegacyThread& self, int depth) {
   // Force a real frame: local consumed after the recursive call.
   volatile int local = depth;
   if (depth > 0) {
@@ -96,7 +105,7 @@ int deep_recursion(LegacyThread& self, int depth) {
   return local;
 }
 
-void deep_body(LegacyThread& self, void* arg) {
+PM2_NO_SANITIZE_ADDRESS void deep_body(LegacyThread& self, void* arg) {
   *static_cast<int*>(arg) = deep_recursion(self, 30);
 }
 
@@ -113,7 +122,7 @@ TEST(LegacyThread, DeepFrameChainSurvivesRelocation) {
 }
 
 // Many registered pointers: the cost model of bench E6.
-void many_pointers_body(LegacyThread& self, void* arg) {
+PM2_NO_SANITIZE_ADDRESS void many_pointers_body(LegacyThread& self, void* arg) {
   auto* ok = static_cast<bool*>(arg);
   constexpr int kN = 64;
   int values[kN];

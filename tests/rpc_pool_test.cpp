@@ -176,15 +176,6 @@ TEST(InvocationPool, IdleDecayEvictsParkedThreads) {
 // and releases the slots through the ordinary exit path — the audit
 // proves nothing leaked or double-released.
 TEST(InvocationPool, MigratedServiceThreadIsEvictedNotPooled) {
-#if defined(__SANITIZE_ADDRESS__)
-  GTEST_SKIP() << "cross-node migration byte-copies stacks without their "
-                  "ASan shadow (tracked in ROADMAP)";
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
-  GTEST_SKIP() << "cross-node migration byte-copies stacks without their "
-                  "ASan shadow (tracked in ROADMAP)";
-#endif
-#endif
   g_ok = true;
   AppConfig cfg;
   cfg.nodes = 2;
