@@ -6,6 +6,7 @@
 // migration latency percentiles.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -59,15 +60,19 @@ struct SlotStats {
   std::string summary() const;
 };
 
+/// Counters are atomic: each Heap belongs to one PM2 thread, but with
+/// multiple scheduler workers different threads' heap operations run on
+/// different kernel threads concurrently, and observers (audit, benches)
+/// read another thread's stats without stopping it.
 struct HeapStats {
-  uint64_t allocs = 0;
-  uint64_t frees = 0;
-  uint64_t bytes_allocated = 0;   // live bytes (payload)
-  uint64_t peak_bytes = 0;
-  uint64_t block_splits = 0;
-  uint64_t block_coalesces = 0;
-  uint64_t slot_attach = 0;       // slots added to a thread heap
-  uint64_t slot_detach = 0;
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  std::atomic<uint64_t> bytes_allocated{0};  // live bytes (payload)
+  std::atomic<uint64_t> peak_bytes{0};
+  std::atomic<uint64_t> block_splits{0};
+  std::atomic<uint64_t> block_coalesces{0};
+  std::atomic<uint64_t> slot_attach{0};      // slots added to a thread heap
+  std::atomic<uint64_t> slot_detach{0};
 
   std::string summary() const;
 };

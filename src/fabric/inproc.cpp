@@ -78,14 +78,14 @@ NodeId InProcEndpoint::n_nodes() const { return hub_->n_nodes(); }
 
 void InProcEndpoint::send(Message msg) {
   msg.src = id_;
-  bytes_sent_ += msg.wire_size();
-  ++messages_sent_;
+  bytes_sent_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
   // Chained payloads move through the hub as-is — owned chunks change
   // hands with zero copies.  Borrowed segments would dangle once the
   // sender reuses its memory (e.g. migration decommits the slots), so
   // take ownership of those bytes now; this is the in-process equivalent
   // of the socket fabric's synchronous gather-to-wire.
-  payload_copy_bytes_ += msg.chain.seal();
+  payload_copy_bytes_.fetch_add(msg.chain.seal(), std::memory_order_relaxed);
   hub_->deliver(std::move(msg));
 }
 

@@ -9,6 +9,7 @@
 // the receiver — the same code path as the socket fabric.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -28,20 +29,29 @@ class InProcEndpoint final : public Fabric {
 
   NodeId node_id() const override { return id_; }
   NodeId n_nodes() const override;
+  /// Any scheduler worker may send directly: delivery serializes on the
+  /// destination mailbox mutex, and the sender-side counters are atomic.
+  bool concurrent_send_safe() const override { return true; }
   void send(Message msg) override;
   std::optional<Message> try_recv() override;
   std::optional<Message> recv_until(uint64_t deadline_ns) override;
   void wake() override;
-  uint64_t bytes_sent() const override { return bytes_sent_; }
-  uint64_t messages_sent() const override { return messages_sent_; }
-  uint64_t payload_copy_bytes() const override { return payload_copy_bytes_; }
+  uint64_t bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t payload_copy_bytes() const override {
+    return payload_copy_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::shared_ptr<InProcHub> hub_;
   NodeId id_;
-  uint64_t bytes_sent_ = 0;
-  uint64_t messages_sent_ = 0;
-  uint64_t payload_copy_bytes_ = 0;
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> payload_copy_bytes_{0};
 };
 
 /// Shared mailbox array.  Create once, then endpoint(i) for each node.

@@ -71,16 +71,26 @@ std::optional<Message> try_decode(std::vector<uint8_t>& buf);
 
 /// Abstract point-to-point transport endpoint bound to one node.
 ///
-/// Threading contract: all calls on a given Fabric instance are made from
-/// the kernel thread running that node (PM2 nodes are single-kernel-thread
-/// containers for many user-level threads).  Implementations may be called
-/// concurrently only through *different* endpoints.
+/// Threading contract: receive-side calls (try_recv/recv_until) on a given
+/// Fabric instance are made from one kernel thread — the node's comm-daemon
+/// worker.  send() is also bound to that kernel thread unless the endpoint
+/// declares concurrent_send_safe(); with multiple scheduler workers the PM2
+/// runtime routes other workers' sends accordingly (direct for concurrent-
+/// safe endpoints, deferred to the daemon otherwise).  wake() is always
+/// callable from any thread.
 class Fabric {
  public:
   virtual ~Fabric() = default;
 
   virtual NodeId node_id() const = 0;
   virtual NodeId n_nodes() const = 0;
+
+  /// May send() be called from a kernel thread other than the receive
+  /// owner's, concurrently with send/try_recv/recv_until?  The in-process
+  /// hub is (per-destination mailbox locks); the socket fabric is not — its
+  /// send() drains incoming traffic while blocked on a full pipe, which
+  /// would race the daemon's receive state.
+  virtual bool concurrent_send_safe() const { return false; }
 
   /// Send to msg.dst.  Must not deadlock even if the peer is concurrently
   /// sending a large message back (implementations drain incoming traffic

@@ -31,8 +31,8 @@ void* ThreadHeap::alloc(size_t size) {
         ++stats_->allocs;
         stats_->block_splits += splits;
         stats_->bytes_allocated += block_payload_size(p);
-        if (stats_->bytes_allocated > stats_->peak_bytes)
-          stats_->peak_bytes = stats_->bytes_allocated;
+        uint64_t live = stats_->bytes_allocated.load();
+        if (live > stats_->peak_bytes.load()) stats_->peak_bytes.store(live);
       }
       return p;
     }
@@ -58,8 +58,8 @@ void* ThreadHeap::alloc(size_t size) {
     ++stats_->allocs;
     stats_->block_splits += splits;
     stats_->bytes_allocated += block_payload_size(p);
-    if (stats_->bytes_allocated > stats_->peak_bytes)
-      stats_->peak_bytes = stats_->bytes_allocated;
+    uint64_t live = stats_->bytes_allocated.load();
+    if (live > stats_->peak_bytes.load()) stats_->peak_bytes.store(live);
   }
   return p;
 }
@@ -80,8 +80,8 @@ void* ThreadHeap::alloc_aligned(size_t size, size_t align) {
         ++stats_->allocs;
         stats_->block_splits += splits;
         stats_->bytes_allocated += block_payload_size(p);
-        if (stats_->bytes_allocated > stats_->peak_bytes)
-          stats_->peak_bytes = stats_->bytes_allocated;
+        uint64_t live = stats_->bytes_allocated.load();
+        if (live > stats_->peak_bytes.load()) stats_->peak_bytes.store(live);
       }
       return p;
     }
@@ -107,8 +107,8 @@ void* ThreadHeap::alloc_aligned(size_t size, size_t align) {
     ++stats_->allocs;
     stats_->block_splits += splits;
     stats_->bytes_allocated += block_payload_size(p);
-    if (stats_->bytes_allocated > stats_->peak_bytes)
-      stats_->peak_bytes = stats_->bytes_allocated;
+    uint64_t live = stats_->bytes_allocated.load();
+    if (live > stats_->peak_bytes.load()) stats_->peak_bytes.store(live);
   }
   return p;
 }

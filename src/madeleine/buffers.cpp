@@ -1,5 +1,6 @@
 #include "madeleine/buffers.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <utility>
 
@@ -7,14 +8,59 @@
 
 namespace pm2::mad {
 
+namespace {
+
+// Per-kernel-thread cache of staged-chunk storage.  The RPC hot path makes
+// one PackBuffer per call (args on the caller, reply on the service), so
+// without recycling every call pays a chunk malloc/free pair.  The cache is
+// keyed by kernel thread — under the SMP scheduler that is effectively a
+// per-worker freelist; a chain released on a different worker than it was
+// built on just refills that worker's cache.
+constexpr size_t kMaxPooledChunk = 16 * 1024;
+constexpr size_t kChunkCacheCap = 32;
+
+thread_local std::vector<std::vector<uint8_t>> t_chunk_cache;
+
+std::atomic<uint64_t> g_chunk_hits{0};
+std::atomic<uint64_t> g_chunk_misses{0};
+
+}  // namespace
+
+uint64_t chunk_pool_hits() {
+  return g_chunk_hits.load(std::memory_order_relaxed);
+}
+uint64_t chunk_pool_misses() {
+  return g_chunk_misses.load(std::memory_order_relaxed);
+}
+
+void BufferChain::release_chunks() {
+  for (std::vector<uint8_t>& chunk : chunks_) {
+    if (chunk.capacity() < kMinChunk || chunk.capacity() > kMaxPooledChunk ||
+        t_chunk_cache.size() >= kChunkCacheCap)
+      continue;  // freed by the vector dtor as usual
+    chunk.clear();
+    t_chunk_cache.push_back(std::move(chunk));
+  }
+  chunks_.clear();
+}
+
 uint8_t* BufferChain::grow(size_t len) {
   if (chunks_.empty() ||
       chunks_.back().capacity() - chunks_.back().size() < len) {
     size_t cap = kMinChunk;
     if (reserve_hint_ > cap) cap = reserve_hint_;
     if (len > cap) cap = len;
-    chunks_.emplace_back();
-    chunks_.back().reserve(cap);
+    if (cap <= kMaxPooledChunk && !t_chunk_cache.empty() &&
+        t_chunk_cache.back().capacity() >= cap) {
+      chunks_.push_back(std::move(t_chunk_cache.back()));
+      t_chunk_cache.pop_back();
+      g_chunk_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (cap <= kMaxPooledChunk)
+        g_chunk_misses.fetch_add(1, std::memory_order_relaxed);
+      chunks_.emplace_back();
+      chunks_.back().reserve(cap);
+    }
   }
   std::vector<uint8_t>& chunk = chunks_.back();
   size_t at = chunk.size();
@@ -104,7 +150,7 @@ size_t BufferChain::seal() {
 }
 
 void BufferChain::clear() {
-  chunks_.clear();
+  release_chunks();
   segments_.clear();
   total_ = copied_ = borrowed_ = 0;
 }

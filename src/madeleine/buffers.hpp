@@ -30,6 +30,12 @@ namespace pm2::mad {
 
 enum class PackMode { kCopy, kBorrow };
 
+/// Staged-chunk pool counters (process-wide, summed over the per-kernel-
+/// thread caches).  The RPC hot path builds a PackBuffer per call; a
+/// healthy pool serves those chunk allocations from recycled storage.
+uint64_t chunk_pool_hits();
+uint64_t chunk_pool_misses();
+
 /// Ordered scatter-gather list of {ptr,len} byte segments.  Each segment is
 /// either *owned* (bytes live in internal chunk storage, stable addresses)
 /// or *borrowed* (points into caller memory).  Move-only; the segment view
@@ -43,6 +49,7 @@ class BufferChain {
 
   BufferChain() = default;
   explicit BufferChain(size_t reserve_hint) : reserve_hint_(reserve_hint) {}
+  ~BufferChain() { release_chunks(); }
   BufferChain(BufferChain&&) noexcept = default;
   BufferChain& operator=(BufferChain&&) noexcept = default;
   BufferChain(const BufferChain&) = delete;
@@ -81,6 +88,9 @@ class BufferChain {
 
  private:
   uint8_t* grow(size_t len);
+  /// Hand still-pooled-sized chunks back to the calling kernel thread's
+  /// chunk cache (free-function pool below) instead of freeing them.
+  void release_chunks();
   bool single_owned_chunk() const {
     return chunks_.size() == 1 && borrowed_ == 0 &&
            chunks_[0].size() == total_;

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
@@ -13,6 +15,11 @@ namespace pm2::marcel {
 
 namespace {
 thread_local Scheduler* t_scheduler = nullptr;
+thread_local uint32_t t_worker = kNoWorker;
+
+/// Idle workers re-check the world at least this often even with no wake
+/// signal (lost-wakeup backstop; normal wakeups are explicit notifies).
+constexpr uint64_t kIdleBackstopNs = 100'000'000;  // 100 ms
 }  // namespace
 
 const char* to_string(ThreadState s) {
@@ -39,16 +46,31 @@ bool Thread::canary_ok() const {
   return *reinterpret_cast<const uint64_t*>(stack_base) == kCanary;
 }
 
-Scheduler::Scheduler() = default;
+Scheduler::Scheduler(uint32_t workers)
+    : n_workers_(workers == 0 ? 1 : workers) {
+  workers_.reserve(n_workers_);
+  for (uint32_t i = 0; i < n_workers_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->rng = 0x9E3779B97F4A7C15ull * (i + 1) + 1;
+  }
+}
 
 Scheduler::~Scheduler() {
-  PM2_CHECK(current_ == nullptr) << "scheduler destroyed while dispatching";
+  for (const auto& w : workers_)
+    PM2_CHECK(w->current == nullptr) << "scheduler destroyed while dispatching";
 }
 
 Scheduler* Scheduler::current_scheduler() { return t_scheduler; }
 
 Thread* Scheduler::self() {
-  return t_scheduler != nullptr ? t_scheduler->current_ : nullptr;
+  if (t_scheduler == nullptr || t_worker == kNoWorker) return nullptr;
+  return t_scheduler->workers_[t_worker]->current;
+}
+
+uint32_t Scheduler::current_worker() { return t_worker; }
+
+uint32_t Scheduler::home_worker() const {
+  return (t_scheduler == this && t_worker != kNoWorker) ? t_worker : 0;
 }
 
 SchedulerBinding::SchedulerBinding(Scheduler* sched) : prev_(t_scheduler) {
@@ -57,9 +79,76 @@ SchedulerBinding::SchedulerBinding(Scheduler* sched) : prev_(t_scheduler) {
 
 SchedulerBinding::~SchedulerBinding() { t_scheduler = prev_; }
 
+// --- intrusive deque helpers (caller holds the worker's lock) --------------
+
+void Scheduler::deque_push_back(Worker& w, Thread* t) {
+  t->qnext = nullptr;
+  t->qprev = w.tail;
+  if (w.tail != nullptr)
+    w.tail->qnext = t;
+  else
+    w.head = t;
+  w.tail = t;
+}
+
+void Scheduler::deque_push_front(Worker& w, Thread* t) {
+  t->qprev = nullptr;
+  t->qnext = w.head;
+  if (w.head != nullptr)
+    w.head->qprev = t;
+  else
+    w.tail = t;
+  w.head = t;
+}
+
+void Scheduler::deque_unlink(Worker& w, Thread* t) {
+  if (t->qprev != nullptr)
+    t->qprev->qnext = t->qnext;
+  else
+    w.head = t->qnext;
+  if (t->qnext != nullptr)
+    t->qnext->qprev = t->qprev;
+  else
+    w.tail = t->qprev;
+  t->qnext = nullptr;
+  t->qprev = nullptr;
+}
+
+// --- registry --------------------------------------------------------------
+
+void Scheduler::register_thread(Thread* t) {
+  RegistryShard& s = shard_for(t->id);
+  s.lock.lock();
+  bool inserted = s.map.emplace(t->id, t).second;
+  s.lock.unlock();
+  PM2_CHECK(inserted) << "duplicate thread id " << t->id;
+  registry_count_.fetch_add(1, std::memory_order_relaxed);
+  if (!t->is_daemon()) live_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Thread* Scheduler::find(ThreadId id) const {
+  RegistryShard& s = shard_for(id);
+  sys::SpinGuard g(s.lock);
+  auto it = s.map.find(id);
+  return it == s.map.end() ? nullptr : it->second;
+}
+
+void Scheduler::for_each(const std::function<void(Thread*)>& fn) const {
+  // Snapshot under the shard locks, call back outside them: fn may look
+  // threads up again (same shard) or take other locks.
+  std::vector<Thread*> snapshot;
+  for (const RegistryShard& s : registry_) {
+    sys::SpinGuard g(s.lock);
+    for (const auto& [id, t] : s.map) snapshot.push_back(t);
+  }
+  for (Thread* t : snapshot) fn(t);
+}
+
+// --- thread lifecycle ------------------------------------------------------
+
 Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
                           void* arg, ThreadId id, const char* name,
-                          uint32_t flags) {
+                          uint32_t flags, bool start_frozen) {
   PM2_CHECK(region != nullptr);
   auto base = reinterpret_cast<uintptr_t>(region);
   PM2_CHECK(base % alignof(Thread) == 0) << "misaligned thread region";
@@ -82,9 +171,12 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
 
-  PM2_CHECK(registry_.emplace(id, t).second) << "duplicate thread id " << id;
-  if (!t->is_daemon()) ++live_;
-  push_ready(t);
+  uint32_t home = home_worker();
+  t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
+  t->last_worker = home;
+  if (start_frozen) t->state = ThreadState::kFrozen;
+  register_thread(t);
+  if (!start_frozen) push_ready(t, home);
   return t;
 }
 
@@ -107,258 +199,333 @@ Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
   t->joiner = nullptr;
   t->done = false;
   t->san_fake_stack = nullptr;
+  t->running_on.store(kNoWorker, std::memory_order_relaxed);
+  t->park_mode = ParkMode::kYield;
+  t->san_worker = kNoWorker;
   // Stack bounds are unchanged; only the context restarts from scratch.
   // The invocation pool poisoned the parked stack — lift that before the
   // canary and the fresh initial frame are written.
   sys::san_unpoison(t->stack_base, t->stack_size());
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
-  PM2_CHECK(registry_.emplace(id, t).second) << "duplicate thread id " << id;
-  if (!t->is_daemon()) ++live_;
-  push_ready(t);
+  uint32_t home = home_worker();
+  t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
+  t->last_worker = home;
+  register_thread(t);
+  push_ready(t, home);
   return t;
 }
 
-void Scheduler::push_ready(Thread* t) {
+// --- ready deques ----------------------------------------------------------
+
+void Scheduler::push_ready(Thread* t, uint32_t w_idx, bool front) {
+  PM2_DCHECK(w_idx < n_workers_);
+  Worker& w = *workers_[w_idx];
+  w.lock.lock();
   t->state = ThreadState::kReady;
-  t->qnext = nullptr;
-  t->qprev = ready_tail_;
-  if (ready_tail_ != nullptr)
-    ready_tail_->qnext = t;
+  t->queue_worker = w_idx;
+  if (front)
+    deque_push_front(w, t);
   else
-    ready_head_ = t;
-  ready_tail_ = t;
-  ++ready_count_;
+    deque_push_back(w, t);
+  w.ready.fetch_add(1);
+  w.lock.unlock();
+
+  if (front) w.handoffs.fetch_add(1, std::memory_order_relaxed);
+  if (n_workers_ == 1) return;
+
+  uint32_t me = (t_scheduler == this) ? t_worker : kNoWorker;
+  if (w_idx != me) {
+    wake_worker(w_idx);
+    // Worker 0's kernel thread may be parked deep inside the comm daemon's
+    // blocking fabric receive, where no condvar reaches it.
+    if (w_idx == 0 && me != 0 && external_wake_) external_wake_();
+  } else if (w.ready.load(std::memory_order_relaxed) > 1 &&
+             n_parked_.load(std::memory_order_relaxed) > 0) {
+    // Local surplus: give an idle peer a chance to steal.
+    for (uint32_t i = 0; i < n_workers_; ++i) {
+      if (i != w_idx && workers_[i]->parked.load(std::memory_order_relaxed)) {
+        wake_worker(i);
+        break;
+      }
+    }
+  }
 }
 
-void Scheduler::push_ready_front(Thread* t) {
-  t->state = ThreadState::kReady;
-  t->qprev = nullptr;
-  t->qnext = ready_head_;
-  if (ready_head_ != nullptr)
-    ready_head_->qprev = t;
-  else
-    ready_tail_ = t;
-  ready_head_ = t;
-  ++ready_count_;
-}
-
-Thread* Scheduler::pop_ready() {
-  Thread* t = ready_head_;
-  if (t == nullptr) return nullptr;
-  ready_head_ = t->qnext;
-  if (ready_head_ != nullptr)
-    ready_head_->qprev = nullptr;
-  else
-    ready_tail_ = nullptr;
-  t->qnext = nullptr;
-  t->qprev = nullptr;
-  --ready_count_;
+Thread* Scheduler::pop_local(Worker& w, uint32_t idx) {
+  // `ready` is maintained under the deque lock, so a zero read means the
+  // deque was empty at some recent instant — good enough for the fast path
+  // (never peek `head` without the lock: a concurrent handoff could be
+  // mid-splice).
+  if (w.ready.load(std::memory_order_relaxed) == 0) return nullptr;
+  w.lock.lock();
+  Thread* t = w.head;
+  if (t != nullptr) {
+    deque_unlink(w, t);
+    w.ready.fetch_sub(1);
+    PM2_DCHECK(t->state == ThreadState::kReady);
+    t->state = ThreadState::kRunning;
+    t->running_on.store(idx, std::memory_order_relaxed);
+    t->last_worker = idx;
+  }
+  w.lock.unlock();
   return t;
 }
 
-void Scheduler::dispatch(Thread* t) {
-  PM2_DCHECK(t->state == ThreadState::kReady);
+Thread* Scheduler::try_steal(uint32_t thief) {
+  Worker& me = *workers_[thief];
+  uint64_t x = me.rng;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  me.rng = x;
+  uint32_t start = static_cast<uint32_t>(x % n_workers_);
+  bool saw_work = false;
+  for (uint32_t k = 0; k < n_workers_; ++k) {
+    uint32_t v = (start + k) % n_workers_;
+    if (v == thief) continue;
+    Worker& vic = *workers_[v];
+    if (vic.ready.load(std::memory_order_relaxed) == 0) continue;
+    saw_work = true;
+    if (!vic.lock.try_lock()) continue;
+    // Steal from the cold end; pinned threads never leave their worker.
+    Thread* t = vic.tail;
+    while (t != nullptr && t->affinity != kNoWorker) t = t->qprev;
+    if (t != nullptr) {
+      deque_unlink(vic, t);
+      vic.ready.fetch_sub(1);
+      t->state = ThreadState::kRunning;
+      t->running_on.store(thief, std::memory_order_relaxed);
+      t->last_worker = thief;
+      vic.lock.unlock();
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    vic.lock.unlock();
+  }
+  if (saw_work) me.steal_failures.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+// --- dispatch --------------------------------------------------------------
+
+void Scheduler::dispatch(Worker& w, uint32_t idx, Thread* t) {
+  PM2_DCHECK(t->state == ThreadState::kRunning);
   PM2_DCHECK(t->magic == Thread::kMagic) << "corrupt thread descriptor";
-  current_ = t;
-  t->state = ThreadState::kRunning;
-  ++switches_;
-  slice_start_ns_ = now_ns();
-  sys::san_start_switch(&san_sched_fake_, t->stack_base, t->stack_size());
-  pm2_ctx_switch(&sched_sp_, t->sp);
-  sys::san_finish_switch(san_sched_fake_);
+  w.current = t;
+  w.dispatches.fetch_add(1, std::memory_order_relaxed);
+  w.slice_start_ns = now_ns();
+  sys::san_start_switch(&w.san_sched_fake, t->stack_base, t->stack_size());
+  pm2_ctx_switch(&w.sched_sp, t->sp);
+  sys::san_finish_switch(w.san_sched_fake);
   // The thread switched back (yield/block/exit/freeze).  Its memory is
   // still mapped even if it exited — the reaper continuation has not run
   // yet — so the overflow canary can be verified on every switch.
   PM2_CHECK(t->canary_ok())
       << "stack overflow detected on thread " << t->id << " (" << t->name
       << "): the stack ran into its descriptor";
-  current_ = nullptr;
-}
-
-void Scheduler::fire_expired_timers() {
-  if (timers_.empty()) return;
-  uint64_t now = now_ns();
-  while (!timers_.empty() && timers_.begin()->first <= now) {
-    Thread* t = timers_.begin()->second;
-    timers_.erase(timers_.begin());
-    PM2_DCHECK(t->state == ThreadState::kBlocked);
-    push_ready(t);
-  }
-}
-
-uint64_t Scheduler::ns_until_next_timer() const {
-  if (timers_.empty()) return UINT64_MAX;
-  uint64_t deadline = timers_.begin()->first;
-  uint64_t now = now_ns();
-  return deadline > now ? deadline - now : 0;
+  // Iso-address one-owner invariant: the stack run we just dispatched must
+  // have been owned by this worker for the whole slice.
+  PM2_DCHECK(t->running_on.load(std::memory_order_relaxed) == idx)
+      << "thread " << t->id << " dispatched by worker " << idx
+      << " without owning it";
+  ParkMode mode = t->park_mode;
+  w.current = nullptr;
+  // Only now is the context fully saved: release ownership so a racing
+  // unblock()/steal may requeue and re-dispatch the thread.
+  t->running_on.store(kNoWorker, std::memory_order_release);
+  if (mode == ParkMode::kYield) push_ready(t, idx);
+  // kBlock: the unblocker owns the requeue.  kDone: w.post runs next.
 }
 
 void Scheduler::switch_to_scheduler(Thread* t) {
-  sys::san_start_switch(&t->san_fake_stack, san_stack_bottom_,
-                        san_stack_size_);
-  pm2_ctx_switch(&t->sp, sched_sp_);
-  // The thread may have been resumed under a *different* scheduler after a
-  // migration: `this` must not be touched, but `t` is iso-addressed and
-  // therefore valid on any node.  The parked fake-stack handle is only
-  // meaningful on the kernel thread that parked it — install_thread nulls
-  // it for migrated-in stacks, so this hands ASan null exactly when the
-  // frames were built elsewhere.
+  uint32_t w_idx = t->running_on.load(std::memory_order_relaxed);
+  PM2_DCHECK(w_idx < n_workers_);
+  Worker& w = *workers_[w_idx];
+  t->san_worker = w_idx;
+  sys::san_start_switch(&t->san_fake_stack, w.san_stack_bottom,
+                        w.san_stack_size);
+  pm2_ctx_switch(&t->sp, w.sched_sp);
+  // The thread may have been resumed under a *different* worker (steal) or
+  // a different scheduler (migration): `this` must not be touched, but `t`
+  // is iso-addressed and therefore valid anywhere.  The parked fake-stack
+  // handle belongs to the kernel thread that parked it — install_thread
+  // nulls it for migrated-in stacks, and a cross-worker resume hands ASan
+  // null for the same reason.
   void* fake = t->san_fake_stack;
   t->san_fake_stack = nullptr;
+  if (t->san_worker != t->running_on.load(std::memory_order_relaxed))
+    fake = nullptr;
   sys::san_finish_switch(fake);
 }
 
-void Scheduler::run() {
-  SchedulerBinding bind(this);
-  sys::san_current_stack(&san_stack_bottom_, &san_stack_size_);
-  while (true) {
-    fire_expired_timers();
-    Thread* t = pop_ready();
-    if (t != nullptr) {
-      dispatch(t);
-      if (post_) {
-        // Run exit/freeze continuation on the scheduler stack, where the
-        // departing thread's stack is guaranteed quiescent.
-        Continuation cont = std::move(post_);
-        post_ = nullptr;
-        Thread* pt = post_thread_;
-        post_thread_ = nullptr;
-        cont(pt);
-      }
-      continue;
-    }
-    if (stop_requested_ && registry_.empty()) break;
-    if (!timers_.empty()) {
-      // Park the kernel thread until the nearest deadline instead of
-      // busy-waiting: a sleeping thread is the only local wake source
-      // (cross-node events are owned by the comm daemon, which is a
-      // thread and therefore never leaves the scheduler idle).
-      timespec until;
-      uint64_t deadline = timers_.begin()->first;
-      until.tv_sec = static_cast<time_t>(deadline / 1'000'000'000ull);
-      until.tv_nsec = static_cast<long>(deadline % 1'000'000'000ull);
-      ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &until, nullptr);
-      continue;
-    }
-    // No runnable thread, no timer, no event source: with a cooperative
-    // scheduler this state can never resolve itself.
-    PM2_CHECK(!registry_.empty())
-        << "scheduler idle with empty registry but no stop request";
-    PM2_FATAL("deadlock: all threads blocked/frozen");
-  }
-}
-
 void Scheduler::yield() {
-  Thread* t = current_;
+  Thread* t = self();
   PM2_CHECK(t != nullptr) << "yield() outside a thread";
-  push_ready(t);
+  // The requeue happens on the scheduler side (dispatch epilogue), after
+  // the context is saved: pushing first — as the single-threaded scheduler
+  // did — would let a peer worker dispatch a stack that is still live here.
+  t->park_mode = ParkMode::kYield;
   switch_to_scheduler(t);
   // NOTE: nothing after the switch may touch `this` — after a migration a
   // resumed thread continues under a *different* scheduler instance.
 }
 
 void Scheduler::block() {
-  Thread* t = current_;
+  Thread* t = self();
   PM2_CHECK(t != nullptr) << "block() outside a thread";
   t->state = ThreadState::kBlocked;
+  t->park_mode = ParkMode::kBlock;
+  switch_to_scheduler(t);
+}
+
+void Scheduler::block_commit(sys::SpinLock& lock) {
+  Thread* t = self();
+  PM2_CHECK(t != nullptr) << "block_commit() outside a thread";
+  PM2_DCHECK(t->state == ThreadState::kBlocked)
+      << "block_commit without kBlocked (caller must park under its lock)";
+  t->park_mode = ParkMode::kBlock;
+  // Safe to release before the switch: a racing unblock() spins on
+  // running_on, which this worker clears only after the context is saved.
+  lock.unlock();
   switch_to_scheduler(t);
 }
 
 void Scheduler::sleep_us(uint64_t us) {
-  Thread* t = current_;
+  Thread* t = self();
   PM2_CHECK(t != nullptr) << "sleep_us() outside a thread";
   if (us == 0) {
     yield();
     return;
   }
-  timers_.emplace(now_ns() + us * 1000, t);
+  uint32_t w_idx = t->running_on.load(std::memory_order_relaxed);
+  Worker& w = *workers_[w_idx];
+  uint64_t deadline = now_ns() + us * 1000;
+  w.lock.lock();
+  w.timers.emplace(deadline, t);
+  if (deadline < w.earliest.load(std::memory_order_relaxed))
+    w.earliest.store(deadline, std::memory_order_relaxed);
   t->state = ThreadState::kBlocked;
-  switch_to_scheduler(t);
+  block_commit(w.lock);
 }
 
 void Scheduler::unblock(Thread* t, bool front) {
   PM2_CHECK(t->state == ThreadState::kBlocked)
       << "unblock on " << to_string(t->state) << " thread";
   t->wait_queue = nullptr;
-  if (front)
-    push_ready_front(t);
-  else
-    push_ready(t);
+  // The thread may still be on-CPU between publishing its park and saving
+  // its context; wait for the owning worker to release it.
+  while (t->running_on.load(std::memory_order_acquire) != kNoWorker)
+    sys::cpu_relax();
+  uint32_t w = t->affinity != kNoWorker ? t->affinity : t->last_worker;
+  if (w >= n_workers_) w = 0;
+  push_ready(t, w, front);
 }
 
 void Scheduler::exit_current(Continuation reaper) {
-  Thread* t = current_;
+  Thread* t = self();
   PM2_CHECK(t != nullptr) << "exit_current() outside a thread";
   // TSD destructors run on the exiting thread's own context, while its
   // stack and iso-heap are still intact — a destructor may isofree the
   // value it owns.  After this, every destructor-bearing key is null, so
   // no per-invocation state survives into a pooled re-arm.
   run_key_destructors(t);
+  RegistryShard& s = shard_for(t->id);
+  s.lock.lock();
   t->state = ThreadState::kDead;
   t->done = true;
-  if (t->joiner != nullptr) {
-    unblock(t->joiner);
-    t->joiner = nullptr;
-  }
-  registry_.erase(t->id);
-  if (!t->is_daemon()) --live_;
-  post_ = std::move(reaper);
-  post_thread_ = t;
+  Thread* joiner = t->joiner;
+  t->joiner = nullptr;
+  s.map.erase(t->id);
+  s.lock.unlock();
+  size_t left = registry_count_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (!t->is_daemon()) live_.fetch_sub(1, std::memory_order_relaxed);
+  if (joiner != nullptr) unblock(joiner);
+  if (left == 0 && stop_requested_.load(std::memory_order_relaxed))
+    wake_all_workers();
+  Worker& w = *workers_[t->running_on.load(std::memory_order_relaxed)];
+  w.post = std::move(reaper);
+  w.post_thread = t;
+  t->park_mode = ParkMode::kDone;
   switch_out_forever(t);
 }
 
 void Scheduler::switch_out_forever(Thread* t) {
+  Worker& w = *workers_[t->running_on.load(std::memory_order_relaxed)];
   // Null save slot: the context never runs again, so ASan may release its
   // fake-stack frames instead of keeping them alive forever.
-  sys::san_start_switch(nullptr, san_stack_bottom_, san_stack_size_);
-  pm2_ctx_switch(&t->sp, sched_sp_);
+  sys::san_start_switch(nullptr, w.san_stack_bottom, w.san_stack_size);
+  pm2_ctx_switch(&t->sp, w.sched_sp);
   PM2_FATAL("dead/shipped thread was resumed");
 }
 
 bool Scheduler::join(ThreadId id) {
-  Thread* self_t = current_;
+  Thread* self_t = self();
   PM2_CHECK(self_t != nullptr) << "join() outside a thread";
-  Thread* t = find(id);
-  if (t == nullptr || t->done) return false;
+  RegistryShard& s = shard_for(id);
+  s.lock.lock();
+  auto it = s.map.find(id);
+  Thread* t = it == s.map.end() ? nullptr : it->second;
+  if (t == nullptr || t->done) {
+    s.lock.unlock();
+    return false;
+  }
   PM2_CHECK(t != self_t) << "thread joining itself";
   PM2_CHECK(t->joiner == nullptr) << "thread " << id << " already has a joiner";
   t->joiner = self_t;
-  block();
+  self_t->state = ThreadState::kBlocked;
+  // The shard lock serializes against the exit path, which reads `joiner`
+  // under it — released atomically with the park.
+  block_commit(s.lock);
   return true;
 }
 
+// --- migration support -----------------------------------------------------
+
 bool Scheduler::freeze(Thread* t) {
-  if (t == nullptr || t == current_) return false;
-  if (t->state != ThreadState::kReady) return false;
-  // Unlink from the ready FIFO.
-  if (t->qprev != nullptr)
-    t->qprev->qnext = t->qnext;
-  else
-    ready_head_ = t->qnext;
-  if (t->qnext != nullptr)
-    t->qnext->qprev = t->qprev;
-  else
-    ready_tail_ = t->qprev;
-  t->qnext = nullptr;
-  t->qprev = nullptr;
-  --ready_count_;
-  t->state = ThreadState::kFrozen;
-  return true;
+  if (t == nullptr || t == self()) return false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (t->state != ThreadState::kReady) return false;
+    uint32_t qw = t->queue_worker;
+    if (qw >= n_workers_) return false;
+    Worker& w = *workers_[qw];
+    w.lock.lock();
+    // Membership scan: queue_worker alone can be a stale cross-worker read,
+    // so confirm the thread is actually linked here before touching links.
+    // freeze is a cold path (migration/checkpoint) and deques are short.
+    for (Thread* it = w.head; it != nullptr; it = it->qnext) {
+      if (it == t) {
+        deque_unlink(w, t);
+        w.ready.fetch_sub(1);
+        t->state = ThreadState::kFrozen;
+        w.lock.unlock();
+        return true;
+      }
+    }
+    w.lock.unlock();
+    // Not on that deque (popped, stolen, or moved between our peek and the
+    // lock).  At workers > 1 callers that need a guaranteed freeze quiesce
+    // peers with pause_workers() first; otherwise report failure after the
+    // retries drain.
+    sys::cpu_relax();
+  }
+  return false;
 }
 
 void Scheduler::unfreeze(Thread* t) {
   PM2_CHECK(t->state == ThreadState::kFrozen)
       << "unfreeze on " << to_string(t->state) << " thread";
-  push_ready(t);
+  push_ready(t, home_worker());
 }
 
 void Scheduler::freeze_current_and(Continuation cont) {
-  Thread* t = current_;
+  Thread* t = self();
   PM2_CHECK(t != nullptr) << "freeze_current_and() outside a thread";
   t->state = ThreadState::kFrozen;
-  post_ = std::move(cont);
-  post_thread_ = t;
+  Worker& w = *workers_[t->running_on.load(std::memory_order_relaxed)];
+  w.post = std::move(cont);
+  w.post_thread = t;
+  t->park_mode = ParkMode::kDone;
   switch_to_scheduler(t);
   // Resumes here after adopt() — usually on another node.  Only TLS
   // lookups are valid beyond this point (see header).
@@ -371,30 +538,275 @@ void Scheduler::adopt(Thread* t) {
   t->wait_queue = nullptr;
   t->joiner = nullptr;
   t->done = false;
-  PM2_CHECK(registry_.emplace(t->id, t).second)
-      << "adopt: duplicate thread id " << t->id;
-  if (!t->is_daemon()) ++live_;
-  push_ready(t);
+  t->running_on.store(kNoWorker, std::memory_order_relaxed);
+  t->park_mode = ParkMode::kYield;
+  t->affinity = kNoWorker;
+  t->san_worker = kNoWorker;
+  uint32_t home = home_worker();
+  t->last_worker = home;
+  RegistryShard& s = shard_for(t->id);
+  s.lock.lock();
+  bool inserted = s.map.emplace(t->id, t).second;
+  s.lock.unlock();
+  PM2_CHECK(inserted) << "adopt: duplicate thread id " << t->id;
+  registry_count_.fetch_add(1, std::memory_order_relaxed);
+  if (!t->is_daemon()) live_.fetch_add(1, std::memory_order_relaxed);
+  push_ready(t, home);
 }
 
 void Scheduler::forget(Thread* t) {
-  size_t erased = registry_.erase(t->id);
+  RegistryShard& s = shard_for(t->id);
+  s.lock.lock();
+  size_t erased = s.map.erase(t->id);
+  s.lock.unlock();
   PM2_CHECK(erased == 1) << "forget: unknown thread " << t->id;
-  if (!t->is_daemon()) --live_;
+  registry_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (!t->is_daemon()) live_.fetch_sub(1, std::memory_order_relaxed);
 }
+
+// --- timers ----------------------------------------------------------------
+
+void Scheduler::fire_expired_timers(Worker& w, uint32_t idx) {
+  uint64_t e = w.earliest.load(std::memory_order_relaxed);
+  if (e == UINT64_MAX) return;
+  uint64_t now = now_ns();
+  if (e > now) return;
+  w.lock.lock();
+  while (!w.timers.empty() && w.timers.begin()->first <= now) {
+    Thread* t = w.timers.begin()->second;
+    w.timers.erase(w.timers.begin());
+    PM2_DCHECK(t->state == ThreadState::kBlocked);
+    // The sleeper fully switched out before this worker returned to its
+    // loop (it slept *on* this worker), so it can be requeued directly.
+    t->state = ThreadState::kReady;
+    t->queue_worker = idx;
+    deque_push_back(w, t);
+    w.ready.fetch_add(1);
+  }
+  w.earliest.store(
+      w.timers.empty() ? UINT64_MAX : w.timers.begin()->first,
+      std::memory_order_relaxed);
+  w.lock.unlock();
+}
+
+uint64_t Scheduler::ns_until_next_timer() const {
+  uint64_t earliest = UINT64_MAX;
+  for (const auto& w : workers_) {
+    uint64_t e = w->earliest.load(std::memory_order_relaxed);
+    if (e < earliest) earliest = e;
+  }
+  if (earliest == UINT64_MAX) return UINT64_MAX;
+  uint64_t now = now_ns();
+  return earliest > now ? earliest - now : 0;
+}
+
+// --- worker loop -----------------------------------------------------------
+
+void Scheduler::wake_worker(uint32_t idx) {
+  Worker& w = *workers_[idx];
+  if (!w.parked.load()) return;
+  {
+    std::lock_guard<std::mutex> g(w.park_mu);
+    w.park_cv.notify_one();
+  }
+  w.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Scheduler::wake_all_workers() {
+  for (uint32_t i = 0; i < n_workers_; ++i) {
+    Worker& w = *workers_[i];
+    std::lock_guard<std::mutex> g(w.park_mu);
+    w.park_cv.notify_all();
+  }
+}
+
+void Scheduler::stop() {
+  stop_requested_.store(true);
+  wake_all_workers();
+}
+
+void Scheduler::idle_park(Worker& w, uint32_t idx) {
+  if (n_workers_ == 1) {
+    // Historical single-loop behavior, preserved exactly.
+    if (!w.timers.empty()) {
+      // Park the kernel thread until the nearest deadline instead of
+      // busy-waiting: a sleeping thread is the only local wake source
+      // (cross-node events are owned by the comm daemon, which is a
+      // thread and therefore never leaves the scheduler idle).
+      timespec until;
+      uint64_t deadline = w.timers.begin()->first;
+      until.tv_sec = static_cast<time_t>(deadline / 1'000'000'000ull);
+      until.tv_nsec = static_cast<long>(deadline % 1'000'000'000ull);
+      ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &until, nullptr);
+      return;
+    }
+    // No runnable thread, no timer, no event source: with a cooperative
+    // scheduler this state can never resolve itself.
+    PM2_CHECK(registry_count_.load() != 0)
+        << "scheduler idle with empty registry but no stop request";
+    PM2_FATAL("deadlock: all threads blocked/frozen");
+  }
+
+  // Multi-worker: if a peer has surplus, spin back around and steal.
+  for (uint32_t i = 0; i < n_workers_; ++i) {
+    if (i != idx && workers_[i]->ready.load(std::memory_order_relaxed) > 1)
+      return;
+  }
+  uint64_t now = now_ns();
+  uint64_t deadline = now + kIdleBackstopNs;
+  uint64_t e = w.earliest.load(std::memory_order_relaxed);
+  if (e < deadline) deadline = e;
+  if (deadline <= now) return;
+
+  std::unique_lock<std::mutex> lk(w.park_mu);
+  w.parked.store(true);
+  n_parked_.fetch_add(1);
+  // Re-check under "parked" visibility: a pusher that saw parked == false
+  // is ordered before our ready load (both seq_cst), so either it sees the
+  // flag and notifies or we see its push here.
+  if (w.ready.load() == 0 && !stop_requested_.load() &&
+      !pause_requested_.load()) {
+    w.park_cv.wait_for(lk, std::chrono::nanoseconds(deadline - now), [&] {
+      return w.ready.load() > 0 || stop_requested_.load() ||
+             pause_requested_.load();
+    });
+  }
+  w.parked.store(false);
+  n_parked_.fetch_sub(1);
+}
+
+void Scheduler::gate_wait(uint32_t idx) {
+  std::unique_lock<std::mutex> lk(gate_mu_);
+  while (pause_requested_.load(std::memory_order_relaxed) &&
+         pauser_worker_ != idx) {
+    ++gated_;
+    gate_cv_.notify_all();
+    gate_cv_.wait(lk, [&] {
+      return !pause_requested_.load(std::memory_order_relaxed) ||
+             pauser_worker_ == idx;
+    });
+    --gated_;
+  }
+}
+
+void Scheduler::pause_workers() {
+  if (n_workers_ == 1) return;
+  PM2_CHECK(self() != nullptr) << "pause_workers() outside a thread";
+  std::unique_lock<std::mutex> lk(gate_mu_);
+  while (pause_requested_.load(std::memory_order_relaxed)) {
+    // Another pauser holds the token: yield so our worker parks at its
+    // gate (a PM2-yielded pauser counts as quiesced), then retry.
+    lk.unlock();
+    yield();
+    lk.lock();
+  }
+  pause_requested_.store(true);
+  pauser_worker_ = t_worker;
+  lk.unlock();
+  wake_all_workers();
+  if (external_wake_) external_wake_();
+  lk.lock();
+  gate_cv_.wait(lk, [&] { return gated_ == n_workers_ - 1; });
+}
+
+void Scheduler::resume_workers() {
+  if (n_workers_ == 1) return;
+  std::lock_guard<std::mutex> g(gate_mu_);
+  pause_requested_.store(false);
+  pauser_worker_ = kNoWorker;
+  gate_cv_.notify_all();
+}
+
+bool Scheduler::pause_pending() const {
+  return pause_requested_.load(std::memory_order_relaxed) &&
+         pauser_worker_ != t_worker;
+}
+
+void Scheduler::worker_loop(uint32_t idx) {
+  Worker& w = *workers_[idx];
+  sys::san_current_stack(&w.san_stack_bottom, &w.san_stack_size);
+  while (true) {
+    if (pause_requested_.load(std::memory_order_relaxed)) gate_wait(idx);
+    fire_expired_timers(w, idx);
+    Thread* t = pop_local(w, idx);
+    if (t == nullptr && n_workers_ > 1) t = try_steal(idx);
+    if (t != nullptr) {
+      dispatch(w, idx, t);
+      if (w.post) {
+        // Run exit/freeze continuation on the scheduler stack, where the
+        // departing thread's stack is guaranteed quiescent.
+        Continuation cont = std::move(w.post);
+        w.post = nullptr;
+        Thread* pt = w.post_thread;
+        w.post_thread = nullptr;
+        cont(pt);
+      }
+      continue;
+    }
+    if (stop_requested_.load() && registry_count_.load() == 0) break;
+    idle_park(w, idx);
+  }
+}
+
+void Scheduler::run() {
+  SchedulerBinding bind(this);
+  std::vector<std::thread> helpers;
+  helpers.reserve(n_workers_ - 1);
+  for (uint32_t i = 1; i < n_workers_; ++i) {
+    helpers.emplace_back([this, i] {
+      SchedulerBinding b(this);
+      t_worker = i;
+      if (worker_init_) worker_init_(i);
+      worker_loop(i);
+      t_worker = kNoWorker;
+    });
+  }
+  uint32_t prev_worker = t_worker;
+  t_worker = 0;
+  worker_loop(0);
+  t_worker = prev_worker;
+  for (std::thread& h : helpers) h.join();
+}
+
+// --- preemption / introspection -------------------------------------------
 
 void Scheduler::maybe_preempt() {
-  if (quantum_ns_ == 0 || current_ == nullptr) return;
-  if (now_ns() - slice_start_ns_ >= quantum_ns_) yield();
+  if (quantum_ns_ == 0) return;
+  if (t_scheduler != this || t_worker == kNoWorker) return;
+  Worker& w = *workers_[t_worker];
+  if (w.current == nullptr) return;
+  if (now_ns() - w.slice_start_ns >= quantum_ns_) yield();
 }
 
-Thread* Scheduler::find(ThreadId id) const {
-  auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : it->second;
+size_t Scheduler::ready_count() const {
+  size_t n = 0;
+  for (const auto& w : workers_) n += w->ready.load(std::memory_order_relaxed);
+  return n;
 }
 
-void Scheduler::for_each(const std::function<void(Thread*)>& fn) const {
-  for (const auto& [id, t] : registry_) fn(t);
+size_t Scheduler::local_ready_count() const {
+  if (t_scheduler != this || t_worker == kNoWorker) return 0;
+  return workers_[t_worker]->ready.load(std::memory_order_relaxed);
+}
+
+uint64_t Scheduler::context_switches() const {
+  uint64_t n = 0;
+  for (const auto& w : workers_)
+    n += w->dispatches.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::vector<WorkerStats> Scheduler::worker_stats() const {
+  std::vector<WorkerStats> out(n_workers_);
+  for (uint32_t i = 0; i < n_workers_; ++i) {
+    const Worker& w = *workers_[i];
+    out[i].dispatches = w.dispatches.load(std::memory_order_relaxed);
+    out[i].steals = w.steals.load(std::memory_order_relaxed);
+    out[i].steal_failures = w.steal_failures.load(std::memory_order_relaxed);
+    out[i].handoffs = w.handoffs.load(std::memory_order_relaxed);
+    out[i].idle_wakeups = w.idle_wakeups.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace pm2::marcel

@@ -1,10 +1,22 @@
 // Cooperative user-level scheduler — one instance per PM2 node.
 //
-// One kernel thread per node runs Scheduler::run(); every PM2 thread of that
-// node executes on top of it via pm2_ctx_switch.  This mirrors PM2/Marcel's
-// design point: thread creation, destruction and context switching are pure
-// user-space operations ("very efficient primitives", paper §2), and a node
-// may host tens of thousands of threads.
+// The node's PM2 threads execute on top of N worker kernel threads
+// (RuntimeConfig::workers; 1 = the original single-loop behavior, bit for
+// bit).  Worker 0 is the kernel thread that called run(); helpers are
+// spawned for workers 1..N-1.  Each worker owns an intrusive ready deque:
+// the owner pushes/pops at the head-end FIFO order, direct handoffs
+// (unblock(front=true)) jump to the head like a LIFO slot, and idle workers
+// steal from the *tail* of a random victim's deque — the classic Chase-Lev
+// split (owner works the hot end, thieves take the cold end), implemented
+// here with a per-deque spinlock instead of the lock-free protocol since
+// every critical section is a couple of pointer writes.
+//
+// The iso-address one-owner invariant is structural: a thread is linked on
+// exactly one deque, pop/steal mark it kRunning *under that deque's lock*,
+// and Thread::running_on is only cleared by the dispatching worker's
+// epilogue after the context is fully saved — so a slot run is touched by
+// one worker at a time, and unblock() spins on running_on to close the
+// wakeup-vs-park race.
 //
 // Migration hooks: freeze()/freeze_current_and() take a thread out of
 // scheduling with its complete context saved on its own stack, and adopt()
@@ -13,20 +25,37 @@
 // composes those.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "marcel/context.hpp"
 #include "marcel/thread.hpp"
+#include "sys/spinlock.hpp"
 
 namespace pm2::marcel {
 
+/// Per-worker observability counters (cheap relaxed atomics; see
+/// Scheduler::worker_stats()).
+struct WorkerStats {
+  uint64_t dispatches = 0;     // context switches into PM2 threads
+  uint64_t steals = 0;         // threads taken from a peer's deque tail
+  uint64_t steal_failures = 0; // steal rounds that found nothing
+  uint64_t handoffs = 0;       // front-of-deque direct handoff pushes
+  uint64_t idle_wakeups = 0;   // parked-worker wakeups by a remote push
+};
+
 class Scheduler {
  public:
-  Scheduler();
+  /// `workers` kernel threads dispatch this node's PM2 threads; clamped to
+  /// at least 1.  The default preserves the historical single-loop scheduler.
+  explicit Scheduler(uint32_t workers = 1);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -34,8 +63,11 @@ class Scheduler {
   /// Scheduler bound to the calling kernel thread, or nullptr.
   static Scheduler* current_scheduler();
   /// Currently running PM2 thread on this kernel thread (nullptr while the
-  /// scheduler loop itself runs).
+  /// scheduler loop itself runs, and on non-worker kernel threads).
   static Thread* self();
+  /// Worker index of the calling kernel thread (kNoWorker when the caller
+  /// is not one of this scheduler's workers — e.g. bootstrap code).
+  static uint32_t current_worker();
 
   // --- thread lifecycle --------------------------------------------------
 
@@ -48,8 +80,15 @@ class Scheduler {
   /// placed at the region base, the stack fills the rest (growing down from
   /// the region end).  The region is typically one iso-address slot body.
   /// `id` must be globally unique (the runtime derives it from the node id).
+  /// The thread enters the creating worker's deque (worker 0 from
+  /// bootstrap); kFlagPinned threads get hard affinity to that worker.
+  /// With `start_frozen` the thread is registered kFrozen instead of ready:
+  /// the creator finishes preparing it (e.g. copying a spawn_copy image into
+  /// its stack) and then unfreeze()s it — at workers > 1 a ready newborn
+  /// could be stolen and dispatched mid-preparation otherwise.
   Thread* create(void* region, size_t region_size, EntryFn entry, void* arg,
-                 ThreadId id, const char* name, uint32_t flags = 0);
+                 ThreadId id, const char* name, uint32_t flags = 0,
+                 bool start_frozen = false);
 
   /// Recycle a dead thread in place (invocation pooling): reset the
   /// descriptor's node-local state, thread-specific data and context to a
@@ -64,22 +103,32 @@ class Scheduler {
   void yield();
 
   /// Park the caller (state kBlocked).  The caller must already be linked
-  /// on some wait queue that will unblock() it later.
+  /// on some wait queue that will unblock() it later.  Prefer
+  /// block_commit() when a spinlock guards the queue: it closes the window
+  /// between publishing the park and switching out.
   void block();
 
+  /// Atomically release `lock` and park the caller.  The caller must have
+  /// linked itself on a wait structure and set state = kBlocked while
+  /// holding `lock`; the lock is released after the park decision is
+  /// published and before the switch, and a racing unblock() spins on
+  /// running_on until the context is actually saved.
+  void block_commit(sys::SpinLock& lock);
+
   /// Park the caller for at least `us` microseconds.  Expired timers fire
-  /// whenever control returns to the scheduler loop; under PM2 the comm
-  /// daemon bounds its fabric waits by ns_until_next_timer(), so wake-ups
-  /// land within the fabric's wake latency of the deadline even on an
-  /// otherwise idle node.  Sleeping threads are kBlocked and therefore not
-  /// preemptively migratable, like any parked thread.
+  /// whenever control returns to the owning worker's loop; under PM2 the
+  /// comm daemon bounds its fabric waits by ns_until_next_timer(), so
+  /// wake-ups land within the fabric's wake latency of the deadline even on
+  /// an otherwise idle node.  Sleeping threads are kBlocked and therefore
+  /// not preemptively migratable, like any parked thread.
   void sleep_us(uint64_t us);
 
-  /// Make a blocked thread runnable again.  With `front` set the thread
-  /// jumps the ready FIFO (direct handoff): it is dispatched next, before
+  /// Make a blocked thread runnable again on its affinity worker (if
+  /// pinned) or the worker that last ran it.  With `front` set the thread
+  /// jumps the ready deque (direct handoff): it is dispatched next, before
   /// any round-robin peer — used when the comm daemon completes a reply
-  /// the thread is parked on, so a blocking caller resumes immediately
-  /// instead of after a full round-robin lap.
+  /// the thread is parked on.  Safe from any worker; wakes the target
+  /// worker if it is parked idle.
   void unblock(Thread* t, bool front = false);
 
   /// Terminate the calling thread.  `reaper` runs on the scheduler stack
@@ -93,11 +142,13 @@ class Scheduler {
 
   // --- migration support ---------------------------------------------------
 
-  /// Freeze a non-running thread: unlink it from the ready queue.  Its
+  /// Freeze a non-running thread: unlink it from its ready deque.  Its
   /// context is already fully saved on its stack (that is the invariant of
   /// every non-running thread).  Fails (returns false) if the thread is
   /// blocked on a local wait queue — migrating it would leave a dangling
-  /// queue link — or is the caller itself.
+  /// queue link — is currently dispatched on some worker, or is the caller
+  /// itself.  At workers > 1 callers that must not fail wrap this in
+  /// pause_workers() so no peer can be mid-dispatch.
   bool freeze(Thread* t);
 
   /// Re-enqueue a frozen thread locally (the freeze was provisional — e.g.
@@ -123,19 +174,23 @@ class Scheduler {
 
   // --- main loop ---------------------------------------------------------
 
-  /// Run until stop() was requested and no live (non-daemon) threads
-  /// remain.  Must be called on the kernel thread owning this scheduler.
+  /// Run until stop() was requested and no registered threads remain.  Must
+  /// be called on the kernel thread owning this scheduler; it becomes
+  /// worker 0 and spawns/join the helper workers.
   void run();
 
   /// Ask run() to return once the node drains.  Daemon threads should
   /// observe stopping() and exit.
-  void stop() { stop_requested_ = true; }
-  bool stopping() const { return stop_requested_; }
+  void stop();
+  bool stopping() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
 
-  /// Nanoseconds until the earliest sleep timer expires: 0 if one is
-  /// already due, UINT64_MAX if no thread is sleeping.  External event
-  /// loops that park the kernel thread (the PM2 comm daemon blocking on
-  /// the fabric) bound their waits with this so timers fire on time.
+  /// Nanoseconds until the earliest sleep timer expires on *any* worker:
+  /// 0 if one is already due, UINT64_MAX if no thread is sleeping.
+  /// External event loops that park the kernel thread (the PM2 comm daemon
+  /// blocking on the fabric) bound their waits with this so timers fire on
+  /// time.
   uint64_t ns_until_next_timer() const;
 
   // --- preemption (deferred) ----------------------------------------------
@@ -147,45 +202,141 @@ class Scheduler {
   void set_preemption(uint64_t quantum_us) { quantum_ns_ = quantum_us * 1000; }
   void maybe_preempt();
 
+  // --- SMP coordination ----------------------------------------------------
+
+  /// Quiesce every worker except the caller's at its loop top (no-op at
+  /// workers == 1).  While paused, no other worker dispatches, so
+  /// freeze()/for_each() see a node as quiescent as the single-threaded
+  /// scheduler did — the audit and checkpoint paths rely on this.  Must be
+  /// called from a PM2 thread; the caller must not block through the
+  /// scheduler until resume_workers().  Concurrent pausers are safe: the
+  /// loser PM2-yields (parking its worker at the winner's gate) and
+  /// retries.
+  void pause_workers();
+  void resume_workers();
+  /// A pause is waiting for the calling kernel thread's worker to reach the
+  /// gate.  Long-running event loops (the comm daemon) must poll this and
+  /// yield so the pauser is not stalled behind a blocking fabric wait.
+  bool pause_pending() const;
+
+  /// Hook run on each helper worker kernel thread before its loop (bind
+  /// runtime TLS, logging).  Set before run().
+  void set_worker_init(std::function<void(uint32_t)> fn) {
+    worker_init_ = std::move(fn);
+  }
+  /// Cross-kernel-thread kick for worker 0, whose loop may be parked deep
+  /// inside a blocking fabric receive (the comm daemon): called whenever a
+  /// different kernel thread makes work runnable on worker 0.  The runtime
+  /// points this at Fabric::wake().
+  void set_external_wake(std::function<void()> fn) {
+    external_wake_ = std::move(fn);
+  }
+
   // --- introspection -------------------------------------------------------
 
   Thread* find(ThreadId id) const;
-  size_t ready_count() const { return ready_count_; }
-  size_t live_count() const { return live_; }
-  uint64_t context_switches() const { return switches_; }
-  /// Visit every thread registered on this node.
+  /// Ready threads across all workers.
+  size_t ready_count() const;
+  /// Ready threads on the calling kernel thread's own worker (0 when not a
+  /// worker).  The comm daemon uses this for its yield predicate so it does
+  /// not busy-spin on work that belongs to other workers.
+  size_t local_ready_count() const;
+  size_t live_count() const { return live_.load(std::memory_order_relaxed); }
+  uint64_t context_switches() const;
+  uint32_t workers() const { return n_workers_; }
+  /// Snapshot of the per-worker counters.
+  std::vector<WorkerStats> worker_stats() const;
+  /// Visit every thread registered on this node.  At workers > 1 wrap in
+  /// pause_workers() when a consistent snapshot is required.
   void for_each(const std::function<void(Thread*)>& fn) const;
 
  private:
-  void dispatch(Thread* t);
-  void push_ready(Thread* t);
-  void push_ready_front(Thread* t);
-  Thread* pop_ready();
-  [[noreturn]] void switch_out_forever(Thread* t);
-  /// Thread-side half of every switch back to the scheduler loop, with the
-  /// sanitizer fiber annotations bracketing it.  After the switch returns
-  /// the thread may be running under a different scheduler (migration), so
-  /// the epilogue touches only `t` (iso-addressed), never `this`.
-  void switch_to_scheduler(Thread* t);
+  struct alignas(64) Worker {
+    // Deque + timers, guarded by `lock`.
+    mutable sys::SpinLock lock;
+    Thread* head = nullptr;  // owner pops here; handoffs push here
+    Thread* tail = nullptr;  // normal pushes land here; thieves steal here
+    std::atomic<size_t> ready{0};
+    std::multimap<uint64_t, Thread*> timers;  // wake_ns -> sleeping thread
+    std::atomic<uint64_t> earliest{UINT64_MAX};
 
-  void* sched_sp_ = nullptr;   // scheduler context while a thread runs
-  void* san_sched_fake_ = nullptr;        // ASan fake stack while dispatched
-  const void* san_stack_bottom_ = nullptr;  // this kernel thread's stack…
-  size_t san_stack_size_ = 0;               // …as announced on switch-back
-  Thread* current_ = nullptr;
-  Thread* ready_head_ = nullptr;  // intrusive FIFO
-  Thread* ready_tail_ = nullptr;
-  size_t ready_count_ = 0;
-  size_t live_ = 0;  // non-daemon threads registered here
-  bool stop_requested_ = false;
-  Continuation post_;          // continuation to run after next switch to sched
-  Thread* post_thread_ = nullptr;
-  std::unordered_map<ThreadId, Thread*> registry_;
-  std::multimap<uint64_t, Thread*> timers_;  // wake_ns -> sleeping thread
-  void fire_expired_timers();
-  std::uint64_t switches_ = 0;
+    // Idle parking.
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<bool> parked{false};
+
+    // Dispatch context of this worker's kernel thread.
+    void* sched_sp = nullptr;
+    void* san_sched_fake = nullptr;
+    const void* san_stack_bottom = nullptr;
+    size_t san_stack_size = 0;
+    Thread* current = nullptr;
+    Continuation post;  // continuation to run after next switch back
+    Thread* post_thread = nullptr;
+    uint64_t slice_start_ns = 0;
+    uint64_t rng = 0;  // xorshift state for steal victim selection
+
+    std::atomic<uint64_t> dispatches{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> steal_failures{0};
+    std::atomic<uint64_t> handoffs{0};
+    std::atomic<uint64_t> idle_wakeups{0};
+  };
+
+  struct RegistryShard {
+    mutable sys::SpinLock lock;
+    std::unordered_map<ThreadId, Thread*> map;
+  };
+  static constexpr size_t kRegistryShards = 8;
+  RegistryShard& shard_for(ThreadId id) const {
+    return registry_[id % kRegistryShards];
+  }
+
+  static void deque_push_back(Worker& w, Thread* t);
+  static void deque_push_front(Worker& w, Thread* t);
+  static void deque_unlink(Worker& w, Thread* t);
+
+  void worker_loop(uint32_t idx);
+  void dispatch(Worker& w, uint32_t idx, Thread* t);
+  /// Link `t` ready on worker `w`'s deque and wake whoever must notice.
+  void push_ready(Thread* t, uint32_t w, bool front = false);
+  Thread* pop_local(Worker& w, uint32_t idx);
+  Thread* try_steal(uint32_t thief);
+  void fire_expired_timers(Worker& w, uint32_t idx);
+  void idle_park(Worker& w, uint32_t idx);
+  void wake_worker(uint32_t w);
+  void wake_all_workers();
+  void gate_wait(uint32_t idx);
+  void register_thread(Thread* t);
+  [[noreturn]] void switch_out_forever(Thread* t);
+  /// Thread-side half of every switch back to the worker loop, with the
+  /// sanitizer fiber annotations bracketing it.  After the switch returns
+  /// the thread may be running under a different worker or a different
+  /// scheduler (migration), so the epilogue touches only `t`
+  /// (iso-addressed), never `this`.
+  void switch_to_scheduler(Thread* t);
+  /// Worker index new work should land on from the calling context.
+  uint32_t home_worker() const;
+
+  uint32_t n_workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable RegistryShard registry_[kRegistryShards];
+  std::atomic<size_t> registry_count_{0};
+  std::atomic<size_t> live_{0};  // non-daemon threads registered here
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint32_t> n_parked_{0};
+
+  // Pause gate (audit/checkpoint quiescence).
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::atomic<bool> pause_requested_{false};
+  std::atomic<uint32_t> pauser_worker_{kNoWorker};
+  uint32_t gated_ = 0;  // under gate_mu_
+
+  std::function<void(uint32_t)> worker_init_;
+  std::function<void()> external_wake_;
+
   uint64_t quantum_ns_ = 0;
-  uint64_t slice_start_ns_ = 0;
 };
 
 /// RAII binding of a scheduler to the current kernel thread (used by the

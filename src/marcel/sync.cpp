@@ -1,19 +1,46 @@
 #include "marcel/sync.hpp"
 
+#include <cstdint>
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace pm2::marcel {
+
+namespace {
+
+/// Link the calling thread on `q` and deschedule it, atomically releasing
+/// `held` (the owning primitive's state lock).  On return the thread has
+/// been woken by an unparker; the caller re-acquires `held` and retests its
+/// predicate (barging: no state is handed off through the park itself).
+void park_on(WaitQueue& q, sys::SpinLock& held, Scheduler* sched, Thread* t) {
+  q.link_locked(t);
+  t->wait_queue = &q;
+  t->state = ThreadState::kBlocked;
+  sched->block_commit(held);
+}
+
+/// Walk a chain detached by pop_all_locked() and unblock every thread.
+/// Must run with no spinlock held: unblock() may spin on a still-switching
+/// thread and takes ready-deque locks.
+void unblock_chain(Thread* chain, bool front) {
+  Scheduler* sched = Scheduler::current_scheduler();
+  while (chain != nullptr) {
+    Thread* next = chain->qnext;
+    chain->qnext = nullptr;
+    chain->qprev = nullptr;
+    sched->unblock(chain, front);
+    chain = next;
+  }
+}
+
+}  // namespace
 
 WaitQueue::~WaitQueue() {
   PM2_CHECK(head_ == nullptr) << "wait queue destroyed with parked threads";
 }
 
-void WaitQueue::park_current() {
-  Scheduler* sched = Scheduler::current_scheduler();
-  PM2_CHECK(sched != nullptr);
-  Thread* t = Scheduler::self();
-  PM2_CHECK(t != nullptr) << "park outside a thread";
-  t->wait_queue = this;
+void WaitQueue::link_locked(Thread* t) {
   t->qnext = nullptr;
   t->qprev = tail_;
   if (tail_ != nullptr)
@@ -22,10 +49,9 @@ void WaitQueue::park_current() {
     head_ = t;
   tail_ = t;
   ++size_;
-  sched->block();
 }
 
-Thread* WaitQueue::unpark_one(bool front) {
+Thread* WaitQueue::pop_locked() {
   Thread* t = head_;
   if (t == nullptr) return nullptr;
   head_ = t->qnext;
@@ -36,105 +62,296 @@ Thread* WaitQueue::unpark_one(bool front) {
   t->qnext = nullptr;
   t->qprev = nullptr;
   --size_;
-  Scheduler::current_scheduler()->unblock(t, front);
+  return t;
+}
+
+Thread* WaitQueue::pop_all_locked() {
+  Thread* chain = head_;
+  head_ = nullptr;
+  tail_ = nullptr;
+  size_ = 0;
+  return chain;
+}
+
+void WaitQueue::park_current() {
+  Scheduler* sched = Scheduler::current_scheduler();
+  PM2_CHECK(sched != nullptr);
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr) << "park outside a thread";
+  lock_.lock();
+  park_on(*this, lock_, sched, t);
+}
+
+void WaitQueue::park_current(sys::SpinLock& held) {
+  Scheduler* sched = Scheduler::current_scheduler();
+  PM2_CHECK(sched != nullptr);
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr) << "park outside a thread";
+  park_on(*this, held, sched, t);
+}
+
+Thread* WaitQueue::unpark_one(bool front) {
+  lock_.lock();
+  Thread* t = pop_locked();
+  lock_.unlock();
+  if (t != nullptr) Scheduler::current_scheduler()->unblock(t, front);
   return t;
 }
 
 void WaitQueue::unpark_all(bool front) {
-  while (unpark_one(front) != nullptr) {
-  }
+  lock_.lock();
+  Thread* chain = pop_all_locked();
+  lock_.unlock();
+  unblock_chain(chain, front);
 }
 
 void Mutex::lock() {
+  Scheduler* sched = Scheduler::current_scheduler();
   Thread* t = Scheduler::self();
   PM2_CHECK(t != nullptr);
+  state_lock_.lock();
   while (owner_ != nullptr) {
     PM2_CHECK(owner_ != t) << "recursive lock of non-recursive Mutex";
-    waiters_.park_current();
+    park_on(waiters_, state_lock_, sched, t);
     // Loop: another thread may have grabbed the mutex between our unpark
     // and our dispatch (barging); retest rather than assume handoff.
+    state_lock_.lock();
   }
   owner_ = t;
+  state_lock_.unlock();
 }
 
 bool Mutex::try_lock() {
   Thread* t = Scheduler::self();
   PM2_CHECK(t != nullptr);
-  if (owner_ != nullptr) return false;
-  owner_ = t;
-  return true;
+  state_lock_.lock();
+  bool got = owner_ == nullptr;
+  if (got) owner_ = t;
+  state_lock_.unlock();
+  return got;
 }
 
 void Mutex::unlock() {
+  state_lock_.lock();
   PM2_CHECK(owner_ == Scheduler::self()) << "unlock by non-owner";
   owner_ = nullptr;
-  waiters_.unpark_one();
+  Thread* next = waiters_.pop_locked();
+  state_lock_.unlock();
+  if (next != nullptr) Scheduler::current_scheduler()->unblock(next);
 }
 
 void CondVar::wait(Mutex& mu) {
+  Scheduler* sched = Scheduler::current_scheduler();
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  // Link on the cv *before* releasing the mutex, both under the cv lock: a
+  // signaler that wins the mutex right after our unlock already sees us
+  // queued (or spins on the cv lock until our park commits), so the wakeup
+  // cannot fall between unlock and park.
+  state_lock_.lock();
+  waiters_.link_locked(t);
+  t->wait_queue = &waiters_;
+  t->state = ThreadState::kBlocked;
   mu.unlock();
-  waiters_.park_current();
+  sched->block_commit(state_lock_);
   mu.lock();
 }
 
-void CondVar::signal() { waiters_.unpark_one(); }
+void CondVar::signal() {
+  state_lock_.lock();
+  Thread* t = waiters_.pop_locked();
+  state_lock_.unlock();
+  if (t != nullptr) Scheduler::current_scheduler()->unblock(t);
+}
 
-void CondVar::broadcast() { waiters_.unpark_all(); }
+void CondVar::broadcast() {
+  state_lock_.lock();
+  Thread* chain = waiters_.pop_all_locked();
+  state_lock_.unlock();
+  unblock_chain(chain, /*front=*/false);
+}
 
 void Semaphore::acquire() {
-  while (count_ <= 0) waiters_.park_current();
+  Scheduler* sched = Scheduler::current_scheduler();
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  state_lock_.lock();
+  while (count_ <= 0) {
+    park_on(waiters_, state_lock_, sched, t);
+    state_lock_.lock();
+  }
   --count_;
+  state_lock_.unlock();
 }
 
 void Semaphore::release() {
+  state_lock_.lock();
   ++count_;
-  waiters_.unpark_one();
+  Thread* t = waiters_.pop_locked();
+  state_lock_.unlock();
+  if (t != nullptr) Scheduler::current_scheduler()->unblock(t);
 }
 
 bool Barrier::arrive_and_wait() {
+  Scheduler* sched = Scheduler::current_scheduler();
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  state_lock_.lock();
   PM2_CHECK(parties_ > 0);
   if (++arrived_ == parties_) {
     arrived_ = 0;
-    waiters_.unpark_all();
+    // Detach the generation under the lock so a fast thread re-arriving for
+    // the next generation cannot be swept into this wake batch.
+    Thread* chain = waiters_.pop_all_locked();
+    state_lock_.unlock();
+    unblock_chain(chain, /*front=*/false);
     return true;
   }
-  waiters_.park_current();
+  park_on(waiters_, state_lock_, sched, t);
   return false;
 }
 
 void Event::set(bool direct_handoff) {
-  set_ = true;
-  waiters_.unpark_all(direct_handoff);
+  state_lock_.lock();
+  set_.store(true, std::memory_order_release);
+  Thread* chain = waiters_.pop_all_locked();
+  state_lock_.unlock();
+  unblock_chain(chain, direct_handoff);
 }
 
 void Event::wait() {
-  while (!set_) waiters_.park_current();
+  if (is_set()) return;
+  Scheduler* sched = Scheduler::current_scheduler();
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  state_lock_.lock();
+  while (!set_.load(std::memory_order_acquire)) {
+    park_on(waiters_, state_lock_, sched, t);
+    state_lock_.lock();
+  }
+  state_lock_.unlock();
 }
 
 void RwLock::lock_shared() {
+  Scheduler* sched = Scheduler::current_scheduler();
+  Thread* t = Scheduler::self();
+  PM2_CHECK(t != nullptr);
+  state_lock_.lock();
   // Writer preference: park behind any active or queued writer.
-  while (writer_ != nullptr || !write_waiters_.empty())
-    read_waiters_.park_current();
+  while (writer_ != nullptr || !write_waiters_.empty()) {
+    park_on(read_waiters_, state_lock_, sched, t);
+    state_lock_.lock();
+  }
   ++readers_;
+  state_lock_.unlock();
 }
 
 void RwLock::unlock_shared() {
+  state_lock_.lock();
   PM2_CHECK(readers_ > 0) << "unlock_shared without reader";
-  if (--readers_ == 0) write_waiters_.unpark_one();
+  Thread* w = nullptr;
+  if (--readers_ == 0) w = write_waiters_.pop_locked();
+  state_lock_.unlock();
+  if (w != nullptr) Scheduler::current_scheduler()->unblock(w);
 }
 
 void RwLock::lock() {
+  Scheduler* sched = Scheduler::current_scheduler();
   Thread* self = Scheduler::self();
   PM2_CHECK(self != nullptr);
-  while (writer_ != nullptr || readers_ > 0) write_waiters_.park_current();
+  state_lock_.lock();
+  while (writer_ != nullptr || readers_ > 0) {
+    park_on(write_waiters_, state_lock_, sched, self);
+    state_lock_.lock();
+  }
   writer_ = self;
+  state_lock_.unlock();
 }
 
 void RwLock::unlock() {
+  state_lock_.lock();
   PM2_CHECK(writer_ == Scheduler::self()) << "unlock by non-writing thread";
   writer_ = nullptr;
   // Writers first (preference), else release the reader herd.
-  if (write_waiters_.unpark_one() == nullptr) read_waiters_.unpark_all();
+  Thread* w = write_waiters_.pop_locked();
+  Thread* chain = w == nullptr ? read_waiters_.pop_all_locked() : nullptr;
+  state_lock_.unlock();
+  if (w != nullptr)
+    Scheduler::current_scheduler()->unblock(w);
+  else
+    unblock_chain(chain, /*front=*/false);
 }
+
+// ---------------------------------------------------------------------------
+// Future shared-state pool
+// ---------------------------------------------------------------------------
+
+namespace detail {
+namespace {
+
+constexpr std::size_t kBinGranule = 64;
+constexpr std::size_t kNumBins = 16;  // pools blocks up to 15 * 64 = 960 B
+constexpr std::size_t kBinCap = 64;   // blocks kept per bin per kernel thread
+
+std::atomic<uint64_t> g_future_pool_hits{0};
+std::atomic<uint64_t> g_future_pool_misses{0};
+
+struct BinCache {
+  std::vector<void*> bins[kNumBins];
+  ~BinCache() {
+    for (auto& bin : bins)
+      for (void* p : bin) ::operator delete(p);
+  }
+};
+
+BinCache& cache() {
+  static thread_local BinCache c;
+  return c;
+}
+
+std::size_t bin_for(std::size_t bytes) {
+  return (bytes + kBinGranule - 1) / kBinGranule;
+}
+
+}  // namespace
+
+void* future_pool_alloc(std::size_t bytes) {
+  std::size_t b = bin_for(bytes);
+  if (b < kNumBins) {
+    auto& bin = cache().bins[b];
+    if (!bin.empty()) {
+      void* p = bin.back();
+      bin.pop_back();
+      g_future_pool_hits.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+    g_future_pool_misses.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(b * kBinGranule);
+  }
+  g_future_pool_misses.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(bytes);
+}
+
+void future_pool_free(void* p, std::size_t bytes) noexcept {
+  std::size_t b = bin_for(bytes);
+  if (b < kNumBins) {
+    auto& bin = cache().bins[b];
+    if (bin.size() < kBinCap) {
+      bin.push_back(p);
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
+uint64_t future_pool_hits() {
+  return g_future_pool_hits.load(std::memory_order_relaxed);
+}
+
+uint64_t future_pool_misses() {
+  return g_future_pool_misses.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 }  // namespace pm2::marcel

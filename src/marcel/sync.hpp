@@ -1,12 +1,21 @@
 // Synchronization primitives for PM2 threads (node-local).
 //
-// These park/unpark user-level threads through the cooperative scheduler —
-// no kernel futexes, no spinning.  They coordinate threads *within* one
-// node; the paper explicitly scopes data sharing between threads out (§1),
-// and a thread blocked on a wait queue is not migratable (Scheduler::freeze
-// refuses, because the queue holds a node-local link to it).
+// These park/unpark user-level threads through the cooperative scheduler.
+// They coordinate threads *within* one node; the paper explicitly scopes
+// data sharing between threads out (§1), and a thread blocked on a wait
+// queue is not migratable (Scheduler::freeze refuses, because the queue
+// holds a node-local link to it).
+//
+// SMP protocol: with multiple scheduler workers, waiters and wakers run on
+// different kernel threads.  Each primitive guards its state with a short
+// sys::SpinLock; a parking thread links itself and sets kBlocked *under*
+// that lock and commits the park with Scheduler::block_commit(lock), which
+// releases the lock only after the park decision is published — a racing
+// unblock() then spins on Thread::running_on until the context is actually
+// saved, so no wakeup can be lost and no live stack can be re-dispatched.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -17,10 +26,18 @@
 #include "common/check.hpp"
 #include "marcel/scheduler.hpp"
 #include "marcel/thread.hpp"
+#include "sys/spinlock.hpp"
 
 namespace pm2::marcel {
 
 /// Intrusive FIFO of parked threads (uses Thread::qnext/qprev).
+///
+/// Two usage modes, never mixed on one instance:
+///  * standalone — park_current()/unpark_one() serialize on the queue's
+///    internal lock;
+///  * embedded — a primitive guards the queue with its *own* SpinLock and
+///    uses the _locked raw ops (link_locked/pop_locked) under it, so the
+///    queue links stay atomic with the primitive's state.
 class WaitQueue {
  public:
   WaitQueue() = default;
@@ -28,8 +45,12 @@ class WaitQueue {
   WaitQueue& operator=(const WaitQueue&) = delete;
   ~WaitQueue();
 
-  /// Park the calling thread at the tail and deschedule it.
+  /// Park the calling thread at the tail and deschedule it (standalone
+  /// mode: the internal lock closes the link-vs-wake race).
   void park_current();
+  /// Park the calling thread, atomically releasing `held` (embedded mode:
+  /// the caller linked state changes and this park under `held`).
+  void park_current(sys::SpinLock& held);
   /// Unpark the head thread; returns it, or nullptr if empty.  With
   /// `front` set the woken thread jumps to the head of the ready queue
   /// (direct handoff — it runs next; see Scheduler::unblock).
@@ -37,10 +58,19 @@ class WaitQueue {
   /// Unpark everything.
   void unpark_all(bool front = false);
 
+  /// Raw ops for embedded mode — caller holds the owning primitive's lock.
+  void link_locked(Thread* t);
+  Thread* pop_locked();
+  /// Detach the whole chain (linked via Thread::qnext) for broadcast wakes:
+  /// detaching under the lock keeps late arrivals of the *next* generation
+  /// out of this wake batch; the caller walks and unblocks outside the lock.
+  Thread* pop_all_locked();
+
   bool empty() const { return head_ == nullptr; }
   size_t size() const { return size_; }
 
  private:
+  sys::SpinLock lock_;  // standalone mode only
   Thread* head_ = nullptr;
   Thread* tail_ = nullptr;
   size_t size_ = 0;
@@ -55,6 +85,7 @@ class Mutex {
   bool locked() const { return owner_ != nullptr; }
 
  private:
+  sys::SpinLock state_lock_;
   Thread* owner_ = nullptr;
   WaitQueue waiters_;
 };
@@ -68,6 +99,7 @@ class CondVar {
   void broadcast();
 
  private:
+  sys::SpinLock state_lock_;
   WaitQueue waiters_;
 };
 
@@ -80,6 +112,7 @@ class Semaphore {
   long value() const { return count_; }
 
  private:
+  sys::SpinLock state_lock_;
   long count_;
   WaitQueue waiters_;
 };
@@ -92,6 +125,7 @@ class Barrier {
   bool arrive_and_wait();
 
  private:
+  sys::SpinLock state_lock_;
   size_t parties_;
   size_t arrived_ = 0;
   WaitQueue waiters_;
@@ -101,16 +135,19 @@ class Barrier {
 /// negotiation responses delivered by the comm daemon).
 class Event {
  public:
-  /// With `direct_handoff` the waiters are woken to the *front* of the
-  /// ready queue: the completion path (the comm daemon finishing a reply)
-  /// hands control straight to the waiting thread instead of making it
-  /// ride out a full round-robin lap.  Plain set() keeps FIFO fairness.
+  /// With `direct_handoff` the waiters are woken to the *front* of their
+  /// worker's ready deque: the completion path (the comm daemon finishing
+  /// a reply) hands control straight to the waiting thread instead of
+  /// making it ride out a full round-robin lap.  Plain set() keeps FIFO
+  /// fairness.  Waking goes through Scheduler::unblock, which targets the
+  /// waiter's own worker and kicks it awake if parked.
   void set(bool direct_handoff = false);
   void wait();
-  bool is_set() const { return set_; }
+  bool is_set() const { return set_.load(std::memory_order_acquire); }
 
  private:
-  bool set_ = false;
+  sys::SpinLock state_lock_;
+  std::atomic<bool> set_{false};
   WaitQueue waiters_;
 };
 
@@ -139,6 +176,40 @@ struct FutureState {
   std::string error;          // non-empty <=> completed with an error
   bool failed = false;
   bool taken = false;
+};
+
+/// Size-binned recycling for the future shared-state control blocks — the
+/// per-call allocation on the RPC hot path, pooled the way RpcInvocation
+/// recycles through a freelist.  Freelists are thread_local, i.e. one per
+/// scheduler worker kernel thread, so the hot path takes no lock; blocks
+/// freed on a different worker than they were allocated on simply
+/// rebalance the lists.  Hit/miss counters are process-wide (surfaced via
+/// the runtime's pool stats).
+void* future_pool_alloc(std::size_t bytes);
+void future_pool_free(void* p, std::size_t bytes) noexcept;
+uint64_t future_pool_hits();
+uint64_t future_pool_misses();
+
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(future_pool_alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    future_pool_free(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const noexcept {
+    return false;
+  }
 };
 }  // namespace detail
 
@@ -187,15 +258,18 @@ class Future {
 template <typename T>
 class Promise {
  public:
-  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+  Promise()
+      : state_(std::allocate_shared<detail::FutureState<T>>(
+            detail::PoolAllocator<detail::FutureState<T>>())) {}
 
   /// The (single) consumer handle.
   Future<T> future() const { return Future<T>(state_); }
 
   // Completions use direct handoff: the producer is the comm daemon (or a
   // local service) finishing a reply the consumer may be parked on — wake
-  // it to the front of the ready queue so a blocking caller resumes as
-  // soon as the daemon yields, not after a round-robin lap.
+  // it to the front of its worker's ready deque so a blocking caller
+  // resumes as soon as that worker schedules, not after a round-robin lap.
+  // The value/error write is published by Event::set's release store.
   void set_value(T v) {
     PM2_CHECK(!state_->event.is_set()) << "promise completed twice";
     state_->value.emplace(std::move(v));
@@ -248,6 +322,7 @@ class RwLock {
   bool has_writer() const { return writer_ != nullptr; }
 
  private:
+  sys::SpinLock state_lock_;
   long readers_ = 0;            // active readers
   Thread* writer_ = nullptr;    // active writer
   WaitQueue read_waiters_;

@@ -15,12 +15,27 @@
 //     reset by Scheduler::adopt() when a migrated thread is installed.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace pm2::marcel {
 
 using ThreadId = uint64_t;
+
+/// Sentinel worker index: "no worker" (thread not running / no affinity).
+inline constexpr uint32_t kNoWorker = UINT32_MAX;
+
+/// How the running thread asked to be parked when it last switched back to
+/// its worker's scheduler context.  Written only by the on-CPU thread right
+/// before the switch; consumed by the worker's dispatch epilogue, which owns
+/// the post-switch bookkeeping (SMP rule: a thread must be fully off its
+/// stack before anyone may requeue it, so the *scheduler side* requeues).
+enum class ParkMode : uint8_t {
+  kYield = 0,  // requeue on the owning worker's ready deque
+  kBlock,      // nothing: the unblocker owns the requeue
+  kDone,       // run the worker's post continuation (exit / freeze)
+};
 
 enum class ThreadState : uint32_t {
   kReady = 0,
@@ -68,6 +83,31 @@ struct Thread {
   /// thread's fake-stack allocator, so install_thread nulls it: the first
   /// switch onto a migrated stack must hand ASan a null handle.
   void* san_fake_stack = nullptr;
+
+  // --- SMP ownership (node-local, reset on adopt) ------------------------
+  /// Index of the worker currently dispatching this thread, kNoWorker while
+  /// fully switched out.  This is the one-owner handshake: set under the
+  /// deque lock when a worker pops/steals the thread, cleared (release) by
+  /// that worker's dispatch epilogue only after the context is saved and
+  /// the canary verified.  unblock() spins on it so a wakeup racing the
+  /// park can never requeue a thread whose stack is still live on a CPU.
+  std::atomic<uint32_t> running_on{kNoWorker};
+  /// Park request for the dispatch epilogue (see ParkMode).
+  ParkMode park_mode = ParkMode::kYield;
+  /// Hard worker pinning (kNoWorker = any).  Pinned threads are pushed only
+  /// to this worker's deque and are never stolen: the comm daemon and
+  /// spawn_local service threads rely on staying on one kernel thread.
+  uint32_t affinity = kNoWorker;
+  /// Worker that last ran the thread — the wakeup target for cache/handoff
+  /// locality when no affinity is set.
+  uint32_t last_worker = 0;
+  /// Worker whose ready deque currently links the thread (valid while
+  /// kReady; freeze() uses it to find the right deque lock).
+  uint32_t queue_worker = 0;
+  /// Worker whose kernel thread parked san_fake_stack: the handle belongs
+  /// to that thread's fake-stack allocator, so a resume on a different
+  /// worker (steal) must hand ASan null instead — same rule as migration.
+  uint32_t san_worker = kNoWorker;
 
   static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
   static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration

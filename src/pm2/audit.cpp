@@ -59,10 +59,14 @@ std::vector<HeldRun> unpack_inventory(ByteReader& r) {
 }  // namespace
 
 void Runtime::handle_audit_req(fabric::Message& msg) {
-  // Served by the comm daemon: no other thread of this node is running, so
-  // every registered thread's slot list is quiescent.
+  // Served by the comm daemon.  At workers == 1 no other thread of this
+  // node runs while the daemon does; at workers > 1 the helper workers are
+  // gated at their pause point first, so every registered thread's slot
+  // list is quiescent for the walk either way.
   ByteWriter w;
+  sched_.pause_workers();
   pack_inventory(w, local_inventory(*this));
+  sched_.resume_workers();
   fabric::Message resp;
   resp.type = kAuditResp;
   resp.dst = msg.src;
@@ -89,22 +93,28 @@ AuditReport audit_session(Runtime& rt) {
   // Same discipline as a negotiation: exclusive ownership of the bitmaps
   // for the duration (gather freezes peers; the final scatter unfreezes).
   rt.nego_mutex_.lock();
+  rt.slot_lock_.lock();
   ++rt.bitmap_freeze_;
+  rt.slot_lock_.unlock();
   rt.lock_system();
 
   std::vector<Bitmap> bitmaps = rt.gather_all_bitmaps();
 
-  // Collect inventories: remote via kAuditReq, local inline.
+  // Collect inventories: remote via kAuditReq, local inline.  Walking the
+  // local registry needs the other workers gated (their threads' slot
+  // lists mutate freely otherwise).
+  rt.sched().pause_workers();
   std::vector<HeldRun> held = local_inventory(rt);
+  rt.sched().resume_workers();
   for (uint32_t node = 0; node < rt.n_nodes(); ++node) {
     if (node == rt.self()) continue;
-    uint64_t corr = rt.next_corr_++;
+    uint64_t corr = rt.next_corr_.fetch_add(1, std::memory_order_relaxed);
     marcel::Future<std::vector<uint8_t>> fut = rt.register_pending(corr);
     fabric::Message req;
     req.type = kAuditReq;
     req.dst = node;
     req.corr = corr;
-    rt.fabric_->send(std::move(req));
+    rt.fabric_send(std::move(req));
     fut.wait();
     PM2_CHECK(!fut.failed()) << "audit aborted: " << fut.error();
     std::vector<uint8_t> resp = fut.take();
@@ -116,7 +126,9 @@ AuditReport audit_session(Runtime& rt) {
   // the pure checking below.
   rt.scatter_bitmaps(bitmaps);  // by value copy retained for checks
   rt.unlock_system();
+  rt.slot_lock_.lock();
   --rt.bitmap_freeze_;
+  rt.slot_lock_.unlock();
   rt.apply_deferred_releases();
   rt.nego_mutex_.unlock();
 

@@ -58,10 +58,16 @@ std::pair<const uint8_t*, size_t> unwrap_image(
 }  // namespace
 
 std::vector<uint8_t> checkpoint_thread(Runtime& rt, marcel::ThreadId id) {
+  // Gate the other workers across find+freeze: a READY target could be
+  // stolen and dispatched between the two calls, turning a legitimate
+  // checkpoint into a spurious "not READY" failure.
+  rt.sched().pause_workers();
   marcel::Thread* t = rt.sched().find(id);
   PM2_CHECK(t != nullptr) << "checkpoint: no thread " << id << " here";
   PM2_CHECK(!t->is_pinned()) << "checkpoint: pinned thread";
-  PM2_CHECK(rt.sched().freeze(t))
+  bool frozen = rt.sched().freeze(t);
+  rt.sched().resume_workers();
+  PM2_CHECK(frozen)
       << "checkpoint: thread must be READY (not running/blocked)";
   // Always pack whole-slot images: a restore may happen after the dead
   // stack/free payloads were recycled, and a self-contained image is worth
@@ -106,11 +112,10 @@ marcel::ThreadId restore_thread(Runtime& rt,
   // died — or never claimed, after a process restart).
   auto runs = payload_slot_runs(payload, payload_len);
   for (auto [first, count] : runs) {
-    PM2_CHECK(rt.slots().acquire_at(first, count))
+    PM2_CHECK(rt.acquire_slots_at(first, count))
         << "restore: slot run [" << first << ", +" << count
         << ") is not free on this node (original thread still alive, or the "
            "slots belong to another node — restore on the owning node)";
-    rt.mig_cache_invalidate(first, count);
   }
 
   // Scatter straight from the image into the re-claimed slots.

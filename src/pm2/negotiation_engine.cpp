@@ -5,6 +5,12 @@
 // critical section), the bitmap gather, the update scatter, and the freeze
 // discipline that keeps every node's bitmap immutable while a negotiation
 // is in flight.
+//
+// Locking: the lock-server state and this node's grant-wait event live
+// under nego_lock_ (the comm daemon's handlers race worker threads calling
+// lock_system/unlock_system); the bitmap, freeze depth, deferred releases
+// and the freeze wait-queue live under slot_lock_.  Sends and wake-ups
+// always happen outside both.
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "isomalloc/negotiation.hpp"
@@ -14,26 +20,35 @@ namespace pm2 {
 
 void Runtime::lock_system() {
   PM2_CHECK(marcel::Scheduler::self() != nullptr);
+  marcel::Event ev;
+  bool send_req = false;
+  nego_lock_.lock();
   PM2_CHECK(lock_wait_ == nullptr)
       << "two concurrent negotiations on one node";
-  marcel::Event ev;
   if (config_.node == 0) {
     if (!lock_held_) {
       lock_held_ = true;
       lock_owner_ = 0;
+      nego_lock_.unlock();
       return;
     }
     lock_wait_ = &ev;
     lock_queue_.push_back(0);
   } else {
     lock_wait_ = &ev;
+    send_req = true;
+  }
+  nego_lock_.unlock();
+  if (send_req) {
     fabric::Message msg;
     msg.type = kLockReq;
     msg.dst = 0;
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
   ev.wait();
+  nego_lock_.lock();
   lock_wait_ = nullptr;
+  nego_lock_.unlock();
   PM2_DEBUG << "system lock granted";
 }
 
@@ -46,77 +61,114 @@ void Runtime::unlock_system() {
   fabric::Message msg;
   msg.type = kUnlock;
   msg.dst = 0;
-  fabric_->send(std::move(msg));
+  fabric_send(std::move(msg));
 }
 
 void Runtime::handle_lock_req(uint32_t from) {
   PM2_CHECK(config_.node == 0) << "lock request at non-server node";
+  bool grant_now = false;
+  nego_lock_.lock();
   if (!lock_held_) {
     lock_held_ = true;
     lock_owner_ = from;
+    grant_now = true;
+  } else {
+    lock_queue_.push_back(from);
+  }
+  nego_lock_.unlock();
+  if (grant_now) {
     fabric::Message grant;
     grant.type = kLockGrant;
     grant.dst = from;
-    fabric_->send(std::move(grant));
-    return;
+    fabric_send(std::move(grant));
   }
-  lock_queue_.push_back(from);
 }
 
 void Runtime::handle_unlock(uint32_t from) {
   PM2_CHECK(config_.node == 0) << "unlock at non-server node";
+  marcel::Event* waiter = nullptr;
+  uint32_t next = 0;
+  bool grant_remote = false;
+  nego_lock_.lock();
   PM2_CHECK(lock_held_ && lock_owner_ == from)
       << "unlock by non-owner " << from;
   if (lock_queue_.empty()) {
     lock_held_ = false;
+    nego_lock_.unlock();
     return;
   }
-  uint32_t next = lock_queue_.front();
+  next = lock_queue_.front();
   lock_queue_.erase(lock_queue_.begin());
   lock_owner_ = next;
   if (next == 0) {
-    PM2_CHECK(lock_wait_ != nullptr);
-    lock_wait_->set();
+    waiter = lock_wait_;
+    PM2_CHECK(waiter != nullptr);
   } else {
+    grant_remote = true;
+  }
+  nego_lock_.unlock();
+  if (waiter != nullptr) waiter->set();
+  if (grant_remote) {
     fabric::Message grant;
     grant.type = kLockGrant;
     grant.dst = next;
-    fabric_->send(std::move(grant));
+    fabric_send(std::move(grant));
   }
 }
 
 void Runtime::handle_gather_req(fabric::Message& msg) {
-  PM2_DEBUG << "gather req from " << msg.src << " freeze=" << bitmap_freeze_;
   // Step (a) seen from a peer: our bitmap becomes read-only until the
   // initiator's kNegoUpdate arrives.  Threads that try to acquire slots
-  // meanwhile park; releases are deferred.
+  // meanwhile park; releases are deferred.  Freeze and snapshot atomically
+  // under slot_lock_, serialize and send outside.
+  std::vector<uint64_t> words;
+  slot_lock_.lock();
   ++bitmap_freeze_;
+  words = slot_mgr_.bitmap().words();
+  slot_lock_.unlock();
+  PM2_DEBUG << "gather req from " << msg.src;
   fabric::Message resp;
   resp.type = kGatherResp;
   resp.dst = msg.src;
   resp.corr = msg.corr;
   ByteWriter w;
-  w.put_vector<uint64_t>(slot_mgr_.bitmap().words());
+  w.put_vector<uint64_t>(words);
   resp.payload = w.take();
-  fabric_->send(std::move(resp));
+  fabric_send(std::move(resp));
 }
 
 void Runtime::handle_nego_update(fabric::Message& msg) {
-  PM2_DEBUG << "nego update from " << msg.src << " freeze=" << bitmap_freeze_;
+  PM2_DEBUG << "nego update from " << msg.src;
   ByteReader r(msg.flat());
   auto words = r.get_vector<uint64_t>();
+  slot_lock_.lock();
   slot_mgr_.set_bitmap(Bitmap::from_words(area_.n_slots(), std::move(words)));
   PM2_CHECK(bitmap_freeze_ > 0) << "negotiation update without gather";
   --bitmap_freeze_;
+  slot_lock_.unlock();
   apply_deferred_releases();
 }
 
 void Runtime::apply_deferred_releases() {
-  if (bitmap_freeze_ > 0) return;
+  slot_lock_.lock();
+  if (bitmap_freeze_ > 0) {
+    slot_lock_.unlock();
+    return;
+  }
   for (auto [first, count] : deferred_releases_)
     slot_mgr_.release(first, count);
   deferred_releases_.clear();
-  bitmap_wait_.unpark_all();
+  // Detach the freeze waiters under the lock, wake them outside (unblock
+  // takes ready-deque locks and may spin on a still-switching thread).
+  marcel::Thread* chain = bitmap_wait_.pop_all_locked();
+  slot_lock_.unlock();
+  while (chain != nullptr) {
+    marcel::Thread* next = chain->qnext;
+    chain->qnext = nullptr;
+    chain->qprev = nullptr;
+    sched_.unblock(chain);
+    chain = next;
+  }
 }
 
 std::vector<Bitmap> Runtime::gather_all_bitmaps() {
@@ -124,16 +176,18 @@ std::vector<Bitmap> Runtime::gather_all_bitmaps() {
   // Sequential per-peer gather: the paper's measured cost grows linearly,
   // ~165 us per extra node.
   std::vector<Bitmap> bitmaps(config_.n_nodes);
+  slot_lock_.lock();
   bitmaps[config_.node] = slot_mgr_.bitmap();
+  slot_lock_.unlock();
   for (uint32_t node = 0; node < config_.n_nodes; ++node) {
     if (node == config_.node) continue;
-    uint64_t corr = next_corr_++;
+    uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
     marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
     fabric::Message req;
     req.type = kGatherReq;
     req.dst = node;
     req.corr = corr;
-    fabric_->send(std::move(req));
+    fabric_send(std::move(req));
     fut.wait();
     PM2_CHECK(!fut.failed()) << "negotiation gather aborted: " << fut.error();
     std::vector<uint8_t> resp = fut.take();
@@ -155,9 +209,11 @@ void Runtime::scatter_bitmaps(std::vector<Bitmap> bitmaps) {
     ByteWriter w;
     w.put_vector<uint64_t>(bitmaps[node].words());
     upd.payload = w.take();
-    fabric_->send(std::move(upd));
+    fabric_send(std::move(upd));
   }
+  slot_lock_.lock();
   slot_mgr_.set_bitmap(std::move(bitmaps[config_.node]));
+  slot_lock_.unlock();
 }
 
 std::optional<size_t> Runtime::negotiate(size_t run) {
@@ -170,7 +226,9 @@ std::optional<size_t> Runtime::negotiate(size_t run) {
   // One critical-section client per node at a time.
   nego_mutex_.lock();
   // Freeze our own bitmap against other local threads for the duration.
+  slot_lock_.lock();
   ++bitmap_freeze_;
+  slot_lock_.unlock();
 
   // (a) enter the system-wide critical section.
   lock_system();
@@ -186,12 +244,14 @@ std::optional<size_t> Runtime::negotiate(size_t run) {
   if (!plan && want != run)
     plan = iso::plan_negotiation(bitmaps, config_.node, run);
   std::optional<size_t> acquired;
+  slot_lock_.lock();
   ++slot_mgr_.stats().negotiations;
   if (plan) {
-    iso::apply_plan(bitmaps, config_.node, *plan);
     for (const iso::Purchase& p : plan->purchases)
       slot_mgr_.stats().negotiated_slots += p.count;
   }
+  slot_lock_.unlock();
+  if (plan) iso::apply_plan(bitmaps, config_.node, *plan);
 
   // (e) send back the updated bitmaps.
   scatter_bitmaps(std::move(bitmaps));
@@ -200,7 +260,9 @@ std::optional<size_t> Runtime::negotiate(size_t run) {
   // thread *inside* the critical section, so no later negotiation can
   // resell it between unlock and use.
   if (plan) {
+    slot_lock_.lock();
     acquired = slot_mgr_.acquire(run);
+    slot_lock_.unlock();
     PM2_CHECK(acquired.has_value() && *acquired == plan->first_slot)
         << "negotiated run vanished before acquisition";
   }
@@ -208,7 +270,9 @@ std::optional<size_t> Runtime::negotiate(size_t run) {
   // (f) leave the critical section.
   unlock_system();
 
+  slot_lock_.lock();
   --bitmap_freeze_;
+  slot_lock_.unlock();
   apply_deferred_releases();
   nego_mutex_.unlock();
   PM2_DEBUG << "negotiation done: acquired="
@@ -225,13 +289,17 @@ void Runtime::defragment() {
   PM2_DEBUG << "defragment: waiting for local nego mutex";
   nego_mutex_.lock();
   PM2_DEBUG << "defragment: entering critical section";
+  slot_lock_.lock();
   ++bitmap_freeze_;
+  slot_lock_.unlock();
   lock_system();
   std::vector<Bitmap> bitmaps = gather_all_bitmaps();
   std::vector<Bitmap> packed = iso::plan_defragmentation(bitmaps);
   scatter_bitmaps(std::move(packed));
   unlock_system();
+  slot_lock_.lock();
   --bitmap_freeze_;
+  slot_lock_.unlock();
   apply_deferred_releases();
   nego_mutex_.unlock();
   PM2_DEBUG << "defragment: done";

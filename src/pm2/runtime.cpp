@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <new>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -32,11 +34,33 @@ class RuntimeBinding {
 
 Runtime* Runtime::current() { return t_runtime; }
 
+uint32_t RuntimeConfig::resolved_workers() const {
+  uint32_t w = workers;
+  if (w == 0) {
+    // Auto: PM2_WORKERS if set (lets CI run whole suites multi-worker
+    // without per-test edits), else the historical single-loop scheduler.
+    const char* env = std::getenv("PM2_WORKERS");
+    if (env != nullptr && *env != '\0') {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) w = static_cast<uint32_t>(v);
+    }
+    if (w == 0) w = 1;
+  }
+  // An explicit request (config or env) is honored even above the core
+  // count — oversubscribed workers still exercise every multi-worker code
+  // path, which is exactly what CI on small boxes needs.  Only a sanity
+  // cap applies.
+  constexpr uint32_t kMaxWorkers = 64;
+  if (w > kMaxWorkers) w = kMaxWorkers;
+  return w == 0 ? 1 : w;
+}
+
 Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
                  std::unique_ptr<fabric::Fabric> fabric)
     : config_(config),
       area_(area),
       fabric_(std::move(fabric)),
+      sched_(config.resolved_workers()),
       slot_mgr_(area, [&] {
         iso::SlotManagerConfig sc = config.slots;
         sc.node = config.node;
@@ -48,6 +72,19 @@ Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
   PM2_CHECK(fabric_->node_id() == config_.node &&
             fabric_->n_nodes() == config_.n_nodes)
       << "fabric/runtime node configuration mismatch";
+  // Invocation-pool shards: one per scheduler worker, per-shard caps
+  // summing to exactly invocation_pool (reap-side spill makes the whole
+  // capacity reachable regardless of which workers do the reaping, and
+  // the configured bound stays hard — workers == 1 keeps the exact
+  // single-pool capacity).
+  uint32_t nw = sched_.workers();
+  pool_shards_.reserve(nw);
+  for (uint32_t i = 0; i < nw; ++i) {
+    auto shard = std::make_unique<PoolShard>();
+    shard->cap = config_.invocation_pool / nw +
+                 (i < config_.invocation_pool % nw ? 1 : 0);
+    pool_shards_.push_back(std::move(shard));
+  }
 }
 
 Runtime::~Runtime() { drop_invocation_freelist(); }
@@ -63,7 +100,8 @@ marcel::ThreadId Runtime::next_thread_id() {
 
 marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
                                                 const char* name,
-                                                uint32_t flags) {
+                                                uint32_t flags,
+                                                bool start_frozen) {
   std::optional<size_t> first;
   if (marcel::Scheduler::self() != nullptr) {
     first = acquire_slots_negotiating(config_.stack_slots);
@@ -72,7 +110,9 @@ marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
     // negotiation needs a running node, so the stack run must be locally
     // available.  stack_slots == 1 always is; multi-slot stacks require a
     // contiguity-friendly initial distribution.
+    slot_lock_.lock();
     first = slot_mgr_.acquire(config_.stack_slots);
+    slot_lock_.unlock();
     PM2_CHECK(first.has_value())
         << "initial slot distribution cannot host a " << config_.stack_slots
         << "-slot stack run locally; use block-cyclic/partitioned "
@@ -99,7 +139,8 @@ marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
   marcel::Thread* t =
       sched_.create(reinterpret_cast<void*>(region), region_size,
                     &Runtime::thread_trampoline,
-                    reinterpret_cast<void*>(region), id, name, flags);
+                    reinterpret_cast<void*>(region), id, name, flags,
+                    start_frozen);
   t->user_fn = reinterpret_cast<void*>(fn);
   t->user_arg = arg;
   t->home_node = config_.node;
@@ -144,10 +185,11 @@ marcel::ThreadId Runtime::spawn_local(std::function<void()> fn,
 marcel::ThreadId Runtime::spawn_copy(marcel::EntryFn fn, const void* data,
                                      size_t len, const char* name) {
   sched_.maybe_preempt();
-  marcel::Thread* t = create_thread_in_slots(fn, nullptr, name, 0);
-  // Hold the newborn back: the argument allocation below may negotiate and
-  // park us, and the child must not run with its argument unset.
-  PM2_CHECK(sched_.freeze(t));
+  // The newborn comes back frozen: the argument allocation below may
+  // negotiate and park us, and the child must not run — or be stolen by
+  // another worker — with its argument unset.
+  marcel::Thread* t = create_thread_in_slots(fn, nullptr, name, 0,
+                                             /*start_frozen=*/true);
   // Allocate the argument inside the new thread's heap: it now belongs to
   // the child and will follow it on migration / be reaped at exit.
   iso::ThreadHeap child_heap(&t->slot_list, t->id, slot_ops_, config_.heap,
@@ -178,8 +220,8 @@ void Runtime::reap_thread(marcel::Thread* t) {
   // runs back without another commit).
   sys::san_unpoison(t->stack_base, t->stack_size());
   auto* head = static_cast<iso::SlotHeader*>(t->slot_list);
-  if (!halting_ && (t->flags & marcel::Thread::kFlagService) != 0 &&
-      pool_.size() < config_.invocation_pool) {
+  if (!halting() && (t->flags & marcel::Thread::kFlagService) != 0 &&
+      config_.invocation_pool > 0) {
     // Invocation pool: park the service thread — heap chain trimmed back
     // to the stack run — instead of releasing it.  The next dispatch
     // re-arms it without the slot acquire / init_stack_slot round trip.
@@ -197,8 +239,26 @@ void Runtime::reap_thread(marcel::Thread* t) {
       // service stack) is now a hard ASan report instead of silent
       // corruption of the next invocation.  rearm() lifts the poison.
       sys::san_poison(t->stack_base, t->stack_size());
-      pool_.push_back(PoolEntry{t, now_ns()});
-      return;
+      // Park into the reaping worker's own shard, spilling into peer
+      // shards when it is full: reaping concentrates on whichever worker
+      // the service threads ran on (often worker 0, next to the daemon),
+      // and without the spill that skew would cut effective pool capacity
+      // to one shard's share.  Only when *every* shard is full is the run
+      // released (total capacity stays exactly invocation_pool).
+      uint32_t me = marcel::Scheduler::current_worker();
+      if (me == marcel::kNoWorker || me >= pool_shards_.size()) me = 0;
+      bool parked = false;
+      for (size_t k = 0; k < pool_shards_.size() && !parked; ++k) {
+        PoolShard& shard = *pool_shards_[(me + k) % pool_shards_.size()];
+        shard.lock.lock();
+        if (shard.entries.size() < shard.cap) {
+          shard.entries.push_back(PoolEntry{t, now_ns()});
+          parked = true;
+        }
+        shard.lock.unlock();
+      }
+      if (parked) return;
+      sys::san_unpoison(t->stack_base, t->stack_size());
     }
     iso::ThreadHeap::release_chain(stack, slot_ops_);
     return;
@@ -217,9 +277,24 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
                                               const char* name,
                                               uint32_t flags) {
   flags |= marcel::Thread::kFlagService;
-  if (!pool_.empty()) {
-    marcel::Thread* t = pool_.back().thread;
-    pool_.pop_back();
+  // Pop from our own shard first (uncontended in steady state), then scan
+  // the peers — a reply-heavy worker may drain faster than it reaps.
+  marcel::Thread* t = nullptr;
+  if (!pool_shards_.empty()) {
+    uint32_t me = marcel::Scheduler::current_worker();
+    if (me == marcel::kNoWorker || me >= pool_shards_.size()) me = 0;
+    uint32_t n = static_cast<uint32_t>(pool_shards_.size());
+    for (uint32_t k = 0; k < n && t == nullptr; ++k) {
+      PoolShard& shard = *pool_shards_[(me + k) % n];
+      shard.lock.lock();
+      if (!shard.entries.empty()) {
+        t = shard.entries.back().thread;
+        shard.entries.pop_back();
+      }
+      shard.lock.unlock();
+    }
+  }
+  if (t != nullptr) {
     ++pool_hits_;
     marcel::ThreadId id = next_thread_id();
     // The slot header's owner id is diagnostics; keep it in step with the
@@ -246,20 +321,62 @@ void Runtime::pool_release_entry(marcel::Thread* t) {
 }
 
 void Runtime::pool_decay(uint64_t now) {
-  if (config_.invocation_pool_decay_us == 0 || pool_.empty()) return;
+  if (config_.invocation_pool_decay_us == 0) return;
   uint64_t horizon = config_.invocation_pool_decay_us * 1000;
-  // LIFO vector: park times are monotone, the oldest entries sit at the
-  // front (reuse pops from the back).
-  size_t n = 0;
-  while (n < pool_.size() && now - pool_[n].parked_ns > horizon) ++n;
-  for (size_t i = 0; i < n; ++i) pool_release_entry(pool_[i].thread);
-  pool_.erase(pool_.begin(),
-              pool_.begin() + static_cast<std::ptrdiff_t>(n));
+  for (auto& shard_ptr : pool_shards_) {
+    PoolShard& shard = *shard_ptr;
+    // LIFO vector: park times are monotone per shard, the oldest entries
+    // sit at the front (reuse pops from the back).  Collect the victims
+    // under the lock, release their slots outside it (release takes
+    // slot_lock_ and may decommit).
+    std::vector<marcel::Thread*> victims;
+    shard.lock.lock();
+    size_t n = 0;
+    while (n < shard.entries.size() &&
+           now - shard.entries[n].parked_ns > horizon)
+      ++n;
+    if (n > 0) {
+      victims.reserve(n);
+      for (size_t i = 0; i < n; ++i)
+        victims.push_back(shard.entries[i].thread);
+      shard.entries.erase(shard.entries.begin(),
+                          shard.entries.begin() +
+                              static_cast<std::ptrdiff_t>(n));
+    }
+    shard.lock.unlock();
+    for (marcel::Thread* t : victims) pool_release_entry(t);
+  }
 }
 
 void Runtime::pool_drain() {
-  for (const PoolEntry& e : pool_) pool_release_entry(e.thread);
-  pool_.clear();
+  for (auto& shard_ptr : pool_shards_) {
+    PoolShard& shard = *shard_ptr;
+    std::vector<PoolEntry> drained;
+    shard.lock.lock();
+    drained.swap(shard.entries);
+    shard.lock.unlock();
+    for (const PoolEntry& e : drained) pool_release_entry(e.thread);
+  }
+}
+
+size_t Runtime::pool_size() const {
+  size_t n = 0;
+  for (const auto& shard_ptr : pool_shards_) {
+    sys::SpinGuard g(shard_ptr->lock);
+    n += shard_ptr->entries.size();
+  }
+  return n;
+}
+
+void Runtime::for_each_parked(
+    const std::function<void(marcel::Thread*)>& fn) const {
+  // Audit-time walk: callers pause the scheduler workers first, so holding
+  // each shard lock across the visit is uncontended and keeps the snapshot
+  // coherent.
+  for (const auto& shard_ptr : pool_shards_) {
+    sys::SpinGuard g(shard_ptr->lock);
+    for (const PoolEntry& e : shard_ptr->entries) fn(e.thread);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -328,13 +445,18 @@ void* Runtime::isomemalign(size_t align, size_t size) {
 
 std::optional<size_t> Runtime::acquire_slots_negotiating(size_t count) {
   marcel::Thread* t = marcel::Scheduler::self();
+  slot_lock_.lock();
   // Wait out any negotiation currently freezing the bitmap (only possible
-  // from a thread context; the comm daemon never acquires slots).
+  // from a thread context; the comm daemon never acquires slots).  The
+  // park happens under slot_lock_ (embedded WaitQueue mode), so no
+  // unfreeze can slip between the test and the park.
   while (bitmap_freeze_ > 0) {
     PM2_CHECK(t != nullptr) << "slot acquire on frozen bitmap outside thread";
-    bitmap_wait_.park_current();
+    bitmap_wait_.park_current(slot_lock_);
+    slot_lock_.lock();
   }
   std::optional<size_t> s = slot_mgr_.acquire(count);
+  slot_lock_.unlock();
   if (!s && config_.n_nodes > 1) s = negotiate(count);
   // Slots re-entering local ownership must leave the migration cache (the
   // cached commit is now owned by the new user; never decommit it later).
@@ -342,7 +464,22 @@ std::optional<size_t> Runtime::acquire_slots_negotiating(size_t count) {
   return s;
 }
 
+bool Runtime::acquire_slots_at(size_t first, size_t count) {
+  marcel::Thread* t = marcel::Scheduler::self();
+  slot_lock_.lock();
+  while (bitmap_freeze_ > 0) {
+    PM2_CHECK(t != nullptr) << "slot acquire on frozen bitmap outside thread";
+    bitmap_wait_.park_current(slot_lock_);
+    slot_lock_.lock();
+  }
+  bool ok = slot_mgr_.acquire_at(first, count);
+  slot_lock_.unlock();
+  if (ok) mig_cache_invalidate(first, count);
+  return ok;
+}
+
 void Runtime::release_slots(size_t first, size_t count) {
+  sys::SpinGuard g(slot_lock_);
   if (bitmap_freeze_ > 0) {
     // The bitmap is inside someone's system-wide critical section; the
     // release mutates only *our* view, but the paper's rule is strict
@@ -393,7 +530,7 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
   marcel::Promise<MigrateResult> promise;
   marcel::Future<MigrateResult> fut = promise.future();
   PM2_CHECK(dest < config_.n_nodes) << "migrate to unknown node " << dest;
-  if (halting_) {
+  if (halting()) {
     promise.set_error("session halting");
     return fut;
   }
@@ -414,8 +551,18 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
     promise.set_error("thread not migratable (pinned, running, or blocked)");
     return fut;
   }
-  uint64_t corr = next_corr_++;
+  uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
+  pending_lock_.lock();
+  if (halting()) {
+    // halt()'s drain already swept the map; registering now would hang the
+    // future forever.  Re-freeze nothing — fail fast like the check above.
+    pending_lock_.unlock();
+    sched_.unfreeze(t);
+    promise.set_error("session halting");
+    return fut;
+  }
   pending_migrations_.emplace(corr, std::move(promise));
+  pending_lock_.unlock();
   ++migrations_out_;
   ship_thread(*this, t, dest, corr);
   return fut;
@@ -434,6 +581,7 @@ uint32_t Runtime::register_service_handler(const char* name, ServiceHandler fn,
                                            uint32_t thread_flags) {
   PM2_CHECK(name != nullptr && fn != nullptr);
   uint32_t id = service_id(name);
+  sys::SpinGuard g(services_lock_);
   auto [it, inserted] =
       services_.try_emplace(id, ServiceEntry{name, std::move(fn), thread_flags});
   if (!inserted) {
@@ -455,17 +603,21 @@ struct Runtime::RpcInvocation {
 };
 
 void Runtime::drop_invocation_freelist() {
+  sys::SpinGuard g(inv_lock_);
   for (RpcInvocation* inv : inv_free_) delete inv;
   inv_free_.clear();
 }
 
 void Runtime::recycle_invocation(RpcInvocation* inv) {
   constexpr size_t kFreeListCap = 64;
+  inv->args.clear();
+  inv_lock_.lock();
   if (inv_free_.size() < kFreeListCap) {
-    inv->args.clear();
     inv_free_.push_back(inv);
+    inv_lock_.unlock();
     return;
   }
+  inv_lock_.unlock();
   delete inv;
 }
 
@@ -506,8 +658,14 @@ mad::BufferChain rpc_chain(uint32_t service, mad::PackBuffer&& args) {
 
 void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
                            std::vector<uint8_t>&& args, size_t args_offset) {
+  // Entry addresses are stable (unordered_map nodes) and registration is
+  // setup-phase, so the pointer may outlive the lock.
+  services_lock_.lock();
   auto it = services_.find(service);
-  if (it == services_.end()) {
+  const ServiceEntry* entry =
+      it == services_.end() ? nullptr : &it->second;
+  services_lock_.unlock();
+  if (entry == nullptr) {
     // Name-keyed sessions are heterogeneous: the caller cannot know what a
     // peer registered, so a request expecting a reply gets an error back
     // (failing the caller's future) instead of killing this node.
@@ -524,7 +682,7 @@ void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
         ByteWriter w;
         w.put_string(why);
         msg.payload = w.take();
-        fabric_->send(std::move(msg));
+        fabric_send(std::move(msg));
       }
       return;
     }
@@ -538,20 +696,21 @@ void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
     return;
   }
   trace_event(trace::Event::kRpcIn, service, src);
-  RpcInvocation* inv;
+  RpcInvocation* inv = nullptr;
+  inv_lock_.lock();
   if (!inv_free_.empty()) {
     inv = inv_free_.back();
     inv_free_.pop_back();
-  } else {
-    inv = new RpcInvocation{};
   }
-  inv->entry = &it->second;
+  inv_lock_.unlock();
+  if (inv == nullptr) inv = new RpcInvocation{};
+  inv->entry = entry;
   inv->src = src;
   inv->corr = corr;
   inv->args = std::move(args);
   inv->args_offset = args_offset;
-  spawn_service_thread(&Runtime::rpc_trampoline, inv,
-                       it->second.name.c_str(), it->second.thread_flags);
+  spawn_service_thread(&Runtime::rpc_trampoline, inv, entry->name.c_str(),
+                       entry->thread_flags);
 }
 
 void Runtime::rpc_hash(uint32_t node, uint32_t service,
@@ -565,7 +724,7 @@ void Runtime::rpc_hash(uint32_t node, uint32_t service,
   msg.type = kRpc;
   msg.dst = node;
   msg.chain = rpc_chain(service, std::move(args));
-  fabric_->send(std::move(msg));
+  fabric_send(std::move(msg));
 }
 
 void Runtime::rpc_framed(uint32_t node, uint32_t service,
@@ -581,19 +740,20 @@ void Runtime::rpc_framed(uint32_t node, uint32_t service,
   msg.type = kRpc;
   msg.dst = node;
   msg.chain = framed.take_chain();
-  fabric_->send(std::move(msg));
+  fabric_send(std::move(msg));
 }
 
 marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
     uint32_t node, uint32_t service, mad::PackBuffer&& args) {
   PM2_CHECK(node < config_.n_nodes);
-  if (halting_) {
+  if (halting()) {
     marcel::Promise<std::vector<uint8_t>> p;
     p.set_error("session halting");
     return p.future();
   }
-  uint64_t corr = next_corr_++;
+  uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
   marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+  if (fut.failed()) return fut;
   if (node == config_.node) {
     dispatch_rpc(service, config_.node, corr, args.finalize(), 0);
   } else {
@@ -602,7 +762,7 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
     msg.dst = node;
     msg.corr = corr;
     msg.chain = rpc_chain(service, std::move(args));
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
   return fut;
 }
@@ -610,13 +770,14 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
 marcel::Future<std::vector<uint8_t>> Runtime::call_async_framed(
     uint32_t node, uint32_t service, mad::PackBuffer&& framed) {
   PM2_CHECK(node < config_.n_nodes);
-  if (halting_) {
+  if (halting()) {
     marcel::Promise<std::vector<uint8_t>> p;
     p.set_error("session halting");
     return p.future();
   }
-  uint64_t corr = next_corr_++;
+  uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
   marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+  if (fut.failed()) return fut;
   if (node == config_.node) {
     dispatch_rpc(service, config_.node, corr, framed.finalize(),
                  sizeof(uint32_t));
@@ -626,7 +787,7 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_framed(
     msg.dst = node;
     msg.corr = corr;
     msg.chain = framed.take_chain();
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
   return fut;
 }
@@ -644,7 +805,16 @@ std::vector<uint8_t> Runtime::call(uint32_t node, const char* service_name,
 marcel::Future<std::vector<uint8_t>> Runtime::register_pending(uint64_t corr) {
   marcel::Promise<std::vector<uint8_t>> promise;
   marcel::Future<std::vector<uint8_t>> fut = promise.future();
+  pending_lock_.lock();
+  if (halting()) {
+    // halt()'s drain already swept the map (the halting_ store precedes the
+    // drain's lock hold): an entry registered now would never complete.
+    pending_lock_.unlock();
+    promise.set_error("session halting");
+    return fut;
+  }
   pending_calls_.emplace(corr, std::move(promise));
+  pending_lock_.unlock();
   return fut;
 }
 
@@ -660,12 +830,14 @@ void Runtime::fail_pending(uint64_t corr, std::string why, const char* what) {
 }
 
 void Runtime::drain_pending(const std::string& why) {
-  // Swap the maps out first: set_error unparks waiters, and a woken thread
-  // must not find its corr still registered.
+  // Swap the maps out under the lock first: set_error unparks waiters, and
+  // a woken thread must not find its corr still registered.
+  pending_lock_.lock();
   auto calls = std::move(pending_calls_);
   pending_calls_.clear();
   auto migs = std::move(pending_migrations_);
   pending_migrations_.clear();
+  pending_lock_.unlock();
   for (auto& [corr, promise] : calls) promise.set_error(why);
   for (auto& [corr, promise] : migs) promise.set_error(why);
 }
@@ -687,7 +859,7 @@ void RpcContext::fail(const std::string& why) {
   ByteWriter w;
   w.put_string("service failed: " + why);
   msg.payload = w.take();
-  rt.fabric_->send(std::move(msg));
+  rt.fabric_send(std::move(msg));
 }
 
 void RpcContext::reply(mad::PackBuffer&& result) {
@@ -703,7 +875,7 @@ void RpcContext::reply(mad::PackBuffer&& result) {
   msg.dst = src_;
   msg.corr = corr_;
   msg.chain = result.take_chain();
-  rt_.fabric_->send(std::move(msg));
+  rt_.fabric_send(std::move(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -713,8 +885,13 @@ void RpcContext::reply(mad::PackBuffer&& result) {
 void Runtime::barrier() {
   PM2_CHECK(marcel::Scheduler::self() != nullptr) << "barrier outside thread";
   trace_event(trace::Event::kBarrier);
-  PM2_CHECK(barrier_waiter_ == nullptr) << "concurrent barriers on one node";
   marcel::Event ev;
+  // Decide under barrier_lock_ (the comm daemon's arrival handler races
+  // the coordinator's own local arrival at workers > 1); send and set the
+  // event outside it.
+  bool release_all = false;
+  barrier_lock_.lock();
+  PM2_CHECK(barrier_waiter_ == nullptr) << "concurrent barriers on one node";
   barrier_waiter_ = &ev;
   uint32_t seq = barrier_seq_;
   if (config_.node == 0) {
@@ -722,6 +899,12 @@ void Runtime::barrier() {
     if (++barrier_arrivals_ == config_.n_nodes) {
       barrier_arrivals_ = 0;
       ++barrier_seq_;
+      release_all = true;
+    }
+  }
+  barrier_lock_.unlock();
+  if (config_.node == 0) {
+    if (release_all) {
       for (uint32_t n = 1; n < config_.n_nodes; ++n) {
         fabric::Message msg;
         msg.type = kBarrierRelease;
@@ -729,7 +912,7 @@ void Runtime::barrier() {
         ByteWriter w;
         w.put<uint32_t>(seq);
         msg.payload = w.take();
-        fabric_->send(std::move(msg));
+        fabric_send(std::move(msg));
       }
       ev.set();
     }
@@ -740,10 +923,12 @@ void Runtime::barrier() {
     ByteWriter w;
     w.put<uint32_t>(seq);
     msg.payload = w.take();
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
   ev.wait();
+  barrier_lock_.lock();
   barrier_waiter_ = nullptr;
+  barrier_lock_.unlock();
 }
 
 void Runtime::send_signal(uint32_t node) {
@@ -756,7 +941,7 @@ void Runtime::send_signal(uint32_t node) {
   fabric::Message msg;
   msg.type = kSignal;
   msg.dst = node;
-  fabric_->send(std::move(msg));
+  fabric_send(std::move(msg));
 }
 
 void Runtime::wait_signals(uint64_t count) {
@@ -764,7 +949,7 @@ void Runtime::wait_signals(uint64_t count) {
 }
 
 void Runtime::halt() {
-  halting_ = true;
+  halting_.store(true);
   fabric_->set_teardown(true);  // peers may exit under late messages now
   // Wake every thread parked on an outstanding call or migration ack with
   // an error: the peers are shutting down and the replies may never come.
@@ -776,14 +961,17 @@ void Runtime::halt() {
     fabric::Message msg;
     msg.type = kHalt;
     msg.dst = n;
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
 }
 
 uint64_t Runtime::load() const { return sched_.live_count(); }
 
 void Runtime::broadcast_load() {
-  load_table_[config_.node] = load();
+  uint64_t ld = load();
+  load_lock_.lock();
+  load_table_[config_.node] = ld;
+  load_lock_.unlock();
   for (uint32_t n = 0; n < config_.n_nodes; ++n) {
     if (n == config_.node) continue;
     fabric::Message msg;
@@ -791,9 +979,9 @@ void Runtime::broadcast_load() {
     msg.dst = n;
     ByteWriter w;
     w.put<uint32_t>(config_.node);
-    w.put<uint64_t>(load_table_[config_.node]);
+    w.put<uint64_t>(ld);
     msg.payload = w.take();
-    fabric_->send(std::move(msg));
+    fabric_send(std::move(msg));
   }
 }
 
@@ -809,7 +997,40 @@ bool Runtime::reply_is_imminent() const {
   // A non-empty correlation table means some local thread issued a request
   // whose reply is the next thing this node is waiting for — the only
   // situation where burning the idle window on a poll loop buys latency.
+  sys::SpinGuard g(pending_lock_);
   return !pending_calls_.empty() || !pending_migrations_.empty();
+}
+
+void Runtime::fabric_send(fabric::Message msg) {
+  // Direct when concurrent sends are safe on this transport (in-process
+  // hub), when only one worker exists (the legacy single-kernel-thread
+  // node), or when we already run on the comm daemon's worker: the daemon
+  // is pinned to worker 0 and fabric calls contain no PM2 switch points,
+  // so worker 0's threads access the fabric cooperatively serialized.
+  if (sched_.workers() == 1 || fabric_->concurrent_send_safe() ||
+      (marcel::Scheduler::current_scheduler() == &sched_ &&
+       marcel::Scheduler::current_worker() == 0)) {
+    fabric_->send(std::move(msg));
+    return;
+  }
+  // Defer to the daemon.  Flatten first: chain segments are borrowed from
+  // the caller (pack regions, slot memory) and only guaranteed to outlive
+  // the fabric_send call itself.
+  if (!msg.chain.empty()) msg.flat();
+  out_lock_.lock();
+  outbox_.push_back(std::move(msg));
+  out_lock_.unlock();
+  fabric_->wake();
+}
+
+void Runtime::flush_outbox() {
+  std::vector<fabric::Message> batch;
+  {
+    sys::SpinGuard g(out_lock_);
+    if (outbox_.empty()) return;
+    batch.swap(outbox_);
+  }
+  for (fabric::Message& m : batch) fabric_->send(std::move(m));
 }
 
 void Runtime::comm_daemon_body() {
@@ -818,13 +1039,20 @@ void Runtime::comm_daemon_body() {
   // (every frame still wakes the fabric handle immediately).
   constexpr uint64_t kIdleBlockNs = 500'000'000;
   while (true) {
+    // A pending worker pause (audit / checkpoint quiesce) must never wait
+    // on the daemon finishing a blocking lap: gate first.
+    if (sched_.pause_pending()) {
+      sched_.yield();
+      continue;
+    }
+    flush_outbox();
     bool worked = false;
     while (auto msg = fabric_->try_recv()) {
       handle_message(*msg);
       worked = true;
     }
-    if (halting_ && sched_.live_count() == 0) break;
-    if (worked || sched_.ready_count() > 0) {
+    if (halting() && sched_.live_count() == 0) break;
+    if (worked || sched_.local_ready_count() > 0) {
       sched_.yield();
       continue;
     }
@@ -857,18 +1085,21 @@ void Runtime::comm_daemon_body() {
         ::sched_yield();
       }
       if (got) continue;  // drain the rest (and re-check halt) at the top
-      if (halting_ && sched_.live_count() == 0) break;
+      if (halting() && sched_.live_count() == 0) break;
     }
     if (auto msg = fabric_->recv_until(deadline)) {
       handle_message(*msg);
       // Re-check immediately: if that frame was the halt (or the last
       // drain), exit now instead of taking another blocking lap.
-      if (halting_ && sched_.live_count() == 0) break;
+      if (halting() && sched_.live_count() == 0) break;
     }
     // Bounce through the scheduler so its loop fires expired sleep timers
     // and dispatches any thread the handled frame unparked.
     sched_.yield();
   }
+  // The halt broadcast (or a worker's last reply) may still sit deferred:
+  // put it on the wire before tearing the session down.
+  flush_outbox();
   // Session over: parked service threads must not leak their stack runs.
   pool_drain();
   sched_.stop();
@@ -878,15 +1109,28 @@ void Runtime::comm_daemon_body() {
 void Runtime::handle_message(fabric::Message& msg) {
   switch (msg.type) {
     case kHalt:
-      halting_ = true;
+      halting_.store(true);
       fabric_->set_teardown(true);
       drain_pending("session shutdown");
       break;
     case kBarrierArrive: {
       PM2_CHECK(config_.node == 0) << "barrier arrival at non-coordinator";
+      // Mutate under barrier_lock_ (racing the coordinator's own local
+      // arrival on another worker); sends and the waiter wake-up happen
+      // outside.  The waiter pointer stays valid until its thread returns
+      // from ev.wait(), which cannot happen before set().
+      bool release_all = false;
+      uint32_t seq = 0;
+      marcel::Event* waiter = nullptr;
+      barrier_lock_.lock();
       if (++barrier_arrivals_ == config_.n_nodes) {
         barrier_arrivals_ = 0;
-        uint32_t seq = barrier_seq_++;
+        seq = barrier_seq_++;
+        release_all = true;
+        waiter = barrier_waiter_;
+      }
+      barrier_lock_.unlock();
+      if (release_all) {
         for (uint32_t n = 1; n < config_.n_nodes; ++n) {
           fabric::Message rel;
           rel.type = kBarrierRelease;
@@ -896,16 +1140,20 @@ void Runtime::handle_message(fabric::Message& msg) {
           rel.payload = w.take();
           fabric_->send(std::move(rel));
         }
-        PM2_CHECK(barrier_waiter_ != nullptr)
+        PM2_CHECK(waiter != nullptr)
             << "all nodes arrived but coordinator never entered the barrier";
-        barrier_waiter_->set(/*direct_handoff=*/true);
+        waiter->set(/*direct_handoff=*/true);
       }
       break;
     }
-    case kBarrierRelease:
-      PM2_CHECK(barrier_waiter_ != nullptr) << "spurious barrier release";
-      barrier_waiter_->set(/*direct_handoff=*/true);
+    case kBarrierRelease: {
+      barrier_lock_.lock();
+      marcel::Event* waiter = barrier_waiter_;
+      barrier_lock_.unlock();
+      PM2_CHECK(waiter != nullptr) << "spurious barrier release";
+      waiter->set(/*direct_handoff=*/true);
       break;
+    }
     case kSignal:
       ++signals_received_;
       signal_sem_.release();
@@ -934,10 +1182,14 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kLockReq:
       handle_lock_req(msg.src);
       break;
-    case kLockGrant:
-      PM2_CHECK(lock_wait_ != nullptr) << "spurious lock grant";
-      lock_wait_->set(/*direct_handoff=*/true);
+    case kLockGrant: {
+      nego_lock_.lock();
+      marcel::Event* waiter = lock_wait_;
+      nego_lock_.unlock();
+      PM2_CHECK(waiter != nullptr) << "spurious lock grant";
+      waiter->set(/*direct_handoff=*/true);
       break;
+    }
     case kUnlock:
       handle_unlock(msg.src);
       break;
@@ -961,7 +1213,9 @@ void Runtime::handle_message(fabric::Message& msg) {
       auto node = r.get<uint32_t>();
       auto ld = r.get<uint64_t>();
       PM2_CHECK(node < config_.n_nodes);
+      load_lock_.lock();
       load_table_[node] = ld;
+      load_lock_.unlock();
       break;
     }
     default:
@@ -1010,6 +1264,17 @@ void Runtime::run(std::function<void()> node_main) {
   marcel::SchedulerBinding sched_bind(&sched_);
   if (config_.preemption_quantum_us > 0)
     sched_.set_preemption(config_.preemption_quantum_us);
+  // Helper workers are raw kernel threads: bind them to this node the way
+  // run()'s caller is bound, so PM2 threads they dispatch resolve
+  // Runtime::current() and log with the right node tag.
+  sched_.set_worker_init([this](uint32_t) {
+    t_runtime = this;
+    log::set_thread_node(static_cast<int>(config_.node));
+  });
+  // Cross-thread ready pushes targeting worker 0 (unblocks from other
+  // workers, timer rearms) must pop the comm daemon out of its blocking
+  // fabric wait.
+  sched_.set_external_wake([this] { fabric_->wake(); });
 
   create_thread_in_slots(&Runtime::daemon_trampoline, this, "comm-daemon",
                          marcel::Thread::kFlagDaemon |
@@ -1027,20 +1292,30 @@ void Runtime::mig_cache_put(size_t first, size_t count) {
     area_.decommit(first, count);
     return;
   }
+  // Mutate under the lock; evicted runs are decommitted after (decommit is
+  // an mmap call — too slow for a spinlock hold, and eviction order only
+  // matters for the cache bookkeeping, not for the kernel).
+  std::vector<MigCacheEntry> evicted;
+  mig_cache_lock_.lock();
   // Idempotence: the run may already be cached if this thread bounced
   // through before.
   for (const MigCacheEntry& e : mig_cache_) {
-    if (e.first == first && e.count == count) return;
+    if (e.first == first && e.count == count) {
+      mig_cache_lock_.unlock();
+      return;
+    }
   }
   mig_cache_.push_back(MigCacheEntry{first, count});
   while (mig_cache_.size() > config_.migration_slot_cache) {
-    MigCacheEntry old = mig_cache_.front();
+    evicted.push_back(mig_cache_.front());
     mig_cache_.pop_front();
-    area_.decommit(old.first, old.count);
   }
+  mig_cache_lock_.unlock();
+  for (const MigCacheEntry& old : evicted) area_.decommit(old.first, old.count);
 }
 
 bool Runtime::mig_cache_take(size_t first, size_t count) {
+  sys::SpinGuard g(mig_cache_lock_);
   for (auto it = mig_cache_.begin(); it != mig_cache_.end(); ++it) {
     if (it->first == first && it->count == count) {
       mig_cache_.erase(it);
@@ -1051,6 +1326,7 @@ bool Runtime::mig_cache_take(size_t first, size_t count) {
 }
 
 void Runtime::mig_cache_invalidate(size_t first, size_t count) {
+  sys::SpinGuard g(mig_cache_lock_);
   for (auto it = mig_cache_.begin(); it != mig_cache_.end();) {
     bool overlap = it->first < first + count && first < it->first + it->count;
     it = overlap ? mig_cache_.erase(it) : ++it;

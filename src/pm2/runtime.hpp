@@ -9,13 +9,18 @@
 // creation (LRPC), iso-address thread migration, the global slot
 // negotiation, barriers and shutdown.
 //
-// Threading model: everything of a node — its PM2 threads, its comm daemon,
-// its message handlers — runs on the node's single kernel thread under the
-// cooperative marcel scheduler, so node state needs no locks.  The comm
-// daemon is itself a PM2 daemon thread that polls the fabric and dispatches
-// control messages inline.
+// Threading model: a node's PM2 threads run on RuntimeConfig::workers
+// scheduler kernel threads (1 = the original single-kernel-thread node).
+// The comm daemon is a PM2 daemon thread pinned to worker 0; it owns the
+// fabric's receive side and dispatches control messages inline.  Runtime
+// state that multiple workers touch on the hot path (services, pending
+// correlations, slot bitmap, invocation pool) is guarded by short
+// sys::SpinLocks; sends from non-daemon workers go through fabric_send(),
+// which is direct when the transport allows concurrent sends and otherwise
+// defers to the daemon via an outbox.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <functional>
@@ -41,6 +46,7 @@
 #include "marcel/scheduler.hpp"
 #include "marcel/sync.hpp"
 #include "pm2/protocol.hpp"
+#include "sys/spinlock.hpp"
 #include "trace/trace.hpp"
 
 namespace pm2 {
@@ -226,6 +232,13 @@ struct RuntimeConfig {
   /// daemon (their slot run returns to the node's distribution), so a
   /// burst does not pin stack slots forever.  0 = decay only at halt.
   uint64_t invocation_pool_decay_us = 200'000;
+  /// Scheduler worker kernel threads per node.  0 = auto: the PM2_WORKERS
+  /// environment variable if set, else 1 (the historical single-loop
+  /// scheduler).  Clamped to [1, hardware_concurrency].
+  uint32_t workers = 0;
+
+  /// The worker count run() will actually use (auto/env/clamp applied).
+  uint32_t resolved_workers() const;
 };
 
 class Runtime {
@@ -261,7 +274,15 @@ class Runtime {
   /// Broadcast shutdown; every node's run() returns once drained.
   void halt();
   /// True once halt was initiated or received (daemons poll this).
-  bool halting() const { return halting_; }
+  bool halting() const { return halting_.load(std::memory_order_relaxed); }
+
+  /// Send on the node's fabric from any scheduler worker.  Direct when the
+  /// transport allows concurrent sends (in-process hub) or the caller runs
+  /// on the comm daemon's worker; otherwise the message is flattened (chain
+  /// sealed), queued on the outbox and the daemon is woken to put it on the
+  /// wire — the socket fabric's send() drains receive state and must stay
+  /// on one kernel thread.
+  void fabric_send(fabric::Message msg);
 
   // --- threads -------------------------------------------------------------
 
@@ -451,6 +472,10 @@ class Runtime {
   /// Release slots, deferring while a negotiation freezes the bitmap.
   void release_slots(size_t first, size_t count);
 
+  /// Claim a specific run (checkpoint restore), waiting out any bitmap
+  /// freeze.  Returns false if any slot of the run is not free here.
+  bool acquire_slots_at(size_t first, size_t count);
+
   /// Global defragmentation (paper §4.1): under the system-wide critical
   /// section, regroup every node's free slots into contiguous stretches
   /// (ownership counts preserved; thread-owned slots do not move).  Any
@@ -472,7 +497,10 @@ class Runtime {
   /// Drop any cached run overlapping [first, first+count) without
   /// decommitting — used when the slots re-enter local ownership.
   void mig_cache_invalidate(size_t first, size_t count);
-  size_t mig_cache_size() const { return mig_cache_.size(); }
+  size_t mig_cache_size() const {
+    sys::SpinGuard g(mig_cache_lock_);
+    return mig_cache_.size();
+  }
 
   // --- tracing ----------------------------------------------------------------
 
@@ -488,25 +516,35 @@ class Runtime {
   // --- stats -----------------------------------------------------------------
 
   HeapStats& heap_stats() { return heap_stats_; }
-  uint64_t negotiations_initiated() const { return negotiations_initiated_; }
-  uint64_t migrations_in() const { return migrations_in_; }
-  uint64_t migrations_out() const { return migrations_out_; }
+  uint64_t negotiations_initiated() const {
+    return negotiations_initiated_.load(std::memory_order_relaxed);
+  }
+  uint64_t migrations_in() const {
+    return migrations_in_.load(std::memory_order_relaxed);
+  }
+  uint64_t migrations_out() const {
+    return migrations_out_.load(std::memory_order_relaxed);
+  }
 
   // --- invocation pool -------------------------------------------------------
 
   /// Service dispatches served by re-arming a parked thread.
-  uint64_t pool_hits() const { return pool_hits_; }
+  uint64_t pool_hits() const {
+    return pool_hits_.load(std::memory_order_relaxed);
+  }
   /// Service dispatches that had to build a thread (cold path).
-  uint64_t pool_misses() const { return pool_misses_; }
+  uint64_t pool_misses() const {
+    return pool_misses_.load(std::memory_order_relaxed);
+  }
   /// Parked threads released without reuse (idle decay + halt drain).
-  uint64_t pool_evictions() const { return pool_evictions_; }
-  /// Currently parked service threads.
-  size_t pool_size() const { return pool_.size(); }
+  uint64_t pool_evictions() const {
+    return pool_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Currently parked service threads (all shards).
+  size_t pool_size() const;
   /// Visit every parked thread (audit: parked threads still own their
   /// stack run while off the scheduler registry).
-  void for_each_parked(const std::function<void(marcel::Thread*)>& fn) const {
-    for (const PoolEntry& e : pool_) fn(e.thread);
-  }
+  void for_each_parked(const std::function<void(marcel::Thread*)>& fn) const;
   /// Evict parked threads idle past the decay horizon (comm daemon calls
   /// this on idle laps; exposed for tests).
   void pool_decay(uint64_t now);
@@ -526,6 +564,8 @@ class Runtime {
   struct RpcInvocation;
 
   void comm_daemon_body();
+  /// Put any outbox-deferred sends on the wire (comm daemon only).
+  void flush_outbox();
   void handle_message(fabric::Message& msg);
   void handle_rpc(fabric::Message& msg);
   void handle_migrate(fabric::Message& msg);
@@ -577,18 +617,23 @@ class Runtime {
 
   /// Remove and return the promise for `corr`, or nullopt for an unknown
   /// correlation — tolerated only while halting (a reply may race the
-  /// shutdown drain); otherwise a protocol bug.
+  /// shutdown drain); otherwise a protocol bug.  Locks pending_lock_
+  /// internally; the caller completes the promise *outside* the lock
+  /// (completion unblocks the waiter, which may run scheduler code).
   template <typename T>
   std::optional<marcel::Promise<T>> take_pending(
       std::unordered_map<uint64_t, marcel::Promise<T>>& pending, uint64_t corr,
       const char* what) {
+    pending_lock_.lock();
     auto it = pending.find(corr);
     if (it == pending.end()) {
-      PM2_CHECK(halting_) << what << " with no pending waiter";
+      pending_lock_.unlock();
+      PM2_CHECK(halting()) << what << " with no pending waiter";
       return std::nullopt;
     }
     marcel::Promise<T> p = std::move(it->second);
     pending.erase(it);
+    pending_lock_.unlock();
     return p;
   }
   /// halt(): wake every thread blocked on a pending call or migration ack
@@ -615,8 +660,11 @@ class Runtime {
   void scatter_bitmaps(std::vector<Bitmap> bitmaps);
 
   marcel::ThreadId next_thread_id();
+  /// `start_frozen` hands the newborn back still frozen (spawn_copy
+  /// finishes preparing it before any worker may steal and run it).
   marcel::Thread* create_thread_in_slots(marcel::EntryFn fn, void* arg,
-                                         const char* name, uint32_t flags);
+                                         const char* name, uint32_t flags,
+                                         bool start_frozen = false);
   void reap_thread(marcel::Thread* t);
 
   /// Service-thread factory: pop + re-arm a parked pool thread (hot path:
@@ -658,24 +706,33 @@ class Runtime {
   NegotiatingSlotOps slot_ops_{*this};
   HeapStats heap_stats_;
 
-  uint64_t thread_counter_ = 0;
-  bool halting_ = false;
+  std::atomic<uint64_t> thread_counter_{0};
+  std::atomic<bool> halting_{false};
+
+  // Deferred sends (fabric_send from a worker when the transport is not
+  // concurrent-send-safe): drained by the comm daemon.
+  sys::SpinLock out_lock_;
+  std::vector<fabric::Message> outbox_;
 
   // Services: name-hash keyed dispatch table (the wire carries the hash).
   // Hash table: the lookup sits on the per-invocation hot path; node
-  // (and thus ServiceEntry) addresses are stable, so invocations carry
-  // the entry pointer.
+  // (and thus ServiceEntry) addresses are stable (unordered_map nodes), so
+  // lookups may hold the entry pointer past the lock.
   struct ServiceEntry {
     std::string name;
     ServiceHandler fn;
     uint32_t thread_flags = 0;  // kFlagPinned for service_local
   };
+  sys::SpinLock services_lock_;
   std::unordered_map<uint32_t, ServiceEntry> services_;
 
   // Outstanding correlations: calls awaiting a reply and migrations
   // awaiting their install ack.  Unbounded — this is what lets one thread
-  // pipeline arbitrarily many call_async requests.
-  uint64_t next_corr_ = 1;
+  // pipeline arbitrarily many call_async requests.  Both maps (and the
+  // corr counter's pairing with map insertion) live under pending_lock_;
+  // promises are completed outside it.
+  mutable sys::SpinLock pending_lock_;
+  std::atomic<uint64_t> next_corr_{1};
   std::unordered_map<uint64_t, marcel::Promise<std::vector<uint8_t>>>
       pending_calls_;
   std::unordered_map<uint64_t, marcel::Promise<MigrateResult>>
@@ -685,33 +742,43 @@ class Runtime {
   MigrationHook pre_migration_;
   MigrationHook post_migration_;
 
-  // Barrier (centralized at node 0)
+  // Barrier (centralized at node 0), state under barrier_lock_.
+  sys::SpinLock barrier_lock_;
   uint32_t barrier_seq_ = 0;
   uint32_t barrier_arrivals_ = 0;  // node 0 only
   marcel::Event* barrier_waiter_ = nullptr;
 
   // Signals
-  uint64_t signals_received_ = 0;
+  std::atomic<uint64_t> signals_received_{0};
   marcel::Semaphore signal_sem_{0};
 
-  // Negotiation: lock server state (node 0 only)
+  // Negotiation state, under nego_lock_: lock-server fields (node 0 only)
+  // and this node's lock_wait_ event pointer.
+  sys::SpinLock nego_lock_;
   bool lock_held_ = false;
   uint32_t lock_owner_ = 0;
   std::vector<uint32_t> lock_queue_;
-  // Negotiation: client state.  nego_mutex_ serializes this node's threads
-  // entering the system-wide critical section (the lock server tracks one
-  // outstanding request per node).
+  // nego_mutex_ serializes this node's threads entering the system-wide
+  // critical section (the lock server tracks one outstanding request per
+  // node).
   marcel::Mutex nego_mutex_;
   marcel::Event* lock_wait_ = nullptr;
-  // Bitmap freeze depth: >0 between GatherReq and NegoUpdate (remote
-  // negotiation) and while this node runs its own negotiation.
+  // Slot-bitmap state, under slot_lock_: the SlotManager itself, the freeze
+  // depth (>0 between GatherReq and NegoUpdate of a remote negotiation and
+  // while this node runs its own), deferred releases, and the wait queue of
+  // threads parked until the freeze lifts (embedded mode: parked under
+  // slot_lock_ so no unfreeze can slip between test and park).
+  mutable sys::SpinLock slot_lock_;
   int bitmap_freeze_ = 0;
   marcel::WaitQueue bitmap_wait_;
   std::vector<std::pair<size_t, size_t>> deferred_releases_;
-  uint64_t negotiations_initiated_ = 0;
-  uint64_t migrations_in_ = 0;
-  uint64_t migrations_out_ = 0;
+  std::atomic<uint64_t> negotiations_initiated_{0};
+  std::atomic<uint64_t> migrations_in_{0};
+  std::atomic<uint64_t> migrations_out_{0};
 
+  // Written under load_lock_ (gossip handler); read without it by the
+  // balancer — load values are advisory and a torn table is harmless.
+  sys::SpinLock load_lock_;
   std::vector<uint64_t> load_table_;
   trace::Tracer* tracer_ = nullptr;
   mad::ChannelMux channels_{*fabric_, kUserBase};
@@ -720,22 +787,33 @@ class Runtime {
     size_t first;
     size_t count;
   };
+  mutable sys::SpinLock mig_cache_lock_;
   std::deque<MigCacheEntry> mig_cache_;  // front = oldest
 
   // Invocation pool: parked service threads, LIFO (the most recently
   // parked stack is the cache-warmest).  Entries are off the scheduler
   // registry but still own their stack slot run (see for_each_parked).
+  // One shard per scheduler worker: a reaping/dispatching worker works its
+  // own shard lock-locally-contended, overflowing to peers — so pipelined
+  // RPC across workers does not serialize on one pool lock.
   struct PoolEntry {
     marcel::Thread* thread;
     uint64_t parked_ns;
   };
-  std::vector<PoolEntry> pool_;
-  uint64_t pool_hits_ = 0;
-  uint64_t pool_misses_ = 0;
-  uint64_t pool_evictions_ = 0;
+  struct alignas(64) PoolShard {
+    mutable sys::SpinLock lock;
+    std::vector<PoolEntry> entries;
+    size_t cap = 0;  // per-shard park capacity; shard caps sum to
+                     // config_.invocation_pool exactly
+  };
+  std::vector<std::unique_ptr<PoolShard>> pool_shards_;
+  std::atomic<uint64_t> pool_hits_{0};
+  std::atomic<uint64_t> pool_misses_{0};
+  std::atomic<uint64_t> pool_evictions_{0};
 
   // Recycled RpcInvocation boxes (one per in-flight dispatch): the hot
   // path swaps a pointer instead of paying a heap round trip per call.
+  sys::SpinLock inv_lock_;
   std::vector<RpcInvocation*> inv_free_;
   void recycle_invocation(RpcInvocation* inv);
   void drop_invocation_freelist();

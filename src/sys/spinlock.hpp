@@ -1,0 +1,78 @@
+// Kernel-level spinlock for the SMP scheduler's short critical sections.
+//
+// PM2 threads coordinate through the cooperative primitives in marcel/sync;
+// this lock is for the *kernel* threads underneath them — worker ready
+// deques, timer wheels, registry shards, runtime tables — where the critical
+// section is a handful of pointer writes and parking a kernel thread would
+// cost more than the wait.  Two rules keep it safe:
+//
+//   * never hold a SpinLock across a pm2_ctx_switch.  The one sanctioned
+//     exception is Scheduler::block_commit(), which *releases* the lock
+//     after publishing the park decision and before switching — the lock is
+//     not held during the switch, only up to it.
+//   * never call into the fabric (which may pump receives re-entrantly)
+//     with a SpinLock held: decide under the lock, send outside it.
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pm2::sys {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // Spin on a plain load so the cache line stays shared while waiting.
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Scoped holder (std::lock_guard works too; this one permits early release
+/// for the decide-under-lock / act-outside pattern).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) : lock_(&l) { lock_->lock(); }
+  ~SpinGuard() { release(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+  void release() {
+    if (lock_ != nullptr) {
+      lock_->unlock();
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  SpinLock* lock_;
+};
+
+}  // namespace pm2::sys

@@ -47,8 +47,10 @@ Tracer::Tracer(uint16_t node, size_t capacity) : node_(node) {
 }
 
 void Tracer::record(Event event, uint64_t a, uint64_t b) {
+  uint64_t t = now_ns();
+  sys::SpinGuard g(lock_);
   Record& r = ring_[head_];
-  r.t_ns = now_ns();
+  r.t_ns = t;
   r.event = event;
   r.node = node_;
   r.a = a;
@@ -59,6 +61,7 @@ void Tracer::record(Event event, uint64_t a, uint64_t b) {
 
 std::vector<Record> Tracer::snapshot() const {
   std::vector<Record> out;
+  sys::SpinGuard g(lock_);
   size_t n = total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
   out.reserve(n);
   size_t start = total_ < ring_.size() ? 0 : head_;
@@ -84,6 +87,7 @@ std::string Tracer::to_csv() const {
 }
 
 void Tracer::clear() {
+  sys::SpinGuard g(lock_);
   head_ = 0;
   total_ = 0;
 }

@@ -1,9 +1,10 @@
 // Lightweight event tracing for PM2 nodes.
 //
 // A bounded per-node ring of timestamped events (migrations, negotiations,
-// slot traffic, RPCs…).  Recording is a few nanoseconds (no allocation, no
-// locking — each node is single-kernel-threaded); the ring can be dumped as
-// CSV for offline inspection or asserted on in tests.
+// slot traffic, RPCs…).  Recording is cheap: no allocation, one short
+// spinlock hold to claim the ring cell (threads record from any scheduler
+// worker once a node runs multiple kernel threads); the ring can be dumped
+// as CSV for offline inspection or asserted on in tests.
 //
 // The runtime records through an optional Tracer pointer, so tracing costs
 // nothing when disabled.
@@ -12,6 +13,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "sys/spinlock.hpp"
 
 namespace pm2::trace {
 
@@ -53,7 +56,10 @@ class Tracer {
   std::vector<Record> snapshot() const;
 
   /// Number of events recorded since construction (including overwritten).
-  uint64_t total() const { return total_; }
+  uint64_t total() const {
+    sys::SpinGuard g(lock_);
+    return total_;
+  }
   /// Events of one kind currently in the ring.
   size_t count(Event event) const;
 
@@ -62,10 +68,11 @@ class Tracer {
   void clear();
 
  private:
+  mutable sys::SpinLock lock_;
   uint16_t node_;
   std::vector<Record> ring_;
-  size_t head_ = 0;  // next write position
-  uint64_t total_ = 0;
+  size_t head_ = 0;   // next write position (under lock_)
+  uint64_t total_ = 0;  // under lock_
 };
 
 }  // namespace pm2::trace

@@ -107,6 +107,9 @@ TEST_P(MigrationStress, RandomTraceKeepsDataIntact) {
   g_hops = 0;
   AppConfig cfg;
   cfg.nodes = nodes;
+  // Multi-worker schedulers on every node: migration churn exercises the
+  // cross-worker freeze/forget/adopt paths, not just the protocol.
+  cfg.rt.workers = 4;
   run_app(cfg, [&, workers = workers, seed = seed](Runtime& rt) {
     if (rt.self() == 0) {
       for (int w = 0; w < workers; ++w) {
@@ -226,6 +229,7 @@ TEST(MigrationStressInvariant, SlotConservationAfterChurn) {
   owned_total = 0;
   AppConfig cfg;
   cfg.nodes = 3;
+  cfg.rt.workers = 4;
   run_app(cfg, [&](Runtime& rt) {
     if (rt.self() == 0) {
       for (int w = 0; w < 6; ++w) {

@@ -65,8 +65,11 @@ TEST(RpcAsync, InterleavedRepliesOutOfOrder) {
       [&](Runtime& rt) {
         if (rt.self() != 0) return;
         std::vector<RpcFuture<uint64_t>> futs;
+        // 100ms margin: at workers > 1 on an oversubscribed box the fast
+        // reply contends with real kernel threads, and a 20ms margin
+        // occasionally loses to scheduler delay alone.
         futs.push_back(rt.call_async<uint64_t>(1, "delayed",
-                                               uint64_t{20000}, uint64_t{1}));
+                                               uint64_t{100000}, uint64_t{1}));
         futs.push_back(
             rt.call_async<uint64_t>(1, "delayed", uint64_t{0}, uint64_t{2}));
         size_t first = wait_any(futs);

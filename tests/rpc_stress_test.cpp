@@ -27,6 +27,7 @@ uint64_t chain_service(RpcContext&, uint64_t value, uint32_t ttl) {
 TEST(RpcStress, TwelveHopChainAcrossFourNodes) {
   std::atomic<uint64_t> result{0};
   AppConfig cfg;
+  cfg.rt.workers = 4;  // whole file runs multi-worker: SMP dispatch under load
   cfg.nodes = 4;
   run_app(
       cfg,
@@ -54,6 +55,7 @@ void big_echo_service(RpcContext& ctx) {
 TEST(RpcStress, MegabytePayloadRoundTrip) {
   std::atomic<bool> ok{false};
   AppConfig cfg;
+  cfg.rt.workers = 4;  // whole file runs multi-worker: SMP dispatch under load
   cfg.nodes = 2;
   run_app(
       cfg,
@@ -89,6 +91,7 @@ void fanout_service(RpcContext& ctx, uint32_t token) {
 TEST(RpcStress, HundredConcurrentServiceThreads) {
   g_fanout_done = 0;
   AppConfig cfg;
+  cfg.rt.workers = 4;  // whole file runs multi-worker: SMP dispatch under load
   cfg.nodes = 3;
   run_app(
       cfg,
@@ -117,6 +120,7 @@ void migrating_service(RpcContext&, uint32_t target) {
 
 TEST(RpcStress, ServiceThreadItselfMigrates) {
   AppConfig cfg;
+  cfg.rt.workers = 4;  // whole file runs multi-worker: SMP dispatch under load
   cfg.nodes = 3;
   run_app(
       cfg,
@@ -133,6 +137,7 @@ TEST(RpcStress, ServiceThreadItselfMigrates) {
 TEST(RpcStress, BarrierStormManyRounds) {
   std::atomic<int> rounds_done{0};
   AppConfig cfg;
+  cfg.rt.workers = 4;  // whole file runs multi-worker: SMP dispatch under load
   cfg.nodes = 4;
   run_app(cfg, [&](Runtime& rt) {
     for (int round = 0; round < 50; ++round) rt.barrier();

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace pm2::marcel {
@@ -246,6 +248,203 @@ TEST(Scheduler, FindAndForEach) {
   EXPECT_EQ(seen, 1u);
   sched.stop();
   sched.run();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker (SMP) scheduling
+// ---------------------------------------------------------------------------
+
+struct SmpCtx {
+  std::atomic<uint32_t>* worker_mask;  // bit per worker this thread ran on
+  std::atomic<bool>* bad_worker;       // pinned thread saw a foreign worker
+  std::atomic<bool>* done;             // churn threads spin until set
+  std::atomic<int>* runs;              // rearm bodies executed
+};
+
+/// Yield until this thread has been observed on two distinct workers (i.e.
+/// it was stolen at least once) or the iteration cap trips.  The cap keeps
+/// the test terminating even if stealing were broken — the assertion below
+/// then fails loudly instead of hanging.
+void mask_entry(void* arg) {
+  auto* ctx = static_cast<SmpCtx*>(arg);
+  for (int i = 0; i < 100000; ++i) {
+    uint32_t w = Scheduler::current_worker();
+    uint32_t mask =
+        ctx->worker_mask->fetch_or(1u << w, std::memory_order_relaxed) |
+        (1u << w);
+    if (__builtin_popcount(mask) >= 2 && i >= 100) break;
+    Scheduler::current_scheduler()->yield();
+  }
+  exit_now();
+}
+
+TEST(SchedulerSmp, StealSpreadsImbalancedLoad) {
+  Pool pool;
+  Scheduler sched(4);
+  EXPECT_EQ(sched.workers(), 4u);
+  std::atomic<uint32_t> worker_mask{0};
+  SmpCtx ctx{&worker_mask, nullptr, nullptr, nullptr};
+  // All 32 threads enter worker 0's deque (created from bootstrap); the
+  // other three workers start empty and can only obtain work by stealing.
+  for (int i = 0; i < 32; ++i)
+    sched.create(pool.take(), kRegion, &mask_entry, &ctx,
+                 static_cast<ThreadId>(i + 1), "m");
+  sched.stop();
+  sched.run();
+  EXPECT_GE(__builtin_popcount(worker_mask.load()), 2)
+      << "no thread ever ran off worker 0";
+  auto stats = sched.worker_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  uint64_t steals = 0, dispatches = 0;
+  for (const WorkerStats& s : stats) {
+    steals += s.steals;
+    dispatches += s.dispatches;
+  }
+  EXPECT_GT(steals, 0u);
+  EXPECT_GE(dispatches, 32u);
+}
+
+void pinned_entry(void* arg) {
+  auto* ctx = static_cast<SmpCtx*>(arg);
+  // Created from bootstrap with kFlagPinned: hard affinity to worker 0.
+  for (int i = 0; i < 500; ++i) {
+    if (Scheduler::current_worker() != 0) ctx->bad_worker->store(true);
+    Scheduler::current_scheduler()->yield();
+  }
+  exit_now();
+}
+
+TEST(SchedulerSmp, PinnedThreadsNeverChangeWorker) {
+  Pool pool;
+  Scheduler sched(4);
+  std::atomic<bool> bad_worker{false};
+  std::atomic<uint32_t> worker_mask{0};
+  SmpCtx ctx{&worker_mask, &bad_worker, nullptr, nullptr};
+  for (int i = 0; i < 4; ++i)
+    sched.create(pool.take(), kRegion, &pinned_entry, &ctx,
+                 static_cast<ThreadId>(i + 1), "p", Thread::kFlagPinned);
+  // Unpinned churn alongside, so thieves are active and would take the
+  // pinned threads if the affinity check in try_steal were missing.
+  for (int i = 0; i < 16; ++i)
+    sched.create(pool.take(), kRegion, &mask_entry, &ctx,
+                 static_cast<ThreadId>(i + 100), "c");
+  sched.stop();
+  sched.run();
+  EXPECT_FALSE(bad_worker.load())
+      << "a kFlagPinned thread was dispatched off its affinity worker";
+}
+
+void churn_entry(void* arg) {
+  auto* ctx = static_cast<SmpCtx*>(arg);
+  while (!ctx->done->load(std::memory_order_relaxed))
+    Scheduler::current_scheduler()->yield();
+  exit_now();
+}
+
+struct FreezeCtx {
+  std::atomic<bool> done{false};
+  int freezes = 0;
+};
+
+void freeze_controller(void* arg) {
+  auto* c = static_cast<FreezeCtx*>(arg);
+  Scheduler* s = Scheduler::current_scheduler();
+  for (int round = 0; round < 50; ++round) {
+    // Gate the other workers: no victim can be mid-dispatch, so freeze()
+    // must succeed on every still-registered yielding victim.
+    s->pause_workers();
+    Thread* t = s->find(static_cast<ThreadId>(round % 8 + 1));
+    if (t != nullptr && s->freeze(t)) {
+      ++c->freezes;
+      s->unfreeze(t);
+    }
+    s->resume_workers();
+    s->yield();
+  }
+  c->done.store(true);
+  exit_now();
+}
+
+TEST(SchedulerSmp, FreezeWhileWorkersDispatchConcurrently) {
+  Pool pool;
+  Scheduler sched(4);
+  FreezeCtx fc;
+  SmpCtx ctx{nullptr, nullptr, &fc.done, nullptr};
+  for (int i = 0; i < 8; ++i)
+    sched.create(pool.take(), kRegion, &churn_entry, &ctx,
+                 static_cast<ThreadId>(i + 1), "v");
+  sched.create(pool.take(), kRegion, &freeze_controller, &fc, 99, "ctl");
+  sched.stop();
+  sched.run();
+  // Victims only yield (never block, never exit before `done`), so under
+  // the pause gate every round's freeze must have landed.
+  EXPECT_EQ(fc.freezes, 50);
+}
+
+struct RearmCtx {
+  std::mutex mu;
+  std::vector<Thread*> parked;
+  std::atomic<int> runs{0};
+  std::atomic<bool> done{false};
+};
+
+void rearm_body(void* arg) {
+  auto* c = static_cast<RearmCtx*>(arg);
+  c->runs.fetch_add(1, std::memory_order_relaxed);
+  Scheduler::current_scheduler()->exit_current([c](Thread* t) {
+    std::lock_guard<std::mutex> g(c->mu);
+    c->parked.push_back(t);
+  });
+}
+
+void rearm_controller(void* arg) {
+  auto* c = static_cast<RearmCtx*>(arg);
+  Scheduler* s = Scheduler::current_scheduler();
+  ThreadId next_id = 1000;
+  int rearmed = 0;
+  while (rearmed < 200) {
+    Thread* t = nullptr;
+    {
+      std::lock_guard<std::mutex> g(c->mu);
+      if (!c->parked.empty()) {
+        t = c->parked.back();
+        c->parked.pop_back();
+      }
+    }
+    if (t == nullptr) {
+      s->yield();
+      continue;
+    }
+    // The rearmed thread re-enters scheduling immediately and may be
+    // stolen and dispatched by another worker while this thread keeps
+    // rearming — the race under test.
+    s->rearm(t, &rearm_body, c, next_id++, "r");
+    ++rearmed;
+  }
+  while (c->runs.load(std::memory_order_relaxed) < 204) s->yield();
+  c->done.store(true);
+  exit_now();
+}
+
+TEST(SchedulerSmp, RearmRacesWithStealingWorkers) {
+  Pool pool;
+  Scheduler sched(4);
+  RearmCtx rc;
+  SmpCtx churn{nullptr, nullptr, &rc.done, nullptr};
+  // 4 seed threads run once and park their descriptors via the reaper.
+  for (int i = 0; i < 4; ++i)
+    sched.create(pool.take(), kRegion, &rearm_body, &rc,
+                 static_cast<ThreadId>(i + 1), "seed");
+  for (int i = 0; i < 8; ++i)
+    sched.create(pool.take(), kRegion, &churn_entry, &churn,
+                 static_cast<ThreadId>(i + 500), "churn");
+  sched.create(pool.take(), kRegion, &rearm_controller, &rc, 999, "ctl");
+  sched.stop();
+  sched.run();
+  // 4 seed runs + 200 rearms, each body executing exactly once.
+  EXPECT_EQ(rc.runs.load(), 204);
+  // Every descriptor of the final generation ends up parked again.
+  EXPECT_EQ(rc.parked.size(), 4u);
 }
 
 TEST(SchedulerDeath, StackOverflowCaught) {
