@@ -32,6 +32,8 @@ constexpr size_t kMaxIov = 1024;
 
 // Poller tag of the wake eventfd (peer links are tagged by NodeId).
 constexpr uint64_t kWakeTag = UINT64_MAX;
+// Poller tag of the session-lifetime listener (allow_reconnect only).
+constexpr uint64_t kListenTag = UINT64_MAX - 1;
 
 class SocketFabric final : public Fabric {
  public:
@@ -61,6 +63,19 @@ class SocketFabric final : public Fabric {
   };
 
   void connect_mesh();
+  /// Register a (fresh or replacement) peer link: socket buffers,
+  /// non-blocking mode, poller membership.
+  void attach_conn(NodeId peer, sys::Fd fd);
+  /// Accept a restarted peer's replacement connection (allow_reconnect).
+  void accept_reconnect();
+  /// Drop a dead peer's link so a replacement can take its place.
+  void detach_conn(NodeId peer);
+  /// Block (bounded) until `peer` is connected again: higher peers dial us
+  /// (wait on the listener), lower peers are redialed.
+  void await_reconnect(NodeId peer);
+  /// One sendmsg pass over a fully built iov_.  Returns false when the
+  /// link died mid-frame (reconnect then resends the whole frame).
+  bool send_frame(NodeId peer);
   /// Drain every readable peer; parse complete frames into the inbox.
   void pump(int timeout_ms);
   void pump_ns(uint64_t timeout_ns);
@@ -73,6 +88,9 @@ class SocketFabric final : public Fabric {
 
   SocketFabricConfig config_;
   std::vector<Conn> conns_;  // indexed by peer node id (self unused)
+  // Kept open for the whole session under allow_reconnect (polled with
+  // kListenTag); otherwise closed once the mesh is up.
+  sys::Fd listener_;
   sys::Poller poller_;
   // Waitable readiness handle: wake() (from any thread) makes a blocked
   // recv_until return early by tripping this eventfd in the epoll set.
@@ -108,11 +126,10 @@ void SocketFabric::connect_mesh() {
   const NodeId n = config_.n_nodes;
 
   // Listen first so lower-id peers can find us.
-  sys::Fd listener;
   uint16_t port = static_cast<uint16_t>(config_.base_port + self);
   if (n > 1) {
-    listener = config_.use_tcp ? sys::tcp_listen(port)
-                               : sys::uds_listen(sock_path(config_, self));
+    listener_ = config_.use_tcp ? sys::tcp_listen(port)
+                                : sys::uds_listen(sock_path(config_, self));
   }
 
   // Connect to all lower-numbered nodes, sending a hello with our id.
@@ -130,7 +147,7 @@ void SocketFabric::connect_mesh() {
 
   // Accept from all higher-numbered nodes.
   for (NodeId k = self + 1; k < n; ++k) {
-    sys::Fd fd = sys::accept_one(listener);
+    sys::Fd fd = sys::accept_one(listener_);
     if (config_.use_tcp) sys::set_nodelay(fd);
     uint32_t hello = 0;
     PM2_CHECK(sys::recv_all(fd, &hello, sizeof(hello)))
@@ -150,33 +167,89 @@ void SocketFabric::connect_mesh() {
     sys::set_nonblocking(conns_[peer].fd, true);
     poller_.add(conns_[peer].fd.get(), peer);
   }
+  if (config_.allow_reconnect && n > 1) {
+    // The listener lives as long as the fabric: a peer that crashed and
+    // restarted dials the same path and replaces its link.
+    poller_.add(listener_.get(), kListenTag);
+  } else {
+    listener_.reset();
+  }
   PM2_DEBUG << "socket mesh up (" << n << " nodes)";
 }
 
-void SocketFabric::send(Message msg) {
-  PM2_CHECK(msg.dst < config_.n_nodes && msg.dst != config_.node_id)
-      << "bad destination " << msg.dst;
-  msg.src = config_.node_id;
-  WireHeader h = wire_header(msg);
-  bytes_sent_ += msg.wire_size();
-  ++messages_sent_;
+void SocketFabric::attach_conn(NodeId peer, sys::Fd fd) {
+  if (config_.use_tcp) sys::set_nodelay(fd);
+  int sz = 1 << 20;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+  sys::set_nonblocking(fd, true);
+  poller_.add(fd.get(), peer);
+  conns_[peer].fd = std::move(fd);
+}
 
-  // Gather list: header + payload segments, straight from the sender's
-  // memory (slot images included) — no flatten, no staging copy.
-  iov_.clear();
-  iov_.push_back({&h, sizeof(h)});
-  if (!msg.chain.empty()) {
-    PM2_CHECK(msg.payload.empty())
-        << "message with both flat and chained payload";
-    for (const mad::BufferChain::Segment& seg : msg.chain.segments())
-      iov_.push_back({const_cast<uint8_t*>(seg.data), seg.len});
-  } else if (!msg.payload.empty()) {
-    iov_.push_back({msg.payload.data(), msg.payload.size()});
+void SocketFabric::detach_conn(NodeId peer) {
+  Conn& c = conns_[peer];
+  c.fd.reset();
+  // A partial frame from the dead incarnation is void; frames that fully
+  // arrived are already in the inbox and stay deliverable.
+  c.rx.clear();
+  c.body.clear();
+  c.body_fill = 0;
+  c.in_body = false;
+}
+
+void SocketFabric::accept_reconnect() {
+  sys::Fd fd = sys::accept_one(listener_);
+  uint32_t hello = 0;
+  if (!sys::recv_all(fd, &hello, sizeof(hello))) {
+    PM2_WARN << "reconnecting peer hung up during hello";
+    return;
   }
+  PM2_CHECK(hello < config_.n_nodes && hello != config_.node_id)
+      << "bad reconnect hello id " << hello;
+  if (conns_[hello].fd.valid()) {
+    // The old link died but we have not read its EOF yet (the peer was
+    // killed and restarted between two pumps): retire it first.
+    poller_.remove(conns_[hello].fd.get());
+    detach_conn(hello);
+  }
+  PM2_DEBUG << "node " << hello << " reconnected";
+  attach_conn(static_cast<NodeId>(hello), std::move(fd));
+}
 
-  const sys::Fd& fd = conns_[msg.dst].fd;
+void SocketFabric::await_reconnect(NodeId peer) {
+  PM2_DEBUG << "waiting for node " << peer << " to come back";
+  const uint64_t deadline =
+      now_ns() + uint64_t{static_cast<uint64_t>(config_.connect_timeout_ms)} *
+                     1'000'000ull;
+  if (peer > config_.node_id) {
+    // The restarted peer dials us (it connects to all lower ids): pump the
+    // poller until accept_reconnect restored the link.
+    while (!conns_[peer].fd.valid()) {
+      PM2_CHECK(now_ns() < deadline)
+          << "node " << peer << " did not reconnect";
+      pump(10);
+    }
+    return;
+  }
+  // We dial lower-numbered peers.  uds/tcp_connect retry internally until
+  // their own timeout; the restarted peer's accept loop picks us up.
+  sys::Fd fd =
+      config_.use_tcp
+          ? sys::tcp_connect(static_cast<uint16_t>(config_.base_port + peer),
+                             config_.connect_timeout_ms)
+          : sys::uds_connect(sock_path(config_, peer),
+                             config_.connect_timeout_ms);
+  uint32_t hello = config_.node_id;
+  sys::send_all(fd, &hello, sizeof(hello));
+  attach_conn(peer, std::move(fd));
+}
+
+bool SocketFabric::send_frame(NodeId peer) {
   size_t idx = 0;
   while (idx < iov_.size()) {
+    const sys::Fd& fd = conns_[peer].fd;
+    if (!fd.valid()) return false;  // EOF was drained by a pump() below
     struct msghdr mh {};
     mh.msg_iov = iov_.data() + idx;
     mh.msg_iovlen = std::min(iov_.size() - idx, kMaxIov);
@@ -202,19 +275,61 @@ void SocketFabric::send(Message msg) {
       pump(1);
       continue;
     }
-    if (teardown_ && n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    PM2_CHECK(n >= 0 || errno == EINTR) << "sendmsg: " << std::strerror(errno);
+  }
+  return true;
+}
+
+void SocketFabric::send(Message msg) {
+  PM2_CHECK(msg.dst < config_.n_nodes && msg.dst != config_.node_id)
+      << "bad destination " << msg.dst;
+  msg.src = config_.node_id;
+  WireHeader h = wire_header(msg);
+  bytes_sent_ += msg.wire_size();
+  ++messages_sent_;
+
+  while (true) {
+    // Gather list: header + payload segments, straight from the sender's
+    // memory (slot images included) — no flatten, no staging copy.  Built
+    // fresh per attempt: a reconnect resends the frame from byte zero.
+    iov_.clear();
+    iov_.push_back({&h, sizeof(h)});
+    if (!msg.chain.empty()) {
+      PM2_CHECK(msg.payload.empty())
+          << "message with both flat and chained payload";
+      for (const mad::BufferChain::Segment& seg : msg.chain.segments())
+        iov_.push_back({const_cast<uint8_t*>(seg.data), seg.len});
+    } else if (!msg.payload.empty()) {
+      iov_.push_back({msg.payload.data(), msg.payload.size()});
+    }
+
+    if (send_frame(msg.dst)) return;
+
+    // The link died mid-frame.
+    if (teardown_) {
       // Session teardown: the peer legitimately exited, and this is a late
       // message (load gossip, a reply racing the halt drain) losing the
       // race — drop it rather than kill a node that is itself about to
-      // exit.  Outside teardown a dead peer is still fatal: dropping would
-      // turn a peer crash into a silent hang of every pending caller.
-      // Undo the top-of-send accounting: this frame never went out.
+      // exit.  Undo the top-of-send accounting: this frame never went out.
       bytes_sent_ -= msg.wire_size();
       --messages_sent_;
       PM2_DEBUG << "dropping frame to exited node " << msg.dst;
       return;
     }
-    PM2_CHECK(n >= 0 || errno == EINTR) << "sendmsg: " << std::strerror(errno);
+    // Outside teardown a dead peer is fatal unless the session runs in
+    // crash-restart mode: dropping would turn a peer crash into a silent
+    // hang of every pending caller.
+    PM2_CHECK(config_.allow_reconnect)
+        << "node " << msg.dst << " died mid-session";
+    if (conns_[msg.dst].fd.valid()) {
+      // sendmsg saw the break before recv did: retire the dead link.
+      poller_.remove(conns_[msg.dst].fd.get());
+      detach_conn(msg.dst);
+    }
+    await_reconnect(msg.dst);
+    // The restarted peer never saw any byte of this frame (its old socket
+    // died with the old process); resend it whole.
   }
 }
 
@@ -283,11 +398,16 @@ void SocketFabric::drain_fd(size_t peer) {
         continue;
       }
     }
-    if (n == 0) {
+    if (n == 0 || (n < 0 && errno == ECONNRESET)) {
       // Peer exited.  Complete frames were already parsed above; a partial
       // frame means the peer died mid-send, which PM2's explicit-HALT
-      // shutdown protocol rules out.
+      // shutdown protocol rules out — except in crash-restart sessions,
+      // where the link is fully retired so a restarted peer can replace it.
       poller_.remove(c.fd.get());
+      if (config_.allow_reconnect && !teardown_) {
+        PM2_DEBUG << "node " << peer << " disconnected";
+        detach_conn(static_cast<NodeId>(peer));
+      }
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -302,6 +422,10 @@ void SocketFabric::dispatch_tags(const std::vector<uint64_t>& tags) {
       while (::read(wake_fd_.get(), &counter, sizeof(counter)) > 0) {
       }
       wake_pending_ = true;
+      continue;
+    }
+    if (tag == kListenTag) {
+      accept_reconnect();
       continue;
     }
     drain_fd(tag);

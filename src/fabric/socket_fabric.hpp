@@ -24,6 +24,14 @@ struct SocketFabricConfig {
   /// Base TCP port; node i listens on base_port + i (TCP mode only).
   uint16_t base_port = 29000;
   int connect_timeout_ms = 10000;
+  /// Survive a peer process dying and coming back (crash-restart
+  /// sessions): the listener stays open for the session's lifetime and a
+  /// restarted peer's hello *replaces* its old link; send() to a dead peer
+  /// blocks (bounded by connect_timeout_ms) until the peer is back, then
+  /// resends the frame on the fresh connection.  Off (default), a dead
+  /// peer outside teardown is fatal — crashing silently would hang every
+  /// pending caller.
+  bool allow_reconnect = false;
 };
 
 /// Build the mesh (blocks until all peers are connected).

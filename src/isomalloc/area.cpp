@@ -44,6 +44,12 @@ void Area::decommit(size_t first, size_t count) {
                         count * config_.slot_size);
 }
 
+void Area::decommit_force(size_t first, size_t count) {
+  PM2_CHECK(first + count <= n_slots());
+  reservation_.decommit(config_.base + first * config_.slot_size,
+                        count * config_.slot_size);
+}
+
 bool Area::committed(size_t index) const {
   return sys::probe_readable(
       config_.base + index * config_.slot_size, 1);

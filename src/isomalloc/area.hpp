@@ -60,6 +60,12 @@ class Area {
   void commit(size_t first, size_t count);
   /// Release physical memory and access for the range.
   void decommit(size_t first, size_t count);
+  /// Like decommit(), but ignores AreaConfig::skip_decommit.  Used by the
+  /// slot store when it demotes a *thread-owned* run to the backing file:
+  /// no other in-process node ever touches a thread-owned address, so
+  /// yanking the pages is safe even in a shared-address-space session (and
+  /// is the whole point — the demotion must actually free RAM).
+  void decommit_force(size_t first, size_t count);
 
   /// For tests: is the first byte of the slot readable?
   bool committed(size_t index) const;

@@ -1,0 +1,277 @@
+#include "isomalloc/slot_store.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "sys/sanitizer.hpp"
+
+namespace pm2::iso {
+
+namespace {
+
+void pwrite_all(int fd, const void* buf, size_t len, uint64_t off) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    ssize_t rc = ::pwrite(fd, p, len, static_cast<off_t>(off));
+    PM2_CHECK(rc > 0) << "slot store pwrite failed: " << std::strerror(errno);
+    p += rc;
+    off += static_cast<uint64_t>(rc);
+    len -= static_cast<size_t>(rc);
+  }
+}
+
+void pread_all(int fd, void* buf, size_t len, uint64_t off) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t rc = ::pread(fd, p, len, static_cast<off_t>(off));
+    PM2_CHECK(rc > 0) << "slot store pread failed: "
+                      << (rc == 0 ? "truncated store file"
+                                  : std::strerror(errno));
+    p += rc;
+    off += static_cast<uint64_t>(rc);
+    len -= static_cast<size_t>(rc);
+  }
+}
+
+uint64_t round_up(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+SlotStore::SlotStore(Area& area, const SlotStoreConfig& config,
+                     uint64_t binary_stamp, uint32_t node, uint32_t n_nodes)
+    : area_(area), config_(config) {
+  PM2_CHECK(!config_.path.empty()) << "slot store needs a backing file path";
+  const uint64_t dir_bytes =
+      uint64_t{config_.dir_capacity} * sizeof(StoreDirEntry);
+  const uint64_t meta_bytes = round_up(4096 + dir_bytes, sys::page_size());
+  const uint64_t data_off = meta_bytes;
+
+  int flags = O_RDWR | O_CLOEXEC | O_CREAT | (config_.recover ? 0 : O_TRUNC);
+  fd_ = ::open(config_.path.c_str(), flags, 0644);
+  PM2_CHECK(fd_ >= 0) << "slot store open(" << config_.path
+                      << ") failed: " << std::strerror(errno);
+
+  if (config_.recover) {
+    // Adopting an existing store: the header must prove it was written by
+    // this binary over this exact area geometry — iso-addresses are only
+    // meaningful under both.
+    StoreHeader on_file{};
+    ssize_t rc = ::pread(fd_, &on_file, sizeof(on_file), 0);
+    PM2_CHECK(rc == static_cast<ssize_t>(sizeof(on_file)))
+        << "slot store recover: cannot read header of " << config_.path;
+    PM2_CHECK(on_file.magic == StoreHeader::kMagic)
+        << "not a PM2 slot store: " << config_.path;
+    PM2_CHECK(on_file.version == StoreHeader::kVersion)
+        << "slot store version mismatch";
+    PM2_CHECK(on_file.binary_stamp == binary_stamp)
+        << "slot store was written by a different binary";
+    PM2_CHECK(on_file.area_base == area_.base() &&
+              on_file.area_size == area_.size() &&
+              on_file.slot_size == area_.slot_size())
+        << "slot store iso-area geometry mismatch";
+    PM2_CHECK(on_file.node == node && on_file.n_nodes == n_nodes)
+        << "slot store belongs to a different node/session shape";
+    PM2_CHECK(on_file.dir_capacity == config_.dir_capacity &&
+              on_file.data_off == data_off)
+        << "slot store directory layout mismatch";
+    recovered_ = true;
+  } else {
+    PM2_CHECK(::ftruncate(fd_, static_cast<off_t>(meta_bytes)) == 0)
+        << "slot store ftruncate failed: " << std::strerror(errno);
+  }
+
+  meta_ = sys::FileMapping(fd_, 0, meta_bytes);
+  hdr_ = static_cast<StoreHeader*>(meta_.data());
+  dir_ = reinterpret_cast<StoreDirEntry*>(static_cast<char*>(meta_.data()) +
+                                          4096);
+  if (!config_.recover) {
+    std::memset(meta_.data(), 0, meta_bytes);
+    hdr_->magic = StoreHeader::kMagic;
+    hdr_->version = StoreHeader::kVersion;
+    hdr_->node = node;
+    hdr_->binary_stamp = binary_stamp;
+    hdr_->area_base = area_.base();
+    hdr_->area_size = area_.size();
+    hdr_->slot_size = area_.slot_size();
+    hdr_->n_nodes = n_nodes;
+    hdr_->dir_capacity = config_.dir_capacity;
+    hdr_->data_off = data_off;
+  }
+}
+
+SlotStore::~SlotStore() {
+  meta_.release();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t SlotStore::file_off(size_t first) const {
+  return hdr_->data_off + uint64_t{first} * area_.slot_size();
+}
+
+// --- residency ---------------------------------------------------------
+
+void SlotStore::demote(size_t first, size_t count) {
+  void* addr = area_.slot_addr(first);
+  const size_t len = count * area_.slot_size();
+  // Parked pool stacks are deliberately poisoned (PR-5 shadow rules); the
+  // shadow must be clean both for ASan's pwrite source check and so the
+  // file never captures poison as data.  fault_back()'s commit leaves the
+  // range unpoisoned and the runtime re-applies park poison afterwards.
+  sys::san_unpoison(addr, len);
+  pwrite_all(fd_, addr, len, file_off(first));
+  area_.decommit_force(first, count);
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_out_.fetch_add(len, std::memory_order_relaxed);
+}
+
+void SlotStore::fault_back(size_t first, size_t count) {
+  area_.commit(first, count);  // mprotect RW + shadow unpoison
+  const size_t len = count * area_.slot_size();
+  pread_all(fd_, area_.slot_addr(first), len, file_off(first));
+  fault_backs_.fetch_add(1, std::memory_order_relaxed);
+  bytes_in_.fetch_add(len, std::memory_order_relaxed);
+}
+
+// --- checkpoint I/O ----------------------------------------------------
+
+uint64_t SlotStore::write_run(size_t first, size_t count) {
+  const size_t len = count * area_.slot_size();
+  // Same scrub as pack_thread_chain: a frozen stack carries redzone poison
+  // from its live frames, and ASan checks the pwrite source buffer.
+  sys::san_unpoison(area_.slot_addr(first), len);
+  pwrite_all(fd_, area_.slot_addr(first), len, file_off(first));
+  return len;
+}
+
+uint64_t SlotStore::write_range(uintptr_t addr, size_t len) {
+  PM2_CHECK(addr >= area_.base() && addr + len <= area_.base() + area_.size())
+      << "slot store write_range outside the iso-area";
+  sys::san_unpoison(reinterpret_cast<void*>(addr), len);
+  pwrite_all(fd_, reinterpret_cast<void*>(addr), len,
+             hdr_->data_off + (addr - area_.base()));
+  return len;
+}
+
+void SlotStore::read_run(size_t first, size_t count) {
+  const size_t len = count * area_.slot_size();
+  pread_all(fd_, area_.slot_addr(first), len, file_off(first));
+  bytes_in_.fetch_add(len, std::memory_order_relaxed);
+}
+
+// --- thread directory --------------------------------------------------
+
+StoreDirEntry* SlotStore::entry_of(uint64_t id) {
+  for (uint32_t i = 0; i < hdr_->dir_capacity; ++i) {
+    if (dir_[i].state != StoreDirEntry::kEmpty && dir_[i].id == id) {
+      return &dir_[i];
+    }
+  }
+  return nullptr;
+}
+
+const StoreDirEntry* SlotStore::entry_of(uint64_t id) const {
+  return const_cast<SlotStore*>(this)->entry_of(id);
+}
+
+bool SlotStore::record_thread(uint64_t id, uint64_t desc_addr,
+                              const std::vector<SlotRun>& runs) {
+  if (runs.size() > StoreDirEntry::kMaxRuns) {
+    PM2_WARN << "slot store: thread " << id << " spans " << runs.size()
+             << " runs (directory limit " << StoreDirEntry::kMaxRuns
+             << "); not persisted";
+    return false;
+  }
+  lock_.lock();
+  StoreDirEntry* e = entry_of(id);
+  if (e == nullptr) {
+    for (uint32_t i = 0; i < hdr_->dir_capacity; ++i) {
+      if (dir_[i].state == StoreDirEntry::kEmpty) {
+        e = &dir_[i];
+        break;
+      }
+    }
+  }
+  if (e == nullptr) {
+    lock_.unlock();
+    PM2_WARN << "slot store: thread directory full (capacity "
+             << hdr_->dir_capacity << "); thread " << id << " not persisted";
+    return false;
+  }
+  // kWriting first, then payload fields: a kill -9 between here and
+  // seal_thread() leaves a record recovery ignores.
+  e->state = StoreDirEntry::kWriting;
+  e->id = id;
+  e->desc_addr = desc_addr;
+  e->n_runs = static_cast<uint32_t>(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    e->runs[i].first = static_cast<uint32_t>(runs[i].first);
+    e->runs[i].count = runs[i].second;
+  }
+  lock_.unlock();
+  return true;
+}
+
+void SlotStore::seal_thread(uint64_t id) {
+  lock_.lock();
+  StoreDirEntry* e = entry_of(id);
+  PM2_CHECK(e != nullptr) << "seal_thread without record_thread";
+  e->state = StoreDirEntry::kValid;
+  lock_.unlock();
+}
+
+void SlotStore::erase_thread(uint64_t id) {
+  lock_.lock();
+  StoreDirEntry* e = entry_of(id);
+  if (e != nullptr) {
+    std::memset(e, 0, sizeof(*e));
+  }
+  lock_.unlock();
+}
+
+bool SlotStore::has_record(uint64_t id) const {
+  lock_.lock();
+  bool found = entry_of(id) != nullptr;
+  lock_.unlock();
+  return found;
+}
+
+std::vector<SlotStore::RecordedThread> SlotStore::recorded_threads() const {
+  std::vector<RecordedThread> out;
+  lock_.lock();
+  for (uint32_t i = 0; i < hdr_->dir_capacity; ++i) {
+    const StoreDirEntry& e = dir_[i];
+    if (e.state != StoreDirEntry::kValid) continue;
+    RecordedThread rec;
+    rec.id = e.id;
+    rec.desc_addr = e.desc_addr;
+    for (uint32_t r = 0; r < e.n_runs; ++r) {
+      rec.runs.emplace_back(e.runs[r].first, e.runs[r].count);
+    }
+    out.push_back(std::move(rec));
+  }
+  lock_.unlock();
+  return out;
+}
+
+void SlotStore::sync() {
+  meta_.sync();
+  ::fdatasync(fd_);
+}
+
+SlotStoreStats SlotStore::stats() const {
+  SlotStoreStats s;
+  s.demotions = demotions_.load(std::memory_order_relaxed);
+  s.fault_backs = fault_backs_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pm2::iso

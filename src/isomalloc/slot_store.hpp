@@ -1,0 +1,207 @@
+// SlotStore: a buffer manager over iso-address slot runs.
+//
+// The iso-address discipline (paper §3.1) makes a thread's slot image
+// *address-stable*: a run written out byte-for-byte can be read back at the
+// same virtual addresses later — in this process, or in a restarted one —
+// with every absolute pointer still valid.  That is exactly the property a
+// database buffer manager needs to page data out without relocation, so the
+// store treats slot runs like buffer pages with three residency states:
+//
+//   * hot          — committed anonymous RAM, as always;
+//   * demoted      — run bytes written to a per-node backing file keyed by
+//                    slot index, pages MADV_DONTNEED'd and re-protected
+//                    PROT_NONE (Area::decommit_force), so a cold frozen or
+//                    parked thread stops pinning physical memory;
+//   * faulted-back — re-committed and read back from the file at the same
+//                    iso-address when the thread resumes, packs for
+//                    migration, or is checkpointed.
+//
+// The same backing file doubles as the persistence layer: a thread
+// *directory* (MAP_SHARED header + records, so `kill -9` cannot lose it —
+// the page cache survives the process) names the threads whose images live
+// in the file, and pm2::checkpoint writes full or incremental (soft-dirty)
+// images through SlotStore::write_range.  A restarted node re-opens the
+// file with `recover = true`, validates the binary-stamp/geometry header,
+// and adopts the recorded threads (pm2::restore_node_from_store).
+//
+// File layout (PM2STOR1):
+//   [0, 4K)              StoreHeader — magic, version, binary stamp, area
+//                        geometry, node, directory capacity, data offset.
+//   [4K, data_off)       StoreDirEntry[dir_capacity] thread directory.
+//   [data_off, ...)      sparse data region: slot index i lives at byte
+//                        data_off + i * slot_size.  Only demoted or
+//                        checkpointed slots occupy file blocks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isomalloc/area.hpp"
+#include "sys/spinlock.hpp"
+#include "sys/vm.hpp"
+
+namespace pm2::iso {
+
+/// One (first slot, slot count) run, as tracked by the directory.
+using SlotRun = std::pair<size_t, uint32_t>;
+
+struct SlotStoreConfig {
+  /// Backing file path.  Empty disables the store.
+  std::string path;
+  /// Re-open an existing store and adopt its contents (crash restart).
+  /// False truncates the file and writes a fresh header.
+  bool recover = false;
+  /// Thread-directory capacity.
+  uint32_t dir_capacity = 4096;
+};
+
+struct StoreHeader {
+  static constexpr uint64_t kMagic = 0x504D3253544F5231ull;  // "PM2STOR1"
+  static constexpr uint32_t kVersion = 1;
+
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t node = 0;
+  uint64_t binary_stamp = 0;
+  uint64_t area_base = 0;
+  uint64_t area_size = 0;
+  uint64_t slot_size = 0;
+  uint32_t n_nodes = 0;
+  uint32_t dir_capacity = 0;
+  uint64_t data_off = 0;
+};
+
+struct StoreRun {
+  uint32_t first = 0;
+  uint32_t count = 0;
+};
+
+/// Fixed-size thread-directory record.  `state` is the crash-atomicity
+/// latch: records are flipped to kWriting before any data write and sealed
+/// kValid after, so a kill -9 mid-write leaves a record recovery skips
+/// instead of a torn image it would adopt.
+struct StoreDirEntry {
+  static constexpr uint32_t kEmpty = 0;
+  static constexpr uint32_t kWriting = 1;
+  static constexpr uint32_t kValid = 2;
+  static constexpr uint32_t kMaxRuns = 13;
+
+  uint64_t id = 0;
+  uint64_t desc_addr = 0;  // iso-address of the Thread descriptor
+  uint32_t state = kEmpty;
+  uint32_t n_runs = 0;
+  StoreRun runs[kMaxRuns] = {};
+};
+static_assert(sizeof(StoreDirEntry) == 128, "directory entries are packed");
+
+struct SlotStoreStats {
+  uint64_t demotions = 0;
+  uint64_t fault_backs = 0;
+  uint64_t bytes_out = 0;  // written by demote()
+  uint64_t bytes_in = 0;   // read by fault_back()/read_run()
+};
+
+class SlotStore {
+ public:
+  /// Open (or create) the per-node backing file.  `binary_stamp` is the
+  /// caller's code-identity hash (pm2::binary_stamp()); with
+  /// `config.recover` the on-file header must match it and the area
+  /// geometry exactly — a mismatched store is refused with a fatal check,
+  /// never silently adopted.
+  SlotStore(Area& area, const SlotStoreConfig& config, uint64_t binary_stamp,
+            uint32_t node, uint32_t n_nodes);
+  ~SlotStore();
+
+  SlotStore(const SlotStore&) = delete;
+  SlotStore& operator=(const SlotStore&) = delete;
+
+  /// True when recover=true found and validated an existing store.
+  bool recovered() const { return recovered_; }
+
+  // --- residency ---------------------------------------------------------
+
+  /// Write the run's bytes to the file and release its memory (pages
+  /// dropped, protection PROT_NONE).  Unpoisons the run first: parked pool
+  /// stacks carry ASan poison, and both the pwrite source check and the
+  /// file bytes themselves must see addressable memory.  The *caller*
+  /// re-establishes the poison after fault_back().
+  void demote(size_t first, size_t count);
+
+  /// Re-commit the run and read its bytes back from the file at the same
+  /// iso-addresses.
+  void fault_back(size_t first, size_t count);
+
+  // --- checkpoint I/O (residency unchanged) ------------------------------
+
+  /// Write the run's current bytes to its file position (full image).
+  /// Returns bytes written.
+  uint64_t write_run(size_t first, size_t count);
+
+  /// Write an arbitrary byte range inside the area to its file position —
+  /// the incremental checkpoint's dirty-page/extent writer.  Returns `len`.
+  uint64_t write_range(uintptr_t addr, size_t len);
+
+  /// Read the run's bytes from the file into (already committed) memory.
+  void read_run(size_t first, size_t count);
+
+  // --- thread directory --------------------------------------------------
+
+  /// Begin (or restart) a record for `id`: state kWriting.  Returns false
+  /// when the directory is full or the thread spans more than
+  /// StoreDirEntry::kMaxRuns runs (the caller then skips persisting it).
+  bool record_thread(uint64_t id, uint64_t desc_addr,
+                     const std::vector<SlotRun>& runs);
+  /// Seal `id`'s record: state kValid.
+  void seal_thread(uint64_t id);
+  /// Drop `id`'s record (thread exited, migrated away, or was restored).
+  void erase_thread(uint64_t id);
+  bool has_record(uint64_t id) const;
+
+  struct RecordedThread {
+    uint64_t id = 0;
+    uint64_t desc_addr = 0;
+    std::vector<SlotRun> runs;
+  };
+  /// All sealed (kValid) records — the crash-restart adoption list.
+  std::vector<RecordedThread> recorded_threads() const;
+
+  // --- misc --------------------------------------------------------------
+
+  /// Soft-dirty baseline latch for the incremental checkpoint: true once a
+  /// full round has been written *and* the process soft-dirty bits cleared,
+  /// i.e. pagemap deltas are meaningful against the file contents.
+  bool soft_dirty_armed() const { return soft_dirty_armed_; }
+  void set_soft_dirty_armed(bool armed) { soft_dirty_armed_ = armed; }
+
+  /// fdatasync the backing file (durability against machine crash; kill -9
+  /// survival needs nothing — the page cache persists).
+  void sync();
+
+  SlotStoreStats stats() const;
+
+ private:
+  uint64_t file_off(size_t first) const;
+  StoreDirEntry* entry_of(uint64_t id);
+  const StoreDirEntry* entry_of(uint64_t id) const;
+
+  Area& area_;
+  SlotStoreConfig config_;
+  int fd_ = -1;
+  sys::FileMapping meta_;     // header + directory
+  StoreHeader* hdr_ = nullptr;
+  StoreDirEntry* dir_ = nullptr;
+  bool recovered_ = false;
+  bool soft_dirty_armed_ = false;
+  mutable sys::SpinLock lock_;  // directory scans/updates
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> fault_backs_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+};
+
+}  // namespace pm2::iso

@@ -498,6 +498,7 @@ bool Scheduler::freeze(Thread* t) {
         deque_unlink(w, t);
         w.ready.fetch_sub(1);
         t->state = ThreadState::kFrozen;
+        t->cold_ns = now_ns();  // demotion-age stamp for the slot store
         w.lock.unlock();
         return true;
       }

@@ -108,6 +108,10 @@ struct Thread {
   /// to that thread's fake-stack allocator, so a resume on a different
   /// worker (steal) must hand ASan null instead — same rule as migration.
   uint32_t san_worker = kNoWorker;
+  /// now_ns() when the thread last went cold (frozen by the scheduler or
+  /// parked in the invocation pool).  The slot store's decay pass ranks
+  /// demotion candidates by this stamp — coldest first.
+  uint64_t cold_ns = 0;
 
   static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
   static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration

@@ -69,6 +69,7 @@ int run_inproc(const AppConfig& config,
         fc.node_id = i;
         fc.n_nodes = config.nodes;
         fc.dir = sock_dir;
+        fc.allow_reconnect = config.fabric_reconnect;
         fab = fabric::make_socket_fabric(fc);  // blocks until the mesh is up
       } else {
         fab = hub->endpoint(i);
@@ -106,6 +107,8 @@ int run_as_child(const AppConfig& config,
     fc.use_tcp = true;
     fc.base_port = static_cast<uint16_t>(std::atoi(port));
   }
+  fc.allow_reconnect =
+      config.fabric_reconnect || std::getenv("PM2_MP_RECONNECT") != nullptr;
 
   RuntimeConfig rc = config.rt;
   rc.node = node;
@@ -137,6 +140,7 @@ int spawn_children(const AppConfig& config) {
                           : static_cast<uint16_t>(20000 + (::getpid() % 20000));
       env.push_back("PM2_MP_PORT=" + std::to_string(port));
     }
+    if (config.fabric_reconnect) env.push_back("PM2_MP_RECONNECT=1");
     pids.push_back(sys::spawn(exe, config.child_args, env));
   }
   int worst = 0;

@@ -31,6 +31,11 @@ struct AppConfig {
   bool socket_fabric = false;
   bool use_tcp = false;          // multiprocess only: TCP instead of UDS
   uint16_t base_port = 0;        // 0 = derive from pid
+  /// Socket-fabric crash-restart mode (SocketFabricConfig::allow_reconnect):
+  /// a node process may die and be respawned mid-session; peers hold sends
+  /// to it until it reconnects.  Forwarded to spawned children via
+  /// PM2_MP_RECONNECT.
+  bool fabric_reconnect = false;
   iso::AreaConfig area;
   RuntimeConfig rt;              // node/n_nodes overwritten per node
   /// argv[1..] to forward to spawned node processes so their main() takes

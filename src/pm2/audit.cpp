@@ -16,16 +16,29 @@ struct HeldRun {
   uint64_t thread;
   uint64_t first;
   uint32_t count;
+  uint8_t demoted;  // run's bytes live in the node's slot store file
 };
 
 /// Inventory of slot runs held by the threads registered on one node —
 /// plus the invocation pool's parked service threads, which sit off the
-/// scheduler registry but still own their stack run.
+/// scheduler registry but still own their stack run.  Demoted threads are
+/// inventoried from their demotion record: their slot chain (descriptor
+/// included) is PROT_NONE, so not a single descriptor field may be read —
+/// exactly-one-owner must keep covering runs whose bytes live in the store
+/// file, and this is where that coverage comes from.
 std::vector<HeldRun> local_inventory(Runtime& rt) {
   std::vector<HeldRun> runs;
   auto add = [&](marcel::Thread* t) {
+    marcel::ThreadId id = 0;
+    std::vector<iso::SlotRun> demoted;
+    if (rt.demoted_info(t, &id, &demoted)) {
+      for (auto [first, count] : demoted) {
+        runs.push_back(HeldRun{id, first, count, 1});
+      }
+      return;
+    }
     iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* s) {
-      runs.push_back(HeldRun{t->id, rt.area().slot_of(s), s->nslots});
+      runs.push_back(HeldRun{t->id, rt.area().slot_of(s), s->nslots, 0});
     });
   };
   rt.sched().for_each(add);
@@ -39,6 +52,7 @@ void pack_inventory(ByteWriter& w, const std::vector<HeldRun>& runs) {
     w.put<uint64_t>(r.thread);
     w.put<uint64_t>(r.first);
     w.put<uint32_t>(r.count);
+    w.put<uint8_t>(r.demoted);
   }
 }
 
@@ -51,6 +65,7 @@ std::vector<HeldRun> unpack_inventory(ByteReader& r) {
     run.thread = r.get<uint64_t>();
     run.first = r.get<uint64_t>();
     run.count = r.get<uint32_t>();
+    run.demoted = r.get<uint8_t>();
     runs.push_back(run);
   }
   return runs;
@@ -80,6 +95,10 @@ std::string AuditReport::summary() const {
   os << (ok ? "OK" : "VIOLATIONS") << ": slots=" << total_slots
      << " node_owned=" << node_owned << " thread_owned=" << thread_owned
      << " threads=" << threads_seen;
+  if (threads_demoted != 0) {
+    os << " demoted=" << threads_demoted << " (slots=" << demoted_slots
+       << ")";
+  }
   for (const auto& v : violations) os << "\n  ! " << v;
   return os.str();
 }
@@ -153,7 +172,16 @@ AuditReport audit_session(Runtime& rt) {
   std::map<uint64_t, bool> threads;
   Bitmap held_map(report.total_slots);
   for (const HeldRun& r : held) {
-    threads[r.thread] = true;
+    auto ins = threads.emplace(r.thread, r.demoted != 0);
+    // A thread's runs are either all resident or all demoted (demotion is
+    // whole-thread): a mix means a torn demotion record.
+    if (!ins.second && ins.first->second != (r.demoted != 0))
+      violate("thread " + std::to_string(r.thread) +
+              " mixes demoted and resident runs");
+    if (r.demoted != 0) {
+      report.demoted_slots += r.count;
+      if (ins.second) ++report.threads_demoted;
+    }
     report.thread_owned += r.count;
     for (uint64_t s = r.first; s < r.first + r.count; ++s) {
       if (global.test(s))

@@ -34,6 +34,11 @@ struct AuditReport {
   uint64_t node_owned = 0;    // free slots across all bitmaps
   uint64_t thread_owned = 0;  // slots in some thread's list
   uint64_t threads_seen = 0;  // live threads across the session
+  /// Threads whose runs were demoted to a slot store at audit time, and the
+  /// slots those runs span.  Demoted runs still count toward thread_owned:
+  /// exactly-one-owner covers them through the demotion records.
+  uint64_t threads_demoted = 0;
+  uint64_t demoted_slots = 0;
   std::vector<std::string> violations;
 
   std::string summary() const;

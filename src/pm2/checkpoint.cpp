@@ -4,9 +4,12 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/serialize.hpp"
+#include "pm2/api.hpp"
 #include "pm2/migration.hpp"
 #include "pm2/runtime.hpp"
+#include "sys/vm.hpp"
 
 namespace pm2 {
 
@@ -64,6 +67,9 @@ std::vector<uint8_t> checkpoint_thread(Runtime& rt, marcel::ThreadId id) {
   rt.sched().pause_workers();
   marcel::Thread* t = rt.sched().find(id);
   PM2_CHECK(t != nullptr) << "checkpoint: no thread " << id << " here";
+  // A demoted thread's descriptor (and everything the pack walk reads) is
+  // PROT_NONE until its runs fault back in.
+  rt.ensure_resident(t);
   PM2_CHECK(!t->is_pinned()) << "checkpoint: pinned thread";
   bool frozen = rt.sched().freeze(t);
   rt.sched().resume_workers();
@@ -109,10 +115,20 @@ marcel::ThreadId restore_thread(Runtime& rt,
 
   // The image's slot ranges must be re-claimed from this node before the
   // install may commit them (they were released when the original thread
-  // died — or never claimed, after a process restart).
+  // died — or never claimed, after a process restart).  A just-exited
+  // original releases its slots in the exit reaper, which runs on the
+  // exiting worker's scheduler stack — under SMP that reaper can still be
+  // in flight when a restore races it off the exit signal, so a failed
+  // claim gets a bounded grace window before it is treated as "original
+  // still alive / foreign node".
   auto runs = payload_slot_runs(payload, payload_len);
   for (auto [first, count] : runs) {
-    PM2_CHECK(rt.acquire_slots_at(first, count))
+    bool claimed = rt.acquire_slots_at(first, count);
+    for (int spin = 0; !claimed && spin < 200; ++spin) {
+      pm2_sleep_us(1000);
+      claimed = rt.acquire_slots_at(first, count);
+    }
+    PM2_CHECK(claimed)
         << "restore: slot run [" << first << ", +" << count
         << ") is not free on this node (original thread still alive, or the "
            "slots belong to another node — restore on the owning node)";
@@ -131,6 +147,185 @@ void save_checkpoint(const std::string& path,
   f.write(reinterpret_cast<const char*>(image.data()),
           static_cast<std::streamsize>(image.size()));
   PM2_CHECK(f.good()) << "short write to " << path;
+}
+
+namespace {
+
+/// One thread's image for the store checkpoint.  `slots` are the chain's
+/// slot headers (for the live-extent fallback); `runs` the matching
+/// (first, count) pairs recorded in the directory.
+void store_write_thread(Runtime& rt, iso::SlotStore* store, marcel::Thread* t,
+                        const std::vector<iso::SlotHeader*>& slots,
+                        const std::vector<iso::SlotRun>& runs,
+                        bool incremental, StoreCheckpointStats& stats) {
+  const size_t slot_size = rt.area().slot_size();
+  const size_t ps = sys::page_size();
+  for (size_t r = 0; r < runs.size(); ++r) {
+    auto [first, count] = runs[r];
+    const auto base = reinterpret_cast<uintptr_t>(slots[r]);
+    const size_t len = size_t{count} * slot_size;
+    if (!incremental) {
+      stats.bytes_written += store->write_run(first, count);
+      continue;
+    }
+    std::vector<uint8_t> dirty;
+    if (sys::read_soft_dirty(base, len, dirty)) {
+      // Kernel soft-dirty delta: write only the pages touched since the
+      // last checkpoint's clear_refs baseline.
+      size_t i = 0;
+      while (i < dirty.size()) {
+        if (dirty[i] == 0) {
+          stats.bytes_skipped += ps;
+          ++i;
+          continue;
+        }
+        size_t j = i;
+        while (j < dirty.size() && dirty[j] != 0) ++j;
+        stats.bytes_written += store->write_range(base + i * ps, (j - i) * ps);
+        i = j;
+      }
+    } else {
+      // pagemap unavailable: rewrite the frozen thread's live extents (the
+      // migration §6 walk) — dead stack and free-block payloads in the
+      // file may go stale, which is exactly what makes them dead.
+      uint64_t live = 0;
+      for (auto [off, elen] : run_live_extents(rt, t, slots[r])) {
+        stats.bytes_written += store->write_range(base + off, elen);
+        live += elen;
+      }
+      stats.bytes_skipped += len - live;
+    }
+  }
+}
+
+}  // namespace
+
+StoreCheckpointStats checkpoint_node_to_store(Runtime& rt) {
+  iso::SlotStore* store = rt.slot_store();
+  PM2_CHECK(store != nullptr) << "checkpoint_node_to_store: no slot store "
+                                 "(set RuntimeConfig::slot_store_dir)";
+  StoreCheckpointStats stats;
+  const size_t slot_size = rt.area().slot_size();
+  const bool soft_dirty = sys::soft_dirty_supported();
+  stats.incremental = soft_dirty && store->soft_dirty_armed();
+
+  marcel::Thread* self = marcel::Scheduler::self();
+  rt.sched().pause_workers();
+
+  // Pass 1 under the pause: pick the checkpointable threads.  Demoted
+  // threads must not have a single field read — their descriptor is
+  // PROT_NONE — and need no I/O at all: the bytes written at demotion are
+  // still exact (nothing could have touched the protected pages), so the
+  // record made then *is* this round's checkpoint.
+  std::vector<marcel::Thread*> targets;
+  rt.sched().for_each([&](marcel::Thread* t) {
+    std::vector<iso::SlotRun> druns;
+    if (rt.demoted_info(t, nullptr, &druns)) {
+      for (auto [first, count] : druns) {
+        (void)first;
+        stats.bytes_skipped += uint64_t{count} * slot_size;
+      }
+      ++stats.threads;
+      return;
+    }
+    if (t == self || t->is_daemon()) return;
+    if (t->state != marcel::ThreadState::kReady &&
+        t->state != marcel::ThreadState::kFrozen) {
+      PM2_WARN << "checkpoint_node_to_store: thread " << t->id << " is "
+               << marcel::to_string(t->state) << "; not persisted";
+      return;
+    }
+    targets.push_back(t);
+  });
+
+  for (marcel::Thread* t : targets) {
+    // Quiesce READY targets exactly like a migration; frozen ones are
+    // already quiescent and stay frozen afterwards.
+    const bool was_ready = t->state == marcel::ThreadState::kReady;
+    if (was_ready && !rt.sched().freeze(t)) {
+      PM2_WARN << "checkpoint_node_to_store: cannot freeze thread " << t->id
+               << "; not persisted";
+      continue;
+    }
+    std::vector<iso::SlotHeader*> slots;
+    std::vector<iso::SlotRun> runs;
+    iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* s) {
+      slots.push_back(s);
+      runs.emplace_back(rt.area().slot_of(s), s->nslots);
+    });
+    // A thread first seen this round gets a full image even in an
+    // incremental round — the file has no base for it to diff against.
+    const bool fresh = !store->has_record(t->id);
+    if (store->record_thread(t->id, reinterpret_cast<uint64_t>(t), runs)) {
+      store_write_thread(rt, store, t, slots, runs,
+                         stats.incremental && !fresh, stats);
+      store->seal_thread(t->id);
+      ++stats.threads;
+    }
+    if (was_ready) rt.sched().unfreeze(t);
+  }
+
+  // Reset the dirty baseline: the file now mirrors memory, so the next
+  // round only needs pages touched from here on.  If clear_refs fails the
+  // latch disarms and the next round writes full images again.
+  if (soft_dirty) store->set_soft_dirty_armed(sys::clear_soft_dirty());
+  store->sync();
+  rt.sched().resume_workers();
+  return stats;
+}
+
+std::vector<marcel::ThreadId> restore_node_from_store(Runtime& rt) {
+  iso::SlotStore* store = rt.slot_store();
+  PM2_CHECK(store != nullptr && store->recovered())
+      << "restore_node_from_store needs a store opened with "
+         "RuntimeConfig::slot_store_recover = true";
+  std::vector<marcel::ThreadId> restored;
+  for (const auto& rec : store->recorded_threads()) {
+    // Runtime construction pre-reserved the recorded runs of a recovered
+    // store; take that reservation if it exists, else re-claim the runs
+    // from this node's distribution.  All or nothing: a partial claim is
+    // rolled back and the thread skipped.
+    if (!rt.take_restore_reservation(rec.id)) {
+      size_t claimed = 0;
+      bool ok = true;
+      for (auto [first, count] : rec.runs) {
+        if (!rt.acquire_slots_at(first, count)) {
+          ok = false;
+          break;
+        }
+        ++claimed;
+      }
+      if (!ok) {
+        for (size_t i = 0; i < claimed; ++i) {
+          rt.release_slots(rec.runs[i].first, rec.runs[i].second);
+        }
+        PM2_WARN << "restore_node_from_store: slot runs of thread " << rec.id
+                 << " are not free here; restore it on the owning node";
+        continue;
+      }
+    }
+    for (auto [first, count] : rec.runs) {
+      rt.area().commit(first, count);
+      store->read_run(first, count);
+    }
+    auto* t = reinterpret_cast<marcel::Thread*>(rec.desc_addr);
+    PM2_CHECK(t->magic == marcel::Thread::kMagic)
+        << "slot store record for thread " << rec.id
+        << " did not reconstruct a valid descriptor";
+    PM2_CHECK(t->canary_ok())
+        << "restored stack arrived corrupt (thread " << rec.id << ")";
+    // Same arrival hygiene as a migration install: never park a restored
+    // shell in the pool, and never hand ASan a dead process's fake-stack.
+    t->flags &= ~marcel::Thread::kFlagService;
+    t->flags |= marcel::Thread::kFlagRestored;
+    t->san_fake_stack = nullptr;
+    // The restored id was minted by this node's previous incarnation —
+    // keep the fresh counter from re-issuing it.
+    rt.ensure_thread_id_floor(t->id);
+    rt.sched().adopt(t);
+    restored.push_back(t->id);
+  }
+  return restored;
 }
 
 std::vector<uint8_t> load_checkpoint(const std::string& path) {

@@ -73,4 +73,42 @@ marcel::ThreadId restore_thread(Runtime& rt, const std::vector<uint8_t>& image);
 void save_checkpoint(const std::string& path, const std::vector<uint8_t>& image);
 std::vector<uint8_t> load_checkpoint(const std::string& path);
 
+// --- node checkpoints through the slot store (PM2STOR1) ---------------------
+//
+// Where PM2CKPT1 serializes ONE thread into a flat self-contained image,
+// the slot store checkpoint persists EVERY checkpointable thread of a node
+// into the node's iso::SlotStore backing file: thread-directory records
+// name the images, and slot bytes land at their fixed file positions
+// (data_off + slot_index * slot_size) — the file is an address-stable
+// mirror of the iso-area, so repeated checkpoints overwrite in place and
+// only need to rewrite what changed.  Incremental rounds track dirty pages
+// with the kernel's soft-dirty bits (/proc/self/clear_refs + pagemap bit
+// 55) and fall back to the thread's live extents (the migration §6 walk)
+// where pagemap is unavailable.
+
+struct StoreCheckpointStats {
+  uint64_t threads = 0;        // threads persisted this round
+  uint64_t bytes_written = 0;  // slot bytes written to the store file
+  uint64_t bytes_skipped = 0;  // clean bytes an incremental round avoided
+  bool incremental = false;    // this round wrote deltas, not full images
+};
+
+/// Persist every checkpointable thread of this node into its slot store:
+/// READY and frozen threads get directory records + slot images; demoted
+/// threads are already byte-exact in the file (their record was written at
+/// demotion) and are skipped as pure savings; running (the caller),
+/// blocked and daemon threads are not checkpointable and are skipped with
+/// a warning for blocked ones.  The first round writes full images and
+/// arms soft-dirty tracking; later rounds write only dirty pages.
+/// Requires RuntimeConfig::slot_store_dir.
+StoreCheckpointStats checkpoint_node_to_store(Runtime& rt);
+
+/// Crash restart: adopt every thread recorded in a recovered slot store
+/// (RuntimeConfig::slot_store_recover = true).  Claims each thread's slot
+/// runs, reads the images back at their iso-addresses and reschedules the
+/// threads; returns their ids.  Threads whose runs are not free on this
+/// node (another node's distribution) are skipped with a warning — restore
+/// on the owning node.  Call from the restarted node's main thread.
+std::vector<marcel::ThreadId> restore_node_from_store(Runtime& rt);
+
 }  // namespace pm2

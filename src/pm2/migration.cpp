@@ -143,10 +143,26 @@ size_t migration_payload_size(Runtime& rt, marcel::Thread* t,
   return pack_thread_chain(rt, t, blocks_only).size();
 }
 
+std::vector<std::pair<uint64_t, uint64_t>> run_live_extents(
+    Runtime& rt, marcel::Thread* t, iso::SlotHeader* slot) {
+  std::vector<Extent> extents = live_extents(slot, rt.area().slot_size(), t);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(extents.size());
+  for (const Extent& e : extents) out.emplace_back(e.offset, e.len);
+  return out;
+}
+
 void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest,
                  uint64_t ack_corr) {
   PM2_CHECK(dest != rt.self());
+  // Demoted runs fault back through the store before any descriptor field
+  // (including t->id below) is readable; the pack walk needs the bytes hot
+  // anyway.  The thread's directory record — if a demotion or checkpoint
+  // left one — no longer describes slots this node owns once the thread
+  // ships, so a crash restart here must not resurrect it.
+  rt.ensure_resident(t);
   PM2_TRACE << "shipping thread " << t->id << " to node " << dest;
+  if (auto* store = rt.slot_store()) store->erase_thread(t->id);
 
   // Observer hook (pm2_set_pre_migration_func): the thread is frozen but
   // still entirely resident — the hook may inspect it, not unfreeze it.

@@ -14,6 +14,7 @@
 #include "common/log.hpp"
 #include "common/time.hpp"
 #include "isomalloc/block.hpp"
+#include "pm2/checkpoint.hpp"
 #include "pm2/migration.hpp"
 #include "sys/sanitizer.hpp"
 
@@ -84,6 +85,45 @@ Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
     shard->cap = config_.invocation_pool / nw +
                  (i < config_.invocation_pool % nw ? 1 : 0);
     pool_shards_.push_back(std::move(shard));
+  }
+  if (!config_.slot_store_dir.empty()) {
+    iso::SlotStoreConfig sc;
+    sc.path = config_.slot_store_dir + "/node" +
+              std::to_string(config_.node) + ".store";
+    sc.recover = config_.slot_store_recover;
+    store_ = std::make_unique<iso::SlotStore>(
+        area_, sc, binary_stamp(), config_.node, config_.n_nodes);
+    if (store_->recovered()) {
+      // Fence off every recorded image before this node serves anything:
+      // a pending RPC racing the restart would otherwise allocate a
+      // service stack over a recorded thread's slots and make the restore
+      // impossible.  restore_node_from_store() takes these reservations
+      // instead of re-acquiring.
+      for (const auto& rec : store_->recorded_threads()) {
+        // Also fence the id space: a service thread spawned by that same
+        // racing RPC must not mint a recorded thread's id before the
+        // restore adopts it.
+        ensure_thread_id_floor(rec.id);
+        size_t claimed = 0;
+        bool ok = true;
+        for (auto [first, count] : rec.runs) {
+          if (!acquire_slots_at(first, count)) {
+            ok = false;
+            break;
+          }
+          ++claimed;
+        }
+        if (!ok) {
+          for (size_t i = 0; i < claimed; ++i) {
+            release_slots(rec.runs[i].first, rec.runs[i].second);
+          }
+          PM2_WARN << "recovered store: slot runs of thread " << rec.id
+                   << " are not locally free; left unreserved";
+          continue;
+        }
+        restore_reserved_.insert(rec.id);
+      }
+    }
   }
 }
 
@@ -214,6 +254,10 @@ bool Runtime::join(marcel::ThreadId id) { return sched_.join(id); }
 
 void Runtime::reap_thread(marcel::Thread* t) {
   trace_event(trace::Event::kThreadExit, t->id);
+  // An exited thread's slots return to circulation, so a checkpoint record
+  // naming them must not survive — a crash restart adopting it would claim
+  // runs that may belong to someone else by then.
+  if (store_ != nullptr) store_->erase_thread(t->id);
   // Runs on the scheduler stack: the thread is off its stack for good.
   // Its frames never unwound, so their redzone poison is still in shadow;
   // scrub it before the slots are recycled (the slot cache hands released
@@ -248,6 +292,7 @@ void Runtime::reap_thread(marcel::Thread* t) {
       uint32_t me = marcel::Scheduler::current_worker();
       if (me == marcel::kNoWorker || me >= pool_shards_.size()) me = 0;
       bool parked = false;
+      t->cold_ns = now_ns();  // demotion-age stamp (see store_decay)
       for (size_t k = 0; k < pool_shards_.size() && !parked; ++k) {
         PoolShard& shard = *pool_shards_[(me + k) % pool_shards_.size()];
         shard.lock.lock();
@@ -296,6 +341,10 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
   }
   if (t != nullptr) {
     ++pool_hits_;
+    // A demoted parked thread must be byte-identical in RAM before rearm()
+    // rebuilds its context (rearm reads the descriptor and unpoisons the
+    // stack — both live in the demoted run).
+    ensure_resident(t);
     marcel::ThreadId id = next_thread_id();
     // The slot header's owner id is diagnostics; keep it in step with the
     // recycled identity.
@@ -313,6 +362,8 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
 
 void Runtime::pool_release_entry(marcel::Thread* t) {
   ++pool_evictions_;
+  // Releasing walks the slot chain, so a demoted entry comes back first.
+  ensure_resident(t);
   // Lift the park poison: the slot run re-enters general circulation (heap
   // slots, fresh stacks) and must be addressable for its next tenant.
   sys::san_unpoison(t->stack_base, t->stack_size());
@@ -376,6 +427,212 @@ void Runtime::for_each_parked(
   for (const auto& shard_ptr : pool_shards_) {
     sys::SpinGuard g(shard_ptr->lock);
     for (const PoolEntry& e : shard_ptr->entries) fn(e.thread);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slot store: buffer-managed slot residency
+// ---------------------------------------------------------------------------
+
+bool Runtime::demote_locked(marcel::Thread* t, bool parked) {
+  std::vector<iso::SlotRun> runs;
+  size_t bytes = 0;
+  iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* s) {
+    runs.emplace_back(area_.slot_of(s), s->nslots);
+    bytes += size_t{s->nslots} * area_.slot_size();
+  });
+  marcel::ThreadId id = t->id;
+  // Frozen threads get a directory record too: their file image is a
+  // complete, current checkpoint (PROT_NONE pages cannot go stale), so a
+  // crash restart adopts them for free.  Parked pool shells are dead
+  // invocations — their bytes back the fault-back path only, never a
+  // restart.
+  if (!parked && store_->record_thread(id, reinterpret_cast<uint64_t>(t),
+                                       runs) == false) {
+    return false;  // too many runs for the directory: stays resident
+  }
+  if (runs.size() > iso::StoreDirEntry::kMaxRuns) return false;
+  for (const iso::SlotRun& r : runs) store_->demote(r.first, r.second);
+  if (!parked) store_->seal_thread(id);
+  store_lock_.lock();
+  demoted_.emplace(t, DemotedRec{id, std::move(runs), bytes, parked});
+  store_lock_.unlock();
+  demoted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Runtime::ensure_resident(marcel::Thread* t) {
+  if (store_ == nullptr) return;
+  store_lock_.lock();
+  auto it = demoted_.find(t);
+  if (it == demoted_.end()) {
+    store_lock_.unlock();
+    return;
+  }
+  DemotedRec rec = std::move(it->second);
+  demoted_.erase(it);
+  // The fault-back I/O completes under the lock: a second resumer (or the
+  // audit walking inventories) must never observe the record gone while
+  // the bytes are still on their way in.
+  for (const iso::SlotRun& r : rec.runs) store_->fault_back(r.first, r.second);
+  if (rec.parked) {
+    // Re-establish the park poison the demotion round trip scrubbed: a
+    // parked stack stays a use-after-return tripwire until rearm().
+    sys::san_poison(t->stack_base, t->stack_size());
+  }
+  store_lock_.unlock();
+  demoted_bytes_.fetch_sub(rec.bytes, std::memory_order_relaxed);
+  fault_backs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Runtime::thread_demoted(marcel::ThreadId id) const {
+  sys::SpinGuard g(store_lock_);
+  for (const auto& kv : demoted_) {
+    if (kv.second.id == id) return true;
+  }
+  return false;
+}
+
+bool Runtime::demoted_runs(marcel::ThreadId id,
+                           std::vector<iso::SlotRun>* out) const {
+  sys::SpinGuard g(store_lock_);
+  for (const auto& kv : demoted_) {
+    if (kv.second.id == id) {
+      if (out != nullptr) *out = kv.second.runs;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Runtime::demoted_info(marcel::Thread* t, marcel::ThreadId* id,
+                           std::vector<iso::SlotRun>* runs) const {
+  sys::SpinGuard g(store_lock_);
+  auto it = demoted_.find(t);
+  if (it == demoted_.end()) return false;
+  if (id != nullptr) *id = it->second.id;
+  if (runs != nullptr) *runs = it->second.runs;
+  return true;
+}
+
+size_t Runtime::demoted_count() const {
+  sys::SpinGuard g(store_lock_);
+  return demoted_.size();
+}
+
+bool Runtime::freeze_thread(marcel::ThreadId id) {
+  sched_.pause_workers();
+  marcel::Thread* t = sched_.find(id);
+  // A demoted thread is already frozen (and its descriptor is PROT_NONE):
+  // refuse before any field access.
+  bool ok = t != nullptr && t != marcel::Scheduler::self() &&
+            !thread_demoted(id) && sched_.freeze(t);
+  sched_.resume_workers();
+  return ok;
+}
+
+bool Runtime::unfreeze_thread(marcel::ThreadId id) {
+  sched_.pause_workers();
+  marcel::Thread* t = sched_.find(id);
+  bool ok = t != nullptr;
+  if (ok) {
+    ensure_resident(t);
+    ok = t->state == marcel::ThreadState::kFrozen;
+    if (ok) sched_.unfreeze(t);
+  }
+  sched_.resume_workers();
+  return ok;
+}
+
+bool Runtime::demote_thread(marcel::ThreadId id) {
+  if (store_ == nullptr) return false;
+  sched_.pause_workers();
+  marcel::Thread* t = sched_.find(id);
+  bool ok = t != nullptr && !thread_demoted(id) &&
+            t->state == marcel::ThreadState::kFrozen;
+  if (ok) ok = demote_locked(t, /*parked=*/false);
+  sched_.resume_workers();
+  return ok;
+}
+
+void Runtime::store_decay(uint64_t now) {
+  if (store_ == nullptr || config_.slot_store_budget == SIZE_MAX) return;
+  const uint64_t horizon = config_.slot_store_decay_us * 1000;
+  // Cheap racy pre-scan (no pause): is any cold thread past the horizon
+  // and still resident?  Reads only age stamps and the demoted map — never
+  // a demoted thread's (PROT_NONE) descriptor, because demoted threads are
+  // filtered by pointer before any field access.
+  bool candidates = false;
+  auto prescan = [&](marcel::Thread* t, bool parked) {
+    if (candidates) return;
+    store_lock_.lock();
+    bool demoted = demoted_.count(t) > 0;
+    store_lock_.unlock();
+    if (demoted) return;
+    // Registered threads must be frozen to qualify; parked pool shells
+    // (kDead) are cold by construction.
+    if (!parked && t->state != marcel::ThreadState::kFrozen) return;
+    if (now - t->cold_ns >= horizon) candidates = true;
+  };
+  sched_.for_each([&](marcel::Thread* t) { prescan(t, false); });
+  if (!candidates) {
+    for_each_parked([&](marcel::Thread* t) { prescan(t, true); });
+  }
+  if (!candidates) return;
+
+  // Authoritative pass under the worker pause: no unfreeze/re-arm/pack can
+  // race the page-out.
+  sched_.pause_workers();
+  struct Cand {
+    marcel::Thread* t;
+    uint64_t cold_ns;
+    bool parked;
+  };
+  std::vector<Cand> cold;
+  size_t resident_cold = 0;
+  auto consider = [&](marcel::Thread* t, bool parked) {
+    store_lock_.lock();
+    bool demoted = demoted_.count(t) > 0;
+    store_lock_.unlock();
+    if (demoted) return;  // already paid for
+    if (!parked && t->state != marcel::ThreadState::kFrozen) return;
+    size_t bytes = 0;
+    iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* s) {
+      bytes += size_t{s->nslots} * area_.slot_size();
+    });
+    resident_cold += bytes;
+    cold.push_back(Cand{t, t->cold_ns, parked});
+  };
+  sched_.for_each([&](marcel::Thread* t) { consider(t, false); });
+  for_each_parked([&](marcel::Thread* t) { consider(t, true); });
+  // Coldest first: stable eviction order a test can pin down.
+  std::sort(cold.begin(), cold.end(),
+            [](const Cand& a, const Cand& b) { return a.cold_ns < b.cold_ns; });
+  for (const Cand& c : cold) {
+    if (resident_cold <= config_.slot_store_budget) break;
+    if (now - c.cold_ns < horizon) break;  // sorted: the rest are younger
+    size_t before = demoted_bytes_.load(std::memory_order_relaxed);
+    if (demote_locked(c.t, c.parked)) {
+      resident_cold -=
+          demoted_bytes_.load(std::memory_order_relaxed) - before;
+    }
+  }
+  sched_.resume_workers();
+}
+
+bool Runtime::take_restore_reservation(uint64_t id) {
+  sys::SpinGuard g(store_lock_);
+  return restore_reserved_.erase(id) != 0;
+}
+
+void Runtime::ensure_thread_id_floor(marcel::ThreadId id) {
+  if ((id >> 40) != config_.node) return;  // minted elsewhere: no clash
+  uint64_t seq = id & ((uint64_t{1} << 40) - 1);
+  uint64_t cur = thread_counter_.load(std::memory_order_relaxed);
+  while (cur < seq &&
+         !thread_counter_.compare_exchange_weak(cur, seq,
+                                                std::memory_order_relaxed)) {
   }
 }
 
@@ -513,13 +770,21 @@ void Runtime::migrate_self(uint32_t dest) {
 bool Runtime::migrate(marcel::ThreadId id, uint32_t dest) {
   PM2_CHECK(dest < config_.n_nodes);
   marcel::Thread* t = sched_.find(id);
-  if (t == nullptr || t->is_pinned()) return false;
+  if (t == nullptr) return false;
+  // A demoted thread's descriptor is PROT_NONE: fault it back before any
+  // field access.  (Registry + demoted ⇒ frozen, so this is the
+  // freeze → demote → migrate tier cycle; the pack below reads the runs.)
+  ensure_resident(t);
+  if (t->is_pinned()) return false;
   if (dest == config_.node) return true;  // already there
   if (t == marcel::Scheduler::self()) {
     migrate_self(dest);
     return true;
   }
-  if (!sched_.freeze(t)) return false;  // running or blocked
+  if (t->state != marcel::ThreadState::kFrozen &&  // caller-frozen: ship as is
+      !sched_.freeze(t)) {
+    return false;  // running or blocked
+  }
   ++migrations_out_;
   ship_thread(*this, t, dest);
   return true;
@@ -539,6 +804,7 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
     promise.set_error("no such thread on this node");
     return fut;
   }
+  ensure_resident(t);  // demoted descriptor is PROT_NONE until faulted back
   if (dest == config_.node) {
     promise.set_value(MigrateResult{id, dest});  // already there
     return fut;
@@ -547,7 +813,8 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
     promise.set_error("migrate_async cannot move the caller; use migrate_self");
     return fut;
   }
-  if (t->is_pinned() || !sched_.freeze(t)) {
+  if (t->is_pinned() ||
+      (t->state != marcel::ThreadState::kFrozen && !sched_.freeze(t))) {
     promise.set_error("thread not migratable (pinned, running, or blocked)");
     return fut;
   }
@@ -1064,8 +1331,10 @@ void Runtime::comm_daemon_body() {
     // RPC/migration ping-pong without spinning on truly idle nodes).
     uint64_t now = now_ns();
     // Idle lap: evict invocation-pool threads past the decay horizon so
-    // their stack slots rejoin the node's distribution.
+    // their stack slots rejoin the node's distribution, and demote cold
+    // frozen/parked threads over the slot-store budget to the backing file.
     pool_decay(now);
+    store_decay(now);
     uint64_t timer_ns = sched_.ns_until_next_timer();
     uint64_t deadline =
         now + std::min<uint64_t>(timer_ns, kIdleBlockNs);

@@ -32,6 +32,7 @@
 #include <tuple>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "isomalloc/area.hpp"
 #include "isomalloc/heap.hpp"
 #include "isomalloc/slot_manager.hpp"
+#include "isomalloc/slot_store.hpp"
 #include "madeleine/buffers.hpp"
 #include "madeleine/channel.hpp"
 #include "madeleine/typed.hpp"
@@ -236,6 +238,23 @@ struct RuntimeConfig {
   /// environment variable if set, else 1 (the historical single-loop
   /// scheduler).  Clamped to [1, hardware_concurrency].
   uint32_t workers = 0;
+  /// Slot store (iso::SlotStore): directory holding this node's backing
+  /// file ("" disables the store entirely — no demotion, no
+  /// checkpoint_node_to_store, no crash restart).
+  std::string slot_store_dir;
+  /// Resident-byte budget for *cold* threads (frozen + parked): when their
+  /// committed slot bytes exceed this, the comm daemon's idle decay
+  /// demotes the coldest ones to the backing file until back under budget.
+  /// SIZE_MAX (default) never demotes by decay — explicit demote_thread()
+  /// and the checkpoint/restart paths still work.
+  size_t slot_store_budget = SIZE_MAX;
+  /// Only cold threads idle at least this long are demotion candidates
+  /// (mirrors invocation_pool_decay_us for the pool itself).
+  uint64_t slot_store_decay_us = 500'000;
+  /// Re-open an existing store file and validate its header instead of
+  /// truncating it — the crash-restart path (restore_node_from_store then
+  /// adopts the recorded threads).
+  bool slot_store_recover = false;
 
   /// The worker count run() will actually use (auto/env/clamp applied).
   uint32_t resolved_workers() const;
@@ -555,6 +574,68 @@ class Runtime {
   const std::vector<uint64_t>& load_table() const { return load_table_; }
   void broadcast_load();
 
+  // --- slot store (buffer-managed residency + persistence) -------------------
+
+  /// The node's slot store, or nullptr when RuntimeConfig::slot_store_dir
+  /// is empty.
+  iso::SlotStore* slot_store() { return store_.get(); }
+
+  /// Freeze a READY thread of this node (pause-gated, so it works at any
+  /// worker count) — the runtime-level companion of unfreeze_thread().
+  bool freeze_thread(marcel::ThreadId id);
+  /// Fault a frozen thread's runs back in if demoted, then reschedule it.
+  /// Demotion-aware code must use this instead of sched().unfreeze().
+  bool unfreeze_thread(marcel::ThreadId id);
+  /// Demote a frozen thread's slot runs to the backing file right now,
+  /// bypassing the decay age/budget policy (tests, bench).  False when the
+  /// thread is unknown, not frozen, already demoted, or spans too many
+  /// runs for the store directory.
+  bool demote_thread(marcel::ThreadId id);
+  /// The choke point every resume path funnels through (unfreeze, pool
+  /// re-arm, migration pack, checkpoint, pool release): if `t` was
+  /// demoted, fault its runs back in — re-applying park poison for pool
+  /// entries — and drop the demotion record.  No-op for resident threads.
+  void ensure_resident(marcel::Thread* t);
+  /// Decay pass (comm daemon idle laps, beside pool_decay): demote cold
+  /// threads past slot_store_decay_us, coldest first, until resident cold
+  /// bytes fit slot_store_budget.  Exposed for tests.
+  void store_decay(uint64_t now);
+
+  bool thread_demoted(marcel::ThreadId id) const;
+  /// Copy a demoted thread's recorded slot runs (audit inventories demoted
+  /// threads from the record — their slot chain is PROT_NONE).  False when
+  /// the thread is not demoted.
+  bool demoted_runs(marcel::ThreadId id,
+                    std::vector<iso::SlotRun>* out) const;
+  /// Pointer-keyed demotion lookup: never dereferences `t` (the descriptor
+  /// of a demoted thread is itself PROT_NONE).  Fills any non-null out
+  /// params from the demotion record.  Registry/audit walks must call this
+  /// *before* touching any field of a thread they did not resume.
+  bool demoted_info(marcel::Thread* t, marcel::ThreadId* id,
+                    std::vector<iso::SlotRun>* runs) const;
+  size_t demoted_count() const;
+  size_t demoted_bytes() const {
+    return demoted_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t fault_backs() const {
+    return fault_backs_.load(std::memory_order_relaxed);
+  }
+
+  /// Keep next_thread_id() ahead of an id this node minted in a previous
+  /// incarnation (checkpoint restore adopts pre-crash ids).
+  void ensure_thread_id_floor(marcel::ThreadId id);
+
+  /// When the store recovered, construction pre-acquires every recorded
+  /// thread's slot runs out of the node's free distribution, so traffic
+  /// served before restore_node_from_store() (a pending RPC racing the
+  /// restart) cannot allocate over a recorded image.  Returns true exactly
+  /// once per recorded thread whose runs were reserved; the caller
+  /// (restore) then owns the runs and must not acquire them again.
+  bool take_restore_reservation(uint64_t id);
+
  private:
   friend class RpcContext;
   friend class MigrationEngine;
@@ -810,6 +891,32 @@ class Runtime {
   std::atomic<uint64_t> pool_hits_{0};
   std::atomic<uint64_t> pool_misses_{0};
   std::atomic<uint64_t> pool_evictions_{0};
+
+  // Slot store: demoted-thread map under store_lock_, keyed by the
+  // *descriptor pointer* — a demoted thread's descriptor lives inside its
+  // PROT_NONE run, so the key must never require a dereference (id
+  // lookups scan; the map is small and cold).  Demotion only happens with
+  // the workers paused (store_decay / demote_thread), and fault-back I/O
+  // completes under store_lock_, so no caller can resume a thread whose
+  // bytes are still in flight.
+  struct DemotedRec {
+    marcel::ThreadId id = 0;
+    std::vector<iso::SlotRun> runs;
+    size_t bytes = 0;
+    bool parked = false;  // invocation-pool entry: re-poison on fault-back
+  };
+  /// Demote `t` (must be cold and resident; workers paused).  False when
+  /// the thread spans more runs than the store directory can record.
+  bool demote_locked(marcel::Thread* t, bool parked);
+  std::unique_ptr<iso::SlotStore> store_;
+  mutable sys::SpinLock store_lock_;
+  std::unordered_map<marcel::Thread*, DemotedRec> demoted_;
+  // Thread ids whose recorded runs were pre-acquired at construction from
+  // a recovered store (see take_restore_reservation).
+  std::unordered_set<uint64_t> restore_reserved_;
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> fault_backs_{0};
+  std::atomic<size_t> demoted_bytes_{0};
 
   // Recycled RpcInvocation boxes (one per in-flight dispatch): the hot
   // path swaps a pointer instead of paying a heap round trip per call.

@@ -102,6 +102,106 @@ void VmReservation::decommit(uintptr_t addr, size_t len) {
   PM2_CHECK(rc == 0) << "mprotect(PROT_NONE) failed: " << std::strerror(errno);
 }
 
+FileMapping::FileMapping(int fd, size_t offset, size_t len) {
+  PM2_CHECK(offset % page_size() == 0) << "file mapping offset not aligned";
+  void* got = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     static_cast<off_t>(offset));
+  if (got == MAP_FAILED) {
+    throw std::runtime_error("file-backed mapping failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  data_ = got;
+  size_ = len;
+}
+
+FileMapping::~FileMapping() { release(); }
+
+FileMapping::FileMapping(FileMapping&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+FileMapping& FileMapping::operator=(FileMapping&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void FileMapping::sync() {
+  if (data_ != nullptr) ::msync(data_, size_, MS_SYNC);
+}
+
+void FileMapping::release() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+bool clear_soft_dirty() {
+  int fd = ::open("/proc/self/clear_refs", O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  ssize_t rc = ::write(fd, "4", 1);
+  ::close(fd);
+  return rc == 1;
+}
+
+bool read_soft_dirty(uintptr_t addr, size_t len, std::vector<uint8_t>& bits) {
+  bits.clear();
+  const size_t ps = page_size();
+  PM2_CHECK(addr % ps == 0) << "soft-dirty read not page aligned";
+  int fd = ::open("/proc/self/pagemap", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const size_t pages = (len + ps - 1) / ps;
+  bits.resize(pages, 1);  // unknown pages count as dirty (conservative)
+  std::vector<uint64_t> entries(pages);
+  off_t off = static_cast<off_t>(addr / ps) * 8;
+  size_t filled = 0;
+  while (filled < pages) {
+    ssize_t rc = ::pread(fd, entries.data() + filled, (pages - filled) * 8,
+                         off + static_cast<off_t>(filled) * 8);
+    if (rc <= 0) {
+      ::close(fd);
+      bits.clear();
+      return false;
+    }
+    filled += static_cast<size_t>(rc) / 8;
+  }
+  ::close(fd);
+  for (size_t i = 0; i < pages; ++i) {
+    bits[i] = (entries[i] >> 55) & 1 ? 1 : 0;
+  }
+  return true;
+}
+
+bool soft_dirty_supported() {
+  // One live self-test: clear the bits, dirty a private page, and check the
+  // kernel reports exactly that page dirty.  Some kernels/containers hide
+  // pagemap bits (CONFIG_MEM_SOFT_DIRTY off, lockdown) — the incremental
+  // checkpoint then falls back to heap-chain extents.
+  static const bool supported = [] {
+    if (!clear_soft_dirty()) return false;
+    const size_t ps = page_size();
+    void* p = ::mmap(nullptr, ps, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) return false;
+    *static_cast<volatile char*>(p) = 1;
+    std::vector<uint8_t> bits;
+    bool ok = read_soft_dirty(reinterpret_cast<uintptr_t>(p), ps, bits) &&
+              bits.size() == 1 && bits[0] == 1;
+    ::munmap(p, ps);
+    return ok;
+  }();
+  return supported;
+}
+
 bool probe_readable(uintptr_t addr, size_t len) {
   // Classic write(2)-probe, but against a pipe: unlike /dev/null (whose
   // write path never touches the source buffer), a pipe write copies the

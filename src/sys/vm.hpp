@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace pm2::sys {
 
@@ -65,5 +66,56 @@ class VmReservation {
 /// True if [addr, addr+len) is currently readable (committed) — used by
 /// tests to assert commit/decommit behaviour without faulting.
 bool probe_readable(uintptr_t addr, size_t len);
+
+/// RAII shared file-backed mapping (MAP_SHARED, read/write) of
+/// [offset, offset+len) of an open fd at a kernel-chosen address.
+///
+/// Used for the slot-store header + thread directory: a MAP_SHARED store
+/// lands in the page cache on every ordinary store instruction, so the
+/// metadata survives a `kill -9` of the process (only a machine crash
+/// needs the explicit sync).  Non-copyable, movable.
+class FileMapping {
+ public:
+  FileMapping() = default;
+  /// Map `len` bytes of `fd` starting at page-aligned `offset`.  Throws
+  /// std::runtime_error on failure.  The fd may be closed afterwards; the
+  /// mapping keeps the file open.
+  FileMapping(int fd, size_t offset, size_t len);
+  ~FileMapping();
+
+  FileMapping(const FileMapping&) = delete;
+  FileMapping& operator=(const FileMapping&) = delete;
+  FileMapping(FileMapping&& other) noexcept;
+  FileMapping& operator=(FileMapping&& other) noexcept;
+
+  bool valid() const { return data_ != nullptr; }
+  void* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// msync(MS_SYNC) the whole mapping — durability against machine crash,
+  /// not needed for kill -9 survival.
+  void sync();
+
+  void release();
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// True when the kernel's soft-dirty page tracking is usable by this
+/// process (writable /proc/self/clear_refs + pagemap bit 55 visible).
+/// Probed once with a live write-then-read self-test.
+bool soft_dirty_supported();
+
+/// Reset the soft-dirty bit on every page of this process (writes "4" to
+/// /proc/self/clear_refs).  Returns false if the kernel refused.
+bool clear_soft_dirty();
+
+/// Read the soft-dirty bit for each page of [addr, addr+len): `bits` gets
+/// one byte per page (1 = written since the last clear_soft_dirty()).
+/// `addr` must be page aligned.  Returns false (and leaves `bits` empty)
+/// when pagemap is unavailable — callers fall back to full writes.
+bool read_soft_dirty(uintptr_t addr, size_t len, std::vector<uint8_t>& bits);
 
 }  // namespace pm2::sys

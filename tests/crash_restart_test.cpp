@@ -1,0 +1,241 @@
+// Crash-restart sessions: kill -9 a node after a slot-store checkpoint,
+// restart it against the same store file, and continue the session with
+// the recorded threads adopted back.
+//
+// Two fabrics are covered:
+//   * in-process hub — the whole 2-node session is one child process that
+//     checkpoints both node stores, dies, and restarts recovered;
+//   * socket fabric (real processes) — node 1 dies mid-session and comes
+//     back while node 0 holds a pending RPC to it; the reconnect-capable
+//     fabric parks the send until the restarted node re-joins, and the
+//     reply is computed from the restored thread's iso data.
+//
+// Children report only through their exit status (the gtest parent owns
+// the assertions): CHILD_REQUIRE aborts the child on violation.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/checkpoint.hpp"
+#include "pm2/runtime.hpp"
+#include "sys/process.hpp"
+
+namespace pm2 {
+namespace {
+
+#define CHILD_REQUIRE(cond) \
+  PM2_CHECK(cond) << "crash-restart child assertion failed"
+
+std::string make_dir() {
+  char tmpl[] = "/tmp/pm2-crash-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  PM2_CHECK(dir != nullptr) << "mkdtemp failed";
+  return dir;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void touch(const std::string& path) {
+  std::ofstream f(path);
+  f << "1\n";
+}
+
+bool wait_for_file(const std::string& path, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    if (file_exists(path)) return true;
+    ::usleep(20'000);
+  }
+  return file_exists(path);
+}
+
+constexpr int kWords = 1000;
+
+long expected_sum(uint32_t node) {
+  long sum = 0;
+  for (int i = 0; i < kWords; ++i) sum += 1000L * node + i;
+  return sum;
+}
+
+// --- in-process session: whole process dies and restarts --------------------
+
+std::atomic<int> g_built[2];
+
+// One per node.  Builds iso state, then parks in a yield loop until it
+// finds itself in a *restarted* process (PM2_CR_RESTART set) — the
+// pre-crash incarnation spins here until the kill.  The restored
+// incarnation recomputes everything from the restored heap and stack.
+void cr_worker(void*) {
+  uint32_t node = pm2_self();
+  auto* data = static_cast<long*>(pm2_isomalloc(kWords * sizeof(long)));
+  for (int i = 0; i < kWords; ++i) data[i] = 1000L * node + i;
+  long local = 31337 + static_cast<long>(node);
+  g_built[node] = 1;
+  while (std::getenv("PM2_CR_RESTART") == nullptr) pm2_yield();
+  CHILD_REQUIRE(pm2_self() == node);
+  long sum = 0;
+  for (int i = 0; i < kWords; ++i) sum += data[i];
+  CHILD_REQUIRE(sum == expected_sum(node));
+  CHILD_REQUIRE(local == 31337 + static_cast<long>(node));
+  pm2_isofree(data);
+  pm2_signal(node);
+}
+
+void cr_inproc_child() {
+  const char* dir = std::getenv("PM2_CR_DIR");
+  CHILD_REQUIRE(dir != nullptr);
+  const bool restart = std::getenv("PM2_CR_RESTART") != nullptr;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slot_store_dir = dir;
+  cfg.rt.slot_store_recover = restart;
+  std::string marker = std::string(dir) + "/ckpt";
+  run_app(cfg, [&](Runtime& rt) {
+    if (!restart) {
+      pm2_thread_create(cr_worker, nullptr, "cr");
+      while (g_built[rt.self()].load() == 0) pm2_yield();
+      StoreCheckpointStats stats = checkpoint_node_to_store(rt);
+      CHILD_REQUIRE(stats.threads == 1);
+      rt.slot_store()->sync();
+      rt.barrier();  // both node stores durable before the marker appears
+      if (rt.self() == 0) touch(marker);
+      while (true) pm2_sleep_us(5'000);  // park until the parent kills us
+    }
+    CHILD_REQUIRE(rt.slot_store() != nullptr);
+    CHILD_REQUIRE(rt.slot_store()->recovered());
+    std::vector<marcel::ThreadId> ids = restore_node_from_store(rt);
+    CHILD_REQUIRE(ids.size() == 1);
+    pm2_wait_signals(1);
+  });
+  std::exit(0);
+}
+
+TEST(CrashRestart, InprocSessionRestoresFromStoreFiles) {
+  if (std::getenv("PM2_CR_DIR") != nullptr && !is_spawned_child()) {
+    cr_inproc_child();  // never returns
+  }
+  std::string dir = make_dir();
+  std::vector<std::string> args = {
+      "--gtest_filter=CrashRestart.InprocSessionRestoresFromStoreFiles"};
+  pid_t run = sys::spawn(sys::self_exe(), args, {"PM2_CR_DIR=" + dir});
+  ASSERT_TRUE(wait_for_file(dir + "/ckpt", 30'000)) << "checkpoint marker";
+  ::kill(run, SIGKILL);
+  EXPECT_EQ(sys::wait_child(run), 128 + SIGKILL);
+  pid_t re = sys::spawn(sys::self_exe(), args,
+                        {"PM2_CR_DIR=" + dir, "PM2_CR_RESTART=1"});
+  EXPECT_EQ(sys::wait_child(re), 0);
+}
+
+// --- socket fabric: one node process dies, peers wait it back ---------------
+
+std::atomic<long> g_value{0};
+std::atomic<bool> g_value_ready{false};
+
+// Node 1's stateful thread.  Pre-crash it only builds the data; the
+// restored incarnation answers through the process-local mailbox the
+// "peek" service reads.
+void mp_worker(void*) {
+  auto* data = static_cast<long*>(pm2_isomalloc(kWords * sizeof(long)));
+  for (int i = 0; i < kWords; ++i) data[i] = 1000L * pm2_self() + i;
+  g_built[pm2_self()] = 1;
+  while (std::getenv("PM2_CR_RESTART") == nullptr) pm2_yield();
+  long sum = 0;
+  for (int i = 0; i < kWords; ++i) sum += data[i];
+  pm2_isofree(data);
+  g_value = sum;
+  g_value_ready = true;
+  pm2_signal(pm2_self());
+}
+
+void cr_mp_child() {
+  const char* dir = std::getenv("PM2_CR_DIR");
+  CHILD_REQUIRE(dir != nullptr);
+  const bool restart = std::getenv("PM2_CR_RESTART") != nullptr;
+  std::string ckpt_marker = std::string(dir) + "/ckpt";
+  std::string killed_marker = std::string(dir) + "/killed";
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slot_store_dir = dir;
+  cfg.rt.slot_store_recover = restart;
+  run_app(
+      cfg,
+      [&](Runtime& rt) {
+        if (rt.self() == 0) {
+          // Only issue the call once node 1 is certainly dead: the send
+          // must ride the reconnect path, not the original socket.
+          while (!file_exists(killed_marker)) pm2_sleep_us(10'000);
+          long v = rt.call<long>(1, "peek", 0);
+          CHILD_REQUIRE(v == expected_sum(1));
+          return;
+        }
+        if (!restart) {
+          pm2_thread_create(mp_worker, nullptr, "mp");
+          while (g_built[1].load() == 0) pm2_yield();
+          StoreCheckpointStats stats = checkpoint_node_to_store(rt);
+          CHILD_REQUIRE(stats.threads == 1);
+          rt.slot_store()->sync();
+          touch(ckpt_marker);
+          while (true) pm2_sleep_us(5'000);  // park until the parent kills us
+        }
+        CHILD_REQUIRE(rt.slot_store()->recovered());
+        std::vector<marcel::ThreadId> ids = restore_node_from_store(rt);
+        CHILD_REQUIRE(ids.size() == 1);
+        pm2_wait_signals(1);
+      },
+      [](Runtime& rt) {
+        rt.service("peek", [](RpcContext&, int) -> long {
+          while (!g_value_ready.load()) pm2_yield();
+          return g_value.load();
+        });
+      });
+  std::exit(0);  // unreachable: run_as_child exits, but keep the shape clear
+}
+
+TEST(CrashRestart, MultiprocessPendingRpcCompletesAfterRestart) {
+  if (is_spawned_child()) {
+    cr_mp_child();  // never returns
+  }
+  std::string dir = make_dir();
+  std::vector<std::string> args = {
+      "--gtest_filter=CrashRestart.MultiprocessPendingRpcCompletesAfterRestart"};
+  auto env_for = [&](int node, bool restart) {
+    std::vector<std::string> env = {
+        "PM2_MP_NODE=" + std::to_string(node),
+        "PM2_MP_NODES=2",
+        "PM2_MP_DIR=" + dir,
+        "PM2_MP_RECONNECT=1",
+        "PM2_CR_DIR=" + dir,
+    };
+    if (restart) env.push_back("PM2_CR_RESTART=1");
+    return env;
+  };
+  pid_t n0 = sys::spawn(sys::self_exe(), args, env_for(0, false));
+  pid_t n1 = sys::spawn(sys::self_exe(), args, env_for(1, false));
+  ASSERT_TRUE(wait_for_file(dir + "/ckpt", 30'000)) << "checkpoint marker";
+  ::kill(n1, SIGKILL);
+  EXPECT_EQ(sys::wait_child(n1), 128 + SIGKILL);
+  touch(dir + "/killed");
+  pid_t n1b = sys::spawn(sys::self_exe(), args, env_for(1, true));
+  EXPECT_EQ(sys::wait_child(n1b), 0);
+  EXPECT_EQ(sys::wait_child(n0), 0);
+  for (int i = 0; i < 2; ++i) {
+    ::unlink((dir + "/node" + std::to_string(i) + ".sock").c_str());
+  }
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,484 @@
+// SlotStore residency tiering: freeze -> demote -> (unfreeze | migrate),
+// budget-driven eviction order, capacity beyond the resident budget,
+// header/stamp validation on recovery, ASan poison round trips through the
+// store file, audit coverage of demoted runs, and incremental (soft-dirty)
+// node checkpoints.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "fabric/inproc.hpp"
+#include "isomalloc/area.hpp"
+#include "isomalloc/slot_store.hpp"
+#include "pm2/api.hpp"
+#include "pm2/app.hpp"
+#include "pm2/audit.hpp"
+#include "pm2/checkpoint.hpp"
+#include "pm2/runtime.hpp"
+#include "sys/sanitizer.hpp"
+#include "sys/vm.hpp"
+
+namespace pm2 {
+namespace {
+
+std::atomic<int> g_phase{0};
+std::atomic<int> g_built{0};
+std::atomic<int> g_done{0};
+std::atomic<bool> g_ok{true};
+
+#define WEXPECT(cond)                                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      g_ok = false;                                                     \
+      pm2_printf("WEXPECT failed: %s (line %d)\n", #cond, __LINE__);    \
+    }                                                                   \
+  } while (0)
+
+std::string make_store_dir() {
+  char tmpl[] = "/tmp/pm2-store-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  PM2_CHECK(dir != nullptr) << "mkdtemp failed";
+  return dir;
+}
+
+/// True when the page holding `addr` has resident (committed) physical
+/// memory.  Demotion decommits (MADV_DONTNEED + PROT_NONE), so a demoted
+/// run's pages read as non-resident without touching them.
+bool page_resident(const void* addr) {
+  uintptr_t page = reinterpret_cast<uintptr_t>(addr) & ~uintptr_t{4095};
+  unsigned char vec = 0;
+  PM2_CHECK(::mincore(reinterpret_cast<void*>(page), 1, &vec) == 0);
+  return (vec & 1) != 0;
+}
+
+// --- freeze -> demote -> unfreeze -------------------------------------------
+
+void tier_worker(void*) {
+  auto* data = static_cast<int*>(pm2_isomalloc(2048 * sizeof(int)));
+  for (int i = 0; i < 2048; ++i) data[i] = i ^ 0x5a5a;
+  int local = 4242;
+  g_phase = 1;
+  while (g_phase.load() < 2) pm2_yield();
+  // Back from the store file: heap and stack contents must be intact.
+  for (int i = 0; i < 2048; ++i) WEXPECT(data[i] == (i ^ 0x5a5a));
+  WEXPECT(local == 4242);
+  pm2_isofree(data);
+  g_done = 1;
+  pm2_signal(0);
+}
+
+TEST(SlotStore, TierCycleFreezeDemoteUnfreeze) {
+  g_phase = 0;
+  g_done = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    ASSERT_NE(rt.slot_store(), nullptr);
+    marcel::ThreadId id = pm2_thread_create(tier_worker, nullptr, "tier");
+    while (g_phase.load() < 1) pm2_yield();
+    marcel::Thread* t = rt.sched().find(id);
+    ASSERT_NE(t, nullptr);
+    void* stack_probe = t->stack_base;
+    EXPECT_TRUE(page_resident(stack_probe));
+
+    ASSERT_TRUE(rt.freeze_thread(id));
+    ASSERT_TRUE(rt.demote_thread(id));
+    EXPECT_TRUE(rt.thread_demoted(id));
+    EXPECT_EQ(rt.demoted_count(), 1u);
+    EXPECT_EQ(rt.demotions(), 1u);
+    EXPECT_GT(rt.demoted_bytes(), 0u);
+    // Pages are really gone, not just bookkept: the store file is the only
+    // copy of the thread now.
+    EXPECT_FALSE(page_resident(stack_probe));
+    EXPECT_TRUE(rt.slot_store()->has_record(id));
+
+    ASSERT_TRUE(rt.unfreeze_thread(id));
+    EXPECT_EQ(rt.fault_backs(), 1u);
+    EXPECT_FALSE(rt.thread_demoted(id));
+    EXPECT_EQ(rt.demoted_count(), 0u);
+    EXPECT_TRUE(page_resident(stack_probe));
+    g_phase = 2;
+    pm2_wait_signals(1);
+    EXPECT_EQ(g_done.load(), 1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// --- freeze -> demote -> migrate out ----------------------------------------
+
+void roam_worker(void*) {
+  auto* data = static_cast<long*>(pm2_isomalloc(1024 * sizeof(long)));
+  for (int i = 0; i < 1024; ++i) data[i] = 3L * i + 7;
+  g_phase = 1;
+  while (pm2_self() == 0) pm2_yield();
+  // Resumed on node 1 after a demote + ship: the pack faulted the image
+  // back from node 0's store file.
+  WEXPECT(pm2_self() == 1);
+  for (int i = 0; i < 1024; ++i) WEXPECT(data[i] == 3L * i + 7);
+  pm2_isofree(data);
+  pm2_signal(0);
+}
+
+TEST(SlotStore, FreezeDemoteMigrateFaultsBackOnPack) {
+  g_phase = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    if (rt.self() != 0) return;
+    marcel::ThreadId id = pm2_thread_create(roam_worker, nullptr, "roam");
+    while (g_phase.load() < 1) pm2_yield();
+    ASSERT_TRUE(rt.freeze_thread(id));
+    ASSERT_TRUE(rt.demote_thread(id));
+    EXPECT_TRUE(rt.thread_demoted(id));
+    ASSERT_TRUE(rt.migrate(id, 1));
+    // The slots left this node: the demotion record went with them.
+    EXPECT_EQ(rt.demoted_count(), 0u);
+    EXPECT_FALSE(rt.slot_store()->has_record(id));
+    EXPECT_GE(rt.fault_backs(), 1u);
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// --- budget-driven decay: coldest first -------------------------------------
+
+void spin_worker(void* arg) {
+  // Stack-only footprint (one slot): a recognizable local pattern survives
+  // the store round trip.
+  long seed = reinterpret_cast<intptr_t>(arg);
+  volatile long pattern[32];
+  for (int i = 0; i < 32; ++i) pattern[i] = seed * 1000 + i;
+  g_built.fetch_add(1);
+  while (g_phase.load() < 1) pm2_yield();
+  for (int i = 0; i < 32; ++i) WEXPECT(pattern[i] == seed * 1000 + i);
+  g_done.fetch_add(1);
+  pm2_signal(0);
+}
+
+TEST(SlotStore, OverBudgetEvictionIsColdestFirst) {
+  g_phase = 0;
+  g_built = 0;
+  g_done = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.slot_store_dir = make_store_dir();
+  cfg.rt.slot_store_budget = cfg.area.slot_size;  // one resident cold thread
+  cfg.rt.slot_store_decay_us = 0;                 // age horizon: immediate
+  run_app(cfg, [](Runtime& rt) {
+    marcel::ThreadId ids[3];
+    for (int i = 0; i < 3; ++i) {
+      ids[i] = pm2_thread_create(spin_worker,
+                                 reinterpret_cast<void*>(intptr_t{i + 1}),
+                                 "spin");
+    }
+    while (g_built.load() < 3) pm2_yield();
+    // Freeze in order 0,1,2 with distinct cold stamps: 0 is coldest.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(rt.freeze_thread(ids[i]));
+      pm2_sleep_us(2000);
+    }
+    rt.store_decay(now_ns());
+    // Budget fits exactly one stack slot: the two coldest page out, the
+    // youngest stays resident.
+    EXPECT_TRUE(rt.thread_demoted(ids[0]));
+    EXPECT_TRUE(rt.thread_demoted(ids[1]));
+    EXPECT_FALSE(rt.thread_demoted(ids[2]));
+    EXPECT_EQ(rt.demoted_count(), 2u);
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(rt.unfreeze_thread(ids[i]));
+    EXPECT_EQ(rt.demoted_count(), 0u);
+    g_phase = 1;
+    pm2_wait_signals(3);
+    EXPECT_EQ(g_done.load(), 3);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// --- capacity beyond the resident budget ------------------------------------
+
+// Acceptance shape: a node hosts 4x more frozen threads than the resident
+// budget allows hot — 8 frozen one-slot threads against a 2-slot budget.
+constexpr int kThreads = 8;
+
+TEST(SlotStore, HostsFourTimesMoreFrozenThanBudget) {
+  g_phase = 0;
+  g_built = 0;
+  g_done = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.slot_store_dir = make_store_dir();
+  cfg.rt.slot_store_budget = 2 * cfg.area.slot_size;
+  cfg.rt.slot_store_decay_us = 0;
+  run_app(cfg, [](Runtime& rt) {
+    marcel::ThreadId ids[kThreads];
+    for (int i = 0; i < kThreads; ++i) {
+      ids[i] = pm2_thread_create(spin_worker,
+                                 reinterpret_cast<void*>(intptr_t{i + 1}),
+                                 "spin");
+    }
+    while (g_built.load() < kThreads) pm2_yield();
+    for (int i = 0; i < kThreads; ++i) ASSERT_TRUE(rt.freeze_thread(ids[i]));
+    rt.store_decay(now_ns());
+    // 8 frozen threads, at most 2 slots resident: >= 6 demoted to the file.
+    EXPECT_GE(rt.demoted_count(), static_cast<size_t>(kThreads - 2));
+    EXPECT_GE(rt.demoted_bytes(),
+              static_cast<size_t>(kThreads - 2) * rt.area().slot_size());
+    for (int i = 0; i < kThreads; ++i) ASSERT_TRUE(rt.unfreeze_thread(ids[i]));
+    EXPECT_EQ(rt.demoted_count(), 0u);
+    EXPECT_GE(rt.fault_backs(), static_cast<uint64_t>(kThreads - 2));
+    g_phase = 1;
+    pm2_wait_signals(kThreads);
+    EXPECT_EQ(g_done.load(), kThreads);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// --- recovery validation: refuse foreign or torn store files ----------------
+
+TEST(SlotStore, RecoveryRefusesGarbageFile) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = make_store_dir() + "/bad.store";
+  {
+    std::ofstream f(path, std::ios::binary);
+    for (int i = 0; i < 8192; ++i) f.put(static_cast<char>(i * 37));
+  }
+  iso::AreaConfig ac;
+  ac.base = 0x7700'0000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  iso::SlotStoreConfig sc;
+  sc.path = path;
+  sc.recover = true;
+  EXPECT_DEATH({ iso::SlotStore store(area, sc, binary_stamp(), 0, 1); },
+               "not a PM2 slot store");
+}
+
+TEST(SlotStore, RecoveryRefusesForeignBinaryStamp) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = make_store_dir() + "/stamp.store";
+  iso::AreaConfig ac;
+  ac.base = 0x7700'4000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  {
+    iso::SlotStoreConfig sc;
+    sc.path = path;
+    iso::SlotStore store(area, sc, binary_stamp(), 0, 1);
+  }
+  iso::SlotStoreConfig sc;
+  sc.path = path;
+  sc.recover = true;
+  EXPECT_DEATH({ iso::SlotStore store(area, sc, binary_stamp() ^ 1, 0, 1); },
+               "different binary");
+}
+
+TEST(SlotStore, RecoveryRefusesGeometryMismatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = make_store_dir() + "/geom.store";
+  iso::AreaConfig ac;
+  ac.base = 0x7700'8000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  {
+    iso::SlotStoreConfig sc;
+    sc.path = path;
+    iso::SlotStore store(area, sc, binary_stamp(), 0, 1);
+  }
+  iso::AreaConfig ac2 = ac;
+  ac2.base = 0x7700'c000'0000ull;  // different area base, same file
+  iso::Area area2(ac2);
+  iso::SlotStoreConfig sc;
+  sc.path = path;
+  sc.recover = true;
+  EXPECT_DEATH({ iso::SlotStore store(area2, sc, binary_stamp(), 0, 1); },
+               "geometry mismatch");
+}
+
+TEST(SlotStore, RecoveryRefusesSessionShapeMismatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = make_store_dir() + "/shape.store";
+  iso::AreaConfig ac;
+  ac.base = 0x7701'0000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  {
+    iso::SlotStoreConfig sc;
+    sc.path = path;
+    iso::SlotStore store(area, sc, binary_stamp(), /*node=*/0, /*n_nodes=*/2);
+  }
+  iso::SlotStoreConfig sc;
+  sc.path = path;
+  sc.recover = true;
+  EXPECT_DEATH(
+      { iso::SlotStore store(area, sc, binary_stamp(), /*node=*/1,
+                             /*n_nodes=*/2); },
+      "different node/session shape");
+}
+
+// --- ASan poison round trip through the store -------------------------------
+
+// A parked invocation-pool stack is poisoned.  Demoting it unpoisons (the
+// bytes must be readable for the file write and the pages vanish anyway);
+// faulting it back must re-poison, so a stray write into the recycled
+// stack is still caught.
+void parked_demote_roundtrip() {
+  iso::AreaConfig ac;
+  ac.base = 0x7702'0000'0000ull;
+  ac.size = 64ull << 20;
+  iso::Area area(ac);
+  auto hub = std::make_shared<fabric::InProcHub>(1);
+  RuntimeConfig rc;
+  rc.node = 0;
+  rc.n_nodes = 1;
+  rc.slot_store_dir = make_store_dir();
+  rc.slot_store_budget = 0;     // every cold byte pages out
+  rc.slot_store_decay_us = 0;   // immediately
+  Runtime rt(rc, area, hub->endpoint(0));
+  rt.service("inc", [](RpcContext&, int v) -> int { return v + 1; });
+  rt.run([] {
+    Runtime& self = *Runtime::current();
+    PM2_CHECK(self.call<int>(0, "inc", 1) == 2);
+    PM2_CHECK(self.pool_size() > 0);
+    marcel::Thread* parked = nullptr;
+    self.for_each_parked([&](marcel::Thread* t) { parked = t; });
+    PM2_CHECK(parked != nullptr);
+    self.store_decay(now_ns());
+    PM2_CHECK(self.demoted_count() >= 1);
+    self.ensure_resident(parked);
+    PM2_CHECK(self.demoted_count() == 0);
+    // Faulted back AND re-poisoned: this write must die under ASan.
+    auto* into = static_cast<volatile char*>(parked->stack_base) + 2048;
+    *into = 42;
+    self.halt();
+  });
+}
+
+TEST(SlotStore, AsanParkedStackRepoisonedAfterFaultBack) {
+  if constexpr (sys::kAsan) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(parked_demote_roundtrip(), "use-after-poison");
+  } else {
+    parked_demote_roundtrip();
+  }
+}
+
+// --- audit covers demoted runs ----------------------------------------------
+
+TEST(SlotStore, AuditCoversDemotedRuns) {
+  g_phase = 0;
+  g_done = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    if (rt.self() != 0) return;
+    marcel::ThreadId id = pm2_thread_create(tier_worker, nullptr, "tier");
+    while (g_phase.load() < 1) pm2_yield();
+    ASSERT_TRUE(rt.freeze_thread(id));
+    ASSERT_TRUE(rt.demote_thread(id));
+    AuditReport report = audit_session(rt);
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_EQ(report.threads_demoted, 1u);
+    // Stack run plus at least one heap run.
+    EXPECT_GE(report.demoted_slots, 2u);
+    ASSERT_TRUE(rt.unfreeze_thread(id));
+    AuditReport after = audit_session(rt);
+    EXPECT_TRUE(after.ok) << after.summary();
+    EXPECT_EQ(after.threads_demoted, 0u);
+    g_phase = 2;
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// --- incremental node checkpoints -------------------------------------------
+
+void dirty_worker(void*) {
+  constexpr size_t kBytes = 64 * 1024;
+  auto* data = static_cast<unsigned char*>(pm2_isomalloc(kBytes));
+  std::memset(data, 0xab, kBytes);
+  g_phase = 1;
+  while (g_phase.load() < 2) pm2_yield();
+  // Dirty ~10% of the pages between the two checkpoints.
+  for (size_t p = 0; p < kBytes / 4096; p += 8) data[p * 4096] = 0xcd;
+  g_phase = 3;
+  while (g_phase.load() < 4) pm2_yield();
+  for (size_t i = 0; i < kBytes; ++i) {
+    unsigned char want = (i % 4096 == 0 && (i / 4096) % 8 == 0) ? 0xcd : 0xab;
+    WEXPECT(data[i] == want);
+  }
+  pm2_isofree(data);
+  pm2_signal(0);
+}
+
+TEST(SlotStore, IncrementalCheckpointWritesLessThanFull) {
+  g_phase = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    pm2_thread_create(dirty_worker, nullptr, "dirty");
+    while (g_phase.load() < 1) pm2_yield();
+    StoreCheckpointStats full = checkpoint_node_to_store(rt);
+    EXPECT_EQ(full.threads, 1u);
+    EXPECT_FALSE(full.incremental);  // first round: nothing armed yet
+    EXPECT_GT(full.bytes_written, 0u);
+    g_phase = 2;
+    while (g_phase.load() < 3) pm2_yield();
+    StoreCheckpointStats incr = checkpoint_node_to_store(rt);
+    EXPECT_EQ(incr.threads, 1u);
+    if (sys::soft_dirty_supported()) {
+      EXPECT_TRUE(incr.incremental);
+      EXPECT_LT(incr.bytes_written, full.bytes_written);
+      EXPECT_GT(incr.bytes_skipped, 0u);
+    }
+    g_phase = 4;
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+// A demoted thread is already fully persisted: the node checkpoint counts
+// it without touching its (PROT_NONE) image.
+TEST(SlotStore, NodeCheckpointSkipsDemotedThreads) {
+  g_phase = 0;
+  g_done = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 1;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    marcel::ThreadId id = pm2_thread_create(tier_worker, nullptr, "tier");
+    while (g_phase.load() < 1) pm2_yield();
+    ASSERT_TRUE(rt.freeze_thread(id));
+    ASSERT_TRUE(rt.demote_thread(id));
+    StoreCheckpointStats stats = checkpoint_node_to_store(rt);
+    EXPECT_EQ(stats.threads, 1u);
+    EXPECT_EQ(stats.bytes_written, 0u);   // image already in the file
+    EXPECT_GT(stats.bytes_skipped, 0u);
+    ASSERT_TRUE(rt.unfreeze_thread(id));
+    g_phase = 2;
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
+}  // namespace
+}  // namespace pm2
