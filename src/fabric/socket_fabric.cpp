@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
@@ -34,6 +35,10 @@ constexpr size_t kMaxIov = 1024;
 constexpr uint64_t kWakeTag = UINT64_MAX;
 // Poller tag of the session-lifetime listener (allow_reconnect only).
 constexpr uint64_t kListenTag = UINT64_MAX - 1;
+// Tag base of accepted sockets whose reconnect hello has not fully arrived
+// yet: tag = kPendingTagBase + fd.  Disjoint from NodeId tags (32-bit) and
+// from the two sentinels above (fds are nowhere near 2^63).
+constexpr uint64_t kPendingTagBase = uint64_t{1} << 32;
 
 class SocketFabric final : public Fabric {
  public:
@@ -66,8 +71,12 @@ class SocketFabric final : public Fabric {
   /// Register a (fresh or replacement) peer link: socket buffers,
   /// non-blocking mode, poller membership.
   void attach_conn(NodeId peer, sys::Fd fd);
-  /// Accept a restarted peer's replacement connection (allow_reconnect).
+  /// Accept a restarted peer's replacement connection (allow_reconnect):
+  /// park it as a pending handshake, never blocking the pump loop.
   void accept_reconnect();
+  /// Drive a pending handshake whose fd turned readable; attaches the link
+  /// once the 4-byte hello is complete, drops it on EOF or a bad id.
+  void pump_pending_hello(int raw_fd);
   /// Drop a dead peer's link so a replacement can take its place.
   void detach_conn(NodeId peer);
   /// Block (bounded) until `peer` is connected again: higher peers dial us
@@ -86,8 +95,18 @@ class SocketFabric final : public Fabric {
   void parse_frames(Conn& c);
   void finish_direct(Conn& c);
 
+  /// Reconnect handshake in flight: an accepted socket is nonblocking from
+  /// the start and polled (kPendingTagBase + fd) until its hello arrives —
+  /// a peer that connects and stalls can never wedge the node.
+  struct PendingHello {
+    sys::Fd fd;
+    uint32_t hello = 0;
+    size_t fill = 0;
+  };
+
   SocketFabricConfig config_;
   std::vector<Conn> conns_;  // indexed by peer node id (self unused)
+  std::unordered_map<int, PendingHello> pending_;  // keyed by raw fd
   // Kept open for the whole session under allow_reconnect (polled with
   // kListenTag); otherwise closed once the mesh is up.
   sys::Fd listener_;
@@ -200,18 +219,45 @@ void SocketFabric::detach_conn(NodeId peer) {
 
 void SocketFabric::accept_reconnect() {
   sys::Fd fd = sys::accept_one(listener_);
-  uint32_t hello = 0;
-  if (!sys::recv_all(fd, &hello, sizeof(hello))) {
+  sys::set_nonblocking(fd, true);
+  const int raw = fd.get();
+  poller_.add(raw, kPendingTagBase + static_cast<uint64_t>(raw));
+  pending_[raw].fd = std::move(fd);
+  // The hello is read by pump_pending_hello as its bytes arrive.
+}
+
+void SocketFabric::pump_pending_hello(int raw_fd) {
+  auto it = pending_.find(raw_fd);
+  if (it == pending_.end()) return;  // stale event after a drop
+  PendingHello& p = it->second;
+  while (p.fill < sizeof(p.hello)) {
+    ssize_t n = ::recv(p.fd.get(), reinterpret_cast<char*>(&p.hello) + p.fill,
+                       sizeof(p.hello) - p.fill, 0);
+    if (n > 0) {
+      p.fill += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
     PM2_WARN << "reconnecting peer hung up during hello";
+    poller_.remove(p.fd.get());
+    pending_.erase(it);
     return;
   }
-  PM2_CHECK(hello < config_.n_nodes && hello != config_.node_id)
-      << "bad reconnect hello id " << hello;
+  const uint32_t hello = p.hello;
+  sys::Fd fd = std::move(p.fd);
+  poller_.remove(fd.get());
+  pending_.erase(it);
+  if (hello >= config_.n_nodes || hello == config_.node_id) {
+    // A stray connection must not take the node down with it.
+    PM2_WARN << "dropping reconnect with bad hello id " << hello;
+    return;
+  }
   if (conns_[hello].fd.valid()) {
     // The old link died but we have not read its EOF yet (the peer was
     // killed and restarted between two pumps): retire it first.
     poller_.remove(conns_[hello].fd.get());
-    detach_conn(hello);
+    detach_conn(static_cast<NodeId>(hello));
   }
   PM2_DEBUG << "node " << hello << " reconnected";
   attach_conn(static_cast<NodeId>(hello), std::move(fd));
@@ -426,6 +472,10 @@ void SocketFabric::dispatch_tags(const std::vector<uint64_t>& tags) {
     }
     if (tag == kListenTag) {
       accept_reconnect();
+      continue;
+    }
+    if (tag >= kPendingTagBase) {
+      pump_pending_hello(static_cast<int>(tag - kPendingTagBase));
       continue;
     }
     drain_fd(tag);

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -18,6 +19,7 @@ void pwrite_all(int fd, const void* buf, size_t len, uint64_t off) {
   const char* p = static_cast<const char*>(buf);
   while (len > 0) {
     ssize_t rc = ::pwrite(fd, p, len, static_cast<off_t>(off));
+    if (rc < 0 && errno == EINTR) continue;
     PM2_CHECK(rc > 0) << "slot store pwrite failed: " << std::strerror(errno);
     p += rc;
     off += static_cast<uint64_t>(rc);
@@ -29,6 +31,7 @@ void pread_all(int fd, void* buf, size_t len, uint64_t off) {
   char* p = static_cast<char*>(buf);
   while (len > 0) {
     ssize_t rc = ::pread(fd, p, len, static_cast<off_t>(off));
+    if (rc < 0 && errno == EINTR) continue;
     PM2_CHECK(rc > 0) << "slot store pread failed: "
                       << (rc == 0 ? "truncated store file"
                                   : std::strerror(errno));
@@ -205,8 +208,15 @@ bool SlotStore::record_thread(uint64_t id, uint64_t desc_addr,
     return false;
   }
   // kWriting first, then payload fields: a kill -9 between here and
-  // seal_thread() leaves a record recovery ignores.
-  e->state = StoreDirEntry::kWriting;
+  // seal_thread() leaves a record recovery ignores.  The flip goes through
+  // an atomic ref + compiler fence so the payload stores below cannot be
+  // hoisted above it — re-recording a kValid entry with a reordered run
+  // list, killed in that window, would hand recovery new runs over old
+  // data bytes.  (Crash ordering is same-CPU coherent, so a compiler
+  // barrier is the whole requirement.)
+  std::atomic_ref<uint32_t>(e->state).store(StoreDirEntry::kWriting,
+                                            std::memory_order_release);
+  std::atomic_signal_fence(std::memory_order_seq_cst);
   e->id = id;
   e->desc_addr = desc_addr;
   e->n_runs = static_cast<uint32_t>(runs.size());
@@ -222,7 +232,11 @@ void SlotStore::seal_thread(uint64_t id) {
   lock_.lock();
   StoreDirEntry* e = entry_of(id);
   PM2_CHECK(e != nullptr) << "seal_thread without record_thread";
-  e->state = StoreDirEntry::kValid;
+  // Release: every payload store (and the data pwrites, already ordered by
+  // the syscall boundary) settles before the record turns adoptable.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  std::atomic_ref<uint32_t>(e->state).store(StoreDirEntry::kValid,
+                                            std::memory_order_release);
   lock_.unlock();
 }
 

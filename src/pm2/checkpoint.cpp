@@ -206,7 +206,17 @@ StoreCheckpointStats checkpoint_node_to_store(Runtime& rt) {
                                  "(set RuntimeConfig::slot_store_dir)";
   StoreCheckpointStats stats;
   const size_t slot_size = rt.area().slot_size();
-  const bool soft_dirty = sys::soft_dirty_supported();
+  // clear_refs resets soft-dirty bits for the *whole process*, but a node
+  // pauses only its own workers: with a second in-process Runtime running
+  // its own incremental rounds, our clear would silently erase the dirty
+  // bits its next delta depends on (and vice versa), leaving its store
+  // file stale with no error.  Shared address space ⇒ full images only;
+  // one-Runtime processes (the real crash-restart deployment) keep the
+  // delta path.  The armed latch is left alone: bits keep accumulating,
+  // so the baseline is again valid (conservatively superset) if the
+  // process later returns to a single Runtime.
+  const bool soft_dirty =
+      sys::soft_dirty_supported() && Runtime::live_in_process() == 1;
   stats.incremental = soft_dirty && store->soft_dirty_armed();
 
   marcel::Thread* self = marcel::Scheduler::self();

@@ -455,6 +455,52 @@ TEST(SlotStore, IncrementalCheckpointWritesLessThanFull) {
   EXPECT_TRUE(g_ok.load());
 }
 
+// --- multi-node in-process sessions stay on full images ---------------------
+
+std::atomic<int> g_node_built[2];
+
+void shared_as_worker(void*) {
+  auto* data = static_cast<unsigned char*>(pm2_isomalloc(16 * 1024));
+  std::memset(data, 0x77, 16 * 1024);
+  g_node_built[pm2_self()] = 1;
+  while (g_phase.load() < 1) pm2_yield();
+  pm2_isofree(data);
+  pm2_signal(pm2_self());
+}
+
+// clear_refs resets soft-dirty bits for the *whole process*, so a second
+// in-process Runtime's baseline reset would silently wipe the dirty bits
+// this node's next delta depends on (and vice versa).  Shared address
+// space => every checkpoint round must stay a full image.
+TEST(SlotStore, InprocMultiNodeCheckpointsStayFull) {
+  g_phase = 0;
+  g_node_built[0] = 0;
+  g_node_built[1] = 0;
+  g_ok = true;
+  AppConfig cfg;
+  cfg.nodes = 2;
+  cfg.rt.slot_store_dir = make_store_dir();
+  run_app(cfg, [](Runtime& rt) {
+    rt.barrier();  // both Runtimes constructed before the counter is read
+    EXPECT_EQ(Runtime::live_in_process(), 2u);
+    pm2_thread_create(shared_as_worker, nullptr, "shared");
+    while (g_node_built[rt.self()].load() == 0) pm2_yield();
+    StoreCheckpointStats first = checkpoint_node_to_store(rt);
+    EXPECT_EQ(first.threads, 1u);
+    EXPECT_FALSE(first.incremental);
+    EXPECT_GT(first.bytes_written, 0u);
+    StoreCheckpointStats second = checkpoint_node_to_store(rt);
+    // A one-Runtime process would go incremental here (the first round
+    // arms the soft-dirty baseline); sharing the address space forbids it.
+    EXPECT_FALSE(second.incremental);
+    EXPECT_GT(second.bytes_written, 0u);
+    rt.barrier();  // both nodes checkpoint before either releases its worker
+    g_phase = 1;
+    pm2_wait_signals(1);
+  });
+  EXPECT_TRUE(g_ok.load());
+}
+
 // A demoted thread is already fully persisted: the node checkpoint counts
 // it without touching its (PROT_NONE) image.
 TEST(SlotStore, NodeCheckpointSkipsDemotedThreads) {
