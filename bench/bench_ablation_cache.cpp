@@ -26,7 +26,7 @@ struct Result {
 
 Result churn(size_t cache_capacity, int iters) {
   AreaConfig ac;
-  ac.base = 0x6700'0000'0000ull;
+  ac.base = iso::offset_area_base(1);
   ac.size = 256ull << 20;
   Area area(ac);
   SlotManagerConfig sc;

@@ -28,7 +28,7 @@ struct Result {
 
 Result run_trace(FitPolicy fit, int ops, uint64_t seed) {
   AreaConfig ac;
-  ac.base = 0x6800'0000'0000ull;
+  ac.base = iso::offset_area_base(2);
   ac.size = 512ull << 20;
   Area area(ac);
   SlotManagerConfig sc;

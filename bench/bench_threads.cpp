@@ -109,7 +109,7 @@ BENCHMARK(BM_ThreadCreateDestroy);
 void BM_IsomallocFastPath(benchmark::State& state) {
   const size_t size = static_cast<size_t>(state.range(0));
   iso::AreaConfig ac;
-  ac.base = 0x6600'0000'0000ull;
+  ac.base = iso::offset_area_base(3);
   ac.size = 256ull << 20;
   iso::Area area(ac);
   iso::SlotManagerConfig sc;

@@ -43,19 +43,49 @@ class LatencyHistogram {
   uint64_t max_ = 0;
 };
 
+/// Monotonic counter with plain-integer syntax over relaxed atomics.
+/// Increment sites and readers keep looking like `++c` / `uint64_t v = c`,
+/// but with multiple scheduler workers bumping the same SlotManager's
+/// counters (and bench --json dumping them mid-run) the plain uint64_t
+/// original was a torn read/write data race.  Relaxed is enough: each
+/// counter is an independent statistic, never used to order other memory.
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t n) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t n) {
+    v_.store(n, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 /// Named monotonically-increasing counters, grouped per subsystem instance.
 /// Not global: each SlotManager / Runtime owns its own set so in-process
 /// multi-node tests see per-node numbers.
 struct SlotStats {
-  uint64_t slots_acquired = 0;       // node -> thread handovers
-  uint64_t slots_released = 0;       // thread -> node handovers
-  uint64_t multi_slot_requests = 0;  // requests needing > 1 contiguous slot
-  uint64_t negotiations = 0;         // global negotiation phases initiated
-  uint64_t negotiated_slots = 0;     // slots bought from remote nodes
-  uint64_t cache_hits = 0;           // commit avoided via slot cache
-  uint64_t cache_misses = 0;
-  uint64_t commits = 0;              // actual VM commit operations
-  uint64_t decommits = 0;
+  RelaxedCounter slots_acquired;       // node -> thread handovers
+  RelaxedCounter slots_released;       // thread -> node handovers
+  RelaxedCounter multi_slot_requests;  // requests needing > 1 contiguous slot
+  RelaxedCounter negotiations;         // global negotiation phases initiated
+  RelaxedCounter negotiated_slots;     // slots bought from remote nodes
+  RelaxedCounter cache_hits;           // commit avoided via slot cache
+  RelaxedCounter cache_misses;
+  RelaxedCounter commits;              // actual VM commit operations
+  RelaxedCounter decommits;
 
   std::string summary() const;
 };

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sys/sanitizer.hpp"
 #include "sys/vm.hpp"
 
 namespace pm2::iso {
@@ -22,7 +23,14 @@ struct AreaConfig {
   /// Fixed virtual base.  0x5000'0000'0000 (80 TiB) sits far above the libc
   /// heap and far below the stack/mmap zone on x86-64 Linux, mirroring the
   /// paper's "between the process stack and the heap" placement.
-  uintptr_t base = 0x5000'0000'0000ull;
+  ///
+  /// Under TSan the default moves to 0x5600'0000'0000: libtsan's x86-64
+  /// shadow layout only treats 0x5500'0000'0000–0x5680'0000'0000 (plus the
+  /// low heap and the high stack zones) as application memory, and accesses
+  /// outside those ranges have no shadow — they fault inside the runtime.
+  /// Every node process computes the same constant, so iso-address
+  /// semantics are unchanged.
+  uintptr_t base = sys::kTsan ? 0x5600'0000'0000ull : 0x5000'0000'0000ull;
   /// Total size of the area.  Virtual-only cost until committed.
   size_t size = 4ull << 30;  // 4 GiB -> 65536 slots of 64 KiB
   /// Slot granularity; must be a multiple of the page size.
@@ -36,6 +44,16 @@ struct AreaConfig {
   /// app harness.
   bool skip_decommit = false;
 };
+
+/// Distinct area base for hand-built test/bench sessions: the k-th
+/// 32 GiB-spaced base above the default (k >= 1; k = 0 is the default base
+/// itself).  Tests that reserve their own areas must not collide with the
+/// default runtime base, but hard-coded far-away constants fall outside
+/// TSan's application address ranges — deriving from the (sanitizer-aware)
+/// default keeps both properties.
+inline uintptr_t offset_area_base(unsigned k) {
+  return AreaConfig{}.base + uintptr_t{k} * 0x8'0000'0000ull;
+}
 
 class Area {
  public:

@@ -244,7 +244,7 @@ void SlotStore::erase_thread(uint64_t id) {
   lock_.lock();
   StoreDirEntry* e = entry_of(id);
   if (e != nullptr) {
-    std::memset(e, 0, sizeof(*e));
+    *e = StoreDirEntry{};
   }
   lock_.unlock();
 }

@@ -197,7 +197,10 @@ class SlotStore {
   StoreDirEntry* dir_ = nullptr;
   bool recovered_ = false;
   bool soft_dirty_armed_ = false;
-  mutable sys::SpinLock lock_;  // directory scans/updates
+  // Directory scans/updates.  kLeaf: fault_back/record run under the
+  // runtime's store_lock_, so this lock must rank below every runtime map
+  // lock and may acquire nothing itself.
+  mutable sys::SpinLock lock_{sys::LockRank::kLeaf};
   std::atomic<uint64_t> demotions_{0};
   std::atomic<uint64_t> fault_backs_{0};
   std::atomic<uint64_t> bytes_out_{0};

@@ -4,14 +4,19 @@
 #include "common/check.hpp"
 #include "marcel/context.hpp"
 #include "sys/sanitizer.hpp"
+#include "sys/spinlock.hpp"
 
 extern "C" void pm2_ctx_trampoline();
 
 // First-entry landing pad called by pm2_ctx_trampoline: under ASan the
 // switch that entered this fresh context left the fiber-switch protocol
 // half-open, and it must be closed on the *new* stack with a null
-// fake-stack handle (a fresh context has no frames to restore).
+// fake-stack handle (a fresh context has no frames to restore).  The
+// lock-rank checker's in-switch window closes here too — a fresh context
+// never returns through the pm2_ctx_switch call that entered it, so this
+// is its lockrank_ctx_switch_end().
 extern "C" void pm2_ctx_boot(pm2::marcel::EntryFn entry, void* arg) {
+  pm2::sys::lockrank_ctx_switch_end();
   pm2::sys::san_finish_switch(nullptr);
   entry(arg);
   PM2_FATAL("thread entry returned; it must end in a final context switch");

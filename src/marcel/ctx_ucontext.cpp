@@ -12,6 +12,7 @@
 #include "common/check.hpp"
 #include "marcel/context.hpp"
 #include "sys/sanitizer.hpp"
+#include "sys/spinlock.hpp"
 
 extern "C" void pm2_ctx_switch(void** save_sp, void* load_sp) {
   ucontext_t self;
@@ -26,7 +27,9 @@ namespace {
 void trampoline(uint32_t entry_lo, uint32_t entry_hi, uint32_t arg_lo,
                 uint32_t arg_hi) {
   // First entry: close the fiber-switch protocol on the fresh stack (null
-  // handle — there are no frames to restore; see ctx_make_asm.cpp's boot).
+  // handle — there are no frames to restore; see ctx_make_asm.cpp's boot)
+  // and the lock-rank checker's in-switch window.
+  sys::lockrank_ctx_switch_end();
   sys::san_finish_switch(nullptr);
   auto entry = reinterpret_cast<EntryFn>(
       (uint64_t{entry_hi} << 32) | entry_lo);

@@ -11,17 +11,20 @@ namespace {
 // Process-wide: in-process multi-node sessions share the key space, which
 // matches the SPMD requirement (same keys everywhere).  Destructors are
 // registered once per key; the table is append-only (keys are never
-// recycled), so lock-free readers in run_key_destructors only need the
-// published counter.
+// recycled).  Entries are atomic so a worker running another thread's exit
+// destructors reads a key registered concurrently on a peer worker without
+// a race: key_create publishes the function pointer with release, readers
+// acquire (a reader that still misses the store sees null and skips — the
+// key was not usable before key_create returned anyway).
 std::atomic<uint32_t> g_next_key{0};
-KeyDtor g_dtors[Thread::kMaxKeys] = {};
+std::atomic<KeyDtor> g_dtors[Thread::kMaxKeys] = {};
 }  // namespace
 
 Key key_create(KeyDtor dtor) {
   uint32_t key = g_next_key.fetch_add(1);
   PM2_CHECK(key < Thread::kMaxKeys)
       << "out of thread-specific keys (max " << Thread::kMaxKeys << ")";
-  g_dtors[key] = dtor;
+  g_dtors[key].store(dtor, std::memory_order_release);
   return key;
 }
 
@@ -31,9 +34,10 @@ void run_key_destructors(Thread* t) {
   if (n > Thread::kMaxKeys) n = Thread::kMaxKeys;
   for (uint32_t key = 0; key < n; ++key) {
     void* value = t->specific[key];
-    if (value == nullptr || g_dtors[key] == nullptr) continue;
+    KeyDtor dtor = g_dtors[key].load(std::memory_order_acquire);
+    if (value == nullptr || dtor == nullptr) continue;
     t->specific[key] = nullptr;  // pthread semantics: clear before calling
-    g_dtors[key](value);
+    dtor(value);
   }
 }
 

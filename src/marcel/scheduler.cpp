@@ -170,6 +170,7 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
   sys::san_unpoison(t->stack_base, stack_top - stack_base);
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
+  t->tsan_fiber = sys::san_fiber_create();
 
   uint32_t home = home_worker();
   t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
@@ -181,7 +182,7 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
 }
 
 Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
-                         const char* name, uint32_t flags) {
+                         const char* name, uint32_t flags, bool start_frozen) {
   PM2_CHECK(t != nullptr && t->magic == Thread::kMagic)
       << "rearm on corrupt descriptor";
   PM2_CHECK(t->state == ThreadState::kDead)
@@ -208,11 +209,15 @@ Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
   sys::san_unpoison(t->stack_base, t->stack_size());
   t->arm_canary();
   t->sp = ctx_make(t->stack_base, t->stack_top, entry, arg);
+  // The exit epilogue destroyed the previous invocation's TSan fiber; the
+  // recycled context gets a fresh one.
+  t->tsan_fiber = sys::san_fiber_create();
   uint32_t home = home_worker();
   t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
   t->last_worker = home;
+  if (start_frozen) t->state = ThreadState::kFrozen;
   register_thread(t);
-  push_ready(t, home);
+  if (!start_frozen) push_ready(t, home);
   return t;
 }
 
@@ -316,7 +321,10 @@ void Scheduler::dispatch(Worker& w, uint32_t idx, Thread* t) {
   w.dispatches.fetch_add(1, std::memory_order_relaxed);
   w.slice_start_ns = now_ns();
   sys::san_start_switch(&w.san_sched_fake, t->stack_base, t->stack_size());
+  sys::san_fiber_switch(t->tsan_fiber);
+  sys::lockrank_ctx_switch_begin();
   pm2_ctx_switch(&w.sched_sp, t->sp);
+  sys::lockrank_ctx_switch_end();
   sys::san_finish_switch(w.san_sched_fake);
   // The thread switched back (yield/block/exit/freeze).  Its memory is
   // still mapped even if it exited — the reaper continuation has not run
@@ -331,6 +339,13 @@ void Scheduler::dispatch(Worker& w, uint32_t idx, Thread* t) {
       << " without owning it";
   ParkMode mode = t->park_mode;
   w.current = nullptr;
+  if (mode == ParkMode::kDone && t->done) {
+    // The context exited and never runs again; release its TSan state now,
+    // before w.post (the reaper) releases or pool-parks the slot memory the
+    // descriptor lives in.  Pool re-arm creates a fresh fiber.
+    sys::san_fiber_destroy(t->tsan_fiber);
+    t->tsan_fiber = nullptr;
+  }
   // Only now is the context fully saved: release ownership so a racing
   // unblock()/steal may requeue and re-dispatch the thread.
   t->running_on.store(kNoWorker, std::memory_order_release);
@@ -345,7 +360,10 @@ void Scheduler::switch_to_scheduler(Thread* t) {
   t->san_worker = w_idx;
   sys::san_start_switch(&t->san_fake_stack, w.san_stack_bottom,
                         w.san_stack_size);
+  sys::san_fiber_switch(w.tsan_fiber);
+  sys::lockrank_ctx_switch_begin();
   pm2_ctx_switch(&t->sp, w.sched_sp);
+  sys::lockrank_ctx_switch_end();
   // The thread may have been resumed under a *different* worker (steal) or
   // a different scheduler (migration): `this` must not be touched, but `t`
   // is iso-addressed and therefore valid anywhere.  The parked fake-stack
@@ -455,6 +473,8 @@ void Scheduler::switch_out_forever(Thread* t) {
   // Null save slot: the context never runs again, so ASan may release its
   // fake-stack frames instead of keeping them alive forever.
   sys::san_start_switch(nullptr, w.san_stack_bottom, w.san_stack_size);
+  sys::san_fiber_switch(w.tsan_fiber);
+  sys::lockrank_ctx_switch_begin();
   pm2_ctx_switch(&t->sp, w.sched_sp);
   PM2_FATAL("dead/shipped thread was resumed");
 }
@@ -498,7 +518,9 @@ bool Scheduler::freeze(Thread* t) {
         deque_unlink(w, t);
         w.ready.fetch_sub(1);
         t->state = ThreadState::kFrozen;
-        t->cold_ns = now_ns();  // demotion-age stamp for the slot store
+        // Demotion-age stamp for the slot store.  Relaxed: the decay
+        // prescan may read it from another worker without a lock.
+        t->cold_ns.store(now_ns(), std::memory_order_relaxed);
         w.lock.unlock();
         return true;
       }
@@ -543,6 +565,17 @@ void Scheduler::adopt(Thread* t) {
   t->park_mode = ParkMode::kYield;
   t->affinity = kNoWorker;
   t->san_worker = kNoWorker;
+  // A descriptor forgotten with keep_fiber in this same process carries a
+  // live fiber whose shadow call stack still matches the byte-copied
+  // frames: reuse it, so resuming mid-call-chain keeps TSan's func
+  // entry/exit balanced (a fresh fiber underflows on the first return).
+  // A cross-process arrival — or a store-restored image from a dead
+  // incarnation — carries a foreign pointer this process does not own:
+  // overwrite (never destroy) with a fresh fiber.
+  if (t->tsan_fiber == nullptr ||
+      t->tsan_fiber_pid != static_cast<uint32_t>(::getpid())) {
+    t->tsan_fiber = sys::san_fiber_create();
+  }
   uint32_t home = home_worker();
   t->last_worker = home;
   RegistryShard& s = shard_for(t->id);
@@ -555,7 +588,18 @@ void Scheduler::adopt(Thread* t) {
   push_ready(t, home);
 }
 
-void Scheduler::forget(Thread* t) {
+void Scheduler::forget(Thread* t, bool keep_fiber) {
+  if (keep_fiber) {
+    // The descriptor bytes (t->tsan_fiber included) ship verbatim; if the
+    // adopting process is this one, adopt() resumes on this very fiber —
+    // its shadow call stack still matches the byte-copied frames, so the
+    // resumed returns stay balanced.  The pid stamp lets adopt() tell a
+    // same-process handoff from a foreign (cross-process) handle.
+    t->tsan_fiber_pid = static_cast<uint32_t>(::getpid());
+  } else {
+    sys::san_fiber_destroy(t->tsan_fiber);
+    t->tsan_fiber = nullptr;
+  }
   RegistryShard& s = shard_for(t->id);
   s.lock.lock();
   size_t erased = s.map.erase(t->id);
@@ -628,14 +672,19 @@ void Scheduler::stop() {
 
 void Scheduler::idle_park(Worker& w, uint32_t idx) {
   if (n_workers_ == 1) {
-    // Historical single-loop behavior, preserved exactly.
-    if (!w.timers.empty()) {
+    // Historical single-loop behavior, preserved exactly.  The deque lock
+    // is uncontended at one worker; taking it here satisfies the timers'
+    // guard uniformly instead of special-casing the single-worker read.
+    w.lock.lock();
+    bool have_timer = !w.timers.empty();
+    uint64_t deadline = have_timer ? w.timers.begin()->first : 0;
+    w.lock.unlock();
+    if (have_timer) {
       // Park the kernel thread until the nearest deadline instead of
       // busy-waiting: a sleeping thread is the only local wake source
       // (cross-node events are owned by the comm daemon, which is a
       // thread and therefore never leaves the scheduler idle).
       timespec until;
-      uint64_t deadline = w.timers.begin()->first;
       until.tv_sec = static_cast<time_t>(deadline / 1'000'000'000ull);
       until.tv_nsec = static_cast<long>(deadline % 1'000'000'000ull);
       ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &until, nullptr);
@@ -726,6 +775,7 @@ bool Scheduler::pause_pending() const {
 void Scheduler::worker_loop(uint32_t idx) {
   Worker& w = *workers_[idx];
   sys::san_current_stack(&w.san_stack_bottom, &w.san_stack_size);
+  w.tsan_fiber = sys::san_fiber_current();
   while (true) {
     if (pause_requested_.load(std::memory_order_relaxed)) gate_wait(idx);
     fire_expired_timers(w, idx);

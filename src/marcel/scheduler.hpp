@@ -38,6 +38,7 @@
 #include "marcel/context.hpp"
 #include "marcel/thread.hpp"
 #include "sys/spinlock.hpp"
+#include "sys/thread_safety.hpp"
 
 namespace pm2::marcel {
 
@@ -96,8 +97,12 @@ class Scheduler {
   /// so the caller skips init_stack_slot and the slot acquire entirely.
   /// The thread must have exited (its reaper parked it instead of
   /// releasing its memory); it re-enters scheduling ready, under a new id.
+  /// `start_frozen` mirrors create(): the caller finishes preparing the
+  /// descriptor (user_fn/user_arg) before unfreeze() publishes it — once
+  /// pushed ready, any worker may steal and run it immediately.
   Thread* rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
-                const char* name, uint32_t flags = 0);
+                const char* name, uint32_t flags = 0,
+                bool start_frozen = false);
 
   /// Cooperative yield: requeue caller, run someone else.
   void yield();
@@ -113,7 +118,7 @@ class Scheduler {
   /// holding `lock`; the lock is released after the park decision is
   /// published and before the switch, and a racing unblock() spins on
   /// running_on until the context is actually saved.
-  void block_commit(sys::SpinLock& lock);
+  void block_commit(sys::SpinLock& lock) PM2_RELEASE(lock);
 
   /// Park the caller for at least `us` microseconds.  Expired timers fire
   /// whenever control returns to the owning worker's loop; under PM2 the
@@ -170,7 +175,12 @@ class Scheduler {
 
   /// Forget a thread that was shipped away (erase from registry, drop from
   /// live count).  The memory is released by the migration engine.
-  void forget(Thread* t);
+  /// keep_fiber: the descriptor is about to be byte-copied and adopted
+  /// elsewhere (migration, checkpoint thaw) — keep its TSan fiber alive and
+  /// stamp the owning pid so a same-process adopt() can resume the copied
+  /// frames on the shadow call stack that still matches them.  The default
+  /// destroys the fiber (the context is gone for good).
+  void forget(Thread* t, bool keep_fiber = false);
 
   // --- main loop ---------------------------------------------------------
 
@@ -252,12 +262,17 @@ class Scheduler {
 
  private:
   struct alignas(64) Worker {
-    // Deque + timers, guarded by `lock`.
-    mutable sys::SpinLock lock;
-    Thread* head = nullptr;  // owner pops here; handoffs push here
-    Thread* tail = nullptr;  // normal pushes land here; thieves steal here
+    // Deque + timers, guarded by `lock` — innermost rank: while a deque
+    // lock is held nothing else may be acquired (peers only via try_lock).
+    mutable sys::SpinLock lock{sys::LockRank::kSchedulerDeque};
+    // owner pops at head (handoffs push there); pushes land at tail,
+    // thieves steal there
+    Thread* head PM2_GUARDED_BY(lock) = nullptr;
+    Thread* tail PM2_GUARDED_BY(lock) = nullptr;
+    // Mutated under `lock`, read lock-free by the idle/steal fast paths.
     std::atomic<size_t> ready{0};
-    std::multimap<uint64_t, Thread*> timers;  // wake_ns -> sleeping thread
+    // wake_ns -> sleeping thread
+    std::multimap<uint64_t, Thread*> timers PM2_GUARDED_BY(lock);
     std::atomic<uint64_t> earliest{UINT64_MAX};
 
     // Idle parking.
@@ -270,6 +285,10 @@ class Scheduler {
     void* san_sched_fake = nullptr;
     const void* san_stack_bottom = nullptr;
     size_t san_stack_size = 0;
+    // TSan fiber of the worker's own scheduler context (captured once at
+    // loop entry; null in non-TSan builds).  Thread contexts switch back
+    // to it in switch_to_scheduler / switch_out_forever.
+    void* tsan_fiber = nullptr;
     Thread* current = nullptr;
     Continuation post;  // continuation to run after next switch back
     Thread* post_thread = nullptr;
@@ -284,17 +303,17 @@ class Scheduler {
   };
 
   struct RegistryShard {
-    mutable sys::SpinLock lock;
-    std::unordered_map<ThreadId, Thread*> map;
+    mutable sys::SpinLock lock{sys::LockRank::kRegistryShard};
+    std::unordered_map<ThreadId, Thread*> map PM2_GUARDED_BY(lock);
   };
   static constexpr size_t kRegistryShards = 8;
   RegistryShard& shard_for(ThreadId id) const {
     return registry_[id % kRegistryShards];
   }
 
-  static void deque_push_back(Worker& w, Thread* t);
-  static void deque_push_front(Worker& w, Thread* t);
-  static void deque_unlink(Worker& w, Thread* t);
+  static void deque_push_back(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
+  static void deque_push_front(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
+  static void deque_unlink(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
 
   void worker_loop(uint32_t idx);
   void dispatch(Worker& w, uint32_t idx, Thread* t);

@@ -13,7 +13,8 @@ namespace {
 /// `held` (the owning primitive's state lock).  On return the thread has
 /// been woken by an unparker; the caller re-acquires `held` and retests its
 /// predicate (barging: no state is handed off through the park itself).
-void park_on(WaitQueue& q, sys::SpinLock& held, Scheduler* sched, Thread* t) {
+void park_on(WaitQueue& q, sys::SpinLock& held, Scheduler* sched, Thread* t)
+    PM2_RELEASE(held) {
   q.link_locked(t);
   t->wait_queue = &q;
   t->state = ThreadState::kBlocked;
@@ -48,7 +49,7 @@ void WaitQueue::link_locked(Thread* t) {
   else
     head_ = t;
   tail_ = t;
-  ++size_;
+  size_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Thread* WaitQueue::pop_locked() {
@@ -61,7 +62,7 @@ Thread* WaitQueue::pop_locked() {
     tail_ = nullptr;
   t->qnext = nullptr;
   t->qprev = nullptr;
-  --size_;
+  size_.fetch_sub(1, std::memory_order_relaxed);
   return t;
 }
 
@@ -69,7 +70,7 @@ Thread* WaitQueue::pop_all_locked() {
   Thread* chain = head_;
   head_ = nullptr;
   tail_ = nullptr;
-  size_ = 0;
+  size_.store(0, std::memory_order_relaxed);
   return chain;
 }
 

@@ -27,6 +27,7 @@
 #include "marcel/scheduler.hpp"
 #include "marcel/thread.hpp"
 #include "sys/spinlock.hpp"
+#include "sys/thread_safety.hpp"
 
 namespace pm2::marcel {
 
@@ -50,7 +51,7 @@ class WaitQueue {
   void park_current();
   /// Park the calling thread, atomically releasing `held` (embedded mode:
   /// the caller linked state changes and this park under `held`).
-  void park_current(sys::SpinLock& held);
+  void park_current(sys::SpinLock& held) PM2_RELEASE(held);
   /// Unpark the head thread; returns it, or nullptr if empty.  With
   /// `front` set the woken thread jumps to the head of the ready queue
   /// (direct handoff — it runs next; see Scheduler::unblock).
@@ -66,14 +67,24 @@ class WaitQueue {
   /// out of this wake batch; the caller walks and unblocks outside the lock.
   Thread* pop_all_locked();
 
-  bool empty() const { return head_ == nullptr; }
-  size_t size() const { return size_; }
+  /// Lock-free observers: outside any lock they answer "was the queue
+  /// empty at some recent instant" — callers that need the answer to stay
+  /// true hold the owning lock (embedded mode) around them.
+  bool empty() const { return size_.load(std::memory_order_relaxed) == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
-  sys::SpinLock lock_;  // standalone mode only
+  sys::SpinLock lock_{sys::LockRank::kSyncState};  // standalone mode only
+  // head_/tail_ deliberately carry no PM2_GUARDED_BY: in embedded mode they
+  // are protected by the *owning primitive's* lock (a different capability
+  // per instance), which the static analysis cannot express.  The dynamic
+  // layer still covers them — every _locked call site holds some SpinLock,
+  // and the rank checker validates that lock's order.
   Thread* head_ = nullptr;
   Thread* tail_ = nullptr;
-  size_t size_ = 0;
+  // Atomic: size()/empty() are sampled without the owning lock (runtime
+  // stats dumps, idle predicates) while another worker links or pops.
+  std::atomic<size_t> size_{0};
 };
 
 /// Non-recursive mutual exclusion.
@@ -82,12 +93,17 @@ class Mutex {
   void lock();
   bool try_lock();
   void unlock();
-  bool locked() const { return owner_ != nullptr; }
+  /// Advisory (tests/diagnostics): takes the state lock so the read is not
+  /// a race against a locker on another worker.
+  bool locked() const {
+    sys::SpinGuard g(state_lock_);
+    return owner_ != nullptr;
+  }
 
  private:
-  sys::SpinLock state_lock_;
-  Thread* owner_ = nullptr;
-  WaitQueue waiters_;
+  mutable sys::SpinLock state_lock_{sys::LockRank::kSyncState};
+  Thread* owner_ PM2_GUARDED_BY(state_lock_) = nullptr;
+  WaitQueue waiters_;  // embedded mode: guarded by state_lock_
 };
 
 /// Condition variable paired with Mutex.
@@ -99,8 +115,11 @@ class CondVar {
   void broadcast();
 
  private:
-  sys::SpinLock state_lock_;
-  WaitQueue waiters_;
+  // Distinct (higher) rank than kSyncState: wait() runs Mutex::unlock —
+  // which acquires the mutex's own state lock and pushes the next owner
+  // onto a ready deque — while this lock is held.
+  sys::SpinLock state_lock_{sys::LockRank::kSyncCondVar};
+  WaitQueue waiters_;  // embedded mode: guarded by state_lock_
 };
 
 /// Counting semaphore.
@@ -109,12 +128,16 @@ class Semaphore {
   explicit Semaphore(long initial = 0) : count_(initial) {}
   void acquire();  // P
   void release();  // V
-  long value() const { return count_; }
+  /// Advisory (tests/diagnostics): locked read, see Mutex::locked().
+  long value() const {
+    sys::SpinGuard g(state_lock_);
+    return count_;
+  }
 
  private:
-  sys::SpinLock state_lock_;
-  long count_;
-  WaitQueue waiters_;
+  mutable sys::SpinLock state_lock_{sys::LockRank::kSyncState};
+  long count_ PM2_GUARDED_BY(state_lock_);
+  WaitQueue waiters_;  // embedded mode: guarded by state_lock_
 };
 
 /// Reusable rendezvous for `parties` threads.
@@ -125,10 +148,10 @@ class Barrier {
   bool arrive_and_wait();
 
  private:
-  sys::SpinLock state_lock_;
-  size_t parties_;
-  size_t arrived_ = 0;
-  WaitQueue waiters_;
+  sys::SpinLock state_lock_{sys::LockRank::kSyncState};
+  size_t parties_ PM2_GUARDED_BY(state_lock_);
+  size_t arrived_ PM2_GUARDED_BY(state_lock_) = 0;
+  WaitQueue waiters_;  // embedded mode: guarded by state_lock_
 };
 
 /// One-shot event: wait() blocks until set() (used for RPC replies and
@@ -146,9 +169,9 @@ class Event {
   bool is_set() const { return set_.load(std::memory_order_acquire); }
 
  private:
-  sys::SpinLock state_lock_;
+  sys::SpinLock state_lock_{sys::LockRank::kSyncState};
   std::atomic<bool> set_{false};
-  WaitQueue waiters_;
+  WaitQueue waiters_;  // embedded mode: guarded by state_lock_
 };
 
 // ---------------------------------------------------------------------------
@@ -318,15 +341,22 @@ class RwLock {
   void lock();
   void unlock();
 
-  long readers() const { return readers_; }
-  bool has_writer() const { return writer_ != nullptr; }
+  /// Advisory (tests/diagnostics): locked reads, see Mutex::locked().
+  long readers() const {
+    sys::SpinGuard g(state_lock_);
+    return readers_;
+  }
+  bool has_writer() const {
+    sys::SpinGuard g(state_lock_);
+    return writer_ != nullptr;
+  }
 
  private:
-  sys::SpinLock state_lock_;
-  long readers_ = 0;            // active readers
-  Thread* writer_ = nullptr;    // active writer
-  WaitQueue read_waiters_;
-  WaitQueue write_waiters_;
+  mutable sys::SpinLock state_lock_{sys::LockRank::kSyncState};
+  long readers_ PM2_GUARDED_BY(state_lock_) = 0;          // active readers
+  Thread* writer_ PM2_GUARDED_BY(state_lock_) = nullptr;  // active writer
+  WaitQueue read_waiters_;   // embedded mode: guarded by state_lock_
+  WaitQueue write_waiters_;  // embedded mode: guarded by state_lock_
 };
 
 }  // namespace pm2::marcel

@@ -83,6 +83,17 @@ struct Thread {
   /// thread's fake-stack allocator, so install_thread nulls it: the first
   /// switch onto a migrated stack must hand ASan a null handle.
   void* san_fake_stack = nullptr;
+  /// TSan per-context ("fiber") state handle (null in non-TSan builds).
+  /// Created when the context is built (create / pool re-arm), switched to
+  /// before every dispatch, destroyed when the context dies (reap) or is
+  /// unwound half-created.  On a forget(keep_fiber=true) handoff (migration
+  /// pack, checkpoint thaw) the handle ships with the descriptor bytes:
+  /// its shadow call stack still matches the byte-copied frames, so a
+  /// same-process adopt() must resume on this very fiber — a fresh one
+  /// would underflow on the first return.  tsan_fiber_pid lets adopt()
+  /// recognize a foreign (cross-process) handle and start fresh instead.
+  void* tsan_fiber = nullptr;
+  uint32_t tsan_fiber_pid = 0;
 
   // --- SMP ownership (node-local, reset on adopt) ------------------------
   /// Index of the worker currently dispatching this thread, kNoWorker while
@@ -110,8 +121,12 @@ struct Thread {
   uint32_t san_worker = kNoWorker;
   /// now_ns() when the thread last went cold (frozen by the scheduler or
   /// parked in the invocation pool).  The slot store's decay pass ranks
-  /// demotion candidates by this stamp — coldest first.
-  uint64_t cold_ns = 0;
+  /// demotion candidates by this stamp — coldest first.  Atomic (relaxed):
+  /// the decay prescan reads stamps of threads another worker may be
+  /// freezing or pool-parking at that instant; the value is advisory there
+  /// (the authoritative pass runs under pause_workers), only the load must
+  /// not tear.
+  std::atomic<uint64_t> cold_ns{0};
 
   static constexpr uint32_t kFlagDaemon = 1u << 0;  // excluded from live count
   static constexpr uint32_t kFlagPinned = 1u << 1;  // refuses migration

@@ -80,8 +80,9 @@ std::vector<uint8_t> checkpoint_thread(Runtime& rt, marcel::ThreadId id) {
   // the bytes in a persistence format.
   mad::BufferChain chain = pack_thread_chain(rt, t, /*blocks_only=*/false);
   std::vector<uint8_t> image = wrap_image(rt, std::move(chain));
-  // Thaw: put the thread back exactly as it was.
-  rt.sched().forget(t);
+  // Thaw: put the thread back exactly as it was (same process, same
+  // frames — keep_fiber so adopt resumes on the matching TSan fiber).
+  rt.sched().forget(t, /*keep_fiber=*/true);
   rt.sched().adopt(t);
   return image;
 }
@@ -100,8 +101,9 @@ bool checkpoint_self(Runtime& rt, std::vector<uint8_t>& out) {
     mad::BufferChain chain = pack_thread_chain(rt, frozen, false);
     out = wrap_image(rt, std::move(chain));
     // Thaw: freeze_current_and left the thread registered, so re-enter it
-    // through forget+adopt (adopt also resets node-local links).
-    rt.sched().forget(frozen);
+    // through forget+adopt (adopt also resets node-local links;
+    // keep_fiber — same process, same frames).
+    rt.sched().forget(frozen, /*keep_fiber=*/true);
     rt.sched().adopt(frozen);
   });
   // Both the original and a restored clone resume here.

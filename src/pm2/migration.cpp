@@ -177,7 +177,9 @@ void ship_thread(Runtime& rt, marcel::Thread* t, uint32_t dest,
     runs.emplace_back(rt.area().slot_of(slot), slot->nslots);
   });
 
-  rt.sched().forget(t);
+  // keep_fiber: an in-process install (hub fabric, or socket nodes sharing
+  // the process) adopts the byte-copied stack on its original TSan fiber.
+  rt.sched().forget(t, /*keep_fiber=*/true);
 
   // Gather straight from the (still committed) slots to the wire.  By the
   // time fabric_send() returns the borrowed extents have been written out

@@ -189,15 +189,20 @@ marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
   size_t region_size = reinterpret_cast<uintptr_t>(slot_base) +
                        config_.stack_slots * area_.slot_size() - region;
 
+  // Always create frozen: a ready thread is immediately stealable by any
+  // worker, and the descriptor fields below must be in place before its
+  // first dispatch reads them in thread_trampoline.  unfreeze() publishes
+  // (the ready-deque lock carries the happens-before edge).
   marcel::Thread* t =
       sched_.create(reinterpret_cast<void*>(region), region_size,
                     &Runtime::thread_trampoline,
                     reinterpret_cast<void*>(region), id, name, flags,
-                    start_frozen);
+                    /*start_frozen=*/true);
   t->user_fn = reinterpret_cast<void*>(fn);
   t->user_arg = arg;
   t->home_node = config_.node;
   t->slot_list = sh;
+  if (!start_frozen) sched_.unfreeze(t);
   trace_event(trace::Event::kThreadCreate, id);
   return t;
 }
@@ -305,7 +310,9 @@ void Runtime::reap_thread(marcel::Thread* t) {
       uint32_t me = marcel::Scheduler::current_worker();
       if (me == marcel::kNoWorker || me >= pool_shards_.size()) me = 0;
       bool parked = false;
-      t->cold_ns = now_ns();  // demotion-age stamp (see store_decay)
+      // Demotion-age stamp (see store_decay).  Relaxed: the decay prescan
+      // may read it from another worker without a lock.
+      t->cold_ns.store(now_ns(), std::memory_order_relaxed);
       for (size_t k = 0; k < pool_shards_.size() && !parked; ++k) {
         PoolShard& shard = *pool_shards_[(me + k) % pool_shards_.size()];
         shard.lock.lock();
@@ -362,10 +369,14 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
     // The slot header's owner id is diagnostics; keep it in step with the
     // recycled identity.
     static_cast<iso::SlotHeader*>(t->slot_list)->owner_thread = id;
-    sched_.rearm(t, &Runtime::thread_trampoline, t, id, name, flags);
+    // Rearm frozen, publish after the descriptor is complete (same
+    // stealable-before-initialized hazard as create_thread_in_slots).
+    sched_.rearm(t, &Runtime::thread_trampoline, t, id, name, flags,
+                 /*start_frozen=*/true);
     t->user_fn = reinterpret_cast<void*>(fn);
     t->user_arg = arg;
     t->home_node = config_.node;
+    sched_.unfreeze(t);
     trace_event(trace::Event::kThreadCreate, id);
     return t;
   }
@@ -586,7 +597,8 @@ void Runtime::store_decay(uint64_t now) {
     // Registered threads must be frozen to qualify; parked pool shells
     // (kDead) are cold by construction.
     if (!parked && t->state != marcel::ThreadState::kFrozen) return;
-    if (now - t->cold_ns >= horizon) candidates = true;
+    if (now - t->cold_ns.load(std::memory_order_relaxed) >= horizon)
+      candidates = true;
   };
   sched_.for_each([&](marcel::Thread* t) { prescan(t, false); });
   if (!candidates) {
@@ -615,7 +627,7 @@ void Runtime::store_decay(uint64_t now) {
       bytes += size_t{s->nslots} * area_.slot_size();
     });
     resident_cold += bytes;
-    cold.push_back(Cand{t, t->cold_ns, parked});
+    cold.push_back(Cand{t, t->cold_ns.load(std::memory_order_relaxed), parked});
   };
   sched_.for_each([&](marcel::Thread* t) { consider(t, false); });
   for_each_parked([&](marcel::Thread* t) { consider(t, true); });

@@ -49,6 +49,7 @@
 #include "marcel/sync.hpp"
 #include "pm2/protocol.hpp"
 #include "sys/spinlock.hpp"
+#include "sys/thread_safety.hpp"
 #include "trace/trace.hpp"
 
 namespace pm2 {
@@ -575,8 +576,13 @@ class Runtime {
   /// Load metric used by the balancer: runnable, non-daemon threads.
   uint64_t load() const;
 
-  /// Observed load table (filled by kLoadInfo gossip).
-  const std::vector<uint64_t>& load_table() const { return load_table_; }
+  /// Observed load table (filled by kLoadInfo gossip).  Snapshot under the
+  /// lock: the gossip handler mutates the table concurrently with balancer
+  /// reads, and the values go stale the moment the lock drops anyway.
+  std::vector<uint64_t> load_table() const {
+    sys::SpinGuard g(load_lock_);
+    return load_table_;
+  }
   void broadcast_load();
 
   // --- slot store (buffer-managed residency + persistence) -------------------
@@ -796,9 +802,10 @@ class Runtime {
   std::atomic<bool> halting_{false};
 
   // Deferred sends (fabric_send from a worker when the transport is not
-  // concurrent-send-safe): drained by the comm daemon.
-  sys::SpinLock out_lock_;
-  std::vector<fabric::Message> outbox_;
+  // concurrent-send-safe): drained by the comm daemon.  Highest rank: the
+  // outbox is a terminal sink — nothing else is ever acquired under it.
+  sys::SpinLock out_lock_{sys::LockRank::kOutbox};
+  std::vector<fabric::Message> outbox_ PM2_GUARDED_BY(out_lock_);
 
   // Services: name-hash keyed dispatch table (the wire carries the hash).
   // Hash table: the lookup sits on the per-invocation hot path; node
@@ -809,30 +816,31 @@ class Runtime {
     ServiceHandler fn;
     uint32_t thread_flags = 0;  // kFlagPinned for service_local
   };
-  sys::SpinLock services_lock_;
-  std::unordered_map<uint32_t, ServiceEntry> services_;
+  sys::SpinLock services_lock_{sys::LockRank::kRuntimeMaps};
+  std::unordered_map<uint32_t, ServiceEntry> services_
+      PM2_GUARDED_BY(services_lock_);
 
   // Outstanding correlations: calls awaiting a reply and migrations
   // awaiting their install ack.  Unbounded — this is what lets one thread
   // pipeline arbitrarily many call_async requests.  Both maps (and the
   // corr counter's pairing with map insertion) live under pending_lock_;
   // promises are completed outside it.
-  mutable sys::SpinLock pending_lock_;
+  mutable sys::SpinLock pending_lock_{sys::LockRank::kRuntimeMaps};
   std::atomic<uint64_t> next_corr_{1};
   std::unordered_map<uint64_t, marcel::Promise<std::vector<uint8_t>>>
-      pending_calls_;
+      pending_calls_ PM2_GUARDED_BY(pending_lock_);
   std::unordered_map<uint64_t, marcel::Promise<MigrateResult>>
-      pending_migrations_;
+      pending_migrations_ PM2_GUARDED_BY(pending_lock_);
 
   // Migration observers (on_migration).
   MigrationHook pre_migration_;
   MigrationHook post_migration_;
 
   // Barrier (centralized at node 0), state under barrier_lock_.
-  sys::SpinLock barrier_lock_;
-  uint32_t barrier_seq_ = 0;
-  uint32_t barrier_arrivals_ = 0;  // node 0 only
-  marcel::Event* barrier_waiter_ = nullptr;
+  sys::SpinLock barrier_lock_{sys::LockRank::kRuntimeMaps};
+  uint32_t barrier_seq_ PM2_GUARDED_BY(barrier_lock_) = 0;
+  uint32_t barrier_arrivals_ PM2_GUARDED_BY(barrier_lock_) = 0;  // node 0 only
+  marcel::Event* barrier_waiter_ PM2_GUARDED_BY(barrier_lock_) = nullptr;
 
   // Signals
   std::atomic<uint64_t> signals_received_{0};
@@ -840,32 +848,39 @@ class Runtime {
 
   // Negotiation state, under nego_lock_: lock-server fields (node 0 only)
   // and this node's lock_wait_ event pointer.
-  sys::SpinLock nego_lock_;
-  bool lock_held_ = false;
-  uint32_t lock_owner_ = 0;
-  std::vector<uint32_t> lock_queue_;
+  sys::SpinLock nego_lock_{sys::LockRank::kRuntimeMaps};
+  bool lock_held_ PM2_GUARDED_BY(nego_lock_) = false;
+  uint32_t lock_owner_ PM2_GUARDED_BY(nego_lock_) = 0;
+  std::vector<uint32_t> lock_queue_ PM2_GUARDED_BY(nego_lock_);
   // nego_mutex_ serializes this node's threads entering the system-wide
   // critical section (the lock server tracks one outstanding request per
   // node).
   marcel::Mutex nego_mutex_;
-  marcel::Event* lock_wait_ = nullptr;
+  marcel::Event* lock_wait_ PM2_GUARDED_BY(nego_lock_) = nullptr;
   // Slot-bitmap state, under slot_lock_: the SlotManager itself, the freeze
   // depth (>0 between GatherReq and NegoUpdate of a remote negotiation and
   // while this node runs its own), deferred releases, and the wait queue of
   // threads parked until the freeze lifts (embedded mode: parked under
   // slot_lock_ so no unfreeze can slip between test and park).
-  mutable sys::SpinLock slot_lock_;
-  int bitmap_freeze_ = 0;
+  mutable sys::SpinLock slot_lock_{sys::LockRank::kRuntimeMaps};
+  int bitmap_freeze_ PM2_GUARDED_BY(slot_lock_) = 0;
+  // Embedded-mode WaitQueue: linked/popped under slot_lock_ (its own lock
+  // is bypassed), which static analysis cannot express — the dynamic
+  // lock-rank layer covers it.  slot_mgr_ (declared above) is likewise
+  // guarded by slot_lock_ but escapes through the slots() accessor for
+  // paused-worker audits, so it carries no GUARDED_BY either.
   marcel::WaitQueue bitmap_wait_;
-  std::vector<std::pair<size_t, size_t>> deferred_releases_;
+  std::vector<std::pair<size_t, size_t>> deferred_releases_
+      PM2_GUARDED_BY(slot_lock_);
   std::atomic<uint64_t> negotiations_initiated_{0};
   std::atomic<uint64_t> migrations_in_{0};
   std::atomic<uint64_t> migrations_out_{0};
 
-  // Written under load_lock_ (gossip handler); read without it by the
-  // balancer — load values are advisory and a torn table is harmless.
-  sys::SpinLock load_lock_;
-  std::vector<uint64_t> load_table_;
+  // Both writers (gossip handler, broadcast_load) and the balancer's read
+  // go through load_lock_; values are advisory the moment the lock drops,
+  // but the accesses themselves must not race.
+  mutable sys::SpinLock load_lock_{sys::LockRank::kRuntimeMaps};
+  std::vector<uint64_t> load_table_ PM2_GUARDED_BY(load_lock_);
   trace::Tracer* tracer_ = nullptr;
   mad::ChannelMux channels_{*fabric_, kUserBase};
 
@@ -873,8 +888,9 @@ class Runtime {
     size_t first;
     size_t count;
   };
-  mutable sys::SpinLock mig_cache_lock_;
-  std::deque<MigCacheEntry> mig_cache_;  // front = oldest
+  mutable sys::SpinLock mig_cache_lock_{sys::LockRank::kRuntimeMaps};
+  std::deque<MigCacheEntry> mig_cache_
+      PM2_GUARDED_BY(mig_cache_lock_);  // front = oldest
 
   // Invocation pool: parked service threads, LIFO (the most recently
   // parked stack is the cache-warmest).  Entries are off the scheduler
@@ -887,10 +903,10 @@ class Runtime {
     uint64_t parked_ns;
   };
   struct alignas(64) PoolShard {
-    mutable sys::SpinLock lock;
-    std::vector<PoolEntry> entries;
-    size_t cap = 0;  // per-shard park capacity; shard caps sum to
-                     // config_.invocation_pool exactly
+    mutable sys::SpinLock lock{sys::LockRank::kInvocationPool};
+    std::vector<PoolEntry> entries PM2_GUARDED_BY(lock);
+    size_t cap = 0;  // per-shard park capacity, set once at startup; shard
+                     // caps sum to config_.invocation_pool exactly
   };
   std::vector<std::unique_ptr<PoolShard>> pool_shards_;
   std::atomic<uint64_t> pool_hits_{0};
@@ -914,19 +930,20 @@ class Runtime {
   /// the thread spans more runs than the store directory can record.
   bool demote_locked(marcel::Thread* t, bool parked);
   std::unique_ptr<iso::SlotStore> store_;
-  mutable sys::SpinLock store_lock_;
-  std::unordered_map<marcel::Thread*, DemotedRec> demoted_;
+  mutable sys::SpinLock store_lock_{sys::LockRank::kRuntimeMaps};
+  std::unordered_map<marcel::Thread*, DemotedRec> demoted_
+      PM2_GUARDED_BY(store_lock_);
   // Thread ids whose recorded runs were pre-acquired at construction from
   // a recovered store (see take_restore_reservation).
-  std::unordered_set<uint64_t> restore_reserved_;
+  std::unordered_set<uint64_t> restore_reserved_ PM2_GUARDED_BY(store_lock_);
   std::atomic<uint64_t> demotions_{0};
   std::atomic<uint64_t> fault_backs_{0};
   std::atomic<size_t> demoted_bytes_{0};
 
   // Recycled RpcInvocation boxes (one per in-flight dispatch): the hot
   // path swaps a pointer instead of paying a heap round trip per call.
-  sys::SpinLock inv_lock_;
-  std::vector<RpcInvocation*> inv_free_;
+  sys::SpinLock inv_lock_{sys::LockRank::kInvocationPool};
+  std::vector<RpcInvocation*> inv_free_ PM2_GUARDED_BY(inv_lock_);
   void recycle_invocation(RpcInvocation* inv);
   void drop_invocation_freelist();
 };

@@ -28,6 +28,19 @@
 // call sites need no #ifdefs and the hot path pays zero cost in production
 // builds.
 //
+// ThreadSanitizer needs the same treatment through its own fiber API:
+// TSan keeps a per-"fiber" vector-clock state, and a PM2 thread hopping
+// between worker kernel threads (or parking/unparking through the
+// scheduler) looks like unsynchronized cross-thread access unless every
+// pm2_ctx_switch is announced.  san_fiber_create/switch/destroy wrap
+// __tsan_create_fiber & friends; the switch is announced on the *departing*
+// context immediately before pm2_ctx_switch (TSan, unlike ASan, needs no
+// finish call on the new stack).  Switching with flags=0 also establishes a
+// happens-before edge from the departing context to the resumed one — which
+// is real: the context switch is program order on one kernel thread, and
+// cross-worker resumes synchronize through the running_on release/acquire
+// handshake.
+//
 // Limitation: ASan's fake-stack mode (detect_stack_use_after_return=1,
 // default-on under clang 15+) is incompatible with iso-address migration
 // by construction — in that mode instrumented frames keep their locals on
@@ -52,6 +65,18 @@
 #define PM2_ASAN_ENABLED 0
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define PM2_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PM2_TSAN_ENABLED 1
+#else
+#define PM2_TSAN_ENABLED 0
+#endif
+#else
+#define PM2_TSAN_ENABLED 0
+#endif
+
 #if PM2_ASAN_ENABLED
 #include <pthread.h>
 
@@ -62,6 +87,15 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
                                      const void** bottom_old, size_t* size_old);
 void __asan_poison_memory_region(const void* addr, size_t size);
 void __asan_unpoison_memory_region(const void* addr, size_t size);
+}
+#endif
+
+#if PM2_TSAN_ENABLED
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
 }
 #endif
 
@@ -82,6 +116,51 @@ namespace pm2::sys {
 /// True in ASan-instrumented builds (runtime gates: timing assertions,
 /// death tests that rely on poison reports).
 inline constexpr bool kAsan = PM2_ASAN_ENABLED != 0;
+
+/// True in TSan-instrumented builds (runtime gates: tests that only make
+/// sense as race detectors, relocated iso-area base).
+inline constexpr bool kTsan = PM2_TSAN_ENABLED != 0;
+
+/// TSan state for the calling kernel thread's *current* context (its
+/// scheduler stack, captured once per worker at loop entry).  Null without
+/// TSan.
+inline void* san_fiber_current() {
+#if PM2_TSAN_ENABLED
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+/// Allocate TSan state for a context about to get its own stack (thread
+/// creation, invocation-pool re-arm, migrated-stack adoption).  Null
+/// without TSan.
+inline void* san_fiber_create() {
+#if PM2_TSAN_ENABLED
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+/// Free a context's TSan state: thread reaped, or its stack shipped to a
+/// peer node (the destination adopts it with a *fresh* fiber — vector
+/// clocks are process-local and do not migrate).
+inline void san_fiber_destroy([[maybe_unused]] void* fiber) {
+#if PM2_TSAN_ENABLED
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#endif
+}
+
+/// Announce the switch to `fiber`, called on the departing context
+/// immediately before pm2_ctx_switch.  flags=0: the switch carries a
+/// happens-before edge (true on one kernel thread by program order; true
+/// cross-worker via the running_on handshake).
+inline void san_fiber_switch([[maybe_unused]] void* fiber) {
+#if PM2_TSAN_ENABLED
+  __tsan_switch_to_fiber(fiber, 0);
+#endif
+}
 
 /// Announce an imminent switch to the stack [bottom, bottom+size).  The
 /// current context's fake-stack handle is parked in *fake_save; pass

@@ -12,12 +12,40 @@
 //     not held during the switch, only up to it.
 //   * never call into the fabric (which may pump receives re-entrantly)
 //     with a SpinLock held: decide under the lock, send outside it.
+//
+// Both rules are now *enforced*, not just stated:
+//   * statically — clang's -Wthread-safety pass, via the PM2_CAPABILITY /
+//     PM2_GUARDED_BY annotations (see sys/thread_safety.hpp);
+//   * dynamically — the lock-rank checker below (debug and sanitizer
+//     builds).  Every SpinLock carries a LockRank; acquisition order must
+//     be strictly *decreasing* (outer layers rank high, inner layers rank
+//     low), a thread-local stack records what each kernel thread holds, and
+//     unlock verifies the caller actually holds the lock.  A thread-local
+//     in-context-switch flag turns "no SpinLock across pm2_ctx_switch"
+//     into a hard CHECK at both the switch site and any acquisition that
+//     races one.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
+#endif
+
+#include "common/check.hpp"
+#include "sys/sanitizer.hpp"
+#include "sys/thread_safety.hpp"
+
+// The rank checker costs a TLS lookup and a few compares per lock op — too
+// much for release hot paths, cheap next to sanitizer instrumentation.  It
+// is on in debug builds and in every sanitizer build (the ASan/TSan CI legs
+// run the full suite, so rank violations surface there even though those
+// legs compile with optimizations and NDEBUG unset only sometimes).
+#if !defined(NDEBUG) || PM2_ASAN_ENABLED || PM2_TSAN_ENABLED
+#define PM2_LOCK_CHECKS 1
+#else
+#define PM2_LOCK_CHECKS 0
 #endif
 
 namespace pm2::sys {
@@ -32,39 +60,195 @@ inline void cpu_relax() {
 #endif
 }
 
-class SpinLock {
+/// Static lock order.  Acquisition must be strictly *decreasing*: while
+/// holding a lock of rank R, a kernel thread may only acquire locks of rank
+/// < R.  Outer (decision) layers rank high, inner (mechanism) layers rank
+/// low, so the runtime's decide-under-lock pattern — runtime table lock ->
+/// sync-primitive state lock -> scheduler deque lock — is monotone, i.e.
+/// scheduler-deque < registry-shard < runtime-maps < outbox.
+///
+/// The order encodes the nestings that actually occur:
+///   * CondVar::wait holds its state lock while Mutex::unlock runs
+///     underneath (kSyncCondVar > kSyncState) and while the woken waiter is
+///     pushed onto a ready deque (> kSchedulerDeque).
+///   * Runtime::for_each_parked holds a pool shard while the store-decay /
+///     audit callbacks take store_lock_ (kInvocationPool > kRuntimeMaps).
+///   * Runtime's store paths hold store_lock_ while the slot store scans
+///     its directory (kRuntimeMaps > kLeaf).
+/// Same-rank acquisition is refused; peers of equal rank (another worker's
+/// deque during stealing) may only be taken with try_lock, which cannot
+/// deadlock and is therefore exempt from the order check.
+enum class LockRank : uint8_t {
+  kLeaf = 0x08,            // slot-store directory, tracer: acquire nothing
+  kSchedulerDeque = 0x10,  // Worker::lock (peers via try_lock only)
+  kRegistryShard = 0x20,   // Scheduler registry shards
+  kSyncState = 0x30,       // Mutex/Semaphore/Barrier/Event/RwLock/WaitQueue
+  kSyncCondVar = 0x34,     // CondVar state (runs Mutex::unlock underneath)
+  kRuntimeMaps = 0x40,     // runtime tables: pending/services/slots/store/...
+  kInvocationPool = 0x48,  // pool shards + freelist (walk into store_lock_)
+  kOutbox = 0x50,          // deferred-send queue
+};
+
+#if PM2_LOCK_CHECKS
+
+namespace lockrank {
+
+/// Per-kernel-thread record of held SpinLocks.  Fixed capacity: the deepest
+/// legal chain today is three (pool shard -> runtime map -> leaf); eight
+/// leaves headroom for tests and future layers.
+struct HeldStack {
+  static constexpr int kMax = 8;
+  const void* lock[kMax];
+  uint8_t rank[kMax];
+  int depth = 0;
+  /// Between a lockrank_ctx_switch_begin() and the matching _end(): this
+  /// kernel thread is mid-pm2_ctx_switch and must not touch any SpinLock.
+  bool in_switch = false;
+};
+
+inline thread_local HeldStack t_held;
+
+inline uint8_t min_held_rank() {
+  // try_lock may record out-of-order entries, so scan instead of trusting
+  // the top (depth <= kMax keeps this trivial).
+  uint8_t m = 0xFF;
+  for (int i = 0; i < t_held.depth; ++i)
+    if (t_held.rank[i] < m) m = t_held.rank[i];
+  return m;
+}
+
+inline void check_acquire(const void* l, LockRank r) {
+  PM2_CHECK(!t_held.in_switch)
+      << "SpinLock " << l << " (rank 0x" << std::hex
+      << unsigned(static_cast<uint8_t>(r))
+      << ") acquired while this kernel thread is mid-pm2_ctx_switch";
+  PM2_CHECK(static_cast<uint8_t>(r) < min_held_rank())
+      << "lock-rank violation: acquiring SpinLock " << l << " of rank 0x"
+      << std::hex << unsigned(static_cast<uint8_t>(r))
+      << " while holding rank 0x" << unsigned(min_held_rank())
+      << " (acquisition order must strictly decrease; same-rank peers only "
+         "via try_lock)";
+}
+
+inline void note_acquired(const void* l, LockRank r) {
+  PM2_CHECK(t_held.depth < HeldStack::kMax) << "SpinLock held-stack overflow";
+  t_held.lock[t_held.depth] = l;
+  t_held.rank[t_held.depth] = static_cast<uint8_t>(r);
+  ++t_held.depth;
+}
+
+inline void note_released(const void* l) {
+  // Search from the top: releases are almost always LIFO, but the
+  // decide-under-lock pattern legitimately releases out of order
+  // (SpinGuard::release before a later guard unwinds).
+  for (int i = t_held.depth - 1; i >= 0; --i) {
+    if (t_held.lock[i] != l) continue;
+    for (int j = i; j + 1 < t_held.depth; ++j) {
+      t_held.lock[j] = t_held.lock[j + 1];
+      t_held.rank[j] = t_held.rank[j + 1];
+    }
+    --t_held.depth;
+    return;
+  }
+  PM2_FATAL("SpinLock::unlock of a lock this kernel thread does not hold "
+            "(double unlock, or unlock from a non-owning thread)");
+}
+
+}  // namespace lockrank
+
+#endif  // PM2_LOCK_CHECKS
+
+/// Bracket every pm2_ctx_switch: begin() immediately before the switch on
+/// the departing context, end() at the first instruction the resumed (or
+/// freshly booted) context runs.  begin() asserts the departing kernel
+/// thread holds no SpinLock — the "never hold a SpinLock across a switch"
+/// rule — and arms the in-switch flag that fails any acquisition racing
+/// the switch itself.
+inline void lockrank_ctx_switch_begin() {
+#if PM2_LOCK_CHECKS
+  PM2_CHECK(lockrank::t_held.depth == 0)
+      << "pm2_ctx_switch with " << lockrank::t_held.depth
+      << " SpinLock(s) held (first held: " << lockrank::t_held.lock[0]
+      << "); publish, release, then switch";
+  lockrank::t_held.in_switch = true;
+#endif
+}
+
+inline void lockrank_ctx_switch_end() {
+#if PM2_LOCK_CHECKS
+  lockrank::t_held.in_switch = false;
+#endif
+}
+
+class PM2_CAPABILITY("spinlock") SpinLock {
  public:
-  SpinLock() = default;
+  constexpr SpinLock() = default;
+  constexpr explicit SpinLock([[maybe_unused]] LockRank rank)
+#if PM2_LOCK_CHECKS
+      : rank_(rank)
+#endif
+  {
+  }
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() PM2_ACQUIRE() {
+#if PM2_LOCK_CHECKS
+    // Order is checked *before* spinning: a rank violation is exactly the
+    // shape that deadlocks, so fail fast instead of hanging in it.
+    lockrank::check_acquire(this, rank_);
+#endif
     while (flag_.exchange(true, std::memory_order_acquire)) {
       // Spin on a plain load so the cache line stays shared while waiting.
       while (flag_.load(std::memory_order_relaxed)) cpu_relax();
     }
+#if PM2_LOCK_CHECKS
+    lockrank::note_acquired(this, rank_);
+#endif
   }
 
-  bool try_lock() {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+  bool try_lock() PM2_TRY_ACQUIRE(true) {
+    bool got = !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+#if PM2_LOCK_CHECKS
+    // A try-acquisition cannot deadlock (it fails instead of waiting), so
+    // it is exempt from the rank-order check — this is how work stealing
+    // takes a peer deque of equal rank — but the mid-switch rule and the
+    // held-stack bookkeeping still apply.
+    if (got) {
+      PM2_CHECK(!lockrank::t_held.in_switch)
+          << "SpinLock::try_lock succeeded mid-pm2_ctx_switch";
+      lockrank::note_acquired(this, rank_);
+    }
+#endif
+    return got;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() PM2_RELEASE() {
+#if PM2_LOCK_CHECKS
+    PM2_CHECK(flag_.load(std::memory_order_relaxed))
+        << "SpinLock::unlock of an unheld lock (double unlock?)";
+    lockrank::note_released(this);
+#endif
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+#if PM2_LOCK_CHECKS
+  LockRank rank_ = LockRank::kLeaf;
+#endif
 };
 
 /// Scoped holder (std::lock_guard works too; this one permits early release
 /// for the decide-under-lock / act-outside pattern).
-class SpinGuard {
+class PM2_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(SpinLock& l) : lock_(&l) { lock_->lock(); }
-  ~SpinGuard() { release(); }
+  explicit SpinGuard(SpinLock& l) PM2_ACQUIRE(l) : lock_(&l) { lock_->lock(); }
+  ~SpinGuard() PM2_RELEASE() { release(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
-  void release() {
+  void release() PM2_RELEASE() {
     if (lock_ != nullptr) {
       lock_->unlock();
       lock_ = nullptr;

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis macro shim.
+//
+// The SMP locking rules of this runtime ("decide under the lock, act
+// outside", "never hold a SpinLock across pm2_ctx_switch") are enforced two
+// ways: statically by clang's -Wthread-safety pass through the annotations
+// below, and dynamically by the lock-rank checker in sys/spinlock.hpp.
+// This header provides the annotation macros; they expand to clang's
+// thread-safety attributes when the compiler supports them and to nothing
+// otherwise (GCC builds the tree unannotated, bit-for-bit identical).
+//
+// Usage map:
+//   * sys::SpinLock           -> PM2_CAPABILITY
+//   * sys::SpinGuard          -> PM2_SCOPED_CAPABILITY
+//   * lock-protected fields   -> PM2_GUARDED_BY(lock)
+//   * decide-under-lock hooks -> PM2_REQUIRES(lock) (caller holds it)
+//   * lock/unlock entry points-> PM2_ACQUIRE / PM2_RELEASE
+//   * park-and-release paths  -> PM2_RELEASE(lock) on block_commit-shaped
+//                                functions (the lock is released *inside*)
+//
+// Every PM2_NO_THREAD_SAFETY_ANALYSIS escape in the tree must carry a
+// comment justifying why the analysis cannot see the protocol (there are
+// deliberately few: the WaitQueue's dual-mode locking and the scheduler's
+// publish-then-release-then-switch park are the canonical ones).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PM2_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PM2_THREAD_ANNOTATION(x)
+#endif
+#else
+#define PM2_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lock-like capability (clang tracks acquire/release).
+#define PM2_CAPABILITY(name) PM2_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PM2_SCOPED_CAPABILITY PM2_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field access requires holding `x`.
+#define PM2_GUARDED_BY(x) PM2_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee access requires holding `x` (the pointer itself is free).
+#define PM2_PT_GUARDED_BY(x) PM2_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities on entry (and still does on
+/// exit).
+#define PM2_REQUIRES(...) \
+  PM2_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define PM2_ACQUIRE(...) PM2_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (caller held them on entry).
+#define PM2_RELEASE(...) PM2_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define PM2_TRY_ACQUIRE(result, ...) \
+  PM2_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define PM2_EXCLUDES(...) PM2_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert (to the analysis) that the capability is held here — for code
+/// reached only from contexts that provably hold it but that the analysis
+/// cannot follow (callback indirection).
+#define PM2_ASSERT_CAPABILITY(x) \
+  PM2_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns the capability protecting the returned object.
+#define PM2_RETURN_CAPABILITY(x) PM2_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis.  EVERY use must carry a comment
+/// justifying why the protocol is invisible to the static pass.
+#define PM2_NO_THREAD_SAFETY_ANALYSIS \
+  PM2_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -68,7 +68,9 @@ class Tracer {
   void clear();
 
  private:
-  mutable sys::SpinLock lock_;
+  // kLeaf: trace_event() fires from arbitrary runtime/scheduler contexts,
+  // often with a higher-ranked lock held; recording acquires nothing.
+  mutable sys::SpinLock lock_{sys::LockRank::kLeaf};
   uint16_t node_;
   std::vector<Record> ring_;
   size_t head_ = 0;   // next write position (under lock_)

@@ -10,7 +10,7 @@ namespace {
 
 AreaConfig small_config() {
   AreaConfig cfg;
-  cfg.base = 0x7200'0000'0000ull;  // away from the default runtime base
+  cfg.base = iso::offset_area_base(1);  // away from the default runtime base
   cfg.size = 64ull << 20;          // 64 MiB
   cfg.slot_size = 64 * 1024;
   return cfg;

@@ -14,7 +14,7 @@ namespace {
 
 AreaConfig aligned_area_config() {
   AreaConfig cfg;
-  cfg.base = 0x6A00'0000'0000ull;
+  cfg.base = iso::offset_area_base(2);
   cfg.size = 128ull << 20;
   cfg.slot_size = 64 * 1024;
   return cfg;

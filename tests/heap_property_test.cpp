@@ -14,7 +14,7 @@ namespace {
 
 AreaConfig prop_area_config() {
   AreaConfig cfg;
-  cfg.base = 0x6500'0000'0000ull;
+  cfg.base = iso::offset_area_base(3);
   cfg.size = 128ull << 20;  // 2048 slots
   cfg.slot_size = 64 * 1024;
   return cfg;

@@ -10,7 +10,7 @@ namespace {
 
 AreaConfig heap_area_config() {
   AreaConfig cfg;
-  cfg.base = 0x7400'0000'0000ull;
+  cfg.base = iso::offset_area_base(4);
   cfg.size = 64ull << 20;  // 1024 slots
   cfg.slot_size = 64 * 1024;
   return cfg;

@@ -121,7 +121,7 @@ TEST(NegotiationRuntime, ExhaustedNodeBuysSlots) {
   AppConfig cfg;
   cfg.nodes = 2;
   // Tiny area: 128 slots of 64K = 8 MiB, partitioned: node 0 owns 64.
-  cfg.area.base = 0x5000'0000'0000ull;
+  // Keep the default base: it is sanitizer-dependent (see AreaConfig).
   cfg.area.size = 8ull << 20;
   cfg.rt.slots.distribution = iso::Distribution::kPartitioned;
   cfg.rt.slots.cache_capacity = 0;

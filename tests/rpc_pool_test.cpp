@@ -78,7 +78,15 @@ TEST(InvocationPool, BurstBeyondPoolSizeFallsBackAndStaysBounded) {
         for (int i = 0; i < 8; ++i)
           futs.push_back(rt.call_async<int>(0, "inc", i));
         for (int i = 0; i < 8; ++i) EXPECT_EQ(futs[i].take(), i + 1);
-        EXPECT_EQ(rt.pool_misses(), 8u);  // burst dispatched before any ran
+        // On the single-loop scheduler the whole burst dispatches before
+        // any invocation runs, so all eight are cold builds.  With SMP
+        // workers (or sanitizer slowdowns) an early invocation may finish
+        // and park before a later dispatch arrives, turning that one into
+        // a legitimate pool hit — the scheduling-independent invariants
+        // are the accounting and that the first dispatch found an empty
+        // pool.
+        EXPECT_EQ(rt.pool_misses() + rt.pool_hits(), 8u);
+        EXPECT_GE(rt.pool_misses(), 1u);
         EXPECT_LE(rt.pool_size(), 2u);
         // Sequential follow-ups are pool-served.
         uint64_t hits_before = rt.pool_hits();
@@ -120,7 +128,7 @@ TEST(InvocationPool, DisabledPoolNeverParks) {
 // session is built by hand instead of through run_app.
 TEST(InvocationPool, HaltReleasesParkedThreadSlots) {
   iso::AreaConfig ac;
-  ac.base = 0x7400'0000'0000ull;
+  ac.base = iso::offset_area_base(5);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   auto hub = std::make_shared<fabric::InProcHub>(1);

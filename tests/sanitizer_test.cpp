@@ -216,7 +216,7 @@ TEST(SanitizerCheckpoint, SameImageRestoresRepeatedly) {
 // matters.
 void scribble_on_parked_stack() {
   iso::AreaConfig ac;
-  ac.base = 0x7600'0000'0000ull;
+  ac.base = iso::offset_area_base(6);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   auto hub = std::make_shared<fabric::InProcHub>(1);

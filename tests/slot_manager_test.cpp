@@ -8,7 +8,7 @@ namespace {
 
 AreaConfig test_area_config() {
   AreaConfig cfg;
-  cfg.base = 0x7300'0000'0000ull;
+  cfg.base = iso::offset_area_base(7);
   cfg.size = 64ull << 20;  // 1024 slots
   cfg.slot_size = 64 * 1024;
   return cfg;

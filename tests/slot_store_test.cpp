@@ -258,7 +258,7 @@ TEST(SlotStore, RecoveryRefusesGarbageFile) {
     for (int i = 0; i < 8192; ++i) f.put(static_cast<char>(i * 37));
   }
   iso::AreaConfig ac;
-  ac.base = 0x7700'0000'0000ull;
+  ac.base = iso::offset_area_base(8);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   iso::SlotStoreConfig sc;
@@ -272,7 +272,7 @@ TEST(SlotStore, RecoveryRefusesForeignBinaryStamp) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::string path = make_store_dir() + "/stamp.store";
   iso::AreaConfig ac;
-  ac.base = 0x7700'4000'0000ull;
+  ac.base = iso::offset_area_base(9);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   {
@@ -291,7 +291,7 @@ TEST(SlotStore, RecoveryRefusesGeometryMismatch) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::string path = make_store_dir() + "/geom.store";
   iso::AreaConfig ac;
-  ac.base = 0x7700'8000'0000ull;
+  ac.base = iso::offset_area_base(10);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   {
@@ -300,7 +300,7 @@ TEST(SlotStore, RecoveryRefusesGeometryMismatch) {
     iso::SlotStore store(area, sc, binary_stamp(), 0, 1);
   }
   iso::AreaConfig ac2 = ac;
-  ac2.base = 0x7700'c000'0000ull;  // different area base, same file
+  ac2.base = iso::offset_area_base(11);  // different area base, same file
   iso::Area area2(ac2);
   iso::SlotStoreConfig sc;
   sc.path = path;
@@ -313,7 +313,7 @@ TEST(SlotStore, RecoveryRefusesSessionShapeMismatch) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   std::string path = make_store_dir() + "/shape.store";
   iso::AreaConfig ac;
-  ac.base = 0x7701'0000'0000ull;
+  ac.base = iso::offset_area_base(12);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   {
@@ -338,7 +338,7 @@ TEST(SlotStore, RecoveryRefusesSessionShapeMismatch) {
 // stack is still caught.
 void parked_demote_roundtrip() {
   iso::AreaConfig ac;
-  ac.base = 0x7702'0000'0000ull;
+  ac.base = iso::offset_area_base(13);
   ac.size = 64ull << 20;
   iso::Area area(ac);
   auto hub = std::make_shared<fabric::InProcHub>(1);
