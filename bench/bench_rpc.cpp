@@ -24,6 +24,14 @@
 //                               # session must be pool-served, and async
 //                               # p99 at window 8 must stay under a very
 //                               # generous fixed ceiling)
+//   ./bench_rpc --fault "drop=0.01,delay=200us,seed=7" --timeout_ms 100
+//                               # deterministic fault injection: the given
+//                               # FaultPlan wraps the fabric, lost calls
+//                               # time out after --timeout_ms and retry,
+//                               # and the latency sample keeps the full
+//                               # timeout + retry cost — p99/p999 under
+//                               # loss is the number this mode exists for.
+//                               # A `timeouts` column counts the retries.
 //
 // The p999 column and the smoke p99 guard bound the *tail*: a lost wakeup
 // (a reply landing while the worker parks) hides in an average but stands
@@ -39,6 +47,7 @@
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
+#include "fabric/fault_fabric.hpp"
 #include "madeleine/buffers.hpp"
 #include "marcel/sync.hpp"
 #include "pm2/api.hpp"
@@ -68,6 +77,9 @@ std::vector<uint64_t> g_wstats;  // callee node, 5 counters per worker
 uint64_t g_calls = 2000;
 size_t g_payload = 64;
 uint32_t g_workers = 0;  // 0 = RuntimeConfig auto (PM2_WORKERS env / 1)
+std::string g_fault;          // FaultPlan spec; empty = no injection
+uint64_t g_timeout_ms = 0;    // per-call deadline; 0 = unbounded
+std::atomic<uint64_t> g_timeouts{0};  // measured calls that retried
 
 // Generous smoke ceiling for async p99 at window >= 8.  Healthy in-process
 // round trips sit in the tens of µs even under sanitizers; the failure
@@ -94,6 +106,7 @@ struct Row {
   uint64_t fut_misses;
   uint64_t chunk_hits;
   uint64_t chunk_misses;
+  uint64_t timeouts;
   uint32_t workers;
   std::vector<uint64_t> wstats;  // dispatches,steals,failed,handoffs,wakeups
 };
@@ -113,22 +126,44 @@ double hit_rate(uint64_t hits, uint64_t misses) {
                           static_cast<double>(total);
 }
 
+/// One echo round trip that survives injected loss: a kTimeout failure
+/// re-issues the request.  rt.call<R>() is exactly call_async<R>().take(),
+/// so the fault-free path measures the same thing the blocking call did.
+uint64_t echo_retry(Runtime& rt, const std::vector<uint8_t>& blob) {
+  for (;;) {
+    RpcFuture<uint64_t> fut = rt.call_async<uint64_t>(1, "echo-len", blob);
+    fut.wait();
+    if (!fut.failed()) return fut.take();
+    PM2_CHECK(rpc_error_code(fut.error()) == RpcErrorCode::kTimeout)
+        << fut.error();
+    ++g_timeouts;
+  }
+}
+
 /// One measured session: node 0 issues `g_calls` echo requests to node 1
 /// keeping `outstanding` in flight (outstanding == 0 → the legacy blocking
-/// call() path).  Per-request latency is sampled issue → completion.
+/// call() path).  Per-request latency is sampled issue → completion; under
+/// --fault that includes any timeout + retry laps, which is the tail the
+/// fault mode exists to expose.
 void run_session(bool socket_fabric, size_t outstanding) {
   g_total_ns = 0;
+  g_timeouts = 0;
   AppConfig cfg;
   cfg.nodes = 2;
   cfg.socket_fabric = socket_fabric;
   cfg.rt.workers = g_workers;
+  // "seed=1" parses to an inactive plan: an explicit "no faults" that also
+  // masks any ambient PM2_FAULT_PLAN, so baseline numbers stay baseline.
+  cfg.rt.fault_plan = g_fault.empty() ? "seed=1" : g_fault;
+  cfg.rt.rpc_timeout_ns = g_timeout_ms * 1'000'000;
   run_app(
       cfg,
       [&](Runtime& rt) {
         if (rt.self() != 0) return;
         std::vector<uint8_t> blob(g_payload, 0x5A);
         // Warm-up: fault the path end to end.
-        rt.call<uint64_t>(1, "echo-len", blob);
+        echo_retry(rt, blob);
+        g_timeouts = 0;  // count measured-loop retries only
 
         std::vector<uint64_t> samples;
         samples.reserve(g_calls);
@@ -136,7 +171,7 @@ void run_session(bool socket_fabric, size_t outstanding) {
         if (outstanding == 0) {
           for (uint64_t i = 0; i < g_calls; ++i) {
             Stopwatch call_sw;
-            uint64_t len = rt.call<uint64_t>(1, "echo-len", blob);
+            uint64_t len = echo_retry(rt, blob);
             samples.push_back(call_sw.elapsed_ns());
             PM2_CHECK(len == blob.size());
           }
@@ -154,6 +189,16 @@ void run_session(bool socket_fabric, size_t outstanding) {
               ++issued;
             }
             size_t idx = wait_any(window);
+            if (window[idx].failed()) {
+              PM2_CHECK(rpc_error_code(window[idx].error()) ==
+                        RpcErrorCode::kTimeout)
+                  << window[idx].error();
+              ++g_timeouts;
+              // Re-issue under the original issue stamp so the sample
+              // carries the full timeout + retry latency.
+              window[idx] = rt.call_async<uint64_t>(1, "echo-len", blob);
+              continue;
+            }
             samples.push_back(now_ns() - issued_at[idx]);
             PM2_CHECK(window[idx].take() == blob.size());
             window.erase(window.begin() + static_cast<long>(idx));
@@ -172,7 +217,19 @@ void run_session(bool socket_fabric, size_t outstanding) {
         // the callee node: fetch its counters over the same RPC plane.
         // Layout: 3 invocation-pool + 2 future-pool + 2 chunk-pool
         // counters, then n_workers and 5 scheduler counters per worker.
-        auto pool = rt.call<std::vector<uint64_t>>(1, "pool-stats");
+        // The counter fetch sits outside the measured window; retry on
+        // injected loss without charging the timeouts column.
+        std::vector<uint64_t> pool;
+        for (;;) {
+          auto f = rt.call_async<std::vector<uint64_t>>(1, "pool-stats");
+          f.wait();
+          if (!f.failed()) {
+            pool = f.take();
+            break;
+          }
+          PM2_CHECK(rpc_error_code(f.error()) == RpcErrorCode::kTimeout)
+              << f.error();
+        }
         PM2_CHECK(pool.size() >= 8 && pool.size() == 8 + 5 * pool[7]);
         g_pool_hits = pool[0];
         g_pool_misses = pool[1];
@@ -247,6 +304,7 @@ void bench_fabric(const char* fabric_name, bool socket_fabric, bool smoke,
     row.fut_misses = g_fut_misses.load();
     row.chunk_hits = g_chunk_hits.load();
     row.chunk_misses = g_chunk_misses.load();
+    row.timeouts = g_timeouts.load();
     row.workers = g_srv_workers.load();
     row.wstats = g_wstats;
     g_rows.push_back(row);
@@ -259,7 +317,9 @@ void bench_fabric(const char* fabric_name, bool socket_fabric, bool smoke,
           << "invocation pool is not serving the RPC hot path";
       // Tail guard: a p99 anywhere near the ceiling means replies are
       // crossing a blind poll window or a lost-wakeup park, not a fabric.
-      if (row.mode == "async" && outstanding >= 8) {
+      // Injected faults legitimately blow the tail, so the guard only
+      // applies to clean runs.
+      if (row.mode == "async" && outstanding >= 8 && g_fault.empty()) {
         PM2_CHECK(row.p99_us < kSmokeP99CeilingUs)
             << fabric_name << " async window " << outstanding
             << " smoke p99 " << row.p99_us << " us exceeds the "
@@ -285,6 +345,7 @@ void bench_fabric(const char* fabric_name, bool socket_fabric, bool smoke,
     bench::print_cell(row.pool_misses);
     bench::print_cell(hit_rate(row.fut_hits, row.fut_misses));
     bench::print_cell(hit_rate(row.chunk_hits, row.chunk_misses));
+    bench::print_cell(row.timeouts);
     bench::print_cell(static_cast<uint64_t>(row.workers));
     bench::print_cell(steals);
     bench::print_row_end();
@@ -297,9 +358,11 @@ void write_json(const std::string& path) {
   std::fprintf(f,
                "{\n  \"bench\": \"bench_rpc\",\n  \"calls\": %llu,\n"
                "  \"payload\": %zu,\n  \"workers_requested\": %u,\n"
+               "  \"fault_plan\": \"%s\",\n  \"timeout_ms\": %llu,\n"
                "  \"rows\": [\n",
                static_cast<unsigned long long>(g_calls), g_payload,
-               g_workers);
+               g_workers, g_fault.c_str(),
+               static_cast<unsigned long long>(g_timeout_ms));
   for (size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
     std::fprintf(
@@ -311,7 +374,7 @@ void write_json(const std::string& path) {
         "\"pool_misses\": %llu, \"pool_evictions\": %llu, "
         "\"future_pool_hits\": %llu, \"future_pool_misses\": %llu, "
         "\"chunk_pool_hits\": %llu, \"chunk_pool_misses\": %llu, "
-        "\"workers\": %u, \"worker_stats\": [",
+        "\"timeouts\": %llu, \"workers\": %u, \"worker_stats\": [",
         r.fabric.c_str(), r.mode.c_str(), r.outstanding,
         static_cast<unsigned long long>(r.calls), r.us_per_call, r.p50_us,
         r.p99_us, r.p999_us, r.calls_per_s, r.wire_mb, r.copy_mb,
@@ -321,7 +384,8 @@ void write_json(const std::string& path) {
         static_cast<unsigned long long>(r.fut_hits),
         static_cast<unsigned long long>(r.fut_misses),
         static_cast<unsigned long long>(r.chunk_hits),
-        static_cast<unsigned long long>(r.chunk_misses), r.workers);
+        static_cast<unsigned long long>(r.chunk_misses),
+        static_cast<unsigned long long>(r.timeouts), r.workers);
     for (size_t w = 0; w * 5 < r.wstats.size(); ++w) {
       std::fprintf(
           f,
@@ -352,13 +416,23 @@ int main(int argc, char** argv) {
   g_payload = static_cast<size_t>(flags.i64("payload", 64));
   g_workers = static_cast<uint32_t>(flags.i64("workers", 0));
   std::string json_path = flags.str("json", "");
+  g_fault = flags.str("fault", "");
+  g_timeout_ms = static_cast<uint64_t>(flags.i64("timeout_ms", 0));
+  if (!g_fault.empty()) {
+    // Validate the plan grammar loudly before any session runs, and refuse
+    // a lossy plan without a deadline — a dropped reply with no timeout
+    // parks the caller forever.
+    fabric::FaultPlan plan = fabric::FaultPlan::parse(g_fault);
+    PM2_CHECK(plan.active()) << "--fault plan injects nothing: " << g_fault;
+    if (g_timeout_ms == 0) g_timeout_ms = 100;
+  }
 
   bench::print_header(
       "RPC: blocking call() vs pipelined call_async() (echo round trips)",
       {"fabric", "mode", "outstanding", "calls", "us_per_call", "p50_us",
        "p99_us", "p999_us", "calls_per_s", "wire_MB", "copy_MB",
-       "pool_hits", "pool_miss", "fut_hit%", "chk_hit%", "workers",
-       "steals"});
+       "pool_hits", "pool_miss", "fut_hit%", "chk_hit%", "timeouts",
+       "workers", "steals"});
 
   // outstanding == 0 encodes the blocking-call baseline.  Smoke mode runs
   // short sessions of each mode on both fabrics: CI keeps the binary, the

@@ -30,6 +30,12 @@ struct Message {
   NodeId src = 0;        // filled by the fabric on send
   NodeId dst = 0;        // destination node
   uint64_t corr = 0;     // request/reply correlation id (0 = none)
+  // Not on the wire: a best-effort frame (heartbeat, load gossip) may be
+  // silently dropped if the peer is unreachable, instead of blocking on
+  // reconnect or treating the dead link as fatal.  The failure detector is
+  // the layer that reacts to an unreachable peer; its own probes must not
+  // wedge the daemon that runs it.
+  bool best_effort = false;
   std::vector<uint8_t> payload;  // flat form (mutually exclusive with chain)
   mad::BufferChain chain;        // scatter-gather form
 

@@ -299,7 +299,23 @@ bool SocketFabric::send_frame(NodeId peer) {
     struct msghdr mh {};
     mh.msg_iov = iov_.data() + idx;
     mh.msg_iovlen = std::min(iov_.size() - idx, kMaxIov);
-    ssize_t n = ::sendmsg(fd.get(), &mh, MSG_NOSIGNAL);
+    ssize_t n;
+    if (sys::fault_take_eintr()) {
+      // Injected signal-interrupt: exercise the EINTR retry below.
+      n = -1;
+      errno = EINTR;
+    } else if (sys::fault_take_short_write()) {
+      // Injected short write: push one byte so the partial-write resume
+      // logic (iov advance across segment boundaries) runs for real.
+      struct iovec one = iov_[idx];
+      one.iov_len = 1;
+      struct msghdr mh1 {};
+      mh1.msg_iov = &one;
+      mh1.msg_iovlen = 1;
+      n = ::sendmsg(fd.get(), &mh1, MSG_NOSIGNAL);
+    } else {
+      n = ::sendmsg(fd.get(), &mh, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       auto left = static_cast<size_t>(n);
       while (left > 0) {
@@ -353,14 +369,18 @@ void SocketFabric::send(Message msg) {
     if (send_frame(msg.dst)) return;
 
     // The link died mid-frame.
-    if (teardown_) {
+    if (teardown_ || msg.best_effort) {
       // Session teardown: the peer legitimately exited, and this is a late
       // message (load gossip, a reply racing the halt drain) losing the
       // race — drop it rather than kill a node that is itself about to
-      // exit.  Undo the top-of-send accounting: this frame never went out.
+      // exit.  Best-effort frames (heartbeats, gossip) get the same
+      // treatment at any time: the failure detector handles dead peers,
+      // and its probes must not block on reconnect or abort the prober.
+      // Undo the top-of-send accounting: this frame never went out.
       bytes_sent_ -= msg.wire_size();
       --messages_sent_;
-      PM2_DEBUG << "dropping frame to exited node " << msg.dst;
+      PM2_DEBUG << "dropping frame to " << (teardown_ ? "exited" : "dead")
+                << " node " << msg.dst;
       return;
     }
     // Outside teardown a dead peer is fatal unless the session runs in

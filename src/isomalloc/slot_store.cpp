@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "sys/backoff.hpp"
 #include "sys/sanitizer.hpp"
 
 namespace pm2::iso {
@@ -18,8 +19,8 @@ namespace {
 void pwrite_all(int fd, const void* buf, size_t len, uint64_t off) {
   const char* p = static_cast<const char*>(buf);
   while (len > 0) {
-    ssize_t rc = ::pwrite(fd, p, len, static_cast<off_t>(off));
-    if (rc < 0 && errno == EINTR) continue;
+    ssize_t rc = sys::retry_eintr(
+        [&] { return ::pwrite(fd, p, len, static_cast<off_t>(off)); });
     PM2_CHECK(rc > 0) << "slot store pwrite failed: " << std::strerror(errno);
     p += rc;
     off += static_cast<uint64_t>(rc);
@@ -30,8 +31,8 @@ void pwrite_all(int fd, const void* buf, size_t len, uint64_t off) {
 void pread_all(int fd, void* buf, size_t len, uint64_t off) {
   char* p = static_cast<char*>(buf);
   while (len > 0) {
-    ssize_t rc = ::pread(fd, p, len, static_cast<off_t>(off));
-    if (rc < 0 && errno == EINTR) continue;
+    ssize_t rc = sys::retry_eintr(
+        [&] { return ::pread(fd, p, len, static_cast<off_t>(off)); });
     PM2_CHECK(rc > 0) << "slot store pread failed: "
                       << (rc == 0 ? "truncated store file"
                                   : std::strerror(errno));

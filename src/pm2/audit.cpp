@@ -128,7 +128,10 @@ AuditReport audit_session(Runtime& rt) {
   for (uint32_t node = 0; node < rt.n_nodes(); ++node) {
     if (node == rt.self()) continue;
     uint64_t corr = rt.next_corr_.fetch_add(1, std::memory_order_relaxed);
-    marcel::Future<std::vector<uint8_t>> fut = rt.register_pending(corr);
+    // No deadline: audits run under the system lock; the peer-down sweep
+    // fails this future (fut.failed() below reports the abort) if the
+    // audited peer dies mid-inventory.
+    marcel::Future<std::vector<uint8_t>> fut = rt.register_pending(corr, node, 0);
     fabric::Message req;
     req.type = kAuditReq;
     req.dst = node;

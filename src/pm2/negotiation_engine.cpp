@@ -48,7 +48,13 @@ void Runtime::lock_system() {
   ev.wait();
   nego_lock_.lock();
   lock_wait_ = nullptr;
+  bool lost = nego_peer_lost_;
+  nego_peer_lost_ = false;
   nego_lock_.unlock();
+  // The global bitmap protocol cannot survive losing a participant (the
+  // address-space consensus would silently diverge): abort loudly rather
+  // than proceed with a partial view or hang on a grant that never comes.
+  PM2_CHECK(!lost) << "peer went down while waiting for the system lock";
   PM2_DEBUG << "system lock granted";
 }
 
@@ -182,7 +188,10 @@ std::vector<Bitmap> Runtime::gather_all_bitmaps() {
   for (uint32_t node = 0; node < config_.n_nodes; ++node) {
     if (node == config_.node) continue;
     uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
-    marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+    // No deadline: gathers run under the system lock, whose own waiter is
+    // failed by the peer-down sweep; the sweep also fails these futures if
+    // the gathered peer dies mid-collection.
+    marcel::Future<std::vector<uint8_t>> fut = register_pending(corr, node, 0);
     fabric::Message req;
     req.type = kGatherReq;
     req.dst = node;

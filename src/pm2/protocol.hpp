@@ -45,6 +45,12 @@ enum MsgType : uint16_t {
   kReplyError,  // {string why}       corr = matching request (fails the future)
   kMigrateAck,  // {u64 thread id}    corr = matching migrate_async
 
+  // Failure detection: periodic liveness beacon from each comm daemon.
+  // Empty payload; best-effort (a heartbeat to a dead peer is dropped, not
+  // retried).  Any received frame counts as liveness, so heartbeats only
+  // carry information on otherwise-quiet links.
+  kHeartbeat,
+
   kUserBase = 100,
 };
 

@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
+#include "fabric/fault_fabric.hpp"
 #include "isomalloc/block.hpp"
 #include "pm2/checkpoint.hpp"
 #include "pm2/migration.hpp"
@@ -36,6 +37,19 @@ class RuntimeBinding {
  private:
   Runtime* prev_;
 };
+
+// Fault-injection hook point: wrap the transport when a plan is configured
+// (RuntimeConfig::fault_plan, else the PM2_FAULT_PLAN env var — the env
+// path is what lets multiprocess tests inject into spawned node
+// processes).  Runs in the fabric_ member initializer, before channels_
+// captures the fabric reference.
+std::unique_ptr<fabric::Fabric> wrap_runtime_fabric(
+    const RuntimeConfig& config, std::unique_ptr<fabric::Fabric> inner) {
+  fabric::FaultPlan plan = config.fault_plan.empty()
+                               ? fabric::FaultPlan::from_env()
+                               : fabric::FaultPlan::parse(config.fault_plan);
+  return fabric::wrap_with_faults(std::move(inner), plan);
+}
 }  // namespace
 
 Runtime* Runtime::current() { return t_runtime; }
@@ -65,11 +79,23 @@ uint32_t RuntimeConfig::resolved_workers() const {
   return w == 0 ? 1 : w;
 }
 
+uint64_t RuntimeConfig::resolved_rpc_timeout_ns() const {
+  if (rpc_timeout_ns != 0) return rpc_timeout_ns;
+  // Env override only fills in an *unset* default, so explicit configs win
+  // and PM2_RPC_TIMEOUT_MS can arm whole multiprocess chaos runs at once.
+  const char* env = std::getenv("PM2_RPC_TIMEOUT_MS");
+  if (env != nullptr && *env != '\0') {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<uint64_t>(v) * 1'000'000ull;
+  }
+  return 0;
+}
+
 Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
                  std::unique_ptr<fabric::Fabric> fabric)
     : config_(config),
       area_(area),
-      fabric_(std::move(fabric)),
+      fabric_(wrap_runtime_fabric(config, std::move(fabric))),
       sched_(config.resolved_workers()),
       slot_mgr_(area, [&] {
         iso::SlotManagerConfig sc = config.slots;
@@ -83,6 +109,12 @@ Runtime::Runtime(const RuntimeConfig& config, iso::Area& area,
   PM2_CHECK(fabric_->node_id() == config_.node &&
             fabric_->n_nodes() == config_.n_nodes)
       << "fabric/runtime node configuration mismatch";
+  rpc_timeout_ns_ = config_.resolved_rpc_timeout_ns();
+  // Peer-health slots exist only when the failure detector can run — a
+  // null array keeps every legacy path (peer_seen, fail-fast checks) at a
+  // single pointer test.
+  if (config_.heartbeat_period_ns > 0 && config_.n_nodes > 1)
+    peers_ = std::make_unique<PeerHealth[]>(config_.n_nodes);
   // Invocation-pool shards: one per scheduler worker, per-shard caps
   // summing to exactly invocation_pool (reap-side spill makes the whole
   // capacity reachable regardless of which workers do the reaping, and
@@ -816,12 +848,18 @@ bool Runtime::migrate(marcel::ThreadId id, uint32_t dest) {
 }
 
 marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
-                                                     uint32_t dest) {
+                                                     uint32_t dest,
+                                                     uint64_t timeout_ns) {
   marcel::Promise<MigrateResult> promise;
   marcel::Future<MigrateResult> fut = promise.future();
   PM2_CHECK(dest < config_.n_nodes) << "migrate to unknown node " << dest;
   if (halting()) {
     promise.set_error("session halting");
+    return fut;
+  }
+  if (peer_down(dest)) {
+    promise.set_error(std::string(kRpcPeerDownPrefix) + ": node " +
+                      std::to_string(dest) + " is down");
     return fut;
   }
   marcel::Thread* t = sched_.find(id);
@@ -843,6 +881,16 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
     promise.set_error("thread not migratable (pinned, running, or blocked)");
     return fut;
   }
+  uint64_t deadline = resolve_deadline(timeout_ns);
+  // Rollback state: the runs (recorded while the thread is still resident
+  // and ours) let a timeout / peer-down sweep reclaim the cached pages and
+  // adopt the descriptor back.
+  std::vector<std::pair<size_t, size_t>> runs;
+  if (deadline != 0 || peers_ != nullptr) {
+    iso::ThreadHeap::for_each_slot(t->slot_list, [&](iso::SlotHeader* slot) {
+      runs.emplace_back(area_.slot_of(slot), slot->nslots);
+    });
+  }
   uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
   pending_lock_.lock();
   if (halting()) {
@@ -853,10 +901,36 @@ marcel::Future<MigrateResult> Runtime::migrate_async(marcel::ThreadId id,
     promise.set_error("session halting");
     return fut;
   }
-  pending_migrations_.emplace(corr, std::move(promise));
+  pending_migrations_.emplace(
+      corr, PendingMigration{std::move(promise), dest, deadline, t, id,
+                             std::move(runs), /*shipped=*/false});
   pending_lock_.unlock();
   ++migrations_out_;
   ship_thread(*this, t, dest, corr);
+  // Only now — with the pack sent and the descriptor forgotten — may the
+  // failure paths roll this migration back: arm the deadline and, if the
+  // destination went down while we were shipping (its sweep skipped the
+  // unshipped entry), fail it ourselves.
+  std::optional<PendingMigration> lost;
+  pending_lock_.lock();
+  if (auto it = pending_migrations_.find(corr);
+      it != pending_migrations_.end()) {  // ack may already have landed
+    it->second.shipped = true;
+    if (peer_down(dest)) {
+      lost = std::move(it->second);
+      pending_migrations_.erase(it);
+      tombstone_locked(corr);
+    } else if (deadline != 0) {
+      arm_deadline_locked(corr, deadline, /*migration=*/true);
+    }
+  }
+  pending_lock_.unlock();
+  if (lost) {
+    peer_down_failures_.fetch_add(1, std::memory_order_relaxed);
+    rollback_migration(std::move(*lost),
+                       std::string(kRpcPeerDownPrefix) + ": node " +
+                           std::to_string(dest) + " unreachable");
+  }
   return fut;
 }
 
@@ -1036,15 +1110,23 @@ void Runtime::rpc_framed(uint32_t node, uint32_t service,
 }
 
 marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
-    uint32_t node, uint32_t service, mad::PackBuffer&& args) {
+    uint32_t node, uint32_t service, mad::PackBuffer&& args,
+    uint64_t timeout_ns) {
   PM2_CHECK(node < config_.n_nodes);
   if (halting()) {
     marcel::Promise<std::vector<uint8_t>> p;
     p.set_error("session halting");
     return p.future();
   }
+  if (node != config_.node && peer_down(node)) {
+    marcel::Promise<std::vector<uint8_t>> p;
+    p.set_error(std::string(kRpcPeerDownPrefix) + ": node " +
+                std::to_string(node) + " is down");
+    return p.future();
+  }
   uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
-  marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+  marcel::Future<std::vector<uint8_t>> fut =
+      register_pending(corr, node, resolve_deadline(timeout_ns));
   if (fut.failed()) return fut;
   if (node == config_.node) {
     dispatch_rpc(service, config_.node, corr, args.finalize(), 0);
@@ -1060,15 +1142,23 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_hash(
 }
 
 marcel::Future<std::vector<uint8_t>> Runtime::call_async_framed(
-    uint32_t node, uint32_t service, mad::PackBuffer&& framed) {
+    uint32_t node, uint32_t service, mad::PackBuffer&& framed,
+    uint64_t timeout_ns) {
   PM2_CHECK(node < config_.n_nodes);
   if (halting()) {
     marcel::Promise<std::vector<uint8_t>> p;
     p.set_error("session halting");
     return p.future();
   }
+  if (node != config_.node && peer_down(node)) {
+    marcel::Promise<std::vector<uint8_t>> p;
+    p.set_error(std::string(kRpcPeerDownPrefix) + ": node " +
+                std::to_string(node) + " is down");
+    return p.future();
+  }
   uint64_t corr = next_corr_.fetch_add(1, std::memory_order_relaxed);
-  marcel::Future<std::vector<uint8_t>> fut = register_pending(corr);
+  marcel::Future<std::vector<uint8_t>> fut =
+      register_pending(corr, node, resolve_deadline(timeout_ns));
   if (fut.failed()) return fut;
   if (node == config_.node) {
     dispatch_rpc(service, config_.node, corr, framed.finalize(),
@@ -1087,14 +1177,15 @@ marcel::Future<std::vector<uint8_t>> Runtime::call_async_framed(
 std::vector<uint8_t> Runtime::call(uint32_t node, const char* service_name,
                                    mad::PackBuffer&& args) {
   PM2_CHECK(marcel::Scheduler::self() != nullptr) << "call outside a thread";
-  marcel::Future<std::vector<uint8_t>> fut =
-      call_async_hash(node, service_id(service_name), std::move(args));
+  marcel::Future<std::vector<uint8_t>> fut = call_async_hash(
+      node, service_id(service_name), std::move(args), kTimeoutFromConfig);
   fut.wait();
   if (fut.failed()) throw RpcError(fut.error());
   return fut.take();
 }
 
-marcel::Future<std::vector<uint8_t>> Runtime::register_pending(uint64_t corr) {
+marcel::Future<std::vector<uint8_t>> Runtime::register_pending(
+    uint64_t corr, uint32_t dest, uint64_t deadline_ns) {
   marcel::Promise<std::vector<uint8_t>> promise;
   marcel::Future<std::vector<uint8_t>> fut = promise.future();
   pending_lock_.lock();
@@ -1105,20 +1196,117 @@ marcel::Future<std::vector<uint8_t>> Runtime::register_pending(uint64_t corr) {
     promise.set_error("session halting");
     return fut;
   }
-  pending_calls_.emplace(corr, std::move(promise));
+  pending_calls_.emplace(corr,
+                         PendingCall{std::move(promise), dest, deadline_ns});
+  if (deadline_ns != 0) arm_deadline_locked(corr, deadline_ns, false);
   pending_lock_.unlock();
   return fut;
+}
+
+void Runtime::tombstone_locked(uint64_t corr) {
+  if (tombstones_.insert(corr).second) {
+    tombstone_fifo_.push_back(corr);
+    if (tombstone_fifo_.size() > kTombstoneCap) {
+      tombstones_.erase(tombstone_fifo_.front());
+      tombstone_fifo_.pop_front();
+    }
+  }
+}
+
+void Runtime::arm_deadline_locked(uint64_t corr, uint64_t deadline_ns,
+                                  bool migration) {
+  deadlines_.push(DeadlineEnt{deadline_ns, corr, migration});
+  // Monotonic min: the heap top only moves earlier on a push.
+  if (deadline_ns < next_deadline_ns_.load(std::memory_order_relaxed))
+    next_deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+}
+
+uint64_t Runtime::resolve_deadline(uint64_t timeout_ns) const {
+  uint64_t t = timeout_ns == kTimeoutFromConfig ? rpc_timeout_ns_ : timeout_ns;
+  return t == 0 ? 0 : now_ns() + t;
+}
+
+void Runtime::expire_deadlines(uint64_t now) {
+  if (next_deadline_ns_.load(std::memory_order_relaxed) > now) return;
+  while (true) {
+    // Extract one due correlation at a time: resolving a promise (or
+    // rolling a migration back) runs scheduler code and must happen
+    // outside pending_lock_.
+    std::optional<PendingCall> call;
+    std::optional<PendingMigration> mig;
+    pending_lock_.lock();
+    while (!deadlines_.empty() && deadlines_.top().deadline_ns <= now) {
+      DeadlineEnt e = deadlines_.top();
+      deadlines_.pop();
+      if (e.migration) {
+        auto it = pending_migrations_.find(e.corr);
+        if (it == pending_migrations_.end()) continue;  // already resolved
+        mig = std::move(it->second);
+        pending_migrations_.erase(it);
+      } else {
+        auto it = pending_calls_.find(e.corr);
+        if (it == pending_calls_.end()) continue;  // already resolved
+        call = std::move(it->second);
+        pending_calls_.erase(it);
+      }
+      tombstone_locked(e.corr);
+      break;
+    }
+    next_deadline_ns_.store(
+        deadlines_.empty() ? UINT64_MAX : deadlines_.top().deadline_ns,
+        std::memory_order_relaxed);
+    pending_lock_.unlock();
+    if (!call && !mig) return;
+    if (call) {
+      rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      call->promise.set_error(std::string(kRpcTimeoutPrefix) +
+                              ": no reply from node " +
+                              std::to_string(call->dest));
+    } else {
+      rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      std::string why = std::string(kRpcTimeoutPrefix) +
+                        ": no install ack from node " +
+                        std::to_string(mig->dest);
+      rollback_migration(std::move(*mig), why);
+    }
+  }
+}
+
+void Runtime::rollback_migration(PendingMigration ent, const std::string& why) {
+  if (ent.thread != nullptr) {
+    migration_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    // ship_thread parked the runs in the migration slot cache, which kept
+    // the pages (descriptor and stack included) committed.  Reclaim the
+    // entries so the cache will not decommit them under the revived
+    // thread.  An evicted entry means the descriptor bytes are gone and no
+    // rollback exists — configure migration_slot_cache to span the
+    // timeout window.
+    for (auto [first, count] : ent.runs) {
+      PM2_CHECK(mig_cache_take(first, count))
+          << "migration rollback window lost (run " << first << "+" << count
+          << " evicted from the slot cache): migration_slot_cache must "
+             "cover deadline-armed migrations";
+    }
+    // Same adoption path an arriving migration uses: the frozen, forgotten
+    // descriptor becomes runnable here again.  Locally the stack bytes,
+    // flags and sanitizer state were never touched, so no install-side
+    // fixups apply.
+    sched_.adopt(ent.thread);
+    PM2_WARN << "node " << config_.node << ": rolled back migration of thread "
+             << ent.thread_id << " -> node " << ent.dest << " (" << why << ")";
+  }
+  ent.promise.set_error(why);
 }
 
 void Runtime::complete_pending(uint64_t corr, std::vector<uint8_t>&& result,
                                const char* what) {
   if (auto p = take_pending(pending_calls_, corr, what))
-    p->set_value(std::move(result));
+    p->promise.set_value(std::move(result));
 }
 
 void Runtime::fail_pending(uint64_t corr, std::string why, const char* what) {
   if (auto p = take_pending(pending_calls_, corr, what))
-    p->set_error(std::move(why));
+    p->promise.set_error(std::move(why));
 }
 
 void Runtime::drain_pending(const std::string& why) {
@@ -1129,9 +1317,13 @@ void Runtime::drain_pending(const std::string& why) {
   pending_calls_.clear();
   auto migs = std::move(pending_migrations_);
   pending_migrations_.clear();
+  // Armed deadlines die with their entries (take_pending tolerates late
+  // replies while halting anyway).
+  deadlines_ = {};
+  next_deadline_ns_.store(UINT64_MAX, std::memory_order_relaxed);
   pending_lock_.unlock();
-  for (auto& [corr, promise] : calls) promise.set_error(why);
-  for (auto& [corr, promise] : migs) promise.set_error(why);
+  for (auto& [corr, ent] : calls) ent.promise.set_error(why);
+  for (auto& [corr, ent] : migs) ent.promise.set_error(why);
 }
 
 void RpcContext::fail(const std::string& why) {
@@ -1177,6 +1369,15 @@ void RpcContext::reply(mad::PackBuffer&& result) {
 void Runtime::barrier() {
   PM2_CHECK(marcel::Scheduler::self() != nullptr) << "barrier outside thread";
   trace_event(trace::Event::kBarrier);
+  // A barrier cannot complete without every node: with failure detection
+  // on, error out instead of parking forever behind a dead peer.
+  if (peers_ != nullptr) {
+    for (uint32_t n = 0; n < config_.n_nodes; ++n) {
+      if (n != config_.node && peer_down(n))
+        throw RpcError(std::string(kRpcPeerDownPrefix) + ": node " +
+                       std::to_string(n) + " is down, barrier cannot complete");
+    }
+  }
   marcel::Event ev;
   // Decide under barrier_lock_ (the comm daemon's arrival handler races
   // the coordinator's own local arrival at workers > 1); send and set the
@@ -1220,7 +1421,12 @@ void Runtime::barrier() {
   ev.wait();
   barrier_lock_.lock();
   barrier_waiter_ = nullptr;
+  // The peer-down sweep wakes a parked barrier with an error note instead
+  // of a release: surface it as RpcError (kPeerDown) to the caller.
+  std::string err = std::move(barrier_error_);
+  barrier_error_.clear();
   barrier_lock_.unlock();
+  if (!err.empty()) throw RpcError(err);
 }
 
 void Runtime::send_signal(uint32_t node) {
@@ -1266,15 +1472,157 @@ void Runtime::broadcast_load() {
   load_lock_.unlock();
   for (uint32_t n = 0; n < config_.n_nodes; ++n) {
     if (n == config_.node) continue;
+    if (peer_down(n)) continue;  // gossip to a dead peer is wasted motion
     fabric::Message msg;
     msg.type = kLoadInfo;
     msg.dst = n;
+    // Gossip is periodic and self-healing: if the peer is unreachable the
+    // frame may be silently dropped rather than wedging the sender.
+    msg.best_effort = true;
     ByteWriter w;
     w.put<uint32_t>(config_.node);
     w.put<uint64_t>(ld);
     msg.payload = w.take();
     fabric_send(std::move(msg));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------------------
+
+fabric::FaultFabric* Runtime::fault_fabric() {
+  return dynamic_cast<fabric::FaultFabric*>(fabric_.get());
+}
+
+Runtime::PeerState Runtime::peer_state(uint32_t node) const {
+  if (peers_ == nullptr || node == config_.node || node >= config_.n_nodes)
+    return PeerState::kUp;
+  return static_cast<PeerState>(
+      peers_[node].state.load(std::memory_order_acquire));
+}
+
+void Runtime::peer_seen(uint32_t node) {
+  if (node >= config_.n_nodes) return;
+  PeerHealth& h = peers_[node];
+  h.last_seen_ns.store(now_ns(), std::memory_order_relaxed);
+  if (h.state.load(std::memory_order_relaxed) !=
+      static_cast<uint8_t>(PeerState::kUp)) {
+    // Any frame from a suspect/down peer is proof of recovery: a healed
+    // partition or a flapping link rejoins without ceremony.  (Pending
+    // requests already failed by the down sweep stay failed — at-least-once
+    // callers retry; the tombstones swallow the stale replies.)
+    h.state.store(static_cast<uint8_t>(PeerState::kUp),
+                  std::memory_order_release);
+    PM2_WARN << "node " << node << " is back up";
+  }
+}
+
+void Runtime::check_peers(uint64_t now) {
+  // Re-scan at a quarter of the heartbeat period: fine enough that a miss
+  // verdict lands within ~one period of its deadline, coarse enough that a
+  // busy daemon is not rescanning the table on every frame.
+  if (now < next_peer_scan_ns_) return;
+  next_peer_scan_ns_ = now + config_.heartbeat_period_ns / 4 + 1;
+  if (now >= next_heartbeat_ns_) {
+    next_heartbeat_ns_ = now + config_.heartbeat_period_ns;
+    for (uint32_t n = 0; n < config_.n_nodes; ++n) {
+      if (n == config_.node) continue;
+      // Down peers are probed too: a restarted or partition-healed peer
+      // announces itself by answering traffic, and the probe is what keeps
+      // traffic flowing to an otherwise-quiet peer.
+      fabric::Message hb;
+      hb.type = kHeartbeat;
+      hb.dst = n;
+      hb.best_effort = true;
+      fabric_->send(std::move(hb));
+      heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (uint32_t n = 0; n < config_.n_nodes; ++n) {
+    if (n == config_.node) continue;
+    PeerHealth& h = peers_[n];
+    auto st = static_cast<PeerState>(h.state.load(std::memory_order_relaxed));
+    if (st == PeerState::kDown) continue;
+    uint64_t last = h.last_seen_ns.load(std::memory_order_relaxed);
+    uint64_t silent = now > last ? now - last : 0;
+    uint64_t missed = silent / config_.heartbeat_period_ns;
+    if (missed >= config_.heartbeat_miss_limit) {
+      mark_peer_down(n);
+    } else if (missed >= 1 && st == PeerState::kUp) {
+      h.state.store(static_cast<uint8_t>(PeerState::kSuspect),
+                    std::memory_order_release);
+      PM2_DEBUG << "node " << n << " suspect (" << missed
+                << " heartbeats missed)";
+    }
+  }
+}
+
+void Runtime::mark_peer_down(uint32_t node) {
+  peers_[node].state.store(static_cast<uint8_t>(PeerState::kDown),
+                           std::memory_order_release);
+  PM2_WARN << "node " << node << " declared down ("
+           << config_.heartbeat_miss_limit << " heartbeats missed)";
+  const std::string why = std::string(kRpcPeerDownPrefix) + ": node " +
+                          std::to_string(node) + " unreachable";
+  // Sweep the correlation tables under pending_lock_; resolve the futures
+  // outside it (set_error may direct-switch to the woken thread).
+  std::vector<PendingCall> calls;
+  std::vector<PendingMigration> migs;
+  pending_lock_.lock();
+  for (auto it = pending_calls_.begin(); it != pending_calls_.end();) {
+    if (it->second.dest == node) {
+      tombstone_locked(it->first);
+      calls.push_back(std::move(it->second));
+      it = pending_calls_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_migrations_.begin();
+       it != pending_migrations_.end();) {
+    // Skip unshipped entries: the migrating worker is still mid-pack and
+    // owns the thread; its post-ship code re-checks peer_down and rolls
+    // back on its own.
+    if (it->second.dest == node && it->second.shipped) {
+      tombstone_locked(it->first);
+      migs.push_back(std::move(it->second));
+      it = pending_migrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  pending_lock_.unlock();
+  // Stale deadline-heap entries for the swept correlations are popped
+  // lazily by expire_deadlines (tombstoned corr -> map miss -> skip).
+  for (PendingCall& c : calls) {
+    peer_down_failures_.fetch_add(1, std::memory_order_relaxed);
+    c.promise.set_error(why);
+  }
+  for (PendingMigration& m : migs) {
+    peer_down_failures_.fetch_add(1, std::memory_order_relaxed);
+    rollback_migration(std::move(m), why);
+  }
+  // A parked barrier can never complete without `node`: wake the waiter
+  // with the error recorded instead of leaving it parked forever.
+  marcel::Event* bwaiter = nullptr;
+  barrier_lock_.lock();
+  if (barrier_waiter_ != nullptr && barrier_error_.empty()) {
+    barrier_error_ = why + ", barrier cannot complete";
+    bwaiter = barrier_waiter_;
+  }
+  barrier_lock_.unlock();
+  if (bwaiter != nullptr) bwaiter->set();
+  // Same for a thread waiting on the global system lock: the negotiation
+  // protocol needs every participant, so the waiter aborts loudly.
+  marcel::Event* lwaiter = nullptr;
+  nego_lock_.lock();
+  if (lock_wait_ != nullptr) {
+    nego_peer_lost_ = true;
+    lwaiter = lock_wait_;
+  }
+  nego_lock_.unlock();
+  if (lwaiter != nullptr) lwaiter->set();
 }
 
 // ---------------------------------------------------------------------------
@@ -1330,6 +1678,17 @@ void Runtime::comm_daemon_body() {
   // missed-wakeup bug to one lap instead of a hang, at zero latency cost
   // (every frame still wakes the fabric handle immediately).
   constexpr uint64_t kIdleBlockNs = 500'000'000;
+  // Failure detection runs on this daemon's clock: initialize every peer
+  // as freshly seen so a slow-starting peer gets a full miss budget before
+  // the first suspicion.
+  const bool failure_detection = peers_ != nullptr;
+  if (failure_detection) {
+    uint64_t now = now_ns();
+    for (uint32_t n = 0; n < config_.n_nodes; ++n)
+      peers_[n].last_seen_ns.store(now, std::memory_order_relaxed);
+    next_heartbeat_ns_ = now + config_.heartbeat_period_ns;
+    next_peer_scan_ns_ = now;
+  }
   while (true) {
     // A pending worker pause (audit / checkpoint quiesce) must never wait
     // on the daemon finishing a blocking lap: gate first.
@@ -1342,6 +1701,14 @@ void Runtime::comm_daemon_body() {
     while (auto msg = fabric_->try_recv()) {
       handle_message(*msg);
       worked = true;
+    }
+    // Deadline/heartbeat upkeep on every lap, busy or idle: a busy lap only
+    // pays one relaxed load when no deadline is armed and detection is off.
+    if (failure_detection ||
+        next_deadline_ns_.load(std::memory_order_relaxed) != UINT64_MAX) {
+      uint64_t nw = now_ns();
+      expire_deadlines(nw);
+      if (failure_detection) check_peers(nw);
     }
     if (halting() && sched_.live_count() == 0) break;
     if (worked || sched_.local_ready_count() > 0) {
@@ -1363,6 +1730,12 @@ void Runtime::comm_daemon_body() {
     uint64_t timer_ns = sched_.ns_until_next_timer();
     uint64_t deadline =
         now + std::min<uint64_t>(timer_ns, kIdleBlockNs);
+    // Clamp the park to the nearest RPC/migration deadline and the next
+    // heartbeat tick: an expiry must fire on time even on a frame-silent
+    // node (satellite of the 500 ms idle cap, not a replacement for it).
+    deadline =
+        std::min(deadline, next_deadline_ns_.load(std::memory_order_relaxed));
+    if (failure_detection) deadline = std::min(deadline, next_heartbeat_ns_);
     if (config_.comm_busy_poll_us > 0 && reply_is_imminent()) {
       uint64_t spin_end =
           std::min(deadline, now + config_.comm_busy_poll_us * 1000);
@@ -1394,6 +1767,10 @@ void Runtime::comm_daemon_body() {
   // The halt broadcast (or a worker's last reply) may still sit deferred:
   // put it on the wire before tearing the session down.
   flush_outbox();
+  // Same for frames held back by an injected delay: nobody flushes the
+  // fault fabric after this daemon's last lap, and a delayed halt
+  // broadcast would strand every peer in its blocking receive.
+  if (auto* ff = fault_fabric()) ff->drain_delayed();
   // Session over: parked service threads must not leak their stack runs.
   pool_drain();
   sched_.stop();
@@ -1401,7 +1778,12 @@ void Runtime::comm_daemon_body() {
 }
 
 void Runtime::handle_message(fabric::Message& msg) {
+  // Any frame is proof of life — heartbeats just guarantee a minimum rate
+  // on otherwise-silent links.
+  if (peers_ != nullptr && msg.src != config_.node) peer_seen(msg.src);
   switch (msg.type) {
+    case kHeartbeat:
+      break;  // liveness already recorded above; no payload
     case kHalt:
       halting_.store(true);
       fabric_->set_teardown(true);
@@ -1469,7 +1851,7 @@ void Runtime::handle_message(fabric::Message& msg) {
     case kMigrateAck: {
       if (auto p = take_pending(pending_migrations_, msg.corr, "migrate ack")) {
         ByteReader r(msg.flat());
-        p->set_value(MigrateResult{r.get<uint64_t>(), msg.src});
+        p->promise.set_value(MigrateResult{r.get<uint64_t>(), msg.src});
       }
       break;
     }

@@ -27,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -36,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "fabric/message.hpp"
 #include "isomalloc/area.hpp"
@@ -54,6 +56,10 @@
 
 namespace pm2 {
 
+namespace fabric {
+class FaultFabric;
+}
+
 class Runtime;
 struct AuditReport;
 AuditReport audit_session(Runtime& rt);
@@ -66,6 +72,24 @@ AuditReport audit_session(Runtime& rt);
 struct RpcError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+
+/// Coarse classification of an RPC/migration failure.  marcel futures carry
+/// string errors, so the classified failures use stable message prefixes
+/// (below) and this helper recovers the category.
+///   kTimeout  — the request's deadline elapsed with no reply.
+///   kPeerDown — the failure detector declared the destination dead.
+///   kOther    — everything else (unknown service, session halting, the
+///               remote handler threw).
+enum class RpcErrorCode { kOther, kTimeout, kPeerDown };
+
+inline constexpr const char* kRpcTimeoutPrefix = "rpc timeout";
+inline constexpr const char* kRpcPeerDownPrefix = "peer down";
+
+inline RpcErrorCode rpc_error_code(const std::string& why) {
+  if (why.rfind(kRpcTimeoutPrefix, 0) == 0) return RpcErrorCode::kTimeout;
+  if (why.rfind(kRpcPeerDownPrefix, 0) == 0) return RpcErrorCode::kPeerDown;
+  return RpcErrorCode::kOther;
+}
 
 /// Completion value of migrate_async: the ack sent by the installing node
 /// once the thread is adopted there.
@@ -256,9 +280,39 @@ struct RuntimeConfig {
   /// truncating it — the crash-restart path (restore_node_from_store then
   /// adopts the recorded threads).
   bool slot_store_recover = false;
+  /// Default request deadline: call_async / call<R> / migrate_async fail
+  /// with a kTimeout error when no reply arrived within this window (the
+  /// correlation is tombstoned, so a late reply is dropped instead of
+  /// double-resolving).  0 (default) keeps the legacy unbounded behavior
+  /// bit-for-bit; the PM2_RPC_TIMEOUT_MS environment variable overrides a
+  /// zero value, so chaos runs can arm deadlines in spawned node processes
+  /// without code changes.  Per-call deadlines override both.
+  uint64_t rpc_timeout_ns = 0;
+  /// Deterministic fault injection: when non-empty, the runtime wraps its
+  /// fabric in a fabric::FaultFabric driven by this plan spec (grammar in
+  /// fabric/fault_fabric.hpp).  Empty (default) consults the
+  /// PM2_FAULT_PLAN environment variable instead — again so multiprocess
+  /// tests inject into spawned nodes.  An inactive plan leaves the fabric
+  /// untouched (zero overhead).
+  std::string fault_plan;
+  /// Heartbeat-based failure detection: the comm daemon sends a
+  /// best-effort kHeartbeat to every peer each period, and declares a peer
+  /// down after heartbeat_miss_limit periods without *any* frame from it
+  /// (every received frame counts as liveness).  A down peer's pending
+  /// calls and migration acks fail immediately with kPeerDown, new
+  /// requests to it fail fast, the load balancer steers away from it, and
+  /// barriers error out instead of hanging.  Any subsequent frame from the
+  /// peer (e.g. after a crash-restart reconnect) marks it up again.
+  /// 0 (default) disables detection entirely — the legacy behavior.
+  uint64_t heartbeat_period_ns = 0;
+  /// Consecutive missed heartbeat periods before a peer is declared down;
+  /// the first miss already marks it suspect (observable, no action).
+  uint32_t heartbeat_miss_limit = 5;
 
   /// The worker count run() will actually use (auto/env/clamp applied).
   uint32_t resolved_workers() const;
+  /// rpc_timeout_ns with the PM2_RPC_TIMEOUT_MS override applied.
+  uint64_t resolved_rpc_timeout_ns() const;
 };
 
 class Runtime {
@@ -288,7 +342,15 @@ class Runtime {
   iso::SlotOps& slot_ops() { return slot_ops_; }
   iso::Area& area() { return area_; }
   fabric::Fabric& fabric() { return *fabric_; }
+  /// The fault-injection decorator wrapping the transport, or nullptr when
+  /// no fault plan is active (tests read its FaultStats through this).
+  fabric::FaultFabric* fault_fabric();
   const RuntimeConfig& config() const { return config_; }
+
+  /// Sentinel for per-request timeout parameters: "use the configured
+  /// default" (RuntimeConfig::rpc_timeout_ns / PM2_RPC_TIMEOUT_MS).  An
+  /// explicit 0 means "wait forever" regardless of the configured default.
+  static constexpr uint64_t kTimeoutFromConfig = UINT64_MAX;
 
   // --- main loop -----------------------------------------------------------
 
@@ -365,8 +427,20 @@ class Runtime {
   /// the future *after* the destination's migrations_in() already counts
   /// the arrival.  Fails the future (never CHECKs) when the thread is
   /// unknown, pinned, running, blocked, or the session is halting.
-  marcel::Future<MigrateResult> migrate_async(marcel::ThreadId id,
-                                              uint32_t dest);
+  ///
+  /// `timeout_ns` bounds the wait for the install ack (default: the
+  /// configured rpc_timeout_ns; 0 = unbounded).  On expiry — or when the
+  /// destination is declared down first — the migration *rolls back*: the
+  /// shipped thread is adopted back onto this node's scheduler (its slots
+  /// never left local commitment thanks to the migration slot cache) and
+  /// the future fails with kTimeout / kPeerDown.  Rollback assumes the
+  /// timeout means the payload was lost (dead or partitioned peer): a
+  /// payload merely *delayed* past the deadline would install a second
+  /// copy at the destination.  Deadline-armed migrations therefore require
+  /// migration_slot_cache large enough to span the timeout window.
+  marcel::Future<MigrateResult> migrate_async(
+      marcel::ThreadId id, uint32_t dest,
+      uint64_t timeout_ns = kTimeoutFromConfig);
 
   /// Install per-node migration observers (PM2's
   /// pm2_set_pre/post_migration_func).  Either hook may be null.
@@ -446,12 +520,15 @@ class Runtime {
   /// Asynchronous request by name: returns immediately with a completion
   /// future for the raw reply bytes.  Unlimited outstanding requests per
   /// thread — this is the pipelined-RPC primitive.  The future fails
-  /// (instead of hanging) on session shutdown or unknown destination
-  /// service.
-  marcel::Future<std::vector<uint8_t>> call_async(uint32_t node,
-                                                  const char* service_name,
-                                                  mad::PackBuffer&& args) {
-    return call_async_hash(node, service_id(service_name), std::move(args));
+  /// (instead of hanging) on session shutdown, unknown destination
+  /// service, deadline expiry (kTimeout) or a destination declared down
+  /// (kPeerDown).  `timeout_ns` bounds the wait for the reply (default:
+  /// the configured rpc_timeout_ns; explicit 0 = wait forever).
+  marcel::Future<std::vector<uint8_t>> call_async(
+      uint32_t node, const char* service_name, mad::PackBuffer&& args,
+      uint64_t timeout_ns = kTimeoutFromConfig) {
+    return call_async_hash(node, service_id(service_name), std::move(args),
+                           timeout_ns);
   }
 
   /// Typed asynchronous call: packs `args` with mad::pack_values, returns
@@ -459,17 +536,39 @@ class Runtime {
   template <typename R, typename... Args>
   RpcFuture<R> call_async(uint32_t node, const char* service_name,
                           const Args&... args) {
+    return call_async_within<R>(kTimeoutFromConfig, node, service_name,
+                                args...);
+  }
+
+  /// Typed asynchronous call with an explicit deadline (`timeout_ns` from
+  /// now; 0 = wait forever regardless of the configured default).  The
+  /// deadline leads the argument list because the trailing pack is
+  /// variadic.
+  template <typename R, typename... Args>
+  RpcFuture<R> call_async_within(uint64_t timeout_ns, uint32_t node,
+                                 const char* service_name,
+                                 const Args&... args) {
     uint32_t sid = service_id(service_name);
     mad::PackBuffer pb;
     pb.pack<uint32_t>(sid);
     mad::pack_values(pb, args...);
-    return RpcFuture<R>(call_async_framed(node, sid, std::move(pb)));
+    return RpcFuture<R>(
+        call_async_framed(node, sid, std::move(pb), timeout_ns));
   }
 
   /// Typed blocking call: call<R>(node, "name", args...) -> R.
   template <typename R, typename... Args>
   R call(uint32_t node, const char* service_name, const Args&... args) {
     return call_async<R>(node, service_name, args...).take();
+  }
+
+  /// Typed blocking call with an explicit deadline; throws RpcError whose
+  /// message rpc_error_code() classifies as kTimeout on expiry.
+  template <typename R, typename... Args>
+  R call_within(uint64_t timeout_ns, uint32_t node, const char* service_name,
+                const Args&... args) {
+    return call_async_within<R>(timeout_ns, node, service_name, args...)
+        .take();
   }
 
   /// Madeleine channels multiplexed over this node's fabric (message types
@@ -481,6 +580,8 @@ class Runtime {
   // --- collectives & signals -------------------------------------------------
 
   /// All-node barrier (each node's threads may call it, one at a time).
+  /// When failure detection is on, throws RpcError (kPeerDown) instead of
+  /// hanging if a peer is — or while waiting becomes — declared down.
   void barrier();
 
   /// Completion tokens: wait_signals(n) blocks until n kSignal messages
@@ -585,6 +686,42 @@ class Runtime {
   }
   void broadcast_load();
 
+  // --- failure detection (see RuntimeConfig::heartbeat_period_ns) -----------
+
+  /// Detector verdict for a peer.  kSuspect (one missed period) is
+  /// observational only; kDown triggers the failure sweep.
+  enum class PeerState : uint8_t { kUp = 0, kSuspect = 1, kDown = 2 };
+
+  /// Current verdict for `node` (kUp for self, out-of-range nodes, and
+  /// whenever detection is disabled).
+  PeerState peer_state(uint32_t node) const;
+  bool peer_down(uint32_t node) const {
+    return peer_state(node) == PeerState::kDown;
+  }
+
+  /// Heartbeat frames this node has sent.
+  uint64_t heartbeats_sent() const {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
+  }
+  /// Requests failed with kTimeout by deadline expiry.
+  uint64_t rpc_timeouts() const {
+    return rpc_timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Replies/acks that arrived after their correlation was resolved
+  /// (timeout, peer-down sweep, or an injected duplicate) and were dropped
+  /// via the tombstone instead of double-resolving a promise.
+  uint64_t late_replies_dropped() const {
+    return late_replies_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Pending requests failed with kPeerDown by the failure sweep.
+  uint64_t peer_down_failures() const {
+    return peer_down_failures_.load(std::memory_order_relaxed);
+  }
+  /// Timed-out/peer-down migrations whose thread was adopted back locally.
+  uint64_t migration_rollbacks() const {
+    return migration_rollbacks_.load(std::memory_order_relaxed);
+  }
+
   // --- slot store (buffer-managed residency + persistence) -------------------
 
   /// The node's slot store, or nullptr when RuntimeConfig::slot_store_dir
@@ -680,9 +817,11 @@ class Runtime {
   void rpc_framed(uint32_t node, uint32_t service, mad::PackBuffer&& framed);
   marcel::Future<std::vector<uint8_t>> call_async_hash(uint32_t node,
                                                        uint32_t service,
-                                                       mad::PackBuffer&& args);
+                                                       mad::PackBuffer&& args,
+                                                       uint64_t timeout_ns);
   marcel::Future<std::vector<uint8_t>> call_async_framed(
-      uint32_t node, uint32_t service, mad::PackBuffer&& framed);
+      uint32_t node, uint32_t service, mad::PackBuffer&& framed,
+      uint64_t timeout_ns);
 
   /// Comm-daemon spin gate: true while some local thread awaits a reply
   /// or migration ack (see comm_daemon_body's adaptive busy-poll).
@@ -699,35 +838,107 @@ class Runtime {
         flags);
   }
 
+  /// An outstanding call: the promise its reply completes, plus the data
+  /// the failure paths need — which peer must answer (peer-down sweep) and
+  /// the absolute deadline, if any (0 = unbounded).
+  struct PendingCall {
+    marcel::Promise<std::vector<uint8_t>> promise;
+    uint32_t dest = 0;
+    uint64_t deadline_ns = 0;
+  };
+  /// An outstanding migration awaiting its install ack.  Carries rollback
+  /// state: the forgotten descriptor and its recorded slot runs (pages
+  /// kept committed by the migration slot cache), enough to adopt the
+  /// thread back if the ack never comes.
+  struct PendingMigration {
+    marcel::Promise<MigrateResult> promise;
+    uint32_t dest = 0;
+    uint64_t deadline_ns = 0;
+    marcel::Thread* thread = nullptr;
+    marcel::ThreadId thread_id = 0;
+    std::vector<std::pair<size_t, size_t>> runs;
+    // The entry is registered *before* ship_thread so an early ack always
+    // finds it, but rollback is only legal once the pack/forget/send has
+    // finished — the deadline is armed and the peer-down sweep may touch
+    // the entry only after migrate_async flips this post-ship.
+    bool shipped = false;
+  };
+
   /// Correlation bookkeeping shared by RPC replies, negotiation gathers
   /// and audits: register_pending hands out the future completed by
   /// complete_pending / fail_pending when the matching corr arrives.
-  marcel::Future<std::vector<uint8_t>> register_pending(uint64_t corr);
+  /// `dest` is the node the reply must come from; `deadline_ns` (absolute,
+  /// 0 = none) arms the timeout machinery.
+  marcel::Future<std::vector<uint8_t>> register_pending(uint64_t corr,
+                                                        uint32_t dest,
+                                                        uint64_t deadline_ns);
   void complete_pending(uint64_t corr, std::vector<uint8_t>&& result,
                         const char* what);
   void fail_pending(uint64_t corr, std::string why, const char* what);
 
-  /// Remove and return the promise for `corr`, or nullopt for an unknown
-  /// correlation — tolerated only while halting (a reply may race the
-  /// shutdown drain); otherwise a protocol bug.  Locks pending_lock_
-  /// internally; the caller completes the promise *outside* the lock
-  /// (completion unblocks the waiter, which may run scheduler code).
-  template <typename T>
-  std::optional<marcel::Promise<T>> take_pending(
-      std::unordered_map<uint64_t, marcel::Promise<T>>& pending, uint64_t corr,
-      const char* what) {
+  /// Remove and return the entry for `corr`.  nullopt for an unknown
+  /// correlation, which is tolerated in two cases: the corr was already
+  /// resolved and tombstoned (deadline expiry, peer-down sweep, injected
+  /// duplicate — the late frame is counted and dropped), or the session is
+  /// halting (a reply may race the shutdown drain).  Anything else is a
+  /// protocol bug.  Locks pending_lock_ internally; the caller resolves
+  /// the promise *outside* the lock (completion unblocks the waiter, which
+  /// may run scheduler code).
+  template <typename Map>
+  std::optional<typename Map::mapped_type> take_pending(Map& pending,
+                                                        uint64_t corr,
+                                                        const char* what) {
     pending_lock_.lock();
     auto it = pending.find(corr);
     if (it == pending.end()) {
+      bool late = tombstones_.count(corr) != 0;
       pending_lock_.unlock();
+      if (late) {
+        late_replies_dropped_.fetch_add(1, std::memory_order_relaxed);
+        PM2_DEBUG << "dropping late " << what << " (corr " << corr << ")";
+        return std::nullopt;
+      }
       PM2_CHECK(halting()) << what << " with no pending waiter";
       return std::nullopt;
     }
-    marcel::Promise<T> p = std::move(it->second);
+    typename Map::mapped_type ent = std::move(it->second);
     pending.erase(it);
+    // Every resolved corr is tombstoned so a *duplicate* of its reply
+    // (fault injection) is also dropped silently.
+    tombstone_locked(corr);
     pending_lock_.unlock();
-    return p;
+    return ent;
   }
+
+  /// Record `corr` as resolved (bounded FIFO) so late/duplicate replies
+  /// are dropped instead of double-resolving or tripping the
+  /// unknown-correlation check.
+  void tombstone_locked(uint64_t corr) PM2_REQUIRES(pending_lock_);
+  /// Push `corr` on the deadline heap and refresh the daemon's cached
+  /// next-deadline.  Callers only arm non-zero deadlines.
+  void arm_deadline_locked(uint64_t corr, uint64_t deadline_ns,
+                           bool migration) PM2_REQUIRES(pending_lock_);
+  /// Fail every armed correlation whose deadline passed (comm daemon;
+  /// early-outs on the cached next-deadline, so un-armed sessions pay one
+  /// relaxed load per lap).
+  void expire_deadlines(uint64_t now);
+  /// Map a per-request timeout parameter (kTimeoutFromConfig sentinel /
+  /// explicit value / 0) to an absolute deadline (0 = unbounded).
+  uint64_t resolve_deadline(uint64_t timeout_ns) const;
+  /// Adopt a timed-out / peer-down migration's thread back onto this
+  /// node's scheduler and fail its future.  Callers must have removed the
+  /// entry from pending_migrations_ (tombstoned) and hold no locks.
+  void rollback_migration(PendingMigration ent, const std::string& why);
+
+  /// Liveness bookkeeping (the comm daemon is the only writer): any
+  /// received frame marks its sender up.
+  void peer_seen(uint32_t node);
+  /// Heartbeat emission + miss detection (comm daemon laps; internally
+  /// rate-limited to a fraction of the heartbeat period).
+  void check_peers(uint64_t now);
+  /// Declare `node` dead: fail its pending calls with kPeerDown, roll back
+  /// its in-flight migrations, and unwedge barrier/negotiation waiters.
+  void mark_peer_down(uint32_t node);
   /// halt(): wake every thread blocked on a pending call or migration ack
   /// with an error instead of leaving it parked forever.
   void drain_pending(const std::string& why);
@@ -827,20 +1038,68 @@ class Runtime {
   // promises are completed outside it.
   mutable sys::SpinLock pending_lock_{sys::LockRank::kRuntimeMaps};
   std::atomic<uint64_t> next_corr_{1};
-  std::unordered_map<uint64_t, marcel::Promise<std::vector<uint8_t>>>
-      pending_calls_ PM2_GUARDED_BY(pending_lock_);
-  std::unordered_map<uint64_t, marcel::Promise<MigrateResult>>
-      pending_migrations_ PM2_GUARDED_BY(pending_lock_);
+  std::unordered_map<uint64_t, PendingCall> pending_calls_
+      PM2_GUARDED_BY(pending_lock_);
+  std::unordered_map<uint64_t, PendingMigration> pending_migrations_
+      PM2_GUARDED_BY(pending_lock_);
+
+  // Resolved-correlation tombstones (bounded FIFO): late or duplicated
+  // replies for these corrs are dropped, not treated as protocol bugs.
+  // Corr ids are never reused (next_corr_ only grows), so a tombstone can
+  // never shadow a live request.
+  static constexpr size_t kTombstoneCap = 1024;
+  std::unordered_set<uint64_t> tombstones_ PM2_GUARDED_BY(pending_lock_);
+  std::deque<uint64_t> tombstone_fifo_ PM2_GUARDED_BY(pending_lock_);
+
+  // Deadline machinery: min-heap of armed (non-zero) deadlines, popped
+  // lazily (an entry is live only while its corr is still pending).  The
+  // cached earliest deadline lets the comm daemon's busy laps detect
+  // expiry with one relaxed load — zero-timeout sessions keep the heap
+  // empty and the cache at UINT64_MAX, i.e. the legacy fast path.
+  struct DeadlineEnt {
+    uint64_t deadline_ns;
+    uint64_t corr;
+    bool migration;
+  };
+  struct DeadlineLater {
+    bool operator()(const DeadlineEnt& a, const DeadlineEnt& b) const {
+      return a.deadline_ns > b.deadline_ns;
+    }
+  };
+  std::priority_queue<DeadlineEnt, std::vector<DeadlineEnt>, DeadlineLater>
+      deadlines_ PM2_GUARDED_BY(pending_lock_);
+  std::atomic<uint64_t> next_deadline_ns_{UINT64_MAX};
+  uint64_t rpc_timeout_ns_ = 0;  // resolved at construction (env applied)
+
+  // Peer health, lock-free by design: the sweep on a down transition takes
+  // pending_lock_ (same rank as every other runtime map), so the health
+  // state itself must not live under a kRuntimeMaps lock.  The comm daemon
+  // is the only writer; workers read `state` for fail-fast sends.
+  struct PeerHealth {
+    std::atomic<uint64_t> last_seen_ns{0};
+    std::atomic<uint8_t> state{0};  // PeerState
+  };
+  std::unique_ptr<PeerHealth[]> peers_;  // n_nodes entries; null when 1 node
+  uint64_t next_heartbeat_ns_ = 0;       // comm daemon only
+  uint64_t next_peer_scan_ns_ = 0;       // comm daemon only
+  std::atomic<uint64_t> heartbeats_sent_{0};
+  std::atomic<uint64_t> rpc_timeouts_{0};
+  std::atomic<uint64_t> late_replies_dropped_{0};
+  std::atomic<uint64_t> peer_down_failures_{0};
+  std::atomic<uint64_t> migration_rollbacks_{0};
 
   // Migration observers (on_migration).
   MigrationHook pre_migration_;
   MigrationHook post_migration_;
 
   // Barrier (centralized at node 0), state under barrier_lock_.
+  // barrier_error_: set by the peer-down sweep before waking the waiter;
+  // barrier() rethrows it instead of reporting the barrier complete.
   sys::SpinLock barrier_lock_{sys::LockRank::kRuntimeMaps};
   uint32_t barrier_seq_ PM2_GUARDED_BY(barrier_lock_) = 0;
   uint32_t barrier_arrivals_ PM2_GUARDED_BY(barrier_lock_) = 0;  // node 0 only
   marcel::Event* barrier_waiter_ PM2_GUARDED_BY(barrier_lock_) = nullptr;
+  std::string barrier_error_ PM2_GUARDED_BY(barrier_lock_);
 
   // Signals
   std::atomic<uint64_t> signals_received_{0};
@@ -857,6 +1116,10 @@ class Runtime {
   // node).
   marcel::Mutex nego_mutex_;
   marcel::Event* lock_wait_ PM2_GUARDED_BY(nego_lock_) = nullptr;
+  // Set by the peer-down sweep while a thread waits for the system lock:
+  // the global bitmap protocol cannot survive losing a participant, so the
+  // woken waiter aborts loudly instead of hanging.
+  bool nego_peer_lost_ PM2_GUARDED_BY(nego_lock_) = false;
   // Slot-bitmap state, under slot_lock_: the SlotManager itself, the freeze
   // depth (>0 between GatherReq and NegoUpdate of a remote negotiation and
   // while this node runs its own), deferred releases, and the wait queue of

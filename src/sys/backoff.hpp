@@ -1,0 +1,100 @@
+#pragma once
+
+// Shared retry policy for transient syscall failures.
+//
+// Two idioms keep reappearing around the fabric and the slot store:
+//
+//  * connect/reconnect loops — retry on a short list of "peer not up yet"
+//    errnos with exponential, jittered sleeps so N nodes dialing the same
+//    listener do not thundering-herd it in lockstep;
+//  * EINTR loops around partial-I/O syscalls (pread/pwrite/send/recv).
+//
+// Both live here so the socket fabric, the slot store, and future transports
+// share one tuning point instead of hand-rolled copies.
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pm2::sys {
+
+/// connect() failures worth retrying during session startup or reconnect:
+/// the peer has not bound/listened yet, its socket file does not exist yet,
+/// or its backlog is momentarily full.  Anything else (EACCES,
+/// EADDRNOTAVAIL, ENETUNREACH, ...) is a configuration or environment error
+/// that no amount of retrying fixes — callers should fail immediately with
+/// the errno instead of burning their whole timeout on it.
+inline bool connect_errno_is_transient(int err) {
+  return err == ENOENT || err == ECONNREFUSED || err == ECONNRESET ||
+         err == EAGAIN || err == EINTR || err == ETIMEDOUT;
+}
+
+/// Exponential backoff with deterministic jitter.
+///
+/// The delay starts short (the common case is a peer that binds
+/// microseconds later) and doubles to a cap well below typical connect
+/// timeouts so the last attempts still happen.  Jitter de-synchronizes
+/// peers that start retrying at the same instant (session startup dials
+/// every connection in the same few microseconds) without introducing a
+/// global RNG: the sequence is a pure function of the seed, so fault
+/// injection and tests stay reproducible.
+class Backoff {
+ public:
+  struct Config {
+    int start_us = 200;
+    int cap_us = 20'000;
+    uint64_t seed = 0;  // any value; distinct per dialing site is enough
+  };
+
+  Backoff() : Backoff(Config{}) {}
+  explicit Backoff(Config config) : config_(config) { reset(); }
+
+  void reset() {
+    delay_us_ = config_.start_us;
+    attempts_ = 0;
+    state_ = config_.seed ^ 0x9E3779B97F4A7C15ull;
+  }
+
+  int attempts() const { return attempts_; }
+
+  /// The next sleep, in microseconds, without sleeping: base delay plus up
+  /// to +25% jitter.  Advances the schedule (doubling toward the cap).
+  int next_delay_us() {
+    ++attempts_;
+    int base = delay_us_;
+    delay_us_ = std::min(delay_us_ * 2, config_.cap_us);
+    // SplitMix64 step: cheap, stateless-feeling, fully deterministic.
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    int jitter = static_cast<int>(z % (static_cast<uint64_t>(base) / 4 + 1));
+    return base + jitter;
+  }
+
+  /// Sleep for the next scheduled delay.
+  void sleep() { ::usleep(static_cast<useconds_t>(next_delay_us())); }
+
+ private:
+  Config config_;
+  int delay_us_ = 0;
+  int attempts_ = 0;
+  uint64_t state_ = 0;
+};
+
+/// Retry `fn()` (a syscall wrapper returning ssize_t, -1 on error) for as
+/// long as it fails with EINTR.  Returns the first non-EINTR result; errno
+/// is that of the final attempt.
+template <typename Fn>
+inline auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+}  // namespace pm2::sys

@@ -12,32 +12,76 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
+#include "sys/backoff.hpp"
 
 namespace pm2::sys {
 
 namespace {
 
-/// connect() failures worth retrying during session startup: the peer has
-/// not bound/listened yet, or its backlog is momentarily full.  Anything
-/// else (EACCES, EADDRNOTAVAIL, ENETUNREACH, ...) is a configuration or
-/// environment error that no amount of retrying fixes — fail immediately
-/// with the errno instead of burning the whole connect timeout on it.
-bool connect_errno_is_transient(int err) {
-  return err == ENOENT || err == ECONNREFUSED || err == ECONNRESET ||
-         err == EAGAIN || err == EINTR || err == ETIMEDOUT;
+/// Shared retry loop for both connect flavors: `attempt()` returns a valid
+/// Fd on success or an invalid one with errno set.  Retries transient
+/// errnos on a jittered exponential schedule (sys::Backoff) until
+/// `timeout_ms` elapses; non-transient errnos fail immediately.
+template <typename Attempt, typename Describe>
+Fd connect_with_retry(int timeout_ms, uint64_t backoff_seed,
+                      const Attempt& attempt, const Describe& describe) {
+  Stopwatch sw;
+  Backoff backoff({.seed = backoff_seed});
+  while (true) {
+    Fd fd = attempt();
+    if (fd.valid()) return fd;
+    int err = errno;
+    PM2_CHECK(connect_errno_is_transient(err))
+        << describe() << ": " << std::strerror(err);
+    PM2_CHECK(sw.elapsed_ms() < timeout_ms)
+        << describe() << " timed out after " << backoff.attempts() + 1
+        << " attempts: " << std::strerror(err);
+    backoff.sleep();
+  }
 }
 
-/// Exponential backoff between connect attempts: start short (the common
-/// case is a peer that binds microseconds later), cap well below the
-/// overall timeout so the last attempts still happen.
-constexpr int kConnectBackoffStartUs = 200;
-constexpr int kConnectBackoffCapUs = 20'000;
+std::atomic<uint64_t> g_short_write_budget{0};
+std::atomic<uint64_t> g_eintr_budget{0};
+std::atomic<uint64_t> g_short_writes_fired{0};
+std::atomic<uint64_t> g_eintr_fired{0};
+
+bool take_budget(std::atomic<uint64_t>& budget,
+                 std::atomic<uint64_t>& fired) {
+  uint64_t v = budget.load(std::memory_order_relaxed);
+  while (v > 0) {
+    if (budget.compare_exchange_weak(v, v - 1, std::memory_order_relaxed)) {
+      fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
+
+void fault_arm_short_writes(uint64_t n) {
+  g_short_write_budget.fetch_add(n, std::memory_order_relaxed);
+}
+void fault_arm_eintr(uint64_t n) {
+  g_eintr_budget.fetch_add(n, std::memory_order_relaxed);
+}
+bool fault_take_short_write() {
+  return take_budget(g_short_write_budget, g_short_writes_fired);
+}
+bool fault_take_eintr() {
+  return take_budget(g_eintr_budget, g_eintr_fired);
+}
+uint64_t fault_short_writes_fired() {
+  return g_short_writes_fired.load(std::memory_order_relaxed);
+}
+uint64_t fault_eintr_fired() {
+  return g_eintr_fired.load(std::memory_order_relaxed);
+}
 
 void Fd::reset() {
   if (fd_ >= 0) {
@@ -66,26 +110,22 @@ Fd uds_connect(const std::string& path, int timeout_ms) {
   addr.sun_family = AF_UNIX;
   PM2_CHECK(path.size() < sizeof(addr.sun_path));
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  Stopwatch sw;
-  int backoff_us = kConnectBackoffStartUs;
-  int attempts = 0;
-  while (true) {
-    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    PM2_CHECK(fd.valid());
-    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      return fd;
-    }
-    int err = errno;
-    ++attempts;
-    PM2_CHECK(connect_errno_is_transient(err))
-        << "uds_connect(" << path << "): " << std::strerror(err);
-    PM2_CHECK(sw.elapsed_ms() < timeout_ms)
-        << "uds_connect(" << path << ") timed out after " << attempts
-        << " attempts: " << std::strerror(err);
-    ::usleep(static_cast<useconds_t>(backoff_us));
-    backoff_us = std::min(backoff_us * 2, kConnectBackoffCapUs);
-  }
+  uint64_t seed = std::hash<std::string>{}(path);
+  return connect_with_retry(
+      timeout_ms, seed,
+      [&]() -> Fd {
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        PM2_CHECK(fd.valid());
+        if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          return fd;
+        }
+        int err = errno;   // close() in ~Fd must not clobber the
+        fd.reset();        // connect() errno the retry loop inspects
+        errno = err;
+        return Fd();
+      },
+      [&] { return "uds_connect(" + path + ")"; });
 }
 
 Fd tcp_listen(uint16_t& port) {
@@ -113,27 +153,22 @@ Fd tcp_connect(uint16_t port, int timeout_ms) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  Stopwatch sw;
-  int backoff_us = kConnectBackoffStartUs;
-  int attempts = 0;
-  while (true) {
-    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    PM2_CHECK(fd.valid());
-    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      set_nodelay(fd);
-      return fd;
-    }
-    int err = errno;
-    ++attempts;
-    PM2_CHECK(connect_errno_is_transient(err))
-        << "tcp_connect(" << port << "): " << std::strerror(err);
-    PM2_CHECK(sw.elapsed_ms() < timeout_ms)
-        << "tcp_connect(" << port << ") timed out after " << attempts
-        << " attempts: " << std::strerror(err);
-    ::usleep(static_cast<useconds_t>(backoff_us));
-    backoff_us = std::min(backoff_us * 2, kConnectBackoffCapUs);
-  }
+  return connect_with_retry(
+      timeout_ms, port,
+      [&]() -> Fd {
+        Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        PM2_CHECK(fd.valid());
+        if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          set_nodelay(fd);
+          return fd;
+        }
+        int err = errno;
+        fd.reset();
+        errno = err;
+        return Fd();
+      },
+      [&] { return "tcp_connect(" + std::to_string(port) + ")"; });
 }
 
 Fd accept_one(const Fd& listener) {

@@ -67,6 +67,18 @@ void set_nonblocking(const Fd& fd, bool nonblocking);
 /// Disable Nagle on TCP sockets (no-op for UDS).
 void set_nodelay(const Fd& fd);
 
+/// Forced-I/O fault hooks (armed by fabric::FaultFabric): process-wide
+/// budgets the socket send path consults.  While a budget lasts, each
+/// consuming call simulates one short write (1-byte sendmsg) or one EINTR
+/// return, exercising the partial-write resume and retry paths that real
+/// signals and full pipes hit rarely.  Correctness-neutral by construction.
+void fault_arm_short_writes(uint64_t n);
+void fault_arm_eintr(uint64_t n);
+bool fault_take_short_write();
+bool fault_take_eintr();
+uint64_t fault_short_writes_fired();
+uint64_t fault_eintr_fired();
+
 /// Thin epoll wrapper used by the socket fabric's receive path.
 class Poller {
  public:
