@@ -83,6 +83,38 @@ void BM_SchedulerRoundRobin(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerRoundRobin)->Arg(2)->Arg(16)->Arg(128)->Arg(1024);
 
+// --- steal storm --------------------------------------------------------------
+
+/// SMP contention shape: workers + 1 yield-churning threads over `workers`
+/// kernel threads, so every deque hovers at zero or one element and nearly
+/// every dispatch involves the Chase-Lev one-element owner-vs-thief CAS (or,
+/// at workers == 1, the uncontended owner path — the parity baseline).
+/// items/sec = scheduler dispatches under maximal steal pressure.
+void BM_StealStorm(benchmark::State& state) {
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  const int threads = static_cast<int>(workers) + 1;
+  const int yields = 2000;
+  std::vector<void*> regions;
+  for (int i = 0; i < threads; ++i)
+    regions.push_back(std::aligned_alloc(64, kRegion));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scheduler sched(workers);
+    RoundRobinCtx ctx{yields};
+    for (int i = 0; i < threads; ++i) {
+      sched.create(regions[i], kRegion, &rr_worker, &ctx,
+                   static_cast<ThreadId>(i + 1), "s");
+    }
+    sched.stop();
+    state.ResumeTiming();
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * yields);
+  for (void* r : regions) std::free(r);
+}
+BENCHMARK(BM_StealStorm)->Arg(1)->Arg(4)->UseRealTime();
+
 // --- create/destroy ------------------------------------------------------------
 
 void noop_worker(void*) {
@@ -191,6 +223,10 @@ int main(int argc, char** argv) {
       store.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
       store.emplace_back("--benchmark_out_format=json");
       ++i;
+    } else if (std::string(argv[i]) == "--steal-storm") {
+      // Shorthand the CI bench leg uses: run only the SMP contention
+      // benchmark (both worker counts).
+      store.emplace_back("--benchmark_filter=BM_StealStorm");
     } else {
       store.emplace_back(argv[i]);
     }

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/time.hpp"
 #include "marcel/keys.hpp"
+#include "sys/backoff.hpp"
 #include "sys/sanitizer.hpp"
 
 namespace pm2::marcel {
@@ -47,7 +48,8 @@ bool Thread::canary_ok() const {
 }
 
 Scheduler::Scheduler(uint32_t workers)
-    : n_workers_(workers == 0 ? 1 : workers) {
+    : n_workers_(workers == 0 ? 1 : workers),
+      registry_(sys::LockRank::kRegistryShard) {
   workers_.reserve(n_workers_);
   for (uint32_t i = 0; i < n_workers_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -73,75 +75,39 @@ uint32_t Scheduler::home_worker() const {
   return (t_scheduler == this && t_worker != kNoWorker) ? t_worker : 0;
 }
 
+bool Scheduler::on_worker(uint32_t idx) const {
+  return t_scheduler == this && t_worker == idx;
+}
+
 SchedulerBinding::SchedulerBinding(Scheduler* sched) : prev_(t_scheduler) {
   t_scheduler = sched;
 }
 
 SchedulerBinding::~SchedulerBinding() { t_scheduler = prev_; }
 
-// --- intrusive deque helpers (caller holds the worker's lock) --------------
-
-void Scheduler::deque_push_back(Worker& w, Thread* t) {
-  t->qnext = nullptr;
-  t->qprev = w.tail;
-  if (w.tail != nullptr)
-    w.tail->qnext = t;
-  else
-    w.head = t;
-  w.tail = t;
-}
-
-void Scheduler::deque_push_front(Worker& w, Thread* t) {
-  t->qprev = nullptr;
-  t->qnext = w.head;
-  if (w.head != nullptr)
-    w.head->qprev = t;
-  else
-    w.tail = t;
-  w.head = t;
-}
-
-void Scheduler::deque_unlink(Worker& w, Thread* t) {
-  if (t->qprev != nullptr)
-    t->qprev->qnext = t->qnext;
-  else
-    w.head = t->qnext;
-  if (t->qnext != nullptr)
-    t->qnext->qprev = t->qprev;
-  else
-    w.tail = t->qprev;
-  t->qnext = nullptr;
-  t->qprev = nullptr;
-}
-
 // --- registry --------------------------------------------------------------
 
 void Scheduler::register_thread(Thread* t) {
-  RegistryShard& s = shard_for(t->id);
-  s.lock.lock();
-  bool inserted = s.map.emplace(t->id, t).second;
-  s.lock.unlock();
+  auto [slot, inserted] = registry_.try_emplace(t->id, t);
+  (void)slot;
   PM2_CHECK(inserted) << "duplicate thread id " << t->id;
   registry_count_.fetch_add(1, std::memory_order_relaxed);
   if (!t->is_daemon()) live_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Thread* Scheduler::find(ThreadId id) const {
-  RegistryShard& s = shard_for(id);
-  sys::SpinGuard g(s.lock);
-  auto it = s.map.find(id);
-  return it == s.map.end() ? nullptr : it->second;
+  // Copy under the stripe lock: a concurrent exit may erase the id (and
+  // free the map node) the instant the lock drops.  The descriptor itself
+  // lives in its slot region, not in the node, so the returned pointer is
+  // as valid as it ever was — callers revalidate via state as before.
+  Thread* t = nullptr;
+  return registry_.find_copy(id, &t) ? t : nullptr;
 }
 
 void Scheduler::for_each(const std::function<void(Thread*)>& fn) const {
-  // Snapshot under the shard locks, call back outside them: fn may look
-  // threads up again (same shard) or take other locks.
-  std::vector<Thread*> snapshot;
-  for (const RegistryShard& s : registry_) {
-    sys::SpinGuard g(s.lock);
-    for (const auto& [id, t] : s.map) snapshot.push_back(t);
-  }
-  for (Thread* t : snapshot) fn(t);
+  // StripedMap snapshots stripe by stripe and calls back outside the stripe
+  // locks: fn may look threads up again or take other locks.
+  registry_.for_each_value(fn);
 }
 
 // --- thread lifecycle ------------------------------------------------------
@@ -175,7 +141,11 @@ Thread* Scheduler::create(void* region, size_t region_size, EntryFn entry,
   uint32_t home = home_worker();
   t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
   t->last_worker = home;
-  if (start_frozen) t->state = ThreadState::kFrozen;
+  // A frozen newborn is registered (findable) but unpublished: the creator
+  // finishes the descriptor, and unfreeze()'s push_ready is the release
+  // store a stealing worker acquires.
+  if (start_frozen)
+    t->state.store(ThreadState::kFrozen, std::memory_order_relaxed);
   register_thread(t);
   if (!start_frozen) push_ready(t, home);
   return t;
@@ -215,30 +185,92 @@ Thread* Scheduler::rearm(Thread* t, EntryFn entry, void* arg, ThreadId id,
   uint32_t home = home_worker();
   t->affinity = (flags & Thread::kFlagPinned) != 0 ? home : kNoWorker;
   t->last_worker = home;
-  if (start_frozen) t->state = ThreadState::kFrozen;
+  if (start_frozen)
+    t->state.store(ThreadState::kFrozen, std::memory_order_relaxed);
   register_thread(t);
   if (!start_frozen) push_ready(t, home);
   return t;
 }
 
-// --- ready deques ----------------------------------------------------------
+// --- ready containers ------------------------------------------------------
+
+void Scheduler::inbox_push(Worker& w, Thread* t) {
+  // Treiber push.  The release CAS pairs with the drain's acquire exchange,
+  // ordering the qnext write (and the whole descriptor) before the owner
+  // reads the chain.
+  t->qnext = w.inbox.load(std::memory_order_relaxed);
+  while (!w.inbox.compare_exchange_weak(t->qnext, t,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void Scheduler::drain_inbox(Worker& w, uint32_t idx) {
+  if (w.inbox.load(std::memory_order_relaxed) == nullptr) return;
+  Thread* n = w.inbox.exchange(nullptr, std::memory_order_acquire);
+  // The Treiber stack yields newest-first; reverse to FIFO arrival order
+  // before routing, so remote pushes keep round-robin fairness.
+  Thread* rev = nullptr;
+  while (n != nullptr) {
+    Thread* nx = n->qnext;
+    n->qnext = rev;
+    rev = n;
+    n = nx;
+  }
+  while (rev != nullptr) {
+    Thread* nx = rev->qnext;
+    rev->qnext = nullptr;
+    if (n_workers_ > 1 && rev->affinity != kNoWorker) {
+      PM2_DCHECK(rev->affinity == idx);
+      if (w.pinned_tail != nullptr)
+        w.pinned_tail->qnext = rev;
+      else
+        w.pinned_head = rev;
+      w.pinned_tail = rev;
+    } else {
+      w.deque.push_bottom(rev);
+    }
+    rev = nx;
+  }
+}
 
 void Scheduler::push_ready(Thread* t, uint32_t w_idx, bool front) {
   PM2_DCHECK(w_idx < n_workers_);
   Worker& w = *workers_[w_idx];
-  w.lock.lock();
-  t->state = ThreadState::kReady;
-  t->queue_worker = w_idx;
-  if (front)
-    deque_push_front(w, t);
-  else
-    deque_push_back(w, t);
-  w.ready.fetch_add(1);
-  w.lock.unlock();
+  t->queue_worker.store(w_idx, std::memory_order_relaxed);
+  // Publication point (ROADMAP obligation (a)): everything written to the
+  // descriptor so far — user_fn/user_arg from a frozen create/rearm, the
+  // saved context, queue_worker above — is released here; a consumer that
+  // takes the thread from any container acquires state before touching it.
+  // The container ops (Chase-Lev push/steal, mailbox exchange, inbox CAS)
+  // carry their own release/acquire edge on top.
+  t->state.store(ThreadState::kReady, std::memory_order_release);
+  if (front) {
+    // Direct handoff: single-slot mailbox, checked before everything else
+    // by the owner.  A displaced occupant (two handoffs racing) overflows
+    // into the inbox and keeps its ready accounting.
+    Thread* prev = w.handoff.exchange(t, std::memory_order_acq_rel);
+    if (prev != nullptr) inbox_push(w, prev);
+    w.handoffs.fetch_add(1, std::memory_order_relaxed);
+  } else if (on_worker(w_idx)) {
+    if (n_workers_ > 1 && t->affinity != kNoWorker) {
+      PM2_DCHECK(t->affinity == w_idx);
+      t->qnext = nullptr;
+      if (w.pinned_tail != nullptr)
+        w.pinned_tail->qnext = t;
+      else
+        w.pinned_head = t;
+      w.pinned_tail = t;
+    } else {
+      w.deque.push_bottom(t);
+    }
+  } else {
+    // Chase-Lev pushes are owner-only; remote producers go via the inbox.
+    inbox_push(w, t);
+  }
+  w.ready.fetch_add(1);  // seq_cst: meets the idle-park protocol
 
-  if (front) w.handoffs.fetch_add(1, std::memory_order_relaxed);
   if (n_workers_ == 1) return;
-
   uint32_t me = (t_scheduler == this) ? t_worker : kNoWorker;
   if (w_idx != me) {
     wake_worker(w_idx);
@@ -257,23 +289,59 @@ void Scheduler::push_ready(Thread* t, uint32_t w_idx, bool front) {
   }
 }
 
+void Scheduler::claim(Thread* t, uint32_t idx) {
+  // The container's exactly-once removal (top CAS / exchange / owner drain)
+  // made this worker the sole claimant; the acquire load pairs with
+  // push_ready's release store, so the descriptor reads below — and the
+  // first dispatch's user_fn/user_arg reads — see the producer's writes.
+  ThreadState s = t->state.load(std::memory_order_acquire);
+  PM2_DCHECK(s == ThreadState::kReady)
+      << "claimed a " << to_string(s) << " thread";
+  (void)s;
+  t->state.store(ThreadState::kRunning, std::memory_order_relaxed);
+  t->running_on.store(idx, std::memory_order_relaxed);
+  t->last_worker = idx;
+}
+
 Thread* Scheduler::pop_local(Worker& w, uint32_t idx) {
-  // `ready` is maintained under the deque lock, so a zero read means the
-  // deque was empty at some recent instant — good enough for the fast path
-  // (never peek `head` without the lock: a concurrent handoff could be
-  // mid-splice).
-  if (w.ready.load(std::memory_order_relaxed) == 0) return nullptr;
-  w.lock.lock();
-  Thread* t = w.head;
-  if (t != nullptr) {
-    deque_unlink(w, t);
-    w.ready.fetch_sub(1);
-    PM2_DCHECK(t->state == ThreadState::kReady);
-    t->state = ThreadState::kRunning;
-    t->running_on.store(idx, std::memory_order_relaxed);
-    t->last_worker = idx;
+  // 1. Handoff mailbox: direct handoffs dispatch before any peer.
+  if (w.handoff.load(std::memory_order_relaxed) != nullptr) {
+    Thread* t = w.handoff.exchange(nullptr, std::memory_order_acquire);
+    if (t != nullptr) {
+      w.ready.fetch_sub(1);
+      claim(t, idx);
+      return t;
+    }
   }
-  w.lock.unlock();
+  // `ready` counts all four containers; a zero read means they were all
+  // empty at some recent instant — good enough for the fast path (the
+  // idle-park protocol closes the race).
+  if (w.ready.load(std::memory_order_relaxed) == 0) return nullptr;
+  // 2. Remote pushes land in the owner's containers.
+  drain_inbox(w, idx);
+  // 3./4. Pinned FIFO and deque, alternating so neither starves the other
+  // (the comm daemon is pinned work and must not be starved by a full
+  // deque — nor vice versa).
+  Thread* t = nullptr;
+  bool prefer_pinned = (++w.pop_tick & 1) != 0;
+  for (int round = 0; round < 2 && t == nullptr; ++round) {
+    if (prefer_pinned) {
+      if (w.pinned_head != nullptr) {
+        t = w.pinned_head;
+        w.pinned_head = t->qnext;
+        if (w.pinned_head == nullptr) w.pinned_tail = nullptr;
+        t->qnext = nullptr;
+      }
+    } else {
+      // Owner takes from the *top* (steal side) so dispatch order stays
+      // FIFO — round-robin fairness, same as the spinlocked deque had.
+      t = w.deque.steal();
+    }
+    prefer_pinned = !prefer_pinned;
+  }
+  if (t == nullptr) return nullptr;
+  w.ready.fetch_sub(1);
+  claim(t, idx);
   return t;
 }
 
@@ -292,23 +360,38 @@ Thread* Scheduler::try_steal(uint32_t thief) {
     Worker& vic = *workers_[v];
     if (vic.ready.load(std::memory_order_relaxed) == 0) continue;
     saw_work = true;
-    if (!vic.lock.try_lock()) continue;
-    // Steal from the cold end; pinned threads never leave their worker.
-    Thread* t = vic.tail;
-    while (t != nullptr && t->affinity != kNoWorker) t = t->qprev;
+    Thread* t = vic.deque.steal();
     if (t != nullptr) {
-      deque_unlink(vic, t);
       vic.ready.fetch_sub(1);
-      t->state = ThreadState::kRunning;
-      t->running_on.store(thief, std::memory_order_relaxed);
-      t->last_worker = thief;
-      vic.lock.unlock();
+      claim(t, thief);
       me.steals.fetch_add(1, std::memory_order_relaxed);
       return t;
     }
-    vic.lock.unlock();
   }
-  if (saw_work) me.steal_failures.fetch_add(1, std::memory_order_relaxed);
+  if (saw_work) {
+    // Nothing stealable on any deque — the work may be a handoff parked in
+    // the mailbox of a worker that is busy running something long.  Poach
+    // it rather than idle (the old deque-front handoff was stealable too).
+    for (uint32_t k = 0; k < n_workers_; ++k) {
+      uint32_t v = (start + k) % n_workers_;
+      if (v == thief) continue;
+      Worker& vic = *workers_[v];
+      if (vic.handoff.load(std::memory_order_relaxed) == nullptr) continue;
+      Thread* h = vic.handoff.exchange(nullptr, std::memory_order_acquire);
+      if (h == nullptr) continue;
+      if (h->affinity != kNoWorker && h->affinity != thief) {
+        // Pinned to the victim: put it back where its owner will find it.
+        inbox_push(vic, h);
+        wake_worker(v);
+        continue;
+      }
+      vic.ready.fetch_sub(1);
+      claim(h, thief);
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      return h;
+    }
+    me.steal_failures.fetch_add(1, std::memory_order_relaxed);
+  }
   return nullptr;
 }
 
@@ -403,7 +486,7 @@ void Scheduler::block_commit(sys::SpinLock& lock) {
   PM2_DCHECK(t->state == ThreadState::kBlocked)
       << "block_commit without kBlocked (caller must park under its lock)";
   t->park_mode = ParkMode::kBlock;
-  // Safe to release before the switch: a racing unblock() spins on
+  // Safe to release before the switch: a racing unblock() waits on
   // running_on, which this worker clears only after the context is saved.
   lock.unlock();
   switch_to_scheduler(t);
@@ -417,14 +500,18 @@ void Scheduler::sleep_us(uint64_t us) {
     return;
   }
   uint32_t w_idx = t->running_on.load(std::memory_order_relaxed);
+  PM2_DCHECK(on_worker(w_idx)) << "sleep_us off the owning worker";
   Worker& w = *workers_[w_idx];
   uint64_t deadline = now_ns() + us * 1000;
-  w.lock.lock();
+  // Timers are owner-confined: this code runs on worker w_idx's kernel
+  // thread, the same thread that fires them — no lock needed, only the
+  // atomic `earliest` mirror for cross-worker deadline reads.
   w.timers.emplace(deadline, t);
   if (deadline < w.earliest.load(std::memory_order_relaxed))
     w.earliest.store(deadline, std::memory_order_relaxed);
   t->state = ThreadState::kBlocked;
-  block_commit(w.lock);
+  t->park_mode = ParkMode::kBlock;
+  switch_to_scheduler(t);
 }
 
 void Scheduler::unblock(Thread* t, bool front) {
@@ -432,9 +519,21 @@ void Scheduler::unblock(Thread* t, bool front) {
       << "unblock on " << to_string(t->state) << " thread";
   t->wait_queue = nullptr;
   // The thread may still be on-CPU between publishing its park and saving
-  // its context; wait for the owning worker to release it.
-  while (t->running_on.load(std::memory_order_acquire) != kNoWorker)
-    sys::cpu_relax();
+  // its context; wait for the owning worker to release it.  Spin briefly
+  // (the window is a few hundred instructions), then back off sleeping —
+  // a raw spin here can burn a whole quantum when the parker's kernel
+  // thread gets preempted mid-switch.
+  if (t->running_on.load(std::memory_order_acquire) != kNoWorker) {
+    uint32_t spins = 0;
+    sys::Backoff bo(sys::Backoff::Config{
+        .start_us = 1, .cap_us = 200, .seed = t->id});
+    while (t->running_on.load(std::memory_order_acquire) != kNoWorker) {
+      if (++spins <= 64)
+        sys::cpu_relax();
+      else
+        bo.sleep();
+    }
+  }
   uint32_t w = t->affinity != kNoWorker ? t->affinity : t->last_worker;
   if (w >= n_workers_) w = 0;
   push_ready(t, w, front);
@@ -448,14 +547,17 @@ void Scheduler::exit_current(Continuation reaper) {
   // value it owns.  After this, every destructor-bearing key is null, so
   // no per-invocation state survives into a pooled re-arm.
   run_key_destructors(t);
-  RegistryShard& s = shard_for(t->id);
-  s.lock.lock();
+  // One stripe critical section: mark dead, claim the joiner, erase the id
+  // — join() serializes against this under the same stripe lock.
+  sys::SpinLock& l = registry_.lock_for(t->id);
+  l.lock();
   t->state = ThreadState::kDead;
   t->done = true;
   Thread* joiner = t->joiner;
   t->joiner = nullptr;
-  s.map.erase(t->id);
-  s.lock.unlock();
+  bool erased = registry_.erase_locked(t->id);
+  l.unlock();
+  PM2_CHECK(erased) << "exit of unregistered thread " << t->id;
   size_t left = registry_count_.fetch_sub(1, std::memory_order_relaxed) - 1;
   if (!t->is_daemon()) live_.fetch_sub(1, std::memory_order_relaxed);
   if (joiner != nullptr) unblock(joiner);
@@ -482,55 +584,182 @@ void Scheduler::switch_out_forever(Thread* t) {
 bool Scheduler::join(ThreadId id) {
   Thread* self_t = self();
   PM2_CHECK(self_t != nullptr) << "join() outside a thread";
-  RegistryShard& s = shard_for(id);
-  s.lock.lock();
-  auto it = s.map.find(id);
-  Thread* t = it == s.map.end() ? nullptr : it->second;
+  sys::SpinLock& l = registry_.lock_for(id);
+  l.lock();
+  Thread* const* p = registry_.find_locked(id);
+  Thread* t = p == nullptr ? nullptr : *p;
   if (t == nullptr || t->done) {
-    s.lock.unlock();
+    l.unlock();
     return false;
   }
   PM2_CHECK(t != self_t) << "thread joining itself";
   PM2_CHECK(t->joiner == nullptr) << "thread " << id << " already has a joiner";
   t->joiner = self_t;
   self_t->state = ThreadState::kBlocked;
-  // The shard lock serializes against the exit path, which reads `joiner`
+  // The stripe lock serializes against the exit path, which reads `joiner`
   // under it — released atomically with the park.
-  block_commit(s.lock);
+  block_commit(l);
   return true;
 }
 
 // --- migration support -----------------------------------------------------
 
+namespace {
+void mark_frozen(Thread* t) {
+  t->state.store(ThreadState::kFrozen, std::memory_order_release);
+  // Demotion-age stamp for the slot store.  Relaxed: the decay prescan may
+  // read it from another worker without a lock.
+  t->cold_ns.store(now_ns(), std::memory_order_relaxed);
+}
+}  // namespace
+
 bool Scheduler::freeze(Thread* t) {
   if (t == nullptr || t == self()) return false;
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    if (t->state != ThreadState::kReady) return false;
-    uint32_t qw = t->queue_worker;
+  // Quiesced tier: single worker, or this worker holds the pause gate —
+  // every peer is parked at its loop top, so the caller may scrub the
+  // owning worker's containers as a pseudo-owner.  Guaranteed for any
+  // kReady thread; callers that must not fail (checkpoint, store decay)
+  // wrap in pause_workers(), same contract as before.
+  bool quiesced =
+      n_workers_ == 1 ||
+      (t_scheduler == this && t_worker != kNoWorker &&
+       pause_requested_.load(std::memory_order_relaxed) &&
+       pauser_worker_.load(std::memory_order_relaxed) == t_worker);
+  return quiesced ? freeze_quiesced(t) : freeze_opportunistic(t);
+}
+
+bool Scheduler::freeze_quiesced(Thread* t) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (t->state.load(std::memory_order_acquire) != ThreadState::kReady)
+      return false;
+    uint32_t qw = t->queue_worker.load(std::memory_order_relaxed);
     if (qw >= n_workers_) return false;
     Worker& w = *workers_[qw];
-    w.lock.lock();
-    // Membership scan: queue_worker alone can be a stale cross-worker read,
-    // so confirm the thread is actually linked here before touching links.
-    // freeze is a cold path (migration/checkpoint) and deques are short.
-    for (Thread* it = w.head; it != nullptr; it = it->qnext) {
-      if (it == t) {
-        deque_unlink(w, t);
-        w.ready.fetch_sub(1);
-        t->state = ThreadState::kFrozen;
-        // Demotion-age stamp for the slot store.  Relaxed: the decay
-        // prescan may read it from another worker without a lock.
-        t->cold_ns.store(now_ns(), std::memory_order_relaxed);
-        w.lock.unlock();
-        return true;
+    bool found = false;
+    // Handoff mailbox.
+    if (w.handoff.load(std::memory_order_relaxed) == t) {
+      Thread* e = t;
+      found = w.handoff.compare_exchange_strong(e, nullptr,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed);
+    }
+    // Inbox: take the whole chain, filter, restore the rest (no concurrent
+    // pusher while quiesced, so the plain restore store is race-free).
+    if (!found) {
+      Thread* n = w.inbox.exchange(nullptr, std::memory_order_acquire);
+      Thread* keep_head = nullptr;
+      Thread* keep_tail = nullptr;
+      while (n != nullptr) {
+        Thread* nx = n->qnext;
+        n->qnext = nullptr;
+        if (n == t) {
+          found = true;
+        } else {
+          if (keep_tail != nullptr)
+            keep_tail->qnext = n;
+          else
+            keep_head = n;
+          keep_tail = n;
+        }
+        n = nx;
+      }
+      if (keep_head != nullptr)
+        w.inbox.store(keep_head, std::memory_order_release);
+    }
+    // Pinned FIFO.
+    if (!found) {
+      Thread* prev = nullptr;
+      for (Thread* it = w.pinned_head; it != nullptr;
+           prev = it, it = it->qnext) {
+        if (it != t) continue;
+        if (prev != nullptr)
+          prev->qnext = it->qnext;
+        else
+          w.pinned_head = it->qnext;
+        if (w.pinned_tail == it) w.pinned_tail = prev;
+        it->qnext = nullptr;
+        found = true;
+        break;
       }
     }
-    w.lock.unlock();
-    // Not on that deque (popped, stolen, or moved between our peek and the
-    // lock).  At workers > 1 callers that need a guaranteed freeze quiesce
-    // peers with pause_workers() first; otherwise report failure after the
-    // retries drain.
+    // Deque: rotate through the top; re-pushing non-targets at the bottom
+    // preserves their relative FIFO order (pseudo-owner: quiesced).
+    if (!found) {
+      size_t n_elems = w.deque.size();
+      for (size_t i = 0; i <= n_elems; ++i) {
+        Thread* x = w.deque.steal();
+        if (x == nullptr) break;
+        if (x == t) {
+          found = true;
+          break;
+        }
+        w.deque.push_bottom(x);
+      }
+    }
+    if (found) {
+      w.ready.fetch_sub(1);
+      mark_frozen(t);
+      return true;
+    }
+    // kReady but not in its queue_worker's containers: caught it mid-push.
+    // Quiesced means the pusher is this same caller's earlier stale read;
+    // re-read and retry (defensive — should not happen in practice).
     sys::cpu_relax();
+  }
+  return false;
+}
+
+bool Scheduler::freeze_opportunistic(Thread* t) {
+  // Un-gated tier (workers > 1): Runtime::migrate/migrate_async freeze
+  // without pausing the node.  Act as a *targeted thief*: the Chase-Lev
+  // top CAS and the mailbox exchange hand over elements exactly once, so
+  // winning one for the target makes this caller its sole owner — no
+  // tombstones, no racing dispatcher.  Threads hiding in the pinned FIFO
+  // are unreachable here (they refuse migration anyway); inbox residents
+  // are flushed by waking the owner and retrying.  Bounded: may fail under
+  // churn, exactly as the old try_lock scan could.
+  sys::Backoff bo(sys::Backoff::Config{
+      .start_us = 10, .cap_us = 1'000, .seed = t->id});
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (t->state.load(std::memory_order_acquire) != ThreadState::kReady)
+      return false;
+    // Relaxed hint: a concurrent re-push may be rewriting this.  A stale
+    // read targets the wrong worker's containers, finds nothing (the
+    // exactly-once removal is authoritative), and retries.
+    uint32_t qw = t->queue_worker.load(std::memory_order_relaxed);
+    if (qw >= n_workers_) return false;
+    Worker& w = *workers_[qw];
+    // Mailbox probe.
+    if (w.handoff.load(std::memory_order_acquire) == t) {
+      Thread* e = t;
+      if (w.handoff.compare_exchange_strong(e, nullptr,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        w.ready.fetch_sub(1);
+        mark_frozen(t);
+        return true;
+      }
+      continue;
+    }
+    // Steal from the victim's top until the target surfaces; innocent
+    // bystanders keep running — re-pushed onto the caller's own worker.
+    size_t n_elems = w.deque.size();
+    for (size_t i = 0; i <= n_elems; ++i) {
+      Thread* x = w.deque.steal();
+      if (x == nullptr) break;
+      w.ready.fetch_sub(1);
+      if (x == t) {
+        mark_frozen(t);
+        return true;
+      }
+      push_ready(x, home_worker());
+    }
+    // Possibly inbox-resident: kick the owner to drain, then retry.
+    wake_worker(qw);
+    if (attempt < 8)
+      sys::cpu_relax();
+    else
+      bo.sleep();
   }
   return false;
 }
@@ -538,6 +767,9 @@ bool Scheduler::freeze(Thread* t) {
 void Scheduler::unfreeze(Thread* t) {
   PM2_CHECK(t->state == ThreadState::kFrozen)
       << "unfreeze on " << to_string(t->state) << " thread";
+  // Publication: push_ready's release store of kReady (and the container
+  // insert) make the fully prepared descriptor visible to any worker that
+  // takes it — the explicit happens-before edge frozen create/rearm needs.
   push_ready(t, home_worker());
 }
 
@@ -578,10 +810,8 @@ void Scheduler::adopt(Thread* t) {
   }
   uint32_t home = home_worker();
   t->last_worker = home;
-  RegistryShard& s = shard_for(t->id);
-  s.lock.lock();
-  bool inserted = s.map.emplace(t->id, t).second;
-  s.lock.unlock();
+  auto [slot, inserted] = registry_.try_emplace(t->id, t);
+  (void)slot;
   PM2_CHECK(inserted) << "adopt: duplicate thread id " << t->id;
   registry_count_.fetch_add(1, std::memory_order_relaxed);
   if (!t->is_daemon()) live_.fetch_add(1, std::memory_order_relaxed);
@@ -600,11 +830,8 @@ void Scheduler::forget(Thread* t, bool keep_fiber) {
     sys::san_fiber_destroy(t->tsan_fiber);
     t->tsan_fiber = nullptr;
   }
-  RegistryShard& s = shard_for(t->id);
-  s.lock.lock();
-  size_t erased = s.map.erase(t->id);
-  s.lock.unlock();
-  PM2_CHECK(erased == 1) << "forget: unknown thread " << t->id;
+  bool erased = registry_.erase(t->id);
+  PM2_CHECK(erased) << "forget: unknown thread " << t->id;
   registry_count_.fetch_sub(1, std::memory_order_relaxed);
   if (!t->is_daemon()) live_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -616,22 +843,17 @@ void Scheduler::fire_expired_timers(Worker& w, uint32_t idx) {
   if (e == UINT64_MAX) return;
   uint64_t now = now_ns();
   if (e > now) return;
-  w.lock.lock();
+  // Owner-confined: only this worker's kernel thread touches w.timers.
   while (!w.timers.empty() && w.timers.begin()->first <= now) {
     Thread* t = w.timers.begin()->second;
     w.timers.erase(w.timers.begin());
     PM2_DCHECK(t->state == ThreadState::kBlocked);
     // The sleeper fully switched out before this worker returned to its
     // loop (it slept *on* this worker), so it can be requeued directly.
-    t->state = ThreadState::kReady;
-    t->queue_worker = idx;
-    deque_push_back(w, t);
-    w.ready.fetch_add(1);
+    push_ready(t, idx);
   }
-  w.earliest.store(
-      w.timers.empty() ? UINT64_MAX : w.timers.begin()->first,
-      std::memory_order_relaxed);
-  w.lock.unlock();
+  w.earliest.store(w.timers.empty() ? UINT64_MAX : w.timers.begin()->first,
+                   std::memory_order_relaxed);
 }
 
 uint64_t Scheduler::ns_until_next_timer() const {
@@ -672,14 +894,13 @@ void Scheduler::stop() {
 
 void Scheduler::idle_park(Worker& w, uint32_t idx) {
   if (n_workers_ == 1) {
-    // Historical single-loop behavior, preserved exactly.  The deque lock
-    // is uncontended at one worker; taking it here satisfies the timers'
-    // guard uniformly instead of special-casing the single-worker read.
-    w.lock.lock();
-    bool have_timer = !w.timers.empty();
-    uint64_t deadline = have_timer ? w.timers.begin()->first : 0;
-    w.lock.unlock();
-    if (have_timer) {
+    // Historical single-loop behavior, preserved exactly; timers are
+    // owner-confined, so the read needs no lock.
+    if (!w.timers.empty()) {
+      uint64_t deadline = w.timers.begin()->first;
+      // Lost-wakeup guard: a handoff/inbox push may have landed after
+      // pop_local's empty read — re-check before committing to the sleep.
+      if (w.handoff.load() != nullptr || w.inbox.load() != nullptr) return;
       // Park the kernel thread until the nearest deadline instead of
       // busy-waiting: a sleeping thread is the only local wake source
       // (cross-node events are owned by the comm daemon, which is a
@@ -690,6 +911,9 @@ void Scheduler::idle_park(Worker& w, uint32_t idx) {
       ::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &until, nullptr);
       return;
     }
+    if (w.ready.load() != 0 || w.handoff.load() != nullptr ||
+        w.inbox.load() != nullptr)
+      return;
     // No runnable thread, no timer, no event source: with a cooperative
     // scheduler this state can never resolve itself.
     PM2_CHECK(registry_count_.load() != 0)
@@ -713,13 +937,15 @@ void Scheduler::idle_park(Worker& w, uint32_t idx) {
   n_parked_.fetch_add(1);
   // Re-check under "parked" visibility: a pusher that saw parked == false
   // is ordered before our ready load (both seq_cst), so either it sees the
-  // flag and notifies or we see its push here.
-  if (w.ready.load() == 0 && !stop_requested_.load() &&
-      !pause_requested_.load()) {
-    w.park_cv.wait_for(lk, std::chrono::nanoseconds(deadline - now), [&] {
-      return w.ready.load() > 0 || stop_requested_.load() ||
-             pause_requested_.load();
-    });
+  // flag and notifies or we see its push here.  The handoff slot gets its
+  // own explicit re-check: a direct handoff is latency-critical, and its
+  // ready increment may still be in flight when this predicate runs.
+  auto runnable = [&] {
+    return w.ready.load() > 0 || w.handoff.load() != nullptr ||
+           stop_requested_.load() || pause_requested_.load();
+  };
+  if (!runnable()) {
+    w.park_cv.wait_for(lk, std::chrono::nanoseconds(deadline - now), runnable);
   }
   w.parked.store(false);
   n_parked_.fetch_sub(1);
@@ -728,12 +954,12 @@ void Scheduler::idle_park(Worker& w, uint32_t idx) {
 void Scheduler::gate_wait(uint32_t idx) {
   std::unique_lock<std::mutex> lk(gate_mu_);
   while (pause_requested_.load(std::memory_order_relaxed) &&
-         pauser_worker_ != idx) {
+         pauser_worker_.load(std::memory_order_relaxed) != idx) {
     ++gated_;
     gate_cv_.notify_all();
     gate_cv_.wait(lk, [&] {
       return !pause_requested_.load(std::memory_order_relaxed) ||
-             pauser_worker_ == idx;
+             pauser_worker_.load(std::memory_order_relaxed) == idx;
     });
     --gated_;
   }
@@ -751,7 +977,7 @@ void Scheduler::pause_workers() {
     lk.lock();
   }
   pause_requested_.store(true);
-  pauser_worker_ = t_worker;
+  pauser_worker_.store(t_worker, std::memory_order_relaxed);
   lk.unlock();
   wake_all_workers();
   if (external_wake_) external_wake_();
@@ -763,13 +989,13 @@ void Scheduler::resume_workers() {
   if (n_workers_ == 1) return;
   std::lock_guard<std::mutex> g(gate_mu_);
   pause_requested_.store(false);
-  pauser_worker_ = kNoWorker;
+  pauser_worker_.store(kNoWorker, std::memory_order_relaxed);
   gate_cv_.notify_all();
 }
 
 bool Scheduler::pause_pending() const {
   return pause_requested_.load(std::memory_order_relaxed) &&
-         pauser_worker_ != t_worker;
+         pauser_worker_.load(std::memory_order_relaxed) != t_worker;
 }
 
 void Scheduler::worker_loop(uint32_t idx) {

@@ -3,19 +3,37 @@
 // The node's PM2 threads execute on top of N worker kernel threads
 // (RuntimeConfig::workers; 1 = the original single-loop behavior, bit for
 // bit).  Worker 0 is the kernel thread that called run(); helpers are
-// spawned for workers 1..N-1.  Each worker owns an intrusive ready deque:
-// the owner pushes/pops at the head-end FIFO order, direct handoffs
-// (unblock(front=true)) jump to the head like a LIFO slot, and idle workers
-// steal from the *tail* of a random victim's deque — the classic Chase-Lev
-// split (owner works the hot end, thieves take the cold end), implemented
-// here with a per-deque spinlock instead of the lock-free protocol since
-// every critical section is a couple of pointer writes.
+// spawned for workers 1..N-1.  Since the lock-free rework each worker owns
+// four ready containers, consulted in this order:
 //
-// The iso-address one-owner invariant is structural: a thread is linked on
-// exactly one deque, pop/steal mark it kRunning *under that deque's lock*,
-// and Thread::running_on is only cleared by the dispatching worker's
+//   1. a single-slot MPSC *handoff mailbox* (std::atomic<Thread*>): direct
+//      handoffs — unblock(front=true) when the comm daemon completes a
+//      reply — land here and are dispatched before anything else, the
+//      lock-free successor of PR 3's front-of-deque handoff slot;
+//   2. an MPSC *inbox* (Treiber stack, drained FIFO): remote pushes from
+//      other workers or non-worker kernel threads, since Chase-Lev pushes
+//      are owner-only;
+//   3. an owner-confined FIFO of affinity-pinned threads (workers > 1):
+//      thieves structurally never see pinned work, replacing the old
+//      skip-scan under the victim's deque lock;
+//   4. a lock-free Chase-Lev deque (sys/chase_lev.hpp) of stealable
+//      threads: the owner pushes at the bottom and *takes from the top* so
+//      dispatch order stays FIFO (round-robin fairness), idle workers
+//      steal from the same top end with a CAS.
+//
+// Publication discipline: a descriptor becomes visible to other workers the
+// instant it is pushed ready, so frozen-create/rearm fill user_fn/user_arg
+// first and unfreeze() publishes — push_ready's release-store of
+// state = kReady (plus the container's own release/acquire edge) is the
+// explicit publication the stealing worker acquires.  The per-deque
+// spinlock that used to carry this edge (rank kSchedulerDeque) is retired.
+//
+// The iso-address one-owner invariant is structural: a ready thread sits in
+// exactly one container, every container removes exactly once (top CAS /
+// exchange / owner drain), the remover marks it kRunning and owns the slot
+// run, and Thread::running_on is only cleared by the dispatching worker's
 // epilogue after the context is fully saved — so a slot run is touched by
-// one worker at a time, and unblock() spins on running_on to close the
+// one worker at a time, and unblock() waits on running_on to close the
 // wakeup-vs-park race.
 //
 // Migration hooks: freeze()/freeze_current_and() take a thread out of
@@ -32,12 +50,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "marcel/context.hpp"
 #include "marcel/thread.hpp"
+#include "sys/chase_lev.hpp"
 #include "sys/spinlock.hpp"
+#include "sys/striped_map.hpp"
 #include "sys/thread_safety.hpp"
 
 namespace pm2::marcel {
@@ -46,9 +65,9 @@ namespace pm2::marcel {
 /// Scheduler::worker_stats()).
 struct WorkerStats {
   uint64_t dispatches = 0;     // context switches into PM2 threads
-  uint64_t steals = 0;         // threads taken from a peer's deque tail
+  uint64_t steals = 0;         // threads taken from a peer's deque top
   uint64_t steal_failures = 0; // steal rounds that found nothing
-  uint64_t handoffs = 0;       // front-of-deque direct handoff pushes
+  uint64_t handoffs = 0;       // handoff-mailbox direct pushes
   uint64_t idle_wakeups = 0;   // parked-worker wakeups by a remote push
 };
 
@@ -81,12 +100,13 @@ class Scheduler {
   /// placed at the region base, the stack fills the rest (growing down from
   /// the region end).  The region is typically one iso-address slot body.
   /// `id` must be globally unique (the runtime derives it from the node id).
-  /// The thread enters the creating worker's deque (worker 0 from
+  /// The thread enters the creating worker's containers (worker 0 from
   /// bootstrap); kFlagPinned threads get hard affinity to that worker.
   /// With `start_frozen` the thread is registered kFrozen instead of ready:
   /// the creator finishes preparing it (e.g. copying a spawn_copy image into
   /// its stack) and then unfreeze()s it — at workers > 1 a ready newborn
-  /// could be stolen and dispatched mid-preparation otherwise.
+  /// could be stolen and dispatched mid-preparation otherwise.  unfreeze()'s
+  /// push is the release-store the stealing worker acquires.
   Thread* create(void* region, size_t region_size, EntryFn entry, void* arg,
                  ThreadId id, const char* name, uint32_t flags = 0,
                  bool start_frozen = false);
@@ -116,7 +136,7 @@ class Scheduler {
   /// Atomically release `lock` and park the caller.  The caller must have
   /// linked itself on a wait structure and set state = kBlocked while
   /// holding `lock`; the lock is released after the park decision is
-  /// published and before the switch, and a racing unblock() spins on
+  /// published and before the switch, and a racing unblock() waits on
   /// running_on until the context is actually saved.
   void block_commit(sys::SpinLock& lock) PM2_RELEASE(lock);
 
@@ -130,10 +150,10 @@ class Scheduler {
 
   /// Make a blocked thread runnable again on its affinity worker (if
   /// pinned) or the worker that last ran it.  With `front` set the thread
-  /// jumps the ready deque (direct handoff): it is dispatched next, before
-  /// any round-robin peer — used when the comm daemon completes a reply
-  /// the thread is parked on.  Safe from any worker; wakes the target
-  /// worker if it is parked idle.
+  /// goes into the target worker's handoff mailbox (direct handoff): it is
+  /// dispatched next, before any round-robin peer — used when the comm
+  /// daemon completes a reply the thread is parked on.  Safe from any
+  /// kernel thread; wakes the target worker if it is parked idle.
   void unblock(Thread* t, bool front = false);
 
   /// Terminate the calling thread.  `reaper` runs on the scheduler stack
@@ -147,17 +167,31 @@ class Scheduler {
 
   // --- migration support ---------------------------------------------------
 
-  /// Freeze a non-running thread: unlink it from its ready deque.  Its
-  /// context is already fully saved on its stack (that is the invariant of
-  /// every non-running thread).  Fails (returns false) if the thread is
-  /// blocked on a local wait queue — migrating it would leave a dangling
-  /// queue link — is currently dispatched on some worker, or is the caller
-  /// itself.  At workers > 1 callers that must not fail wrap this in
-  /// pause_workers() so no peer can be mid-dispatch.
+  /// Freeze a non-running thread: take it out of its worker's ready
+  /// containers.  Its context is already fully saved on its stack (that is
+  /// the invariant of every non-running thread).  Fails (returns false) if
+  /// the thread is blocked on a local wait queue — migrating it would leave
+  /// a dangling queue link — is currently dispatched on some worker, or is
+  /// the caller itself.
+  ///
+  /// Two tiers since the lock-free rework:
+  ///   * quiesced (workers == 1, or the caller holds the pause gate): the
+  ///     caller scrubs the owning worker's containers directly — guaranteed
+  ///     for any kReady thread, pinned included.  Callers that must not
+  ///     fail wrap this in pause_workers(), same contract as before.
+  ///   * opportunistic (workers > 1, no gate): the freezer acts as a
+  ///     targeted thief — it steals from the owning worker's deque top,
+  ///     re-pushing threads that are not the target onto its own worker,
+  ///     until the top CAS hands it the target (exactly-once, so no
+  ///     tombstones and no use-after-free window).  Bounded retries; may
+  ///     fail under churn, as the old try_lock-based scan could.
   bool freeze(Thread* t);
 
   /// Re-enqueue a frozen thread locally (the freeze was provisional — e.g.
-  /// holding a newborn thread back while its argument is prepared).
+  /// holding a newborn thread back while its argument is prepared).  This
+  /// is the publication point for frozen-create/rearm: the push is a
+  /// release-store a stealing worker acquires before its first dispatch
+  /// reads user_fn/user_arg.
   void unfreeze(Thread* t);
 
   /// Freeze the *calling* thread and run `cont` on the scheduler stack.
@@ -215,9 +249,10 @@ class Scheduler {
   // --- SMP coordination ----------------------------------------------------
 
   /// Quiesce every worker except the caller's at its loop top (no-op at
-  /// workers == 1).  While paused, no other worker dispatches, so
+  /// workers == 1).  While paused, no other worker dispatches — and none is
+  /// mid-steal, since workers only park at the gate from the loop top — so
   /// freeze()/for_each() see a node as quiescent as the single-threaded
-  /// scheduler did — the audit and checkpoint paths rely on this.  Must be
+  /// scheduler did; the audit and checkpoint paths rely on this.  Must be
   /// called from a PM2 thread; the caller must not block through the
   /// scheduler until resume_workers().  Concurrent pausers are safe: the
   /// loser PM2-yields (parking its worker at the winner's gate) and
@@ -262,17 +297,36 @@ class Scheduler {
 
  private:
   struct alignas(64) Worker {
-    // Deque + timers, guarded by `lock` — innermost rank: while a deque
-    // lock is held nothing else may be acquired (peers only via try_lock).
-    mutable sys::SpinLock lock{sys::LockRank::kSchedulerDeque};
-    // owner pops at head (handoffs push there); pushes land at tail,
-    // thieves steal there
-    Thread* head PM2_GUARDED_BY(lock) = nullptr;
-    Thread* tail PM2_GUARDED_BY(lock) = nullptr;
-    // Mutated under `lock`, read lock-free by the idle/steal fast paths.
+    // --- ready containers (see file header for the dispatch order) -------
+    /// Direct-handoff mailbox: MPSC single slot, exchange() both ways.  A
+    /// displaced occupant (two handoffs racing) overflows into the inbox.
+    std::atomic<Thread*> handoff{nullptr};
+    /// Remote-push inbox: Treiber stack (push = CAS the head), drained by
+    /// the owner in one exchange and reversed to FIFO arrival order.
+    std::atomic<Thread*> inbox{nullptr};
+    /// Stealable ready threads.  Owner pushes bottom / takes top (FIFO);
+    /// thieves CAS the same top.  Lock-free; no capability, no rank.
+    sys::ChaseLevDeque<Thread> deque;
+    /// Affinity-pinned ready threads (workers > 1 only; at one worker the
+    /// deque holds everything, preserving the historical FIFO exactly).
+    /// Owner-confined: only this worker's kernel thread links/unlinks.
+    Thread* pinned_head = nullptr;
+    Thread* pinned_tail = nullptr;
+    /// Fairness tick alternating pinned-FIFO/deque preference so neither
+    /// source starves the other (the comm daemon is pinned work).
+    uint64_t pop_tick = 0;
+
+    /// Ready threads across all four containers.  Incremented by push_ready
+    /// after the insert, decremented by the remover; seq_cst where it meets
+    /// the park protocol.  A zero read is a fast-path hint, not a proof.
     std::atomic<size_t> ready{0};
-    // wake_ns -> sleeping thread
-    std::multimap<uint64_t, Thread*> timers PM2_GUARDED_BY(lock);
+
+    // --- timers (owner-confined) -----------------------------------------
+    /// wake_ns -> sleeping thread.  Owner-confined since the lock-free
+    /// rework: sleep_us runs on this worker's kernel thread and
+    /// fire_expired_timers on its loop — same thread, no capability needed.
+    /// Cross-worker readers see only the atomic `earliest` mirror.
+    std::multimap<uint64_t, Thread*> timers;
     std::atomic<uint64_t> earliest{UINT64_MAX};
 
     // Idle parking.
@@ -302,25 +356,21 @@ class Scheduler {
     std::atomic<uint64_t> idle_wakeups{0};
   };
 
-  struct RegistryShard {
-    mutable sys::SpinLock lock{sys::LockRank::kRegistryShard};
-    std::unordered_map<ThreadId, Thread*> map PM2_GUARDED_BY(lock);
-  };
-  static constexpr size_t kRegistryShards = 8;
-  RegistryShard& shard_for(ThreadId id) const {
-    return registry_[id % kRegistryShards];
-  }
-
-  static void deque_push_back(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
-  static void deque_push_front(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
-  static void deque_unlink(Worker& w, Thread* t) PM2_REQUIRES(w.lock);
-
   void worker_loop(uint32_t idx);
   void dispatch(Worker& w, uint32_t idx, Thread* t);
-  /// Link `t` ready on worker `w`'s deque and wake whoever must notice.
+  /// Route `t` into worker `w`'s containers and wake whoever must notice.
   void push_ready(Thread* t, uint32_t w, bool front = false);
+  /// MPSC inbox push (any kernel thread).
+  static void inbox_push(Worker& w, Thread* t);
+  /// Drain the inbox (owner only) and route entries to deque/pinned FIFO in
+  /// FIFO arrival order.
+  void drain_inbox(Worker& w, uint32_t idx);
+  /// Mark a thread taken out of a ready container as owned by worker `idx`.
+  void claim(Thread* t, uint32_t idx);
   Thread* pop_local(Worker& w, uint32_t idx);
   Thread* try_steal(uint32_t thief);
+  bool freeze_quiesced(Thread* t);
+  bool freeze_opportunistic(Thread* t);
   void fire_expired_timers(Worker& w, uint32_t idx);
   void idle_park(Worker& w, uint32_t idx);
   void wake_worker(uint32_t w);
@@ -336,10 +386,15 @@ class Scheduler {
   void switch_to_scheduler(Thread* t);
   /// Worker index new work should land on from the calling context.
   uint32_t home_worker() const;
+  /// True when the calling kernel thread is worker `idx` of this scheduler.
+  bool on_worker(uint32_t idx) const;
 
   uint32_t n_workers_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  mutable RegistryShard registry_[kRegistryShards];
+  /// Thread registry: id -> descriptor.  Striped concurrent map (locked
+  /// accessors — the registry churns, so the lock-free read path is out of
+  /// bounds; see sys/striped_map.hpp).  Stripe rank kRegistryShard.
+  sys::StripedMap<ThreadId, Thread*, 8> registry_;
   std::atomic<size_t> registry_count_{0};
   std::atomic<size_t> live_{0};  // non-daemon threads registered here
   std::atomic<bool> stop_requested_{false};

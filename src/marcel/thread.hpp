@@ -72,7 +72,14 @@ struct Thread {
   void* specific[kMaxKeys] = {};
 
   // --- node-local state (reset on adopt) --------------------------------
-  ThreadState state = ThreadState::kReady;
+  /// Atomic since the lock-free scheduler: the per-deque spinlock used to
+  /// order state writes against pops/steals; now the store in push_ready is
+  /// the *explicit publication point* — a release store of kReady after the
+  /// descriptor (user_fn/user_arg, context) is complete, which a consumer's
+  /// acquire pairs with (belt and suspenders on top of the Chase-Lev
+  /// publication edge, see sys/chase_lev.hpp).  Plain `=`/`==` still work
+  /// (seq_cst) on cold paths; hot paths use explicit orders.
+  std::atomic<ThreadState> state{ThreadState::kReady};
   Thread* qnext = nullptr;  // intrusive link: ready queue or wait queue
   Thread* qprev = nullptr;
   void* wait_queue = nullptr;     // WaitQueue currently parked on (or null)
@@ -97,11 +104,14 @@ struct Thread {
 
   // --- SMP ownership (node-local, reset on adopt) ------------------------
   /// Index of the worker currently dispatching this thread, kNoWorker while
-  /// fully switched out.  This is the one-owner handshake: set under the
-  /// deque lock when a worker pops/steals the thread, cleared (release) by
+  /// fully switched out.  This is the one-owner handshake: set by the
+  /// worker that took the thread out of a ready container (the container's
+  /// exactly-once removal — Chase-Lev top CAS, inbox drain, mailbox
+  /// exchange — makes that worker the sole claimant), cleared (release) by
   /// that worker's dispatch epilogue only after the context is saved and
-  /// the canary verified.  unblock() spins on it so a wakeup racing the
-  /// park can never requeue a thread whose stack is still live on a CPU.
+  /// the canary verified.  unblock() waits on it (spin, then sys::Backoff)
+  /// so a wakeup racing the park can never requeue a thread whose stack is
+  /// still live on a CPU.
   std::atomic<uint32_t> running_on{kNoWorker};
   /// Park request for the dispatch epilogue (see ParkMode).
   ParkMode park_mode = ParkMode::kYield;
@@ -112,9 +122,15 @@ struct Thread {
   /// Worker that last ran the thread — the wakeup target for cache/handoff
   /// locality when no affinity is set.
   uint32_t last_worker = 0;
-  /// Worker whose ready deque currently links the thread (valid while
-  /// kReady; freeze() uses it to find the right deque lock).
-  uint32_t queue_worker = 0;
+  /// Worker whose ready containers (deque / pinned FIFO / inbox / handoff
+  /// mailbox) currently hold the thread.  Written before the kReady
+  /// release-store in push_ready, so a reader that acquires state == kReady
+  /// sees a matching value.  Atomic (relaxed) because an un-gated freezer
+  /// reads it while a later push_ready may be rewriting it concurrently —
+  /// there it is only a targeting *hint*, re-validated by the container's
+  /// exactly-once removal (top CAS / mailbox exchange), so a stale value
+  /// costs a retry, never correctness.
+  std::atomic<uint32_t> queue_worker{0};
   /// Worker whose kernel thread parked san_fake_stack: the handle belongs
   /// to that thread's fake-stack allocator, so a resume on a different
   /// worker (steal) must hand ASan null instead — same rule as migration.

@@ -22,10 +22,14 @@ void balancer_loop(Runtime& rt, LoadBalancerConfig cfg) {
     const auto& table = rt.load_table();
     uint64_t my = table[rt.self()];
 
-    // Pick the least loaded node as the victim.
+    // Pick the least loaded node as the victim.  Skip peers the failure
+    // detector has declared down: their load-table entry is stale (a dead
+    // node gossips nothing, so it looks idle forever) and a migration
+    // there would only burn its deadline before failing.
     uint32_t victim = rt.self();
     uint64_t victim_load = my;
     for (uint32_t n = 0; n < rt.n_nodes(); ++n) {
+      if (n != rt.self() && rt.peer_down(n)) continue;
       if (table[n] < victim_load) {
         victim = n;
         victim_load = table[n];

@@ -223,8 +223,10 @@ marcel::Thread* Runtime::create_thread_in_slots(marcel::EntryFn fn, void* arg,
 
   // Always create frozen: a ready thread is immediately stealable by any
   // worker, and the descriptor fields below must be in place before its
-  // first dispatch reads them in thread_trampoline.  unfreeze() publishes
-  // (the ready-deque lock carries the happens-before edge).
+  // first dispatch reads them in thread_trampoline.  unfreeze() publishes:
+  // push_ready's release-store of kReady (paired with the consumer's
+  // acquire in claim) plus the Chase-Lev push/steal edge carry the
+  // happens-before these writes need.
   marcel::Thread* t =
       sched_.create(reinterpret_cast<void*>(region), region_size,
                     &Runtime::thread_trampoline,
@@ -402,7 +404,9 @@ marcel::Thread* Runtime::spawn_service_thread(marcel::EntryFn fn, void* arg,
     // recycled identity.
     static_cast<iso::SlotHeader*>(t->slot_list)->owner_thread = id;
     // Rearm frozen, publish after the descriptor is complete (same
-    // stealable-before-initialized hazard as create_thread_in_slots).
+    // stealable-before-initialized hazard as create_thread_in_slots;
+    // unfreeze()'s release-store of kReady is the publication the
+    // stealing worker acquires before reading user_fn/user_arg).
     sched_.rearm(t, &Runtime::thread_trampoline, t, id, name, flags,
                  /*start_frozen=*/true);
     t->user_fn = reinterpret_cast<void*>(fn);
@@ -947,14 +951,12 @@ uint32_t Runtime::register_service_handler(const char* name, ServiceHandler fn,
                                            uint32_t thread_flags) {
   PM2_CHECK(name != nullptr && fn != nullptr);
   uint32_t id = service_id(name);
-  sys::SpinGuard g(services_lock_);
-  auto [it, inserted] =
+  auto [entry, inserted] =
       services_.try_emplace(id, ServiceEntry{name, std::move(fn), thread_flags});
   if (!inserted) {
-    PM2_CHECK(it->second.name == name)
-        << "FNV-1a service-name collision: \"" << it->second.name
-        << "\" and \"" << name << "\" both hash to " << id
-        << " — rename one of them";
+    PM2_CHECK(entry->name == name)
+        << "FNV-1a service-name collision: \"" << entry->name << "\" and \""
+        << name << "\" both hash to " << id << " — rename one of them";
     PM2_FATAL("service \"" + std::string(name) + "\" registered twice");
   }
   return id;
@@ -1024,13 +1026,11 @@ mad::BufferChain rpc_chain(uint32_t service, mad::PackBuffer&& args) {
 
 void Runtime::dispatch_rpc(uint32_t service, uint32_t src, uint64_t corr,
                            std::vector<uint8_t>&& args, size_t args_offset) {
-  // Entry addresses are stable (unordered_map nodes) and registration is
-  // setup-phase, so the pointer may outlive the lock.
-  services_lock_.lock();
-  auto it = services_.find(service);
-  const ServiceEntry* entry =
-      it == services_.end() ? nullptr : &it->second;
-  services_lock_.unlock();
+  // Lock-free lookup: the service table is grow-only (registration is
+  // setup-phase and permanent) and StripedMap node addresses are stable,
+  // so find_fast's acquire-walk is sound and the pointer stays valid for
+  // the invocation's whole lifetime.
+  const ServiceEntry* entry = services_.find_fast(service);
   if (entry == nullptr) {
     // Name-keyed sessions are heterogeneous: the caller cannot know what a
     // peer registered, so a request expecting a reply gets an error back

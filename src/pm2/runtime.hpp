@@ -51,6 +51,7 @@
 #include "marcel/sync.hpp"
 #include "pm2/protocol.hpp"
 #include "sys/spinlock.hpp"
+#include "sys/striped_map.hpp"
 #include "sys/thread_safety.hpp"
 #include "trace/trace.hpp"
 
@@ -1019,17 +1020,18 @@ class Runtime {
   std::vector<fabric::Message> outbox_ PM2_GUARDED_BY(out_lock_);
 
   // Services: name-hash keyed dispatch table (the wire carries the hash).
-  // Hash table: the lookup sits on the per-invocation hot path; node
-  // (and thus ServiceEntry) addresses are stable (unordered_map nodes), so
-  // lookups may hold the entry pointer past the lock.
+  // The lookup sits on the per-invocation hot path, so the table is a
+  // striped concurrent map whose node addresses are stable and whose
+  // *grow-only* discipline (registration is setup-phase and permanent; no
+  // erase, ever) makes find_fast() — a lock-free acquire-walk, zero shared
+  // cache-line writes — sound on the dispatch path.
   struct ServiceEntry {
     std::string name;
     ServiceHandler fn;
     uint32_t thread_flags = 0;  // kFlagPinned for service_local
   };
-  sys::SpinLock services_lock_{sys::LockRank::kRuntimeMaps};
-  std::unordered_map<uint32_t, ServiceEntry> services_
-      PM2_GUARDED_BY(services_lock_);
+  sys::StripedMap<uint32_t, ServiceEntry, 8> services_{
+      sys::LockRank::kRuntimeMaps};
 
   // Outstanding correlations: calls awaiting a reply and migrations
   // awaiting their install ack.  Unbounded — this is what lets one thread

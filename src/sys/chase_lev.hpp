@@ -1,0 +1,202 @@
+// Lock-free Chase-Lev work-stealing deque (dynamic circular array).
+//
+// The classic protocol from Chase & Lev, "Dynamic Circular Work-Stealing
+// Deque" (SPAA '05), with the C11 memory orders of Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP '13):
+//
+//   * the OWNER pushes and pops at `bottom` — plain index arithmetic plus
+//     one release store on push and one seq_cst fence on pop;
+//   * THIEVES (any other kernel thread) take from `top` with a CAS;
+//   * the only fence-heavy case is the one-element race, where the owner's
+//     pop_bottom and a thief's steal fight for the same cell and the CAS on
+//     `top` arbitrates.
+//
+// The element type is a pointer (the scheduler stores Thread*).  A push
+// publishes everything written to *x before it: the release store of
+// `bottom` in push_bottom pairs with the acquire load in steal(), so a
+// thief that obtains the pointer also observes the owner's prior writes
+// through it — this is the publication edge the scheduler's
+// unfreeze/rearm discipline documents (see marcel/scheduler.hpp).  We
+// deviate from the paper's fence-based formulation in one deliberate way:
+// every `bottom` store is a release store rather than a relaxed store
+// behind a fence, because TSan does not model standalone fences and the
+// per-variable release/acquire pairing is what lets it (and human
+// readers) see the edge.  Same semantics, same x86 codegen.
+//
+// Growth: when the ring fills, the owner allocates a double-size array and
+// copies the live window.  Retired arrays are kept on a garbage chain until
+// the deque is destroyed — a thief may still be reading a cell of an old
+// array after the swap, and with at most log2(capacity) doublings the waste
+// is bounded by ~2x the peak footprint, which buys freedom from any
+// reclamation protocol.
+//
+// Indices are unsigned 64-bit and monotonically increasing, so the top CAS
+// can never ABA.  size()/empty() are racy snapshots, fine for heuristics
+// (steal victim selection, idle checks) and exact when the caller is the
+// owner and no thief intervenes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace pm2::sys {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(size_t initial_capacity = 64) {
+    size_t cap = 8;
+    while (cap < initial_capacity) cap <<= 1;
+    array_.store(new Array(cap), std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    Array* a = array_.load(std::memory_order_relaxed);
+    while (a != nullptr) {
+      Array* prev = a->retired_prev;
+      delete a;
+      a = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// OWNER ONLY.  Push `x` at the bottom (the hot end).  The release store
+  /// of `bottom` publishes both the element pointer and everything the
+  /// owner wrote before the push to whichever consumer later takes it.
+  void push_bottom(T* x) {
+    uint64_t b = bottom_.load(std::memory_order_relaxed);
+    uint64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= a->capacity) {
+      a = grow(a, b, t);
+    }
+    a->put(b, x);
+    // Release *store* where Lê et al. use a release fence + relaxed store.
+    // Equivalent synchronization under C11 for this edge (and free on
+    // x86), but crucially visible to TSan, which does not model standalone
+    // fences: the thief's acquire load of `bottom` is where descriptor
+    // publication synchronizes, and a fence-only formulation would make
+    // every field read through a stolen pointer a false TSan race.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// OWNER ONLY.  Pop from the bottom (LIFO).  Returns nullptr when empty.
+  /// The seq_cst fence after the speculative bottom decrement is what makes
+  /// the one-element race sound: it forces the decrement to be globally
+  /// visible before the owner reads `top`, so the owner and a racing thief
+  /// cannot both conclude they own the last element — the CAS on `top`
+  /// decides, and exactly one of them wins.
+  T* pop_bottom() {
+    uint64_t b = bottom_.load(std::memory_order_relaxed);
+    if (b == top_.load(std::memory_order_relaxed)) return nullptr;
+    b -= 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // Release for the same TSan-visibility reason as push_bottom: a thief
+    // acquiring `bottom` must inherit the owner's history even when the
+    // value it reads came from this speculative decrement (C++20 release
+    // sequences do not extend through later relaxed stores, so this is
+    // also the formally tight choice).  The seq_cst fence below is still
+    // what arbitrates the one-element race.
+    bottom_.store(b, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    uint64_t t = top_.load(std::memory_order_relaxed);
+    T* x;
+    if (t <= b) {
+      x = a->get(b);
+      if (t == b) {
+        // One element left: race the thieves for it via the top CAS.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          x = nullptr;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_release);
+      }
+    } else {
+      // Deque was already empty; undo the speculative decrement.
+      x = nullptr;
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return x;
+  }
+
+  /// ANY THREAD.  Take from the top (the cold end, FIFO order).  Returns
+  /// nullptr when the deque looks empty or the CAS lost a race (the caller
+  /// retries or moves on — work stealing treats both the same).
+  ///
+  /// The scheduler also uses this as the *owner's* dequeue: taking from the
+  /// top keeps dispatch order FIFO (round-robin fairness across ready
+  /// threads), at the cost of one uncontended CAS — the same price the
+  /// retired spinlock paid in its uncontended exchange.  Owner-side
+  /// pop_bottom stays available for LIFO consumers.
+  T* steal() {
+    uint64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    uint64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;  // empty
+    Array* a = array_.load(std::memory_order_acquire);
+    T* x = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race for this element
+    }
+    return x;
+  }
+
+  /// Racy size snapshot (see header comment).
+  size_t size() const {
+    uint64_t b = bottom_.load(std::memory_order_relaxed);
+    uint64_t t = top_.load(std::memory_order_relaxed);
+    return b >= t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Current ring capacity (owner/test introspection).
+  size_t capacity() const {
+    return array_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Array {
+    explicit Array(size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T*>[cap]) {}
+    ~Array() { delete[] cells; }
+
+    T* get(uint64_t i) const {
+      return cells[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(uint64_t i, T* x) {
+      cells[i & mask].store(x, std::memory_order_relaxed);
+    }
+
+    const size_t capacity;
+    const size_t mask;
+    std::atomic<T*>* cells;
+    Array* retired_prev = nullptr;  // garbage chain; freed with the deque
+  };
+
+  /// OWNER ONLY (called from push_bottom with the ring full).
+  Array* grow(Array* old, uint64_t b, uint64_t t) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (uint64_t i = t; i != b; ++i) bigger->put(i, old->get(i));
+    bigger->retired_prev = old;
+    // Release: a thief loading the new array pointer must see initialized
+    // cells.  The old array stays readable (and chained) for any thief
+    // that loaded it before the swap.
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<uint64_t> top_{0};
+  alignas(64) std::atomic<uint64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_{nullptr};
+};
+
+}  // namespace pm2::sys

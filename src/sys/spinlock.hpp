@@ -1,10 +1,11 @@
 // Kernel-level spinlock for the SMP scheduler's short critical sections.
 //
 // PM2 threads coordinate through the cooperative primitives in marcel/sync;
-// this lock is for the *kernel* threads underneath them — worker ready
-// deques, timer wheels, registry shards, runtime tables — where the critical
-// section is a handful of pointer writes and parking a kernel thread would
-// cost more than the wait.  Two rules keep it safe:
+// this lock is for the *kernel* threads underneath them — registry stripes,
+// sync-primitive state, runtime tables — where the critical section is a
+// handful of pointer writes and parking a kernel thread would cost more
+// than the wait.  (The worker ready deques, once the heaviest user, are
+// lock-free now: sys/chase_lev.hpp.)  Two rules keep it safe:
 //
 //   * never hold a SpinLock across a pm2_ctx_switch.  The one sanctioned
 //     exception is Scheduler::block_commit(), which *releases* the lock
@@ -64,24 +65,29 @@ inline void cpu_relax() {
 /// holding a lock of rank R, a kernel thread may only acquire locks of rank
 /// < R.  Outer (decision) layers rank high, inner (mechanism) layers rank
 /// low, so the runtime's decide-under-lock pattern — runtime table lock ->
-/// sync-primitive state lock -> scheduler deque lock — is monotone, i.e.
-/// scheduler-deque < registry-shard < runtime-maps < outbox.
+/// sync-primitive state lock -> registry stripe — is monotone, i.e.
+/// registry-shard < sync-state < runtime-maps < outbox.
 ///
 /// The order encodes the nestings that actually occur:
 ///   * CondVar::wait holds its state lock while Mutex::unlock runs
-///     underneath (kSyncCondVar > kSyncState) and while the woken waiter is
-///     pushed onto a ready deque (> kSchedulerDeque).
+///     underneath (kSyncCondVar > kSyncState); the woken waiter's requeue
+///     is lock-free (Chase-Lev deque / MPSC inbox), so nothing ranks
+///     below it on that path anymore.
 ///   * Runtime::for_each_parked holds a pool shard while the store-decay /
 ///     audit callbacks take store_lock_ (kInvocationPool > kRuntimeMaps).
 ///   * Runtime's store paths hold store_lock_ while the slot store scans
 ///     its directory (kRuntimeMaps > kLeaf).
-/// Same-rank acquisition is refused; peers of equal rank (another worker's
-/// deque during stealing) may only be taken with try_lock, which cannot
-/// deadlock and is therefore exempt from the order check.
+/// Same-rank acquisition is refused; peers of equal rank may only be taken
+/// with try_lock, which cannot deadlock and is therefore exempt from the
+/// order check.
+///
+/// Historical note: rank 0x10 (kSchedulerDeque) guarded the per-worker
+/// ready deques until they became lock-free Chase-Lev deques plus MPSC
+/// inbox/handoff slots (sys/chase_lev.hpp).  The rank is retired — the
+/// value stays unassigned so old rank numbers in crash logs stay readable.
 enum class LockRank : uint8_t {
   kLeaf = 0x08,            // slot-store directory, tracer: acquire nothing
-  kSchedulerDeque = 0x10,  // Worker::lock (peers via try_lock only)
-  kRegistryShard = 0x20,   // Scheduler registry shards
+  kRegistryShard = 0x20,   // Scheduler registry stripes (sys::StripedMap)
   kSyncState = 0x30,       // Mutex/Semaphore/Barrier/Event/RwLock/WaitQueue
   kSyncCondVar = 0x34,     // CondVar state (runs Mutex::unlock underneath)
   kRuntimeMaps = 0x40,     // runtime tables: pending/services/slots/store/...
@@ -108,17 +114,29 @@ struct HeldStack {
 
 inline thread_local HeldStack t_held;
 
+/// TLS accessor, deliberately noinline.  PM2 fibers migrate between kernel
+/// threads at every pm2_ctx_switch (steal, unblock on another worker), but
+/// the compiler is entitled to assume a function never changes threads and
+/// may CSE the thread_local address across the switch — an inlined t_held
+/// access after a resume would then scribble on the *previous* kernel
+/// thread's held stack (seen in the wild as a corrupted depth tripping
+/// UBSan's object-size check under ASan at 4 workers).  An opaque call
+/// re-derives the TLS base from the current thread every time; two calls
+/// cannot be merged because the function is not const-qualified.
+[[gnu::noinline]] inline HeldStack& held() { return t_held; }
+
 inline uint8_t min_held_rank() {
   // try_lock may record out-of-order entries, so scan instead of trusting
   // the top (depth <= kMax keeps this trivial).
+  const HeldStack& h = held();
   uint8_t m = 0xFF;
-  for (int i = 0; i < t_held.depth; ++i)
-    if (t_held.rank[i] < m) m = t_held.rank[i];
+  for (int i = 0; i < h.depth; ++i)
+    if (h.rank[i] < m) m = h.rank[i];
   return m;
 }
 
 inline void check_acquire(const void* l, LockRank r) {
-  PM2_CHECK(!t_held.in_switch)
+  PM2_CHECK(!held().in_switch)
       << "SpinLock " << l << " (rank 0x" << std::hex
       << unsigned(static_cast<uint8_t>(r))
       << ") acquired while this kernel thread is mid-pm2_ctx_switch";
@@ -131,23 +149,25 @@ inline void check_acquire(const void* l, LockRank r) {
 }
 
 inline void note_acquired(const void* l, LockRank r) {
-  PM2_CHECK(t_held.depth < HeldStack::kMax) << "SpinLock held-stack overflow";
-  t_held.lock[t_held.depth] = l;
-  t_held.rank[t_held.depth] = static_cast<uint8_t>(r);
-  ++t_held.depth;
+  HeldStack& h = held();
+  PM2_CHECK(h.depth < HeldStack::kMax) << "SpinLock held-stack overflow";
+  h.lock[h.depth] = l;
+  h.rank[h.depth] = static_cast<uint8_t>(r);
+  ++h.depth;
 }
 
 inline void note_released(const void* l) {
   // Search from the top: releases are almost always LIFO, but the
   // decide-under-lock pattern legitimately releases out of order
   // (SpinGuard::release before a later guard unwinds).
-  for (int i = t_held.depth - 1; i >= 0; --i) {
-    if (t_held.lock[i] != l) continue;
-    for (int j = i; j + 1 < t_held.depth; ++j) {
-      t_held.lock[j] = t_held.lock[j + 1];
-      t_held.rank[j] = t_held.rank[j + 1];
+  HeldStack& h = held();
+  for (int i = h.depth - 1; i >= 0; --i) {
+    if (h.lock[i] != l) continue;
+    for (int j = i; j + 1 < h.depth; ++j) {
+      h.lock[j] = h.lock[j + 1];
+      h.rank[j] = h.rank[j + 1];
     }
-    --t_held.depth;
+    --h.depth;
     return;
   }
   PM2_FATAL("SpinLock::unlock of a lock this kernel thread does not hold "
@@ -166,17 +186,22 @@ inline void note_released(const void* l) {
 /// the switch itself.
 inline void lockrank_ctx_switch_begin() {
 #if PM2_LOCK_CHECKS
-  PM2_CHECK(lockrank::t_held.depth == 0)
-      << "pm2_ctx_switch with " << lockrank::t_held.depth
-      << " SpinLock(s) held (first held: " << lockrank::t_held.lock[0]
+  // held() and not t_held: begin() runs on the departing kernel thread,
+  // end() on whichever kernel thread resumes the context — the opaque
+  // accessor keeps the compiler from reusing the departing thread's TLS
+  // base across the switch when both brackets inline into one function.
+  lockrank::HeldStack& h = lockrank::held();
+  PM2_CHECK(h.depth == 0)
+      << "pm2_ctx_switch with " << h.depth
+      << " SpinLock(s) held (first held: " << h.lock[0]
       << "); publish, release, then switch";
-  lockrank::t_held.in_switch = true;
+  h.in_switch = true;
 #endif
 }
 
 inline void lockrank_ctx_switch_end() {
 #if PM2_LOCK_CHECKS
-  lockrank::t_held.in_switch = false;
+  lockrank::held().in_switch = false;
 #endif
 }
 
@@ -216,7 +241,7 @@ class PM2_CAPABILITY("spinlock") SpinLock {
     // takes a peer deque of equal rank — but the mid-switch rule and the
     // held-stack bookkeeping still apply.
     if (got) {
-      PM2_CHECK(!lockrank::t_held.in_switch)
+      PM2_CHECK(!lockrank::held().in_switch)
           << "SpinLock::try_lock succeeded mid-pm2_ctx_switch";
       lockrank::note_acquired(this, rank_);
     }

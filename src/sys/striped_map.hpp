@@ -1,0 +1,232 @@
+// Striped concurrent hash map: a fixed array of lock-striped buckets with
+// stable node addresses and an optional lock-free read path.
+//
+// Two runtime tables sit on hot paths and used to be a single spinlocked
+// unordered_map each: the RPC service table (looked up on every dispatch)
+// and the scheduler's thread registry (every create/exit/find).  Both fit
+// the same shape:
+//
+//   * keys hash to one of kStripes buckets, each guarded by its own
+//     SpinLock (rank supplied by the owner — the map is mechanism, the
+//     layering decision stays with the caller);
+//   * each bucket is an intrusive singly-linked chain of heap nodes, so a
+//     value's address is stable for the node's whole lifetime — callers may
+//     hold a V* past the lock, exactly the contract the old
+//     unordered_map-node code documented;
+//   * writers link new nodes at the head with a release store, which makes
+//     a *grow-only* map readable with no lock at all: find_fast() walks the
+//     chain through acquire loads and never observes a half-written node.
+//
+// find_fast() is only sound while no erase() ever runs (a reader holds no
+// lock, so an unlinked node could be freed mid-walk).  The service table is
+// grow-only by construction (registration is setup-phase and permanent) and
+// uses find_fast on the dispatch path; the thread registry churns, so it
+// uses the locked accessors, where erase may free immediately.
+//
+// Compound operations (the scheduler's exit path erases the id and claims
+// the joiner under one critical section; join() parks *atomically* with the
+// stripe release via block_commit) get the stripe lock handed to them:
+// lock_for(k) plus the *_locked accessors.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sys/spinlock.hpp"
+#include "sys/thread_safety.hpp"
+
+namespace pm2::sys {
+
+template <typename K, typename V, size_t kStripes = 16>
+class StripedMap {
+  static_assert((kStripes & (kStripes - 1)) == 0, "stripe count: power of 2");
+
+ public:
+  explicit StripedMap(LockRank rank) {
+    for (size_t i = 0; i < kStripes; ++i) stripes_[i].init_rank(rank);
+  }
+
+  ~StripedMap() {
+    for (Stripe& s : stripes_) {
+      Node* n = s.head.load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  StripedMap(const StripedMap&) = delete;
+  StripedMap& operator=(const StripedMap&) = delete;
+
+  /// Insert, failing on a duplicate key.  Returns {value*, inserted}: on
+  /// success the pointer addresses the new node's value; on a duplicate it
+  /// addresses the existing one (so the caller can diagnose the clash).
+  /// The pointer is stable until the key is erased.
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    Stripe& s = stripe_for(key);
+    SpinGuard g(s.lock);
+    if (Node* hit = chain_find(s, key)) return {&hit->value, false};
+    auto* n = new Node(key, std::forward<Args>(args)...);
+    n->next.store(s.head.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    // Release: find_fast readers that load this node must see key/value
+    // fully constructed.
+    s.head.store(n, std::memory_order_release);
+    s.count += 1;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return {&n->value, true};
+  }
+
+  /// Locked lookup.  The returned pointer is stable until erase(key); for
+  /// churny maps the caller must know the key cannot be erased concurrently
+  /// (the scheduler registry's contract: only the thread itself erases its
+  /// id, on exit).  nullptr when absent.
+  V* find(const K& key) const {
+    Stripe& s = stripe_for(key);
+    SpinGuard g(s.lock);
+    Node* n = chain_find(s, key);
+    return n == nullptr ? nullptr : &n->value;
+  }
+
+  /// LOCK-FREE lookup — sound only on a grow-only map (no erase() ever; see
+  /// header).  This is the RPC dispatch path: one hash, a short chain walk,
+  /// zero shared-cache-line writes.
+  V* find_fast(const K& key) const {
+    const Stripe& s = stripe_for(key);
+    for (Node* n = s.head.load(std::memory_order_acquire); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      if (n->key == key) return &n->value;
+    }
+    return nullptr;
+  }
+
+  /// Locked lookup that copies the value out *under* the stripe lock — the
+  /// right call on churny maps where the key may be erased (and its node
+  /// freed) the instant the lock drops, so even dereferencing a returned
+  /// V* would race the delete.  Returns false when absent.
+  bool find_copy(const K& key, V* out) const {
+    Stripe& s = stripe_for(key);
+    SpinGuard g(s.lock);
+    Node* n = chain_find(s, key);
+    if (n == nullptr) return false;
+    *out = n->value;
+    return true;
+  }
+
+  /// Erase, freeing the node immediately (all readers of a churny map hold
+  /// the stripe lock, so nobody can be mid-walk).  Returns false if absent.
+  bool erase(const K& key) {
+    Stripe& s = stripe_for(key);
+    SpinGuard g(s.lock);
+    return erase_chain(s, key);
+  }
+
+  // --- compound-operation surface ------------------------------------------
+  // The stripe lock is exposed so callers can compose "mutate the value and
+  // erase/park atomically" critical sections (scheduler exit/join).  The
+  // _locked variants require lock_for(key) to be held; clang TSA cannot
+  // express a runtime-selected capability out of an array, so the dynamic
+  // lock-rank checker is the enforcement here.
+
+  SpinLock& lock_for(const K& key) const { return stripe_for(key).lock; }
+
+  V* find_locked(const K& key) const PM2_NO_THREAD_SAFETY_ANALYSIS {
+    // Caller holds lock_for(key) — hash-selected stripe capability.
+    Stripe& s = stripe_for(key);
+    Node* n = chain_find(s, key);
+    return n == nullptr ? nullptr : &n->value;
+  }
+
+  bool erase_locked(const K& key) PM2_NO_THREAD_SAFETY_ANALYSIS {
+    // Caller holds lock_for(key) — hash-selected stripe capability.
+    return erase_chain(stripe_for(key), key);
+  }
+
+  /// Visit every value.  Entries are snapshotted stripe by stripe under the
+  /// stripe locks and the callback runs outside them (it may re-enter the
+  /// map or take other locks).  Concurrent mutators make the snapshot a
+  /// point-in-time-per-stripe view — callers needing global consistency
+  /// quiesce first (the scheduler wraps this in pause_workers()).
+  void for_each_value(const std::function<void(V)>& fn) const {
+    std::vector<V> snapshot;
+    snapshot.reserve(size());
+    for (const Stripe& s : stripes_) {
+      SpinGuard g(s.lock);
+      for (Node* n = s.head.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        snapshot.push_back(n->value);
+      }
+    }
+    for (const V& v : snapshot) fn(v);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    template <typename... Args>
+    explicit Node(const K& k, Args&&... args)
+        : key(k), value(std::forward<Args>(args)...) {}
+    const K key;
+    V value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  struct alignas(64) Stripe {
+    // The rank is injected post-construction (SpinLock's rank is set at
+    // construction; a default-constructed array needs re-init).  Called
+    // once from the StripedMap constructor, before any concurrency.
+    void init_rank(LockRank rank) {
+      new (&lock) SpinLock(rank);
+    }
+    mutable SpinLock lock;
+    std::atomic<Node*> head{nullptr};
+    size_t count = 0;  // under lock; per-stripe diagnostics
+  };
+
+  Stripe& stripe_for(const K& key) const {
+    return stripes_[std::hash<K>{}(key)&(kStripes - 1)];
+  }
+
+  Node* chain_find(const Stripe& s, const K& key) const
+      PM2_NO_THREAD_SAFETY_ANALYSIS {
+    // Caller holds s.lock (or is find_fast on a grow-only map).
+    for (Node* n = s.head.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key == key) return n;
+    }
+    return nullptr;
+  }
+
+  bool erase_chain(Stripe& s, const K& key) PM2_NO_THREAD_SAFETY_ANALYSIS {
+    // Caller holds s.lock.
+    std::atomic<Node*>* link = &s.head;
+    for (Node* n = link->load(std::memory_order_relaxed); n != nullptr;
+         n = link->load(std::memory_order_relaxed)) {
+      if (n->key == key) {
+        link->store(n->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        delete n;
+        s.count -= 1;
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      link = &n->next;
+    }
+    return false;
+  }
+
+  mutable Stripe stripes_[kStripes];
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pm2::sys

@@ -72,11 +72,13 @@ TEST(LockCheckDeath, OutOfOrderAcquisition) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
-        // Ready-deque locks are the innermost layer; taking the outbox
+        // Leaf locks are the innermost layer; taking the outbox
         // (outermost) on top of one inverts the documented order.
-        sys::SpinLock deque{sys::LockRank::kSchedulerDeque};
+        // (kSchedulerDeque used to play the inner role here; that rank
+        // retired with the lock-free ready deques.)
+        sys::SpinLock leaf{sys::LockRank::kLeaf};
         sys::SpinLock outbox{sys::LockRank::kOutbox};
-        deque.lock();
+        leaf.lock();
         outbox.lock();
       },
       "lock-rank violation");
@@ -85,7 +87,8 @@ TEST(LockCheckDeath, OutOfOrderAcquisition) {
 TEST(LockCheck, EqualRankLockFails) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   // Strictly decreasing: two locks of the same rank may not nest via
-  // lock() (work stealing crosses equal-rank deques with try_lock only).
+  // lock() — equal-rank peers (e.g. two registry stripes) cross only via
+  // try_lock.
   EXPECT_DEATH(
       {
         sys::SpinLock a{sys::LockRank::kRegistryShard};
@@ -97,9 +100,11 @@ TEST(LockCheck, EqualRankLockFails) {
 }
 
 TEST(LockCheck, TryLockIsExemptFromOrder) {
-  // try_lock cannot deadlock, so rank order does not apply — this is what
-  // lets a stealing worker probe a peer's equal-rank deque.  It still
-  // joins the held stack (unlock bookkeeping must balance).
+  // try_lock cannot deadlock, so rank order does not apply — equal-rank
+  // peers (registry stripes, pool shards) may be probed this way.  The
+  // ready deques that once relied on this for stealing are lock-free now.
+  // A successful try_lock still joins the held stack (unlock bookkeeping
+  // must balance).
   sys::SpinLock a{sys::LockRank::kRegistryShard};
   sys::SpinLock b{sys::LockRank::kRegistryShard};
   a.lock();
@@ -110,7 +115,7 @@ TEST(LockCheck, TryLockIsExemptFromOrder) {
 
 TEST(LockCheck, DecreasingOrderIsAllowed) {
   sys::SpinLock outer{sys::LockRank::kRuntimeMaps};
-  sys::SpinLock inner{sys::LockRank::kSchedulerDeque};
+  sys::SpinLock inner{sys::LockRank::kLeaf};
   outer.lock();
   inner.lock();
   inner.unlock();

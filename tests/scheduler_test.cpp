@@ -447,6 +447,131 @@ TEST(SchedulerSmp, RearmRacesWithStealingWorkers) {
   EXPECT_EQ(rc.parked.size(), 4u);
 }
 
+// --- handoff mailbox -------------------------------------------------------
+
+struct FrontCtx {
+  std::vector<int>* trace;
+};
+
+void front_blocker(void* arg) {
+  auto* c = static_cast<FrontCtx*>(arg);
+  c->trace->push_back(1);
+  Scheduler::current_scheduler()->block();
+  c->trace->push_back(200);
+  exit_now();
+}
+
+void front_filler(void* arg) {
+  auto* c = static_cast<FrontCtx*>(arg);
+  c->trace->push_back(10);
+  Scheduler::current_scheduler()->yield();
+  c->trace->push_back(11);
+  exit_now();
+}
+
+void front_controller(void* arg) {
+  auto* c = static_cast<FrontCtx*>(arg);
+  Scheduler* s = Scheduler::current_scheduler();
+  Thread* a = s->find(1);
+  while (a->state != ThreadState::kBlocked) s->yield();
+  s->unblock(a, /*front=*/true);
+  c->trace->push_back(3);
+  s->yield();
+  exit_now();
+}
+
+TEST(Scheduler, FrontUnblockDispatchesBeforeFifoPeers) {
+  // unblock(front=true) lands in the handoff mailbox, which pop_local
+  // consults before the deque: the woken thread must run at the next
+  // dispatch even though the filler was queued ahead of it in FIFO order.
+  Pool pool;
+  Scheduler sched;
+  std::vector<int> trace;
+  FrontCtx ctx{&trace};
+  sched.create(pool.take(), kRegion, &front_blocker, &ctx, 1, "blk");
+  sched.create(pool.take(), kRegion, &front_filler, &ctx, 2, "fill");
+  sched.create(pool.take(), kRegion, &front_controller, &ctx, 3, "ctl");
+  sched.stop();
+  sched.run();
+  // blocker parks; filler marks 10 and yields; controller hands the blocker
+  // off front and yields — the very next dispatch must be the blocker's
+  // wakeup (200), ahead of the filler's second lap (11).
+  ASSERT_GE(trace.size(), 4u);
+  EXPECT_EQ((std::vector<int>{trace[0], trace[1], trace[2], trace[3]}),
+            (std::vector<int>{1, 10, 3, 200}));
+}
+
+// --- unfreeze publication --------------------------------------------------
+
+struct PubPayload {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::atomic<int>* bad;
+  std::atomic<int>* runs;
+};
+
+void pub_entry(void* arg) {
+  auto* p = static_cast<PubPayload*>(arg);
+  // Filled by the creator AFTER create(..., start_frozen=true) returned;
+  // only unfreeze()'s release publication makes these reads well-defined on
+  // the (possibly stealing) worker that dispatches us.
+  if (p->a == 0 || p->b != p->a * 7)
+    p->bad->fetch_add(1, std::memory_order_relaxed);
+  p->runs->fetch_add(1, std::memory_order_relaxed);
+  exit_now();
+}
+
+struct PubCtx {
+  Pool* pool;
+  std::vector<PubPayload> payloads;
+  std::atomic<int> bad{0};
+  std::atomic<int> runs{0};
+  std::atomic<bool> done{false};
+};
+
+void pub_controller(void* arg) {
+  auto* c = static_cast<PubCtx*>(arg);
+  Scheduler* s = Scheduler::current_scheduler();
+  const int n = static_cast<int>(c->payloads.size());
+  for (int i = 0; i < n; ++i) {
+    PubPayload& p = c->payloads[static_cast<size_t>(i)];
+    p.bad = &c->bad;
+    p.runs = &c->runs;
+    Thread* t = s->create(c->pool->take(), kRegion, &pub_entry, &p,
+                          static_cast<ThreadId>(2000 + i), "pub", 0,
+                          /*start_frozen=*/true);
+    // The race under test: at workers > 1 a ready newborn could already be
+    // stolen — frozen creation holds it back until the payload is complete.
+    p.a = 0x1234567890abcdefULL + static_cast<uint64_t>(i);
+    p.b = p.a * 7;
+    s->unfreeze(t);
+    s->yield();
+  }
+  while (c->runs.load(std::memory_order_relaxed) < n) s->yield();
+  c->done.store(true);
+  exit_now();
+}
+
+TEST(SchedulerSmp, UnfreezePublishesPreparedDescriptor) {
+  Pool pool;
+  Scheduler sched(4);
+  PubCtx pc;
+  pc.pool = &pool;
+  pc.payloads.resize(100);
+  SmpCtx churn{nullptr, nullptr, &pc.done, nullptr};
+  // Churners keep the other workers actively stealing, so freshly
+  // unfrozen threads really do get picked up by foreign workers.
+  for (int i = 0; i < 8; ++i)
+    sched.create(pool.take(), kRegion, &churn_entry, &churn,
+                 static_cast<ThreadId>(i + 500), "churn");
+  sched.create(pool.take(), kRegion, &pub_controller, &pc, 999, "ctl");
+  sched.stop();
+  sched.run();
+  EXPECT_EQ(pc.runs.load(), 100);
+  EXPECT_EQ(pc.bad.load(), 0)
+      << "a stolen thread observed a half-prepared descriptor";
+}
+
 TEST(SchedulerDeath, StackOverflowCaught) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Pool pool;

@@ -121,5 +121,50 @@ TEST(TsanHappensBefore, InvocationPoolRearmVsSteal) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+// Spawn publication: Runtime::spawn_local creates the thread frozen, fills
+// user_fn/user_arg (the copied closure), then unfreeze()s it — push_ready's
+// release-store of kReady plus the Chase-Lev publication is the only edge
+// carrying the creator's plain writes to the (frequently stealing) worker
+// that dispatches the newborn.  At 4 workers with churn, newborns are
+// routinely stolen before the creator yields.
+TEST(TsanHappensBefore, SpawnUnfreezePublishesClosure) {
+  std::atomic<int> bad{0};
+  run_app(config_with_workers(1, 4), [&](Runtime& rt) {
+    for (int round = 0; round < 64; ++round) {
+      int payload = 0;  // plain: published only by the unfreeze edge
+      payload = round + 1;
+      auto id = rt.spawn_local([&bad, &payload, round] {
+        if (payload != round + 1) ++bad;
+      });
+      rt.join(id);
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// The non-front unpark: the wakeup goes through unblock(front=false) — a
+// remote push into the target worker's inbox, drained into its Chase-Lev
+// deque, and possibly stolen from there by a third worker.  The unparker's
+// plain write must survive that whole chain (inbox release-CAS, deque
+// publication, steal acquire).
+TEST(TsanHappensBefore, WaitQueueUnparkBackCrossesDeque) {
+  std::atomic<int> bad{0};
+  run_app(config_with_workers(1, 4), [&](Runtime& rt) {
+    for (int round = 0; round < 64; ++round) {
+      marcel::WaitQueue q;
+      int data = 0;  // plain: rides the inbox -> deque -> steal chain
+      auto id = rt.spawn_local([&] {
+        q.park_current();
+        if (data != round + 41) ++bad;
+      });
+      while (q.empty()) marcel::Scheduler::current_scheduler()->yield();
+      data = round + 41;
+      q.unpark_one(/*front=*/false);
+      rt.join(id);
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
 }  // namespace
 }  // namespace pm2
